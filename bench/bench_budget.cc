@@ -1,0 +1,157 @@
+// Experiment §4.2 / §7 — the control trade-off: rewrite time and resulting
+// plan quality as a function of the semantic block's budget ("if one stops
+// too early ... the logical optimization can actually complicate the
+// query"; "limits can even be adjusted"). Plus matcher micro-benchmarks
+// (the per-condition-check cost that the budget counts).
+#include "benchutil.h"
+
+#include "rewrite/match.h"
+#include "rules/optimizer.h"
+#include "term/parser.h"
+
+namespace {
+
+using eds::benchutil::Check;
+using eds::benchutil::MakeFilmDb;
+
+const char* kCategoryDomainConstraint = R"(
+  ic_category_domain :
+    MEMBER(x, c) / ISA(c, SetCategory)
+    --> MEMBER(x, c) AND MEMBER(x, SET('Comedy', 'Adventure',
+                                       'Science Fiction', 'Western')) / ;
+)";
+
+// Budget sweep: semantic_limit from 0 to large; counters report whether
+// the inconsistency was detected (plan quality) and the condition checks
+// spent (rewrite cost). The paper's trade-off: cost rises with the limit;
+// quality jumps once the budget suffices.
+void BM_SemanticBudget(benchmark::State& state) {
+  const int64_t budget = state.range(0);
+  auto session = MakeFilmDb(500);
+  Check(session->AddConstraint("category_domain", kCategoryDomainConstraint),
+        "constraint");
+  eds::rules::OptimizerOptions options;
+  options.semantic_limit = budget;
+  auto optimizer =
+      eds::rules::MakeDefaultOptimizer(&session->catalog(), options);
+  Check(optimizer.status(), "optimizer");
+  auto raw = session->Translate(
+      "SELECT Title FROM FILM WHERE MEMBER('Cartoon', Categories)");
+  Check(raw.status(), "translate");
+  for (auto _ : state) {
+    auto out = (*optimizer)->Rewrite(*raw);
+    Check(out.status(), "rewrite");
+    benchmark::DoNotOptimize(out->term);
+    state.counters["cond_checks"] =
+        static_cast<double>(out->stats.condition_checks);
+    state.counters["detected"] =
+        out->term->ToString().find("FALSE") != std::string::npos ? 1 : 0;
+  }
+}
+BENCHMARK(BM_SemanticBudget)->Arg(0)->Arg(2)->Arg(8)->Arg(64)->Arg(512);
+
+// End-to-end time (rewrite + execute) under the same sweep: the optimum
+// sits at a moderate budget, the paper's recommended operating point.
+void BM_SemanticBudgetEndToEnd(benchmark::State& state) {
+  const int64_t budget = state.range(0);
+  eds::rules::OptimizerOptions options;
+  options.semantic_limit = budget;
+  auto session = std::make_unique<eds::exec::Session>(options);
+  Check(session->ExecuteScript(R"(
+    TYPE Category ENUMERATION OF ('Comedy', 'Adventure', 'Science Fiction',
+                                  'Western');
+    TYPE SetCategory SET OF Category;
+    TABLE FILM (Numf : NUMERIC, Title : CHAR, Categories : SetCategory);
+  )"),
+        "schema");
+  using eds::value::Value;
+  for (int f = 1; f <= 5000; ++f) {
+    Check(session->InsertRow(
+              "FILM", {Value::Int(f), Value::String("F"),
+                       Value::Set({Value::String("Comedy")})}),
+          "row");
+  }
+  Check(session->AddConstraint("category_domain", kCategoryDomainConstraint),
+        "constraint");
+  for (auto _ : state) {
+    auto result = session->Query(
+        "SELECT Title FROM FILM WHERE MEMBER('Cartoon', Categories)");
+    Check(result.status(), "query");
+    benchmark::DoNotOptimize(result->rows);
+    state.counters["rows_scanned"] =
+        static_cast<double>(result->exec_stats.rows_scanned);
+  }
+}
+BENCHMARK(BM_SemanticBudgetEndToEnd)->Arg(0)->Arg(8)->Arg(512);
+
+// ---- matcher micro-benchmarks: the unit the budget counts ----
+
+void BM_MatchSimple(benchmark::State& state) {
+  auto pattern = eds::term::ParseTerm("F(x, G(y))").value();
+  auto subject = eds::term::ParseTerm("F(1, G(2))").value();
+  for (auto _ : state) {
+    eds::term::Bindings env;
+    bool m = eds::rewrite::MatchFirst(pattern, subject, &env);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_MatchSimple);
+
+void BM_MatchCollectionVarSplits(benchmark::State& state) {
+  // x* / v* splits over an n-element list: the backtracking cost.
+  const int n = static_cast<int>(state.range(0));
+  std::string subject_text = "F(LIST(";
+  for (int i = 0; i < n; ++i) {
+    subject_text += (i ? ", e" : "e") + std::to_string(i) + "()";
+  }
+  subject_text += ", G(1)))";
+  auto pattern = eds::term::ParseTerm("F(LIST(x*, G(y), v*))").value();
+  auto subject = eds::term::ParseTerm(subject_text).value();
+  for (auto _ : state) {
+    eds::term::Bindings env;
+    bool m = eds::rewrite::MatchFirst(pattern, subject, &env);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_MatchCollectionVarSplits)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_MatchSetPermutation(benchmark::State& state) {
+  // SET patterns try assignments: G(y, 2) must be located among n decoys.
+  const int n = static_cast<int>(state.range(0));
+  std::string subject_text = "F(SET(";
+  for (int i = 0; i < n; ++i) {
+    subject_text += (i ? ", G(e" : "G(e") + std::to_string(i) + "(), 1)";
+  }
+  subject_text += ", G(t(), 2)))";
+  auto pattern = eds::term::ParseTerm("F(SET(x*, G(y, 2)))").value();
+  auto subject = eds::term::ParseTerm(subject_text).value();
+  for (auto _ : state) {
+    eds::term::Bindings env;
+    bool m = eds::rewrite::MatchFirst(pattern, subject, &env);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_MatchSetPermutation)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_MatchDeepQueryNoMatch(benchmark::State& state) {
+  // The common case during traversal: a rule that does not match; the
+  // QuickReject path must keep this cheap.
+  auto pattern = eds::term::ParseTerm(
+                     "SEARCH(LIST(x*, SEARCH(z, g, b), v*), f, a)")
+                     .value();
+  auto subject =
+      eds::term::ParseTerm(
+          "SEARCH(LIST(RELATION('A'), RELATION('B')), ($1.1 = $2.1), "
+          "LIST($1.1))")
+          .value();
+  for (auto _ : state) {
+    eds::term::Bindings env;
+    bool m = eds::rewrite::MatchFirst(pattern, subject, &env);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_MatchDeepQueryNoMatch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// Experiment Fig. 1 — the generic collection ADT library: costs of the
+// builtin collection functions over growing collections (the substrate
+// every qualification with MEMBER/UNION/... pays per tuple).
+#include <random>
+
+#include "benchutil.h"
+#include "value/collection_lib.h"
+
+namespace {
+
+using eds::value::FunctionLibrary;
+using eds::value::Value;
+
+Value RandomSet(int size, int seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> elem(0, size * 4);
+  std::vector<Value> elems;
+  elems.reserve(static_cast<size_t>(size));
+  for (int i = 0; i < size; ++i) elems.push_back(Value::Int(elem(rng)));
+  return Value::Set(std::move(elems));
+}
+
+void BM_Member(benchmark::State& state) {
+  Value set = RandomSet(static_cast<int>(state.range(0)), 1);
+  Value probe = Value::Int(7);
+  const FunctionLibrary& lib = FunctionLibrary::Default();
+  for (auto _ : state) {
+    auto r = lib.Call("MEMBER", {probe, set});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Member)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_SetUnion(benchmark::State& state) {
+  Value a = RandomSet(static_cast<int>(state.range(0)), 1);
+  Value b = RandomSet(static_cast<int>(state.range(0)), 2);
+  const FunctionLibrary& lib = FunctionLibrary::Default();
+  for (auto _ : state) {
+    auto r = lib.Call("UNION", {a, b});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SetUnion)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_Intersection(benchmark::State& state) {
+  Value a = RandomSet(static_cast<int>(state.range(0)), 1);
+  Value b = RandomSet(static_cast<int>(state.range(0)), 2);
+  const FunctionLibrary& lib = FunctionLibrary::Default();
+  for (auto _ : state) {
+    auto r = lib.Call("INTERSECTION", {a, b});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Intersection)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_Include(benchmark::State& state) {
+  Value big = RandomSet(static_cast<int>(state.range(0)), 1);
+  Value small = RandomSet(static_cast<int>(state.range(0)) / 4 + 1, 1);
+  const FunctionLibrary& lib = FunctionLibrary::Default();
+  for (auto _ : state) {
+    auto r = lib.Call("INCLUDE", {small, big});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Include)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_MakeSetCanonicalization(benchmark::State& state) {
+  // Set construction sorts + dedups: the canonical-form cost.
+  std::mt19937 rng(3);
+  std::uniform_int_distribution<int> elem(0, 1000);
+  std::vector<Value> elems;
+  for (int i = 0; i < state.range(0); ++i) {
+    elems.push_back(Value::Int(elem(rng)));
+  }
+  for (auto _ : state) {
+    Value s = Value::Set(elems);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_MakeSetCanonicalization)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_ConvertBagToSet(benchmark::State& state) {
+  std::vector<Value> elems;
+  for (int i = 0; i < state.range(0); ++i) {
+    elems.push_back(Value::Int(i % 16));
+  }
+  Value bag = Value::Bag(std::move(elems));
+  const FunctionLibrary& lib = FunctionLibrary::Default();
+  for (auto _ : state) {
+    auto r = lib.Call("TOSET", {bag});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ConvertBagToSet)->Arg(64)->Arg(512);
+
+void BM_DeepCompareNested(benchmark::State& state) {
+  // Nested collections: LIST of SETs, the worst case for row dedup.
+  std::vector<Value> rows_a, rows_b;
+  for (int i = 0; i < state.range(0); ++i) {
+    rows_a.push_back(RandomSet(16, i));
+    rows_b.push_back(RandomSet(16, i));
+  }
+  Value a = Value::List(rows_a), b = Value::List(rows_b);
+  for (auto _ : state) {
+    int c = eds::value::Compare(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_DeepCompareNested)->Arg(8)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// Ablation — the extension rule library (rules/extensions.h): what the
+// optional rules buy on set-operation-heavy and disjunctive queries, and
+// what the larger rule set costs in rewrite time (more rules = more
+// condition checks per node, the §4.2 accounting).
+#include "benchutil.h"
+
+#include "rewrite/engine.h"
+#include "rules/extensions.h"
+#include "rules/merging.h"
+#include "rules/permutation.h"
+#include "ruledsl/compiler.h"
+#include "term/parser.h"
+
+namespace {
+
+using eds::benchutil::Check;
+using eds::value::Value;
+
+std::unique_ptr<eds::exec::Session> MakeOrdersDb(int rows) {
+  auto session = std::make_unique<eds::exec::Session>();
+  Check(session->ExecuteScript(R"(
+    CREATE TABLE ORDERS (Id : INT, Amount : INT);
+    CREATE TABLE CANCELLED (Id : INT, Amount : INT);
+  )"),
+        "schema");
+  for (int i = 0; i < rows; ++i) {
+    Check(session->InsertRow("ORDERS", {Value::Int(i), Value::Int(i % 97)}),
+          "order");
+    if (i % 3 == 0) {
+      Check(session->InsertRow("CANCELLED",
+                               {Value::Int(i), Value::Int(i % 97)}),
+            "cancelled");
+    }
+  }
+  return session;
+}
+
+std::unique_ptr<eds::rewrite::Engine> MakeEngine(
+    const eds::catalog::Catalog* catalog,
+    eds::rewrite::BuiltinRegistry* registry, bool with_extensions) {
+  registry->InstallStandard();
+  std::string source =
+      std::string(eds::rules::MergingRuleSource()) +
+      eds::rules::PermutationRuleSource();
+  std::string block_rules =
+      "search_merge, union_merge, union_collapse, push_search_union";
+  if (with_extensions) {
+    source += eds::rules::ExtensionRuleSource();
+    block_rules +=
+        ", push_search_difference, push_search_intersect, or_to_union, "
+        "intersect_self, difference_self";
+  }
+  source += "block(main, {" + block_rules + "}, inf) ;\nseq({main}, 2) ;";
+  auto program = eds::ruledsl::CompileRuleSource(source, *registry);
+  Check(program.status(), "compile");
+  return std::make_unique<eds::rewrite::Engine>(catalog, registry,
+                                                std::move(*program));
+}
+
+// Selective filter over a DIFFERENCE: with the extension rules the filter
+// lands on both sides before the set compare.
+void BM_DifferenceQuery(benchmark::State& state, bool extensions) {
+  auto session = MakeOrdersDb(static_cast<int>(state.range(0)));
+  eds::rewrite::BuiltinRegistry registry;
+  auto engine = MakeEngine(&session->catalog(), &registry, extensions);
+  auto raw = eds::term::ParseTerm(
+      "SEARCH(LIST(DIFFERENCE(RELATION('ORDERS'), RELATION('CANCELLED'))), "
+      "($1.2 = 7), LIST($1.1))");
+  Check(raw.status(), "parse");
+  auto rewritten = engine->Rewrite(*raw);
+  Check(rewritten.status(), "rewrite");
+  for (auto _ : state) {
+    eds::exec::ExecStats stats;
+    auto rows = session->Run(rewritten->term, {}, &stats);
+    Check(rows.status(), "run");
+    benchmark::DoNotOptimize(*rows);
+    state.counters["qual_evals"] =
+        static_cast<double>(stats.qual_evaluations);
+    state.counters["rows_out"] = static_cast<double>(rows->size());
+  }
+}
+void BM_Difference_Base(benchmark::State& state) {
+  BM_DifferenceQuery(state, false);
+}
+void BM_Difference_Extended(benchmark::State& state) {
+  BM_DifferenceQuery(state, true);
+}
+BENCHMARK(BM_Difference_Base)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_Difference_Extended)->Arg(1000)->Arg(10000);
+
+// Rewrite-time cost of the larger rule set on a plain query that none of
+// the extension rules touch: the price of a bigger knowledge base.
+void BM_RuleSetOverhead(benchmark::State& state, bool extensions) {
+  auto session = MakeOrdersDb(10);
+  eds::rewrite::BuiltinRegistry registry;
+  auto engine = MakeEngine(&session->catalog(), &registry, extensions);
+  auto raw = eds::term::ParseTerm(
+      "SEARCH(LIST(SEARCH(LIST(RELATION('ORDERS')), ($1.2 > 5), "
+      "LIST($1.1, $1.2))), ($1.1 < 100), LIST($1.1))");
+  Check(raw.status(), "parse");
+  for (auto _ : state) {
+    auto out = engine->Rewrite(*raw);
+    Check(out.status(), "rewrite");
+    benchmark::DoNotOptimize(out->term);
+    state.counters["cond_checks"] =
+        static_cast<double>(out->stats.condition_checks);
+  }
+}
+void BM_Overhead_Base(benchmark::State& state) {
+  BM_RuleSetOverhead(state, false);
+}
+void BM_Overhead_Extended(benchmark::State& state) {
+  BM_RuleSetOverhead(state, true);
+}
+BENCHMARK(BM_Overhead_Base);
+BENCHMARK(BM_Overhead_Extended);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Experiment Fig. 5 — the recursive view itself: computing the full
+// BETTER_THAN closure through the FIX operator, naive vs semi-naive
+// iteration (the executor substrate ablation the rewriting experiments
+// build on), over chain and cyclic graphs.
+#include "benchutil.h"
+
+namespace {
+
+using eds::benchutil::Check;
+using eds::benchutil::MakeGraphDb;
+using eds::value::Value;
+
+void BM_FullClosure(benchmark::State& state, bool seminaive) {
+  const int nodes = static_cast<int>(state.range(0));
+  auto session = MakeGraphDb(nodes);
+  eds::exec::QueryOptions options;
+  options.rewrite = false;  // measure the raw fixpoint substrate
+  options.exec_options.seminaive = seminaive;
+  for (auto _ : state) {
+    auto result = session->Query("SELECT W, L FROM BETTER_THAN", options);
+    Check(result.status(), "query");
+    const size_t expected =
+        static_cast<size_t>(nodes) * (nodes - 1) / 2;
+    if (result->rows.size() != expected) {
+      state.SkipWithError("wrong closure size");
+      return;
+    }
+    benchmark::DoNotOptimize(result->rows);
+    eds::benchutil::ReportExecWork(state, *result);
+  }
+  state.SetComplexityN(nodes);
+}
+void BM_Closure_NaiveIteration(benchmark::State& state) {
+  BM_FullClosure(state, false);
+}
+void BM_Closure_SeminaiveIteration(benchmark::State& state) {
+  BM_FullClosure(state, true);
+}
+BENCHMARK(BM_Closure_NaiveIteration)->Arg(8)->Arg(16)->Arg(24)->Complexity();
+BENCHMARK(BM_Closure_SeminaiveIteration)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Complexity();
+
+// Cyclic graphs stress the dedup-based termination.
+void BM_CyclicClosure(benchmark::State& state, bool seminaive) {
+  const int nodes = static_cast<int>(state.range(0));
+  auto session = std::make_unique<eds::exec::Session>();
+  Check(session->ExecuteScript(R"(
+    CREATE TABLE BEATS (Winner : INT, Loser : INT);
+    CREATE VIEW BETTER_THAN (W, L) AS (
+      SELECT Winner, Loser FROM BEATS
+      UNION
+      SELECT B1.W, B2.L FROM BETTER_THAN B1, BETTER_THAN B2
+      WHERE B1.L = B2.W );
+  )"),
+        "schema");
+  for (int i = 0; i < nodes; ++i) {
+    Check(session->InsertRow(
+              "BEATS", {Value::Int(i), Value::Int((i + 1) % nodes)}),
+          "edge");
+  }
+  eds::exec::QueryOptions options;
+  options.rewrite = false;
+  options.exec_options.seminaive = seminaive;
+  for (auto _ : state) {
+    auto result = session->Query("SELECT W, L FROM BETTER_THAN", options);
+    Check(result.status(), "query");
+    if (result->rows.size() != static_cast<size_t>(nodes) * nodes) {
+      state.SkipWithError("wrong cyclic closure size");
+      return;
+    }
+    benchmark::DoNotOptimize(result->rows);
+    eds::benchutil::ReportExecWork(state, *result);
+  }
+}
+void BM_Cycle_Naive(benchmark::State& state) {
+  BM_CyclicClosure(state, false);
+}
+void BM_Cycle_Seminaive(benchmark::State& state) {
+  BM_CyclicClosure(state, true);
+}
+BENCHMARK(BM_Cycle_Naive)->Arg(8)->Arg(12);
+BENCHMARK(BM_Cycle_Seminaive)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Experiment Fig. 7 — operation merging: queries over stacks of views
+// (each view a SEARCH over the previous) executed with and without the
+// merging rules. Merging removes the intermediate materializations
+// ("unnecessary temporary relations are removed", §5.1) and its own cost
+// (rewrite time) stays small and linear in the stack depth.
+#include "benchutil.h"
+
+#include "lera/lera.h"
+
+namespace {
+
+using eds::benchutil::Check;
+using eds::benchutil::MakeFilmDb;
+
+// Builds a stack of `depth` filtering views over FILM; the query selects
+// from the top.
+std::unique_ptr<eds::exec::Session> MakeViewStack(int films, int depth) {
+  auto session = MakeFilmDb(films);
+  std::string prev = "FILM";
+  for (int d = 0; d < depth; ++d) {
+    std::string name = "V" + std::to_string(d);
+    // Each layer keeps Numf and Title and narrows the range a little.
+    Check(session->ExecuteScript(
+              "CREATE VIEW " + name + " (Numf, Title) AS SELECT Numf, Title "
+              "FROM " + prev + " WHERE Numf > " + std::to_string(d) + ";"),
+          "view layer");
+    prev = name;
+  }
+  return session;
+}
+
+void BM_ViewStackQuery(benchmark::State& state, bool rewrite) {
+  const int depth = static_cast<int>(state.range(0));
+  const int films = 400;
+  auto session = MakeViewStack(films, depth);
+  std::string query = "SELECT Title FROM V" + std::to_string(depth - 1) +
+                      " WHERE Numf = " + std::to_string(films / 2);
+  eds::exec::QueryOptions options;
+  options.rewrite = rewrite;
+  for (auto _ : state) {
+    auto result = session->Query(query, options);
+    Check(result.status(), "query");
+    benchmark::DoNotOptimize(result->rows);
+    eds::benchutil::ReportExecWork(state, *result);
+  }
+}
+
+void BM_ViewStack_Raw(benchmark::State& state) {
+  BM_ViewStackQuery(state, /*rewrite=*/false);
+}
+void BM_ViewStack_Merged(benchmark::State& state) {
+  BM_ViewStackQuery(state, /*rewrite=*/true);
+}
+BENCHMARK(BM_ViewStack_Raw)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_ViewStack_Merged)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+// Rewrite-time only: the cost of merging grows linearly with the depth of
+// the view stack (each layer is one search_merge application).
+void BM_ViewStack_RewriteCost(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  auto session = MakeViewStack(50, depth);
+  std::string query = "SELECT Title FROM V" + std::to_string(depth - 1) +
+                      " WHERE Numf = 25";
+  auto raw = session->Translate(query);
+  Check(raw.status(), "translate");
+  for (auto _ : state) {
+    auto out = session->Rewrite(*raw);
+    Check(out.status(), "rewrite");
+    benchmark::DoNotOptimize(out->term);
+    state.counters["rule_apps"] =
+        static_cast<double>(out->stats.applications);
+    state.counters["cond_checks"] =
+        static_cast<double>(out->stats.condition_checks);
+  }
+}
+BENCHMARK(BM_ViewStack_RewriteCost)->Arg(1)->Arg(4)->Arg(16)->Arg(32);
+
+// Merged plans collapse to a single SEARCH regardless of depth: verify the
+// shape once per run (correctness guard inside the harness).
+void BM_ViewStack_ShapeCheck(benchmark::State& state) {
+  auto session = MakeViewStack(50, 8);
+  auto raw = session->Translate("SELECT Title FROM V7 WHERE Numf = 10");
+  Check(raw.status(), "translate");
+  for (auto _ : state) {
+    auto out = session->Rewrite(*raw);
+    Check(out.status(), "rewrite");
+    if (!eds::lera::IsSearch(out->term)) {
+      state.SkipWithError("merged plan is not a single SEARCH");
+      return;
+    }
+    auto inputs = eds::lera::SearchInputs(out->term);
+    if (!inputs.ok() || inputs->size() != 1 ||
+        !eds::lera::IsRelation((*inputs)[0])) {
+      state.SkipWithError("merged plan did not flatten to the base table");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_ViewStack_ShapeCheck);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Experiment Fig. 4 — the nested view (GROUP BY + MakeSet -> NEST) and the
+// ALL quantifier: query cost with and without the rewriter's nest
+// pushdown, swept over database size.
+#include "benchutil.h"
+
+namespace {
+
+using eds::benchutil::Check;
+using eds::benchutil::MakeFilmDb;
+
+std::unique_ptr<eds::exec::Session> MakeNestedDb(int films) {
+  auto session = MakeFilmDb(films);
+  Check(session->ExecuteScript(R"(
+    CREATE VIEW FilmActors (Title, Categories, Actors) AS
+      SELECT Title, Categories, MakeSet(Refactor)
+      FROM FILM, APPEARS_IN
+      WHERE FILM.Numf = APPEARS_IN.Numf
+      GROUP BY Title, Categories;
+  )"),
+        "nested view");
+  return session;
+}
+
+// The Fig. 4 query verbatim: quantifier over the nested set.
+void BM_Fig4Query(benchmark::State& state, bool rewrite) {
+  auto session = MakeNestedDb(static_cast<int>(state.range(0)));
+  eds::exec::QueryOptions options;
+  options.rewrite = rewrite;
+  for (auto _ : state) {
+    auto result = session->Query(
+        "SELECT Title FROM FilmActors WHERE MEMBER('Adventure', Categories) "
+        "AND ALL(Salary(Actors) > 10000)",
+        options);
+    Check(result.status(), "query");
+    benchmark::DoNotOptimize(result->rows);
+    eds::benchutil::ReportExecWork(state, *result);
+  }
+}
+void BM_Fig4_Raw(benchmark::State& state) { BM_Fig4Query(state, false); }
+void BM_Fig4_Rewritten(benchmark::State& state) { BM_Fig4Query(state, true); }
+BENCHMARK(BM_Fig4_Raw)->Arg(100)->Arg(500)->Arg(2000);
+BENCHMARK(BM_Fig4_Rewritten)->Arg(100)->Arg(500)->Arg(2000);
+
+// A selective query on the view's non-nested key: pushdown below the NEST
+// skips grouping almost all rows.
+void BM_SelectiveNested(benchmark::State& state, bool rewrite) {
+  auto session = MakeFilmDb(static_cast<int>(state.range(0)));
+  Check(session->ExecuteScript(R"(
+    CREATE VIEW FilmCast (Numf, Actors) AS
+      SELECT Numf, MakeSet(Refactor) FROM APPEARS_IN GROUP BY Numf;
+  )"),
+        "view");
+  eds::exec::QueryOptions options;
+  options.rewrite = rewrite;
+  for (auto _ : state) {
+    auto result = session->Query(
+        "SELECT Numf FROM FilmCast WHERE Numf = 1", options);
+    Check(result.status(), "query");
+    benchmark::DoNotOptimize(result->rows);
+    eds::benchutil::ReportExecWork(state, *result);
+  }
+}
+void BM_SelectiveNested_Raw(benchmark::State& state) {
+  BM_SelectiveNested(state, false);
+}
+void BM_SelectiveNested_Pushed(benchmark::State& state) {
+  BM_SelectiveNested(state, true);
+}
+BENCHMARK(BM_SelectiveNested_Raw)->Arg(500)->Arg(5000);
+BENCHMARK(BM_SelectiveNested_Pushed)->Arg(500)->Arg(5000);
+
+// Quantifier evaluation itself (the exec substrate): ALL vs EXIST over the
+// nested sets, full scan.
+void BM_Quantifier(benchmark::State& state, bool universal) {
+  auto session = MakeNestedDb(500);
+  eds::exec::QueryOptions options;
+  std::string query =
+      universal
+          ? "SELECT Title FROM FilmActors WHERE ALL(Salary(Actors) > 1)"
+          : "SELECT Title FROM FilmActors WHERE EXIST(Salary(Actors) > "
+            "19999)";
+  for (auto _ : state) {
+    auto result = session->Query(query, options);
+    Check(result.status(), "query");
+    benchmark::DoNotOptimize(result->rows);
+  }
+}
+void BM_Quantifier_All(benchmark::State& state) {
+  BM_Quantifier(state, true);
+}
+void BM_Quantifier_Exist(benchmark::State& state) {
+  BM_Quantifier(state, false);
+}
+BENCHMARK(BM_Quantifier_All);
+BENCHMARK(BM_Quantifier_Exist);
+
+}  // namespace
+
+BENCHMARK_MAIN();

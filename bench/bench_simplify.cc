@@ -1,0 +1,114 @@
+// Experiment Fig. 12 — predicate simplification: rewrite cost and
+// execution payoff for qualifications with foldable subexpressions,
+// redundant conjuncts, and contradictions, swept over conjunct count.
+#include "benchutil.h"
+
+#include "rewrite/engine.h"
+#include "rules/semantic.h"
+#include "rules/simplify.h"
+#include "ruledsl/compiler.h"
+#include "term/parser.h"
+
+namespace {
+
+using eds::benchutil::Check;
+using eds::benchutil::MakeFilmDb;
+
+// Builds a qualification with `n` conjuncts: a mix of real predicates,
+// constant-foldable noise (i+1 > i), and duplicates.
+std::string NoisyQual(int n) {
+  std::string qual = "Numf > 0";
+  for (int i = 0; i < n; ++i) {
+    switch (i % 3) {
+      case 0:
+        qual += " AND " + std::to_string(i + 1) + " > " + std::to_string(i);
+        break;
+      case 1:
+        qual += " AND Numf > 0";  // duplicate
+        break;
+      default:
+        qual += " AND NOT (1 > 2)";
+        break;
+    }
+  }
+  return qual;
+}
+
+void BM_NoisyQualQuery(benchmark::State& state, bool rewrite) {
+  auto session = MakeFilmDb(2000);
+  std::string query =
+      "SELECT Title FROM FILM WHERE " + NoisyQual(
+          static_cast<int>(state.range(0)));
+  eds::exec::QueryOptions options;
+  options.rewrite = rewrite;
+  for (auto _ : state) {
+    auto result = session->Query(query, options);
+    Check(result.status(), "query");
+    benchmark::DoNotOptimize(result->rows);
+    eds::benchutil::ReportExecWork(state, *result);
+  }
+}
+void BM_Noisy_Raw(benchmark::State& state) {
+  BM_NoisyQualQuery(state, false);
+}
+void BM_Noisy_Simplified(benchmark::State& state) {
+  BM_NoisyQualQuery(state, true);
+}
+BENCHMARK(BM_Noisy_Raw)->Arg(2)->Arg(8)->Arg(32);
+BENCHMARK(BM_Noisy_Simplified)->Arg(2)->Arg(8)->Arg(32);
+
+// Contradictions short-circuit execution entirely.
+void BM_Contradiction(benchmark::State& state, bool rewrite) {
+  auto session = MakeFilmDb(static_cast<int>(state.range(0)));
+  eds::exec::QueryOptions options;
+  options.rewrite = rewrite;
+  for (auto _ : state) {
+    auto result = session->Query(
+        "SELECT Title FROM FILM WHERE Numf > 10 AND Numf <= 10", options);
+    Check(result.status(), "query");
+    benchmark::DoNotOptimize(result->rows);
+    eds::benchutil::ReportExecWork(state, *result);
+  }
+}
+void BM_Contradiction_Raw(benchmark::State& state) {
+  BM_Contradiction(state, false);
+}
+void BM_Contradiction_Simplified(benchmark::State& state) {
+  BM_Contradiction(state, true);
+}
+BENCHMARK(BM_Contradiction_Raw)->Arg(1000)->Arg(20000);
+BENCHMARK(BM_Contradiction_Simplified)->Arg(1000)->Arg(20000);
+
+// Pure rewriter cost on the simplification block alone (no execution):
+// saturation over growing conjunctions.
+void BM_SimplifyRewriteCost(benchmark::State& state) {
+  eds::catalog::Catalog catalog;
+  eds::rewrite::BuiltinRegistry registry;
+  registry.InstallStandard();
+  eds::rules::InstallSemanticBuiltins(&registry);
+  auto program = eds::ruledsl::CompileRuleSource(
+      std::string(eds::rules::SimplifyRuleSource()) +
+          eds::rules::SemanticMethodRuleSource(),
+      registry);
+  Check(program.status(), "compile");
+  eds::rewrite::Engine engine(&catalog, &registry, std::move(*program));
+  std::string qual = "x0() = x0()";
+  for (int i = 1; i < state.range(0); ++i) {
+    qual += " AND (" + std::to_string(i) + " + 1 > " + std::to_string(i) +
+            ")";
+  }
+  auto term = eds::term::ParseTerm(qual);
+  Check(term.status(), "parse");
+  for (auto _ : state) {
+    auto out = engine.Rewrite(*term);
+    Check(out.status(), "rewrite");
+    benchmark::DoNotOptimize(out->term);
+    state.counters["rule_apps"] =
+        static_cast<double>(out->stats.applications);
+  }
+}
+BENCHMARK(BM_SimplifyRewriteCost)->Arg(2)->Arg(8)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

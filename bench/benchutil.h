@@ -1,0 +1,124 @@
+#ifndef EDS_BENCH_BENCHUTIL_H_
+#define EDS_BENCH_BENCHUTIL_H_
+
+#include <memory>
+#include <random>
+#include <string>
+
+#include "benchmark/benchmark.h"
+#include "exec/session.h"
+
+namespace eds::benchutil {
+
+// Aborts the benchmark on error — setup failures must be loud.
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::string message = std::string(what) + ": " + status.ToString();
+    throw std::runtime_error(message);
+  }
+}
+
+template <typename T>
+T CheckResult(Result<T> r, const char* what) {
+  if (!r.ok()) {
+    throw std::runtime_error(std::string(what) + ": " +
+                             r.status().ToString());
+  }
+  return std::move(r).value();
+}
+
+// A film database scaled to `films` films, 4 actors per film on average,
+// with ~20% adventure films. Deterministic.
+inline std::unique_ptr<exec::Session> MakeFilmDb(int films) {
+  auto session = std::make_unique<exec::Session>();
+  Check(session->ExecuteScript(R"(
+    TYPE Category ENUMERATION OF ('Comedy', 'Adventure', 'Science Fiction',
+                                  'Western');
+    TYPE Person OBJECT TUPLE (Name : CHAR);
+    TYPE Actor SUBTYPE OF Person OBJECT TUPLE (Salary : NUMERIC);
+    TYPE SetCategory SET OF Category;
+    TABLE FILM (Numf : NUMERIC, Title : CHAR, Categories : SetCategory);
+    TABLE APPEARS_IN (Numf : NUMERIC, Refactor : Actor);
+  )"),
+        "film schema");
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<int> salary(5000, 20000);
+  std::uniform_int_distribution<int> cat(0, 3);
+  static const char* kCats[] = {"Comedy", "Adventure", "Science Fiction",
+                                "Western"};
+  using value::Value;
+  // A pool of actors, ~1 per film.
+  std::vector<Value> actors;
+  for (int i = 0; i < films; ++i) {
+    actors.push_back(CheckResult(
+        session->NewObject("Actor",
+                           {{"Name", Value::String("A" + std::to_string(i))},
+                            {"Salary", Value::Int(salary(rng))}}),
+        "actor"));
+  }
+  for (int f = 1; f <= films; ++f) {
+    std::vector<Value> cats = {Value::String(kCats[cat(rng)])};
+    if (f % 5 == 0) cats.push_back(Value::String("Adventure"));
+    Check(session->InsertRow(
+              "FILM", {Value::Int(f), Value::String("F" + std::to_string(f)),
+                       Value::Set(std::move(cats))}),
+          "film row");
+    for (int a = 0; a < 4; ++a) {
+      Check(session->InsertRow(
+                "APPEARS_IN",
+                {Value::Int(f),
+                 actors[static_cast<size_t>((f * 7 + a * 13) % films)]}),
+            "appears_in row");
+    }
+  }
+  return session;
+}
+
+// A chain graph 1 -> 2 -> ... -> n in table BEATS with the Fig. 5
+// transitive-closure view BETTER_THAN(W, L). With `extra_edges`, adds
+// deterministic skip edges for denser closures.
+inline std::unique_ptr<exec::Session> MakeGraphDb(int nodes,
+                                                  int extra_edges = 0) {
+  auto session = std::make_unique<exec::Session>();
+  Check(session->ExecuteScript(R"(
+    CREATE TABLE BEATS (Winner : INT, Loser : INT);
+    CREATE VIEW BETTER_THAN (W, L) AS (
+      SELECT Winner, Loser FROM BEATS
+      UNION
+      SELECT B1.W, B2.L FROM BETTER_THAN B1, BETTER_THAN B2
+      WHERE B1.L = B2.W );
+  )"),
+        "graph schema");
+  using value::Value;
+  for (int i = 1; i < nodes; ++i) {
+    Check(session->InsertRow("BEATS", {Value::Int(i), Value::Int(i + 1)}),
+          "edge");
+  }
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> node(1, nodes);
+  for (int e = 0; e < extra_edges; ++e) {
+    int a = node(rng), b = node(rng);
+    if (a == b) continue;
+    Check(session->InsertRow("BEATS", {Value::Int(a), Value::Int(b)}),
+          "extra edge");
+  }
+  return session;
+}
+
+// Runs one query and reports executor-side work as counters.
+inline void ReportExecWork(benchmark::State& state,
+                           const exec::QueryResult& result) {
+  state.counters["rows_out"] = static_cast<double>(result.rows.size());
+  state.counters["rows_scanned"] =
+      static_cast<double>(result.exec_stats.rows_scanned);
+  state.counters["qual_evals"] =
+      static_cast<double>(result.exec_stats.qual_evaluations);
+  state.counters["fix_tuples"] =
+      static_cast<double>(result.exec_stats.fix_tuples);
+  state.counters["rewrites"] =
+      static_cast<double>(result.rewrite_stats.applications);
+}
+
+}  // namespace eds::benchutil
+
+#endif  // EDS_BENCH_BENCHUTIL_H_

@@ -1,0 +1,87 @@
+// A classic deductive-database workload: bill-of-materials (part
+// explosion). CONTAINS(Asm, Part) lists direct components; the recursive
+// USES view computes all transitive components. Asking "what goes into one
+// product?" is a bound query the Fig. 9 rewrite focuses: only that
+// product's cone of the parts graph is explored.
+//
+//   $ ./build/examples/bill_of_materials
+#include <iostream>
+
+#include "exec/session.h"
+#include "lera/printer.h"
+
+int main() {
+  using eds::value::Value;
+  eds::exec::Session session;
+
+  // The bilinear (USES ∘ USES) formulation focuses under *both* adornments
+  // — "what is in product X" (Asm bound) and "where is part Y used" (Part
+  // bound). A linear formulation (CONTAINS ∘ USES) would only focus in its
+  // matching direction; see magic/magic.h.
+  eds::Status status = session.ExecuteScript(R"(
+    CREATE TABLE CONTAINS (Asm : INT, Part : INT);
+    CREATE VIEW USES (Asm, Part) AS (
+      SELECT Asm, Part FROM CONTAINS
+      UNION
+      SELECT U1.Asm, U2.Part FROM USES U1, USES U2 WHERE U1.Part = U2.Asm );
+  )");
+  if (!status.ok()) {
+    std::cerr << "setup failed: " << status << "\n";
+    return 1;
+  }
+
+  // A forest of products: part ids 1..kProducts are top-level products,
+  // each a binary tree of sub-assemblies kLevels deep.
+  const int kProducts = 12;
+  const int kLevels = 6;
+  int next_part = kProducts + 1;
+  std::vector<int> frontier;
+  for (int p = 1; p <= kProducts; ++p) frontier.push_back(p);
+  for (int level = 0; level < kLevels; ++level) {
+    std::vector<int> next_frontier;
+    for (int assembly : frontier) {
+      for (int c = 0; c < 2; ++c) {
+        int part = next_part++;
+        (void)session.InsertRow("CONTAINS",
+                                {Value::Int(assembly), Value::Int(part)});
+        if (level + 1 < kLevels && part % 3 != 0) {
+          next_frontier.push_back(part);
+        }
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  std::cout << "parts catalogue: " << next_part - 1 << " parts\n";
+
+  // The bound query: full parts list of product 1.
+  const char* query = "SELECT Part FROM USES WHERE Asm = 1";
+
+  eds::exec::QueryOptions no_rewrite;
+  no_rewrite.rewrite = false;
+  auto raw = session.Query(query, no_rewrite);
+  auto focused = session.Query(query);
+  if (!raw.ok() || !focused.ok()) {
+    std::cerr << "query failed: "
+              << (raw.ok() ? focused.status() : raw.status()) << "\n";
+    return 1;
+  }
+  std::cout << "product 1 explodes into " << focused->rows.size()
+            << " parts (unfocused agrees: " << raw->rows.size() << ")\n\n"
+            << "unfocused: " << raw->exec_stats.fix_tuples
+            << " fixpoint tuples, " << raw->exec_stats.qual_evaluations
+            << " qualification probes\n"
+            << "focused:   " << focused->exec_stats.fix_tuples
+            << " fixpoint tuples, " << focused->exec_stats.qual_evaluations
+            << " qualification probes\n\n"
+            << "focused plan:\n"
+            << eds::lera::FormatPlan(focused->optimized_plan);
+
+  // Where is part 99 used? The other adornment direction.
+  auto where_used = session.Query("SELECT Asm FROM USES WHERE Part = 99");
+  if (where_used.ok()) {
+    std::cout << "\npart 99 is used in " << where_used->rows.size()
+              << " assemblies (" << where_used->exec_stats.fix_tuples
+              << " fixpoint tuples explored)\n";
+  }
+  return 0;
+}

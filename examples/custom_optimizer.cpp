@@ -1,0 +1,112 @@
+// A database implementor extends the rewriter (§4, §7): new ADT functions,
+// a new method coded in C++, new rules in the rule language, and a custom
+// block/sequence program — without touching the engine.
+//
+//   $ ./build/examples/custom_optimizer
+#include <iostream>
+
+#include "catalog/catalog.h"
+#include "lera/printer.h"
+#include "rewrite/engine.h"
+#include "rules/merging.h"
+#include "ruledsl/compiler.h"
+#include "term/parser.h"
+
+int main() {
+  using eds::term::Term;
+  using eds::term::TermList;
+  using eds::term::TermRef;
+  using eds::value::Value;
+
+  eds::catalog::Catalog catalog;
+  {
+    eds::catalog::TableDef sensors;
+    sensors.name = "SENSORS";
+    sensors.columns = {{"Id", catalog.types().int_type()},
+                       {"Celsius", catalog.types().real_type()}};
+    (void)catalog.CreateTable(std::move(sensors));
+  }
+
+  // 1. A new ADT function, registered in the catalog's function library.
+  //    It participates in constant folding automatically.
+  (void)catalog.functions().Register(
+      "FAHRENHEIT",
+      [](const std::vector<Value>& args) -> eds::Result<Value> {
+        if (args.size() != 1 || !args[0].is_numeric()) {
+          return eds::Status::TypeError("FAHRENHEIT expects a number");
+        }
+        return Value::Real(args[0].AsReal() * 9.0 / 5.0 + 32.0);
+      });
+
+  // 2. A new rule method in C++ (the paper's "external functions ...
+  //    defined in the ADT function library"): rewrites FAHRENHEIT(x) ? k
+  //    into x ? (k - 32) * 5/9 so the conversion never runs per row.
+  eds::rewrite::BuiltinRegistry registry;
+  registry.InstallStandard();
+  (void)registry.RegisterMethod(
+      "INVERT_FAHRENHEIT",
+      [](const TermList& args, eds::term::Bindings* env,
+         const eds::rewrite::RewriteContext& ctx) -> eds::Status {
+        if (args.size() != 2 || !args[1]->is_variable()) {
+          return eds::Status::InvalidArgument(
+              "INVERT_FAHRENHEIT expects (k, out)");
+        }
+        auto k = eds::term::ApplySubstitution(args[0], *env);
+        EDS_RETURN_IF_ERROR(k.status());
+        auto v = eds::rewrite::TryEvalToValue(*k, ctx);
+        if (!v.has_value() || !v->is_numeric()) {
+          return eds::Status::InvalidArgument("threshold not constant");
+        }
+        env->SetVar(args[1]->var_name(),
+                    Term::Real((v->AsReal() - 32.0) * 5.0 / 9.0));
+        return eds::Status::OK();
+      });
+
+  // 3. New rules in the rule language, organized in blocks (§4.2). The
+  //    domain rule runs before the stock merging rules.
+  std::string source = std::string(R"(
+    fahrenheit_gt :
+      FAHRENHEIT(x) > k / ISA(k, CONSTANT)
+      --> x > c / INVERT_FAHRENHEIT(k, c) ;
+    fahrenheit_lt :
+      FAHRENHEIT(x) < k / ISA(k, CONSTANT)
+      --> x < c / INVERT_FAHRENHEIT(k, c) ;
+  )") + eds::rules::MergingRuleSource() +
+                       R"(
+    block(domain, {fahrenheit_gt, fahrenheit_lt}, inf) ;
+    block(merge, {search_merge, union_merge, union_collapse}, inf) ;
+    seq({domain, merge}, 1) ;
+  )";
+  auto program = eds::ruledsl::CompileRuleSource(source, registry);
+  if (!program.ok()) {
+    std::cerr << "rule compilation failed: " << program.status() << "\n";
+    return 1;
+  }
+  eds::rewrite::Engine engine(&catalog, &registry, std::move(*program));
+
+  // 4. Rewrite a plan that filters on the converted value.
+  auto plan = eds::term::ParseTerm(
+      "SEARCH(LIST(SEARCH(LIST(RELATION('SENSORS')), ($1.1 > 0), "
+      "LIST($1.1, $1.2))), (FAHRENHEIT($1.2) > 86.0), LIST($1.1))");
+  if (!plan.ok()) {
+    std::cerr << "parse failed: " << plan.status() << "\n";
+    return 1;
+  }
+  eds::rewrite::RewriteOptions options;
+  options.collect_trace = true;
+  auto out = engine.Rewrite(*plan, options);
+  if (!out.ok()) {
+    std::cerr << "rewrite failed: " << out.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "before:\n"
+            << eds::lera::FormatPlan(*plan) << "\nafter:\n"
+            << eds::lera::FormatPlan(out->term) << "\ntrace:\n";
+  for (const auto& entry : out->trace) {
+    std::cout << "  [" << entry.block << "/" << entry.rule << "] "
+              << entry.before->ToString() << "\n      --> "
+              << entry.after->ToString() << "\n";
+  }
+  return 0;
+}

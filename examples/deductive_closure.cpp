@@ -1,0 +1,80 @@
+// Deductive capabilities (Fig. 5 and §5.3): a recursive view, the fixpoint
+// operator, and the Alexander/Magic-Sets rewrite that focuses the
+// recursion on the query constant.
+//
+//   $ ./build/examples/deductive_closure
+#include <iostream>
+
+#include "exec/session.h"
+#include "lera/printer.h"
+
+int main() {
+  using eds::value::Value;
+  eds::exec::Session session;
+
+  // A tournament graph: players beat each other along a chain with a few
+  // upsets, and BETTER_THAN is its transitive closure (Fig. 5's view over
+  // ids so the selection constant can seed the magic set).
+  eds::Status status = session.ExecuteScript(R"(
+    CREATE TABLE BEATS (Winner : INT, Loser : INT);
+    CREATE VIEW BETTER_THAN (W, L) AS (
+      SELECT Winner, Loser FROM BEATS
+      UNION
+      SELECT B1.W, B2.L FROM BETTER_THAN B1, BETTER_THAN B2
+      WHERE B1.L = B2.W );
+  )");
+  if (!status.ok()) {
+    std::cerr << "setup failed: " << status << "\n";
+    return 1;
+  }
+  const int kPlayers = 60;
+  for (int i = 1; i < kPlayers; ++i) {
+    (void)session.InsertRow("BEATS", {Value::Int(i), Value::Int(i + 1)});
+    if (i % 7 == 0) {  // a few upsets create extra paths
+      (void)session.InsertRow("BEATS", {Value::Int(i + 1), Value::Int(i - 1)});
+    }
+  }
+
+  const char* query = "SELECT W FROM BETTER_THAN WHERE L = 60";
+
+  // Without the rewriter: the whole closure is computed, then filtered.
+  eds::exec::QueryOptions no_rewrite;
+  no_rewrite.rewrite = false;
+  auto raw = session.Query(query, no_rewrite);
+  if (!raw.ok()) {
+    std::cerr << "raw failed: " << raw.status() << "\n";
+    return 1;
+  }
+
+  // With the rewriter: Fig. 9's rule detects the bound column and invokes
+  // the Alexander method; only the cone of player 60 is computed.
+  auto focused = session.Query(query);
+  if (!focused.ok()) {
+    std::cerr << "focused failed: " << focused.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "players dominating #60: " << focused->rows.size()
+            << " (same as unfocused: " << raw->rows.size() << ")\n\n"
+            << "unfocused fixpoint work: " << raw->exec_stats.fix_tuples
+            << " tuples in " << raw->exec_stats.fix_iterations
+            << " rounds\n"
+            << "focused fixpoint work:   " << focused->exec_stats.fix_tuples
+            << " tuples in " << focused->exec_stats.fix_iterations
+            << " rounds\n\n"
+            << "focused plan (note FIX BETTER_THAN#M, the magic "
+               "fixpoint):\n"
+            << eds::lera::FormatPlan(focused->optimized_plan);
+
+  // Semi-naive vs naive iteration as an executor-level ablation.
+  eds::exec::QueryOptions naive;
+  naive.exec_options.seminaive = false;
+  auto naive_result = session.Query(query, naive);
+  if (naive_result.ok()) {
+    std::cout << "\nnaive iteration qualification probes:     "
+              << naive_result->exec_stats.qual_evaluations
+              << "\nsemi-naive iteration qualification probes: "
+              << focused->exec_stats.qual_evaluations << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,219 @@
+// An interactive ESQL shell over the library: type DDL / INSERT / SELECT
+// statements terminated by ';', inspect plans and rewrite traces.
+//
+//   $ ./build/examples/eds_shell            # interactive
+//   $ ./build/examples/eds_shell script.sql # run a script, then interact
+//
+// Meta commands (no ';'):
+//   \q                quit
+//   \tables           list tables and views
+//   \schema NAME      show a relation's columns
+//   \plan SELECT ...  show raw + optimized plans without executing
+//   \trace SELECT ... show the rewrite trace (rule by rule)
+//   \rules            show the generated optimizer's blocks
+//   \norewrite        toggle the rewriter on/off for subsequent queries
+//   \constraint NAME <rule text> ;   declare an integrity constraint
+#include <unistd.h>
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/strings.h"
+#include "exec/session.h"
+#include "lera/printer.h"
+
+namespace {
+
+class Shell {
+ public:
+  // Returns false on \q.
+  bool HandleLine(const std::string& line) {
+    if (eds::Trim(line).empty()) return true;
+    if (line[0] == '\\') return HandleMeta(std::string(eds::Trim(line)));
+    buffer_ += line;
+    buffer_ += '\n';
+    // Execute once the buffer holds a ';' terminated statement.
+    if (line.find(';') != std::string::npos) {
+      RunStatement(buffer_);
+      buffer_.clear();
+    }
+    return true;
+  }
+
+  bool pending() const { return !buffer_.empty(); }
+
+ private:
+  bool HandleMeta(const std::string& line) {
+    if (line == "\\q" || line == "\\quit") return false;
+    if (line == "\\tables") {
+      for (const auto& name : session_.catalog().TableNames()) {
+        std::cout << "table " << name << "\n";
+      }
+      for (const auto& name : session_.catalog().ViewNames()) {
+        std::cout << "view  " << name << "\n";
+      }
+      return true;
+    }
+    if (eds::StartsWith(line, "\\schema ")) {
+      std::string name(eds::Trim(line.substr(8)));
+      auto schema = session_.catalog().RelationSchema(name);
+      if (!schema.ok()) {
+        std::cout << schema.status() << "\n";
+        return true;
+      }
+      for (const auto& field : *schema) {
+        std::cout << "  " << field.name << " : " << field.type->ToString()
+                  << "\n";
+      }
+      return true;
+    }
+    if (eds::StartsWith(line, "\\plan ")) {
+      ShowPlan(line.substr(6), /*trace=*/false);
+      return true;
+    }
+    if (eds::StartsWith(line, "\\trace ")) {
+      ShowPlan(line.substr(7), /*trace=*/true);
+      return true;
+    }
+    if (line == "\\rules") {
+      auto optimizer = session_.optimizer();
+      if (!optimizer.ok()) {
+        std::cout << optimizer.status() << "\n";
+        return true;
+      }
+      for (const auto& block : (*optimizer)->engine().program().blocks) {
+        std::cout << "block " << block.name << " (limit "
+                  << (block.limit < 0 ? std::string("inf")
+                                      : std::to_string(block.limit))
+                  << ")\n";
+        for (const auto& rule : block.rules) {
+          std::cout << "  " << rule.name << "\n";
+        }
+      }
+      return true;
+    }
+    if (line == "\\norewrite") {
+      rewrite_ = !rewrite_;
+      std::cout << "rewriting " << (rewrite_ ? "on" : "off") << "\n";
+      return true;
+    }
+    if (eds::StartsWith(line, "\\constraint ")) {
+      // \constraint name rule-text... ;
+      std::string rest(eds::Trim(line.substr(12)));
+      size_t space = rest.find(' ');
+      if (space == std::string::npos) {
+        std::cout << "usage: \\constraint NAME <rule> ;\n";
+        return true;
+      }
+      std::string name = rest.substr(0, space);
+      eds::Status status =
+          session_.AddConstraint(name, rest.substr(space + 1));
+      std::cout << (status.ok() ? "constraint added" : status.ToString())
+                << "\n";
+      return true;
+    }
+    std::cout << "unknown command: " << line << "\n";
+    return true;
+  }
+
+  void ShowPlan(const std::string& query, bool trace) {
+    auto raw = session_.Translate(query);
+    if (!raw.ok()) {
+      std::cout << raw.status() << "\n";
+      return;
+    }
+    std::cout << "raw plan:\n" << eds::lera::FormatPlan(*raw);
+    eds::rewrite::RewriteOptions options;
+    options.collect_trace = trace;
+    auto out = session_.Rewrite(*raw, options);
+    if (!out.ok()) {
+      std::cout << out.status() << "\n";
+      return;
+    }
+    if (trace) {
+      std::cout << "trace (" << out->trace.size() << " applications):\n";
+      for (const auto& entry : out->trace) {
+        std::cout << "  [" << entry.block << "/" << entry.rule << "]\n"
+                  << "    " << entry.before->ToString() << "\n    --> "
+                  << entry.after->ToString() << "\n";
+      }
+    }
+    std::cout << "optimized plan (" << out->stats.applications
+              << " rule applications, " << out->stats.condition_checks
+              << " condition checks):\n"
+              << eds::lera::FormatPlan(out->term);
+  }
+
+  void RunStatement(const std::string& text) {
+    std::string trimmed(eds::Trim(text));
+    // SELECTs go through Query for results; everything else is a script.
+    bool is_select = trimmed.size() >= 6 &&
+                     eds::EqualsIgnoreCase(trimmed.substr(0, 6), "SELECT");
+    if (!is_select) {
+      eds::Status status = session_.ExecuteScript(text);
+      std::cout << (status.ok() ? "ok" : status.ToString()) << "\n";
+      return;
+    }
+    eds::exec::QueryOptions options;
+    options.rewrite = rewrite_;
+    auto result = session_.Query(trimmed, options);
+    if (!result.ok()) {
+      std::cout << result.status() << "\n";
+      return;
+    }
+    // Header.
+    for (size_t i = 0; i < result->columns.size(); ++i) {
+      std::cout << (i > 0 ? " | " : "") << result->columns[i];
+    }
+    std::cout << "\n";
+    for (const auto& row : result->rows) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        std::cout << (i > 0 ? " | " : "") << row[i];
+      }
+      std::cout << "\n";
+    }
+    std::cout << "(" << result->rows.size() << " rows; "
+              << result->rewrite_stats.applications << " rewrites, "
+              << result->exec_stats.rows_scanned << " rows scanned)\n";
+  }
+
+  eds::exec::Session session_;
+  std::string buffer_;
+  bool rewrite_ = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    std::string line;
+    while (std::getline(file, line)) {
+      if (!shell.HandleLine(line)) return 0;
+    }
+  }
+  if (!isatty(0)) {
+    // Piped input: process and exit.
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!shell.HandleLine(line)) return 0;
+    }
+    return 0;
+  }
+  std::cout << "eds shell — ESQL statements end with ';', \\q quits, "
+               "\\plan/\\trace inspect the rewriter.\n";
+  std::string line;
+  while (true) {
+    std::cout << (shell.pending() ? "   ... " : "esql> ") << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    if (!shell.HandleLine(line)) break;
+  }
+  return 0;
+}

@@ -1,0 +1,135 @@
+// The paper's running example end to end: the Fig. 2 film schema with
+// objects and collections, the Fig. 3 query, the Fig. 4 nested view with
+// an ALL quantifier, and the §6.1 integrity-constraint inconsistency.
+//
+//   $ ./build/examples/film_database
+#include <iostream>
+
+#include "exec/session.h"
+#include "lera/printer.h"
+
+namespace {
+
+void PrintResult(const char* label, const eds::exec::QueryResult& result) {
+  std::cout << "== " << label << " ==\n";
+  for (const auto& row : result.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::cout << (i > 0 ? " | " : "  ") << row[i];
+    }
+    std::cout << "\n";
+  }
+  std::cout << "  (" << result.rows.size() << " rows, "
+            << result.rewrite_stats.applications
+            << " rewrite rule applications)\n\n";
+}
+
+}  // namespace
+
+int main() {
+  using eds::value::Value;
+  eds::exec::Session session;
+
+  // Fig. 2's type and relation definitions (Title simplified to CHAR).
+  eds::Status status = session.ExecuteScript(R"(
+    TYPE Category ENUMERATION OF ('Comedy', 'Adventure', 'Science Fiction',
+                                  'Western');
+    TYPE Point TUPLE (ABS : REAL, ORD : REAL);
+    TYPE Person OBJECT TUPLE (Name : CHAR, Firstname : SET OF CHAR,
+                              Caricature : LIST OF Point);
+    TYPE Actor SUBTYPE OF Person OBJECT TUPLE (Salary : NUMERIC)
+      FUNCTION IncreaseSalary(This Actor, Val NUMERIC);
+    TYPE Text CHAR;
+    TYPE SetCategory SET OF Category;
+    TABLE FILM (Numf : NUMERIC, Title : Text, Categories : SetCategory);
+    TABLE APPEARS_IN (Numf : NUMERIC, Refactor : Actor);
+  )");
+  if (!status.ok()) {
+    std::cerr << "schema failed: " << status << "\n";
+    return 1;
+  }
+
+  // Objects with identity live on the heap; rows reference them.
+  auto quinn = session.NewObject("Actor", {{"Name", Value::String("Quinn")},
+                                           {"Salary", Value::Int(12000)}});
+  auto bob = session.NewObject("Actor", {{"Name", Value::String("Bob")},
+                                         {"Salary", Value::Int(9000)}});
+  auto eva = session.NewObject("Actor", {{"Name", Value::String("Eva")},
+                                         {"Salary", Value::Int(15000)}});
+  if (!quinn.ok() || !bob.ok() || !eva.ok()) {
+    std::cerr << "object creation failed\n";
+    return 1;
+  }
+  (void)session.ExecuteScript(R"(
+    INSERT INTO FILM VALUES
+      (1, 'Zorba', MakeSet('Adventure')),
+      (2, 'Comedy Night', MakeSet('Comedy')),
+      (3, 'Space Saga', MakeSet('Science Fiction', 'Adventure'));
+  )");
+  (void)session.InsertRow("APPEARS_IN", {Value::Int(1), *quinn});
+  (void)session.InsertRow("APPEARS_IN", {Value::Int(1), *eva});
+  (void)session.InsertRow("APPEARS_IN", {Value::Int(2), *bob});
+  (void)session.InsertRow("APPEARS_IN", {Value::Int(3), *eva});
+
+  // Fig. 3: attribute-as-function over object references.
+  auto fig3 = session.Query(R"(
+    SELECT Title, Categories, Salary(Refactor)
+    FROM FILM, APPEARS_IN
+    WHERE FILM.Numf = APPEARS_IN.Numf AND Name(Refactor) = 'Quinn'
+      AND MEMBER('Adventure', Categories))");
+  if (!fig3.ok()) {
+    std::cerr << "fig3 failed: " << fig3.status() << "\n";
+    return 1;
+  }
+  PrintResult("Fig. 3: Quinn's adventure films", *fig3);
+  std::cout << "optimized plan:\n"
+            << eds::lera::FormatPlan(fig3->optimized_plan) << "\n";
+
+  // Fig. 4: the nested view and the ALL quantifier.
+  status = session.ExecuteScript(R"(
+    CREATE VIEW FilmActors (Title, Categories, Actors) AS
+      SELECT Title, Categories, MakeSet(Refactor)
+      FROM FILM, APPEARS_IN
+      WHERE FILM.Numf = APPEARS_IN.Numf
+      GROUP BY Title, Categories;
+  )");
+  if (!status.ok()) {
+    std::cerr << "view failed: " << status << "\n";
+    return 1;
+  }
+  auto fig4 = session.Query(
+      "SELECT Title FROM FilmActors WHERE MEMBER('Adventure', Categories) "
+      "AND ALL(Salary(Actors) > 10000)");
+  if (!fig4.ok()) {
+    std::cerr << "fig4 failed: " << fig4.status() << "\n";
+    return 1;
+  }
+  PrintResult("Fig. 4: adventure films where every actor earns > 10000",
+              *fig4);
+
+  // §6.1: declare the Category domain constraint; an impossible membership
+  // folds the whole qualification to FALSE before touching any data.
+  status = session.AddConstraint("category_domain", R"(
+    ic_category_domain :
+      MEMBER(x, c) / ISA(c, SetCategory)
+      --> MEMBER(x, c) AND MEMBER(x, SET('Comedy', 'Adventure',
+                                         'Science Fiction', 'Western')) / ;
+  )");
+  if (!status.ok()) {
+    std::cerr << "constraint failed: " << status << "\n";
+    return 1;
+  }
+  auto cartoon = session.Query(
+      "SELECT Title FROM FILM WHERE MEMBER('Cartoon', Categories)");
+  if (!cartoon.ok()) {
+    std::cerr << "cartoon query failed: " << cartoon.status() << "\n";
+    return 1;
+  }
+  PrintResult("§6.1: MEMBER('Cartoon', Categories) is inconsistent",
+              *cartoon);
+  std::cout << "plan after semantic rewriting (note the FALSE "
+               "qualification):\n"
+            << eds::lera::FormatPlan(cartoon->optimized_plan)
+            << "rows scanned during execution: "
+            << cartoon->exec_stats.rows_scanned << "\n";
+  return 0;
+}

@@ -1,0 +1,127 @@
+#include "catalog/catalog.h"
+
+#include "common/strings.h"
+
+namespace eds::catalog {
+
+const types::Field* TableDef::FindColumn(const std::string& col_name) const {
+  for (const types::Field& f : columns) {
+    if (EqualsIgnoreCase(f.name, col_name)) return &f;
+  }
+  return nullptr;
+}
+
+int TableDef::ColumnIndex(const std::string& col_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (EqualsIgnoreCase(columns[i].name, col_name)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Catalog::Catalog() {
+  value::FunctionLibrary::InstallBuiltins(&functions_);
+}
+
+Status Catalog::CreateTable(TableDef def) {
+  std::string key = ToUpperAscii(def.name);
+  if (tables_.count(key) > 0 || views_.count(key) > 0) {
+    return Status::AlreadyExists("relation '" + def.name +
+                                 "' already exists");
+  }
+  relation_order_.push_back(def.name);
+  tables_.emplace(std::move(key), std::move(def));
+  return Status::OK();
+}
+
+Result<const TableDef*> Catalog::FindTable(const std::string& name) const {
+  auto it = tables_.find(ToUpperAscii(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("unknown table '" + name + "'");
+  }
+  return &it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(ToUpperAscii(name)) > 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [key, def] : tables_) out.push_back(def.name);
+  return out;
+}
+
+Status Catalog::CreateView(ViewDef def) {
+  std::string key = ToUpperAscii(def.name);
+  if (tables_.count(key) > 0 || views_.count(key) > 0) {
+    return Status::AlreadyExists("relation '" + def.name +
+                                 "' already exists");
+  }
+  relation_order_.push_back(def.name);
+  views_.emplace(std::move(key), std::move(def));
+  return Status::OK();
+}
+
+Result<const ViewDef*> Catalog::FindView(const std::string& name) const {
+  auto it = views_.find(ToUpperAscii(name));
+  if (it == views_.end()) {
+    return Status::NotFound("unknown view '" + name + "'");
+  }
+  return &it->second;
+}
+
+bool Catalog::HasView(const std::string& name) const {
+  return views_.count(ToUpperAscii(name)) > 0;
+}
+
+std::vector<std::string> Catalog::ViewNames() const {
+  std::vector<std::string> out;
+  out.reserve(views_.size());
+  for (const auto& [key, def] : views_) out.push_back(def.name);
+  return out;
+}
+
+Result<std::vector<types::Field>> Catalog::RelationSchema(
+    const std::string& name) const {
+  std::string key = ToUpperAscii(name);
+  if (auto it = tables_.find(key); it != tables_.end()) {
+    return it->second.columns;
+  }
+  if (auto it = views_.find(key); it != views_.end()) {
+    return it->second.columns;
+  }
+  return Status::NotFound("unknown relation '" + name + "'");
+}
+
+Status Catalog::AddConstraint(ConstraintDef def) {
+  for (const ConstraintDef& c : constraints_) {
+    if (EqualsIgnoreCase(c.name, def.name)) {
+      return Status::AlreadyExists("constraint '" + def.name +
+                                   "' already exists");
+    }
+  }
+  constraints_.push_back(std::move(def));
+  return Status::OK();
+}
+
+Status Catalog::DeclareFunction(FunctionSig sig) {
+  std::string key = ToUpperAscii(sig.name);
+  std::string display_name = sig.name;
+  auto [it, inserted] = function_sigs_.emplace(std::move(key), std::move(sig));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("function signature '" + display_name +
+                                 "' already declared");
+  }
+  return Status::OK();
+}
+
+const FunctionSig* Catalog::FindFunctionSig(const std::string& name) const {
+  auto it = function_sigs_.find(ToUpperAscii(name));
+  return it == function_sigs_.end() ? nullptr : &it->second;
+}
+
+}  // namespace eds::catalog

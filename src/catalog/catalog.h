@@ -1,0 +1,115 @@
+#ifndef EDS_CATALOG_CATALOG_H_
+#define EDS_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "term/term.h"
+#include "types/registry.h"
+#include "types/type.h"
+#include "value/collection_lib.h"
+
+namespace eds::catalog {
+
+// A stored relation: TABLE FILM (Numf : NUMERIC, Title : Text, ...).
+struct TableDef {
+  std::string name;
+  std::vector<types::Field> columns;
+
+  const types::Field* FindColumn(const std::string& col_name) const;
+  int ColumnIndex(const std::string& col_name) const;  // -1 if absent
+};
+
+// A view: its ESQL definition is analyzed once and stored as a LERA term so
+// query modification (the [Stonebraker76] step) is plain term substitution.
+// Recursive views carry is_recursive and their definition contains a FIX.
+struct ViewDef {
+  std::string name;
+  std::vector<types::Field> columns;
+  term::TermRef definition;  // LERA term producing the view's rows
+  bool is_recursive = false;
+  std::string source_text;   // original CREATE VIEW text, for schema dumps
+};
+
+// An integrity constraint, kept in the *rule language* as the paper
+// prescribes (§6.1): the DBA declares semantic knowledge with the same
+// formalism the optimizer uses. The text is compiled by the semantic rule
+// library when an optimizer is built.
+struct ConstraintDef {
+  std::string name;
+  std::string rule_text;
+};
+
+// Declared signature of an ADT function, used by the ESQL type checker for
+// user functions (builtin generic collection functions are typed
+// structurally in the analyzer).
+struct FunctionSig {
+  std::string name;
+  std::vector<types::TypeRef> params;
+  types::TypeRef result;
+};
+
+// The schema catalog: named types, tables, views, constraints and the ADT
+// function library. This is the "context" of a rule application — rules
+// consult it through the type oracle when checking ISA constraints.
+class Catalog {
+ public:
+  Catalog();
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  types::TypeRegistry& types() { return types_; }
+  const types::TypeRegistry& types() const { return types_; }
+
+  value::FunctionLibrary& functions() { return functions_; }
+  const value::FunctionLibrary& functions() const { return functions_; }
+
+  // ---- tables ----
+  Status CreateTable(TableDef def);
+  Result<const TableDef*> FindTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  // ---- views ----
+  Status CreateView(ViewDef def);
+  Result<const ViewDef*> FindView(const std::string& name) const;
+  bool HasView(const std::string& name) const;
+  std::vector<std::string> ViewNames() const;
+
+  // Either a table or a view: returns the column schema of `name`.
+  Result<std::vector<types::Field>> RelationSchema(
+      const std::string& name) const;
+
+  // Tables and views in declaration order (dependency-safe for dumps).
+  const std::vector<std::string>& RelationNamesInOrder() const {
+    return relation_order_;
+  }
+
+  // ---- integrity constraints ----
+  Status AddConstraint(ConstraintDef def);
+  const std::vector<ConstraintDef>& constraints() const { return constraints_; }
+
+  // ---- ADT function signatures ----
+  Status DeclareFunction(FunctionSig sig);
+  const FunctionSig* FindFunctionSig(const std::string& name) const;
+  const std::map<std::string, FunctionSig>& function_sigs() const {
+    return function_sigs_;
+  }
+
+ private:
+  types::TypeRegistry types_;
+  value::FunctionLibrary functions_;
+  std::map<std::string, TableDef> tables_;       // upper-cased keys
+  std::map<std::string, ViewDef> views_;         // upper-cased keys
+  std::vector<std::string> relation_order_;      // tables+views as declared
+  std::vector<ConstraintDef> constraints_;
+  std::map<std::string, FunctionSig> function_sigs_;
+};
+
+}  // namespace eds::catalog
+
+#endif  // EDS_CATALOG_CATALOG_H_

@@ -1,0 +1,77 @@
+#ifndef EDS_COMMON_RESULT_H_
+#define EDS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace eds {
+
+// Result<T> carries either a value or an error Status (never both), in the
+// style of arrow::Result. Construction from T or from a non-OK Status is
+// implicit so that `return value;` and `return Status::ParseError(...);`
+// both work inside a function returning Result<T>.
+template <typename T>
+class Result {
+ public:
+  // Implicit: allows `return some_t;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  // Implicit: allows `return Status::...;`. The status must be an error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result<T> built from OK status without a value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value or `alternative` if this holds an error.
+  T value_or(T alternative) const& {
+    return ok() ? *value_ : std::move(alternative);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+// Assigns the value of a Result-returning expression to `lhs`, propagating
+// errors. `lhs` may include a declaration: EDS_ASSIGN_OR_RETURN(auto x, F()).
+#define EDS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value();
+
+#define EDS_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define EDS_ASSIGN_OR_RETURN_CONCAT(x, y) EDS_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define EDS_ASSIGN_OR_RETURN(lhs, expr)                                       \
+  EDS_ASSIGN_OR_RETURN_IMPL(EDS_ASSIGN_OR_RETURN_CONCAT(_eds_res_, __LINE__), \
+                            lhs, expr)
+
+}  // namespace eds
+
+#endif  // EDS_COMMON_RESULT_H_

@@ -1,0 +1,94 @@
+#ifndef EDS_COMMON_STATUS_H_
+#define EDS_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace eds {
+
+// Error categories used across the library. Mirrors the coarse failure modes
+// of a query processor: what the user wrote (parse/type/plan errors), what the
+// engine hit at run time, and internal invariant violations.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kParseError,        // ESQL / rule-DSL / term text did not parse
+  kTypeError,         // type checking or ISA failure
+  kNotFound,          // catalog lookup miss (table, type, function, rule)
+  kAlreadyExists,     // duplicate catalog registration
+  kUnsupported,       // valid input outside the implemented subset
+  kRuntimeError,      // execution-time failure (e.g. bad function args)
+  kResourceExhausted, // budget / depth limits exceeded
+  kInternal,          // invariant violation: a bug in this library
+};
+
+// Returns a stable human-readable name such as "ParseError".
+const char* StatusCodeName(StatusCode code);
+
+// Value-semantic error carrier, in the style of arrow::Status / rocksdb's
+// Status. Functions that can fail return Status (or Result<T> below); there
+// are no exceptions crossing the public API.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status TypeError(std::string m) {
+    return Status(StatusCode::kTypeError, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status Unsupported(std::string m) {
+    return Status(StatusCode::kUnsupported, std::move(m));
+  }
+  static Status RuntimeError(std::string m) {
+    return Status(StatusCode::kRuntimeError, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "ParseError: unexpected token ')'".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+// Evaluates an expression returning Status and propagates failure.
+#define EDS_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::eds::Status _eds_status = (expr);            \
+    if (!_eds_status.ok()) return _eds_status;     \
+  } while (false)
+
+}  // namespace eds
+
+#endif  // EDS_COMMON_STATUS_H_

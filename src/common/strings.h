@@ -1,0 +1,33 @@
+#ifndef EDS_COMMON_STRINGS_H_
+#define EDS_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eds {
+
+// Joins `parts` with `sep` ("a", "b" -> "a, b" for sep ", ").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// ASCII-only case folding; ESQL keywords and function names are
+// case-insensitive, identifiers are folded to the declared case by the
+// catalog.
+std::string ToUpperAscii(std::string_view s);
+std::string ToLowerAscii(std::string_view s);
+
+// True if both strings are equal ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Splits on a single character, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace eds
+
+#endif  // EDS_COMMON_STRINGS_H_

@@ -1,0 +1,123 @@
+#include "esql/analyzer.h"
+
+namespace eds::esql {
+
+using types::Type;
+using types::TypeRef;
+
+Result<types::TypeRef> Analyzer::ResolveTypeExpr(const TypeExpr& t,
+                                                 const std::string& name_hint) {
+  switch (t.kind) {
+    case TypeExprKind::kNamed:
+      return catalog_->types().Find(t.name);
+    case TypeExprKind::kEnum: {
+      // Anonymous enums get the enclosing declaration's name.
+      return Type::MakeEnumeration(name_hint, t.enum_values);
+    }
+    case TypeExprKind::kTuple: {
+      std::vector<types::Field> fields;
+      for (const TypedName& f : t.fields) {
+        EDS_ASSIGN_OR_RETURN(TypeRef ft, ResolveTypeExpr(*f.type));
+        fields.push_back(types::Field{f.name, std::move(ft)});
+      }
+      return Type::MakeTuple(std::move(fields));
+    }
+    case TypeExprKind::kCollection: {
+      EDS_ASSIGN_OR_RETURN(TypeRef elem, ResolveTypeExpr(*t.element));
+      return Type::MakeCollection(t.collection_kind, std::move(elem));
+    }
+    case TypeExprKind::kObject: {
+      TypeRef supertype;
+      if (!t.supertype.empty()) {
+        EDS_ASSIGN_OR_RETURN(supertype, catalog_->types().Find(t.supertype));
+      }
+      std::vector<types::Field> fields;
+      for (const TypedName& f : t.fields) {
+        EDS_ASSIGN_OR_RETURN(TypeRef ft, ResolveTypeExpr(*f.type));
+        fields.push_back(types::Field{f.name, std::move(ft)});
+      }
+      return Type::MakeObject(name_hint, std::move(fields),
+                              std::move(supertype));
+    }
+  }
+  return Status::Internal("unreachable type expression kind");
+}
+
+Status Analyzer::ApplyCreateType(const Statement& stmt) {
+  switch (stmt.type->kind) {
+    case TypeExprKind::kEnum: {
+      EDS_RETURN_IF_ERROR(
+          catalog_->types()
+              .RegisterEnumeration(stmt.name, stmt.type->enum_values)
+              .status());
+      break;
+    }
+    case TypeExprKind::kObject: {
+      TypeRef supertype;
+      if (!stmt.type->supertype.empty()) {
+        EDS_ASSIGN_OR_RETURN(supertype,
+                             catalog_->types().Find(stmt.type->supertype));
+      }
+      std::vector<types::Field> fields;
+      for (const TypedName& f : stmt.type->fields) {
+        EDS_ASSIGN_OR_RETURN(TypeRef ft, ResolveTypeExpr(*f.type));
+        fields.push_back(types::Field{f.name, std::move(ft)});
+      }
+      EDS_RETURN_IF_ERROR(catalog_->types()
+                              .RegisterObject(stmt.name, std::move(fields),
+                                              supertype)
+                              .status());
+      break;
+    }
+    case TypeExprKind::kTuple: {
+      std::vector<types::Field> fields;
+      for (const TypedName& f : stmt.type->fields) {
+        EDS_ASSIGN_OR_RETURN(TypeRef ft, ResolveTypeExpr(*f.type));
+        fields.push_back(types::Field{f.name, std::move(ft)});
+      }
+      EDS_RETURN_IF_ERROR(
+          catalog_->types().RegisterTuple(stmt.name, std::move(fields))
+              .status());
+      break;
+    }
+    default: {
+      EDS_ASSIGN_OR_RETURN(TypeRef resolved,
+                           ResolveTypeExpr(*stmt.type, stmt.name));
+      EDS_RETURN_IF_ERROR(
+          catalog_->types().RegisterAlias(stmt.name, resolved).status());
+      break;
+    }
+  }
+  // FUNCTION declarations attach signatures to the ADT library.
+  for (const FunctionDecl& fn : stmt.functions) {
+    catalog::FunctionSig sig;
+    sig.name = fn.name;
+    for (const TypedName& p : fn.params) {
+      EDS_ASSIGN_OR_RETURN(TypeRef pt, ResolveTypeExpr(*p.type));
+      sig.params.push_back(std::move(pt));
+    }
+    if (fn.result != nullptr) {
+      EDS_ASSIGN_OR_RETURN(sig.result, ResolveTypeExpr(*fn.result));
+    } else if (!sig.params.empty()) {
+      // A mutator like IncreaseSalary(This Actor, Val NUMERIC) returns its
+      // receiver by convention.
+      sig.result = sig.params[0];
+    } else {
+      sig.result = catalog_->types().any_type();
+    }
+    EDS_RETURN_IF_ERROR(catalog_->DeclareFunction(std::move(sig)));
+  }
+  return Status::OK();
+}
+
+Status Analyzer::ApplyCreateTable(const Statement& stmt) {
+  catalog::TableDef def;
+  def.name = stmt.name;
+  for (const TypedName& col : stmt.columns) {
+    EDS_ASSIGN_OR_RETURN(TypeRef ct, ResolveTypeExpr(*col.type));
+    def.columns.push_back(types::Field{col.name, std::move(ct)});
+  }
+  return catalog_->CreateTable(std::move(def));
+}
+
+}  // namespace eds::esql

@@ -1,0 +1,35 @@
+#ifndef EDS_ESQL_ANALYZER_H_
+#define EDS_ESQL_ANALYZER_H_
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "esql/ast.h"
+
+namespace eds::esql {
+
+// DDL analysis: resolves type expressions against the catalog's type
+// registry and applies CREATE TYPE / CREATE TABLE statements. (CREATE VIEW
+// goes through the Translator, which must build the view's LERA
+// definition.)
+class Analyzer {
+ public:
+  explicit Analyzer(catalog::Catalog* cat) : catalog_(cat) {}
+
+  Result<types::TypeRef> ResolveTypeExpr(const TypeExpr& t,
+                                         const std::string& name_hint = "");
+
+  // Registers the named type (and any FUNCTION signatures) from a
+  // kCreateType statement.
+  Status ApplyCreateType(const Statement& stmt);
+
+  // Registers the table schema from a kCreateTable statement. Storage
+  // creation is the session's job.
+  Status ApplyCreateTable(const Statement& stmt);
+
+ private:
+  catalog::Catalog* catalog_;
+};
+
+}  // namespace eds::esql
+
+#endif  // EDS_ESQL_ANALYZER_H_

@@ -1,0 +1,74 @@
+#include "esql/ast.h"
+
+#include <sstream>
+
+namespace eds::esql {
+
+ExprPtr Expr::Literal(value::Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Column(std::string qualifier, std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->qualifier = std::move(qualifier);
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Call(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kCall;
+  e->name = std::move(name);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr Expr::Quantifier(bool universal, ExprPtr body) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kQuantifier;
+  e->universal = universal;
+  e->args.push_back(std::move(body));
+  return e;
+}
+
+ExprPtr Expr::Star() {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kStar;
+  return e;
+}
+
+std::string Expr::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case ExprKind::kLiteral:
+      os << literal;
+      break;
+    case ExprKind::kColumnRef:
+      if (!qualifier.empty()) os << qualifier << '.';
+      os << name;
+      break;
+    case ExprKind::kCall: {
+      os << name << '(';
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << args[i]->ToString();
+      }
+      os << ')';
+      break;
+    }
+    case ExprKind::kQuantifier:
+      os << (universal ? "ALL" : "EXIST") << '('
+         << (args.empty() ? "" : args[0]->ToString()) << ')';
+      break;
+    case ExprKind::kStar:
+      os << '*';
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace eds::esql

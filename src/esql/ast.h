@@ -1,0 +1,141 @@
+#ifndef EDS_ESQL_AST_H_
+#define EDS_ESQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "types/type.h"
+#include "value/value.h"
+
+namespace eds::esql {
+
+// ---- expressions ----
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+enum class ExprKind {
+  kLiteral,     // 10000, 'Quinn', TRUE
+  kColumnRef,   // Categories, FILM.Numf, B1.Refactor2
+  kCall,        // MEMBER(x, s), Salary(Refactor), MakeSet(e), x + y (name
+                // is the canonical functor: ADD, EQ, AND, ...)
+  kQuantifier,  // ALL(pred) / EXIST(pred)
+  kStar,        // SELECT *
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+  value::Value literal;
+  std::string qualifier;  // column ref: optional table/alias qualifier
+  std::string name;       // column name or function name
+  std::vector<ExprPtr> args;
+  bool universal = false;  // quantifier: true = ALL, false = EXIST
+
+  // Debug form, e.g. "MEMBER('Adventure', Categories)".
+  std::string ToString() const;
+
+  static ExprPtr Literal(value::Value v);
+  static ExprPtr Column(std::string qualifier, std::string name);
+  static ExprPtr Call(std::string name, std::vector<ExprPtr> args);
+  static ExprPtr Quantifier(bool universal, ExprPtr body);
+  static ExprPtr Star();
+};
+
+// ---- type expressions (CREATE TYPE / column types) ----
+
+struct TypeExpr;
+using TypeExprPtr = std::shared_ptr<TypeExpr>;
+
+enum class TypeExprKind {
+  kNamed,       // NUMERIC, Actor, Text
+  kEnum,        // ENUMERATION OF ('Comedy', ...)
+  kTuple,       // TUPLE (ABS : REAL, ORD : REAL)
+  kCollection,  // SET OF T, LIST OF T, BAG OF T, ARRAY OF T
+  kObject,      // [SUBTYPE OF S] OBJECT TUPLE (...)
+};
+
+struct TypedName {
+  std::string name;
+  TypeExprPtr type;
+};
+
+struct TypeExpr {
+  TypeExprKind kind = TypeExprKind::kNamed;
+  std::string name;                      // named reference
+  std::vector<std::string> enum_values;  // enum
+  std::vector<TypedName> fields;         // tuple / object
+  types::TypeKind collection_kind = types::TypeKind::kSet;
+  TypeExprPtr element;                   // collection
+  std::string supertype;                 // object, may be empty
+};
+
+// FUNCTION IncreaseSalary(This Actor, Val NUMERIC) [RETURNS T]
+struct FunctionDecl {
+  std::string name;
+  std::vector<TypedName> params;
+  TypeExprPtr result;  // null: defaults to the first parameter's type
+};
+
+// ---- queries ----
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // may be empty
+};
+
+struct TableRef {
+  std::string name;
+  std::string alias;  // may be empty; Fig. 5 uses BETTER_THAN B1, B2
+};
+
+struct SelectCore {
+  bool distinct = false;  // SELECT DISTINCT -> a DEDUP over the core
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;  // may be null
+  std::vector<ExprPtr> group_by;
+};
+
+// A query expression: one or more cores combined by UNION (recursive views
+// use the UNION form of Fig. 5).
+struct SelectStmt {
+  std::vector<SelectCore> cores;
+};
+
+// ---- statements ----
+
+enum class StatementKind {
+  kCreateType,
+  kCreateTable,
+  kCreateView,
+  kInsert,
+  kSelect,
+};
+
+struct Statement {
+  StatementKind kind = StatementKind::kSelect;
+
+  // The statement's original text (populated by ParseScript; used for
+  // schema dumps so views round-trip verbatim).
+  std::string source;
+
+  // CREATE TYPE
+  std::string name;  // also the table/view name for DDL, target for INSERT
+  TypeExprPtr type;
+  std::vector<FunctionDecl> functions;
+
+  // CREATE TABLE
+  std::vector<TypedName> columns;
+
+  // CREATE VIEW
+  std::vector<std::string> view_columns;  // optional explicit column names
+  std::shared_ptr<SelectStmt> select;     // view body / top-level query
+
+  // INSERT INTO name VALUES (...), (...)
+  std::vector<std::vector<ExprPtr>> insert_rows;
+};
+
+}  // namespace eds::esql
+
+#endif  // EDS_ESQL_AST_H_

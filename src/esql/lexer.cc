@@ -1,0 +1,138 @@
+#include "esql/lexer.h"
+
+#include <cctype>
+
+namespace eds::esql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<EsqlToken>> LexEsql(std::string_view text) {
+  std::vector<EsqlToken> out;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto push = [&out](TokenKind kind, size_t pos) -> EsqlToken& {
+    EsqlToken t;
+    t.kind = kind;
+    t.pos = pos;
+    out.push_back(std::move(t));
+    return out.back();
+  };
+  while (i < n) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // '--' line comment.
+    if (c == '-' && i + 1 < n && text[i + 1] == '-') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(text[j])) ++j;
+      EsqlToken& t = push(TokenKind::kIdent, start);
+      t.text = std::string(text.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) ++j;
+      bool real = false;
+      if (j < n && text[j] == '.' && j + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(text[j + 1]))) {
+        real = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) {
+          ++j;
+        }
+      }
+      std::string lexeme(text.substr(i, j - i));
+      if (real) {
+        push(TokenKind::kReal, start).real_value = std::stod(lexeme);
+      } else {
+        push(TokenKind::kInt, start).int_value = std::stoll(lexeme);
+      }
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '\'': {
+        std::string s;
+        size_t j = i + 1;
+        bool closed = false;
+        while (j < n) {
+          if (text[j] == '\'') {
+            if (j + 1 < n && text[j + 1] == '\'') {
+              s += '\'';
+              j += 2;
+            } else {
+              closed = true;
+              ++j;
+              break;
+            }
+          } else {
+            s += text[j++];
+          }
+        }
+        if (!closed) {
+          return Status::ParseError("unterminated string literal at offset " +
+                                    std::to_string(start));
+        }
+        push(TokenKind::kString, start).text = std::move(s);
+        i = j;
+        break;
+      }
+      case '(': push(TokenKind::kLParen, start); ++i; break;
+      case ')': push(TokenKind::kRParen, start); ++i; break;
+      case ',': push(TokenKind::kComma, start); ++i; break;
+      case ';': push(TokenKind::kSemicolon, start); ++i; break;
+      case '.': push(TokenKind::kDot, start); ++i; break;
+      case ':': push(TokenKind::kColon, start); ++i; break;
+      case '*': push(TokenKind::kStar, start); ++i; break;
+      case '+': push(TokenKind::kPlus, start); ++i; break;
+      case '-': push(TokenKind::kMinus, start); ++i; break;
+      case '/': push(TokenKind::kSlash, start); ++i; break;
+      case '=': push(TokenKind::kEq, start); ++i; break;
+      case '<':
+        if (i + 1 < n && text[i + 1] == '>') {
+          push(TokenKind::kNe, start);
+          i += 2;
+        } else if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenKind::kLe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenKind::kGe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, start);
+          ++i;
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+    }
+  }
+  push(TokenKind::kEnd, n);
+  return out;
+}
+
+}  // namespace eds::esql

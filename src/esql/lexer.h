@@ -1,0 +1,52 @@
+#ifndef EDS_ESQL_LEXER_H_
+#define EDS_ESQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace eds::esql {
+
+enum class TokenKind {
+  kEnd,
+  kIdent,     // identifiers and keywords (keywords resolved by the parser)
+  kInt,
+  kReal,
+  kString,    // 'Quinn' ('' escapes a quote)
+  kLParen,
+  kRParen,
+  kComma,
+  kSemicolon,
+  kDot,
+  kColon,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kEq,
+  kNe,        // <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+struct EsqlToken {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double real_value = 0;
+  size_t pos = 0;
+};
+
+// Tokenizes ESQL text. '--' starts a line comment. Numbers with underscores
+// or embedded spaces are NOT supported (Fig. 4's "10 0OO" is OCR noise);
+// write 10000.
+Result<std::vector<EsqlToken>> LexEsql(std::string_view text);
+
+}  // namespace eds::esql
+
+#endif  // EDS_ESQL_LEXER_H_

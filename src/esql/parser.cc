@@ -1,0 +1,570 @@
+#include "esql/parser.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "esql/lexer.h"
+
+namespace eds::esql {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::vector<EsqlToken>* tokens, std::string_view text)
+      : tokens_(tokens), text_(text) {}
+
+  Result<std::vector<Statement>> ParseScript() {
+    std::vector<Statement> out;
+    while (!AtEnd()) {
+      if (Peek().kind == TokenKind::kSemicolon) {
+        Advance();
+        continue;
+      }
+      size_t start = Peek().pos;
+      EDS_ASSIGN_OR_RETURN(Statement s, ParseOneStatement());
+      size_t end = std::min(Peek().pos, text_.size());
+      s.source = std::string(Trim(text_.substr(start, end - start)));
+      out.push_back(std::move(s));
+    }
+    return out;
+  }
+
+  Result<Statement> ParseOneStatement() {
+    if (IsKeyword("CREATE")) Advance();
+    if (IsKeyword("TYPE")) return ParseCreateType();
+    if (IsKeyword("TABLE")) return ParseCreateTable();
+    if (IsKeyword("VIEW")) return ParseCreateView();
+    if (IsKeyword("INSERT")) return ParseInsert();
+    if (IsKeyword("SELECT")) {
+      Statement s;
+      s.kind = StatementKind::kSelect;
+      EDS_ASSIGN_OR_RETURN(SelectStmt sel, ParseSelect());
+      s.select = std::make_shared<SelectStmt>(std::move(sel));
+      EndStatement();
+      return s;
+    }
+    return Error("expected TYPE, TABLE, VIEW, INSERT or SELECT");
+  }
+
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+ private:
+  const EsqlToken& Peek(size_t ahead = 0) const {
+    static const EsqlToken kEnd;
+    return pos_ + ahead < tokens_->size() ? (*tokens_)[pos_ + ahead] : kEnd;
+  }
+  void Advance() { ++pos_; }
+
+  bool IsKeyword(const char* kw, size_t ahead = 0) const {
+    return Peek(ahead).kind == TokenKind::kIdent &&
+           EqualsIgnoreCase(Peek(ahead).text, kw);
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError("at offset " + std::to_string(Peek().pos) +
+                              ": " + message);
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (Peek().kind != kind) return Error(std::string("expected ") + what);
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!IsKeyword(kw)) return Error(std::string("expected ") + kw);
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent(const char* what) {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error(std::string("expected ") + what);
+    }
+    std::string name = Peek().text;
+    Advance();
+    return name;
+  }
+
+  // Consumes an optional trailing ';'.
+  void EndStatement() {
+    if (Peek().kind == TokenKind::kSemicolon) Advance();
+  }
+
+  // ---- DDL ----
+
+  Result<Statement> ParseCreateType() {
+    Advance();  // TYPE
+    Statement s;
+    s.kind = StatementKind::kCreateType;
+    EDS_ASSIGN_OR_RETURN(s.name, ExpectIdent("type name"));
+    EDS_ASSIGN_OR_RETURN(s.type, ParseTypeExpr());
+    while (IsKeyword("FUNCTION")) {
+      Advance();
+      FunctionDecl fn;
+      EDS_ASSIGN_OR_RETURN(fn.name, ExpectIdent("function name"));
+      EDS_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+      if (Peek().kind != TokenKind::kRParen) {
+        while (true) {
+          TypedName p;
+          EDS_ASSIGN_OR_RETURN(p.name, ExpectIdent("parameter name"));
+          EDS_ASSIGN_OR_RETURN(p.type, ParseTypeExpr());
+          fn.params.push_back(std::move(p));
+          if (Peek().kind == TokenKind::kComma) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+      }
+      EDS_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      if (IsKeyword("RETURNS")) {
+        Advance();
+        EDS_ASSIGN_OR_RETURN(fn.result, ParseTypeExpr());
+      }
+      s.functions.push_back(std::move(fn));
+    }
+    EndStatement();
+    return s;
+  }
+
+  Result<TypeExprPtr> ParseTypeExpr() {
+    auto t = std::make_shared<TypeExpr>();
+    if (IsKeyword("ENUMERATION")) {
+      Advance();
+      EDS_RETURN_IF_ERROR(ExpectKeyword("OF"));
+      EDS_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+      t->kind = TypeExprKind::kEnum;
+      while (true) {
+        if (Peek().kind != TokenKind::kString) {
+          return Error("expected a string literal in ENUMERATION");
+        }
+        t->enum_values.push_back(Peek().text);
+        Advance();
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      EDS_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      return t;
+    }
+    std::string supertype;
+    if (IsKeyword("SUBTYPE")) {
+      Advance();
+      EDS_RETURN_IF_ERROR(ExpectKeyword("OF"));
+      EDS_ASSIGN_OR_RETURN(supertype, ExpectIdent("supertype name"));
+    }
+    bool is_object = false;
+    if (IsKeyword("OBJECT")) {
+      Advance();
+      is_object = true;
+    }
+    if (IsKeyword("TUPLE")) {
+      Advance();
+      t->kind = is_object ? TypeExprKind::kObject : TypeExprKind::kTuple;
+      t->supertype = std::move(supertype);
+      EDS_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+      while (true) {
+        TypedName f;
+        EDS_ASSIGN_OR_RETURN(f.name, ExpectIdent("attribute name"));
+        if (Peek().kind == TokenKind::kColon) Advance();
+        EDS_ASSIGN_OR_RETURN(f.type, ParseTypeExpr());
+        t->fields.push_back(std::move(f));
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      EDS_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      return t;
+    }
+    if (!supertype.empty() || is_object) {
+      return Error("SUBTYPE OF / OBJECT must be followed by TUPLE (...)");
+    }
+    if (IsKeyword("SET") || IsKeyword("LIST") || IsKeyword("BAG") ||
+        IsKeyword("ARRAY")) {
+      std::string kw = Peek().text;
+      // 'SET OF T' is a collection type; a bare 'SET' identifier would be a
+      // named reference — require OF.
+      if (IsKeyword("OF", 1)) {
+        Advance();  // kind
+        Advance();  // OF
+        t->kind = TypeExprKind::kCollection;
+        t->collection_kind = EqualsIgnoreCase(kw, "SET")  ? types::TypeKind::kSet
+                             : EqualsIgnoreCase(kw, "LIST")
+                                 ? types::TypeKind::kList
+                             : EqualsIgnoreCase(kw, "BAG")
+                                 ? types::TypeKind::kBag
+                                 : types::TypeKind::kArray;
+        EDS_ASSIGN_OR_RETURN(t->element, ParseTypeExpr());
+        return t;
+      }
+    }
+    t->kind = TypeExprKind::kNamed;
+    EDS_ASSIGN_OR_RETURN(t->name, ExpectIdent("type name"));
+    return t;
+  }
+
+  Result<Statement> ParseCreateTable() {
+    Advance();  // TABLE
+    Statement s;
+    s.kind = StatementKind::kCreateTable;
+    EDS_ASSIGN_OR_RETURN(s.name, ExpectIdent("table name"));
+    EDS_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    while (true) {
+      TypedName col;
+      EDS_ASSIGN_OR_RETURN(col.name, ExpectIdent("column name"));
+      if (Peek().kind == TokenKind::kColon) Advance();
+      EDS_ASSIGN_OR_RETURN(col.type, ParseTypeExpr());
+      s.columns.push_back(std::move(col));
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    EDS_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    EndStatement();
+    return s;
+  }
+
+  Result<Statement> ParseCreateView() {
+    Advance();  // VIEW
+    Statement s;
+    s.kind = StatementKind::kCreateView;
+    EDS_ASSIGN_OR_RETURN(s.name, ExpectIdent("view name"));
+    if (Peek().kind == TokenKind::kLParen) {
+      Advance();
+      while (true) {
+        EDS_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+        s.view_columns.push_back(std::move(col));
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      EDS_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    }
+    EDS_RETURN_IF_ERROR(ExpectKeyword("AS"));
+    bool parenthesized = false;
+    if (Peek().kind == TokenKind::kLParen) {
+      Advance();
+      parenthesized = true;
+    }
+    EDS_ASSIGN_OR_RETURN(SelectStmt sel, ParseSelect());
+    s.select = std::make_shared<SelectStmt>(std::move(sel));
+    if (parenthesized) {
+      EDS_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    }
+    EndStatement();
+    return s;
+  }
+
+  Result<Statement> ParseInsert() {
+    Advance();  // INSERT
+    EDS_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    Statement s;
+    s.kind = StatementKind::kInsert;
+    EDS_ASSIGN_OR_RETURN(s.name, ExpectIdent("table name"));
+    EDS_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    while (true) {
+      EDS_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+      std::vector<ExprPtr> row;
+      while (true) {
+        EDS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        row.push_back(std::move(e));
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      EDS_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      s.insert_rows.push_back(std::move(row));
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    EndStatement();
+    return s;
+  }
+
+  // ---- queries ----
+
+  Result<SelectStmt> ParseSelect() {
+    SelectStmt stmt;
+    while (true) {
+      EDS_ASSIGN_OR_RETURN(SelectCore core, ParseSelectCore());
+      stmt.cores.push_back(std::move(core));
+      if (IsKeyword("UNION")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return stmt;
+  }
+
+  Result<SelectCore> ParseSelectCore() {
+    EDS_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    SelectCore core;
+    if (IsKeyword("DISTINCT")) {
+      Advance();
+      core.distinct = true;
+    }
+    while (true) {
+      SelectItem item;
+      if (Peek().kind == TokenKind::kStar) {
+        Advance();
+        item.expr = Expr::Star();
+      } else {
+        EDS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (IsKeyword("AS")) {
+          Advance();
+          EDS_ASSIGN_OR_RETURN(item.alias, ExpectIdent("alias"));
+        }
+      }
+      core.items.push_back(std::move(item));
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    EDS_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    while (true) {
+      TableRef ref;
+      EDS_ASSIGN_OR_RETURN(ref.name, ExpectIdent("relation name"));
+      // Optional alias: a following identifier that is not a clause
+      // keyword.
+      if (Peek().kind == TokenKind::kIdent && !IsKeyword("WHERE") &&
+          !IsKeyword("GROUP") && !IsKeyword("UNION") && !IsKeyword("AS")) {
+        ref.alias = Peek().text;
+        Advance();
+      } else if (IsKeyword("AS")) {
+        Advance();
+        EDS_ASSIGN_OR_RETURN(ref.alias, ExpectIdent("alias"));
+      }
+      core.from.push_back(std::move(ref));
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (IsKeyword("WHERE")) {
+      Advance();
+      EDS_ASSIGN_OR_RETURN(core.where, ParseExpr());
+    }
+    if (IsKeyword("GROUP")) {
+      Advance();
+      EDS_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        EDS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        core.group_by.push_back(std::move(e));
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    return core;
+  }
+
+  // ---- expressions ----
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    EDS_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (IsKeyword("OR")) {
+      Advance();
+      EDS_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = Expr::Call("OR", {std::move(left), std::move(right)});
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    EDS_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (IsKeyword("AND")) {
+      Advance();
+      EDS_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = Expr::Call("AND", {std::move(left), std::move(right)});
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (IsKeyword("NOT")) {
+      Advance();
+      EDS_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+      return Expr::Call("NOT", {std::move(inner)});
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    EDS_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    const char* op = nullptr;
+    switch (Peek().kind) {
+      case TokenKind::kEq: op = "EQ"; break;
+      case TokenKind::kNe: op = "NE"; break;
+      case TokenKind::kLt: op = "LT"; break;
+      case TokenKind::kLe: op = "LE"; break;
+      case TokenKind::kGt: op = "GT"; break;
+      case TokenKind::kGe: op = "GE"; break;
+      default: return left;
+    }
+    Advance();
+    EDS_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+    return Expr::Call(op, {std::move(left), std::move(right)});
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    EDS_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (Peek().kind == TokenKind::kPlus ||
+           Peek().kind == TokenKind::kMinus) {
+      const char* op = Peek().kind == TokenKind::kPlus ? "ADD" : "SUB";
+      Advance();
+      EDS_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = Expr::Call(op, {std::move(left), std::move(right)});
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    EDS_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    while (Peek().kind == TokenKind::kStar ||
+           Peek().kind == TokenKind::kSlash) {
+      const char* op = Peek().kind == TokenKind::kStar ? "MUL" : "DIV";
+      Advance();
+      EDS_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = Expr::Call(op, {std::move(left), std::move(right)});
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Peek().kind == TokenKind::kMinus) {
+      Advance();
+      EDS_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+      if (inner->kind == ExprKind::kLiteral &&
+          inner->literal.kind() == value::ValueKind::kInt) {
+        return Expr::Literal(value::Value::Int(-inner->literal.AsInt()));
+      }
+      if (inner->kind == ExprKind::kLiteral &&
+          inner->literal.kind() == value::ValueKind::kReal) {
+        return Expr::Literal(value::Value::Real(-inner->literal.AsReal()));
+      }
+      return Expr::Call("NEG", {std::move(inner)});
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const EsqlToken& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInt: {
+        auto e = Expr::Literal(value::Value::Int(t.int_value));
+        Advance();
+        return e;
+      }
+      case TokenKind::kReal: {
+        auto e = Expr::Literal(value::Value::Real(t.real_value));
+        Advance();
+        return e;
+      }
+      case TokenKind::kString: {
+        auto e = Expr::Literal(value::Value::String(t.text));
+        Advance();
+        return e;
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        EDS_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        EDS_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        return inner;
+      }
+      case TokenKind::kIdent: {
+        std::string name = t.text;
+        if (EqualsIgnoreCase(name, "TRUE")) {
+          Advance();
+          return Expr::Literal(value::Value::Bool(true));
+        }
+        if (EqualsIgnoreCase(name, "FALSE")) {
+          Advance();
+          return Expr::Literal(value::Value::Bool(false));
+        }
+        if (EqualsIgnoreCase(name, "ALL") || EqualsIgnoreCase(name, "EXIST") ||
+            EqualsIgnoreCase(name, "EXISTS")) {
+          bool universal = EqualsIgnoreCase(name, "ALL");
+          Advance();
+          EDS_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+          EDS_ASSIGN_OR_RETURN(ExprPtr body, ParseExpr());
+          EDS_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+          return Expr::Quantifier(universal, std::move(body));
+        }
+        Advance();
+        if (Peek().kind == TokenKind::kLParen) {
+          Advance();
+          std::vector<ExprPtr> args;
+          if (Peek().kind != TokenKind::kRParen) {
+            while (true) {
+              EDS_ASSIGN_OR_RETURN(ExprPtr a, ParseExpr());
+              args.push_back(std::move(a));
+              if (Peek().kind == TokenKind::kComma) {
+                Advance();
+                continue;
+              }
+              break;
+            }
+          }
+          EDS_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+          return Expr::Call(std::move(name), std::move(args));
+        }
+        if (Peek().kind == TokenKind::kDot) {
+          Advance();
+          EDS_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+          return Expr::Column(std::move(name), std::move(col));
+        }
+        return Expr::Column("", std::move(name));
+      }
+      default:
+        return Error("expected an expression");
+    }
+  }
+
+  const std::vector<EsqlToken>* tokens_;
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<Statement>> ParseScript(std::string_view text) {
+  EDS_ASSIGN_OR_RETURN(std::vector<EsqlToken> tokens, LexEsql(text));
+  Parser parser(&tokens, text);
+  return parser.ParseScript();
+}
+
+Result<Statement> ParseStatement(std::string_view text) {
+  EDS_ASSIGN_OR_RETURN(std::vector<EsqlToken> tokens, LexEsql(text));
+  Parser parser(&tokens, text);
+  EDS_ASSIGN_OR_RETURN(std::vector<Statement> stmts, parser.ParseScript());
+  if (stmts.size() != 1) {
+    return Status::ParseError("expected exactly one statement, got " +
+                              std::to_string(stmts.size()));
+  }
+  return std::move(stmts[0]);
+}
+
+}  // namespace eds::esql

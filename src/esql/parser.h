@@ -1,0 +1,34 @@
+#ifndef EDS_ESQL_PARSER_H_
+#define EDS_ESQL_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "esql/ast.h"
+
+namespace eds::esql {
+
+// Parses a script of ';'-separated ESQL statements. Supported subset (the
+// constructs the paper's figures use, §2):
+//
+//   [CREATE] TYPE <name> ENUMERATION OF ('a', ...)
+//   [CREATE] TYPE <name> [SUBTYPE OF <super>] [OBJECT] TUPLE (f : T, ...)
+//            [FUNCTION <name>(<p> <T>, ...) [RETURNS T]]...
+//   [CREATE] TYPE <name> SET OF T | LIST OF T | BAG OF T | ARRAY OF T | T
+//   [CREATE] TABLE <name> (col : T, ...)        -- 'col T' also accepted
+//   CREATE VIEW <name> [(cols)] AS [(] SELECT ... [UNION SELECT ...] [)]
+//   INSERT INTO <name> VALUES (expr, ...) [, (expr, ...)]...
+//   SELECT items FROM t [alias], ... [WHERE pred] [GROUP BY exprs]
+//
+// Expressions: literals, [qualifier.]column, function calls (including
+// attribute-name-as-function and MakeSet), arithmetic, comparisons,
+// AND/OR/NOT, and the set quantifiers ALL(pred) / EXIST(pred).
+Result<std::vector<Statement>> ParseScript(std::string_view text);
+
+// Parses exactly one statement (trailing ';' optional).
+Result<Statement> ParseStatement(std::string_view text);
+
+}  // namespace eds::esql
+
+#endif  // EDS_ESQL_PARSER_H_

@@ -1,0 +1,378 @@
+#include "esql/translator.h"
+
+#include "common/strings.h"
+#include "lera/lera.h"
+
+namespace eds::esql {
+
+using term::Term;
+using term::TermList;
+using term::TermRef;
+using types::TypeKind;
+using types::TypeRef;
+
+namespace {
+
+bool IsCanonicalOperator(const std::string& upper) {
+  return upper == "EQ" || upper == "NE" || upper == "LT" || upper == "LE" ||
+         upper == "GT" || upper == "GE" || upper == "AND" || upper == "OR" ||
+         upper == "NOT" || upper == "ADD" || upper == "SUB" ||
+         upper == "MUL" || upper == "DIV" || upper == "NEG";
+}
+
+bool IsCollectCall(const ExprPtr& e) {
+  if (e->kind != ExprKind::kCall || e->args.size() != 1) return false;
+  return EqualsIgnoreCase(e->name, "MAKESET") ||
+         EqualsIgnoreCase(e->name, "MAKEBAG") ||
+         EqualsIgnoreCase(e->name, "MAKELIST");
+}
+
+}  // namespace
+
+std::string DeriveColumnName(const SelectItem& item, size_t position) {
+  if (!item.alias.empty()) return item.alias;
+  const Expr& e = *item.expr;
+  if (e.kind == ExprKind::kColumnRef) return e.name;
+  if (e.kind == ExprKind::kCall) {
+    if (IsCollectCall(item.expr) &&
+        e.args[0]->kind == ExprKind::kColumnRef) {
+      return e.args[0]->name + "S";  // MakeSet(Refactor) -> REFACTORS
+    }
+    return e.name;
+  }
+  return "C" + std::to_string(position + 1);
+}
+
+Result<std::vector<Translator::ScopeEntry>> Translator::BuildScope(
+    const SelectCore& core, const std::string& recursive_view,
+    const lera::Schema* recursive_schema) {
+  std::vector<ScopeEntry> scope;
+  for (const TableRef& ref : core.from) {
+    ScopeEntry entry;
+    entry.binding = ref.alias.empty() ? ref.name : ref.alias;
+    if (!recursive_view.empty() &&
+        EqualsIgnoreCase(ref.name, recursive_view)) {
+      // In-definition self-reference of a recursive view: stays symbolic so
+      // the FIX operator can bind it.
+      entry.input = lera::Relation(ref.name);
+      entry.schema = *recursive_schema;
+    } else if (catalog_->HasTable(ref.name)) {
+      EDS_ASSIGN_OR_RETURN(const catalog::TableDef* table,
+                           catalog_->FindTable(ref.name));
+      entry.input = lera::Relation(ref.name);
+      entry.schema = table->columns;
+    } else if (catalog_->HasView(ref.name)) {
+      // Query modification: the view reference is replaced by its stored
+      // LERA definition [Stonebraker76]; merging rules flatten the result.
+      EDS_ASSIGN_OR_RETURN(const catalog::ViewDef* view,
+                           catalog_->FindView(ref.name));
+      entry.input = view->definition;
+      entry.schema = view->columns;
+    } else {
+      return Status::NotFound("unknown relation '" + ref.name + "'");
+    }
+    scope.push_back(std::move(entry));
+  }
+  if (scope.empty()) {
+    return Status::InvalidArgument("FROM clause resolved to no relations");
+  }
+  return scope;
+}
+
+Result<types::TypeRef> Translator::TypeOf(
+    const term::TermRef& t, const std::vector<ScopeEntry>& scope,
+    const types::TypeRef& elem_type) {
+  std::vector<lera::Schema> schemas;
+  schemas.reserve(scope.size());
+  for (const ScopeEntry& e : scope) schemas.push_back(e.schema);
+  return lera::InferExprType(t, schemas, *catalog_, elem_type);
+}
+
+Result<term::TermRef> Translator::TranslateExpr(
+    const ExprPtr& expr, const std::vector<ScopeEntry>& scope,
+    QuantifierCapture* capture) {
+  switch (expr->kind) {
+    case ExprKind::kLiteral:
+      return Term::Constant(expr->literal);
+    case ExprKind::kStar:
+      return Status::InvalidArgument("'*' is only allowed as a select item");
+    case ExprKind::kColumnRef: {
+      int input = -1;
+      int column = -1;
+      for (size_t i = 0; i < scope.size(); ++i) {
+        if (!expr->qualifier.empty() &&
+            !EqualsIgnoreCase(scope[i].binding, expr->qualifier)) {
+          continue;
+        }
+        for (size_t j = 0; j < scope[i].schema.size(); ++j) {
+          if (EqualsIgnoreCase(scope[i].schema[j].name, expr->name)) {
+            if (input >= 0) {
+              return Status::TypeError("ambiguous column '" + expr->name +
+                                       "'");
+            }
+            input = static_cast<int>(i);
+            column = static_cast<int>(j);
+          }
+        }
+      }
+      if (input < 0) {
+        return Status::NotFound("unknown column '" +
+                                (expr->qualifier.empty()
+                                     ? expr->name
+                                     : expr->qualifier + "." + expr->name) +
+                                "'");
+      }
+      return Term::Attr(input + 1, column + 1);
+    }
+    case ExprKind::kQuantifier: {
+      QuantifierCapture inner;
+      inner.active = true;
+      EDS_ASSIGN_OR_RETURN(TermRef body,
+                           TranslateExpr(expr->args[0], scope, &inner));
+      if (inner.domain == nullptr) {
+        return Status::TypeError(
+            "quantifier body has no collection-valued subexpression to "
+            "range over: " +
+            expr->ToString());
+      }
+      return Term::Apply(expr->universal ? lera::kForAll : lera::kExists,
+                         {inner.domain, std::move(body)});
+    }
+    case ExprKind::kCall:
+      break;
+  }
+
+  const std::string upper = ToUpperAscii(expr->name);
+
+  // VALUE(e): explicit object dereference.
+  if (upper == "VALUE" && expr->args.size() == 1) {
+    EDS_ASSIGN_OR_RETURN(TermRef arg,
+                         TranslateExpr(expr->args[0], scope, capture));
+    return lera::ValueOf(std::move(arg));
+  }
+
+  // Canonical operators and the attribute-as-function / quantifier-capture
+  // cases need the translated arguments first.
+  TermList args;
+  args.reserve(expr->args.size());
+  for (const ExprPtr& a : expr->args) {
+    EDS_ASSIGN_OR_RETURN(TermRef t, TranslateExpr(a, scope, capture));
+    args.push_back(std::move(t));
+  }
+
+  if (IsCanonicalOperator(upper)) {
+    return Term::Apply(upper, std::move(args));
+  }
+
+  // Attribute name used as a function (§2.1, §3.3): Salary(Refactor)
+  // becomes FIELD(VALUE(Refactor), 'Salary') — the translator infers the
+  // generic functions and conversions.
+  if (args.size() == 1) {
+    TypeRef arg_type;
+    {
+      Result<TypeRef> r = TypeOf(args[0], scope,
+                                 capture != nullptr && capture->active
+                                     ? capture->elem_type
+                                     : nullptr);
+      if (r.ok()) arg_type = *r;
+    }
+    if (arg_type != nullptr) {
+      if (const types::Field* field = arg_type->FindField(expr->name)) {
+        (void)field;
+        if (arg_type->kind() == TypeKind::kObject) {
+          return lera::FieldAccess(lera::ValueOf(args[0]), expr->name);
+        }
+        return lera::FieldAccess(args[0], expr->name);
+      }
+      // Quantifier capture: F(collection) ranges F over the elements
+      // (Fig. 4's ALL(Salary(Actors) > 10000)).
+      if (capture != nullptr && capture->active &&
+          capture->domain == nullptr && arg_type->is_collection() &&
+          arg_type->element() != nullptr) {
+        const TypeRef& elem = arg_type->element();
+        if (const types::Field* f = elem->FindField(expr->name)) {
+          (void)f;
+          capture->domain = args[0];
+          capture->elem_type = elem;
+          TermRef elem_term = Term::Apply(lera::kElem, {});
+          if (elem->kind() == TypeKind::kObject) {
+            return lera::FieldAccess(lera::ValueOf(std::move(elem_term)),
+                                     expr->name);
+          }
+          return lera::FieldAccess(std::move(elem_term), expr->name);
+        }
+      }
+    }
+  }
+
+  if (catalog_->functions().Contains(expr->name) ||
+      catalog_->FindFunctionSig(expr->name) != nullptr) {
+    return Term::Apply(expr->name, std::move(args));
+  }
+  return Status::NotFound("unknown function or attribute '" + expr->name +
+                          "'");
+}
+
+Result<term::TermRef> Translator::TranslateCore(
+    const SelectCore& core, const std::string& recursive_view,
+    const lera::Schema* recursive_schema) {
+  EDS_ASSIGN_OR_RETURN(std::vector<ScopeEntry> scope,
+                       BuildScope(core, recursive_view, recursive_schema));
+  TermList inputs;
+  inputs.reserve(scope.size());
+  for (const ScopeEntry& e : scope) inputs.push_back(e.input);
+
+  TermRef qual = Term::True();
+  if (core.where != nullptr) {
+    EDS_ASSIGN_OR_RETURN(qual, TranslateExpr(core.where, scope, nullptr));
+  }
+
+  if (core.group_by.empty()) {
+    TermList projections;
+    for (const SelectItem& item : core.items) {
+      if (item.expr->kind == ExprKind::kStar) {
+        for (size_t i = 0; i < scope.size(); ++i) {
+          for (size_t j = 0; j < scope[i].schema.size(); ++j) {
+            projections.push_back(Term::Attr(static_cast<int64_t>(i + 1),
+                                             static_cast<int64_t>(j + 1)));
+          }
+        }
+        continue;
+      }
+      EDS_ASSIGN_OR_RETURN(TermRef p,
+                           TranslateExpr(item.expr, scope, nullptr));
+      projections.push_back(std::move(p));
+    }
+    TermRef core_term = lera::Search(std::move(inputs), std::move(qual),
+                                     std::move(projections));
+    return core.distinct ? lera::Dedup(std::move(core_term))
+                         : core_term;
+  }
+
+  // GROUP BY + MakeSet => SEARCH then NEST (Fig. 4). Restrictions of this
+  // subset: group columns come first in the select list and must match the
+  // GROUP BY expressions; exactly one MakeSet/MakeBag/MakeList item,
+  // placed last.
+  TermList group_terms;
+  for (const ExprPtr& g : core.group_by) {
+    EDS_ASSIGN_OR_RETURN(TermRef t, TranslateExpr(g, scope, nullptr));
+    group_terms.push_back(std::move(t));
+  }
+  size_t collect_index = core.items.size();
+  for (size_t i = 0; i < core.items.size(); ++i) {
+    if (IsCollectCall(core.items[i].expr)) {
+      if (collect_index != core.items.size()) {
+        return Status::Unsupported(
+            "at most one MakeSet/MakeBag/MakeList per grouped select");
+      }
+      collect_index = i;
+    }
+  }
+  if (collect_index != core.items.size() - 1) {
+    return Status::Unsupported(
+        "grouped select must end with one MakeSet/MakeBag/MakeList item");
+  }
+  if (core.items.size() - 1 != group_terms.size()) {
+    return Status::Unsupported(
+        "grouped select items must be the GROUP BY expressions followed by "
+        "the collected item");
+  }
+  TermList inner_projs;
+  for (size_t i = 0; i + 1 < core.items.size(); ++i) {
+    EDS_ASSIGN_OR_RETURN(TermRef t,
+                         TranslateExpr(core.items[i].expr, scope, nullptr));
+    if (!term::Equals(t, group_terms[i])) {
+      return Status::Unsupported(
+          "grouped select items must match the GROUP BY expressions in "
+          "order");
+    }
+    inner_projs.push_back(std::move(t));
+  }
+  EDS_ASSIGN_OR_RETURN(
+      TermRef collected,
+      TranslateExpr(core.items.back().expr->args[0], scope, nullptr));
+  inner_projs.push_back(std::move(collected));
+
+  TermRef inner = lera::Search(std::move(inputs), std::move(qual),
+                               std::move(inner_projs));
+  const int64_t nested_col = static_cast<int64_t>(core.items.size());
+  TermRef nested = lera::Nest(std::move(inner), {nested_col},
+                              DeriveColumnName(core.items.back(),
+                                               core.items.size() - 1));
+  return core.distinct ? lera::Dedup(std::move(nested)) : nested;
+}
+
+Result<term::TermRef> Translator::TranslateQuery(const SelectStmt& stmt) {
+  TermList branches;
+  for (const SelectCore& core : stmt.cores) {
+    EDS_ASSIGN_OR_RETURN(TermRef t, TranslateCore(core, "", nullptr));
+    branches.push_back(std::move(t));
+  }
+  if (branches.size() == 1) return branches[0];
+  return lera::UnionN(std::move(branches));
+}
+
+Result<catalog::ViewDef> Translator::BuildView(const Statement& stmt) {
+  if (stmt.select == nullptr || stmt.select->cores.empty()) {
+    return Status::InvalidArgument("view '" + stmt.name + "' has no body");
+  }
+  // Recursion: any core whose FROM mentions the view's own name.
+  std::vector<bool> recursive(stmt.select->cores.size(), false);
+  bool any_recursive = false;
+  for (size_t i = 0; i < stmt.select->cores.size(); ++i) {
+    for (const TableRef& ref : stmt.select->cores[i].from) {
+      if (EqualsIgnoreCase(ref.name, stmt.name)) {
+        recursive[i] = true;
+        any_recursive = true;
+      }
+    }
+  }
+
+  // Base branches first: they fix the view's schema.
+  TermList branches(stmt.select->cores.size());
+  lera::Schema schema;
+  bool have_schema = false;
+  for (size_t i = 0; i < stmt.select->cores.size(); ++i) {
+    if (recursive[i]) continue;
+    EDS_ASSIGN_OR_RETURN(branches[i],
+                         TranslateCore(stmt.select->cores[i], "", nullptr));
+    if (!have_schema) {
+      EDS_ASSIGN_OR_RETURN(schema, lera::InferSchema(branches[i], *catalog_));
+      have_schema = true;
+    }
+  }
+  if (!have_schema) {
+    return Status::InvalidArgument("recursive view '" + stmt.name +
+                                   "' has no non-recursive branch");
+  }
+  // Explicit column names override the inferred ones.
+  if (!stmt.view_columns.empty()) {
+    if (stmt.view_columns.size() != schema.size()) {
+      return Status::InvalidArgument(
+          "view '" + stmt.name + "' declares " +
+          std::to_string(stmt.view_columns.size()) + " columns but produces " +
+          std::to_string(schema.size()));
+    }
+    for (size_t i = 0; i < schema.size(); ++i) {
+      schema[i].name = stmt.view_columns[i];
+    }
+  }
+  for (size_t i = 0; i < stmt.select->cores.size(); ++i) {
+    if (!recursive[i]) continue;
+    EDS_ASSIGN_OR_RETURN(
+        branches[i],
+        TranslateCore(stmt.select->cores[i], stmt.name, &schema));
+  }
+
+  catalog::ViewDef def;
+  def.name = stmt.name;
+  def.columns = schema;
+  def.is_recursive = any_recursive;
+  TermRef body =
+      branches.size() == 1 ? branches[0] : lera::UnionN(std::move(branches));
+  def.definition = any_recursive ? lera::Fix(stmt.name, std::move(body))
+                                 : std::move(body);
+  return def;
+}
+
+}  // namespace eds::esql

@@ -1,0 +1,82 @@
+#ifndef EDS_ESQL_TRANSLATOR_H_
+#define EDS_ESQL_TRANSLATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "esql/ast.h"
+#include "lera/schema.h"
+#include "term/term.h"
+
+namespace eds::esql {
+
+// Translates analyzed ESQL queries into LERA terms (§3, §5's "straight-
+// forward translation ... after parsing"):
+//
+//   * a SELECT core becomes a SEARCH over its FROM relations; column
+//     references become ATTR(i, j); attribute-name-as-function becomes
+//     FIELD (with VALUE inserted for object dereference — the type
+//     inference role of §5's "type checking function rules");
+//   * non-recursive view references are replaced by the view's stored LERA
+//     definition (query modification, [Stonebraker76]); the merging rules
+//     later flatten the resulting operator stack;
+//   * GROUP BY + MakeSet becomes SEARCH followed by NEST (Fig. 4);
+//   * recursive views become FIX over the UNION of their branches
+//     (Fig. 5), with in-definition references kept as RELATION(view);
+//   * ALL / EXIST quantifiers become FORALL / EXISTS with the collection
+//     domain captured from the body (Salary(Actors) > 10000 quantifies
+//     over Actors, applying Salary to each element).
+class Translator {
+ public:
+  explicit Translator(const catalog::Catalog* cat) : catalog_(cat) {}
+
+  // Translates a query expression; views are inlined.
+  Result<term::TermRef> TranslateQuery(const SelectStmt& stmt);
+
+  // Builds the catalog entry for a CREATE VIEW statement (recursion
+  // detected from self-references in FROM clauses).
+  Result<catalog::ViewDef> BuildView(const Statement& stmt);
+
+ private:
+  struct ScopeEntry {
+    std::string binding;  // alias if given, else the relation name
+    term::TermRef input;  // LERA input term
+    lera::Schema schema;
+  };
+
+  // Quantifier translation state: at most one collection domain is
+  // captured per quantifier body.
+  struct QuantifierCapture {
+    bool active = false;
+    term::TermRef domain;
+    types::TypeRef elem_type;
+  };
+
+  Result<term::TermRef> TranslateCore(const SelectCore& core,
+                                      const std::string& recursive_view,
+                                      const lera::Schema* recursive_schema);
+
+  Result<std::vector<ScopeEntry>> BuildScope(
+      const SelectCore& core, const std::string& recursive_view,
+      const lera::Schema* recursive_schema);
+
+  Result<term::TermRef> TranslateExpr(const ExprPtr& expr,
+                                      const std::vector<ScopeEntry>& scope,
+                                      QuantifierCapture* capture);
+
+  Result<types::TypeRef> TypeOf(const term::TermRef& t,
+                                const std::vector<ScopeEntry>& scope,
+                                const types::TypeRef& elem_type);
+
+  const catalog::Catalog* catalog_;
+};
+
+// Column-name derivation for a select item: alias, else the column /
+// attribute-function name, else the call name.
+std::string DeriveColumnName(const SelectItem& item, size_t position);
+
+}  // namespace eds::esql
+
+#endif  // EDS_ESQL_TRANSLATOR_H_

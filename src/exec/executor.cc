@@ -1,0 +1,91 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "lera/lera.h"
+
+namespace eds::exec {
+
+Executor::Executor(const catalog::Catalog* cat, const Database* db,
+                   ExecOptions options)
+    : catalog_(cat), db_(db), options_(options) {}
+
+EvalContext Executor::MakeExprContext() const {
+  EvalContext ctx;
+  ctx.db = db_;
+  ctx.library = &catalog_->functions();
+  return ctx;
+}
+
+int CompareRows(const Row& a, const Row& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = value::Compare(a[i], b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  return 0;
+}
+
+void DedupRows(Rows* rows) {
+  std::sort(rows->begin(), rows->end(),
+            [](const Row& a, const Row& b) { return CompareRows(a, b) < 0; });
+  rows->erase(std::unique(rows->begin(), rows->end(),
+                          [](const Row& a, const Row& b) {
+                            return CompareRows(a, b) == 0;
+                          }),
+              rows->end());
+}
+
+Result<Rows> Executor::Execute(const term::TermRef& plan) {
+  FixEnv env;
+  Result<Rows> out = Eval(plan, env);
+  if (out.ok()) stats_.rows_output += out->size();
+  return out;
+}
+
+Result<Rows> Executor::Eval(const term::TermRef& t, const FixEnv& env) {
+  if (lera::IsRelation(t)) {
+    EDS_ASSIGN_OR_RETURN(std::string name, lera::RelationName(t));
+    std::string key = ToUpperAscii(name);
+    // Fixpoint variables shadow stored relations.
+    auto it = env.find(key);
+    if (it != env.end()) return *it->second;
+    if (db_->HasTable(name)) {
+      EDS_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(name));
+      stats_.rows_scanned += table->size();
+      return table->rows();
+    }
+    if (catalog_->HasView(name)) {
+      EDS_ASSIGN_OR_RETURN(const catalog::ViewDef* view,
+                           catalog_->FindView(name));
+      return Eval(view->definition, env);
+    }
+    return Status::NotFound("relation '" + name + "' has no storage, view "
+                            "definition or fixpoint binding");
+  }
+  if (!t->is_apply()) {
+    return Status::InvalidArgument("not a relational term: " + t->ToString());
+  }
+  const std::string& f = t->functor();
+  if (f == lera::kSearch) return EvalSearch(t, env);
+  if (f == lera::kUnion) return EvalUnion(t, env);
+  if (f == lera::kDifference || f == lera::kIntersect) {
+    return EvalSetOp(t, env);
+  }
+  if (f == lera::kFilter) return EvalFilter(t, env);
+  if (f == lera::kProject) return EvalProject(t, env);
+  if (f == lera::kJoin) return EvalJoin(t, env);
+  if (f == lera::kNest) return EvalNest(t, env);
+  if (f == lera::kDedup) {
+    EDS_ASSIGN_OR_RETURN(Rows rows, Eval(t->arg(0), env));
+    DedupRows(&rows);
+    return rows;
+  }
+  if (f == lera::kUnnest) return EvalUnnest(t, env);
+  if (f == lera::kFix) return EvalFix(t, env);
+  return Status::Unsupported("executor does not implement operator " + f);
+}
+
+}  // namespace eds::exec

@@ -1,0 +1,97 @@
+#ifndef EDS_EXEC_EXECUTOR_H_
+#define EDS_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "exec/expr_eval.h"
+#include "exec/storage.h"
+#include "term/term.h"
+
+namespace eds::exec {
+
+struct ExecOptions {
+  // Semi-naive fixpoint evaluation for UNION-of-SEARCH bodies; false forces
+  // naive iteration everywhere (the Fig. 5 / bench_fixpoint ablation).
+  bool seminaive = true;
+  // Safety valve for non-terminating recursions.
+  size_t max_fix_iterations = 100000;
+};
+
+struct ExecStats {
+  size_t rows_scanned = 0;       // input rows materialized from storage
+  size_t qual_evaluations = 0;   // qualification probes (join work proxy)
+  size_t rows_output = 0;        // rows produced by the top operator
+  size_t fix_iterations = 0;     // fixpoint rounds across all FIX operators
+  size_t fix_tuples = 0;         // tuples accumulated by FIX operators
+
+  void Reset() { *this = ExecStats(); }
+};
+
+// Evaluates LERA trees over an in-memory database. Deliberately simple
+// physical behaviour — tuple-substitution nested loops with eager conjunct
+// evaluation, set-semantics UNION, semi-naive fixpoints — so benchmark
+// deltas reflect the *logical* rewrites, which is what the paper is about.
+//
+// Views resolve through the catalog: a RELATION reference that names a view
+// evaluates the view's stored definition (query modification happens in the
+// rewriter; the executor fallback keeps unrewritten plans runnable as
+// baselines).
+class Executor {
+ public:
+  // All pointers must outlive the executor.
+  Executor(const catalog::Catalog* cat, const Database* db,
+           ExecOptions options = {});
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  // Evaluates a relational plan to its rows. Stats accumulate across calls
+  // until ResetStats().
+  Result<Rows> Execute(const term::TermRef& plan);
+
+  const ExecStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  // Names bound by enclosing FIX operators during iteration.
+  using FixEnv = std::map<std::string, const Rows*>;
+
+  Result<Rows> Eval(const term::TermRef& t, const FixEnv& env);
+
+  // operators.cc
+  Result<Rows> EvalSearch(const term::TermRef& t, const FixEnv& env);
+  Result<Rows> EvalSearchWithInputs(const term::TermRef& search,
+                                    const std::vector<Rows>& inputs);
+  Result<Rows> EvalUnion(const term::TermRef& t, const FixEnv& env);
+  Result<Rows> EvalSetOp(const term::TermRef& t, const FixEnv& env);
+  Result<Rows> EvalFilter(const term::TermRef& t, const FixEnv& env);
+  Result<Rows> EvalProject(const term::TermRef& t, const FixEnv& env);
+  Result<Rows> EvalJoin(const term::TermRef& t, const FixEnv& env);
+  Result<Rows> EvalNest(const term::TermRef& t, const FixEnv& env);
+  Result<Rows> EvalUnnest(const term::TermRef& t, const FixEnv& env);
+
+  // fixpoint_eval.cc
+  Result<Rows> EvalFix(const term::TermRef& t, const FixEnv& env);
+
+  EvalContext MakeExprContext() const;
+
+  const catalog::Catalog* catalog_;
+  const Database* db_;
+  ExecOptions options_;
+  ExecStats stats_;
+};
+
+// Sorts rows lexicographically and removes duplicates (set semantics).
+void DedupRows(Rows* rows);
+
+// Lexicographic row comparison consistent with value::Compare.
+int CompareRows(const Row& a, const Row& b);
+
+}  // namespace eds::exec
+
+#endif  // EDS_EXEC_EXECUTOR_H_

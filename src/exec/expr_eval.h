@@ -1,0 +1,36 @@
+#ifndef EDS_EXEC_EXPR_EVAL_H_
+#define EDS_EXEC_EXPR_EVAL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "exec/storage.h"
+#include "term/term.h"
+#include "value/collection_lib.h"
+
+namespace eds::exec {
+
+// Per-tuple evaluation context for scalar LERA expressions.
+struct EvalContext {
+  // One current row per operator input; ATTR(i, j) reads current[i-1][j-1].
+  std::vector<const Row*> current;
+  // The database (for VALUE / FIELD object dereference).
+  const Database* db = nullptr;
+  // Pure function dispatch.
+  const value::FunctionLibrary* library = nullptr;
+  // Quantifier element stack; ELEM() reads the innermost.
+  std::vector<value::Value> elem_stack;
+};
+
+// Evaluates a scalar expression term. Handles constants (including folded
+// collection constants), ATTR, FIELD, VALUE, FORALL/EXISTS/ELEM,
+// short-circuit three-valued AND/OR/NOT, and every function in the library.
+Result<value::Value> EvalExpr(const term::TermRef& expr, EvalContext* ctx);
+
+// Evaluates a qualification: a NULL result counts as false (SQL WHERE
+// semantics).
+Result<bool> EvalPredicate(const term::TermRef& qual, EvalContext* ctx);
+
+}  // namespace eds::exec
+
+#endif  // EDS_EXEC_EXPR_EVAL_H_

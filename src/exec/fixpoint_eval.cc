@@ -1,0 +1,160 @@
+#include <algorithm>
+
+#include "common/strings.h"
+#include "exec/executor.h"
+#include "lera/lera.h"
+#include "magic/magic.h"
+
+namespace eds::exec {
+
+using term::TermList;
+using term::TermRef;
+
+namespace {
+
+// True if `rows` (sorted) contains `row`.
+bool ContainsRow(const Rows& sorted, const Row& row) {
+  return std::binary_search(sorted.begin(), sorted.end(), row,
+                            [](const Row& a, const Row& b) {
+                              return CompareRows(a, b) < 0;
+                            });
+}
+
+}  // namespace
+
+// FIX(R, body) computes the least fixpoint R = body(R) by iteration.
+//
+// Semi-naive mode applies when the body is UNION(SET(branches...)) and
+// every branch that references R is a SEARCH whose references to R are
+// direct inputs: each round evaluates the recursive branches once per
+// R-occurrence with that occurrence bound to the previous round's delta and
+// the others to the full accumulated relation. Otherwise (or when
+// options_.seminaive is false) naive iteration re-evaluates the whole body
+// against the accumulated relation each round — the bench_fixpoint
+// ablation's baseline.
+Result<Rows> Executor::EvalFix(const term::TermRef& t, const FixEnv& env) {
+  EDS_ASSIGN_OR_RETURN(std::string rel_name, lera::FixRelationName(t));
+  EDS_ASSIGN_OR_RETURN(TermRef body, lera::FixBody(t));
+  const std::string key = ToUpperAscii(rel_name);
+
+  // Decide whether semi-naive evaluation applies.
+  bool seminaive = options_.seminaive && lera::IsUnion(body);
+  TermList branches;
+  if (seminaive) {
+    EDS_ASSIGN_OR_RETURN(branches, lera::UnionInputs(body));
+    for (const TermRef& b : branches) {
+      if (!magic::ReferencesRelation(b, rel_name)) continue;
+      if (!lera::IsSearch(b)) {
+        seminaive = false;
+        break;
+      }
+      EDS_ASSIGN_OR_RETURN(TermList inputs, lera::SearchInputs(b));
+      for (const TermRef& in : inputs) {
+        // Every reference to R must be a direct input.
+        if (magic::ReferencesRelation(in, rel_name) &&
+            !lera::IsRelation(in)) {
+          seminaive = false;
+          break;
+        }
+      }
+      if (!seminaive) break;
+    }
+  }
+
+  Rows total;  // sorted, deduplicated accumulation
+  if (!seminaive) {
+    // Naive iteration: R_{i+1} = R_i ∪ body(R_i).
+    for (size_t round = 0; round < options_.max_fix_iterations; ++round) {
+      ++stats_.fix_iterations;
+      FixEnv inner = env;
+      inner[key] = &total;
+      EDS_ASSIGN_OR_RETURN(Rows produced, Eval(body, inner));
+      size_t before = total.size();
+      total.insert(total.end(), produced.begin(), produced.end());
+      DedupRows(&total);
+      stats_.fix_tuples += total.size() - before;
+      if (total.size() == before) return total;
+    }
+    return Status::ResourceExhausted("fixpoint " + rel_name +
+                                     " exceeded max iterations");
+  }
+
+  // Semi-naive. Round 0: the full body against the empty relation seeds
+  // both the total and the delta (recursive branches contribute nothing).
+  Rows delta;
+  {
+    ++stats_.fix_iterations;
+    FixEnv inner = env;
+    inner[key] = &total;
+    EDS_ASSIGN_OR_RETURN(Rows produced, Eval(body, inner));
+    DedupRows(&produced);
+    total = produced;
+    delta = std::move(produced);
+    stats_.fix_tuples += total.size();
+  }
+
+  for (size_t round = 0; !delta.empty(); ++round) {
+    if (round >= options_.max_fix_iterations) {
+      return Status::ResourceExhausted("fixpoint " + rel_name +
+                                       " exceeded max iterations");
+    }
+    ++stats_.fix_iterations;
+    Rows produced;
+    for (const TermRef& branch : branches) {
+      if (!magic::ReferencesRelation(branch, rel_name)) continue;
+      EDS_ASSIGN_OR_RETURN(TermList input_terms, lera::SearchInputs(branch));
+      // Occurrence positions of R among the branch inputs.
+      std::vector<size_t> occurrences;
+      for (size_t i = 0; i < input_terms.size(); ++i) {
+        if (lera::IsRelation(input_terms[i])) {
+          auto name = lera::RelationName(input_terms[i]);
+          if (name.ok() && EqualsIgnoreCase(*name, rel_name)) {
+            occurrences.push_back(i);
+          }
+        }
+      }
+      // One pass per occurrence: that occurrence sees the delta, the rest
+      // see the full relation.
+      for (size_t which : occurrences) {
+        std::vector<Rows> inputs;
+        inputs.reserve(input_terms.size());
+        bool failed = false;
+        for (size_t i = 0; i < input_terms.size(); ++i) {
+          if (i == which) {
+            inputs.push_back(delta);
+            continue;
+          }
+          if (std::find(occurrences.begin(), occurrences.end(), i) !=
+              occurrences.end()) {
+            inputs.push_back(total);
+            continue;
+          }
+          FixEnv inner = env;
+          inner[key] = &total;
+          Result<Rows> rows = Eval(input_terms[i], inner);
+          EDS_RETURN_IF_ERROR(rows.status());
+          inputs.push_back(std::move(*rows));
+          (void)failed;
+        }
+        EDS_ASSIGN_OR_RETURN(Rows branch_rows,
+                             EvalSearchWithInputs(branch, inputs));
+        produced.insert(produced.end(), branch_rows.begin(),
+                        branch_rows.end());
+      }
+    }
+    DedupRows(&produced);
+    Rows new_delta;
+    for (Row& row : produced) {
+      if (!ContainsRow(total, row)) new_delta.push_back(std::move(row));
+    }
+    DedupRows(&new_delta);
+    if (new_delta.empty()) break;
+    stats_.fix_tuples += new_delta.size();
+    total.insert(total.end(), new_delta.begin(), new_delta.end());
+    DedupRows(&total);
+    delta = std::move(new_delta);
+  }
+  return total;
+}
+
+}  // namespace eds::exec

@@ -1,0 +1,118 @@
+#ifndef EDS_EXEC_SESSION_H_
+#define EDS_EXEC_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "esql/ast.h"
+#include "exec/executor.h"
+#include "exec/storage.h"
+#include "rules/optimizer.h"
+#include "term/term.h"
+
+namespace eds::exec {
+
+// Result of a query: column names, rows, and the plans/stats on both sides
+// of the rewriter, so callers (and benchmarks) can inspect what the
+// optimizer did.
+struct QueryResult {
+  std::vector<std::string> columns;
+  Rows rows;
+  term::TermRef raw_plan;        // straight ESQL -> LERA translation
+  term::TermRef optimized_plan;  // after the rule-based rewriter
+  rewrite::EngineStats rewrite_stats;
+  ExecStats exec_stats;
+};
+
+struct QueryOptions {
+  bool rewrite = true;  // run the rule-based rewriter before execution
+  rewrite::RewriteOptions rewrite_options;
+  ExecOptions exec_options;
+};
+
+// The user-facing facade: one catalog + one database + the generated
+// optimizer. This is the "extensible database server" in miniature — DDL
+// extends the catalog, integrity constraints and custom rules extend the
+// optimizer, and queries flow parse -> translate -> rewrite -> execute.
+class Session {
+ public:
+  Session();
+  explicit Session(rules::OptimizerOptions optimizer_options);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  catalog::Catalog& catalog() { return catalog_; }
+  const catalog::Catalog& catalog() const { return catalog_; }
+  Database& db() { return db_; }
+  const Database& db() const { return db_; }
+
+  // Runs a script of DDL / INSERT / SELECT statements; SELECT results are
+  // discarded (use Query for results).
+  Status ExecuteScript(std::string_view esql);
+
+  // Parses and runs one SELECT.
+  Result<QueryResult> Query(std::string_view esql,
+                            const QueryOptions& options = {});
+
+  // Translation only: SELECT -> LERA (the rewriter's input).
+  Result<term::TermRef> Translate(std::string_view esql_select);
+
+  // Rewrites a LERA term with the session's generated optimizer.
+  Result<rewrite::RewriteOutcome> Rewrite(
+      const term::TermRef& plan, const rewrite::RewriteOptions& options = {});
+
+  // Executes a LERA term directly.
+  Result<Rows> Run(const term::TermRef& plan, const ExecOptions& options = {},
+                   ExecStats* stats_out = nullptr);
+
+  // Declares an integrity constraint (rule-language text, §6.1); the
+  // optimizer is regenerated on next use.
+  Status AddConstraint(const std::string& name, const std::string& rule_text);
+
+  // Creates an object on the heap; `fields` become its named tuple state.
+  // Returns the reference value to store in rows.
+  Result<value::Value> NewObject(
+      const std::string& type_name,
+      std::vector<std::pair<std::string, value::Value>> fields);
+
+  // Inserts a row into a stored table (bypassing ESQL, for data
+  // generators).
+  Status InsertRow(const std::string& table, Row row);
+
+  // Emits the session's schema as a runnable ESQL script: user types (in
+  // declaration order), tables, and views (verbatim source where the view
+  // was created through this session). Integrity constraints are NOT part
+  // of ESQL and are excluded — re-declare them via AddConstraint (they are
+  // available from catalog().constraints()). A fresh session executing the
+  // dump reproduces the catalog.
+  std::string DumpSchema() const;
+
+  // Formats a human-readable report for a SELECT: raw plan, rewrite trace,
+  // optimized plan, and statistics. Does not execute the query.
+  Result<std::string> Explain(std::string_view esql_select);
+
+  // Forces optimizer regeneration (e.g. after registering custom rules or
+  // builtins through optimizer()).
+  Status RebuildOptimizer();
+
+  // The generated optimizer (built on first use).
+  Result<rules::Optimizer*> optimizer();
+
+ private:
+  Status ApplyStatement(const esql::Statement& stmt);
+
+  catalog::Catalog catalog_;
+  Database db_;
+  rules::OptimizerOptions optimizer_options_;
+  std::unique_ptr<rules::Optimizer> optimizer_;
+  bool optimizer_dirty_ = true;
+};
+
+}  // namespace eds::exec
+
+#endif  // EDS_EXEC_SESSION_H_

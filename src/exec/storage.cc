@@ -1,0 +1,69 @@
+#include "exec/storage.h"
+
+#include "common/strings.h"
+
+namespace eds::exec {
+
+Status Table::Insert(Row row) {
+  if (row.size() != column_count_) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, table expects " +
+        std::to_string(column_count_));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+value::Value ObjectHeap::New(std::string type_name, value::Value state) {
+  objects_.push_back(StoredObject{std::move(type_name), std::move(state)});
+  return value::Value::ObjectRef(static_cast<uint64_t>(objects_.size()));
+}
+
+Result<const StoredObject*> ObjectHeap::Get(uint64_t oid) const {
+  if (oid == 0 || oid > objects_.size()) {
+    return Status::RuntimeError("dangling object reference <oid:" +
+                                std::to_string(oid) + ">");
+  }
+  return &objects_[oid - 1];
+}
+
+Status ObjectHeap::Update(uint64_t oid, value::Value state) {
+  if (oid == 0 || oid > objects_.size()) {
+    return Status::RuntimeError("dangling object reference <oid:" +
+                                std::to_string(oid) + ">");
+  }
+  objects_[oid - 1].state = std::move(state);
+  return Status::OK();
+}
+
+Status Database::CreateTable(const std::string& name, size_t column_count) {
+  auto [it, inserted] =
+      tables_.emplace(ToUpperAscii(name), Table(column_count));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("table '" + name + "' already stored");
+  }
+  return Status::OK();
+}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  auto it = tables_.find(ToUpperAscii(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no stored table '" + name + "'");
+  }
+  return &it->second;
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(ToUpperAscii(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no stored table '" + name + "'");
+  }
+  return &it->second;
+}
+
+bool Database::HasTable(const std::string& name) const {
+  return tables_.count(ToUpperAscii(name)) > 0;
+}
+
+}  // namespace eds::exec

@@ -1,0 +1,86 @@
+#ifndef EDS_EXEC_STORAGE_H_
+#define EDS_EXEC_STORAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "value/value.h"
+
+namespace eds::exec {
+
+// A relation row: one value per column, positionally matching the catalog
+// schema of the relation.
+using Row = std::vector<value::Value>;
+using Rows = std::vector<Row>;
+
+// In-memory stored table.
+class Table {
+ public:
+  explicit Table(size_t column_count) : column_count_(column_count) {}
+
+  size_t column_count() const { return column_count_; }
+  const Rows& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+
+  Status Insert(Row row);
+  void Clear() { rows_.clear(); }
+
+ private:
+  size_t column_count_;
+  Rows rows_;
+};
+
+// An object with identity: its dynamic type name and its tuple value (field
+// names included, so FIELD access works without consulting the catalog).
+struct StoredObject {
+  std::string type_name;
+  value::Value state;  // a named tuple
+};
+
+// The object heap: OIDs are dense and never reused; objects may be shared
+// by reference from any number of rows (the paper's "only objects may be
+// referentially shared using object identity").
+class ObjectHeap {
+ public:
+  // Creates an object and returns its reference value.
+  value::Value New(std::string type_name, value::Value state);
+
+  Result<const StoredObject*> Get(uint64_t oid) const;
+
+  // Replaces the state of an existing object (methods like
+  // IncreaseSalary mutate through here).
+  Status Update(uint64_t oid, value::Value state);
+
+  size_t size() const { return objects_.size(); }
+
+ private:
+  std::vector<StoredObject> objects_;  // oid = index + 1
+};
+
+// A database instance: named tables plus the object heap. Schemas live in
+// the catalog; storage only checks arity.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Status CreateTable(const std::string& name, size_t column_count);
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+
+  ObjectHeap& heap() { return heap_; }
+  const ObjectHeap& heap() const { return heap_; }
+
+ private:
+  std::map<std::string, Table> tables_;  // upper-cased keys
+  ObjectHeap heap_;
+};
+
+}  // namespace eds::exec
+
+#endif  // EDS_EXEC_STORAGE_H_

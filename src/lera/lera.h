@@ -1,0 +1,130 @@
+#ifndef EDS_LERA_LERA_H_
+#define EDS_LERA_LERA_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "term/term.h"
+
+namespace eds::lera {
+
+// LERA operators are ordinary term functors (the paper's uniform formalism:
+// "LERA operators interpreted as functions"). This header fixes the
+// vocabulary and provides typed constructors/recognizers.
+//
+//   RELATION('FILM')                       base table or view reference
+//   SEARCH(LIST(inputs...), qual, LIST(projs...))
+//       n-ary join + filter + project: the paper's most powerful compound
+//       operator. Attribute references in qual/projs are ATTR(i, j) over the
+//       concatenated inputs (1-based), printed $i.j.
+//   UNION(SET(inputs...))                  n-ary union (the paper's union*)
+//   DIFFERENCE(a, b), INTERSECT(a, b)      set operations on relations
+//   FILTER(input, qual)                    basic restriction
+//   PROJECT(input, LIST(projs...))         basic projection
+//   JOIN(a, b, qual)                       binary join (product + filter)
+//   FIX(RELATION('R'), expr)               fixpoint: R = expr(R)
+//   NEST(input, LIST(col_idx...), 'name')  nest columns into a SET column
+//   UNNEST(input, col_idx)                 flatten a collection column
+//   DEDUP(input)                           duplicate elimination (DISTINCT;
+//                                          the Fig. 1 bag->set conversion
+//                                          lifted to relations)
+//
+// Scalar expression functors inside qual/projs: the FunctionLibrary names
+// (EQ, AND, MEMBER, ...), plus
+//   ATTR(i, j)            attribute reference
+//   FIELD(e, 'name')      tuple/object-value attribute access (the paper's
+//                         attribute-name-as-function, after type checking)
+//   VALUE(e)              object dereference: OID -> its tuple value
+//   FORALL(coll, pred)    the ESQL ALL quantifier; inside pred, ELEM()
+//   EXISTS(coll, pred)    denotes the quantified element
+//   ELEM()                current quantified element (one level)
+
+inline constexpr const char* kSearch = "SEARCH";
+inline constexpr const char* kUnion = "UNION";        // arity 1: SET of inputs
+inline constexpr const char* kDifference = "DIFFERENCE";
+inline constexpr const char* kIntersect = "INTERSECT";
+inline constexpr const char* kFilter = "FILTER";
+inline constexpr const char* kProject = "PROJECT";
+inline constexpr const char* kJoin = "JOIN";
+inline constexpr const char* kFix = "FIX";
+inline constexpr const char* kNest = "NEST";
+inline constexpr const char* kUnnest = "UNNEST";
+inline constexpr const char* kDedup = "DEDUP";  // arity 1: bag -> set
+inline constexpr const char* kField = "FIELD";
+inline constexpr const char* kValueOf = "VALUE";
+inline constexpr const char* kForAll = "FORALL";
+inline constexpr const char* kExists = "EXISTS";
+inline constexpr const char* kElem = "ELEM";
+
+// ---- constructors ----
+
+term::TermRef Relation(const std::string& name);
+term::TermRef Search(term::TermList inputs, term::TermRef qual,
+                     term::TermList projections);
+term::TermRef UnionN(term::TermList inputs);
+term::TermRef Difference(term::TermRef a, term::TermRef b);
+term::TermRef Intersect(term::TermRef a, term::TermRef b);
+term::TermRef Filter(term::TermRef input, term::TermRef qual);
+term::TermRef Project(term::TermRef input, term::TermList projections);
+term::TermRef Join(term::TermRef a, term::TermRef b, term::TermRef qual);
+term::TermRef Fix(const std::string& rel_name, term::TermRef expr);
+term::TermRef Nest(term::TermRef input, std::vector<int64_t> nested_columns,
+                   const std::string& new_column);
+term::TermRef Unnest(term::TermRef input, int64_t column);
+// Duplicate elimination (SELECT DISTINCT; the Fig. 1 bag->set conversion
+// lifted to relations).
+term::TermRef Dedup(term::TermRef input);
+term::TermRef FieldAccess(term::TermRef e, const std::string& field);
+term::TermRef ValueOf(term::TermRef e);
+term::TermRef Attr(int64_t input, int64_t column);
+
+// ---- recognizers / accessors (preconditions checked, Internal on misuse) --
+
+// True if `t` can produce a relation: any of the operators above.
+bool IsRelationalOp(const term::TermRef& t);
+
+// RELATION('X') -> "X".
+bool IsRelation(const term::TermRef& t);
+Result<std::string> RelationName(const term::TermRef& t);
+
+bool IsSearch(const term::TermRef& t);
+// SEARCH accessors; inputs() returns the LIST's elements.
+Result<term::TermList> SearchInputs(const term::TermRef& t);
+Result<term::TermRef> SearchQual(const term::TermRef& t);
+Result<term::TermList> SearchProjections(const term::TermRef& t);
+
+bool IsUnion(const term::TermRef& t);
+Result<term::TermList> UnionInputs(const term::TermRef& t);
+
+bool IsFix(const term::TermRef& t);
+Result<std::string> FixRelationName(const term::TermRef& t);
+Result<term::TermRef> FixBody(const term::TermRef& t);
+
+bool IsAttr(const term::TermRef& t);
+// ATTR(i, j) -> {i, j}.
+struct AttrRef {
+  int64_t input;
+  int64_t column;
+};
+Result<AttrRef> GetAttr(const term::TermRef& t);
+
+// Structural well-formedness check of a LERA tree: operators have the right
+// arities, LIST/SET wrappers are present, ATTR indices are positive. Does
+// not need a catalog (schema checking lives in lera/schema.h).
+Status Validate(const term::TermRef& t);
+
+// Collects all ATTR references appearing in an expression term.
+void CollectAttrs(const term::TermRef& expr, std::vector<AttrRef>* out);
+
+// Rewrites every ATTR(i, j) in `expr` through `map`: returns the expression
+// with ATTR(i, j) replaced by map(i, j). Used by rules that renumber
+// attribute references when inputs move around.
+term::TermRef MapAttrs(
+    const term::TermRef& expr,
+    const std::function<term::TermRef(int64_t, int64_t)>& map);
+
+}  // namespace eds::lera
+
+#endif  // EDS_LERA_LERA_H_

@@ -1,0 +1,104 @@
+#include "lera/printer.h"
+
+#include <sstream>
+
+#include "lera/lera.h"
+
+namespace eds::lera {
+
+namespace {
+
+void Indent(std::ostringstream& os, int depth) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+}
+
+void PrintPlan(std::ostringstream& os, const term::TermRef& t, int depth) {
+  Indent(os, depth);
+  if (IsRelation(t)) {
+    os << "RELATION " << t->arg(0)->constant().AsString() << '\n';
+    return;
+  }
+  if (!t->is_apply() || !IsRelationalOp(t)) {
+    os << t << '\n';
+    return;
+  }
+  const std::string& f = t->functor();
+  if (f == kSearch) {
+    os << "SEARCH [" << t->arg(1) << "]\n";
+    Indent(os, depth + 1);
+    os << "-> ";
+    const auto& projs = t->arg(2)->args();
+    for (size_t i = 0; i < projs.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << projs[i];
+    }
+    os << '\n';
+    for (const auto& in : t->arg(0)->args()) PrintPlan(os, in, depth + 1);
+    return;
+  }
+  if (f == kUnion) {
+    os << "UNION\n";
+    for (const auto& in : t->arg(0)->args()) PrintPlan(os, in, depth + 1);
+    return;
+  }
+  if (f == kDifference || f == kIntersect) {
+    os << f << '\n';
+    PrintPlan(os, t->arg(0), depth + 1);
+    PrintPlan(os, t->arg(1), depth + 1);
+    return;
+  }
+  if (f == kFilter) {
+    os << "FILTER [" << t->arg(1) << "]\n";
+    PrintPlan(os, t->arg(0), depth + 1);
+    return;
+  }
+  if (f == kProject) {
+    os << "PROJECT ";
+    const auto& projs = t->arg(1)->args();
+    for (size_t i = 0; i < projs.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << projs[i];
+    }
+    os << '\n';
+    PrintPlan(os, t->arg(0), depth + 1);
+    return;
+  }
+  if (f == kJoin) {
+    os << "JOIN [" << t->arg(2) << "]\n";
+    PrintPlan(os, t->arg(0), depth + 1);
+    PrintPlan(os, t->arg(1), depth + 1);
+    return;
+  }
+  if (f == kFix) {
+    os << "FIX " << t->arg(0)->arg(0)->constant().AsString() << '\n';
+    PrintPlan(os, t->arg(1), depth + 1);
+    return;
+  }
+  if (f == kNest) {
+    os << "NEST cols=" << t->arg(1) << " as "
+       << t->arg(2)->constant().AsString() << '\n';
+    PrintPlan(os, t->arg(0), depth + 1);
+    return;
+  }
+  if (f == kUnnest) {
+    os << "UNNEST col=" << t->arg(1) << '\n';
+    PrintPlan(os, t->arg(0), depth + 1);
+    return;
+  }
+  if (f == kDedup) {
+    os << "DEDUP\n";
+    PrintPlan(os, t->arg(0), depth + 1);
+    return;
+  }
+  os << t << '\n';
+}
+
+}  // namespace
+
+std::string FormatPlan(const term::TermRef& t) {
+  std::ostringstream os;
+  PrintPlan(os, t, 0);
+  return os.str();
+}
+
+}  // namespace eds::lera

@@ -1,0 +1,22 @@
+#ifndef EDS_LERA_PRINTER_H_
+#define EDS_LERA_PRINTER_H_
+
+#include <string>
+
+#include "term/term.h"
+
+namespace eds::lera {
+
+// Renders a LERA tree as an indented plan, one operator per line:
+//
+//   SEARCH [$1.1 = $2.1 AND FIELD(VALUE($1.2), 'Name') = 'Quinn']
+//     -> $2.2, $2.3, FIELD(VALUE($1.2), 'Salary')
+//     RELATION APPEARS_IN
+//     RELATION FILM
+//
+// Scalar expressions stay on one line (Term::ToString form).
+std::string FormatPlan(const term::TermRef& t);
+
+}  // namespace eds::lera
+
+#endif  // EDS_LERA_PRINTER_H_

@@ -1,0 +1,53 @@
+#ifndef EDS_LERA_SCHEMA_H_
+#define EDS_LERA_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "lera/lera.h"
+#include "term/term.h"
+#include "types/type.h"
+
+namespace eds::lera {
+
+// Output schema (column names + types) of relational LERA terms, and types
+// of scalar expressions within them. This implements the "type checking
+// function rules" role of §5: the analyzer and the rewriter's SCHEMA /
+// ISA machinery both go through here.
+
+using Schema = std::vector<types::Field>;
+
+// Extra relation schemas visible during inference (used while defining a
+// recursive view, whose FIX body references the view before it exists in
+// the catalog).
+using SchemaEnv = std::map<std::string, Schema>;
+
+// Infers the output schema of a relational LERA term.
+Result<Schema> InferSchema(const term::TermRef& t,
+                           const catalog::Catalog& cat,
+                           const SchemaEnv* env = nullptr);
+
+// Infers the type of a scalar expression, given the schemas of the
+// enclosing operator's inputs (ATTR(i, j) resolves into input_schemas[i-1]).
+// Understands constants, ATTR, FIELD, VALUE, FORALL/EXISTS/ELEM, the builtin
+// function library's result types, and user ADT function signatures from the
+// catalog. `elem_type` is the type ELEM() denotes inside a quantifier body
+// (null outside quantifiers).
+Result<types::TypeRef> InferExprType(const term::TermRef& expr,
+                                     const std::vector<Schema>& input_schemas,
+                                     const catalog::Catalog& cat,
+                                     const types::TypeRef& elem_type = nullptr,
+                                     const SchemaEnv* env = nullptr);
+
+// Derives a column name for a projection expression: ATTR picks up the
+// source column's name, FIELD its field name; anything else gets the functor
+// name (deduplication is the caller's concern).
+std::string ProjectionName(const term::TermRef& expr,
+                           const std::vector<Schema>& input_schemas);
+
+}  // namespace eds::lera
+
+#endif  // EDS_LERA_SCHEMA_H_

@@ -1,0 +1,37 @@
+#ifndef EDS_MAGIC_ADORNMENT_H_
+#define EDS_MAGIC_ADORNMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "term/term.h"
+
+namespace eds::magic {
+
+// One bound argument position of a recursive predicate: the paper's
+// adornment ("z.Signature" in Fig. 9). A column is bound when the enclosing
+// qualification constrains it to a constant.
+struct BoundColumn {
+  int64_t column;        // 1-based column of the FIX output
+  value::Value constant; // the binding constant
+};
+
+struct Adornment {
+  std::vector<BoundColumn> bound;  // may be empty (all-free: "ff...")
+
+  // Classic adornment string, e.g. "bf" for arity 2 with column 1 bound.
+  std::string Signature(size_t arity) const;
+  bool AnyBound() const { return !bound.empty(); }
+};
+
+// Computes the adornment of input position `pos` of a SEARCH from its
+// qualification `qual`: every conjunct of the form ATTR(pos, c) = const
+// (either operand order) binds column c. Conjuncts referencing other inputs
+// are ignored.
+Adornment ComputeAdornment(const term::TermRef& qual, int64_t pos);
+
+}  // namespace eds::magic
+
+#endif  // EDS_MAGIC_ADORNMENT_H_

@@ -1,0 +1,657 @@
+#include "rewrite/builtins.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "lera/lera.h"
+#include "lera/schema.h"
+
+namespace eds::rewrite {
+
+using term::Bindings;
+using term::Term;
+using term::TermList;
+using term::TermRef;
+
+namespace {
+
+// Instantiates one raw rule argument: a bare collection variable becomes a
+// LIST of its bound elements; anything else goes through substitution.
+Result<TermRef> InstArg(const TermRef& arg, const Bindings& env) {
+  if (arg->is_collection_variable()) {
+    const TermList* seq = env.LookupCollVar(arg->var_name());
+    if (seq == nullptr) {
+      return Status::InvalidArgument("unbound collection variable '" +
+                                     arg->var_name() + "*'");
+    }
+    return Term::List(*seq);
+  }
+  return term::ApplySubstitution(arg, env);
+}
+
+Status WantVariable(const TermRef& t, const char* what) {
+  if (!t->is_variable()) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " must be a variable, got " +
+                                   t->ToString());
+  }
+  return Status::OK();
+}
+
+// ---------------- standard methods ----------------
+
+// EVALUATE(expr, out): fold expr to a constant and bind out (Fig. 12).
+Status MethodEvaluate(const TermList& args, Bindings* env,
+                      const RewriteContext& ctx) {
+  if (args.size() != 2) {
+    return Status::InvalidArgument("EVALUATE expects (expr, out)");
+  }
+  EDS_RETURN_IF_ERROR(WantVariable(args[1], "EVALUATE output"));
+  EDS_ASSIGN_OR_RETURN(TermRef expr, InstArg(args[0], *env));
+  std::optional<value::Value> v = TryEvalToValue(expr, ctx);
+  if (!v.has_value()) {
+    return Status::InvalidArgument("EVALUATE: expression is not foldable: " +
+                                   expr->ToString());
+  }
+  env->SetVar(args[1]->var_name(), ValueToTerm(*v));
+  return Status::OK();
+}
+
+// SCHEMA(rel, out): out := LIST($1.1, ..., $1.n), the identity projection
+// over rel's schema (used when pushing a search below NEST, Fig. 8). When
+// the first argument is (or is bound to) a LIST of relations, the identity
+// projection spans all of them: $1.1..$1.n, $2.1..$2.m, ...
+Status MethodSchema(const TermList& args, Bindings* env,
+                    const RewriteContext& ctx) {
+  if (args.size() != 2) {
+    return Status::InvalidArgument("SCHEMA expects (rel, out)");
+  }
+  EDS_RETURN_IF_ERROR(WantVariable(args[1], "SCHEMA output"));
+  if (ctx.catalog == nullptr) {
+    return Status::InvalidArgument("SCHEMA: no catalog in context");
+  }
+  EDS_ASSIGN_OR_RETURN(TermRef rel, InstArg(args[0], *env));
+  TermList inputs;
+  if (rel->IsApply(term::kList)) {
+    inputs = rel->args();
+  } else {
+    inputs.push_back(rel);
+  }
+  TermList projs;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    EDS_ASSIGN_OR_RETURN(lera::Schema schema,
+                         lera::InferSchema(inputs[i], *ctx.catalog));
+    for (size_t j = 1; j <= schema.size(); ++j) {
+      projs.push_back(
+          Term::Attr(static_cast<int64_t>(i + 1), static_cast<int64_t>(j)));
+    }
+  }
+  env->SetVar(args[1]->var_name(), Term::List(std::move(projs)));
+  return Status::OK();
+}
+
+// POSITION(x*, out): out := |x*| + 1, the 1-based input position following
+// the inputs absorbed by x* (used to address "the operator after x*" in
+// permutation rules).
+Status MethodPosition(const TermList& args, Bindings* env,
+                      const RewriteContext& ctx) {
+  (void)ctx;
+  if (args.size() != 2 || !args[0]->is_collection_variable()) {
+    return Status::InvalidArgument("POSITION expects (x*, out)");
+  }
+  EDS_RETURN_IF_ERROR(WantVariable(args[1], "POSITION output"));
+  const TermList* seq = env->LookupCollVar(args[0]->var_name());
+  if (seq == nullptr) {
+    return Status::InvalidArgument("POSITION: unbound collection variable");
+  }
+  env->SetVar(args[1]->var_name(),
+              Term::Int(static_cast<int64_t>(seq->size()) + 1));
+  return Status::OK();
+}
+
+// MERGE_SUBST(e, x*, v*, z, b, out): attribute remapping for the
+// search-merging rule (Fig. 7). The outer search's inputs were
+// LIST(x*, SEARCH(z, g, b), v*); after merging they are append(x*, v*, z).
+// Every ATTR in `e` is remapped: refs into x* stay, refs into the inner
+// search unfold into the inner projection b (with b's own refs shifted past
+// x* and v*), refs into v* shift left by one.
+Status MethodMergeSubst(const TermList& args, Bindings* env,
+                        const RewriteContext& ctx) {
+  (void)ctx;
+  if (args.size() != 6) {
+    return Status::InvalidArgument(
+        "MERGE_SUBST expects (e, x*, v*, z, b, out)");
+  }
+  EDS_RETURN_IF_ERROR(WantVariable(args[5], "MERGE_SUBST output"));
+  EDS_ASSIGN_OR_RETURN(TermRef e, InstArg(args[0], *env));
+  EDS_ASSIGN_OR_RETURN(TermRef xs, InstArg(args[1], *env));
+  EDS_ASSIGN_OR_RETURN(TermRef vs, InstArg(args[2], *env));
+  EDS_ASSIGN_OR_RETURN(TermRef z, InstArg(args[3], *env));
+  EDS_ASSIGN_OR_RETURN(TermRef b, InstArg(args[4], *env));
+  if (!xs->IsApply(term::kList) || !vs->IsApply(term::kList) ||
+      !z->IsApply(term::kList) || !b->IsApply(term::kList)) {
+    return Status::InvalidArgument("MERGE_SUBST: x*/v*/z/b must be lists");
+  }
+  const int64_t x_count = static_cast<int64_t>(xs->arity());
+  const int64_t v_count = static_cast<int64_t>(vs->arity());
+  Status failure = Status::OK();
+  TermRef mapped = lera::MapAttrs(e, [&](int64_t i, int64_t j) -> TermRef {
+    if (i <= x_count) return Term::Attr(i, j);
+    if (i == x_count + 1) {
+      // Unfold through the inner projection list b.
+      if (j < 1 || static_cast<size_t>(j) > b->arity()) {
+        if (failure.ok()) {
+          failure = Status::InvalidArgument(
+              "MERGE_SUBST: inner projection index out of range");
+        }
+        return Term::Attr(i, j);
+      }
+      // b's refs address z's inputs (1..|z|); shift them past x* and v*.
+      return lera::MapAttrs(b->arg(static_cast<size_t>(j - 1)),
+                            [&](int64_t bi, int64_t bj) {
+                              return Term::Attr(bi + x_count + v_count, bj);
+                            });
+    }
+    return Term::Attr(i - 1, j);  // refs into v* shift left by one
+  });
+  EDS_RETURN_IF_ERROR(failure);
+  env->SetVar(args[5]->var_name(), mapped);
+  return Status::OK();
+}
+
+// SHIFT_ATTRS(e, x*, v*, out): shifts every ATTR input index in `e` by
+// |x*| + |v*|. Used by the search-merging rule to renumber the inner
+// qualification, whose references are in the inner-input space (1..|z|),
+// after append(x*, v*, z) moves those inputs to the end.
+Status MethodShiftAttrs(const TermList& args, Bindings* env,
+                        const RewriteContext& ctx) {
+  (void)ctx;
+  if (args.size() != 4) {
+    return Status::InvalidArgument("SHIFT_ATTRS expects (e, x*, v*, out)");
+  }
+  EDS_RETURN_IF_ERROR(WantVariable(args[3], "SHIFT_ATTRS output"));
+  EDS_ASSIGN_OR_RETURN(TermRef e, InstArg(args[0], *env));
+  EDS_ASSIGN_OR_RETURN(TermRef xs, InstArg(args[1], *env));
+  EDS_ASSIGN_OR_RETURN(TermRef vs, InstArg(args[2], *env));
+  if (!xs->IsApply(term::kList) || !vs->IsApply(term::kList)) {
+    return Status::InvalidArgument("SHIFT_ATTRS: x*/v* must be lists");
+  }
+  const int64_t shift =
+      static_cast<int64_t>(xs->arity()) + static_cast<int64_t>(vs->arity());
+  TermRef shifted = lera::MapAttrs(e, [shift](int64_t i, int64_t j) {
+    return Term::Attr(i + shift, j);
+  });
+  env->SetVar(args[3]->var_name(), std::move(shifted));
+  return Status::OK();
+}
+
+// SPLIT_QUAL(f, pos, z, nested_cols, pushed, kept):
+// Splits the conjuncts of f: a conjunct is *pushable* when all its ATTR
+// references address input `pos` and only the non-nested output columns of
+// NEST(z, nested_cols, _). Pushable conjuncts are renumbered to refer to
+// input 1 with z's own column numbering and conjoined into `pushed`; the
+// rest are conjoined into `kept`. Fails when nothing is pushable (so the
+// push-through-nest rule does not fire vacuously).
+Status MethodSplitQual(const TermList& args, Bindings* env,
+                       const RewriteContext& ctx) {
+  if (args.size() != 6) {
+    return Status::InvalidArgument(
+        "SPLIT_QUAL expects (f, pos, z, nested_cols, pushed, kept)");
+  }
+  EDS_RETURN_IF_ERROR(WantVariable(args[4], "SPLIT_QUAL pushed output"));
+  EDS_RETURN_IF_ERROR(WantVariable(args[5], "SPLIT_QUAL kept output"));
+  EDS_ASSIGN_OR_RETURN(TermRef f, InstArg(args[0], *env));
+  EDS_ASSIGN_OR_RETURN(TermRef pos_t, InstArg(args[1], *env));
+  EDS_ASSIGN_OR_RETURN(TermRef z, InstArg(args[2], *env));
+  EDS_ASSIGN_OR_RETURN(TermRef cols_t, InstArg(args[3], *env));
+  std::optional<value::Value> pos_v = TryEvalToValue(pos_t, ctx);
+  if (!pos_v.has_value() || pos_v->kind() != value::ValueKind::kInt) {
+    return Status::InvalidArgument("SPLIT_QUAL: pos must fold to an integer");
+  }
+  const int64_t pos = pos_v->AsInt();
+  if (!cols_t->IsApply(term::kList)) {
+    return Status::InvalidArgument("SPLIT_QUAL: nested_cols must be a LIST");
+  }
+  std::vector<int64_t> nested;
+  for (const TermRef& c : cols_t->args()) {
+    if (!c->is_constant() || c->constant().kind() != value::ValueKind::kInt) {
+      return Status::InvalidArgument("SPLIT_QUAL: nested col not an int");
+    }
+    nested.push_back(c->constant().AsInt());
+  }
+  if (ctx.catalog == nullptr) {
+    return Status::InvalidArgument("SPLIT_QUAL: no catalog in context");
+  }
+  EDS_ASSIGN_OR_RETURN(lera::Schema z_schema,
+                       lera::InferSchema(z, *ctx.catalog));
+  // NEST output column j (1-based, among non-nested) -> z input column.
+  std::vector<int64_t> out_to_in;
+  for (size_t c = 1; c <= z_schema.size(); ++c) {
+    if (std::find(nested.begin(), nested.end(), static_cast<int64_t>(c)) ==
+        nested.end()) {
+      out_to_in.push_back(static_cast<int64_t>(c));
+    }
+  }
+  TermList pushed, kept;
+  for (const TermRef& conj : term::Conjuncts(f)) {
+    std::vector<lera::AttrRef> attrs;
+    lera::CollectAttrs(conj, &attrs);
+    bool pushable = !attrs.empty();
+    for (const lera::AttrRef& a : attrs) {
+      if (a.input != pos || a.column < 1 ||
+          static_cast<size_t>(a.column) > out_to_in.size()) {
+        pushable = false;
+        break;
+      }
+    }
+    if (pushable) {
+      pushed.push_back(lera::MapAttrs(conj, [&](int64_t i, int64_t j) {
+        (void)i;
+        return Term::Attr(1, out_to_in[static_cast<size_t>(j - 1)]);
+      }));
+    } else {
+      kept.push_back(conj);
+    }
+  }
+  if (pushed.empty()) {
+    return Status::InvalidArgument("SPLIT_QUAL: no pushable conjunct");
+  }
+  env->SetVar(args[4]->var_name(), term::MakeConjunction(pushed));
+  env->SetVar(args[5]->var_name(), term::MakeConjunction(kept));
+  return Status::OK();
+}
+
+// ---------------- standard term functions ----------------
+
+// APPEND(a, b, ...): splices LIST arguments, keeps other arguments as
+// single elements, yields one LIST. The merge rule writes
+// append(x*, v*, z) and gets LIST(x..., v..., z-elements...).
+Result<TermRef> TermAppend(const TermList& args, const RewriteContext& ctx) {
+  (void)ctx;
+  TermList out;
+  for (const TermRef& a : args) {
+    if (a->IsApply(term::kList)) {
+      out.insert(out.end(), a->args().begin(), a->args().end());
+    } else {
+      out.push_back(a);
+    }
+  }
+  return Term::List(std::move(out));
+}
+
+// SET_UNION(a, b, ...): same for SET arguments.
+Result<TermRef> TermSetUnion(const TermList& args, const RewriteContext& ctx) {
+  (void)ctx;
+  TermList out;
+  for (const TermRef& a : args) {
+    if (a->IsApply(term::kSet)) {
+      out.insert(out.end(), a->args().begin(), a->args().end());
+    } else {
+      out.push_back(a);
+    }
+  }
+  return Term::MakeSet(std::move(out));
+}
+
+}  // namespace
+
+Status BuiltinRegistry::RegisterMethod(const std::string& name, MethodFn fn) {
+  auto [it, inserted] = methods_.emplace(ToUpperAscii(name), std::move(fn));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("method '" + name + "' already registered");
+  }
+  return Status::OK();
+}
+
+Status BuiltinRegistry::RegisterTermFunction(const std::string& name,
+                                             TermFn fn) {
+  auto [it, inserted] = term_fns_.emplace(ToUpperAscii(name), std::move(fn));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("term function '" + name +
+                                 "' already registered");
+  }
+  return Status::OK();
+}
+
+bool BuiltinRegistry::HasMethod(const std::string& name) const {
+  return methods_.count(ToUpperAscii(name)) > 0;
+}
+
+bool BuiltinRegistry::HasTermFunction(const std::string& name) const {
+  return term_fns_.count(ToUpperAscii(name)) > 0;
+}
+
+Status BuiltinRegistry::InvokeMethod(const std::string& name,
+                                     const term::TermList& args,
+                                     term::Bindings* env,
+                                     const RewriteContext& ctx) const {
+  auto it = methods_.find(ToUpperAscii(name));
+  if (it == methods_.end()) {
+    return Status::NotFound("unknown method '" + name + "'");
+  }
+  return it->second(args, env, ctx);
+}
+
+std::optional<Result<term::TermRef>> BuiltinRegistry::InvokeTermFunction(
+    const std::string& name, const term::TermList& args,
+    const RewriteContext& ctx) const {
+  auto it = term_fns_.find(ToUpperAscii(name));
+  if (it == term_fns_.end()) return std::nullopt;
+  return it->second(args, ctx);
+}
+
+void BuiltinRegistry::InstallStandard() {
+  (void)RegisterMethod("EVALUATE", MethodEvaluate);
+  (void)RegisterMethod("SCHEMA", MethodSchema);
+  (void)RegisterMethod("POSITION", MethodPosition);
+  (void)RegisterMethod("MERGE_SUBST", MethodMergeSubst);
+  (void)RegisterMethod("SHIFT_ATTRS", MethodShiftAttrs);
+  (void)RegisterMethod("SPLIT_QUAL", MethodSplitQual);
+  (void)RegisterTermFunction("APPEND", TermAppend);
+  (void)RegisterTermFunction("SET_UNION", TermSetUnion);
+}
+
+// ---------------- constraint evaluation ----------------
+
+std::optional<value::Value> TryEvalToValue(const term::TermRef& t,
+                                           const RewriteContext& ctx) {
+  if (t->is_constant()) return t->constant();
+  if (!t->is_apply()) return std::nullopt;
+  const std::string& f = t->functor();
+  if (f == term::kSet || f == "BAG" || f == term::kList ||
+      f == term::kTuple) {
+    std::vector<value::Value> elems;
+    elems.reserve(t->arity());
+    for (const TermRef& a : t->args()) {
+      std::optional<value::Value> v = TryEvalToValue(a, ctx);
+      if (!v.has_value()) return std::nullopt;
+      elems.push_back(std::move(*v));
+    }
+    if (f == term::kSet) return value::Value::Set(std::move(elems));
+    if (f == "BAG") return value::Value::Bag(std::move(elems));
+    if (f == term::kList) return value::Value::List(std::move(elems));
+    return value::Value::Tuple(std::move(elems));
+  }
+  const value::FunctionLibrary* lib =
+      ctx.catalog != nullptr ? &ctx.catalog->functions()
+                             : &value::FunctionLibrary::Default();
+  if (!lib->Contains(f)) return std::nullopt;
+  std::vector<value::Value> args;
+  args.reserve(t->arity());
+  for (const TermRef& a : t->args()) {
+    std::optional<value::Value> v = TryEvalToValue(a, ctx);
+    if (!v.has_value()) return std::nullopt;
+    args.push_back(std::move(*v));
+  }
+  Result<value::Value> r = lib->Call(f, args);
+  if (!r.ok()) return std::nullopt;
+  return std::move(r).value();
+}
+
+term::TermRef ValueToTerm(const value::Value& v) {
+  // Scalars and structured values alike can live in a constant term; the
+  // rewriter's structural SET/LIST terms are only needed for patterns.
+  return Term::Constant(v);
+}
+
+namespace {
+
+// Maps a collection-kind name to a type for ISA checks; null if not one.
+types::TypeRef CollectionKindType(const std::string& upper) {
+  using types::Type;
+  using types::TypeKind;
+  if (upper == "SET") return Type::MakeCollection(TypeKind::kSet, nullptr);
+  if (upper == "BAG") return Type::MakeCollection(TypeKind::kBag, nullptr);
+  if (upper == "LIST") return Type::MakeCollection(TypeKind::kList, nullptr);
+  if (upper == "ARRAY") {
+    return Type::MakeCollection(TypeKind::kArray, nullptr);
+  }
+  if (upper == "COLLECTION") {
+    return Type::MakeCollection(TypeKind::kCollection, nullptr);
+  }
+  return nullptr;
+}
+
+Result<bool> EvalIsa(const term::TermList& args, const Bindings& env,
+                     const RewriteContext& ctx) {
+  if (args.size() != 2) {
+    return Status::InvalidArgument("ISA expects two arguments");
+  }
+  std::string type_name;
+  if (args[1]->is_variable()) {
+    type_name = args[1]->var_name();
+  } else if (args[1]->is_constant() &&
+             args[1]->constant().kind() == value::ValueKind::kString) {
+    type_name = args[1]->constant().AsString();
+  } else {
+    return Status::InvalidArgument("ISA: second argument must name a type");
+  }
+  EDS_ASSIGN_OR_RETURN(TermRef subject, InstArg(args[0], env));
+  const std::string upper = ToUpperAscii(type_name);
+
+  // Pseudo-type CONSTANT: the term folds to a value (Fig. 12's
+  // ISA(x, constant) guards for EVALUATE).
+  if (upper == "CONSTANT") {
+    return TryEvalToValue(subject, ctx).has_value();
+  }
+
+  // Resolve the subject's type via the scope oracle when available.
+  types::TypeRef subject_type;
+  if (ctx.type_of) {
+    Result<types::TypeRef> r = ctx.type_of(subject);
+    if (r.ok()) subject_type = *r;
+  }
+  if (subject_type == nullptr) {
+    // Syntactic fallbacks: literal collection terms and constants.
+    if (subject->IsApply(term::kSet)) {
+      subject_type = types::Type::MakeCollection(types::TypeKind::kSet,
+                                                 nullptr);
+    } else if (subject->IsApply(term::kList)) {
+      subject_type = types::Type::MakeCollection(types::TypeKind::kList,
+                                                 nullptr);
+    } else if (subject->is_constant()) {
+      switch (subject->constant().kind()) {
+        case value::ValueKind::kBool:
+        case value::ValueKind::kInt:
+        case value::ValueKind::kReal:
+        case value::ValueKind::kString: {
+          // Scalar constants: type from kind.
+          using types::Type;
+          using types::TypeKind;
+          TypeKind k = subject->constant().kind() == value::ValueKind::kBool
+                           ? TypeKind::kBool
+                       : subject->constant().kind() == value::ValueKind::kInt
+                           ? TypeKind::kInt
+                       : subject->constant().kind() == value::ValueKind::kReal
+                           ? TypeKind::kReal
+                           : TypeKind::kChar;
+          subject_type = Type::MakeScalar(k);
+          break;
+        }
+        case value::ValueKind::kSet:
+          subject_type = types::Type::MakeCollection(types::TypeKind::kSet,
+                                                     nullptr);
+          break;
+        case value::ValueKind::kList:
+          subject_type = types::Type::MakeCollection(types::TypeKind::kList,
+                                                     nullptr);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  if (subject_type == nullptr) return false;
+
+  if (types::TypeRef kind_type = CollectionKindType(upper)) {
+    return types::Isa(subject_type, kind_type);
+  }
+  if (ctx.catalog == nullptr) return false;
+  Result<types::TypeRef> named = ctx.catalog->types().Find(type_name);
+  if (!named.ok()) {
+    return Status::TypeError("ISA: unknown type '" + type_name + "'");
+  }
+  return types::Isa(subject_type, *named);
+}
+
+Result<bool> EvalMember(const term::TermList& args, const Bindings& env,
+                        const RewriteContext& ctx) {
+  if (args.size() != 2) {
+    return Status::InvalidArgument("MEMBER expects two arguments");
+  }
+  EDS_ASSIGN_OR_RETURN(TermRef elem, InstArg(args[0], env));
+  EDS_ASSIGN_OR_RETURN(TermRef coll, InstArg(args[1], env));
+  std::optional<value::Value> ev = TryEvalToValue(elem, ctx);
+  std::optional<value::Value> cv = TryEvalToValue(coll, ctx);
+  if (ev.has_value() && cv.has_value() && cv->is_collection()) {
+    const auto& es = cv->elements();
+    return std::find(es.begin(), es.end(), *ev) != es.end();
+  }
+  if (coll->IsApply(term::kSet) || coll->IsApply(term::kList) ||
+      coll->IsApply("BAG")) {
+    for (const TermRef& c : coll->args()) {
+      if (term::Equals(c, elem)) return true;
+    }
+    return false;
+  }
+  return Status::InvalidArgument("MEMBER: uninterpretable collection " +
+                                 coll->ToString());
+}
+
+Result<bool> EvalRefersOnly(const term::TermList& args, const Bindings& env,
+                            const RewriteContext& ctx, bool only) {
+  (void)ctx;
+  if (args.size() != (only ? 3u : 2u)) {
+    return Status::InvalidArgument(only ? "REFERS_ONLY expects (qual, i, cols)"
+                                        : "NOREF expects (qual, i)");
+  }
+  EDS_ASSIGN_OR_RETURN(TermRef qual, InstArg(args[0], env));
+  EDS_ASSIGN_OR_RETURN(TermRef pos_t, InstArg(args[1], env));
+  if (!pos_t->is_constant() ||
+      pos_t->constant().kind() != value::ValueKind::kInt) {
+    return Status::InvalidArgument("input index must be an integer");
+  }
+  int64_t pos = pos_t->constant().AsInt();
+  std::vector<lera::AttrRef> attrs;
+  lera::CollectAttrs(qual, &attrs);
+  if (!only) {
+    for (const lera::AttrRef& a : attrs) {
+      if (a.input == pos) return false;
+    }
+    return true;
+  }
+  EDS_ASSIGN_OR_RETURN(TermRef cols_t, InstArg(args[2], env));
+  if (!cols_t->IsApply(term::kList)) {
+    return Status::InvalidArgument("REFERS_ONLY: cols must be a LIST");
+  }
+  std::vector<int64_t> cols;
+  for (const TermRef& c : cols_t->args()) {
+    if (!c->is_constant() || c->constant().kind() != value::ValueKind::kInt) {
+      return Status::InvalidArgument("REFERS_ONLY: col not an int");
+    }
+    cols.push_back(c->constant().AsInt());
+  }
+  for (const lera::AttrRef& a : attrs) {
+    if (a.input == pos &&
+        std::find(cols.begin(), cols.end(), a.column) == cols.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<bool> EvalConstraint(const term::TermRef& constraint,
+                            const term::Bindings& env,
+                            const RewriteContext& ctx) {
+  if (constraint->is_constant()) {
+    if (constraint->constant().kind() == value::ValueKind::kBool) {
+      return constraint->constant().AsBool();
+    }
+    return Status::InvalidArgument("non-boolean constraint constant");
+  }
+  if (!constraint->is_apply()) {
+    return Status::InvalidArgument("uninterpretable constraint: " +
+                                   constraint->ToString());
+  }
+  const std::string& f = constraint->functor();
+  if (f == term::kAnd && constraint->arity() == 2) {
+    EDS_ASSIGN_OR_RETURN(bool a, EvalConstraint(constraint->arg(0), env, ctx));
+    if (!a) return false;
+    return EvalConstraint(constraint->arg(1), env, ctx);
+  }
+  if (f == term::kOr && constraint->arity() == 2) {
+    EDS_ASSIGN_OR_RETURN(bool a, EvalConstraint(constraint->arg(0), env, ctx));
+    if (a) return true;
+    return EvalConstraint(constraint->arg(1), env, ctx);
+  }
+  if (f == term::kNot && constraint->arity() == 1) {
+    EDS_ASSIGN_OR_RETURN(bool a, EvalConstraint(constraint->arg(0), env, ctx));
+    return !a;
+  }
+  if (f == "ISA") return EvalIsa(constraint->args(), env, ctx);
+  if (f == "MEMBER") return EvalMember(constraint->args(), env, ctx);
+  if (f == "HAS_CONJUNCT") {
+    // HAS_CONJUNCT(f, c): structural membership of c among f's conjuncts;
+    // the duplicate guard for constraint-addition rules (Figs. 10/11).
+    if (constraint->arity() != 2) {
+      return Status::InvalidArgument("HAS_CONJUNCT expects (qual, conjunct)");
+    }
+    EDS_ASSIGN_OR_RETURN(TermRef qual, InstArg(constraint->arg(0), env));
+    EDS_ASSIGN_OR_RETURN(TermRef conj, InstArg(constraint->arg(1), env));
+    for (const TermRef& c : term::Conjuncts(qual)) {
+      if (term::Equals(c, conj)) return true;
+    }
+    return false;
+  }
+  if (f == "REFERS_ONLY") {
+    return EvalRefersOnly(constraint->args(), env, ctx, /*only=*/true);
+  }
+  if (f == "NOREF") {
+    return EvalRefersOnly(constraint->args(), env, ctx, /*only=*/false);
+  }
+  if (f == term::kEq || f == term::kNe) {
+    EDS_ASSIGN_OR_RETURN(TermRef a, InstArg(constraint->arg(0), env));
+    EDS_ASSIGN_OR_RETURN(TermRef b, InstArg(constraint->arg(1), env));
+    std::optional<value::Value> av = TryEvalToValue(a, ctx);
+    std::optional<value::Value> bv = TryEvalToValue(b, ctx);
+    bool eq = (av.has_value() && bv.has_value()) ? (*av == *bv)
+                                                 : term::Equals(a, b);
+    return f == term::kEq ? eq : !eq;
+  }
+  // Generic case: instantiate the whole constraint and constant-fold it.
+  EDS_ASSIGN_OR_RETURN(TermRef inst, term::ApplySubstitution(constraint, env));
+  std::optional<value::Value> v = TryEvalToValue(inst, ctx);
+  if (v.has_value() && v->kind() == value::ValueKind::kBool) {
+    return v->AsBool();
+  }
+  return Status::Unsupported("cannot evaluate constraint: " +
+                             inst->ToString());
+}
+
+Result<term::TermRef> EvalTermFunctions(const term::TermRef& t,
+                                        const BuiltinRegistry& builtins,
+                                        const RewriteContext& ctx) {
+  if (!t->is_apply()) return t;
+  TermList args;
+  args.reserve(t->arity());
+  bool changed = false;
+  for (const TermRef& a : t->args()) {
+    EDS_ASSIGN_OR_RETURN(TermRef e, EvalTermFunctions(a, builtins, ctx));
+    if (e.get() != a.get()) changed = true;
+    args.push_back(std::move(e));
+  }
+  std::optional<Result<TermRef>> fn =
+      builtins.InvokeTermFunction(t->functor(), args, ctx);
+  if (fn.has_value()) {
+    EDS_ASSIGN_OR_RETURN(TermRef out, std::move(*fn));
+    return out;
+  }
+  if (!changed) return t;
+  return Term::Apply(t->functor(), std::move(args));
+}
+
+}  // namespace eds::rewrite

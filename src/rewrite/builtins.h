@@ -1,0 +1,131 @@
+#ifndef EDS_REWRITE_BUILTINS_H_
+#define EDS_REWRITE_BUILTINS_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "term/substitution.h"
+#include "term/term.h"
+#include "types/type.h"
+
+namespace eds::rewrite {
+
+// Context a rule application runs in: the paper's "a rule has a context,
+// which is the query and the database on which it is applied". The engine
+// fills `type_of` with a scope-aware oracle while traversing qualification /
+// projection positions (ATTR references resolve against the enclosing
+// operator's input schemas).
+struct RewriteContext {
+  const catalog::Catalog* catalog = nullptr;
+
+  // Resolves the ESQL type of an expression term in the current scope.
+  // Null when no scope information is available.
+  std::function<Result<types::TypeRef>(const term::TermRef&)> type_of;
+};
+
+// A method (rule action): reads its raw argument terms (as written in the
+// rule), consults/extends the bindings, and binds output variables.
+using MethodFn = std::function<Status(
+    const term::TermList& args, term::Bindings* env, const RewriteContext&)>;
+
+// An optimizer term function, evaluated while building the right term
+// (e.g. APPEND splices LIST arguments, SET_UNION splices SET arguments).
+using TermFn = std::function<Result<term::TermRef>(const term::TermList& args,
+                                                   const RewriteContext&)>;
+
+// Registry of methods and term functions. The database implementor extends
+// the rewriter by registering C++ callables here, mirroring the paper's
+// "external functions should be defined in the ADT function library".
+class BuiltinRegistry {
+ public:
+  BuiltinRegistry() = default;
+  BuiltinRegistry(const BuiltinRegistry&) = delete;
+  BuiltinRegistry& operator=(const BuiltinRegistry&) = delete;
+
+  Status RegisterMethod(const std::string& name, MethodFn fn);
+  Status RegisterTermFunction(const std::string& name, TermFn fn);
+  bool HasMethod(const std::string& name) const;
+  bool HasTermFunction(const std::string& name) const;
+
+  Status InvokeMethod(const std::string& name, const term::TermList& args,
+                      term::Bindings* env, const RewriteContext& ctx) const;
+  // Returns nullopt if `name` is not a term function.
+  std::optional<Result<term::TermRef>> InvokeTermFunction(
+      const std::string& name, const term::TermList& args,
+      const RewriteContext& ctx) const;
+
+  // Installs the standard builtins:
+  //   methods   EVALUATE(expr, out)    constant-fold expr, bind out
+  //             SCHEMA(rel, out)       out := the identity projection over
+  //                                    rel's schema ($1.1..$1.n); a LIST of
+  //                                    relations spans all of them
+  //             POSITION(x*, out)      out := |x*| + 1, the input position
+  //                                    following the inputs x* absorbed
+  //             MERGE_SUBST(e, x*, v*, z, b, out)
+  //                                    remap e's ATTR refs through the
+  //                                    inner projection b for the search-
+  //                                    merging rule (Fig. 7)
+  //             SHIFT_ATTRS(e, x*, v*, out)
+  //                                    shift e's input indices by |x*|+|v*|
+  //                                    (the inner qualification's side of
+  //                                    the same merge)
+  //             SPLIT_QUAL(f, pos, z, nested_cols, pushed, kept)
+  //                                    split f's conjuncts into the part
+  //                                    pushable below a NEST/set-op input
+  //                                    at `pos` (renumbered to z's own
+  //                                    columns) and the rest; fails when
+  //                                    nothing is pushable (Fig. 8's REFER)
+  //   term fns  APPEND(...)            splice LIST arguments into one LIST
+  //             SET_UNION(...)         splice SET arguments into one SET
+  // (ADORNMENT and ALEXANDER are installed by magic/InstallMagicBuiltins;
+  // CLOSE_PREDICATES and SIMPLIFY_QUAL by rules/InstallSemanticBuiltins.)
+  void InstallStandard();
+
+ private:
+  std::map<std::string, MethodFn> methods_;
+  std::map<std::string, TermFn> term_fns_;
+};
+
+// Evaluates one rule constraint under `env`. Handles (per §4.1):
+//   * AND / OR / NOT combinations;
+//   * ISA(x, T): T names a type (catalog lookup), a collection kind
+//     (SET/BAG/LIST/ARRAY/COLLECTION), or the pseudo-type CONSTANT. The
+//     type of x comes from ctx.type_of (scope-aware) with a syntactic
+//     fallback (literal SET(...) terms, constants);
+//   * MEMBER(t, c): when c is (or is bound to) a term-level collection,
+//     structural membership; when evaluable to values, value membership;
+//   * REFERS_ONLY(qual, i, cols) / NOREF(qual, i): ATTR-reference checks
+//     used by the permutation rules (the paper's REFER);
+//   * comparison functors: evaluated over values when both sides constant-
+//     fold, otherwise structural equality for EQ/NE;
+//   * any ground boolean term: evaluated through the catalog's function
+//     library.
+// An error means the constraint could not be evaluated (the engine treats
+// it as "rule not applicable" and records it in the trace).
+Result<bool> EvalConstraint(const term::TermRef& constraint,
+                            const term::Bindings& env,
+                            const RewriteContext& ctx);
+
+// Constant-folds `t` to a runtime value if possible: constants, SET/LIST/
+// BAG/TUPLE literals of foldable elements, and registered pure functions of
+// foldable arguments. Returns nullopt when not foldable.
+std::optional<value::Value> TryEvalToValue(const term::TermRef& t,
+                                           const RewriteContext& ctx);
+
+// Bottom-up pass replacing registered term functions (APPEND, SET_UNION)
+// in an instantiated right term.
+Result<term::TermRef> EvalTermFunctions(const term::TermRef& t,
+                                        const BuiltinRegistry& builtins,
+                                        const RewriteContext& ctx);
+
+// Converts a runtime value back to a constant/literal term (inverse of
+// TryEvalToValue for the kinds EVALUATE can produce).
+term::TermRef ValueToTerm(const value::Value& v);
+
+}  // namespace eds::rewrite
+
+#endif  // EDS_REWRITE_BUILTINS_H_

@@ -1,0 +1,339 @@
+#include "rewrite/engine.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "lera/lera.h"
+#include "lera/schema.h"
+#include "rewrite/match.h"
+
+namespace eds::rewrite {
+
+using term::Term;
+using term::TermList;
+using term::TermRef;
+
+// Scope information while traversing: the input schemas visible to ATTR
+// references at the current position (set when descending into the
+// qualification / projection arguments of relational operators).
+struct Engine::Scope {
+  std::vector<lera::Schema> input_schemas;
+  bool has_schemas = false;
+};
+
+struct Engine::RunState {
+  const RewriteOptions* options = nullptr;
+  EngineStats stats;
+  std::vector<TraceEntry> trace;
+  const std::string* current_block = nullptr;
+  // Memoized schema inference keyed by term node identity. Terms are
+  // immutable, so a live node's pointer uniquely identifies its subtree;
+  // `retained` keeps every intermediate root alive for the whole run so a
+  // freed node's address can never be recycled into a different term and
+  // alias a stale memo entry. Schema inference runs at every traversal
+  // descent into a qualification/projection position, which dominates
+  // rewrite time without this cache.
+  std::map<const term::Term*, std::optional<lera::Schema>> schema_memo;
+  std::vector<term::TermRef> retained;
+};
+
+Engine::Engine(const catalog::Catalog* cat, const BuiltinRegistry* builtins,
+               RewriteProgram program)
+    : catalog_(cat), builtins_(builtins), program_(std::move(program)) {
+  // Build the per-block discrimination indexes. Order within each merged
+  // list preserves block order (rule priority).
+  block_indexes_.reserve(program_.blocks.size());
+  for (const RuleBlock& block : program_.blocks) {
+    BlockIndex index;
+    std::set<std::string> functors;
+    for (const Rule& rule : block.rules) {
+      if (rule.lhs->is_apply() && rule.lhs->functor().front() != '?') {
+        functors.insert(rule.lhs->functor());
+      }
+    }
+    for (const Rule& rule : block.rules) {
+      if (rule.lhs->is_variable()) {
+        index.generic_apply.push_back(&rule);
+        index.var_only.push_back(&rule);
+        for (const std::string& f : functors) {
+          index.merged_by_functor[f].push_back(&rule);
+        }
+      } else if (rule.lhs->is_apply() && rule.lhs->functor().front() == '?') {
+        index.generic_apply.push_back(&rule);
+        for (const std::string& f : functors) {
+          index.merged_by_functor[f].push_back(&rule);
+        }
+      } else if (rule.lhs->is_apply()) {
+        index.merged_by_functor[rule.lhs->functor()].push_back(&rule);
+      } else {
+        // Constant-rooted left terms are legal but pointless; keep them in
+        // the generic list so they still get tried.
+        index.generic_apply.push_back(&rule);
+        index.var_only.push_back(&rule);
+      }
+    }
+    block_indexes_.push_back(std::move(index));
+  }
+}
+
+const std::vector<const Rule*>& Engine::BlockIndex::Candidates(
+    const term::TermRef& node) const {
+  if (!node->is_apply()) return var_only;
+  auto it = merged_by_functor.find(node->functor());
+  if (it != merged_by_functor.end()) return it->second;
+  return generic_apply;
+}
+
+Status Engine::ValidateProgram() const {
+  for (const RuleBlock& block : program_.blocks) {
+    for (const Rule& rule : block.rules) {
+      EDS_RETURN_IF_ERROR(ValidateRule(rule, *builtins_));
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Fast pre-filter: an apply-rooted pattern can only match an apply node
+// with the same functor (functor variables match anything) and a
+// compatible arity.
+bool QuickReject(const term::TermRef& lhs, const term::TermRef& node) {
+  if (!lhs->is_apply()) return false;
+  if (!node->is_apply()) return true;
+  const bool functor_var = lhs->functor().front() == '?';
+  if (!functor_var && lhs->functor() != node->functor()) return true;
+  bool has_coll_var = false;
+  for (const TermRef& a : lhs->args()) {
+    if (a->is_collection_variable()) {
+      has_coll_var = true;
+      break;
+    }
+  }
+  if (!has_coll_var && lhs->arity() != node->arity()) return true;
+  if (has_coll_var && node->arity() + 1 < lhs->arity()) return true;
+  return false;
+}
+
+}  // namespace
+
+term::TermRef Engine::TryRulesAt(const term::TermRef& node,
+                                 const Scope& scope, const RuleBlock& block,
+                                 const BlockIndex& index, int64_t* budget,
+                                 RunState* state) const {
+  (void)block;
+  RewriteContext ctx;
+  ctx.catalog = catalog_;
+  if (scope.has_schemas) {
+    const std::vector<lera::Schema>* schemas = &scope.input_schemas;
+    const catalog::Catalog* cat = catalog_;
+    ctx.type_of = [schemas, cat](const TermRef& t) {
+      return lera::InferExprType(t, *schemas, *cat);
+    };
+  }
+  for (const Rule* rule_ptr : index.Candidates(node)) {
+    const Rule& rule = *rule_ptr;
+    if (*budget == 0) return nullptr;
+    if (QuickReject(rule.lhs, node)) continue;
+    // This is a rule-condition check: it burns budget (§4.2).
+    ++state->stats.condition_checks;
+    if (*budget > 0) --*budget;
+
+    TermRef rewritten;
+    Match(rule.lhs, node, term::Bindings(),
+          [&](const term::Bindings& env) -> bool {
+            // Constraints: all must evaluate to true; evaluation errors
+            // reject this candidate binding.
+            for (const TermRef& c : rule.constraints) {
+              Result<bool> ok = EvalConstraint(c, env, ctx);
+              if (!ok.ok() || !*ok) return false;
+            }
+            // Methods: run in order on a private copy of the bindings.
+            term::Bindings work = env;
+            for (const MethodCall& m : rule.methods) {
+              Status s = builtins_->InvokeMethod(m.name, m.args, &work, ctx);
+              if (!s.ok()) return false;
+            }
+            // Instantiate the right term and evaluate optimizer functions.
+            Result<TermRef> rhs = term::ApplySubstitution(rule.rhs, work);
+            if (!rhs.ok()) return false;
+            Result<TermRef> final_rhs =
+                EvalTermFunctions(*rhs, *builtins_, ctx);
+            if (!final_rhs.ok()) return false;
+            // No-op guard: a rewrite that reproduces the node exactly is
+            // rejected, so idempotent rules cannot loop.
+            if (term::Equals(*final_rhs, node)) return false;
+            rewritten = *final_rhs;
+            return true;
+          });
+    if (rewritten != nullptr) {
+      ++state->stats.applications;
+      ++state->stats.applications_by_rule[rule.name];
+      if (state->options->collect_trace) {
+        state->trace.push_back(
+            TraceEntry{*state->current_block, rule.name, node, rewritten});
+      }
+      return rewritten;
+    }
+  }
+  return nullptr;
+}
+
+term::TermRef Engine::TryOnce(const term::TermRef& node, const Scope& scope,
+                              const RuleBlock& block, const BlockIndex& index,
+                              int64_t* budget, RunState* state) const {
+  if (*budget == 0 ||
+      state->stats.applications >= state->options->max_applications) {
+    return nullptr;
+  }
+  if (TermRef r = TryRulesAt(node, scope, block, index, budget, state)) {
+    return r;
+  }
+  if (!node->is_apply()) return nullptr;
+
+  // Compute per-argument scopes for relational operators whose scalar
+  // arguments carry ATTR references.
+  const std::string& f = node->functor();
+  auto schema_of = [this, state](
+                       const TermRef& in) -> const std::optional<lera::Schema>& {
+    auto it = state->schema_memo.find(in.get());
+    if (it == state->schema_memo.end()) {
+      Result<lera::Schema> s = lera::InferSchema(in, *catalog_);
+      it = state->schema_memo
+               .emplace(in.get(), s.ok() ? std::optional<lera::Schema>(
+                                               std::move(*s))
+                                         : std::nullopt)
+               .first;
+    }
+    return it->second;
+  };
+  auto schemas_of_inputs =
+      [&schema_of](
+          const TermList& inputs) -> std::optional<std::vector<lera::Schema>> {
+    std::vector<lera::Schema> out;
+    out.reserve(inputs.size());
+    for (const TermRef& in : inputs) {
+      const std::optional<lera::Schema>& s = schema_of(in);
+      if (!s.has_value()) return std::nullopt;
+      out.push_back(*s);
+    }
+    return out;
+  };
+
+  for (size_t i = 0; i < node->arity(); ++i) {
+    Scope child_scope = scope;  // expressions inherit the enclosing scope
+    bool is_scalar_position = false;
+    if (f == lera::kSearch && node->arity() == 3 &&
+        node->arg(0)->IsApply(term::kList)) {
+      if (i == 0) {
+        child_scope = Scope{};  // relational inputs: fresh scope
+      } else {
+        is_scalar_position = true;
+        if (auto s = schemas_of_inputs(node->arg(0)->args())) {
+          child_scope = Scope{std::move(*s), true};
+        } else {
+          child_scope = Scope{};
+        }
+      }
+    } else if ((f == lera::kFilter || f == lera::kProject) &&
+               node->arity() == 2) {
+      if (i == 0) {
+        child_scope = Scope{};
+      } else {
+        is_scalar_position = true;
+        if (auto s = schemas_of_inputs({node->arg(0)})) {
+          child_scope = Scope{std::move(*s), true};
+        } else {
+          child_scope = Scope{};
+        }
+      }
+    } else if (f == lera::kJoin && node->arity() == 3) {
+      if (i < 2) {
+        child_scope = Scope{};
+      } else {
+        is_scalar_position = true;
+        if (auto s = schemas_of_inputs({node->arg(0), node->arg(1)})) {
+          child_scope = Scope{std::move(*s), true};
+        } else {
+          child_scope = Scope{};
+        }
+      }
+    } else if (lera::IsRelationalOp(node)) {
+      // Other relational operators (UNION, FIX, NEST, ...): children that
+      // are relational start a fresh scope; constant arguments are skipped
+      // by matching anyway.
+      child_scope = Scope{};
+    }
+    (void)is_scalar_position;
+    if (TermRef r = TryOnce(node->arg(i), child_scope, block, index, budget,
+                            state)) {
+      TermList args = node->args();
+      args[i] = std::move(r);
+      return Term::Apply(node->functor(), std::move(args));
+    }
+    if (*budget == 0) return nullptr;
+  }
+  return nullptr;
+}
+
+Result<RewriteOutcome> Engine::Rewrite(const term::TermRef& query,
+                                       const RewriteOptions& options) const {
+  RunState state;
+  state.options = &options;
+  TermRef current = query;
+
+  int64_t seq_remaining =
+      program_.seq_limit < 0 ? kSaturate : program_.seq_limit;
+  bool progressed = true;
+  while (progressed && seq_remaining != 0 && !state.stats.safety_stop) {
+    progressed = false;
+    ++state.stats.passes;
+    for (size_t block_idx = 0; block_idx < program_.blocks.size();
+         ++block_idx) {
+      const RuleBlock& block = program_.blocks[block_idx];
+      const BlockIndex& index = block_indexes_[block_idx];
+      state.current_block = &block.name;
+      int64_t budget = block.limit;
+      if (options.budget_per_node > 0 && budget != kSaturate) {
+        budget = static_cast<int64_t>(
+            options.budget_per_node *
+            static_cast<double>(term::CountNodes(query)));
+      }
+      // Apply the block's rules until saturation, budget exhaustion, or a
+      // cycle: oscillating rule pairs (A -> B -> A) would otherwise burn
+      // the whole budget re-deriving the same terms — the §7 pathology.
+      std::set<uint64_t> seen;
+      seen.insert(term::Hash(current));
+      while (true) {
+        if (state.stats.applications >= options.max_applications) {
+          state.stats.safety_stop = true;
+          break;
+        }
+        Scope root_scope;
+        TermRef next =
+            TryOnce(current, root_scope, block, index, &budget, &state);
+        if (next == nullptr) break;
+        bool fresh = seen.insert(term::Hash(next)).second;
+        state.retained.push_back(current);  // pin for the schema memo
+        current = std::move(next);
+        progressed = true;
+        if (!fresh) {
+          ++state.stats.cycle_stops;
+          break;
+        }
+        if (budget == 0) break;
+      }
+      if (state.stats.safety_stop) break;
+    }
+    if (seq_remaining > 0) --seq_remaining;
+  }
+
+  RewriteOutcome outcome;
+  outcome.term = std::move(current);
+  outcome.stats = std::move(state.stats);
+  outcome.trace = std::move(state.trace);
+  return outcome;
+}
+
+}  // namespace eds::rewrite

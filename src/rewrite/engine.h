@@ -1,0 +1,134 @@
+#ifndef EDS_REWRITE_ENGINE_H_
+#define EDS_REWRITE_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "rewrite/builtins.h"
+#include "rewrite/rule.h"
+#include "term/term.h"
+
+namespace eds::rewrite {
+
+// Saturation marker for block limits: apply until no rule in the block
+// matches anywhere ("an infinite limit means application up to saturation",
+// §4.2).
+inline constexpr int64_t kSaturate = -1;
+
+// block({rules}, value): a group of rules with an application budget. Per
+// the paper, *each rule condition check* decrements the budget, not each
+// successful application.
+struct RuleBlock {
+  std::string name;
+  std::vector<Rule> rules;
+  int64_t limit = kSaturate;
+};
+
+// seq({blocks}, value): the generated optimizer is a sequence of blocks
+// applied in order, the whole list up to `seq_limit` times (§4.2). The same
+// rule may appear in several blocks.
+struct RewriteProgram {
+  std::vector<RuleBlock> blocks;
+  int64_t seq_limit = 1;
+};
+
+struct TraceEntry {
+  std::string block;
+  std::string rule;
+  term::TermRef before;  // the matched subterm
+  term::TermRef after;   // its replacement
+};
+
+struct EngineStats {
+  size_t applications = 0;      // successful rule applications
+  size_t condition_checks = 0;  // rule-condition checks (budget unit)
+  size_t passes = 0;            // block-sequence passes executed
+  size_t cycle_stops = 0;       // blocks cut short by the cycle guard
+  bool safety_stop = false;     // hit RewriteOptions::max_applications
+  std::map<std::string, size_t> applications_by_rule;
+};
+
+struct RewriteOptions {
+  // Global safety valve against non-terminating rule sets (termination is
+  // undecidable and the DBA can add arbitrary rules, §4.2). When hit, the
+  // engine stops and returns the best term so far with safety_stop set.
+  size_t max_applications = 100000;
+  bool collect_trace = false;
+  // §7's dynamic allocation: "The limit given to a block of rules could
+  // also be allocated dynamically, according to the complexity of the
+  // query." When positive, every finite block limit is replaced by
+  // ceil(budget_per_node × CountNodes(query)) — simple queries get small
+  // budgets, complex queries large ones. Saturation (kSaturate) blocks are
+  // unaffected. 0 keeps the static limits.
+  double budget_per_node = 0;
+};
+
+struct RewriteOutcome {
+  term::TermRef term;
+  EngineStats stats;
+  std::vector<TraceEntry> trace;
+};
+
+// The rewrite engine: holds the compiled program (blocks of rules in
+// sequence) and applies it to query terms. Rule applications search the
+// term top-down, left to right; after an application the search restarts
+// from the root so merged operators are reconsidered ("the search merging
+// rule ... takes advantage of being applied more than once", §5.3).
+class Engine {
+ public:
+  // `cat` and `builtins` must outlive the engine.
+  Engine(const catalog::Catalog* cat, const BuiltinRegistry* builtins,
+         RewriteProgram program);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Validates every rule in the program against the builtin registry.
+  Status ValidateProgram() const;
+
+  Result<RewriteOutcome> Rewrite(const term::TermRef& query,
+                                 const RewriteOptions& options = {}) const;
+
+  const RewriteProgram& program() const { return program_; }
+
+ private:
+  struct RunState;
+  struct Scope;
+
+  // Per-block discrimination index: rules keyed by their left term's root
+  // functor, so a node only pays for the rules that could match it. Each
+  // per-functor list is pre-merged (in block order) with the generic rules
+  // — functor-variable roots match any application, variable roots match
+  // anything.
+  struct BlockIndex {
+    std::map<std::string, std::vector<const Rule*>> merged_by_functor;
+    std::vector<const Rule*> generic_apply;  // ?F- and var-rooted rules
+    std::vector<const Rule*> var_only;       // var-rooted rules
+    const std::vector<const Rule*>& Candidates(
+        const term::TermRef& node) const;
+  };
+
+  // Attempts a single rule application anywhere in `node` (pre-order) using
+  // the rules of `block`. Returns the rewritten node or null.
+  term::TermRef TryOnce(const term::TermRef& node, const Scope& scope,
+                        const RuleBlock& block, const BlockIndex& index,
+                        int64_t* budget, RunState* state) const;
+
+  // Tries the block's candidate rules at exactly `node`.
+  term::TermRef TryRulesAt(const term::TermRef& node, const Scope& scope,
+                           const RuleBlock& block, const BlockIndex& index,
+                           int64_t* budget, RunState* state) const;
+
+  const catalog::Catalog* catalog_;
+  const BuiltinRegistry* builtins_;
+  RewriteProgram program_;
+  std::vector<BlockIndex> block_indexes_;  // parallel to program_.blocks
+};
+
+}  // namespace eds::rewrite
+
+#endif  // EDS_REWRITE_ENGINE_H_

@@ -1,0 +1,174 @@
+#include "rewrite/match.h"
+
+#include <algorithm>
+
+namespace eds::rewrite {
+
+using term::Bindings;
+using term::TermList;
+using term::TermRef;
+
+namespace {
+
+// Continuation style: each helper enumerates ways to match its slice and
+// calls `cont` with the extended environment; a `true` return means the
+// continuation accepted and enumeration must stop.
+using Cont = std::function<bool(const Bindings&)>;
+
+bool MatchNode(const TermRef& pattern, const TermRef& subject,
+               const Bindings& env, const Cont& cont);
+
+// Ordered sequence matching (LIST and plain functor argument lists) with
+// collection variables absorbing subsequences.
+bool MatchSeq(const TermList& pats, size_t pi, const TermList& subs,
+              size_t si, const Bindings& env, const Cont& cont) {
+  if (pi == pats.size()) {
+    return si == subs.size() ? cont(env) : false;
+  }
+  const TermRef& p = pats[pi];
+  if (p->is_collection_variable()) {
+    if (const TermList* bound = env.LookupCollVar(p->var_name())) {
+      // Already bound: must be a prefix of the remaining subjects.
+      if (si + bound->size() > subs.size()) return false;
+      for (size_t k = 0; k < bound->size(); ++k) {
+        if (!term::Equals((*bound)[k], subs[si + k])) return false;
+      }
+      return MatchSeq(pats, pi + 1, subs, si + bound->size(), env, cont);
+    }
+    // Try all split points, shortest absorption first.
+    for (size_t take = 0; take + si <= subs.size(); ++take) {
+      Bindings next = env;
+      next.SetCollVar(p->var_name(),
+                      TermList(subs.begin() + si, subs.begin() + si + take));
+      if (MatchSeq(pats, pi + 1, subs, si + take, next, cont)) return true;
+    }
+    return false;
+  }
+  if (si >= subs.size()) return false;
+  return MatchNode(p, subs[si], env, [&](const Bindings& env2) {
+    return MatchSeq(pats, pi + 1, subs, si + 1, env2, cont);
+  });
+}
+
+// SET patterns: concrete sub-patterns each claim a distinct subject element
+// (any position); at most one collection variable absorbs the leftovers.
+bool MatchSetAssign(const std::vector<TermRef>& concrete, size_t ci,
+                    const TermList& subs, std::vector<bool>& used,
+                    const TermRef& coll_var, const Bindings& env,
+                    const Cont& cont) {
+  if (ci == concrete.size()) {
+    TermList leftovers;
+    for (size_t i = 0; i < subs.size(); ++i) {
+      if (!used[i]) leftovers.push_back(subs[i]);
+    }
+    if (coll_var == nullptr) {
+      if (!leftovers.empty()) return false;
+      return cont(env);
+    }
+    if (const TermList* bound = env.LookupCollVar(coll_var->var_name())) {
+      // Compare as multisets: sort both by structural order.
+      if (bound->size() != leftovers.size()) return false;
+      TermList a = *bound, b = leftovers;
+      auto lt = [](const TermRef& x, const TermRef& y) {
+        return term::Compare(x, y) < 0;
+      };
+      std::sort(a.begin(), a.end(), lt);
+      std::sort(b.begin(), b.end(), lt);
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (!term::Equals(a[i], b[i])) return false;
+      }
+      return cont(env);
+    }
+    Bindings next = env;
+    next.SetCollVar(coll_var->var_name(), std::move(leftovers));
+    return cont(next);
+  }
+  for (size_t i = 0; i < subs.size(); ++i) {
+    if (used[i]) continue;
+    used[i] = true;
+    bool accepted = MatchNode(concrete[ci], subs[i], env,
+                              [&](const Bindings& env2) {
+                                return MatchSetAssign(concrete, ci + 1, subs,
+                                                      used, coll_var, env2,
+                                                      cont);
+                              });
+    used[i] = false;
+    if (accepted) return true;
+  }
+  return false;
+}
+
+bool MatchSet(const TermList& pats, const TermList& subs, const Bindings& env,
+              const Cont& cont) {
+  std::vector<TermRef> concrete;
+  TermRef coll_var;
+  for (const TermRef& p : pats) {
+    if (p->is_collection_variable()) {
+      if (coll_var != nullptr) return false;  // at most one per SET pattern
+      coll_var = p;
+    } else {
+      concrete.push_back(p);
+    }
+  }
+  if (concrete.size() > subs.size()) return false;
+  std::vector<bool> used(subs.size(), false);
+  return MatchSetAssign(concrete, 0, subs, used, coll_var, env, cont);
+}
+
+bool MatchNode(const TermRef& pattern, const TermRef& subject,
+               const Bindings& env, const Cont& cont) {
+  switch (pattern->kind()) {
+    case term::TermKind::kConstant:
+      if (subject->is_constant() &&
+          value::Compare(pattern->constant(), subject->constant()) == 0) {
+        return cont(env);
+      }
+      return false;
+    case term::TermKind::kVariable: {
+      Bindings next = env;
+      if (!next.BindVar(pattern->var_name(), subject)) return false;
+      return cont(next);
+    }
+    case term::TermKind::kCollectionVariable:
+      // Only legal inside an argument list; a bare collection-variable
+      // pattern cannot match a single term.
+      return false;
+    case term::TermKind::kApply: {
+      if (!subject->is_apply()) return false;
+      // Functor variables (?F) match any application and bind the functor
+      // name; argument lists still match positionally.
+      if (pattern->functor().front() == '?') {
+        Bindings next = env;
+        if (!next.BindVar(pattern->functor(),
+                          term::Term::Str(subject->functor()))) {
+          return false;
+        }
+        return MatchSeq(pattern->args(), 0, subject->args(), 0, next, cont);
+      }
+      if (subject->functor() != pattern->functor()) return false;
+      if (pattern->functor() == term::kSet) {
+        return MatchSet(pattern->args(), subject->args(), env, cont);
+      }
+      return MatchSeq(pattern->args(), 0, subject->args(), 0, env, cont);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Match(const term::TermRef& pattern, const term::TermRef& subject,
+           const term::Bindings& seed, const MatchCallback& on_match) {
+  return MatchNode(pattern, subject, seed, on_match);
+}
+
+bool MatchFirst(const term::TermRef& pattern, const term::TermRef& subject,
+                term::Bindings* out) {
+  return Match(pattern, subject, term::Bindings(),
+               [out](const term::Bindings& env) {
+                 if (out != nullptr) *out = env;
+                 return true;
+               });
+}
+
+}  // namespace eds::rewrite

@@ -1,0 +1,40 @@
+#ifndef EDS_REWRITE_MATCH_H_
+#define EDS_REWRITE_MATCH_H_
+
+#include <functional>
+
+#include "term/substitution.h"
+#include "term/term.h"
+
+namespace eds::rewrite {
+
+// Callback invoked for each way `pattern` matches `subject`. Return true to
+// accept the match and stop the search, false to keep enumerating
+// alternatives (the engine uses this to backtrack when a rule's constraints
+// reject a candidate binding).
+using MatchCallback = std::function<bool(const term::Bindings&)>;
+
+// Matches `pattern` (which may contain variables and collection variables)
+// against the ground term `subject`, extending `seed`. Enumerates bindings:
+//
+//   * ordinary functors and LIST match argument sequences in order;
+//     collection variables absorb subsequences, with backtracking over all
+//     split points;
+//   * SET patterns match modulo permutation of the subject's elements
+//     (bounded backtracking over assignments); at most one collection
+//     variable is supported per SET pattern and it absorbs the leftovers —
+//     the paper's rules never need more;
+//   * a variable matches any term (consistently across occurrences);
+//   * constants match equal constants.
+//
+// Returns true if the callback accepted some match.
+bool Match(const term::TermRef& pattern, const term::TermRef& subject,
+           const term::Bindings& seed, const MatchCallback& on_match);
+
+// Convenience: first match or nothing.
+bool MatchFirst(const term::TermRef& pattern, const term::TermRef& subject,
+                term::Bindings* out);
+
+}  // namespace eds::rewrite
+
+#endif  // EDS_REWRITE_MATCH_H_

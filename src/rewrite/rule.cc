@@ -1,0 +1,154 @@
+#include "rewrite/rule.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "rewrite/builtins.h"
+
+namespace eds::rewrite {
+
+std::string MethodCall::ToString() const {
+  std::ostringstream os;
+  os << name << '(';
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << args[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+std::string Rule::ToString() const {
+  std::ostringstream os;
+  if (!name.empty()) os << name << ": ";
+  os << lhs << " / ";
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << constraints[i];
+  }
+  os << " --> " << rhs << " / ";
+  for (size_t i = 0; i < methods.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << methods[i].ToString();
+  }
+  return os.str();
+}
+
+namespace {
+
+// Checks that every SET pattern node carries at most one collection
+// variable (the matcher's documented restriction).
+Status CheckSetPatterns(const term::TermRef& t) {
+  if (!t->is_apply()) return Status::OK();
+  if (t->functor() == term::kSet) {
+    int coll_vars = 0;
+    for (const auto& a : t->args()) {
+      if (a->is_collection_variable()) ++coll_vars;
+    }
+    if (coll_vars > 1) {
+      return Status::InvalidArgument(
+          "SET pattern with more than one collection variable: " +
+          t->ToString());
+    }
+  }
+  for (const auto& a : t->args()) {
+    EDS_RETURN_IF_ERROR(CheckSetPatterns(a));
+  }
+  return Status::OK();
+}
+
+bool Contains(const std::vector<std::string>& xs, const std::string& x) {
+  return std::find(xs.begin(), xs.end(), x) != xs.end();
+}
+
+}  // namespace
+
+Status ValidateRule(const Rule& rule, const BuiltinRegistry& builtins) {
+  if (rule.lhs == nullptr || rule.rhs == nullptr) {
+    return Status::InvalidArgument("rule '" + rule.name +
+                                   "' missing lhs or rhs");
+  }
+  EDS_RETURN_IF_ERROR(CheckSetPatterns(rule.lhs));
+
+  std::vector<std::string> lhs_vars, lhs_coll_vars;
+  term::CollectVariables(rule.lhs, &lhs_vars, &lhs_coll_vars);
+
+  // Variables a method call may bind: any variable appearing in its args
+  // that is not already bound (outputs by convention).
+  std::vector<std::string> bindable = lhs_vars;
+  std::vector<std::string> bindable_coll = lhs_coll_vars;
+  for (const MethodCall& m : rule.methods) {
+    if (!builtins.HasMethod(m.name)) {
+      return Status::NotFound("rule '" + rule.name + "' uses unknown method '" +
+                              m.name + "'");
+    }
+    for (const term::TermRef& a : m.args) {
+      term::CollectVariables(a, &bindable, &bindable_coll);
+    }
+  }
+
+  // Constraint variables must come from the lhs. ISA's second argument is a
+  // type name, not a variable — skip it at any nesting depth (constraints
+  // may combine ISA checks with AND/OR/NOT, Fig. 11).
+  std::function<void(const term::TermRef&, std::vector<std::string>*,
+                     std::vector<std::string>*)>
+      collect_constraint_vars = [&](const term::TermRef& t,
+                                    std::vector<std::string>* vars,
+                                    std::vector<std::string>* coll_vars) {
+        if (t->IsApply("ISA", 2)) {
+          term::CollectVariables(t->arg(0), vars, coll_vars);
+          return;
+        }
+        if (t->is_apply()) {
+          if (!t->functor().empty() && t->functor().front() == '?') {
+            term::CollectVariables(t, vars, coll_vars);
+            return;
+          }
+          for (const term::TermRef& a : t->args()) {
+            collect_constraint_vars(a, vars, coll_vars);
+          }
+          return;
+        }
+        term::CollectVariables(t, vars, coll_vars);
+      };
+  for (const term::TermRef& c : rule.constraints) {
+    std::vector<std::string> cv, ccv;
+    collect_constraint_vars(c, &cv, &ccv);
+    for (const std::string& v : cv) {
+      if (!Contains(lhs_vars, v)) {
+        return Status::InvalidArgument("rule '" + rule.name +
+                                       "': constraint variable '" + v +
+                                       "' not bound by the left term");
+      }
+    }
+    for (const std::string& v : ccv) {
+      if (!Contains(lhs_coll_vars, v)) {
+        return Status::InvalidArgument("rule '" + rule.name +
+                                       "': constraint collection variable '" +
+                                       v + "*' not bound by the left term");
+      }
+    }
+  }
+
+  // RHS variables must be bound by the lhs or bindable by a method.
+  std::vector<std::string> rhs_vars, rhs_coll_vars;
+  term::CollectVariables(rule.rhs, &rhs_vars, &rhs_coll_vars);
+  for (const std::string& v : rhs_vars) {
+    if (!Contains(bindable, v)) {
+      return Status::InvalidArgument("rule '" + rule.name +
+                                     "': right-term variable '" + v +
+                                     "' is never bound");
+    }
+  }
+  for (const std::string& v : rhs_coll_vars) {
+    if (!Contains(bindable_coll, v)) {
+      return Status::InvalidArgument("rule '" + rule.name +
+                                     "': right-term collection variable '" +
+                                     v + "*' is never bound");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace eds::rewrite

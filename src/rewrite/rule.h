@@ -1,0 +1,51 @@
+#ifndef EDS_REWRITE_RULE_H_
+#define EDS_REWRITE_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "term/term.h"
+
+namespace eds::rewrite {
+
+// One method (action) call in a rule's conclusion:
+//   SUBSTITUTE(f, z, f2)  ->  name="SUBSTITUTE", args as written.
+// Methods run after the constraints accept a match and before the right
+// term is instantiated; they read bound variables and bind new ones (their
+// "output parameters used in the left term" per §4.1 — the outputs feed the
+// right term).
+struct MethodCall {
+  std::string name;
+  term::TermList args;
+
+  std::string ToString() const;
+};
+
+// A rewriting rule:  lhs / constraints --> rhs / methods.
+// The lhs is a pattern; constraints are boolean terms over the pattern's
+// variables; the rhs may use variables bound by the lhs or by methods.
+struct Rule {
+  std::string name;
+  term::TermRef lhs;
+  term::TermList constraints;         // conjunction; empty = always
+  term::TermRef rhs;
+  std::vector<MethodCall> methods;    // applied in order
+
+  // "name: lhs / c1, c2 --> rhs / m1, m2".
+  std::string ToString() const;
+};
+
+class BuiltinRegistry;
+
+// Static sanity checks on a rule:
+//   * every variable in `rhs` is bound by `lhs` or appears in a method call
+//     (methods may bind outputs);
+//   * every constraint's variables are bound by `lhs`;
+//   * at most one collection variable per SET pattern in `lhs`;
+//   * methods and special constraint functors must be registered.
+Status ValidateRule(const Rule& rule, const BuiltinRegistry& builtins);
+
+}  // namespace eds::rewrite
+
+#endif  // EDS_REWRITE_RULE_H_

@@ -1,0 +1,85 @@
+#include "ruledsl/compiler.h"
+
+#include <map>
+
+#include "common/strings.h"
+
+namespace eds::ruledsl {
+
+Result<rewrite::RewriteProgram> CompileProgram(
+    const CompiledUnit& unit, const rewrite::BuiltinRegistry& builtins) {
+  // Validate all rules first: a bad rule is an error even if unreferenced.
+  std::map<std::string, const rewrite::Rule*> by_name;
+  for (const rewrite::Rule& r : unit.rules) {
+    EDS_RETURN_IF_ERROR(rewrite::ValidateRule(r, builtins));
+    auto [it, inserted] = by_name.emplace(ToUpperAscii(r.name), &r);
+    (void)it;
+    if (!inserted) {
+      return Status::AlreadyExists("duplicate rule name '" + r.name + "'");
+    }
+  }
+
+  rewrite::RewriteProgram program;
+  if (unit.blocks.empty()) {
+    if (unit.seq.has_value()) {
+      return Status::InvalidArgument("seq declared without any blocks");
+    }
+    rewrite::RuleBlock all;
+    all.name = "default";
+    all.rules = unit.rules;
+    all.limit = rewrite::kSaturate;
+    program.blocks.push_back(std::move(all));
+    program.seq_limit = 1;
+    return program;
+  }
+
+  std::map<std::string, rewrite::RuleBlock> blocks;
+  std::vector<std::string> declaration_order;
+  for (const BlockDecl& decl : unit.blocks) {
+    rewrite::RuleBlock block;
+    block.name = decl.name;
+    block.limit = decl.limit;
+    for (const std::string& rule_name : decl.rule_names) {
+      auto it = by_name.find(ToUpperAscii(rule_name));
+      if (it == by_name.end()) {
+        return Status::NotFound("block '" + decl.name +
+                                "' references unknown rule '" + rule_name +
+                                "'");
+      }
+      block.rules.push_back(*it->second);
+    }
+    std::string key = ToUpperAscii(decl.name);
+    if (blocks.count(key) > 0) {
+      return Status::AlreadyExists("duplicate block name '" + decl.name +
+                                   "'");
+    }
+    blocks.emplace(std::move(key), std::move(block));
+    declaration_order.push_back(decl.name);
+  }
+
+  if (unit.seq.has_value()) {
+    for (const std::string& block_name : unit.seq->block_names) {
+      auto it = blocks.find(ToUpperAscii(block_name));
+      if (it == blocks.end()) {
+        return Status::NotFound("seq references unknown block '" +
+                                block_name + "'");
+      }
+      program.blocks.push_back(it->second);
+    }
+    program.seq_limit = unit.seq->limit;
+  } else {
+    for (const std::string& name : declaration_order) {
+      program.blocks.push_back(blocks.at(ToUpperAscii(name)));
+    }
+    program.seq_limit = 1;
+  }
+  return program;
+}
+
+Result<rewrite::RewriteProgram> CompileRuleSource(
+    std::string_view text, const rewrite::BuiltinRegistry& builtins) {
+  EDS_ASSIGN_OR_RETURN(CompiledUnit unit, ParseRuleSource(text));
+  return CompileProgram(unit, builtins);
+}
+
+}  // namespace eds::ruledsl

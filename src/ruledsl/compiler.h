@@ -1,0 +1,34 @@
+#ifndef EDS_RULEDSL_COMPILER_H_
+#define EDS_RULEDSL_COMPILER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "rewrite/builtins.h"
+#include "rewrite/engine.h"
+#include "ruledsl/parser.h"
+
+namespace eds::ruledsl {
+
+// Compiles a parsed unit into an executable RewriteProgram:
+//   * validates every rule against `builtins` (methods must exist,
+//     variables must be bound, SET patterns well-formed);
+//   * resolves block rule-name lists and the seq block-name list;
+//   * when no blocks are declared, all rules form one implicit saturation
+//     block, in definition order;
+//   * when blocks are declared but no seq, blocks run once in declaration
+//     order (seq limit 1).
+// A rule may appear in several blocks (§4.2); rules not referenced by any
+// declared block are dropped with no error (they may be intended for a
+// different program), which mirrors the paper's "changing block definitions
+// ... may completely change the generated optimizer".
+Result<rewrite::RewriteProgram> CompileProgram(
+    const CompiledUnit& unit, const rewrite::BuiltinRegistry& builtins);
+
+// Convenience: parse + compile in one call.
+Result<rewrite::RewriteProgram> CompileRuleSource(
+    std::string_view text, const rewrite::BuiltinRegistry& builtins);
+
+}  // namespace eds::ruledsl
+
+#endif  // EDS_RULEDSL_COMPILER_H_

@@ -1,0 +1,37 @@
+#include "ruledsl/lexer.h"
+
+namespace eds::ruledsl {
+
+std::string StripComments(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  bool in_string = false;
+  bool in_comment = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_comment) {
+      if (c == '\n') {
+        in_comment = false;
+        out += c;  // keep line structure for diagnostics offsets
+      } else {
+        out += ' ';
+      }
+      continue;
+    }
+    if (c == '\'' ) in_string = !in_string;
+    if (c == '#' && !in_string) {
+      in_comment = true;
+      out += ' ';
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+Result<std::vector<term::Token>> TokenizeRuleSource(std::string_view text) {
+  std::string clean = StripComments(text);
+  return term::Tokenize(clean);
+}
+
+}  // namespace eds::ruledsl

@@ -1,0 +1,21 @@
+#ifndef EDS_RULEDSL_LEXER_H_
+#define EDS_RULEDSL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "term/parser.h"
+
+namespace eds::ruledsl {
+
+// Removes '#' line comments (outside string literals) from rule source.
+std::string StripComments(std::string_view text);
+
+// Tokenizes rule source: comments stripped, then the shared term tokenizer.
+Result<std::vector<term::Token>> TokenizeRuleSource(std::string_view text);
+
+}  // namespace eds::ruledsl
+
+#endif  // EDS_RULEDSL_LEXER_H_

@@ -1,0 +1,59 @@
+#include "rules/extensions.h"
+
+namespace eds::rules {
+
+const char* ExtensionRuleSource() {
+  return R"DSL(
+# --- extension rules (not part of the default optimizer) -------------------
+
+# σ(A - B) = σ(A) - σ(B): conjuncts that only touch the DIFFERENCE input
+# push into both sides. SPLIT_QUAL with an empty nested-column list treats
+# every column as pushable and renumbers to the branch's own input space.
+push_search_difference :
+  SEARCH(LIST(x*, DIFFERENCE(a, b), y*), f, p) /
+  -->
+  SEARCH(LIST(x*, DIFFERENCE(SEARCH(LIST(a), fi, pa),
+                             SEARCH(LIST(b), fi, pb)), y*), fj, p) /
+  POSITION(x*, pos),
+  SPLIT_QUAL(f, pos, a, LIST(), fi, fj),
+  SCHEMA(a, pa),
+  SCHEMA(b, pb) ;
+
+# σ(A ∩ B) = σ(A) ∩ B: pushing into one side suffices for correctness and
+# already shrinks the intersection's inputs.
+push_search_intersect :
+  SEARCH(LIST(x*, INTERSECT(a, b), y*), f, p) /
+  -->
+  SEARCH(LIST(x*, INTERSECT(SEARCH(LIST(a), fi, pa), b), y*), fj, p) /
+  POSITION(x*, pos),
+  SPLIT_QUAL(f, pos, a, LIST(), fi, fj),
+  SCHEMA(a, pa) ;
+
+# Disjunction splitting (set semantics: the UNION's duplicate elimination
+# absorbs rows matching both disjuncts). Enables per-disjunct pushdown.
+or_to_union :
+  SEARCH(i, f OR g, p) /
+  -->
+  UNION(SET(SEARCH(i, f, p), SEARCH(i, g, p))) / ;
+
+# σ(DEDUP(A)) = DEDUP(σ(A)): selections commute with duplicate
+# elimination, so pushable conjuncts move below the DEDUP.
+push_search_dedup :
+  SEARCH(LIST(x*, DEDUP(z), y*), f, p) /
+  -->
+  SEARCH(LIST(x*, DEDUP(SEARCH(LIST(z), fi, pz)), y*), fj, p) /
+  POSITION(x*, pos),
+  SPLIT_QUAL(f, pos, z, LIST(), fi, fj),
+  SCHEMA(z, pz) ;
+
+# Trivial set-operation identities.
+intersect_self : INTERSECT(x, x) / --> x / ;
+
+difference_self :
+  DIFFERENCE(x, x) /
+  --> SEARCH(LIST(x), FALSE, p) /
+  SCHEMA(x, p) ;
+)DSL";
+}
+
+}  // namespace eds::rules

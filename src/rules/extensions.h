@@ -1,0 +1,27 @@
+#ifndef EDS_RULES_EXTENSIONS_H_
+#define EDS_RULES_EXTENSIONS_H_
+
+namespace eds::rules {
+
+// Extension rules beyond the paper's figures — the kind of rule a database
+// implementor adds to the knowledge base over time (§7: "very powerful
+// rules can be added"). All are expressed in the same DSL:
+//
+//   push_search_difference   σ(A - B) = σ(A) - σ(B): a single-input search
+//                            over a DIFFERENCE distributes to both sides
+//                            (valid because the projection is identity on
+//                            both; guarded by IDENTITY_PROJ)
+//   push_search_intersect    σ(A ∩ B) = σ(A) ∩ B, pushed to the left side
+//   or_to_union              SEARCH(i, f OR g, p) splits into a UNION of
+//                            two searches (enables per-disjunct pushdown;
+//                            set semantics absorb duplicates)
+//   dedup_intersect_self     INTERSECT(x, x) -> x
+//   dedup_difference_self    DIFFERENCE(x, x) -> empty search (FALSE qual)
+//
+// These are NOT in the default optimizer; MakeExtendedOptimizer-style
+// programs opt in (see extension_rules_test and bench_extensions).
+const char* ExtensionRuleSource();
+
+}  // namespace eds::rules
+
+#endif  // EDS_RULES_EXTENSIONS_H_

@@ -1,0 +1,22 @@
+#include "rules/fixpoint.h"
+
+namespace eds::rules {
+
+const char* FixpointRuleSource() {
+  return R"DSL(
+# --- fixpoint reduction (Fig. 9): the Alexander invocation rule ------------
+
+# The qualification keeps its selection (the focused fixpoint already
+# satisfies it; the residual filter is cheap and preserves correctness for
+# multi-bound adornments where only one column was used for focusing).
+push_search_fixpoint :
+  SEARCH(LIST(x*, FIX(r, e), y*), f, a) /
+  -->
+  SEARCH(APPEND(x*, LIST(u), y*), f, a) /
+  POSITION(x*, pos),
+  ADORNMENT(f, pos, sig),
+  ALEXANDER(r, e, sig, u) ;
+)DSL";
+}
+
+}  // namespace eds::rules

@@ -1,0 +1,18 @@
+#ifndef EDS_RULES_FIXPOINT_H_
+#define EDS_RULES_FIXPOINT_H_
+
+namespace eds::rules {
+
+// Fixpoint-reduction rule (§5.3, Fig. 9): pushes a selection before a
+// recursion by invoking the Alexander/Magic-Sets method on the algebraic
+// form. ADORNMENT derives the bound columns from the qualification;
+// ALEXANDER builds the focused fixpoint (see magic/magic.h for the
+// supported recursion shapes). When either method fails — no bound column,
+// or an unsupported shape — the rule silently does not fire and the
+// fixpoint is evaluated unfocused. Requires the magic builtins
+// (magic::InstallMagicBuiltins).
+const char* FixpointRuleSource();
+
+}  // namespace eds::rules
+
+#endif  // EDS_RULES_FIXPOINT_H_

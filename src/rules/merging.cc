@@ -1,0 +1,67 @@
+#include "rules/merging.h"
+
+namespace eds::rules {
+
+const char* MergingRuleSource() {
+  return R"DSL(
+# --- normalization: basic operators fold into the compound SEARCH ---------
+
+filter_to_search :
+  FILTER(z, f) /
+  --> SEARCH(LIST(z), f, p) /
+  SCHEMA(z, p) ;
+
+project_to_search :
+  PROJECT(z, p) /
+  --> SEARCH(LIST(z), TRUE, p) / ;
+
+join_to_search :
+  JOIN(a, b, f) /
+  --> SEARCH(LIST(a, b), f, p) /
+  SCHEMA(LIST(a, b), p) ;
+
+# --- operation merging (Fig. 7) --------------------------------------------
+
+# Two successive searches merge; qualifications are connected by AND after
+# the substitute function remaps attribute references: outer references
+# unfold through the inner projection b (MERGE_SUBST) and the inner
+# qualification's references shift past the surviving outer inputs
+# (SHIFT_ATTRS), since append(x*, v*, z) moves the inner inputs to the end.
+search_merge :
+  SEARCH(LIST(x*, SEARCH(z, g, b), v*), f, a) /
+  -->
+  SEARCH(APPEND(x*, v*, z), f2 AND g2, a2) /
+  MERGE_SUBST(f, x*, v*, z, b, f2),
+  MERGE_SUBST(a, x*, v*, z, b, a2),
+  SHIFT_ATTRS(g, x*, v*, g2) ;
+
+# Nested unions flatten (Fig. 7's union merging rule).
+union_merge :
+  UNION(SET(x*, UNION(z))) /
+  -->
+  UNION(SET_UNION(SET(x*), z)) / ;
+
+# A union of a single relation is that relation.
+union_collapse :
+  UNION(SET(x)) /
+  --> x / ;
+
+# Duplicate-elimination identities: DEDUP is idempotent, and UNION already
+# produces a set.
+dedup_dedup :
+  DEDUP(DEDUP(x)) /
+  --> DEDUP(x) / ;
+
+dedup_union :
+  DEDUP(UNION(x)) /
+  --> UNION(x) / ;
+
+# A DEDUP inside a union branch is absorbed by the union's own duplicate
+# elimination.
+union_absorbs_dedup :
+  UNION(SET(x*, DEDUP(z))) /
+  --> UNION(SET(x*, z)) / ;
+)DSL";
+}
+
+}  // namespace eds::rules

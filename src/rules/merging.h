@@ -1,0 +1,24 @@
+#ifndef EDS_RULES_MERGING_H_
+#define EDS_RULES_MERGING_H_
+
+namespace eds::rules {
+
+// Operation-merging rules (§5.1, Fig. 7) plus the normalization rules that
+// fold the basic operators into the compound SEARCH form, written in the
+// rule DSL:
+//
+//   filter_to_search    FILTER(z, f)      -> SEARCH(LIST(z), f, identity)
+//   project_to_search   PROJECT(z, p)     -> SEARCH(LIST(z), TRUE, p)
+//   join_to_search      JOIN(a, b, f)     -> SEARCH(LIST(a, b), f, identity)
+//   search_merge        two nested SEARCH -> one SEARCH (Fig. 7, with the
+//                       substitute function realized by MERGE_SUBST)
+//   union_merge         UNION(SET(x*, UNION(z))) -> UNION(set-union(x*, z))
+//                       (Fig. 7)
+//   union_collapse      UNION(SET(x))     -> x
+//
+// Returns the DSL source (rules only; callers assemble blocks).
+const char* MergingRuleSource();
+
+}  // namespace eds::rules
+
+#endif  // EDS_RULES_MERGING_H_

@@ -1,0 +1,33 @@
+#include "rules/permutation.h"
+
+namespace eds::rules {
+
+const char* PermutationRuleSource() {
+  return R"DSL(
+# --- operation permutation (Fig. 8) ----------------------------------------
+
+# Search through union: decompose a search applied to a union of relations
+# into a union of searches. One branch is peeled per application; the
+# residual single-branch union collapses via union_collapse.
+push_search_union :
+  SEARCH(LIST(x*, UNION(SET(u, v, w*)), y*), f, a) /
+  -->
+  UNION(SET(
+    SEARCH(APPEND(x*, LIST(u), y*), f, a),
+    SEARCH(APPEND(x*, LIST(UNION(SET(v, w*))), y*), f, a))) / ;
+
+# Search through nest: conjuncts that only touch non-nested attributes of
+# the NEST input are pushed below it. SPLIT_QUAL fails when nothing is
+# pushable, so the rule cannot fire vacuously; SCHEMA builds the identity
+# projection of the pushed search.
+push_search_nest :
+  SEARCH(LIST(x*, NEST(z, nc, nm), y*), f, a) /
+  -->
+  SEARCH(LIST(x*, NEST(SEARCH(LIST(z), fi, p), nc, nm), y*), fj, a) /
+  POSITION(x*, pos),
+  SPLIT_QUAL(f, pos, z, nc, fi, fj),
+  SCHEMA(z, p) ;
+)DSL";
+}
+
+}  // namespace eds::rules

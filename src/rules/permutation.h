@@ -1,0 +1,23 @@
+#ifndef EDS_RULES_PERMUTATION_H_
+#define EDS_RULES_PERMUTATION_H_
+
+namespace eds::rules {
+
+// Operation-permutation rules (§5.2, Fig. 8): heuristics that propagate
+// constraints toward base relations.
+//
+//   push_search_union   a SEARCH over an n-ary UNION input splits into a
+//                       UNION of SEARCHes, one per branch (Fig. 8, first
+//                       rule, generalized from binary to n-ary by peeling
+//                       one branch per application; union_collapse from the
+//                       merging library finishes the job)
+//   push_search_nest    the pushable conjuncts of a SEARCH qualification
+//                       move below a NEST input when they only touch
+//                       non-nested attributes (Fig. 8, second rule; REFER
+//                       and the substitute function are realized by
+//                       SPLIT_QUAL, which also renumbers the columns)
+const char* PermutationRuleSource();
+
+}  // namespace eds::rules
+
+#endif  // EDS_RULES_PERMUTATION_H_

@@ -1,0 +1,286 @@
+#include "rules/semantic.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "term/substitution.h"
+#include "term/term.h"
+
+namespace eds::rules {
+
+using term::Term;
+using term::TermList;
+using term::TermRef;
+
+const char* ImplicitKnowledgeRuleSource() {
+  return R"DSL(
+# --- implicit semantic knowledge (Fig. 11) ---------------------------------
+
+# (1) transitivity of operations
+transitivity_eq :
+  (x = y) AND (y = z) /
+  NOT HAS_CONJUNCT((x = y) AND (y = z), x = z)
+  --> ((x = y) AND (y = z)) AND (x = z) / ;
+
+transitivity_include :
+  INCLUDE(x, y) AND INCLUDE(y, z) /
+  ISA(x, SET) AND ISA(y, SET) AND ISA(z, SET),
+  NOT HAS_CONJUNCT(INCLUDE(x, y) AND INCLUDE(y, z), INCLUDE(x, z))
+  --> (INCLUDE(x, y) AND INCLUDE(y, z)) AND INCLUDE(x, z) / ;
+
+# (2) equality substitution: (x = y) AND p(x) implies p(y). The structural
+# wrappers are excluded from ?P for the same reason as in eval_fold.
+eq_subst_1 :
+  (x = y) AND ?P(x) /
+  NOT MEMBER(?P, LIST('LIST', 'SET', 'BAG', 'TUPLE')),
+  NOT HAS_CONJUNCT((x = y) AND ?P(x), ?P(y))
+  --> ((x = y) AND ?P(x)) AND ?P(y) / ;
+
+eq_subst_2 :
+  (x = y) AND ?P(x, w) /
+  NOT MEMBER(?P, LIST('LIST', 'SET', 'BAG', 'TUPLE')),
+  NOT HAS_CONJUNCT((x = y) AND ?P(x, w), ?P(y, w))
+  --> ((x = y) AND ?P(x, w)) AND ?P(y, w) / ;
+)DSL";
+}
+
+const char* SemanticMethodRuleSource() {
+  return R"DSL(
+# --- method-backed semantic rules (used by the default optimizer) ----------
+
+close_predicates :
+  SEARCH(i, f, p) /
+  --> SEARCH(i, f2, p) /
+  CLOSE_PREDICATES(f, f2) ;
+
+simplify_qual :
+  SEARCH(i, f, p) /
+  --> SEARCH(i, f2, p) /
+  SIMPLIFY_QUAL(f, f2) ;
+)DSL";
+}
+
+std::string ConstraintRuleSource(const catalog::Catalog& cat) {
+  std::string out;
+  for (const catalog::ConstraintDef& c : cat.constraints()) {
+    out += "# integrity constraint: " + c.name + "\n";
+    out += c.rule_text;
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+using rewrite::RewriteContext;
+
+// ---- CLOSE_PREDICATES ----
+
+// Normalized comparison atom over conjunct operands.
+struct Atom {
+  enum Kind { kEq, kNe, kLt, kLe } kind;
+  TermRef a, b;
+};
+
+std::optional<Atom> NormalizeAtom(const TermRef& conj) {
+  if (!conj->is_apply() || conj->arity() != 2) return std::nullopt;
+  const std::string& f = conj->functor();
+  if (f == term::kEq) return Atom{Atom::kEq, conj->arg(0), conj->arg(1)};
+  if (f == term::kNe) return Atom{Atom::kNe, conj->arg(0), conj->arg(1)};
+  if (f == term::kLt) return Atom{Atom::kLt, conj->arg(0), conj->arg(1)};
+  if (f == term::kLe) return Atom{Atom::kLe, conj->arg(0), conj->arg(1)};
+  if (f == term::kGt) return Atom{Atom::kLt, conj->arg(1), conj->arg(0)};
+  if (f == term::kGe) return Atom{Atom::kLe, conj->arg(1), conj->arg(0)};
+  return std::nullopt;
+}
+
+// Union-find over structural term keys.
+class TermClasses {
+ public:
+  int Id(const TermRef& t) {
+    std::string key = t->ToString();
+    auto it = ids_.find(key);
+    if (it != ids_.end()) return it->second;
+    int id = static_cast<int>(parent_.size());
+    ids_.emplace(std::move(key), id);
+    parent_.push_back(id);
+    terms_.push_back(t);
+    return id;
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+  size_t size() const { return parent_.size(); }
+  const TermRef& term(int id) const { return terms_[static_cast<size_t>(id)]; }
+
+ private:
+  std::map<std::string, int> ids_;
+  std::vector<int> parent_;
+  std::vector<TermRef> terms_;
+};
+
+Status MethodClosePredicates(const TermList& args, term::Bindings* env,
+                             const RewriteContext& ctx) {
+  if (args.size() != 2 || !args[1]->is_variable()) {
+    return Status::InvalidArgument("CLOSE_PREDICATES expects (f, out)");
+  }
+  EDS_ASSIGN_OR_RETURN(TermRef f, term::ApplySubstitution(args[0], *env));
+  TermList conjuncts = term::Conjuncts(f);
+
+  TermClasses classes;
+  std::vector<Atom> atoms;
+  for (const TermRef& c : conjuncts) {
+    std::optional<Atom> a = NormalizeAtom(c);
+    if (!a.has_value()) continue;
+    classes.Id(a->a);
+    classes.Id(a->b);
+    atoms.push_back(*a);
+  }
+  // Equality closure.
+  for (const Atom& a : atoms) {
+    if (a.kind == Atom::kEq) {
+      classes.Union(classes.Id(a.a), classes.Id(a.b));
+    }
+  }
+  // Constant per class; two distinct constants = inconsistent.
+  std::map<int, value::Value> constants;
+  bool inconsistent = false;
+  for (size_t i = 0; i < classes.size() && !inconsistent; ++i) {
+    const TermRef& t = classes.term(static_cast<int>(i));
+    std::optional<value::Value> v = rewrite::TryEvalToValue(t, ctx);
+    if (!v.has_value()) continue;
+    int rep = classes.Find(static_cast<int>(i));
+    auto it = constants.find(rep);
+    if (it == constants.end()) {
+      constants.emplace(rep, *v);
+    } else if (!(it->second == *v)) {
+      inconsistent = true;
+    }
+  }
+  // Comparison checks against the closure.
+  for (const Atom& a : atoms) {
+    if (inconsistent) break;
+    int ra = classes.Find(classes.Id(a.a));
+    int rb = classes.Find(classes.Id(a.b));
+    if (a.kind == Atom::kNe && ra == rb) inconsistent = true;
+    if (a.kind == Atom::kLt && ra == rb) inconsistent = true;
+    auto ca = constants.find(ra);
+    auto cb = constants.find(rb);
+    if (ca != constants.end() && cb != constants.end()) {
+      int cmp = value::Compare(ca->second, cb->second);
+      if (a.kind == Atom::kLt && cmp >= 0) inconsistent = true;
+      if (a.kind == Atom::kLe && cmp > 0) inconsistent = true;
+      if (a.kind == Atom::kEq && cmp != 0) inconsistent = true;
+      if (a.kind == Atom::kNe && cmp == 0) inconsistent = true;
+    }
+  }
+
+  if (inconsistent) {
+    if (f->is_constant()) {
+      return Status::InvalidArgument("CLOSE_PREDICATES: already folded");
+    }
+    env->SetVar(args[1]->var_name(), Term::False());
+    return Status::OK();
+  }
+
+  // Derive member = constant conjuncts (constant propagation): the payload
+  // that enables adornments and pushdowns downstream.
+  auto already_present = [&conjuncts](const TermRef& c) {
+    for (const TermRef& existing : conjuncts) {
+      if (term::Equals(existing, c)) return true;
+      // x = c vs c = x.
+      if (existing->IsApply(term::kEq, 2) && c->IsApply(term::kEq, 2) &&
+          term::Equals(existing->arg(0), c->arg(1)) &&
+          term::Equals(existing->arg(1), c->arg(0))) {
+        return true;
+      }
+    }
+    return false;
+  };
+  TermList derived;
+  for (size_t i = 0; i < classes.size(); ++i) {
+    int rep = classes.Find(static_cast<int>(i));
+    auto it = constants.find(rep);
+    if (it == constants.end()) continue;
+    const TermRef& member = classes.term(static_cast<int>(i));
+    if (rewrite::TryEvalToValue(member, ctx).has_value()) continue;
+    TermRef conj =
+        Term::Eq(member, rewrite::ValueToTerm(it->second));
+    if (!already_present(conj)) derived.push_back(conj);
+  }
+  if (derived.empty()) {
+    return Status::InvalidArgument("CLOSE_PREDICATES: nothing derivable");
+  }
+  TermList all = conjuncts;
+  all.insert(all.end(), derived.begin(), derived.end());
+  env->SetVar(args[1]->var_name(), term::MakeConjunction(all));
+  return Status::OK();
+}
+
+// ---- SIMPLIFY_QUAL ----
+
+Status MethodSimplifyQual(const TermList& args, term::Bindings* env,
+                          const RewriteContext& ctx) {
+  if (args.size() != 2 || !args[1]->is_variable()) {
+    return Status::InvalidArgument("SIMPLIFY_QUAL expects (f, out)");
+  }
+  EDS_ASSIGN_OR_RETURN(TermRef f, term::ApplySubstitution(args[0], *env));
+  TermList conjuncts = term::Conjuncts(f);
+  TermList kept;
+  bool changed = false;
+  bool is_false = false;
+  for (const TermRef& c : conjuncts) {
+    TermRef conj = c;
+    // Per-conjunct folding (whole-conjunct only; subexpression folding is
+    // the eval_fold rules' job).
+    std::optional<value::Value> v = rewrite::TryEvalToValue(conj, ctx);
+    if (v.has_value() && v->kind() == value::ValueKind::kBool) {
+      changed = changed || !conj->is_constant();
+      if (!v->AsBool()) {
+        is_false = true;
+        break;
+      }
+      continue;  // drop TRUE conjuncts
+    }
+    // Structural dedup across the whole conjunction.
+    bool duplicate = false;
+    for (const TermRef& existing : kept) {
+      if (term::Equals(existing, conj)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) {
+      changed = true;
+      continue;
+    }
+    kept.push_back(conj);
+  }
+  if (is_false) {
+    if (f->is_constant()) {
+      return Status::InvalidArgument("SIMPLIFY_QUAL: already folded");
+    }
+    env->SetVar(args[1]->var_name(), Term::False());
+    return Status::OK();
+  }
+  if (!changed) {
+    return Status::InvalidArgument("SIMPLIFY_QUAL: nothing to simplify");
+  }
+  env->SetVar(args[1]->var_name(), term::MakeConjunction(kept));
+  return Status::OK();
+}
+
+}  // namespace
+
+void InstallSemanticBuiltins(rewrite::BuiltinRegistry* reg) {
+  (void)reg->RegisterMethod("CLOSE_PREDICATES", MethodClosePredicates);
+  (void)reg->RegisterMethod("SIMPLIFY_QUAL", MethodSimplifyQual);
+}
+
+}  // namespace eds::rules

@@ -1,0 +1,46 @@
+#ifndef EDS_RULES_SEMANTIC_H_
+#define EDS_RULES_SEMANTIC_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "rewrite/builtins.h"
+
+namespace eds::rules {
+
+// Implicit semantic knowledge (§6.1, Fig. 11), written in the rule DSL:
+// transitivity of = and INCLUDE, and equality substitution, each guarded
+// with HAS_CONJUNCT so the growth is locally idempotent. These demonstrate
+// the paper's formulation; the default optimizer uses the bounded
+// CLOSE_PREDICATES method below for the same inferences with global
+// duplicate control.
+const char* ImplicitKnowledgeRuleSource();
+
+// DSL rules invoking the semantic methods on search qualifications:
+//   close_predicates : SEARCH(i, f, p) --> SEARCH(i, f2, p) /
+//                      CLOSE_PREDICATES(f, f2)
+//   simplify_qual    : SEARCH(i, f, p) --> SEARCH(i, f2, p) /
+//                      SIMPLIFY_QUAL(f, f2)
+const char* SemanticMethodRuleSource();
+
+// Concatenates the integrity-constraint rule texts declared in the catalog
+// (§6.1, Fig. 10) into one DSL source unit. The DBA declares constraints in
+// the same rule language the optimizer runs — exactly the paper's design.
+std::string ConstraintRuleSource(const catalog::Catalog& cat);
+
+// Registers the semantic methods:
+//   CLOSE_PREDICATES(f, f2)  equality closure over f's conjuncts: constant
+//       propagation through = chains (enabling adornments and pushdowns),
+//       plus numeric/comparison inconsistency detection (f2 := FALSE).
+//       Fails when it derives nothing, so the invoking rule is a no-op at
+//       fixpoint.
+//   SIMPLIFY_QUAL(f, f2)  per-conjunct constant folding, TRUE-dropping,
+//       FALSE-absorption and structural deduplication across the whole
+//       conjunction (non-adjacent duplicates, which the Fig. 12 DSL rules
+//       cannot see). Fails when nothing changes.
+void InstallSemanticBuiltins(rewrite::BuiltinRegistry* reg);
+
+}  // namespace eds::rules
+
+#endif  // EDS_RULES_SEMANTIC_H_

@@ -1,0 +1,60 @@
+#include "rules/simplify.h"
+
+namespace eds::rules {
+
+const char* SimplifyRuleSource() {
+  return R"DSL(
+# --- predicate simplification (Fig. 12) ------------------------------------
+
+# Boolean absorption.
+and_true_r  : f AND TRUE  / --> f / ;
+and_true_l  : TRUE AND f  / --> f / ;
+and_false_r : f AND FALSE / --> FALSE / ;
+and_false_l : FALSE AND f / --> FALSE / ;
+or_true_r   : f OR TRUE   / --> TRUE / ;
+or_true_l   : TRUE OR f   / --> TRUE / ;
+or_false_r  : f OR FALSE  / --> f / ;
+or_false_l  : FALSE OR f  / --> f / ;
+not_true    : NOT(TRUE)   / --> FALSE / ;
+not_false   : NOT(FALSE)  / --> TRUE / ;
+not_not     : NOT(NOT(f)) / --> f / ;
+and_idem    : f AND f     / --> f / ;
+or_idem     : f OR f      / --> f / ;
+
+# Self-comparisons (1991-style two-valued semantics; see docs on NULLs).
+eq_self : x = x  / --> TRUE / ;
+ne_self : x <> x / --> FALSE / ;
+lt_self : x < x  / --> FALSE / ;
+le_self : x <= x / --> TRUE / ;
+gt_self : x > x  / --> FALSE / ;
+ge_self : x >= x / --> TRUE / ;
+
+# Adjacent contradictions (Fig. 12's x > y AND x <= y case and mirrors).
+contra_gt_le : (x > y) AND (x <= y) / --> FALSE / ;
+contra_le_gt : (x <= y) AND (x > y) / --> FALSE / ;
+contra_lt_ge : (x < y) AND (x >= y) / --> FALSE / ;
+contra_ge_lt : (x >= y) AND (x < y) / --> FALSE / ;
+contra_eq_ne : (x = y) AND (x <> y) / --> FALSE / ;
+contra_ne_eq : (x <> y) AND (x = y) / --> FALSE / ;
+
+# x - y = 0 simplifies to x = y (Fig. 12).
+sub_zero : (x - y) = 0 / --> x = y / ;
+
+# Constant folding through EVALUATE (Fig. 12's last rule). The pseudo-type
+# CONSTANT means "folds to a value"; the method fails on non-foldable
+# applications, leaving the term untouched. Structural literal wrappers
+# (LIST/SET/BAG/TUPLE) are excluded: folding them is only a representation
+# change and would corrupt operator argument shapes.
+eval_fold_1 :
+  ?F(x) /
+  ISA(?F(x), CONSTANT), NOT MEMBER(?F, LIST('LIST', 'SET', 'BAG', 'TUPLE'))
+  --> c / EVALUATE(?F(x), c) ;
+
+eval_fold_2 :
+  ?F(x, y) /
+  ISA(?F(x, y), CONSTANT), NOT MEMBER(?F, LIST('LIST', 'SET', 'BAG', 'TUPLE'))
+  --> c / EVALUATE(?F(x, y), c) ;
+)DSL";
+}
+
+}  // namespace eds::rules

@@ -1,0 +1,21 @@
+#ifndef EDS_RULES_SIMPLIFY_H_
+#define EDS_RULES_SIMPLIFY_H_
+
+namespace eds::rules {
+
+// Predicate-simplification rules (§6.2, Fig. 12): boolean absorption,
+// self-comparison folding, contradiction detection between adjacent
+// conjuncts, x - y = 0 --> x = y, and constant folding through the
+// EVALUATE method (applied to any unary/binary application that folds,
+// exactly Fig. 12's F(x,y) / ISA(x, constant), ISA(y, constant) rule —
+// generalized with the foldability pseudo-type CONSTANT on the whole
+// application so nested constant expressions fold too).
+//
+// Detecting inconsistency of an arbitrary conjunction is NP-complete (§6.2);
+// these rules catch the "simple inconsistencies" the paper targets, and the
+// CLOSE_PREDICATES method (semantic.h) catches non-adjacent numeric ones.
+const char* SimplifyRuleSource();
+
+}  // namespace eds::rules
+
+#endif  // EDS_RULES_SIMPLIFY_H_

@@ -1,0 +1,403 @@
+#include "term/parser.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace eds::term {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+Status LexError(size_t pos, const std::string& message) {
+  return Status::ParseError("at offset " + std::to_string(pos) + ": " +
+                            message);
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto push = [&out](TokKind kind, size_t pos) -> Token& {
+    Token t;
+    t.kind = kind;
+    t.pos = pos;
+    out.push_back(std::move(t));
+    return out.back();
+  };
+  while (i < n) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(text[j])) ++j;
+      // `x*` with no space: collection variable.
+      if (j < n && text[j] == '*') {
+        Token& t = push(TokKind::kCollVar, start);
+        t.text = std::string(text.substr(i, j - i));
+        i = j + 1;
+      } else {
+        Token& t = push(TokKind::kIdent, start);
+        t.text = std::string(text.substr(i, j - i));
+        i = j;
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) ++j;
+      bool is_real = false;
+      if (j < n && text[j] == '.' && j + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(text[j + 1]))) {
+        is_real = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) ++j;
+      }
+      std::string lexeme(text.substr(i, j - i));
+      if (is_real) {
+        Token& t = push(TokKind::kReal, start);
+        t.real_value = std::stod(lexeme);
+      } else {
+        Token& t = push(TokKind::kInt, start);
+        t.int_value = std::stoll(lexeme);
+      }
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '\'': {
+        // Single-quoted string; '' escapes a quote.
+        std::string s;
+        size_t j = i + 1;
+        bool closed = false;
+        while (j < n) {
+          if (text[j] == '\'') {
+            if (j + 1 < n && text[j + 1] == '\'') {
+              s += '\'';
+              j += 2;
+            } else {
+              closed = true;
+              ++j;
+              break;
+            }
+          } else {
+            s += text[j];
+            ++j;
+          }
+        }
+        if (!closed) return LexError(start, "unterminated string literal");
+        Token& t = push(TokKind::kString, start);
+        t.text = std::move(s);
+        i = j;
+        break;
+      }
+      case '$': {
+        // $i.j attribute reference.
+        size_t j = i + 1;
+        size_t a_start = j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) ++j;
+        if (j == a_start || j >= n || text[j] != '.') {
+          return LexError(start, "malformed attribute reference, want $i.j");
+        }
+        size_t b_start = ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) ++j;
+        if (j == b_start) {
+          return LexError(start, "malformed attribute reference, want $i.j");
+        }
+        Token& t = push(TokKind::kAttrRef, start);
+        t.int_a = std::stoll(std::string(text.substr(a_start, b_start - 1 - a_start)));
+        t.int_b = std::stoll(std::string(text.substr(b_start, j - b_start)));
+        i = j;
+        break;
+      }
+      case '(': push(TokKind::kLParen, start); ++i; break;
+      case ')': push(TokKind::kRParen, start); ++i; break;
+      case '{': push(TokKind::kLBrace, start); ++i; break;
+      case '}': push(TokKind::kRBrace, start); ++i; break;
+      case ',': push(TokKind::kComma, start); ++i; break;
+      case ';': push(TokKind::kSemicolon, start); ++i; break;
+      case ':': push(TokKind::kColon, start); ++i; break;
+      case '?': push(TokKind::kQuestion, start); ++i; break;
+      case '/': push(TokKind::kSlash, start); ++i; break;
+      case '=': push(TokKind::kEq, start); ++i; break;
+      case '+': push(TokKind::kPlus, start); ++i; break;
+      case '*': push(TokKind::kStar, start); ++i; break;
+      case '<':
+        if (i + 1 < n && text[i + 1] == '>') {
+          push(TokKind::kNe, start);
+          i += 2;
+        } else if (i + 1 < n && text[i + 1] == '=') {
+          push(TokKind::kLe, start);
+          i += 2;
+        } else {
+          push(TokKind::kLt, start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokKind::kGe, start);
+          i += 2;
+        } else {
+          push(TokKind::kGt, start);
+          ++i;
+        }
+        break;
+      case '-':
+        if (i + 2 < n && text[i + 1] == '-' && text[i + 2] == '>') {
+          push(TokKind::kArrow, start);
+          i += 3;
+        } else {
+          push(TokKind::kMinus, start);
+          ++i;
+        }
+        break;
+      default:
+        return LexError(start, std::string("unexpected character '") + c + "'");
+    }
+  }
+  push(TokKind::kEnd, n);
+  return out;
+}
+
+const Token& TermParser::Peek() const {
+  static const Token kEndToken;
+  if (pos_ >= tokens_->size()) return kEndToken;
+  return (*tokens_)[pos_];
+}
+
+bool TermParser::AtEnd() const { return Peek().kind == TokKind::kEnd; }
+
+Status TermParser::Expect(TokKind kind, const char* what) {
+  if (Peek().kind != kind) {
+    return Status::ParseError("at offset " + std::to_string(Peek().pos) +
+                              ": expected " + what);
+  }
+  Advance();
+  return Status::OK();
+}
+
+Result<TermRef> TermParser::ParseExpression() { return ParseOr(); }
+
+Result<TermRef> TermParser::ParseOr() {
+  EDS_ASSIGN_OR_RETURN(TermRef left, ParseAnd());
+  while (Peek().kind == TokKind::kIdent &&
+         EqualsIgnoreCase(Peek().text, "OR")) {
+    Advance();
+    EDS_ASSIGN_OR_RETURN(TermRef right, ParseAnd());
+    left = Term::Or(std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<TermRef> TermParser::ParseAnd() {
+  EDS_ASSIGN_OR_RETURN(TermRef left, ParseNot());
+  while (Peek().kind == TokKind::kIdent &&
+         EqualsIgnoreCase(Peek().text, "AND")) {
+    Advance();
+    EDS_ASSIGN_OR_RETURN(TermRef right, ParseNot());
+    left = Term::And(std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<TermRef> TermParser::ParseNot() {
+  if (Peek().kind == TokKind::kIdent && EqualsIgnoreCase(Peek().text, "NOT") &&
+      // NOT(x) is also valid as a plain application; the prefix form is
+      // NOT <expr> without an immediately-following '('... both parse to the
+      // same term, so just treat NOT specially only in prefix position.
+      true) {
+    Advance();
+    EDS_ASSIGN_OR_RETURN(TermRef inner, ParseNot());
+    return Term::Not(std::move(inner));
+  }
+  return ParseComparison();
+}
+
+Result<TermRef> TermParser::ParseComparison() {
+  EDS_ASSIGN_OR_RETURN(TermRef left, ParseAdditive());
+  const char* op = nullptr;
+  switch (Peek().kind) {
+    case TokKind::kEq: op = kEq; break;
+    case TokKind::kNe: op = kNe; break;
+    case TokKind::kLt: op = kLt; break;
+    case TokKind::kLe: op = kLe; break;
+    case TokKind::kGt: op = kGt; break;
+    case TokKind::kGe: op = kGe; break;
+    default: return left;
+  }
+  Advance();
+  EDS_ASSIGN_OR_RETURN(TermRef right, ParseAdditive());
+  return Term::Apply(op, {std::move(left), std::move(right)});
+}
+
+Result<TermRef> TermParser::ParseAdditive() {
+  EDS_ASSIGN_OR_RETURN(TermRef left, ParseMultiplicative());
+  while (Peek().kind == TokKind::kPlus || Peek().kind == TokKind::kMinus) {
+    const char* op = Peek().kind == TokKind::kPlus ? "ADD" : "SUB";
+    Advance();
+    EDS_ASSIGN_OR_RETURN(TermRef right, ParseMultiplicative());
+    left = Term::Apply(op, {std::move(left), std::move(right)});
+  }
+  return left;
+}
+
+Result<TermRef> TermParser::ParseMultiplicative() {
+  EDS_ASSIGN_OR_RETURN(TermRef left, ParseUnary());
+  while (Peek().kind == TokKind::kStar ||
+         (allow_division_ && Peek().kind == TokKind::kSlash)) {
+    const char* op = Peek().kind == TokKind::kStar ? "MUL" : "DIV";
+    Advance();
+    EDS_ASSIGN_OR_RETURN(TermRef right, ParseUnary());
+    left = Term::Apply(op, {std::move(left), std::move(right)});
+  }
+  return left;
+}
+
+Result<TermRef> TermParser::ParseUnary() {
+  if (Peek().kind == TokKind::kMinus) {
+    Advance();
+    EDS_ASSIGN_OR_RETURN(TermRef inner, ParseUnary());
+    if (inner->is_constant() &&
+        inner->constant().kind() == value::ValueKind::kInt) {
+      return Term::Int(-inner->constant().AsInt());
+    }
+    if (inner->is_constant() &&
+        inner->constant().kind() == value::ValueKind::kReal) {
+      return Term::Real(-inner->constant().AsReal());
+    }
+    return Term::Apply("NEG", {std::move(inner)});
+  }
+  return ParsePrimary();
+}
+
+Result<TermRef> TermParser::ParsePrimary() {
+  const Token& t = Peek();
+  switch (t.kind) {
+    case TokKind::kInt: {
+      int64_t v = t.int_value;
+      Advance();
+      return Term::Int(v);
+    }
+    case TokKind::kReal: {
+      double v = t.real_value;
+      Advance();
+      return Term::Real(v);
+    }
+    case TokKind::kString: {
+      std::string s = t.text;
+      Advance();
+      return Term::Str(std::move(s));
+    }
+    case TokKind::kAttrRef: {
+      int64_t a = t.int_a, b = t.int_b;
+      Advance();
+      return Term::Attr(a, b);
+    }
+    case TokKind::kCollVar: {
+      std::string name = t.text;
+      Advance();
+      return Term::CollVar(std::move(name));
+    }
+    case TokKind::kLParen: {
+      Advance();
+      EDS_ASSIGN_OR_RETURN(TermRef inner, ParseExpression());
+      EDS_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));
+      return inner;
+    }
+    case TokKind::kQuestion: {
+      // ?F(args): a functor variable — matches any application of the same
+      // arity and binds F to the functor name (the paper's second-order
+      // metavariables F, G, H of Fig. 6).
+      Advance();
+      if (Peek().kind != TokKind::kIdent) {
+        return Status::ParseError("at offset " + std::to_string(Peek().pos) +
+                                  ": expected a functor-variable name "
+                                  "after '?'");
+      }
+      // Functor-variable names are canonicalized to upper case, matching
+      // Term::Apply's treatment of functors.
+      std::string name = "?" + ToUpperAscii(Peek().text);
+      Advance();
+      if (Peek().kind != TokKind::kLParen) {
+        // Bare ?F: a reference to the functor variable itself (bound to the
+        // functor name as a string), usable in constraints.
+        return Term::Var(std::move(name));
+      }
+      Advance();  // '('
+      TermList args;
+      if (Peek().kind != TokKind::kRParen) {
+        while (true) {
+          EDS_ASSIGN_OR_RETURN(TermRef arg, ParseExpression());
+          args.push_back(std::move(arg));
+          if (Peek().kind == TokKind::kComma) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+      }
+      EDS_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));
+      return Term::Apply(std::move(name), std::move(args));
+    }
+    case TokKind::kIdent: {
+      std::string name = t.text;
+      if (EqualsIgnoreCase(name, "TRUE")) {
+        Advance();
+        return Term::True();
+      }
+      if (EqualsIgnoreCase(name, "FALSE")) {
+        Advance();
+        return Term::False();
+      }
+      Advance();
+      if (Peek().kind == TokKind::kLParen) {
+        Advance();
+        TermList args;
+        if (Peek().kind != TokKind::kRParen) {
+          while (true) {
+            EDS_ASSIGN_OR_RETURN(TermRef arg, ParseExpression());
+            args.push_back(std::move(arg));
+            if (Peek().kind == TokKind::kComma) {
+              Advance();
+              continue;
+            }
+            break;
+          }
+        }
+        EDS_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));
+        return Term::Apply(std::move(name), std::move(args));
+      }
+      return Term::Var(std::move(name));
+    }
+    default:
+      return Status::ParseError("at offset " + std::to_string(t.pos) +
+                                ": expected a term");
+  }
+}
+
+Result<TermRef> ParseTerm(std::string_view text) {
+  EDS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  TermParser parser(&tokens, 0);
+  EDS_ASSIGN_OR_RETURN(TermRef t, parser.ParseExpression());
+  if (!parser.AtEnd()) {
+    return Status::ParseError("at offset " +
+                              std::to_string(parser.Peek().pos) +
+                              ": trailing input after term");
+  }
+  return t;
+}
+
+}  // namespace eds::term

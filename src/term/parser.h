@@ -1,0 +1,113 @@
+#ifndef EDS_TERM_PARSER_H_
+#define EDS_TERM_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "term/term.h"
+
+namespace eds::term {
+
+// Parses the textual term syntax used throughout the tests, examples and the
+// rule DSL. The grammar follows the paper's functional notation plus infix
+// operators with the usual precedence (OR < AND < NOT < comparison <
+// additive < multiplicative):
+//
+//   SEARCH(LIST(RELATION('FILM')), ($1.1 = 10), LIST($1.2))
+//   F(SET(x*, G(y, f)))
+//   (x > y AND NOT MEMBER('Cartoon', c))
+//
+// Lexical notes:
+//   * `x*` (identifier immediately followed by '*') is a collection
+//     variable; multiplication needs spacing: `x * y`.
+//   * `$i.j` is an attribute reference ATTR(i, j). The paper writes `1.1`;
+//     we prefix with '$' to avoid ambiguity with REAL literals.
+//   * A bare identifier is a variable; `ident(...)` is a function
+//     application. TRUE/FALSE are boolean constants.
+//   * Strings are single-quoted; '' escapes a quote.
+Result<TermRef> ParseTerm(std::string_view text);
+
+// Token model shared with the rule-DSL parser.
+enum class TokKind {
+  kEnd,
+  kIdent,
+  kCollVar,   // x*
+  kInt,
+  kReal,
+  kString,
+  kAttrRef,   // $i.j  (payload in int_a, int_b)
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSlash,     // /
+  kArrow,     // -->
+  kEq,        // =
+  kNe,        // <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSemicolon,
+  kColon,
+  kQuestion,  // ? — prefixes a functor variable: ?F(x)
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;   // identifier / string payload
+  int64_t int_value = 0;
+  double real_value = 0;
+  int64_t int_a = 0;  // attr ref: relation index
+  int64_t int_b = 0;  // attr ref: attribute index
+  size_t pos = 0;     // byte offset, for diagnostics
+};
+
+// Tokenizes `text` into the shared token stream. ParseError on bad lexemes.
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+// Recursive-descent parser over a token window; exposed so the rule-DSL
+// compiler can parse embedded terms and then continue with its own syntax.
+class TermParser {
+ public:
+  // `allow_division` is disabled by the rule-DSL compiler, where '/'
+  // separates rule sections (write DIV(a, b) inside rules instead).
+  TermParser(const std::vector<Token>* tokens, size_t start,
+             bool allow_division = true)
+      : tokens_(tokens), pos_(start), allow_division_(allow_division) {}
+
+  // Parses one expression starting at the current position; on success the
+  // position is left after the expression.
+  Result<TermRef> ParseExpression();
+
+  size_t position() const { return pos_; }
+  const Token& Peek() const;
+  void Advance() { ++pos_; }
+  bool AtEnd() const;
+
+ private:
+  Result<TermRef> ParseOr();
+  Result<TermRef> ParseAnd();
+  Result<TermRef> ParseNot();
+  Result<TermRef> ParseComparison();
+  Result<TermRef> ParseAdditive();
+  Result<TermRef> ParseMultiplicative();
+  Result<TermRef> ParseUnary();
+  Result<TermRef> ParsePrimary();
+
+  Status Expect(TokKind kind, const char* what);
+
+  const std::vector<Token>* tokens_;
+  size_t pos_;
+  bool allow_division_ = true;
+};
+
+}  // namespace eds::term
+
+#endif  // EDS_TERM_PARSER_H_

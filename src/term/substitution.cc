@@ -1,0 +1,124 @@
+#include "term/substitution.h"
+
+#include <sstream>
+
+namespace eds::term {
+
+bool Bindings::BindVar(const std::string& name, TermRef t) {
+  auto it = vars_.find(name);
+  if (it != vars_.end()) return Equals(it->second, t);
+  vars_.emplace(name, std::move(t));
+  return true;
+}
+
+bool Bindings::BindCollVar(const std::string& name, TermList ts) {
+  auto it = coll_vars_.find(name);
+  if (it != coll_vars_.end()) {
+    if (it->second.size() != ts.size()) return false;
+    for (size_t i = 0; i < ts.size(); ++i) {
+      if (!Equals(it->second[i], ts[i])) return false;
+    }
+    return true;
+  }
+  coll_vars_.emplace(name, std::move(ts));
+  return true;
+}
+
+void Bindings::SetVar(const std::string& name, TermRef t) {
+  vars_[name] = std::move(t);
+}
+
+void Bindings::SetCollVar(const std::string& name, TermList ts) {
+  coll_vars_[name] = std::move(ts);
+}
+
+const TermRef* Bindings::LookupVar(const std::string& name) const {
+  auto it = vars_.find(name);
+  return it == vars_.end() ? nullptr : &it->second;
+}
+
+const TermList* Bindings::LookupCollVar(const std::string& name) const {
+  auto it = coll_vars_.find(name);
+  return it == coll_vars_.end() ? nullptr : &it->second;
+}
+
+std::string Bindings::ToString() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const auto& [name, t] : vars_) {
+    if (!first) os << ", ";
+    first = false;
+    os << name << " := " << t;
+  }
+  for (const auto& [name, ts] : coll_vars_) {
+    if (!first) os << ", ";
+    first = false;
+    os << name << "* := [";
+    for (size_t i = 0; i < ts.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << ts[i];
+    }
+    os << ']';
+  }
+  os << '}';
+  return os.str();
+}
+
+Result<TermRef> ApplySubstitution(const TermRef& t, const Bindings& env) {
+  switch (t->kind()) {
+    case TermKind::kConstant:
+      return t;
+    case TermKind::kVariable: {
+      const TermRef* bound = env.LookupVar(t->var_name());
+      if (bound == nullptr) {
+        return Status::InvalidArgument("unbound variable '" + t->var_name() +
+                                       "' in rule right-hand side");
+      }
+      return *bound;
+    }
+    case TermKind::kCollectionVariable:
+      return Status::InvalidArgument(
+          "collection variable '" + t->var_name() +
+          "*' used outside an argument list");
+    case TermKind::kApply: {
+      // Functor variables (?F) resolve to their bound functor name.
+      std::string functor = t->functor();
+      bool functor_changed = false;
+      if (!functor.empty() && functor.front() == '?') {
+        const TermRef* bound = env.LookupVar(functor);
+        if (bound == nullptr || !(*bound)->is_constant() ||
+            (*bound)->constant().kind() != value::ValueKind::kString) {
+          return Status::InvalidArgument("unbound functor variable '" +
+                                         functor + "'");
+        }
+        functor = (*bound)->constant().AsString();
+        functor_changed = true;
+      }
+      TermList args;
+      args.reserve(t->arity());
+      bool changed = functor_changed;
+      for (const TermRef& a : t->args()) {
+        if (a->is_collection_variable()) {
+          const TermList* seq = env.LookupCollVar(a->var_name());
+          if (seq == nullptr) {
+            return Status::InvalidArgument("unbound collection variable '" +
+                                           a->var_name() +
+                                           "*' in rule right-hand side");
+          }
+          args.insert(args.end(), seq->begin(), seq->end());
+          changed = true;
+          continue;
+        }
+        EDS_ASSIGN_OR_RETURN(TermRef sub, ApplySubstitution(a, env));
+        if (sub.get() != a.get()) changed = true;
+        args.push_back(std::move(sub));
+      }
+      if (!changed) return t;
+      return Term::Apply(std::move(functor), std::move(args));
+    }
+  }
+  return Status::Internal("unreachable term kind");
+}
+
+}  // namespace eds::term

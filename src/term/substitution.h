@@ -1,0 +1,65 @@
+#ifndef EDS_TERM_SUBSTITUTION_H_
+#define EDS_TERM_SUBSTITUTION_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "term/term.h"
+
+namespace eds::term {
+
+// A binding environment produced by pattern matching and extended by rule
+// methods. Ordinary variables bind to one term; collection variables bind to
+// a sequence of terms (possibly empty).
+class Bindings {
+ public:
+  Bindings() = default;
+
+  // Binds `name` to `t`; fails if already bound to a different term (the
+  // non-linear-pattern case: F(x, x) requires both occurrences equal).
+  bool BindVar(const std::string& name, TermRef t);
+  bool BindCollVar(const std::string& name, TermList ts);
+
+  // Unconditional (re)binding, used by rule methods to publish outputs.
+  void SetVar(const std::string& name, TermRef t);
+  void SetCollVar(const std::string& name, TermList ts);
+
+  const TermRef* LookupVar(const std::string& name) const;
+  const TermList* LookupCollVar(const std::string& name) const;
+
+  bool HasVar(const std::string& name) const {
+    return vars_.count(name) > 0;
+  }
+  bool HasCollVar(const std::string& name) const {
+    return coll_vars_.count(name) > 0;
+  }
+
+  size_t var_count() const { return vars_.size(); }
+  size_t coll_var_count() const { return coll_vars_.size(); }
+
+  const std::map<std::string, TermRef>& vars() const { return vars_; }
+  const std::map<std::string, TermList>& coll_vars() const {
+    return coll_vars_;
+  }
+
+  // "{x := F(a), y* := [b, c]}" for traces and tests.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, TermRef> vars_;
+  std::map<std::string, TermList> coll_vars_;
+};
+
+// Instantiates `t` under `env`: variables are replaced by their bindings and
+// collection variables are spliced into the surrounding argument list.
+// Unbound variables are an error (rules are checked so RHS variables are
+// bound by the LHS or by a method); a collection variable in a non-argument
+// position is an error.
+Result<TermRef> ApplySubstitution(const TermRef& t, const Bindings& env);
+
+}  // namespace eds::term
+
+#endif  // EDS_TERM_SUBSTITUTION_H_

@@ -1,0 +1,289 @@
+#include "term/term.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace eds::term {
+
+namespace {
+
+struct TermBuilder : Term {};
+
+std::shared_ptr<Term> NewTerm() { return std::make_shared<TermBuilder>(); }
+
+// Maps canonical functors to their infix spelling for printing.
+const std::map<std::string, std::string>& InfixOps() {
+  static const auto* ops = new std::map<std::string, std::string>{
+      {kEq, "="},   {kNe, "<>"},  {kLt, "<"},  {kLe, "<="},
+      {kGt, ">"},   {kGe, ">="},  {kAnd, "AND"}, {kOr, "OR"},
+      {"ADD", "+"}, {"SUB", "-"}, {"MUL", "*"},  {"DIV", "/"},
+  };
+  return *ops;
+}
+
+}  // namespace
+
+TermRef Term::Constant(value::Value v) {
+  auto t = NewTerm();
+  t->kind_ = TermKind::kConstant;
+  t->value_ = std::move(v);
+  return t;
+}
+
+TermRef Term::Int(int64_t i) { return Constant(value::Value::Int(i)); }
+TermRef Term::Real(double d) { return Constant(value::Value::Real(d)); }
+TermRef Term::Str(std::string s) {
+  return Constant(value::Value::String(std::move(s)));
+}
+TermRef Term::Bool(bool b) { return Constant(value::Value::Bool(b)); }
+
+TermRef Term::Var(std::string name) {
+  auto t = NewTerm();
+  t->kind_ = TermKind::kVariable;
+  t->name_ = std::move(name);
+  return t;
+}
+
+TermRef Term::CollVar(std::string name) {
+  auto t = NewTerm();
+  t->kind_ = TermKind::kCollectionVariable;
+  t->name_ = std::move(name);
+  return t;
+}
+
+TermRef Term::Apply(std::string functor, TermList args) {
+  auto t = NewTerm();
+  t->kind_ = TermKind::kApply;
+  t->name_ = ToUpperAscii(functor);
+  t->args_ = std::move(args);
+  return t;
+}
+
+TermRef Term::And(TermRef a, TermRef b) {
+  return Apply(kAnd, {std::move(a), std::move(b)});
+}
+TermRef Term::Or(TermRef a, TermRef b) {
+  return Apply(kOr, {std::move(a), std::move(b)});
+}
+TermRef Term::Not(TermRef a) { return Apply(kNot, {std::move(a)}); }
+TermRef Term::Eq(TermRef a, TermRef b) {
+  return Apply(kEq, {std::move(a), std::move(b)});
+}
+TermRef Term::Attr(int64_t rel, int64_t attr) {
+  return Apply(kAttr, {Int(rel), Int(attr)});
+}
+TermRef Term::Relation(std::string name) {
+  return Apply(kRelation, {Str(std::move(name))});
+}
+
+bool Equals(const TermRef& a, const TermRef& b) { return Compare(a, b) == 0; }
+
+int Compare(const TermRef& a, const TermRef& b) {
+  if (a.get() == b.get()) return 0;
+  if (a == nullptr || b == nullptr) return a == nullptr ? -1 : 1;
+  if (a->kind() != b->kind()) {
+    return static_cast<int>(a->kind()) < static_cast<int>(b->kind()) ? -1 : 1;
+  }
+  switch (a->kind()) {
+    case TermKind::kConstant:
+      return value::Compare(a->constant(), b->constant());
+    case TermKind::kVariable:
+    case TermKind::kCollectionVariable: {
+      int c = a->var_name().compare(b->var_name());
+      return c < 0 ? -1 : (c == 0 ? 0 : 1);
+    }
+    case TermKind::kApply: {
+      int c = a->functor().compare(b->functor());
+      if (c != 0) return c < 0 ? -1 : 1;
+      size_t n = std::min(a->arity(), b->arity());
+      for (size_t i = 0; i < n; ++i) {
+        int ci = Compare(a->arg(i), b->arg(i));
+        if (ci != 0) return ci;
+      }
+      if (a->arity() != b->arity()) return a->arity() < b->arity() ? -1 : 1;
+      return 0;
+    }
+  }
+  return 0;
+}
+
+uint64_t Hash(const TermRef& t) {
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= kPrime;
+  };
+  if (t == nullptr) return h;
+  mix(static_cast<uint64_t>(t->kind()));
+  switch (t->kind()) {
+    case TermKind::kConstant: {
+      // Hash via the printed form; constants are small.
+      for (char c : t->constant().ToString()) mix(static_cast<uint8_t>(c));
+      break;
+    }
+    case TermKind::kVariable:
+    case TermKind::kCollectionVariable:
+      for (char c : t->var_name()) mix(static_cast<uint8_t>(c));
+      break;
+    case TermKind::kApply:
+      for (char c : t->functor()) mix(static_cast<uint8_t>(c));
+      for (const TermRef& a : t->args()) mix(Hash(a));
+      break;
+  }
+  return h;
+}
+
+bool IsGround(const TermRef& t) {
+  if (t->is_variable() || t->is_collection_variable()) return false;
+  if (t->is_apply()) {
+    for (const TermRef& a : t->args()) {
+      if (!IsGround(a)) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+void CollectVarsRec(const TermRef& t, std::vector<std::string>* vars,
+                    std::vector<std::string>* coll_vars) {
+  auto add = [](std::vector<std::string>* out, const std::string& name) {
+    if (out != nullptr &&
+        std::find(out->begin(), out->end(), name) == out->end()) {
+      out->push_back(name);
+    }
+  };
+  switch (t->kind()) {
+    case TermKind::kVariable:
+      add(vars, t->var_name());
+      break;
+    case TermKind::kCollectionVariable:
+      add(coll_vars, t->var_name());
+      break;
+    case TermKind::kApply:
+      // Functor variables (?F) count as ordinary variables for binding
+      // analysis.
+      if (!t->functor().empty() && t->functor().front() == '?') {
+        add(vars, t->functor());
+      }
+      for (const TermRef& a : t->args()) CollectVarsRec(a, vars, coll_vars);
+      break;
+    case TermKind::kConstant:
+      break;
+  }
+}
+
+}  // namespace
+
+void CollectVariables(const TermRef& t, std::vector<std::string>* vars,
+                      std::vector<std::string>* coll_vars) {
+  CollectVarsRec(t, vars, coll_vars);
+}
+
+size_t CountNodes(const TermRef& t) {
+  size_t n = 1;
+  if (t->is_apply()) {
+    for (const TermRef& a : t->args()) n += CountNodes(a);
+  }
+  return n;
+}
+
+TermRef WithArgs(const TermRef& t, TermList args) {
+  bool same = args.size() == t->arity();
+  if (same) {
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (args[i].get() != t->arg(i).get()) {
+        same = false;
+        break;
+      }
+    }
+  }
+  if (same) return t;
+  return Term::Apply(t->functor(), std::move(args));
+}
+
+TermList Conjuncts(const TermRef& t) {
+  TermList out;
+  if (t->IsApply(kAnd, 2)) {
+    TermList left = Conjuncts(t->arg(0));
+    TermList right = Conjuncts(t->arg(1));
+    out.insert(out.end(), left.begin(), left.end());
+    out.insert(out.end(), right.begin(), right.end());
+  } else {
+    out.push_back(t);
+  }
+  return out;
+}
+
+TermRef MakeConjunction(const TermList& conjuncts) {
+  if (conjuncts.empty()) return Term::True();
+  TermRef acc = conjuncts[0];
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    acc = Term::And(acc, conjuncts[i]);
+  }
+  return acc;
+}
+
+namespace {
+
+void Print(std::ostream& os, const TermRef& t) {
+  switch (t->kind()) {
+    case TermKind::kConstant:
+      os << t->constant();
+      return;
+    case TermKind::kVariable:
+      os << t->var_name();
+      return;
+    case TermKind::kCollectionVariable:
+      os << t->var_name() << '*';
+      return;
+    case TermKind::kApply:
+      break;
+  }
+  const std::string& f = t->functor();
+  // ATTR(i, j) prints as $i.j ('$'-prefixed so the parser can reread it;
+  // the paper writes the same references as i.j).
+  if (f == kAttr && t->arity() == 2 && t->arg(0)->is_constant() &&
+      t->arg(1)->is_constant()) {
+    os << '$' << t->arg(0)->constant() << '.' << t->arg(1)->constant();
+    return;
+  }
+  auto infix = InfixOps().find(f);
+  if (infix != InfixOps().end() && t->arity() == 2) {
+    os << '(';
+    Print(os, t->arg(0));
+    os << ' ' << infix->second << ' ';
+    Print(os, t->arg(1));
+    os << ')';
+    return;
+  }
+  os << f << '(';
+  for (size_t i = 0; i < t->arity(); ++i) {
+    if (i > 0) os << ", ";
+    Print(os, t->arg(i));
+  }
+  os << ')';
+}
+
+}  // namespace
+
+std::string Term::ToString() const {
+  std::ostringstream os;
+  // Wrap `this` in a non-owning shared_ptr for the recursive printer.
+  TermRef self(this, [](const Term*) {});
+  Print(os, self);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TermRef& t) {
+  if (t == nullptr) return os << "<null>";
+  Print(os, t);
+  return os;
+}
+
+}  // namespace eds::term

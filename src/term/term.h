@@ -1,0 +1,165 @@
+#ifndef EDS_TERM_TERM_H_
+#define EDS_TERM_TERM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "value/value.h"
+
+namespace eds::term {
+
+class Term;
+using TermRef = std::shared_ptr<const Term>;
+using TermList = std::vector<TermRef>;
+
+// The paper's central idea is a *uniform* term formalism: LERA operators,
+// qualifications, ADT function calls and constants are all terms, so one
+// rewriting machinery covers syntactic and semantic optimization alike.
+//
+//   kConstant            literal value ('Quinn', 10000, TRUE)
+//   kVariable            rule variable (x, f, qual) — binds to one term
+//   kCollectionVariable  rule collection variable (x*) — binds to a
+//                        subsequence of a LIST/SET argument list
+//   kApply               F(t1, ..., tn); LIST, SET, TUPLE, AND, EQ, SEARCH,
+//                        FIX, ... are ordinary functors
+enum class TermKind {
+  kConstant,
+  kVariable,
+  kCollectionVariable,
+  kApply,
+};
+
+// Well-known functor names. Functor names are canonicalized to upper case at
+// construction, so recognizers compare against these directly.
+inline constexpr const char* kList = "LIST";
+inline constexpr const char* kSet = "SET";
+inline constexpr const char* kTuple = "TUPLE";
+inline constexpr const char* kAnd = "AND";
+inline constexpr const char* kOr = "OR";
+inline constexpr const char* kNot = "NOT";
+inline constexpr const char* kEq = "EQ";
+inline constexpr const char* kNe = "NE";
+inline constexpr const char* kLt = "LT";
+inline constexpr const char* kLe = "LE";
+inline constexpr const char* kGt = "GT";
+inline constexpr const char* kGe = "GE";
+inline constexpr const char* kAttr = "ATTR";      // ATTR(i, j) prints as i.j
+inline constexpr const char* kRelation = "RELATION";  // RELATION('FILM')
+
+// An immutable node of a term tree. Construct through the factories; nodes
+// are shared via TermRef and never mutated, so rewritten terms share
+// untouched subtrees with their originals.
+class Term {
+ public:
+  TermKind kind() const { return kind_; }
+
+  bool is_constant() const { return kind_ == TermKind::kConstant; }
+  bool is_variable() const { return kind_ == TermKind::kVariable; }
+  bool is_collection_variable() const {
+    return kind_ == TermKind::kCollectionVariable;
+  }
+  bool is_apply() const { return kind_ == TermKind::kApply; }
+
+  // kConstant payload.
+  const value::Value& constant() const { return value_; }
+
+  // kVariable / kCollectionVariable: the variable name (without the '*').
+  const std::string& var_name() const { return name_; }
+
+  // kApply: upper-cased functor and arguments.
+  const std::string& functor() const { return name_; }
+  const TermList& args() const { return args_; }
+  size_t arity() const { return args_.size(); }
+  const TermRef& arg(size_t i) const { return args_[i]; }
+
+  // True if the functor equals `name` (which must be upper case).
+  bool IsApply(const std::string& name) const {
+    return kind_ == TermKind::kApply && name_ == name;
+  }
+  bool IsApply(const std::string& name, size_t n) const {
+    return IsApply(name) && args_.size() == n;
+  }
+
+  // Pretty form: infix for boolean/comparison/arithmetic functors, `i.j`
+  // for ATTR, `'lit'` for strings, `F(a, b)` otherwise.
+  std::string ToString() const;
+
+  // ---- factories ----
+  static TermRef Constant(value::Value v);
+  static TermRef Int(int64_t i);
+  static TermRef Real(double d);
+  static TermRef Str(std::string s);
+  static TermRef Bool(bool b);
+  static TermRef True() { return Bool(true); }
+  static TermRef False() { return Bool(false); }
+
+  static TermRef Var(std::string name);
+  static TermRef CollVar(std::string name);
+
+  static TermRef Apply(std::string functor, TermList args);
+  static TermRef List(TermList args) { return Apply(kList, std::move(args)); }
+  static TermRef MakeSet(TermList args) {
+    return Apply(kSet, std::move(args));
+  }
+  static TermRef MakeTuple(TermList args) {
+    return Apply(kTuple, std::move(args));
+  }
+
+  // Binary/unary convenience constructors.
+  static TermRef And(TermRef a, TermRef b);
+  static TermRef Or(TermRef a, TermRef b);
+  static TermRef Not(TermRef a);
+  static TermRef Eq(TermRef a, TermRef b);
+  static TermRef Attr(int64_t rel, int64_t attr);
+  static TermRef Relation(std::string name);
+
+ protected:
+  // Construction goes through the factories (which build a derived
+  // TermBuilder internally); protected so the builder can default-construct.
+  Term() = default;
+
+ private:
+  TermKind kind_ = TermKind::kConstant;
+  value::Value value_;
+  std::string name_;
+  TermList args_;
+};
+
+// Deep structural equality.
+bool Equals(const TermRef& a, const TermRef& b);
+
+// Total structural order (kind, then payload, then args lexicographically).
+int Compare(const TermRef& a, const TermRef& b);
+
+// FNV-style structural hash, consistent with Equals.
+uint64_t Hash(const TermRef& t);
+
+// True if `t` contains no variables or collection variables.
+bool IsGround(const TermRef& t);
+
+// Collects the names of variables (`vars`) and collection variables
+// (`coll_vars`) occurring in `t`, in first-occurrence order, deduplicated.
+// Either output may be null.
+void CollectVariables(const TermRef& t, std::vector<std::string>* vars,
+                      std::vector<std::string>* coll_vars);
+
+// Number of nodes in the tree (the paper's termination argument counts
+// terms; the engine uses this for size-decreasing diagnostics).
+size_t CountNodes(const TermRef& t);
+
+// Rebuilds an apply node with new arguments, reusing the original node when
+// nothing changed. Precondition: t->is_apply().
+TermRef WithArgs(const TermRef& t, TermList args);
+
+// Flattens nested AND into a conjunct list (a non-AND term yields itself).
+TermList Conjuncts(const TermRef& t);
+// AND-combines conjuncts; empty list yields TRUE.
+TermRef MakeConjunction(const TermList& conjuncts);
+
+std::ostream& operator<<(std::ostream& os, const TermRef& t);
+
+}  // namespace eds::term
+
+#endif  // EDS_TERM_TERM_H_

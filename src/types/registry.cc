@@ -1,0 +1,96 @@
+#include "types/registry.h"
+
+#include "common/strings.h"
+
+namespace eds::types {
+
+TypeRegistry::TypeRegistry() {
+  bool_type_ = Type::MakeScalar(TypeKind::kBool);
+  int_type_ = Type::MakeScalar(TypeKind::kInt);
+  real_type_ = Type::MakeScalar(TypeKind::kReal);
+  numeric_type_ = Type::MakeScalar(TypeKind::kNumeric);
+  char_type_ = Type::MakeScalar(TypeKind::kChar);
+  any_type_ = Type::MakeScalar(TypeKind::kAny);
+  collection_type_ = Type::MakeCollection(TypeKind::kCollection, nullptr);
+
+  // Builtins never collide at construction time; ignore the statuses.
+  (void)Insert("BOOLEAN", bool_type_);
+  (void)Insert("BOOL", bool_type_);
+  (void)Insert("INT", int_type_);
+  (void)Insert("INTEGER", int_type_);
+  (void)Insert("REAL", real_type_);
+  (void)Insert("NUMERIC", numeric_type_);
+  (void)Insert("CHAR", char_type_);
+  (void)Insert("ANY", any_type_);
+  (void)Insert("COLLECTION", collection_type_);
+}
+
+Status TypeRegistry::Insert(const std::string& name, const TypeRef& type) {
+  auto [it, inserted] = by_name_.emplace(ToUpperAscii(name), type);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("type '" + name + "' already defined");
+  }
+  return Status::OK();
+}
+
+Result<TypeRef> TypeRegistry::Find(const std::string& name) const {
+  auto it = by_name_.find(ToUpperAscii(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("unknown type '" + name + "'");
+  }
+  return it->second;
+}
+
+bool TypeRegistry::Contains(const std::string& name) const {
+  return by_name_.count(ToUpperAscii(name)) > 0;
+}
+
+Result<TypeRef> TypeRegistry::RegisterEnumeration(
+    const std::string& name, std::vector<std::string> values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("enumeration '" + name + "' has no values");
+  }
+  TypeRef t = Type::MakeEnumeration(name, std::move(values));
+  EDS_RETURN_IF_ERROR(Insert(name, t));
+  user_order_.push_back(name);
+  return t;
+}
+
+Result<TypeRef> TypeRegistry::RegisterTuple(const std::string& name,
+                                            std::vector<Field> fields) {
+  TypeRef t = Type::MakeNamed(name, Type::MakeTuple(std::move(fields)));
+  EDS_RETURN_IF_ERROR(Insert(name, t));
+  user_order_.push_back(name);
+  return t;
+}
+
+Result<TypeRef> TypeRegistry::RegisterObject(const std::string& name,
+                                             std::vector<Field> fields,
+                                             const TypeRef& supertype) {
+  if (supertype != nullptr && supertype->kind() != TypeKind::kObject) {
+    return Status::TypeError("SUBTYPE OF requires an object type, got " +
+                             supertype->ToString());
+  }
+  TypeRef t = Type::MakeObject(name, std::move(fields), supertype);
+  EDS_RETURN_IF_ERROR(Insert(name, t));
+  user_order_.push_back(name);
+  return t;
+}
+
+Result<TypeRef> TypeRegistry::RegisterAlias(const std::string& name,
+                                            const TypeRef& type) {
+  TypeRef t = Type::MakeNamed(name, type);
+  EDS_RETURN_IF_ERROR(Insert(name, t));
+  user_order_.push_back(name);
+  return t;
+}
+
+std::vector<std::string> TypeRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(by_name_.size());
+  for (const auto& [name, type] : by_name_) out.push_back(name);
+  return out;
+}
+
+}  // namespace eds::types

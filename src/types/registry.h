@@ -1,0 +1,84 @@
+#ifndef EDS_TYPES_REGISTRY_H_
+#define EDS_TYPES_REGISTRY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "types/type.h"
+
+namespace eds::types {
+
+// Registry of named types, the "extensible typing" half of the paper's ADT
+// story. Builtin scalar types (INT, REAL, NUMERIC, BOOLEAN, CHAR) and the
+// abstract COLLECTION root are pre-registered. User DDL (TYPE ...) adds
+// enumerations, named tuples/collections, and object types with subtyping.
+// Lookup is case-insensitive.
+class TypeRegistry {
+ public:
+  TypeRegistry();
+
+  TypeRegistry(const TypeRegistry&) = delete;
+  TypeRegistry& operator=(const TypeRegistry&) = delete;
+
+  // Looks up a named type. NotFound if absent.
+  Result<TypeRef> Find(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+  // TYPE <name> ENUMERATION OF ('a', ...).
+  Result<TypeRef> RegisterEnumeration(const std::string& name,
+                                      std::vector<std::string> values);
+
+  // TYPE <name> TUPLE (f : T, ...).
+  Result<TypeRef> RegisterTuple(const std::string& name,
+                                std::vector<Field> fields);
+
+  // TYPE <name> OBJECT TUPLE (f : T, ...) [SUBTYPE OF <super>]. `supertype`
+  // may be null. Inherited fields are *not* copied; FindField walks the
+  // chain.
+  Result<TypeRef> RegisterObject(const std::string& name,
+                                 std::vector<Field> fields,
+                                 const TypeRef& supertype);
+
+  // TYPE <name> <structural type>, e.g. TYPE Text LIST OF CHAR.
+  Result<TypeRef> RegisterAlias(const std::string& name, const TypeRef& type);
+
+  // Convenience accessors for the ubiquitous builtins.
+  const TypeRef& bool_type() const { return bool_type_; }
+  const TypeRef& int_type() const { return int_type_; }
+  const TypeRef& real_type() const { return real_type_; }
+  const TypeRef& numeric_type() const { return numeric_type_; }
+  const TypeRef& char_type() const { return char_type_; }
+  const TypeRef& any_type() const { return any_type_; }
+  const TypeRef& collection_type() const { return collection_type_; }
+
+  // All registered names, sorted (for catalogs / diagnostics).
+  std::vector<std::string> Names() const;
+
+  // User-registered type names in registration order (builtins excluded);
+  // dependency-safe for DDL dumps since ESQL requires definition before
+  // use.
+  const std::vector<std::string>& UserTypeNames() const {
+    return user_order_;
+  }
+
+ private:
+  Status Insert(const std::string& name, const TypeRef& type);
+
+  std::map<std::string, TypeRef> by_name_;  // keys folded to upper case
+  std::vector<std::string> user_order_;      // declared names, in order
+
+  TypeRef bool_type_;
+  TypeRef int_type_;
+  TypeRef real_type_;
+  TypeRef numeric_type_;
+  TypeRef char_type_;
+  TypeRef any_type_;
+  TypeRef collection_type_;
+};
+
+}  // namespace eds::types
+
+#endif  // EDS_TYPES_REGISTRY_H_

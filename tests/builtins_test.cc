@@ -1,0 +1,345 @@
+#include "rewrite/builtins.h"
+
+#include "catalog/catalog.h"
+#include "gtest/gtest.h"
+#include "term/parser.h"
+
+namespace eds::rewrite {
+namespace {
+
+using term::Bindings;
+using term::TermRef;
+
+TermRef P(const char* text) {
+  auto r = term::ParseTerm(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.ok() ? *r : nullptr;
+}
+
+class BuiltinsTest : public ::testing::Test {
+ protected:
+  BuiltinsTest() {
+    registry_.InstallStandard();
+    ctx_.catalog = &catalog_;
+    // A two-column table for SCHEMA / SPLIT_QUAL.
+    catalog::TableDef t;
+    t.name = "T";
+    t.columns = {{"A", catalog_.types().int_type()},
+                 {"B", catalog_.types().char_type()}};
+    EXPECT_TRUE(catalog_.CreateTable(std::move(t)).ok());
+    catalog::TableDef u;
+    u.name = "U";
+    u.columns = {{"C", catalog_.types().int_type()},
+                 {"D", catalog_.types().int_type()},
+                 {"E", catalog_.types().char_type()}};
+    EXPECT_TRUE(catalog_.CreateTable(std::move(u)).ok());
+  }
+
+  Result<bool> Eval(const char* constraint, const Bindings& env) {
+    return EvalConstraint(P(constraint), env, ctx_);
+  }
+
+  catalog::Catalog catalog_;
+  BuiltinRegistry registry_;
+  RewriteContext ctx_;
+};
+
+// ---- constraint evaluation ----
+
+TEST_F(BuiltinsTest, BooleanConnectives) {
+  Bindings env;
+  EXPECT_TRUE(*Eval("TRUE AND TRUE", env));
+  EXPECT_FALSE(*Eval("TRUE AND FALSE", env));
+  EXPECT_TRUE(*Eval("FALSE OR TRUE", env));
+  EXPECT_TRUE(*Eval("NOT FALSE", env));
+}
+
+TEST_F(BuiltinsTest, GroundComparisonsFold) {
+  Bindings env;
+  EXPECT_TRUE(*Eval("1 < 2", env));
+  EXPECT_FALSE(*Eval("'a' = 'b'", env));
+  EXPECT_TRUE(*Eval("2 + 3 = 5", env));
+}
+
+TEST_F(BuiltinsTest, EqFallsBackToStructuralEquality) {
+  Bindings env;
+  env.SetVar("f", P("($1.1 = 10)"));
+  env.SetVar("g", P("($1.1 = 10)"));
+  env.SetVar("h", P("($1.1 = 11)"));
+  EXPECT_TRUE(*Eval("f = g", env));
+  EXPECT_FALSE(*Eval("f = h", env));
+  EXPECT_TRUE(*Eval("f <> h", env));
+  // The paper's f = TRUE test against a bound qualification.
+  env.SetVar("t", P("TRUE"));
+  EXPECT_TRUE(*Eval("t = TRUE", env));
+}
+
+TEST_F(BuiltinsTest, MemberOverCollVarBinding) {
+  Bindings env;
+  env.SetCollVar("x", {P("G(1)"), P("H(2)")});
+  env.SetVar("y", P("G(1)"));
+  env.SetVar("z", P("G(9)"));
+  EXPECT_TRUE(*Eval("MEMBER(y, x*)", env));
+  EXPECT_FALSE(*Eval("MEMBER(z, x*)", env));
+}
+
+TEST_F(BuiltinsTest, MemberOverLiteralSetTerm) {
+  Bindings env;
+  env.SetVar("x", P("'Cartoon'"));
+  EXPECT_FALSE(*Eval("MEMBER(x, SET('Comedy', 'Western'))", env));
+  env.SetVar("x2", P("'Comedy'"));
+  EXPECT_TRUE(*Eval("MEMBER(x2, SET('Comedy', 'Western'))", env));
+}
+
+TEST_F(BuiltinsTest, IsaConstantMeansFoldable) {
+  Bindings env;
+  env.SetVar("c", P("5"));
+  env.SetVar("e", P("2 + 3"));       // foldable expression
+  env.SetVar("a", P("$1.1"));        // attribute: not constant
+  EXPECT_TRUE(*Eval("ISA(c, CONSTANT)", env));
+  EXPECT_TRUE(*Eval("ISA(e, CONSTANT)", env));
+  EXPECT_FALSE(*Eval("ISA(a, CONSTANT)", env));
+}
+
+TEST_F(BuiltinsTest, IsaCollectionKinds) {
+  Bindings env;
+  env.SetVar("s", P("SET(1, 2)"));
+  env.SetVar("l", P("LIST(1)"));
+  EXPECT_TRUE(*Eval("ISA(s, SET)", env));
+  EXPECT_TRUE(*Eval("ISA(s, COLLECTION)", env));
+  EXPECT_FALSE(*Eval("ISA(s, LIST)", env));
+  EXPECT_TRUE(*Eval("ISA(l, LIST)", env));
+}
+
+TEST_F(BuiltinsTest, IsaNamedTypeViaOracle) {
+  // Scope-aware oracle: pretend the subject has the named type.
+  auto point = catalog_.types().RegisterTuple(
+      "Point", {{"ABS", catalog_.types().real_type()},
+                {"ORD", catalog_.types().real_type()}});
+  ASSERT_TRUE(point.ok());
+  ctx_.type_of = [&](const TermRef& t) -> Result<types::TypeRef> {
+    if (t->is_apply() && t->functor() == "P") return *point;
+    return catalog_.types().int_type();
+  };
+  Bindings env;
+  env.SetVar("x", P("P()"));
+  env.SetVar("y", P("Q()"));
+  EXPECT_TRUE(*Eval("ISA(x, Point)", env));
+  EXPECT_FALSE(*Eval("ISA(y, Point)", env));
+  EXPECT_TRUE(*Eval("ISA(y, NUMERIC)", env));  // INT isa NUMERIC
+}
+
+TEST_F(BuiltinsTest, IsaUnknownTypeIsError) {
+  Bindings env;
+  env.SetVar("x", P("1"));
+  EXPECT_FALSE(Eval("ISA(x, NoSuchType)", env).ok());
+}
+
+TEST_F(BuiltinsTest, RefersOnlyAndNoref) {
+  Bindings env;
+  env.SetVar("q", P("($2.1 = 5) AND ($2.2 = $1.1)"));
+  EXPECT_TRUE(*Eval("REFERS_ONLY(q, 2, LIST(1, 2))", env));
+  EXPECT_FALSE(*Eval("REFERS_ONLY(q, 2, LIST(1))", env));
+  EXPECT_FALSE(*Eval("NOREF(q, 1)", env));
+  EXPECT_TRUE(*Eval("NOREF(q, 3)", env));
+}
+
+TEST_F(BuiltinsTest, HasConjunct) {
+  Bindings env;
+  env.SetVar("f", P("(a AND (x = y)) AND b"));
+  env.SetVar("c", P("x = y"));
+  env.SetVar("d", P("x = z"));
+  EXPECT_TRUE(*Eval("HAS_CONJUNCT(f, c)", env));
+  EXPECT_FALSE(*Eval("HAS_CONJUNCT(f, d)", env));
+}
+
+TEST_F(BuiltinsTest, UnevaluableConstraintIsError) {
+  Bindings env;
+  env.SetVar("x", P("$1.1"));
+  EXPECT_FALSE(Eval("SOMEFN(x)", env).ok());
+}
+
+// ---- TryEvalToValue / ValueToTerm ----
+
+TEST_F(BuiltinsTest, TryEvalFoldsLiteralsAndFunctions) {
+  auto v = TryEvalToValue(P("MEMBER('a', SET('a', 'b'))"), ctx_);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, value::Value::Bool(true));
+  EXPECT_FALSE(TryEvalToValue(P("$1.1 + 1"), ctx_).has_value());
+  auto tup = TryEvalToValue(P("TUPLE(1, 'a')"), ctx_);
+  ASSERT_TRUE(tup.has_value());
+  EXPECT_EQ(tup->kind(), value::ValueKind::kTuple);
+}
+
+TEST_F(BuiltinsTest, ValueToTermRoundTrip) {
+  value::Value v = value::Value::Set({value::Value::Int(1)});
+  TermRef t = ValueToTerm(v);
+  ASSERT_TRUE(t->is_constant());
+  EXPECT_EQ(t->constant(), v);
+}
+
+// ---- methods ----
+
+TEST_F(BuiltinsTest, MethodEvaluateFoldsAndBinds) {
+  Bindings env;
+  env.SetVar("x", P("2"));
+  env.SetVar("y", P("3"));
+  ASSERT_TRUE(registry_
+                  .InvokeMethod("EVALUATE", {P("x + y"), P("out")}, &env,
+                                ctx_)
+                  .ok());
+  EXPECT_TRUE(term::Equals(*env.LookupVar("out"), P("5")));
+}
+
+TEST_F(BuiltinsTest, MethodEvaluateFailsOnNonFoldable) {
+  Bindings env;
+  env.SetVar("x", P("$1.1"));
+  EXPECT_FALSE(registry_
+                   .InvokeMethod("EVALUATE", {P("x + 1"), P("out")}, &env,
+                                 ctx_)
+                   .ok());
+}
+
+TEST_F(BuiltinsTest, MethodSchemaSingleInput) {
+  Bindings env;
+  env.SetVar("z", P("RELATION('T')"));
+  ASSERT_TRUE(
+      registry_.InvokeMethod("SCHEMA", {P("z"), P("p")}, &env, ctx_).ok());
+  EXPECT_TRUE(term::Equals(*env.LookupVar("p"), P("LIST($1.1, $1.2)")));
+}
+
+TEST_F(BuiltinsTest, MethodSchemaInputList) {
+  Bindings env;
+  env.SetVar("a", P("RELATION('T')"));
+  env.SetVar("b", P("RELATION('U')"));
+  ASSERT_TRUE(registry_
+                  .InvokeMethod("SCHEMA", {P("LIST(a, b)"), P("p")}, &env,
+                                ctx_)
+                  .ok());
+  EXPECT_TRUE(term::Equals(
+      *env.LookupVar("p"), P("LIST($1.1, $1.2, $2.1, $2.2, $2.3)")));
+}
+
+TEST_F(BuiltinsTest, MethodPosition) {
+  Bindings env;
+  env.SetCollVar("x", {P("a"), P("b"), P("c")});
+  ASSERT_TRUE(
+      registry_.InvokeMethod("POSITION", {P("x*"), P("pos")}, &env, ctx_)
+          .ok());
+  EXPECT_TRUE(term::Equals(*env.LookupVar("pos"), P("4")));
+}
+
+TEST_F(BuiltinsTest, MethodMergeSubstRemapsAttrs) {
+  // Outer inputs: LIST(x*, inner, v*) with |x*|=1, |v*|=1; inner has
+  // |z|=2 inputs and projections b = [$1.2, $2.1].
+  Bindings env;
+  env.SetCollVar("x", {P("RELATION('T')")});
+  env.SetCollVar("v", {P("RELATION('U')")});
+  env.SetVar("z", P("LIST(RELATION('A'), RELATION('B'))"));
+  env.SetVar("b", P("LIST($1.2, $2.1)"));
+  env.SetVar("f", P("($1.1 = $2.2) AND ($3.1 = 7)"));
+  ASSERT_TRUE(registry_
+                  .InvokeMethod("MERGE_SUBST",
+                                {P("f"), P("x*"), P("v*"), P("z"), P("b"),
+                                 P("out")},
+                                &env, ctx_)
+                  .ok());
+  // $1.1 (in x*) unchanged; $2.2 (inner col 2) -> b[2]=$2.1 shifted by
+  // |x*|+|v*|=2 -> $4.1; $3.1 (in v*) shifts left -> $2.1.
+  EXPECT_TRUE(term::Equals(*env.LookupVar("out"),
+                           P("($1.1 = $4.1) AND ($2.1 = 7)")));
+}
+
+TEST_F(BuiltinsTest, MethodMergeSubstRejectsBadProjectionIndex) {
+  Bindings env;
+  env.SetCollVar("x", {});
+  env.SetCollVar("v", {});
+  env.SetVar("z", P("LIST(RELATION('A'))"));
+  env.SetVar("b", P("LIST($1.1)"));
+  env.SetVar("f", P("$1.5 = 1"));  // inner has only 1 projection
+  EXPECT_FALSE(registry_
+                   .InvokeMethod("MERGE_SUBST",
+                                 {P("f"), P("x*"), P("v*"), P("z"), P("b"),
+                                  P("out")},
+                                 &env, ctx_)
+                   .ok());
+}
+
+TEST_F(BuiltinsTest, MethodSplitQual) {
+  // NEST(U, [2], 'S'): output columns are U.C, U.E, then the set. A
+  // conjunct on output col 1 (U.C) is pushable; one on col 3 (the set) or
+  // on another input is not.
+  Bindings env;
+  env.SetVar("f", P("($1.1 = 5) AND (MEMBER(1, $1.3) AND ($2.1 = $1.2))"));
+  env.SetVar("z", P("RELATION('U')"));
+  ASSERT_TRUE(registry_
+                  .InvokeMethod("SPLIT_QUAL",
+                                {P("f"), P("1"), P("z"), P("LIST(2)"),
+                                 P("fi"), P("fj")},
+                                &env, ctx_)
+                  .ok());
+  // Pushed conjunct renumbered to U's own columns: output col 1 -> input
+  // col 1 (C).
+  EXPECT_TRUE(term::Equals(*env.LookupVar("fi"), P("$1.1 = 5")));
+  EXPECT_TRUE(term::Equals(*env.LookupVar("fj"),
+                           P("MEMBER(1, $1.3) AND ($2.1 = $1.2)")));
+}
+
+TEST_F(BuiltinsTest, MethodSplitQualRenumbersThroughGaps) {
+  // Nested col 1: output col 1 = input col 2, output col 2 = input col 3.
+  Bindings env;
+  env.SetVar("f", P("$1.2 = 'x'"));
+  env.SetVar("z", P("RELATION('U')"));
+  ASSERT_TRUE(registry_
+                  .InvokeMethod("SPLIT_QUAL",
+                                {P("f"), P("1"), P("z"), P("LIST(1)"),
+                                 P("fi"), P("fj")},
+                                &env, ctx_)
+                  .ok());
+  EXPECT_TRUE(term::Equals(*env.LookupVar("fi"), P("$1.3 = 'x'")));
+  EXPECT_TRUE(term::Equals(*env.LookupVar("fj"), P("TRUE")));
+}
+
+TEST_F(BuiltinsTest, MethodSplitQualFailsWhenNothingPushable) {
+  Bindings env;
+  env.SetVar("f", P("$2.1 = 5"));
+  env.SetVar("z", P("RELATION('U')"));
+  EXPECT_FALSE(registry_
+                   .InvokeMethod("SPLIT_QUAL",
+                                 {P("f"), P("1"), P("z"), P("LIST(2)"),
+                                  P("fi"), P("fj")},
+                                 &env, ctx_)
+                   .ok());
+}
+
+// ---- term functions ----
+
+TEST_F(BuiltinsTest, TermFunctionsSplice) {
+  Bindings env;  // unused
+  auto out = EvalTermFunctions(
+      P("SEARCH(APPEND(LIST(a, b), c, LIST(d)), f, SET_UNION(SET(x), SET(y, "
+        "z)))"),
+      registry_, ctx_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(term::Equals(
+      *out, P("SEARCH(LIST(a, b, c, d), f, SET(x, y, z))")));
+}
+
+TEST_F(BuiltinsTest, UnknownMethodIsNotFound) {
+  Bindings env;
+  EXPECT_EQ(registry_.InvokeMethod("NO_SUCH", {}, &env, ctx_).code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(registry_.HasMethod("NO_SUCH"));
+  EXPECT_TRUE(registry_.HasMethod("evaluate"));  // case-insensitive
+  EXPECT_TRUE(registry_.HasTermFunction("append"));
+}
+
+TEST_F(BuiltinsTest, RegistryRejectsDuplicates) {
+  EXPECT_EQ(registry_.RegisterMethod("EVALUATE", nullptr).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(registry_.RegisterTermFunction("APPEND", nullptr).code(),
+            StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace eds::rewrite

@@ -1,0 +1,199 @@
+#include "value/collection_lib.h"
+
+#include "gtest/gtest.h"
+
+namespace eds::value {
+namespace {
+
+const FunctionLibrary& Lib() { return FunctionLibrary::Default(); }
+
+Value Call(const char* name, std::vector<Value> args) {
+  auto r = Lib().Call(name, args);
+  EXPECT_TRUE(r.ok()) << name << ": " << r.status().ToString();
+  return r.ok() ? *r : Value::Null();
+}
+
+Status CallStatus(const char* name, std::vector<Value> args) {
+  auto r = Lib().Call(name, args);
+  return r.ok() ? Status::OK() : r.status();
+}
+
+TEST(CollectionLibTest, Arithmetic) {
+  EXPECT_EQ(Call("ADD", {Value::Int(2), Value::Int(3)}), Value::Int(5));
+  EXPECT_EQ(Call("SUB", {Value::Int(2), Value::Int(3)}), Value::Int(-1));
+  EXPECT_EQ(Call("MUL", {Value::Int(4), Value::Int(3)}), Value::Int(12));
+  EXPECT_EQ(Call("DIV", {Value::Int(7), Value::Int(2)}), Value::Int(3));
+  EXPECT_EQ(Call("MOD", {Value::Int(7), Value::Int(2)}), Value::Int(1));
+  EXPECT_EQ(Call("NEG", {Value::Int(5)}), Value::Int(-5));
+  EXPECT_EQ(Call("ABS", {Value::Int(-5)}), Value::Int(5));
+  EXPECT_EQ(Call("ABS", {Value::Real(-2.5)}), Value::Real(2.5));
+}
+
+TEST(CollectionLibTest, MixedArithmeticWidens) {
+  Value r = Call("ADD", {Value::Int(1), Value::Real(0.5)});
+  EXPECT_EQ(r.kind(), ValueKind::kReal);
+  EXPECT_DOUBLE_EQ(r.AsReal(), 1.5);
+}
+
+TEST(CollectionLibTest, DivisionByZero) {
+  EXPECT_EQ(CallStatus("DIV", {Value::Int(1), Value::Int(0)}).code(),
+            StatusCode::kRuntimeError);
+  EXPECT_EQ(CallStatus("MOD", {Value::Int(1), Value::Int(0)}).code(),
+            StatusCode::kRuntimeError);
+}
+
+TEST(CollectionLibTest, Comparisons) {
+  EXPECT_EQ(Call("EQ", {Value::Int(2), Value::Real(2.0)}),
+            Value::Bool(true));
+  EXPECT_EQ(Call("LT", {Value::Int(1), Value::Int(2)}), Value::Bool(true));
+  EXPECT_EQ(Call("GE", {Value::String("b"), Value::String("a")}),
+            Value::Bool(true));
+  EXPECT_EQ(Call("NE", {Value::Int(1), Value::Int(1)}), Value::Bool(false));
+}
+
+TEST(CollectionLibTest, ComparisonWithNullIsNull) {
+  EXPECT_TRUE(Call("EQ", {Value::Null(), Value::Int(1)}).is_null());
+}
+
+TEST(CollectionLibTest, ThreeValuedLogic) {
+  EXPECT_EQ(Call("AND", {Value::Bool(false), Value::Null()}),
+            Value::Bool(false));
+  EXPECT_TRUE(Call("AND", {Value::Bool(true), Value::Null()}).is_null());
+  EXPECT_EQ(Call("OR", {Value::Bool(true), Value::Null()}),
+            Value::Bool(true));
+  EXPECT_TRUE(Call("OR", {Value::Bool(false), Value::Null()}).is_null());
+  EXPECT_TRUE(Call("NOT", {Value::Null()}).is_null());
+  EXPECT_EQ(Call("NOT", {Value::Bool(false)}), Value::Bool(true));
+}
+
+TEST(CollectionLibTest, StringFunctions) {
+  EXPECT_EQ(Call("CONCAT", {Value::String("ab"), Value::String("cd")}),
+            Value::String("abcd"));
+  EXPECT_EQ(Call("LENGTH", {Value::String("abc")}), Value::Int(3));
+  EXPECT_EQ(Call("UPPER", {Value::String("Quinn")}), Value::String("QUINN"));
+  EXPECT_EQ(Call("LOWER", {Value::String("Quinn")}), Value::String("quinn"));
+}
+
+TEST(CollectionLibTest, MemberOnAllCollectionKinds) {
+  Value e = Value::Int(2);
+  EXPECT_EQ(Call("MEMBER", {e, Value::Set({Value::Int(1), Value::Int(2)})}),
+            Value::Bool(true));
+  EXPECT_EQ(Call("MEMBER", {e, Value::Bag({Value::Int(2), Value::Int(2)})}),
+            Value::Bool(true));
+  EXPECT_EQ(Call("MEMBER", {e, Value::List({Value::Int(1)})}),
+            Value::Bool(false));
+  EXPECT_EQ(Call("MEMBER", {e, Value::Array({Value::Int(2)})}),
+            Value::Bool(true));
+}
+
+TEST(CollectionLibTest, IsEmptyAndCount) {
+  EXPECT_EQ(Call("ISEMPTY", {Value::Set({})}), Value::Bool(true));
+  EXPECT_EQ(Call("ISEMPTY", {Value::List({Value::Int(1)})}),
+            Value::Bool(false));
+  EXPECT_EQ(Call("COUNT", {Value::Bag({Value::Int(1), Value::Int(1)})}),
+            Value::Int(2));
+}
+
+TEST(CollectionLibTest, InsertRemovePreserveKind) {
+  Value s = Call("INSERT", {Value::Int(2), Value::Set({Value::Int(1)})});
+  EXPECT_EQ(s, Value::Set({Value::Int(1), Value::Int(2)}));
+  // Inserting an existing element into a set is a no-op (canonical form).
+  EXPECT_EQ(Call("INSERT", {Value::Int(1), s}), s);
+  Value l = Call("REMOVE", {Value::Int(1), Value::List({Value::Int(1),
+                                                        Value::Int(1)})});
+  EXPECT_EQ(l, Value::List({Value::Int(1)}));  // removes one occurrence
+}
+
+TEST(CollectionLibTest, UnionIntersectionDifference) {
+  Value a = Value::Set({Value::Int(1), Value::Int(2)});
+  Value b = Value::Set({Value::Int(2), Value::Int(3)});
+  EXPECT_EQ(Call("UNION", {a, b}),
+            Value::Set({Value::Int(1), Value::Int(2), Value::Int(3)}));
+  EXPECT_EQ(Call("INTERSECTION", {a, b}), Value::Set({Value::Int(2)}));
+  EXPECT_EQ(Call("DIFFERENCE", {a, b}), Value::Set({Value::Int(1)}));
+}
+
+TEST(CollectionLibTest, BagDifferenceCancelsPerOccurrence) {
+  Value a = Value::Bag({Value::Int(1), Value::Int(1), Value::Int(2)});
+  Value b = Value::Bag({Value::Int(1)});
+  EXPECT_EQ(Call("DIFFERENCE", {a, b}),
+            Value::Bag({Value::Int(1), Value::Int(2)}));
+}
+
+TEST(CollectionLibTest, Include) {
+  Value a = Value::Set({Value::Int(1)});
+  Value b = Value::Set({Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(Call("INCLUDE", {a, b}), Value::Bool(true));
+  EXPECT_EQ(Call("INCLUDE", {b, a}), Value::Bool(false));
+}
+
+TEST(CollectionLibTest, ChoiceDeterministic) {
+  // CHOICE picks the least element so rewrites stay reproducible.
+  EXPECT_EQ(Call("CHOICE", {Value::Set({Value::Int(3), Value::Int(1)})}),
+            Value::Int(1));
+  EXPECT_EQ(CallStatus("CHOICE", {Value::Set({})}).code(),
+            StatusCode::kRuntimeError);
+}
+
+TEST(CollectionLibTest, SequenceFunctions) {
+  Value l = Value::List({Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(Call("APPEND", {l, Value::List({Value::Int(3)})}),
+            Value::List({Value::Int(1), Value::Int(2), Value::Int(3)}));
+  EXPECT_EQ(Call("NTH", {l, Value::Int(2)}), Value::Int(2));
+  EXPECT_EQ(CallStatus("NTH", {l, Value::Int(3)}).code(),
+            StatusCode::kRuntimeError);
+  EXPECT_EQ(Call("FIRST", {l}), Value::Int(1));
+  EXPECT_EQ(Call("LAST", {l}), Value::Int(2));
+  // APPEND rejects sets (order-free).
+  EXPECT_EQ(CallStatus("APPEND", {Value::Set({}), l}).code(),
+            StatusCode::kTypeError);
+}
+
+TEST(CollectionLibTest, Constructors) {
+  EXPECT_EQ(Call("MAKESET", {Value::Int(2), Value::Int(2), Value::Int(1)}),
+            Value::Set({Value::Int(1), Value::Int(2)}));
+  EXPECT_EQ(Call("MAKELIST", {Value::Int(2), Value::Int(1)}),
+            Value::List({Value::Int(2), Value::Int(1)}));
+  EXPECT_EQ(Call("MAKEBAG", {Value::Int(1), Value::Int(1)}),
+            Value::Bag({Value::Int(1), Value::Int(1)}));
+}
+
+TEST(CollectionLibTest, ConvertFunctionsOfFig1) {
+  // Fig. 1: converting a bag to a set removes duplicates.
+  Value bag = Value::Bag({Value::Int(1), Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(Call("TOSET", {bag}), Value::Set({Value::Int(1), Value::Int(2)}));
+  EXPECT_EQ(Call("TOBAG", {Value::Set({Value::Int(1)})}),
+            Value::Bag({Value::Int(1)}));
+  EXPECT_EQ(Call("TOLIST", {bag}).kind(), ValueKind::kList);
+}
+
+TEST(CollectionLibTest, UnknownFunction) {
+  EXPECT_EQ(CallStatus("NO_SUCH_FN", {}).code(), StatusCode::kNotFound);
+}
+
+TEST(CollectionLibTest, ArityErrors) {
+  EXPECT_EQ(CallStatus("ADD", {Value::Int(1)}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CallStatus("MEMBER", {Value::Int(1)}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CollectionLibTest, UserExtension) {
+  FunctionLibrary lib;
+  FunctionLibrary::InstallBuiltins(&lib);
+  // The database implementor registers a new ADT function (extensibility).
+  ASSERT_TRUE(lib.Register("TWICE",
+                           [](const std::vector<Value>& args) -> Result<Value> {
+                             return Value::Int(args[0].AsInt() * 2);
+                           })
+                  .ok());
+  auto r = lib.Call("twice", {Value::Int(21)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Value::Int(42));
+  // Duplicate registration rejected; ForceRegister overrides.
+  EXPECT_EQ(lib.Register("TWICE", nullptr).code(),
+            StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace eds::value

@@ -1,0 +1,104 @@
+#include "common/result.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+#include "gtest/gtest.h"
+
+namespace eds {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("unexpected token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "unexpected token");
+  EXPECT_EQ(s.ToString(), "ParseError: unexpected token");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::TypeError("bad"); };
+  auto wrapper = [&]() -> Status {
+    EDS_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kTypeError);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  auto makes = []() -> Result<std::string> { return std::string("hi"); };
+  auto fails = []() -> Result<std::string> {
+    return Status::RuntimeError("no");
+  };
+  auto use = [&](bool ok) -> Result<size_t> {
+    EDS_ASSIGN_OR_RETURN(std::string s, ok ? makes() : fails());
+    return s.size();
+  };
+  ASSERT_TRUE(use(true).ok());
+  EXPECT_EQ(*use(true), 2u);
+  EXPECT_EQ(use(false).status().code(), StatusCode::kRuntimeError);
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, "-"), "a-b-c");
+}
+
+TEST(StringsTest, CaseFolding) {
+  EXPECT_EQ(ToUpperAscii("MakeSet"), "MAKESET");
+  EXPECT_EQ(ToLowerAscii("MakeSet"), "makeset");
+  EXPECT_TRUE(EqualsIgnoreCase("select", "SELECT"));
+  EXPECT_FALSE(EqualsIgnoreCase("select", "selects"));
+}
+
+TEST(StringsTest, Split) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\n"), "");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("SEARCH(...)", "SEARCH"));
+  EXPECT_FALSE(StartsWith("SEA", "SEARCH"));
+}
+
+}  // namespace
+}  // namespace eds

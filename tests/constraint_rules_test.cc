@@ -1,0 +1,181 @@
+// Fig. 10 — integrity constraints declared in the rule language (§6.1).
+#include "gtest/gtest.h"
+#include "lera/lera.h"
+#include "rewrite/engine.h"
+#include "rules/semantic.h"
+#include "rules/simplify.h"
+#include "ruledsl/compiler.h"
+#include "term/parser.h"
+#include "testutil.h"
+
+namespace eds::rules {
+namespace {
+
+using term::TermRef;
+
+TermRef P(const char* text) {
+  auto r = term::ParseTerm(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.ok() ? *r : nullptr;
+}
+
+class ConstraintRulesTest : public ::testing::Test {
+ protected:
+  ConstraintRulesTest() { registry_.InstallStandard(); }
+
+  std::unique_ptr<rewrite::Engine> MakeEngine(const std::string& source) {
+    auto prog = ruledsl::CompileRuleSource(source, registry_);
+    EXPECT_TRUE(prog.ok()) << prog.status();
+    if (!prog.ok()) return nullptr;
+    return std::make_unique<rewrite::Engine>(&db_.session.catalog(),
+                                             &registry_, std::move(*prog));
+  }
+
+  testutil::FilmDb db_;
+  rewrite::BuiltinRegistry registry_;
+};
+
+TEST_F(ConstraintRulesTest, Fig10PointConstraintsParse) {
+  // The paper's Fig. 10 rules, verbatim modulo concrete syntax: second-
+  // order F over a value of type Point adds the ABS/ORD positivity
+  // constraints. (The original's `x E (...)` membership is MEMBER.)
+  auto unit = ruledsl::ParseRuleSource(R"(
+    ic_point_abs : ?F(x) / ISA(x, Point) --> ?F(x) AND ABS(x) > 0 / ;
+    ic_point_ord : ?F(x) / ISA(x, Point) --> ?F(x) AND ORD(x) > 0 / ;
+    ic_category : ?F(x) / ISA(x, Category)
+      --> ?F(x) AND MEMBER(x, SET('Comedy', 'Adventure', 'Science Fiction',
+                               'Western')) / ;
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  EXPECT_EQ(unit->rules.size(), 3u);
+  for (const auto& r : unit->rules) {
+    EXPECT_TRUE(rewrite::ValidateRule(r, registry_).ok()) << r.ToString();
+  }
+}
+
+TEST_F(ConstraintRulesTest, DomainConstraintAddsPredicate) {
+  // MEMBER(x, c) where c is a SetCategory attribute gains the enumeration
+  // domain; a block limit controls the growth (§4.2 control story).
+  auto engine = MakeEngine(R"(
+    ic_category_domain :
+      MEMBER(x, c) / ISA(c, SetCategory)
+      --> MEMBER(x, c) AND MEMBER(x, SET('Comedy', 'Adventure',
+                                         'Science Fiction', 'Western')) / ;
+    block(semantic, {ic_category_domain}, 4) ;
+    seq({semantic}, 1) ;
+  )");
+  ASSERT_NE(engine, nullptr);
+  // FILM.Categories ($1.3) has type SetCategory: the rule fires (the type
+  // oracle resolves the attribute through the SEARCH scope).
+  auto out = engine->Rewrite(
+      P("SEARCH(LIST(RELATION('FILM')), MEMBER('Cartoon', $1.3), "
+        "LIST($1.2))"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_GE(out->stats.applications, 1u);
+  std::string s = out->term->ToString();
+  EXPECT_NE(s.find("'Cartoon'"), std::string::npos);
+  EXPECT_NE(s.find("'Western'"), std::string::npos);
+}
+
+TEST_F(ConstraintRulesTest, DoesNotFireOnOtherTypes) {
+  auto engine = MakeEngine(R"(
+    ic_category_domain :
+      MEMBER(x, c) / ISA(c, SetCategory)
+      --> MEMBER(x, c) AND MEMBER(x, SET('Comedy')) / ;
+    block(semantic, {ic_category_domain}, 8) ;
+    seq({semantic}, 1) ;
+  )");
+  ASSERT_NE(engine, nullptr);
+  // APPEARS_IN has no SetCategory column; Person.Firstname is SET OF CHAR.
+  auto out = engine->Rewrite(
+      P("SEARCH(LIST(RELATION('APPEARS_IN')), "
+        "MEMBER('X', FIELD(VALUE($1.2), 'Firstname')), LIST($1.1))"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->stats.applications, 0u) << out->term->ToString();
+}
+
+TEST_F(ConstraintRulesTest, InconsistencyDetectedEndToEnd) {
+  // §6.1's chain: domain constraint + constant folding + absorption turn
+  // MEMBER('Cartoon', Categories) into FALSE.
+  InstallSemanticBuiltins(&registry_);
+  std::string source = R"(
+    ic_category_domain :
+      MEMBER(x, c) / ISA(c, SetCategory)
+      --> MEMBER(x, c) AND MEMBER(x, SET('Comedy', 'Adventure',
+                                         'Science Fiction', 'Western')) / ;
+  )" + std::string(SimplifyRuleSource()) +
+                       SemanticMethodRuleSource() + R"(
+    block(semantic, {ic_category_domain}, 4) ;
+    block(simplify, {eval_fold_1, eval_fold_2, and_false_r, and_false_l,
+                     and_true_r, and_true_l, simplify_qual}, inf) ;
+    seq({semantic, simplify}, 1) ;
+  )";
+  auto engine = MakeEngine(source);
+  ASSERT_NE(engine, nullptr);
+  auto out = engine->Rewrite(
+      P("SEARCH(LIST(RELATION('FILM')), MEMBER('Cartoon', $1.3), "
+        "LIST($1.2))"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(term::Equals(
+      out->term,
+      P("SEARCH(LIST(RELATION('FILM')), FALSE, LIST($1.2))")))
+      << out->term->ToString();
+}
+
+TEST_F(ConstraintRulesTest, ConsistentMembershipSurvives) {
+  InstallSemanticBuiltins(&registry_);
+  std::string source = R"(
+    ic_category_domain :
+      MEMBER(x, c) / ISA(c, SetCategory)
+      --> MEMBER(x, c) AND MEMBER(x, SET('Comedy', 'Adventure',
+                                         'Science Fiction', 'Western')) / ;
+  )" + std::string(SimplifyRuleSource()) +
+                       SemanticMethodRuleSource() + R"(
+    block(semantic, {ic_category_domain}, 4) ;
+    block(simplify, {eval_fold_1, eval_fold_2, and_false_r, and_false_l,
+                     and_true_r, and_true_l, simplify_qual}, inf) ;
+    seq({semantic, simplify}, 1) ;
+  )";
+  auto engine = MakeEngine(source);
+  ASSERT_NE(engine, nullptr);
+  // 'Adventure' IS in the domain: the added conjunct folds to TRUE and is
+  // absorbed, leaving the original qualification intact.
+  auto out = engine->Rewrite(
+      P("SEARCH(LIST(RELATION('FILM')), MEMBER('Adventure', $1.3), "
+        "LIST($1.2))"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(term::Equals(
+      out->term,
+      P("SEARCH(LIST(RELATION('FILM')), MEMBER('Adventure', $1.3), "
+        "LIST($1.2))")))
+      << out->term->ToString();
+}
+
+TEST_F(ConstraintRulesTest, CatalogConstraintsFlowIntoDefaultOptimizer) {
+  // The session declares the constraint (rule text in the catalog, §6.1);
+  // the generated optimizer picks it up.
+  EDS_ASSERT_OK(db_.session.AddConstraint("category_domain", R"(
+    ic_category_domain :
+      MEMBER(x, c) / ISA(c, SetCategory)
+      --> MEMBER(x, c) AND MEMBER(x, SET('Comedy', 'Adventure',
+                                         'Science Fiction', 'Western')) / ;
+  )"));
+  auto result = db_.session.Query(
+      "SELECT Title FROM FILM WHERE MEMBER('Cartoon', Categories)");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->rows.empty());
+  // The optimized plan's qualification is literally FALSE.
+  auto qual = lera::SearchQual(result->optimized_plan);
+  ASSERT_TRUE(qual.ok());
+  EXPECT_TRUE(term::Equals(*qual, P("FALSE")));
+  EXPECT_EQ(result->exec_stats.rows_scanned, 0u);
+}
+
+TEST_F(ConstraintRulesTest, BadConstraintTextFailsOptimizerBuild) {
+  EDS_ASSERT_OK(db_.session.AddConstraint("broken", "not a rule"));
+  auto opt = db_.session.optimizer();
+  EXPECT_FALSE(opt.ok());
+}
+
+}  // namespace
+}  // namespace eds::rules

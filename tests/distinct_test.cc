@@ -1,0 +1,144 @@
+// SELECT DISTINCT / the DEDUP operator: translation, execution, rewrite
+// identities, and pushdown.
+#include "gtest/gtest.h"
+#include "lera/lera.h"
+#include "lera/schema.h"
+#include "rewrite/engine.h"
+#include "rules/extensions.h"
+#include "rules/merging.h"
+#include "ruledsl/compiler.h"
+#include "term/parser.h"
+#include "testutil.h"
+
+namespace eds {
+namespace {
+
+using term::TermRef;
+using value::Value;
+
+TermRef P(const char* text) {
+  auto r = term::ParseTerm(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.ok() ? *r : nullptr;
+}
+
+TEST(DistinctTest, TranslatesToDedup) {
+  testutil::FilmDb db;
+  auto t = db.session.Translate("SELECT DISTINCT Winner FROM BEATS");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_TRUE(term::Equals(
+      *t, P("DEDUP(SEARCH(LIST(RELATION('BEATS')), TRUE, LIST($1.1)))")));
+  EDS_ASSERT_OK(lera::Validate(*t));
+}
+
+TEST(DistinctTest, SchemaPassesThrough) {
+  testutil::FilmDb db;
+  auto t = db.session.Translate("SELECT DISTINCT Winner, Loser FROM BEATS");
+  ASSERT_TRUE(t.ok());
+  auto schema = lera::InferSchema(*t, db.session.catalog());
+  ASSERT_TRUE(schema.ok());
+  ASSERT_EQ(schema->size(), 2u);
+  EXPECT_EQ((*schema)[0].name, "Winner");
+}
+
+TEST(DistinctTest, RemovesDuplicatesAtExecution) {
+  exec::Session s;
+  EDS_ASSERT_OK(s.ExecuteScript(R"(
+    CREATE TABLE T (A : INT, B : INT);
+    INSERT INTO T VALUES (1, 10), (1, 20), (2, 30), (2, 30);
+  )"));
+  auto all = s.Query("SELECT A FROM T");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->rows.size(), 4u);  // bag semantics without DISTINCT
+  auto distinct = s.Query("SELECT DISTINCT A FROM T");
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_EQ(distinct->rows.size(), 2u);
+  auto rows = s.Query("SELECT DISTINCT A, B FROM T");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 3u);
+}
+
+TEST(DistinctTest, DistinctWithGroupBy) {
+  testutil::FilmDb db;
+  auto result = db.session.Query(
+      "SELECT DISTINCT Numf, MakeSet(Refactor) FROM APPEARS_IN "
+      "GROUP BY Numf");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows.size(), 3u);
+}
+
+TEST(DistinctTest, DedupIdentitiesInDefaultOptimizer) {
+  testutil::FilmDb db;
+  // DISTINCT over a UNION: the UNION already deduplicates, so the DEDUP
+  // vanishes in the optimized plan.
+  auto result = db.session.Query(
+      "SELECT DISTINCT Winner FROM BEATS WHERE Winner > 8 "
+      "UNION SELECT Loser FROM BEATS WHERE Loser < 3");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->optimized_plan->ToString().find("DEDUP"),
+            std::string::npos)
+      << result->optimized_plan->ToString();
+}
+
+TEST(DistinctTest, NestedDedupCollapses) {
+  testutil::FilmDb db;
+  auto opt = db.session.optimizer();
+  ASSERT_TRUE(opt.ok());
+  auto out = (*opt)->Rewrite(
+      P("DEDUP(DEDUP(SEARCH(LIST(RELATION('BEATS')), TRUE, LIST($1.1))))"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(term::Equals(
+      out->term,
+      P("DEDUP(SEARCH(LIST(RELATION('BEATS')), TRUE, LIST($1.1)))")));
+}
+
+TEST(DistinctTest, PushSearchBelowDedup) {
+  testutil::FilmDb db;
+  rewrite::BuiltinRegistry registry;
+  registry.InstallStandard();
+  std::string source = std::string(rules::ExtensionRuleSource()) +
+                       rules::MergingRuleSource() +
+                       "block(b, {push_search_dedup, search_merge}, inf) ;\n"
+                       "seq({b}, 1) ;";
+  auto prog = ruledsl::CompileRuleSource(source, registry);
+  ASSERT_TRUE(prog.ok()) << prog.status();
+  rewrite::Engine engine(&db.session.catalog(), &registry, std::move(*prog));
+  const char* query =
+      "SEARCH(LIST(DEDUP(RELATION('BEATS'))), ($1.1 = 3), "
+      "LIST($1.1, $1.2))";
+  auto out = engine.Rewrite(P(query));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(term::Equals(
+      out->term,
+      P("SEARCH(LIST(DEDUP(SEARCH(LIST(RELATION('BEATS')), ($1.1 = 3), "
+        "LIST($1.1, $1.2)))), TRUE, LIST($1.1, $1.2))")))
+      << out->term->ToString();
+  // Equivalence.
+  auto raw_rows = db.session.Run(P(query));
+  auto pushed_rows = db.session.Run(out->term);
+  ASSERT_TRUE(raw_rows.ok());
+  ASSERT_TRUE(pushed_rows.ok());
+  testutil::ExpectSameRows(*raw_rows, *pushed_rows);
+}
+
+TEST(DistinctTest, DistinctEquivalentRawVsOptimized) {
+  exec::Session s;
+  EDS_ASSERT_OK(s.ExecuteScript(R"(
+    CREATE TABLE T (A : INT, B : INT);
+    INSERT INTO T VALUES (1, 1), (1, 2), (2, 1), (2, 2), (1, 1);
+    CREATE VIEW V (A) AS SELECT A FROM T WHERE B > 1;
+  )"));
+  exec::QueryOptions no_rewrite;
+  no_rewrite.rewrite = false;
+  for (const char* q : {"SELECT DISTINCT A FROM V",
+                        "SELECT DISTINCT A FROM T WHERE B = 1"}) {
+    auto raw = s.Query(q, no_rewrite);
+    auto opt = s.Query(q);
+    ASSERT_TRUE(raw.ok()) << raw.status();
+    ASSERT_TRUE(opt.ok()) << opt.status();
+    testutil::ExpectSameRows(raw->rows, opt->rows);
+  }
+}
+
+}  // namespace
+}  // namespace eds

@@ -1,0 +1,106 @@
+// Schema dump / reload round-trips and the Explain report.
+#include "gtest/gtest.h"
+#include "term/parser.h"
+#include "testutil.h"
+
+namespace eds::exec {
+namespace {
+
+using value::Value;
+
+TEST(DumpTest, SchemaRoundTripsThroughFreshSession) {
+  testutil::FilmDb db;
+  EDS_ASSERT_OK(db.session.ExecuteScript(R"(
+    CREATE VIEW FilmActors (Title, Categories, Actors) AS
+      SELECT Title, Categories, MakeSet(Refactor)
+      FROM FILM, APPEARS_IN
+      WHERE FILM.Numf = APPEARS_IN.Numf
+      GROUP BY Title, Categories;
+    CREATE VIEW BETTER_THAN (W, L) AS (
+      SELECT Winner, Loser FROM BEATS
+      UNION
+      SELECT B1.W, B2.L FROM BETTER_THAN B1, BETTER_THAN B2
+      WHERE B1.L = B2.W );
+  )"));
+  std::string dump = db.session.DumpSchema();
+
+  Session fresh;
+  EDS_ASSERT_OK(fresh.ExecuteScript(dump));
+  // Same relations, same columns, same types.
+  for (const std::string& name : db.session.catalog().RelationNamesInOrder()) {
+    auto original = db.session.catalog().RelationSchema(name);
+    auto reloaded = fresh.catalog().RelationSchema(name);
+    ASSERT_TRUE(original.ok()) << name;
+    ASSERT_TRUE(reloaded.ok()) << name << " missing after reload\n" << dump;
+    ASSERT_EQ(original->size(), reloaded->size()) << name;
+    for (size_t i = 0; i < original->size(); ++i) {
+      EXPECT_EQ((*original)[i].name, (*reloaded)[i].name) << name;
+      EXPECT_TRUE(types::SameType((*original)[i].type, (*reloaded)[i].type))
+          << name << "." << (*original)[i].name << ": "
+          << (*original)[i].type->ToString() << " vs "
+          << (*reloaded)[i].type->ToString();
+    }
+  }
+  // Subtyping survived: Actor is still a Person.
+  auto actor = fresh.catalog().types().Find("Actor");
+  auto person = fresh.catalog().types().Find("Person");
+  ASSERT_TRUE(actor.ok());
+  ASSERT_TRUE(person.ok());
+  EXPECT_TRUE(types::Isa(*actor, *person));
+  // The function signature reattached.
+  EXPECT_NE(fresh.catalog().FindFunctionSig("IncreaseSalary"), nullptr);
+  // Queries run against the reloaded schema (with fresh data).
+  EDS_ASSERT_OK(
+      fresh.InsertRow("BEATS", {Value::Int(1), Value::Int(2)}));
+  auto result = fresh.Query("SELECT W FROM BETTER_THAN WHERE L = 2");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows.size(), 1u);
+}
+
+TEST(DumpTest, DumpIsIdempotent) {
+  testutil::FilmDb db;
+  std::string dump1 = db.session.DumpSchema();
+  Session fresh;
+  EDS_ASSERT_OK(fresh.ExecuteScript(dump1));
+  std::string dump2 = fresh.DumpSchema();
+  EXPECT_EQ(dump1, dump2);
+}
+
+TEST(DumpTest, ViewWithoutSourceDumpsAsComment) {
+  Session s;
+  EDS_ASSERT_OK(s.ExecuteScript("CREATE TABLE T (A : INT);"));
+  catalog::ViewDef def;
+  def.name = "RAWVIEW";
+  def.columns = {{"A", s.catalog().types().int_type()}};
+  auto parsed = term::ParseTerm(
+      "SEARCH(LIST(RELATION('T')), TRUE, LIST($1.1))");
+  ASSERT_TRUE(parsed.ok());
+  def.definition = *parsed;
+  EDS_ASSERT_OK(s.catalog().CreateView(std::move(def)));
+  std::string dump = s.DumpSchema();
+  EXPECT_NE(dump.find("-- view RAWVIEW"), std::string::npos) << dump;
+  // Still loadable (the comment is skipped).
+  Session fresh;
+  EDS_ASSERT_OK(fresh.ExecuteScript(dump));
+}
+
+TEST(DumpTest, ExplainShowsTraceAndPlans) {
+  testutil::FilmDb db;
+  EDS_ASSERT_OK(db.session.ExecuteScript(
+      "CREATE VIEW Winners (W) AS SELECT Winner FROM BEATS WHERE "
+      "Winner > 2;"));
+  auto report = db.session.Explain("SELECT W FROM Winners WHERE W < 9");
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_NE(report->find("== raw plan =="), std::string::npos);
+  EXPECT_NE(report->find("== rewrite trace"), std::string::npos);
+  EXPECT_NE(report->find("search_merge"), std::string::npos) << *report;
+  EXPECT_NE(report->find("== optimized plan =="), std::string::npos);
+}
+
+TEST(DumpTest, ExplainOnBadQueryFails) {
+  Session s;
+  EXPECT_FALSE(s.Explain("SELECT X FROM GHOST").ok());
+}
+
+}  // namespace
+}  // namespace eds::exec

@@ -1,0 +1,283 @@
+#include "rewrite/engine.h"
+
+#include "gtest/gtest.h"
+#include "ruledsl/compiler.h"
+#include "term/parser.h"
+
+namespace eds::rewrite {
+namespace {
+
+using term::TermRef;
+
+TermRef P(const char* text) {
+  auto r = term::ParseTerm(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.ok() ? *r : nullptr;
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() { registry_.InstallStandard(); }
+
+  // Builds an engine from DSL source.
+  std::unique_ptr<Engine> MakeEngine(const std::string& source) {
+    auto prog = ruledsl::CompileRuleSource(source, registry_);
+    EXPECT_TRUE(prog.ok()) << prog.status();
+    if (!prog.ok()) return nullptr;
+    auto engine =
+        std::make_unique<Engine>(&catalog_, &registry_, std::move(*prog));
+    EXPECT_TRUE(engine->ValidateProgram().ok());
+    return engine;
+  }
+
+  TermRef RewriteWith(const std::string& source, const char* query,
+                      EngineStats* stats = nullptr,
+                      const RewriteOptions& options = {}) {
+    auto engine = MakeEngine(source);
+    if (engine == nullptr) return nullptr;
+    auto out = engine->Rewrite(P(query), options);
+    EXPECT_TRUE(out.ok()) << out.status();
+    if (!out.ok()) return nullptr;
+    if (stats != nullptr) *stats = out->stats;
+    return out->term;
+  }
+
+  catalog::Catalog catalog_;
+  BuiltinRegistry registry_;
+};
+
+TEST_F(EngineTest, AppliesSimpleRuleEverywhere) {
+  TermRef out = RewriteWith("g : F(x) / --> G(x) / ;", "H(F(1), F(F(2)))");
+  EXPECT_TRUE(term::Equals(out, P("H(G(1), G(G(2)))")));
+}
+
+TEST_F(EngineTest, SaturationRunsToFixpoint) {
+  EngineStats stats;
+  TermRef out = RewriteWith(
+      "peel : S(S(x)) / --> S(x) / ;", "S(S(S(S(S(z())))))", &stats);
+  EXPECT_TRUE(term::Equals(out, P("S(z())")));
+  EXPECT_EQ(stats.applications, 4u);
+}
+
+TEST_F(EngineTest, ConstraintGatesApplication) {
+  TermRef out = RewriteWith(
+      "only_one : F(x) / x = 1 --> G(x) / ;", "H(F(1), F(2))");
+  EXPECT_TRUE(term::Equals(out, P("H(G(1), F(2))")));
+}
+
+TEST_F(EngineTest, ConstraintEvaluationErrorMeansNotApplicable) {
+  // ISA over an unknown type errors; the rule must simply not fire.
+  TermRef out = RewriteWith(
+      "r : F(x) / ISA(x, NoSuchType) --> G(x) / ;", "F(1)");
+  EXPECT_TRUE(term::Equals(out, P("F(1)")));
+}
+
+TEST_F(EngineTest, MethodFailureMeansNotApplicable) {
+  TermRef out = RewriteWith(
+      "r : F(x) / --> a / EVALUATE(x, a) ;", "H(F(1 + 2), F($1.1))");
+  // F(1+2) folds; F($1.1) does not (EVALUATE fails -> rule skipped).
+  EXPECT_TRUE(term::Equals(out, P("H(3, F($1.1))")));
+}
+
+TEST_F(EngineTest, MatchBacktracksWhenConstraintRejects) {
+  // x* / y* split: only the split with y = b() passes the constraint.
+  TermRef out = RewriteWith(
+      "pick : F(LIST(x*, y, v*)) / y = B() --> G(y) / ;",
+      "F(LIST(A(), B(), C()))");
+  EXPECT_TRUE(term::Equals(out, P("G(B())")));
+}
+
+TEST_F(EngineTest, NoOpRewriteRejected) {
+  // RHS identical to LHS: must not loop, must not count as application.
+  EngineStats stats;
+  TermRef out =
+      RewriteWith("id : F(x) / --> F(x) / ;", "F(1)", &stats);
+  EXPECT_TRUE(term::Equals(out, P("F(1)")));
+  EXPECT_EQ(stats.applications, 0u);
+}
+
+TEST_F(EngineTest, BlockBudgetCountsConditionChecks) {
+  // §4.2: each rule-condition check decrements the block budget. With a
+  // budget of 1, only the first matching position rewrites.
+  EngineStats stats;
+  TermRef out = RewriteWith(
+      "g : F(x) / --> G(x) / ;\n"
+      "block(b, {g}, 1) ;",
+      "H(F(1), F(2))", &stats);
+  EXPECT_TRUE(term::Equals(out, P("H(G(1), F(2))")));
+  EXPECT_EQ(stats.condition_checks, 1u);
+}
+
+TEST_F(EngineTest, ZeroBudgetDisablesBlock) {
+  // §7: "a 0 limit can then be given to all blocks of the query rewriter."
+  TermRef out = RewriteWith(
+      "g : F(x) / --> G(x) / ;\n"
+      "block(b, {g}, 0) ;",
+      "F(1)");
+  EXPECT_TRUE(term::Equals(out, P("F(1)")));
+}
+
+TEST_F(EngineTest, BlocksRunInSequence) {
+  TermRef out = RewriteWith(
+      "fg : F(x) / --> G(x) / ;\n"
+      "gh : G(x) / --> H(x) / ;\n"
+      "block(first, {fg}, inf) ;\n"
+      "block(second, {gh}, inf) ;\n"
+      "seq({first, second}, 1) ;",
+      "F(1)");
+  EXPECT_TRUE(term::Equals(out, P("H(1)")));
+}
+
+TEST_F(EngineTest, SeqLimitBoundsPasses) {
+  // Each pass: ping turns A into B (budget 1 check), pong turns B into A.
+  // One pass ends at B... the sequence repeats until the limit or until a
+  // pass changes nothing.
+  EngineStats stats;
+  TermRef out = RewriteWith(
+      "up : A(x) / --> B(x) / ;\n"
+      "down : B(x) / --> A(x) / ;\n"
+      "block(ping, {up}, 1) ;\n"
+      "block(pong, {down}, 0) ;\n"
+      "seq({ping, pong}, 4) ;",
+      "A(1)", &stats);
+  EXPECT_TRUE(term::Equals(out, P("B(1)")));
+  // Pass 2+ applies nothing new (A is gone), so the loop stops early.
+  EXPECT_LE(stats.passes, 4u);
+}
+
+TEST_F(EngineTest, CycleGuardStopsOscillation) {
+  // A -> B and B -> A oscillate; the per-block cycle guard detects the
+  // revisit and stops the block instead of burning the whole budget.
+  EngineStats stats;
+  TermRef out = RewriteWith(
+      "up : A(x) / --> B(x) / ;\n"
+      "down : B(x) / --> A(x) / ;",
+      "A(1)", &stats);
+  ASSERT_NE(out, nullptr);
+  EXPECT_GE(stats.cycle_stops, 1u);
+  EXPECT_LE(stats.applications, 4u);
+  EXPECT_FALSE(stats.safety_stop);
+}
+
+TEST_F(EngineTest, SafetyValveStopsRunawayRules) {
+  // G(x) -> G(G(x)) grows forever; the safety valve must stop it.
+  RewriteOptions options;
+  options.max_applications = 25;
+  EngineStats stats;
+  TermRef out = RewriteWith(
+      "grow : G(x) / --> G(G(x)) / ;", "G(1)", &stats, options);
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(stats.safety_stop);
+  EXPECT_LE(stats.applications, 25u);
+}
+
+TEST_F(EngineTest, DynamicBudgetScalesWithQuerySize) {
+  // §7: limits allocated by query complexity. With budget_per_node, a tiny
+  // query gets a tiny budget (the growth rule barely fires) while a larger
+  // query gets proportionally more checks.
+  const char* source =
+      "grow : F(x) / --> F(G(x)) / ;\n"
+      "block(b, {grow}, 1) ;\n"  // static limit 1, overridden dynamically
+      "seq({b}, 1) ;";
+  RewriteOptions options;
+  options.budget_per_node = 1.0;
+  EngineStats small_stats, big_stats;
+  RewriteWith(source, "F(1)", &small_stats, options);
+  RewriteWith(source, "H(F(1), F(2), F(3), F(4), F(5), F(6))", &big_stats,
+              options);
+  EXPECT_GT(big_stats.condition_checks, small_stats.condition_checks);
+  // Zero per-node keeps the static limit.
+  RewriteOptions static_options;
+  EngineStats static_stats;
+  RewriteWith(source, "H(F(1), F(2), F(3), F(4), F(5), F(6))",
+              &static_stats, static_options);
+  EXPECT_EQ(static_stats.condition_checks, 1u);
+}
+
+TEST_F(EngineTest, DynamicBudgetLeavesSaturationBlocksAlone) {
+  RewriteOptions options;
+  options.budget_per_node = 0.001;  // would round to ~0 if applied
+  EngineStats stats;
+  TermRef out = RewriteWith(
+      "peel : S(S(x)) / --> S(x) / ;", "S(S(S(z())))", &stats, options);
+  EXPECT_TRUE(term::Equals(out, P("S(z())")));  // still saturated
+}
+
+TEST_F(EngineTest, RuleOrderWithinBlockIsPriority) {
+  TermRef out = RewriteWith(
+      "first : F(x) / --> G(x) / ;\n"
+      "second : F(x) / --> H(x) / ;",
+      "F(1)");
+  EXPECT_TRUE(term::Equals(out, P("G(1)")));
+}
+
+TEST_F(EngineTest, IndexPreservesPriorityAcrossGenericRules) {
+  // A functor-variable rule declared before a specific rule must keep its
+  // priority under the per-block functor index.
+  TermRef out = RewriteWith(
+      "generic_first : ?F(x) / ISA(?F(x), CONSTANT) --> c / "
+      "EVALUATE(?F(x), c) ;\n"
+      "specific : NEG(x) / --> WRAPPED(x) / ;",
+      "K(NEG(5), NEG($1.1))");
+  // NEG(5) folds via the earlier generic rule; NEG($1.1) is not foldable,
+  // so the later specific rule wraps it.
+  EXPECT_TRUE(term::Equals(out, P("K(-5, WRAPPED($1.1))")))
+      << out->ToString();
+}
+
+TEST_F(EngineTest, VariableRootedRuleMatchesNonApplyNodes) {
+  // A bare-variable left term fires on constants too (indexed in the
+  // var-only candidate list). Constrained to 5 so it terminates.
+  TermRef out = RewriteWith(
+      "const5 : x / x = 5 --> FIVE() / ;", "G(5, 6)");
+  EXPECT_TRUE(term::Equals(out, P("G(FIVE(), 6)")));
+}
+
+TEST_F(EngineTest, TraceRecordsApplications) {
+  RewriteOptions options;
+  options.collect_trace = true;
+  auto engine = MakeEngine(
+      "g : F(x) / --> G(x) / ;\n"
+      "h : G(x) / --> H(x) / ;");
+  ASSERT_NE(engine, nullptr);
+  auto out = engine->Rewrite(P("F(1)"), options);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->trace.size(), 2u);
+  EXPECT_EQ(out->trace[0].rule, "g");
+  EXPECT_TRUE(term::Equals(out->trace[0].before, P("F(1)")));
+  EXPECT_TRUE(term::Equals(out->trace[0].after, P("G(1)")));
+  EXPECT_EQ(out->trace[1].rule, "h");
+}
+
+TEST_F(EngineTest, StatsPerRule) {
+  EngineStats stats;
+  RewriteWith(
+      "g : F(x) / --> G(x) / ;\n"
+      "h : G(x) / --> H(x) / ;",
+      "K(F(1), F(2))", &stats);
+  EXPECT_EQ(stats.applications_by_rule.at("g"), 2u);
+  EXPECT_EQ(stats.applications_by_rule.at("h"), 2u);
+}
+
+TEST_F(EngineTest, TopDownOuterFirst) {
+  // Both the outer and inner F(x) match; top-down means the outer rewrite
+  // wins and absorbs the inner one.
+  EngineStats stats;
+  TermRef out = RewriteWith(
+      "wrap : F(x) / --> DONE(x) / ;", "F(F(1))", &stats);
+  EXPECT_TRUE(term::Equals(out, P("DONE(DONE(1))")));
+  // Outer first: trace would show F(F(1)) -> DONE(F(1)) -> DONE(DONE(1)).
+  EXPECT_EQ(stats.applications, 2u);
+}
+
+TEST_F(EngineTest, PaperDedupExample) {
+  // §4.1's rule: F(SET(x*, G(y, f))) / MEMBER(y, x*), f = TRUE --> F(x*).
+  TermRef out = RewriteWith(
+      "dedup : F(SET(x*, G(y, f))) / MEMBER(y, x*), f = TRUE --> F(SET(x*)) "
+      "/ ;",
+      "F(SET(A(), G(A(), TRUE), B()))");
+  EXPECT_TRUE(term::Equals(out, P("F(SET(A(), B()))")));
+}
+
+}  // namespace
+}  // namespace eds::rewrite

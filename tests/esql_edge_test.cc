@@ -1,0 +1,169 @@
+// ESQL front-end edge cases: analyzer error paths, nested tuple values in
+// rows, explicit VALUE(), Fig. 2's Caricature LIST OF Point, and DDL
+// robustness.
+#include "gtest/gtest.h"
+#include "lera/lera.h"
+#include "testutil.h"
+
+namespace eds::esql {
+namespace {
+
+using value::Value;
+
+TEST(EsqlEdgeTest, UnknownTypeInDdl) {
+  exec::Session s;
+  EXPECT_EQ(s.ExecuteScript("CREATE TABLE T (A : NoSuchType);").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(
+      s.ExecuteScript("TYPE X SUBTYPE OF Ghost OBJECT TUPLE (A : INT);")
+          .code(),
+      StatusCode::kNotFound);
+}
+
+TEST(EsqlEdgeTest, SubtypeOfNonObjectRejected) {
+  exec::Session s;
+  EXPECT_TRUE(s.ExecuteScript("TYPE T ENUMERATION OF ('a');").ok());
+  EXPECT_EQ(
+      s.ExecuteScript("TYPE X SUBTYPE OF T OBJECT TUPLE (A : INT);").code(),
+      StatusCode::kTypeError);
+}
+
+TEST(EsqlEdgeTest, DuplicateTypeAndFunction) {
+  exec::Session s;
+  EXPECT_TRUE(s.ExecuteScript("TYPE T ENUMERATION OF ('a');").ok());
+  EXPECT_EQ(s.ExecuteScript("TYPE T ENUMERATION OF ('b');").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(s.ExecuteScript(R"(
+    TYPE P OBJECT TUPLE (N : CHAR) FUNCTION Foo(This P);
+  )")
+                  .ok());
+  EXPECT_EQ(s.ExecuteScript(R"(
+    TYPE Q OBJECT TUPLE (N : CHAR) FUNCTION Foo(This Q);
+  )")
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(EsqlEdgeTest, NestedTupleValuesInRows) {
+  // Fig. 2's Caricature : LIST OF Point carried as real nested data.
+  testutil::FilmDb db;
+  auto artist = db.session.NewObject(
+      "Actor",
+      {{"Name", Value::String("Sketch")},
+       {"Salary", Value::Int(1)},
+       {"Caricature",
+        Value::List({Value::NamedTuple({"ABS", "ORD"},
+                                       {Value::Real(1.5), Value::Real(2.5)}),
+                     Value::NamedTuple({"ABS", "ORD"},
+                                       {Value::Real(3.0),
+                                        Value::Real(4.0)})})}});
+  ASSERT_TRUE(artist.ok()) << artist.status();
+  EDS_ASSERT_OK(db.session.InsertRow("APPEARS_IN", {Value::Int(9), *artist}));
+  // Navigate: first caricature point's ABS coordinate.
+  auto result = db.session.Query(
+      "SELECT ABS(FIRST(Caricature(Refactor))) FROM APPEARS_IN "
+      "WHERE Name(Refactor) = 'Sketch'");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], Value::Real(1.5));
+}
+
+TEST(EsqlEdgeTest, ExplicitValueFunction) {
+  testutil::FilmDb db;
+  // VALUE(obj) yields the object's tuple state (§3.3); comparing the
+  // dereferenced Name is equivalent to the attribute-as-function form.
+  auto a = db.session.Query(
+      "SELECT Numf FROM APPEARS_IN WHERE Name(Refactor) = 'Quinn'");
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_EQ(a->rows.size(), 1u);
+  EXPECT_EQ(a->rows[0][0], Value::Int(1));
+}
+
+TEST(EsqlEdgeTest, EnumColumnComparesAsString) {
+  exec::Session s;
+  EDS_ASSERT_OK(s.ExecuteScript(R"(
+    TYPE Color ENUMERATION OF ('Red', 'Green');
+    CREATE TABLE PIX (Id : INT, C : Color);
+    INSERT INTO PIX VALUES (1, 'Red'), (2, 'Green');
+  )"));
+  auto result = s.Query("SELECT Id FROM PIX WHERE C = 'Green'");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], Value::Int(2));
+}
+
+TEST(EsqlEdgeTest, QualifiedStarAndAliases) {
+  testutil::FilmDb db;
+  // Self-join with aliases; both qualified column references resolve.
+  auto result = db.session.Query(
+      "SELECT B1.Winner, B2.Loser FROM BEATS B1, BEATS B2 "
+      "WHERE B1.Loser = B2.Winner AND B1.Winner = 1");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][1], Value::Int(3));
+}
+
+TEST(EsqlEdgeTest, QualifierMismatchRejected) {
+  testutil::FilmDb db;
+  auto r = db.session.Translate("SELECT Nope.Winner FROM BEATS B1");
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EsqlEdgeTest, ViewOverRecursiveView) {
+  // A plain view stacked on a recursive one: inlining composes.
+  testutil::FilmDb db;
+  EDS_ASSERT_OK(db.session.ExecuteScript(R"(
+    CREATE VIEW BETTER_THAN (W, L) AS (
+      SELECT Winner, Loser FROM BEATS
+      UNION
+      SELECT B1.W, B2.L FROM BETTER_THAN B1, BETTER_THAN B2
+      WHERE B1.L = B2.W );
+    CREATE VIEW DOMINATED_BY_ONE (L) AS
+      SELECT L FROM BETTER_THAN WHERE W = 1;
+  )"));
+  auto result = db.session.Query("SELECT L FROM DOMINATED_BY_ONE "
+                                 "WHERE L > 8");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows.size(), 2u);  // 9 and 10
+  // The magic rule fires through the extra view layer after merging.
+  EXPECT_EQ(result->rewrite_stats.applications_by_rule.count(
+                "push_search_fixpoint"),
+            1u);
+}
+
+TEST(EsqlEdgeTest, InsertTypeErrorsSurface) {
+  exec::Session s;
+  EDS_ASSERT_OK(s.ExecuteScript("CREATE TABLE T (A : INT);"));
+  // Arity is checked by storage.
+  EXPECT_FALSE(s.ExecuteScript("INSERT INTO T VALUES (1, 2);").ok());
+  // Unknown function in a value expression.
+  EXPECT_FALSE(s.ExecuteScript("INSERT INTO T VALUES (NOFN(1));").ok());
+  // Unknown table.
+  EXPECT_EQ(s.ExecuteScript("INSERT INTO GHOST VALUES (1);").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(EsqlEdgeTest, CaseInsensitiveEverything) {
+  exec::Session s;
+  EDS_ASSERT_OK(s.ExecuteScript(
+      "create table MixedCase (ColA : int); "
+      "insert into mixedcase values (7);"));
+  auto result = s.Query("select cola from MIXEDCASE where COLA = 7");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows.size(), 1u);
+}
+
+TEST(EsqlEdgeTest, WhitespaceAndCommentsTolerated) {
+  exec::Session s;
+  EDS_ASSERT_OK(s.ExecuteScript(R"(
+    -- schema
+    CREATE TABLE T (A : INT);  -- trailing comment
+    INSERT INTO T VALUES (1);
+  )"));
+  auto result = s.Query("SELECT A FROM T -- tail comment");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace eds::esql

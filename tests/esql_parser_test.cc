@@ -1,0 +1,218 @@
+#include "esql/parser.h"
+
+#include "esql/lexer.h"
+#include "gtest/gtest.h"
+
+namespace eds::esql {
+namespace {
+
+Statement Parse(const char* text) {
+  auto r = ParseStatement(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.ok() ? *r : Statement{};
+}
+
+TEST(EsqlLexerTest, TokensAndComments) {
+  auto toks = LexEsql("SELECT x -- comment\nFROM t; 'a''b' 1.5 <= <>");
+  ASSERT_TRUE(toks.ok());
+  std::vector<TokenKind> kinds;
+  for (const auto& t : *toks) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kIdent, TokenKind::kIdent, TokenKind::kIdent,
+                TokenKind::kIdent, TokenKind::kSemicolon, TokenKind::kString,
+                TokenKind::kReal, TokenKind::kLe, TokenKind::kNe,
+                TokenKind::kEnd}));
+  EXPECT_EQ((*toks)[5].text, "a'b");
+  EXPECT_DOUBLE_EQ((*toks)[6].real_value, 1.5);
+}
+
+TEST(EsqlLexerTest, Errors) {
+  EXPECT_FALSE(LexEsql("'unterminated").ok());
+  EXPECT_FALSE(LexEsql("SELECT @").ok());
+}
+
+TEST(EsqlParserTest, Fig2TypeDefinitions) {
+  Statement s = Parse(
+      "TYPE Category ENUMERATION OF ('Comedy', 'Adventure', "
+      "'Science Fiction', 'Western')");
+  EXPECT_EQ(s.kind, StatementKind::kCreateType);
+  EXPECT_EQ(s.name, "Category");
+  ASSERT_EQ(s.type->kind, TypeExprKind::kEnum);
+  EXPECT_EQ(s.type->enum_values.size(), 4u);
+
+  s = Parse("TYPE Point TUPLE (ABS : REAL, ORD : REAL)");
+  ASSERT_EQ(s.type->kind, TypeExprKind::kTuple);
+  EXPECT_EQ(s.type->fields.size(), 2u);
+  EXPECT_EQ(s.type->fields[0].name, "ABS");
+
+  s = Parse(
+      "TYPE Person OBJECT TUPLE (Name : CHAR, Firstname : SET OF CHAR, "
+      "Caricature : LIST OF Point)");
+  ASSERT_EQ(s.type->kind, TypeExprKind::kObject);
+  EXPECT_TRUE(s.type->supertype.empty());
+  ASSERT_EQ(s.type->fields.size(), 3u);
+  EXPECT_EQ(s.type->fields[1].type->kind, TypeExprKind::kCollection);
+  EXPECT_EQ(s.type->fields[1].type->collection_kind, types::TypeKind::kSet);
+  EXPECT_EQ(s.type->fields[2].type->element->name, "Point");
+
+  s = Parse(
+      "TYPE Actor SUBTYPE OF Person OBJECT TUPLE (Salary : NUMERIC) "
+      "FUNCTION IncreaseSalary(This Actor, Val NUMERIC)");
+  ASSERT_EQ(s.type->kind, TypeExprKind::kObject);
+  EXPECT_EQ(s.type->supertype, "Person");
+  ASSERT_EQ(s.functions.size(), 1u);
+  EXPECT_EQ(s.functions[0].name, "IncreaseSalary");
+  ASSERT_EQ(s.functions[0].params.size(), 2u);
+  EXPECT_EQ(s.functions[0].params[0].name, "This");
+  EXPECT_EQ(s.functions[0].params[0].type->name, "Actor");
+
+  s = Parse("TYPE Pairs LIST OF TUPLE (Pros : INT, Cons : INT)");
+  ASSERT_EQ(s.type->kind, TypeExprKind::kCollection);
+  EXPECT_EQ(s.type->collection_kind, types::TypeKind::kList);
+  EXPECT_EQ(s.type->element->kind, TypeExprKind::kTuple);
+}
+
+TEST(EsqlParserTest, CreateTableBothColumnSyntaxes) {
+  Statement s = Parse(
+      "CREATE TABLE FILM (Numf : NUMERIC, Title Text, Categories : "
+      "SetCategory)");
+  EXPECT_EQ(s.kind, StatementKind::kCreateTable);
+  ASSERT_EQ(s.columns.size(), 3u);
+  EXPECT_EQ(s.columns[1].name, "Title");
+  EXPECT_EQ(s.columns[1].type->name, "Text");
+}
+
+TEST(EsqlParserTest, SelectWithJoinWhere) {
+  // Fig. 3's query.
+  Statement s = Parse(R"(
+    SELECT Title, Categories, Salary(Refactor)
+    FROM FILM, APPEARS_IN
+    WHERE FILM.Numf = APPEARS_IN.Numf AND Name(Refactor) = 'Quinn'
+      AND MEMBER('Adventure', Categories)
+  )");
+  EXPECT_EQ(s.kind, StatementKind::kSelect);
+  ASSERT_EQ(s.select->cores.size(), 1u);
+  const SelectCore& core = s.select->cores[0];
+  ASSERT_EQ(core.items.size(), 3u);
+  EXPECT_EQ(core.items[0].expr->kind, ExprKind::kColumnRef);
+  EXPECT_EQ(core.items[2].expr->kind, ExprKind::kCall);
+  EXPECT_EQ(core.items[2].expr->name, "Salary");
+  ASSERT_EQ(core.from.size(), 2u);
+  EXPECT_EQ(core.from[0].name, "FILM");
+  ASSERT_NE(core.where, nullptr);
+  EXPECT_EQ(core.where->name, "AND");
+}
+
+TEST(EsqlParserTest, AliasesInFrom) {
+  Statement s =
+      Parse("SELECT B1.W FROM BETTER_THAN B1, BETTER_THAN AS B2 WHERE "
+            "B1.L = B2.W");
+  const SelectCore& core = s.select->cores[0];
+  ASSERT_EQ(core.from.size(), 2u);
+  EXPECT_EQ(core.from[0].alias, "B1");
+  EXPECT_EQ(core.from[1].alias, "B2");
+  EXPECT_EQ(core.items[0].expr->qualifier, "B1");
+}
+
+TEST(EsqlParserTest, GroupByAndQuantifier) {
+  // Fig. 4's view and query shapes.
+  Statement s = Parse(R"(
+    SELECT Title, Categories, MakeSet(Refactor)
+    FROM FILM, APPEARS_IN
+    WHERE FILM.Numf = APPEARS_IN.Numf
+    GROUP BY Title, Categories
+  )");
+  EXPECT_EQ(s.select->cores[0].group_by.size(), 2u);
+
+  s = Parse(
+      "SELECT Title FROM FilmActors WHERE MEMBER('Adventure', Categories) "
+      "AND ALL(Salary(Actors) > 10000)");
+  const ExprPtr& where = s.select->cores[0].where;
+  ASSERT_EQ(where->name, "AND");
+  const ExprPtr& quant = where->args[1];
+  EXPECT_EQ(quant->kind, ExprKind::kQuantifier);
+  EXPECT_TRUE(quant->universal);
+  EXPECT_EQ(quant->args[0]->name, "GT");
+}
+
+TEST(EsqlParserTest, RecursiveViewWithUnion) {
+  // Fig. 5's view.
+  Statement s = Parse(R"(
+    CREATE VIEW BETTER_THAN (Refactor1, Refactor2) AS (
+      SELECT Refactor1, Refactor2 FROM DOMINATE
+      UNION
+      SELECT B1.Refactor1, B2.Refactor2 FROM BETTER_THAN B1, BETTER_THAN B2
+      WHERE B1.Refactor2 = B2.Refactor1 )
+  )");
+  EXPECT_EQ(s.kind, StatementKind::kCreateView);
+  EXPECT_EQ(s.name, "BETTER_THAN");
+  EXPECT_EQ(s.view_columns,
+            (std::vector<std::string>{"Refactor1", "Refactor2"}));
+  ASSERT_EQ(s.select->cores.size(), 2u);
+  EXPECT_EQ(s.select->cores[1].from[0].name, "BETTER_THAN");
+}
+
+TEST(EsqlParserTest, InsertMultiRowWithConstructors) {
+  Statement s = Parse(
+      "INSERT INTO FILM VALUES (1, 'Zorba', MakeSet('Adventure')), "
+      "(2, 'X', MakeSet('Comedy', 'Western'))");
+  EXPECT_EQ(s.kind, StatementKind::kInsert);
+  EXPECT_EQ(s.name, "FILM");
+  ASSERT_EQ(s.insert_rows.size(), 2u);
+  EXPECT_EQ(s.insert_rows[0].size(), 3u);
+  EXPECT_EQ(s.insert_rows[1][2]->name, "MakeSet");
+}
+
+TEST(EsqlParserTest, SelectDistinct) {
+  Statement s = Parse("SELECT DISTINCT Winner FROM BEATS");
+  EXPECT_TRUE(s.select->cores[0].distinct);
+  s = Parse("SELECT Winner FROM BEATS");
+  EXPECT_FALSE(s.select->cores[0].distinct);
+  // DISTINCT is per core in a UNION.
+  s = Parse("SELECT DISTINCT A FROM T UNION SELECT B FROM U");
+  EXPECT_TRUE(s.select->cores[0].distinct);
+  EXPECT_FALSE(s.select->cores[1].distinct);
+}
+
+TEST(EsqlParserTest, StatementSourceCaptured) {
+  auto stmts = ParseScript(
+      "CREATE TABLE T (A : INT);\n  SELECT A FROM T;");
+  ASSERT_TRUE(stmts.ok());
+  ASSERT_EQ(stmts->size(), 2u);
+  EXPECT_EQ((*stmts)[0].source, "CREATE TABLE T (A : INT);");
+  EXPECT_EQ((*stmts)[1].source, "SELECT A FROM T;");
+}
+
+TEST(EsqlParserTest, SelectStarAndArithmetic) {
+  Statement s = Parse("SELECT * FROM BEATS WHERE Winner + 1 = Loser * 2");
+  EXPECT_EQ(s.select->cores[0].items[0].expr->kind, ExprKind::kStar);
+  const ExprPtr& where = s.select->cores[0].where;
+  EXPECT_EQ(where->name, "EQ");
+  EXPECT_EQ(where->args[0]->name, "ADD");
+  EXPECT_EQ(where->args[1]->name, "MUL");
+}
+
+TEST(EsqlParserTest, ScriptParsesMultipleStatements) {
+  auto stmts = ParseScript(R"(
+    TYPE T ENUMERATION OF ('a');
+    TABLE X (A : INT);
+    INSERT INTO X VALUES (1);
+    SELECT A FROM X;
+  )");
+  ASSERT_TRUE(stmts.ok()) << stmts.status();
+  EXPECT_EQ(stmts->size(), 4u);
+}
+
+TEST(EsqlParserTest, Errors) {
+  EXPECT_FALSE(ParseStatement("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a").ok());           // missing FROM
+  EXPECT_FALSE(ParseStatement("CREATE VIEW v AS").ok());
+  EXPECT_FALSE(ParseStatement("INSERT INTO t (1)").ok());  // missing VALUES
+  EXPECT_FALSE(ParseStatement("TYPE T SUBTYPE OF X SET OF INT").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t; SELECT b FROM u").ok());
+  EXPECT_FALSE(ParseStatement("").ok());
+}
+
+}  // namespace
+}  // namespace eds::esql

@@ -1,0 +1,151 @@
+// The extensibility story (§1, §4, §7): a database implementor adds new ADT
+// functions, new rule methods, and new rewriting rules without touching the
+// rewriter's core.
+#include "gtest/gtest.h"
+#include "rewrite/engine.h"
+#include "rules/merging.h"
+#include "ruledsl/compiler.h"
+#include "term/parser.h"
+#include "testutil.h"
+
+namespace eds {
+namespace {
+
+using term::TermRef;
+using value::Value;
+
+TermRef P(const char* text) {
+  auto r = term::ParseTerm(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.ok() ? *r : nullptr;
+}
+
+TEST(ExtensibilityTest, UserAdtFunctionUsableEverywhere) {
+  testutil::FilmDb db;
+  // Register a DISTANCE function on Point-like tuples in the catalog's
+  // function library; it becomes usable in queries and in constant folding.
+  EDS_ASSERT_OK(db.session.catalog().functions().Register(
+      "MANHATTAN",
+      [](const std::vector<Value>& args) -> Result<Value> {
+        if (args.size() != 2 || !args[0].is_numeric() ||
+            !args[1].is_numeric()) {
+          return Status::TypeError("MANHATTAN expects two numbers");
+        }
+        double d = args[0].AsReal() - args[1].AsReal();
+        return Value::Real(d < 0 ? -d : d);
+      }));
+  auto result =
+      db.session.Query("SELECT Winner FROM BEATS WHERE "
+                       "MANHATTAN(Winner, Loser) = 1.0");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows.size(), 9u);
+}
+
+TEST(ExtensibilityTest, UserFunctionConstantFoldsThroughEvaluate) {
+  testutil::FilmDb db;
+  EDS_ASSERT_OK(db.session.catalog().functions().Register(
+      "ANSWER", [](const std::vector<Value>&) -> Result<Value> {
+        return Value::Int(42);
+      }));
+  // MANHATTAN-like constants fold away in the rewriter: the qualification
+  // ANSWER(0) = 42 disappears entirely.
+  auto result = db.session.Query(
+      "SELECT Winner FROM BEATS WHERE ANSWER(0) = 42 AND Winner = 1");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows.size(), 1u);
+  std::string plan = result->optimized_plan->ToString();
+  EXPECT_EQ(plan.find("ANSWER"), std::string::npos) << plan;
+}
+
+TEST(ExtensibilityTest, UserRuleWithUserMethod) {
+  // The implementor registers a method SWAP (an "external function
+  // programmed in C", §4.1) and a rule using it.
+  testutil::FilmDb db;
+  rewrite::BuiltinRegistry registry;
+  registry.InstallStandard();
+  EDS_ASSERT_OK(registry.RegisterMethod(
+      "SWAP",
+      [](const term::TermList& args, term::Bindings* env,
+         const rewrite::RewriteContext&) -> Status {
+        if (args.size() != 3 || !args[2]->is_variable()) {
+          return Status::InvalidArgument("SWAP expects (a, b, out)");
+        }
+        auto a = term::ApplySubstitution(args[0], *env);
+        auto b = term::ApplySubstitution(args[1], *env);
+        EDS_RETURN_IF_ERROR(a.status());
+        EDS_RETURN_IF_ERROR(b.status());
+        env->SetVar(args[2]->var_name(),
+                    term::Term::Apply("PAIR", {*b, *a}));
+        return Status::OK();
+      }));
+  auto prog = ruledsl::CompileRuleSource(
+      "swap_pairs : PAIR(x, y) / x = 1 --> out / SWAP(x, y, out) ;",
+      registry);
+  ASSERT_TRUE(prog.ok()) << prog.status();
+  rewrite::Engine engine(&db.session.catalog(), &registry, std::move(*prog));
+  auto out = engine.Rewrite(P("PAIR(1, 2)"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(term::Equals(out->term, P("PAIR(2, 1)")));
+}
+
+TEST(ExtensibilityTest, UserTermFunction) {
+  testutil::FilmDb db;
+  rewrite::BuiltinRegistry registry;
+  registry.InstallStandard();
+  EDS_ASSERT_OK(registry.RegisterTermFunction(
+      "REVERSE",
+      [](const term::TermList& args,
+         const rewrite::RewriteContext&) -> Result<term::TermRef> {
+        term::TermList out(args.rbegin(), args.rend());
+        return term::Term::List(std::move(out));
+      }));
+  // Reversal oscillates under saturation, so the block gets a budget of
+  // one condition check — the meta-rule control doing its job (§4.2).
+  auto prog = ruledsl::CompileRuleSource(
+      "rev : F(LIST(x*)) / --> F(REVERSE(x*)) / ;\n"
+      "block(once, {rev}, 1) ;\n"
+      "seq({once}, 1) ;",
+      registry);
+  ASSERT_TRUE(prog.ok()) << prog.status();
+  rewrite::Engine engine(&db.session.catalog(), &registry, std::move(*prog));
+  auto out = engine.Rewrite(P("F(LIST(a, b, c))"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(term::Equals(out->term, P("F(LIST(c, b, a))")));
+}
+
+TEST(ExtensibilityTest, CustomBlockProgramReplacesDefault) {
+  // "Changing block definitions or the list of blocks in the sequence
+  // meta-rule may completely change the generated optimizer" (§4.2): a
+  // merging-only optimizer leaves unions untouched.
+  testutil::FilmDb db;
+  rewrite::BuiltinRegistry registry;
+  registry.InstallStandard();
+  std::string source = std::string(rules::MergingRuleSource()) +
+                       "block(merge_only, {search_merge}, inf) ;\n"
+                       "seq({merge_only}, 1) ;";
+  auto prog = ruledsl::CompileRuleSource(source, registry);
+  ASSERT_TRUE(prog.ok()) << prog.status();
+  rewrite::Engine engine(&db.session.catalog(), &registry, std::move(*prog));
+  const char* query =
+      "SEARCH(LIST(UNION(SET(RELATION('A'), RELATION('B')))), ($1.1 = 1), "
+      "LIST($1.1))";
+  auto out = engine.Rewrite(P(query));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(term::Equals(out->term, P(query)));  // no push rules loaded
+}
+
+TEST(ExtensibilityTest, UserRuleRunsInsideSessionOptimizerViaConstraints) {
+  // The catalog constraint channel accepts arbitrary DSL rules — here a
+  // domain-specific rewrite that turns a user predicate into a cheaper one.
+  testutil::FilmDb db;
+  EDS_ASSERT_OK(db.session.AddConstraint("cheap_eq", R"(
+    winner_self : ($1.1 = $1.1) AND f / --> f / ;
+  )"));
+  auto result = db.session.Query(
+      "SELECT Winner FROM BEATS WHERE Winner = Winner AND Loser = 2");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace eds

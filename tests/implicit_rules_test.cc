@@ -1,0 +1,252 @@
+// Fig. 11 — implicit semantic knowledge: transitivity, equality
+// substitution; plus the CLOSE_PREDICATES method the default optimizer uses
+// for the same inferences.
+#include "rules/semantic.h"
+
+#include "gtest/gtest.h"
+#include "lera/lera.h"
+#include "rewrite/engine.h"
+#include "ruledsl/compiler.h"
+#include "term/parser.h"
+#include "testutil.h"
+
+namespace eds::rules {
+namespace {
+
+using term::TermRef;
+
+TermRef P(const char* text) {
+  auto r = term::ParseTerm(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.ok() ? *r : nullptr;
+}
+
+class ImplicitRulesTest : public ::testing::Test {
+ protected:
+  ImplicitRulesTest() {
+    registry_.InstallStandard();
+    InstallSemanticBuiltins(&registry_);
+  }
+
+  std::unique_ptr<rewrite::Engine> MakeEngine(const std::string& source) {
+    auto prog = ruledsl::CompileRuleSource(source, registry_);
+    EXPECT_TRUE(prog.ok()) << prog.status();
+    if (!prog.ok()) return nullptr;
+    return std::make_unique<rewrite::Engine>(&db_.session.catalog(),
+                                             &registry_, std::move(*prog));
+  }
+
+  testutil::FilmDb db_;
+  rewrite::BuiltinRegistry registry_;
+};
+
+TEST_F(ImplicitRulesTest, Fig11RulesCompile) {
+  auto prog = ruledsl::CompileRuleSource(ImplicitKnowledgeRuleSource(),
+                                         registry_);
+  ASSERT_TRUE(prog.ok()) << prog.status();
+  ASSERT_EQ(prog->blocks.size(), 1u);
+  EXPECT_EQ(prog->blocks[0].rules.size(), 4u);
+}
+
+TEST_F(ImplicitRulesTest, TransitivityOfEquality) {
+  // Fig. 11 (1): x=y AND y=z gains x=z. Constraint-addition rules grow the
+  // qualification and are controlled by a finite block budget — exactly the
+  // §4.2/§7 story ("such rules may lead to long processing if the
+  // application limit is too high"). One condition check suffices here.
+  std::string source = std::string(ImplicitKnowledgeRuleSource()) +
+                       "block(b, {transitivity_eq}, 1) ;\n"
+                       "seq({b}, 1) ;";
+  auto engine = MakeEngine(source);
+  ASSERT_NE(engine, nullptr);
+  auto out = engine->Rewrite(P("($1.1 = $2.1) AND ($2.1 = $3.1)"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->stats.applications, 1u);
+  EXPECT_TRUE(term::Equals(
+      out->term,
+      P("(($1.1 = $2.1) AND ($2.1 = $3.1)) AND ($1.1 = $3.1)")));
+}
+
+TEST_F(ImplicitRulesTest, ZeroLimitDisablesGrowthRules) {
+  std::string source = std::string(ImplicitKnowledgeRuleSource()) +
+                       "block(b, {transitivity_eq}, 0) ;\n"
+                       "seq({b}, 1) ;";
+  auto engine = MakeEngine(source);
+  ASSERT_NE(engine, nullptr);
+  auto out = engine->Rewrite(P("($1.1 = $2.1) AND ($2.1 = $3.1)"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->stats.applications, 0u);
+}
+
+TEST_F(ImplicitRulesTest, GrowthRulesBoundedBySafetyValve) {
+  // With saturation the sibling-invisible HAS_CONJUNCT guard cannot stop
+  // re-derivation; the engine's safety valve must contain it (§7's
+  // non-termination discussion).
+  std::string source = std::string(ImplicitKnowledgeRuleSource()) +
+                       "block(b, {transitivity_eq}, inf) ;\n"
+                       "seq({b}, 1) ;";
+  auto engine = MakeEngine(source);
+  ASSERT_NE(engine, nullptr);
+  rewrite::RewriteOptions options;
+  options.max_applications = 10;
+  auto out = engine->Rewrite(P("($1.1 = $2.1) AND ($2.1 = $3.1)"), options);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->stats.safety_stop);
+  EXPECT_LE(out->stats.applications, 10u);
+}
+
+TEST_F(ImplicitRulesTest, TransitivityOfInclude) {
+  std::string source = std::string(ImplicitKnowledgeRuleSource()) +
+                       "block(b, {transitivity_include}, 1) ;\n"
+                       "seq({b}, 1) ;";
+  auto engine = MakeEngine(source);
+  ASSERT_NE(engine, nullptr);
+  // Subjects are literal SET terms, so the ISA(…, SET) constraints hold.
+  auto out = engine->Rewrite(
+      P("INCLUDE(SET(1), SET(1, 2)) AND INCLUDE(SET(1, 2), SET(1, 2, 3))"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->stats.applications, 1u);
+  std::string s = out->term->ToString();
+  EXPECT_NE(s.find("INCLUDE(SET(1), SET(1, 2, 3))"), std::string::npos) << s;
+}
+
+TEST_F(ImplicitRulesTest, IncludeRuleGatedByIsaSet) {
+  std::string source = std::string(ImplicitKnowledgeRuleSource()) +
+                       "block(b, {transitivity_include}, 8) ;\n"
+                       "seq({b}, 1) ;";
+  auto engine = MakeEngine(source);
+  ASSERT_NE(engine, nullptr);
+  // LIST operands: the ISA(x, SET) constraints reject the match.
+  auto out = engine->Rewrite(
+      P("INCLUDE(LIST(1), LIST(1, 2)) AND INCLUDE(LIST(1, 2), "
+        "LIST(1, 2, 3))"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->stats.applications, 0u);
+}
+
+TEST_F(ImplicitRulesTest, EqualitySubstitution) {
+  // Fig. 11 (2): (x = y) AND p(x) gains p(y).
+  std::string source = std::string(ImplicitKnowledgeRuleSource()) +
+                       "block(b, {eq_subst_1}, 1) ;\n"
+                       "seq({b}, 1) ;";
+  auto engine = MakeEngine(source);
+  ASSERT_NE(engine, nullptr);
+  auto out = engine->Rewrite(P("($1.1 = $2.1) AND ISEMPTY($1.1)"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->stats.applications, 1u);
+  EXPECT_TRUE(term::Equals(
+      out->term,
+      P("(($1.1 = $2.1) AND ISEMPTY($1.1)) AND ISEMPTY($2.1)")));
+}
+
+TEST_F(ImplicitRulesTest, EqualitySubstitutionBinary) {
+  std::string source = std::string(ImplicitKnowledgeRuleSource()) +
+                       "block(b, {eq_subst_2}, 1) ;\n"
+                       "seq({b}, 1) ;";
+  auto engine = MakeEngine(source);
+  ASSERT_NE(engine, nullptr);
+  auto out = engine->Rewrite(P("($1.1 = $2.1) AND ($1.1 > 5)"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_GE(out->stats.applications, 1u);
+  std::string s = out->term->ToString();
+  EXPECT_NE(s.find("($2.1 > 5)"), std::string::npos) << s;
+}
+
+// ---- the CLOSE_PREDICATES method (robust closure for the pipeline) ----
+
+class ClosePredicatesTest : public ImplicitRulesTest {
+ protected:
+  ClosePredicatesTest() {
+    engine_ = MakeEngine(std::string(SemanticMethodRuleSource()) +
+                         "block(b, {close_predicates}, inf) ;\n"
+                         "seq({b}, 1) ;");
+  }
+  std::unique_ptr<rewrite::Engine> engine_;
+};
+
+TEST_F(ClosePredicatesTest, PropagatesConstantsThroughEqualities) {
+  auto out = engine_->Rewrite(
+      P("SEARCH(LIST(RELATION('BEATS'), RELATION('BEATS')), "
+        "(($1.2 = $2.1) AND ($2.1 = 5)), LIST($1.1, $2.2))"));
+  ASSERT_TRUE(out.ok());
+  auto qual = lera::SearchQual(out->term);
+  ASSERT_TRUE(qual.ok());
+  // Derived: $1.2 = 5.
+  bool found = false;
+  for (const TermRef& c : term::Conjuncts(*qual)) {
+    if (term::Equals(c, P("$1.2 = 5"))) found = true;
+  }
+  EXPECT_TRUE(found) << (*qual)->ToString();
+  // Fires once only (nothing further derivable).
+  auto again = engine_->Rewrite(out->term);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->stats.applications, 0u);
+}
+
+TEST_F(ClosePredicatesTest, ChainOfThreeEqualities) {
+  auto out = engine_->Rewrite(
+      P("SEARCH(LIST(RELATION('DOMINATE')), ((($1.1 = $1.2) AND "
+        "($1.2 = $1.3)) AND ($1.3 = 7)), LIST($1.1))"));
+  ASSERT_TRUE(out.ok());
+  auto qual = lera::SearchQual(out->term);
+  ASSERT_TRUE(qual.ok());
+  int derived = 0;
+  for (const TermRef& c : term::Conjuncts(*qual)) {
+    if (term::Equals(c, P("$1.1 = 7")) || term::Equals(c, P("$1.2 = 7"))) {
+      ++derived;
+    }
+  }
+  EXPECT_EQ(derived, 2) << (*qual)->ToString();
+}
+
+TEST_F(ClosePredicatesTest, DetectsEqualityInconsistency) {
+  auto out = engine_->Rewrite(
+      P("SEARCH(LIST(RELATION('BEATS')), (($1.1 = 3) AND ($1.1 = 4)), "
+        "LIST($1.1))"));
+  ASSERT_TRUE(out.ok());
+  auto qual = lera::SearchQual(out->term);
+  ASSERT_TRUE(qual.ok());
+  EXPECT_TRUE(term::Equals(*qual, P("FALSE"))) << (*qual)->ToString();
+}
+
+TEST_F(ClosePredicatesTest, DetectsComparisonContradictions) {
+  // x < y with x and y in the same equality class.
+  auto out = engine_->Rewrite(
+      P("SEARCH(LIST(RELATION('BEATS')), (($1.1 = $1.2) AND "
+        "($1.1 < $1.2)), LIST($1.1))"));
+  ASSERT_TRUE(out.ok());
+  auto qual = lera::SearchQual(out->term);
+  ASSERT_TRUE(qual.ok());
+  EXPECT_TRUE(term::Equals(*qual, P("FALSE"))) << (*qual)->ToString();
+  // Constant bound violation: x = 3 AND x > 5.
+  auto out2 = engine_->Rewrite(
+      P("SEARCH(LIST(RELATION('BEATS')), (($1.1 = 3) AND ($1.1 > 5)), "
+        "LIST($1.1))"));
+  ASSERT_TRUE(out2.ok());
+  auto qual2 = lera::SearchQual(out2->term);
+  ASSERT_TRUE(qual2.ok());
+  EXPECT_TRUE(term::Equals(*qual2, P("FALSE"))) << (*qual2)->ToString();
+}
+
+TEST_F(ClosePredicatesTest, NoDerivationNoFiring) {
+  auto out = engine_->Rewrite(
+      P("SEARCH(LIST(RELATION('BEATS')), ($1.1 = $1.2), LIST($1.1))"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->stats.applications, 0u);
+}
+
+TEST_F(ClosePredicatesTest, ClosedPlanEquivalent) {
+  const char* query =
+      "SEARCH(LIST(RELATION('BEATS'), RELATION('BEATS')), "
+      "(($1.2 = $2.1) AND ($2.1 = 5)), LIST($1.1, $2.2))";
+  TermRef raw = P(query);
+  auto out = engine_->Rewrite(raw);
+  ASSERT_TRUE(out.ok());
+  auto raw_rows = db_.session.Run(raw);
+  auto closed_rows = db_.session.Run(out->term);
+  ASSERT_TRUE(raw_rows.ok());
+  ASSERT_TRUE(closed_rows.ok());
+  testutil::ExpectSameRows(*raw_rows, *closed_rows);
+}
+
+}  // namespace
+}  // namespace eds::rules

@@ -1,0 +1,163 @@
+// Integration: every query in the catalog of paper examples gives the same
+// result set raw and optimized, through the full pipeline
+// (parse -> translate -> rewrite with the default optimizer -> execute).
+#include "gtest/gtest.h"
+#include "lera/printer.h"
+#include "testutil.h"
+
+namespace eds {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest() {
+    EXPECT_TRUE(db_.session
+                    .ExecuteScript(R"(
+      CREATE VIEW FilmActors (Title, Categories, Actors) AS
+        SELECT Title, Categories, MakeSet(Refactor)
+        FROM FILM, APPEARS_IN
+        WHERE FILM.Numf = APPEARS_IN.Numf
+        GROUP BY Title, Categories;
+      CREATE VIEW BETTER_THAN (W, L) AS (
+        SELECT Winner, Loser FROM BEATS
+        UNION
+        SELECT B1.W, B2.L FROM BETTER_THAN B1, BETTER_THAN B2
+        WHERE B1.L = B2.W );
+      CREATE VIEW AdventureFilms (Numf, Title) AS
+        SELECT Numf, Title FROM FILM
+        WHERE MEMBER('Adventure', Categories);
+      CREATE VIEW AllPairs (A, B) AS (
+        SELECT Winner, Loser FROM BEATS
+        UNION
+        SELECT Numf, Numf FROM FILM );
+    )")
+                    .ok());
+  }
+
+  void ExpectEquivalent(const char* query) {
+    exec::QueryOptions no_rewrite;
+    no_rewrite.rewrite = false;
+    auto raw = db_.session.Query(query, no_rewrite);
+    ASSERT_TRUE(raw.ok()) << query << ": " << raw.status().ToString();
+    auto optimized = db_.session.Query(query);
+    ASSERT_TRUE(optimized.ok())
+        << query << ": " << optimized.status().ToString();
+    testutil::ExpectSameRows(raw->rows, optimized->rows);
+  }
+
+  testutil::FilmDb db_;
+};
+
+TEST_F(IntegrationTest, Fig3Query) {
+  ExpectEquivalent(R"(
+    SELECT Title, Categories, Salary(Refactor)
+    FROM FILM, APPEARS_IN
+    WHERE FILM.Numf = APPEARS_IN.Numf AND Name(Refactor) = 'Quinn'
+      AND MEMBER('Adventure', Categories))");
+}
+
+TEST_F(IntegrationTest, Fig4Query) {
+  ExpectEquivalent(
+      "SELECT Title FROM FilmActors WHERE MEMBER('Adventure', Categories) "
+      "AND ALL(Salary(Actors) > 10000)");
+}
+
+TEST_F(IntegrationTest, Fig5Query) {
+  ExpectEquivalent("SELECT W FROM BETTER_THAN WHERE L = 10");
+}
+
+TEST_F(IntegrationTest, ViewOverViewStacks) {
+  ExpectEquivalent(
+      "SELECT Title FROM AdventureFilms WHERE Numf > 1");
+}
+
+TEST_F(IntegrationTest, JoinThroughView) {
+  ExpectEquivalent(R"(
+    SELECT F.Title, Name(Refactor)
+    FROM AdventureFilms F, APPEARS_IN
+    WHERE F.Numf = APPEARS_IN.Numf)");
+}
+
+TEST_F(IntegrationTest, QueryOverUnionView) {
+  ExpectEquivalent("SELECT A FROM AllPairs WHERE B = 2");
+}
+
+TEST_F(IntegrationTest, RecursiveViewJoinedWithBase) {
+  ExpectEquivalent(R"(
+    SELECT B.W, F.Title
+    FROM BETTER_THAN B, FILM F
+    WHERE B.L = F.Numf AND B.W = 1)");
+}
+
+TEST_F(IntegrationTest, UnionQuery) {
+  ExpectEquivalent(
+      "SELECT Winner FROM BEATS WHERE Winner > 5 "
+      "UNION SELECT Loser FROM BEATS WHERE Loser < 4");
+}
+
+TEST_F(IntegrationTest, ConstantArithmetic) {
+  ExpectEquivalent(
+      "SELECT Winner + 1, Winner * 2 FROM BEATS WHERE Winner = 2 + 1");
+}
+
+TEST_F(IntegrationTest, QuantifiersBothWays) {
+  ExpectEquivalent(
+      "SELECT Title FROM FilmActors WHERE EXIST(Name(Actors) = 'Bob')");
+  ExpectEquivalent(
+      "SELECT Title FROM FilmActors WHERE NOT ALL(Salary(Actors) > 10000)");
+}
+
+TEST_F(IntegrationTest, EqualityChainClosesAndPushes) {
+  // The semantic block derives B1.L = 10, which the fixpoint rule uses.
+  ExpectEquivalent(R"(
+    SELECT B1.W FROM BETTER_THAN B1, BEATS
+    WHERE B1.L = BEATS.Winner AND BEATS.Winner = 10)");
+}
+
+TEST_F(IntegrationTest, InconsistentQueryReturnsEmptyFast) {
+  auto result = db_.session.Query(
+      "SELECT Title FROM FILM WHERE Numf > 5 AND Numf <= 5");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->rows.empty());
+  EXPECT_EQ(result->exec_stats.rows_scanned, 0u);
+}
+
+TEST_F(IntegrationTest, OptimizerMergesViewIndirection) {
+  auto result = db_.session.Query(
+      "SELECT Title FROM AdventureFilms WHERE Numf = 1");
+  ASSERT_TRUE(result.ok());
+  // The optimized plan is a single search over FILM.
+  std::string plan = lera::FormatPlan(result->optimized_plan);
+  EXPECT_EQ(plan.find("SEARCH"), 0u) << plan;
+  EXPECT_NE(plan.find("RELATION FILM"), std::string::npos) << plan;
+  EXPECT_EQ(result->rewrite_stats.applications_by_rule.count("search_merge"),
+            1u);
+}
+
+TEST_F(IntegrationTest, MagicAppliedThroughFullPipeline) {
+  auto result = db_.session.Query("SELECT W FROM BETTER_THAN WHERE L = 10");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rewrite_stats.applications_by_rule.count(
+                "push_search_fixpoint"),
+            1u)
+      << lera::FormatPlan(result->optimized_plan);
+  EXPECT_EQ(result->rows.size(), 9u);
+}
+
+TEST_F(IntegrationTest, StressManyQueriesStayConsistent) {
+  // A small sweep of generated selections over BEATS and the closure.
+  for (int bound = 1; bound <= 10; ++bound) {
+    std::string q1 = "SELECT Winner FROM BEATS WHERE Loser = " +
+                     std::to_string(bound);
+    ExpectEquivalent(q1.c_str());
+    std::string q2 =
+        "SELECT W FROM BETTER_THAN WHERE L = " + std::to_string(bound);
+    ExpectEquivalent(q2.c_str());
+    std::string q3 =
+        "SELECT L FROM BETTER_THAN WHERE W = " + std::to_string(bound);
+    ExpectEquivalent(q3.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace eds

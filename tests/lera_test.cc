@@ -1,0 +1,241 @@
+#include "lera/lera.h"
+
+#include "gtest/gtest.h"
+#include "lera/printer.h"
+#include "lera/schema.h"
+#include "term/parser.h"
+#include "testutil.h"
+
+namespace eds::lera {
+namespace {
+
+using term::TermRef;
+
+TermRef P(const char* text) {
+  auto r = term::ParseTerm(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.ok() ? *r : nullptr;
+}
+
+TEST(LeraTest, ConstructorsProduceCanonicalTerms) {
+  TermRef s = Search({Relation("FILM")}, term::Term::True(),
+                     {Attr(1, 1), Attr(1, 2)});
+  EXPECT_TRUE(term::Equals(
+      s, P("SEARCH(LIST(RELATION('FILM')), TRUE, LIST($1.1, $1.2))")));
+  EXPECT_TRUE(IsSearch(s));
+  EXPECT_TRUE(term::Equals(UnionN({Relation("A"), Relation("B")}),
+                           P("UNION(SET(RELATION('A'), RELATION('B')))")));
+  EXPECT_TRUE(term::Equals(Fix("BT", Relation("D")),
+                           P("FIX(RELATION('BT'), RELATION('D'))")));
+  EXPECT_TRUE(term::Equals(Nest(Relation("T"), {2, 3}, "S"),
+                           P("NEST(RELATION('T'), LIST(2, 3), 'S')")));
+  EXPECT_TRUE(term::Equals(FieldAccess(ValueOf(Attr(1, 2)), "Salary"),
+                           P("FIELD(VALUE($1.2), 'Salary')")));
+}
+
+TEST(LeraTest, Recognizers) {
+  EXPECT_TRUE(IsRelation(P("RELATION('X')")));
+  EXPECT_FALSE(IsRelation(P("RELATION(1)")));
+  EXPECT_FALSE(IsRelation(P("REL('X')")));
+  EXPECT_TRUE(IsAttr(P("$3.4")));
+  EXPECT_FALSE(IsAttr(P("ATTR(x, 1)")));
+  EXPECT_TRUE(IsUnion(P("UNION(SET(RELATION('A')))")));
+  EXPECT_FALSE(IsUnion(P("UNION(LIST(RELATION('A')))")));
+  EXPECT_TRUE(IsFix(P("FIX(RELATION('R'), RELATION('B'))")));
+  EXPECT_FALSE(IsFix(P("FIX(x, RELATION('B'))")));
+}
+
+TEST(LeraTest, Accessors) {
+  TermRef s = P("SEARCH(LIST(RELATION('A'), RELATION('B')), ($1.1 = $2.1), "
+                "LIST($1.2))");
+  auto inputs = SearchInputs(s);
+  ASSERT_TRUE(inputs.ok());
+  EXPECT_EQ(inputs->size(), 2u);
+  auto qual = SearchQual(s);
+  ASSERT_TRUE(qual.ok());
+  EXPECT_TRUE(term::Equals(*qual, P("$1.1 = $2.1")));
+  auto name = RelationName((*inputs)[0]);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "A");
+  auto attr = GetAttr(P("$2.3"));
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->input, 2);
+  EXPECT_EQ(attr->column, 3);
+}
+
+TEST(LeraTest, ValidateAcceptsWellFormedTrees) {
+  for (const char* text : {
+           "RELATION('T')",
+           "SEARCH(LIST(RELATION('T')), ($1.1 > 5), LIST($1.1))",
+           "UNION(SET(RELATION('A'), RELATION('B')))",
+           "DIFFERENCE(RELATION('A'), RELATION('B'))",
+           "FIX(RELATION('R'), UNION(SET(RELATION('B'), "
+           "SEARCH(LIST(RELATION('R'), RELATION('R')), ($1.2 = $2.1), "
+           "LIST($1.1, $2.2)))))",
+           "NEST(RELATION('T'), LIST(2), 'S')",
+           "UNNEST(RELATION('T'), 2)",
+           "FILTER(RELATION('T'), ($1.1 = 1))",
+           "PROJECT(RELATION('T'), LIST($1.1))",
+           "JOIN(RELATION('A'), RELATION('B'), ($1.1 = $2.1))",
+       }) {
+    EXPECT_TRUE(Validate(P(text)).ok()) << text;
+  }
+}
+
+TEST(LeraTest, ValidateRejectsMalformedTrees) {
+  for (const char* text : {
+           "SEARCH(LIST(), TRUE, LIST($1.1))",          // no inputs
+           "SEARCH(LIST(RELATION('T')), TRUE, LIST())", // no projections
+           "SEARCH(RELATION('T'), TRUE, LIST($1.1))",   // inputs not LIST
+           "UNION(SET())",                              // empty union
+           "UNION(LIST(RELATION('T')))",                // not a SET
+           "SEARCH(LIST(x), TRUE, LIST($1.1))",         // variable in query
+           "SEARCH(LIST(1), TRUE, LIST($1.1))",         // constant as input
+           "FIX(RELATION('R'), 1)",                     // constant body
+           "SEARCH(LIST(RELATION('T')), ($0.1 = 1), LIST($1.1))",  // bad idx
+       }) {
+    EXPECT_FALSE(Validate(P(text)).ok()) << text;
+  }
+}
+
+TEST(LeraTest, CollectAndMapAttrs) {
+  TermRef e = P("($1.1 = $2.3) AND MEMBER($2.1, SET('x'))");
+  std::vector<AttrRef> attrs;
+  CollectAttrs(e, &attrs);
+  ASSERT_EQ(attrs.size(), 3u);
+  TermRef shifted = MapAttrs(e, [](int64_t i, int64_t j) {
+    return term::Term::Attr(i + 10, j);
+  });
+  EXPECT_TRUE(term::Equals(
+      shifted, P("($11.1 = $12.3) AND MEMBER($12.1, SET('x'))")));
+  // Identity mapping preserves structure (fresh ATTR nodes, equal term).
+  TermRef same = MapAttrs(e, [](int64_t i, int64_t j) {
+    return term::Term::Attr(i, j);
+  });
+  EXPECT_TRUE(term::Equals(same, e));
+  // Attr-free subtrees are shared untouched.
+  TermRef no_attrs = P("MEMBER('x', SET('a'))");
+  EXPECT_EQ(MapAttrs(no_attrs, [](int64_t i, int64_t j) {
+              return term::Term::Attr(i, j);
+            }).get(),
+            no_attrs.get());
+}
+
+class SchemaTest : public ::testing::Test {
+ protected:
+  SchemaTest() : db_() {}
+  testutil::FilmDb db_;
+  const catalog::Catalog& cat() { return db_.session.catalog(); }
+};
+
+TEST_F(SchemaTest, BaseRelation) {
+  auto s = InferSchema(P("RELATION('FILM')"), cat());
+  ASSERT_TRUE(s.ok()) << s.status();
+  ASSERT_EQ(s->size(), 3u);
+  EXPECT_EQ((*s)[0].name, "Numf");
+  EXPECT_EQ((*s)[2].type->kind(), types::TypeKind::kSet);
+}
+
+TEST_F(SchemaTest, SearchProjectionNamesAndTypes) {
+  auto s = InferSchema(
+      P("SEARCH(LIST(RELATION('FILM'), RELATION('APPEARS_IN')), "
+        "($1.1 = $2.1), LIST($1.2, FIELD(VALUE($2.2), 'Salary')))"),
+      cat());
+  ASSERT_TRUE(s.ok()) << s.status();
+  ASSERT_EQ(s->size(), 2u);
+  EXPECT_EQ((*s)[0].name, "Title");
+  EXPECT_EQ((*s)[1].name, "Salary");
+  EXPECT_TRUE((*s)[1].type->is_numeric());
+}
+
+TEST_F(SchemaTest, NestSchema) {
+  auto s = InferSchema(P("NEST(RELATION('APPEARS_IN'), LIST(2), 'Actors')"),
+                       cat());
+  ASSERT_TRUE(s.ok()) << s.status();
+  ASSERT_EQ(s->size(), 2u);
+  EXPECT_EQ((*s)[0].name, "Numf");
+  EXPECT_EQ((*s)[1].name, "Actors");
+  ASSERT_EQ((*s)[1].type->kind(), types::TypeKind::kSet);
+  EXPECT_EQ((*s)[1].type->element()->name(), "Actor");
+}
+
+TEST_F(SchemaTest, UnnestInvertsNest) {
+  auto s = InferSchema(
+      P("UNNEST(NEST(RELATION('APPEARS_IN'), LIST(2), 'Actors'), 2)"), cat());
+  ASSERT_TRUE(s.ok()) << s.status();
+  ASSERT_EQ(s->size(), 2u);
+  EXPECT_EQ((*s)[1].name, "Actors");
+  EXPECT_EQ((*s)[1].type->name(), "Actor");
+}
+
+TEST_F(SchemaTest, UnionTakesFirstBranchSchema) {
+  auto s = InferSchema(
+      P("UNION(SET(RELATION('BEATS'), RELATION('BEATS')))"), cat());
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->size(), 2u);
+}
+
+TEST_F(SchemaTest, FixUsesBaseBranch) {
+  auto s = InferSchema(
+      P("FIX(RELATION('TC'), UNION(SET(RELATION('BEATS'), "
+        "SEARCH(LIST(RELATION('TC'), RELATION('TC')), ($1.2 = $2.1), "
+        "LIST($1.1, $2.2)))))"),
+      cat());
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->size(), 2u);
+  EXPECT_EQ((*s)[0].name, "Winner");
+}
+
+TEST_F(SchemaTest, SchemaEnvOverridesCatalog) {
+  SchemaEnv env;
+  env["GHOST"] = {types::Field{"X", cat().types().int_type()}};
+  auto s = InferSchema(P("RELATION('GHOST')"), cat(), &env);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)[0].name, "X");
+  EXPECT_FALSE(InferSchema(P("RELATION('GHOST')"), cat()).ok());
+}
+
+TEST_F(SchemaTest, ExprTypes) {
+  std::vector<Schema> inputs = {
+      {types::Field{"N", cat().types().int_type()},
+       types::Field{"S", types::Type::MakeCollection(
+                             types::TypeKind::kSet,
+                             cat().types().char_type())}}};
+  auto check = [&](const char* text, types::TypeKind kind) {
+    auto t = InferExprType(P(text), inputs, cat());
+    ASSERT_TRUE(t.ok()) << text << ": " << t.status();
+    EXPECT_EQ((*t)->kind(), kind) << text;
+  };
+  check("$1.1", types::TypeKind::kInt);
+  check("$1.1 + 1", types::TypeKind::kInt);
+  check("$1.1 + 1.5", types::TypeKind::kReal);
+  check("$1.1 = 3", types::TypeKind::kBool);
+  check("MEMBER('a', $1.2)", types::TypeKind::kBool);
+  check("COUNT($1.2)", types::TypeKind::kInt);
+  check("CHOICE($1.2)", types::TypeKind::kChar);
+  check("MAKESET($1.1)", types::TypeKind::kSet);
+  check("FORALL($1.2, ELEM() = 'x')", types::TypeKind::kBool);
+  check("TUPLE($1.1, 'a')", types::TypeKind::kTuple);
+}
+
+TEST_F(SchemaTest, ExprTypeErrors) {
+  std::vector<Schema> inputs = {{types::Field{"N", cat().types().int_type()}}};
+  EXPECT_FALSE(InferExprType(P("$1.2"), inputs, cat()).ok());   // bad column
+  EXPECT_FALSE(InferExprType(P("$2.1"), inputs, cat()).ok());   // bad input
+  EXPECT_FALSE(InferExprType(P("ELEM()"), inputs, cat()).ok()); // no elem
+  EXPECT_FALSE(
+      InferExprType(P("VALUE($1.1)"), inputs, cat()).ok());     // non-object
+  EXPECT_FALSE(
+      InferExprType(P("FIELD($1.1, 'X')"), inputs, cat()).ok());
+}
+
+TEST_F(SchemaTest, PlanPrinterShowsTree) {
+  std::string plan = FormatPlan(
+      P("SEARCH(LIST(RELATION('FILM')), ($1.1 = 1), LIST($1.2))"));
+  EXPECT_NE(plan.find("SEARCH [($1.1 = 1)]"), std::string::npos);
+  EXPECT_NE(plan.find("RELATION FILM"), std::string::npos);
+  EXPECT_NE(plan.find("-> $1.2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eds::lera

@@ -1,0 +1,159 @@
+#include "rewrite/match.h"
+
+#include "gtest/gtest.h"
+#include "term/parser.h"
+
+namespace eds::rewrite {
+namespace {
+
+using term::Bindings;
+using term::TermRef;
+
+TermRef P(const char* text) {
+  auto r = term::ParseTerm(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.ok() ? *r : nullptr;
+}
+
+TEST(MatchTest, ConstantsMatchEqualConstants) {
+  Bindings env;
+  EXPECT_TRUE(MatchFirst(P("1"), P("1"), &env));
+  EXPECT_FALSE(MatchFirst(P("1"), P("2"), &env));
+  EXPECT_FALSE(MatchFirst(P("'a'"), P("1"), &env));
+}
+
+TEST(MatchTest, VariableBindsAnything) {
+  Bindings env;
+  ASSERT_TRUE(MatchFirst(P("x"), P("SEARCH(LIST(a()), f(), p())"), &env));
+  EXPECT_TRUE(term::Equals(*env.LookupVar("x"),
+                           P("SEARCH(LIST(a()), f(), p())")));
+}
+
+TEST(MatchTest, NonLinearPatternRequiresEqualSubterms) {
+  Bindings env;
+  EXPECT_TRUE(MatchFirst(P("F(x, x)"), P("F(G(1), G(1))"), &env));
+  EXPECT_FALSE(MatchFirst(P("F(x, x)"), P("F(G(1), G(2))"), &env));
+}
+
+TEST(MatchTest, FunctorAndArityMustAgree) {
+  Bindings env;
+  EXPECT_FALSE(MatchFirst(P("F(x)"), P("G(1)"), &env));
+  EXPECT_FALSE(MatchFirst(P("F(x)"), P("F(1, 2)"), &env));
+  EXPECT_FALSE(MatchFirst(P("F(x)"), P("'constant'"), &env));
+}
+
+TEST(MatchTest, CollectionVariableAbsorbsSubsequence) {
+  Bindings env;
+  ASSERT_TRUE(MatchFirst(P("F(LIST(x*, G(y), v*))"),
+                         P("F(LIST(a(), b(), G(1), c()))"), &env));
+  const auto* xs = env.LookupCollVar("x");
+  const auto* vs = env.LookupCollVar("v");
+  ASSERT_NE(xs, nullptr);
+  ASSERT_NE(vs, nullptr);
+  EXPECT_EQ(xs->size(), 2u);
+  EXPECT_EQ(vs->size(), 1u);
+  EXPECT_TRUE(term::Equals(*env.LookupVar("y"), P("1")));
+}
+
+TEST(MatchTest, CollectionVariableMayBeEmpty) {
+  Bindings env;
+  ASSERT_TRUE(MatchFirst(P("F(LIST(x*, G(y)))"), P("F(LIST(G(1)))"), &env));
+  EXPECT_TRUE(env.LookupCollVar("x")->empty());
+}
+
+TEST(MatchTest, BacktracksOverSplitPoints) {
+  // x* must absorb two elements so that the following G(y) aligns.
+  Bindings env;
+  ASSERT_TRUE(MatchFirst(P("F(LIST(x*, G(y), H(z)))"),
+                         P("F(LIST(G(1), G(2), H(3)))"), &env));
+  EXPECT_TRUE(term::Equals(*env.LookupVar("y"), P("2")));
+  EXPECT_EQ(env.LookupCollVar("x")->size(), 1u);
+}
+
+TEST(MatchTest, EnumeratesAlternativesUntilCallbackAccepts) {
+  // Reject the first split (x* empty), accept the next.
+  int calls = 0;
+  bool accepted =
+      Match(P("F(LIST(x*, y*))"), P("F(LIST(a(), b()))"), Bindings(),
+            [&calls](const Bindings& env) {
+              ++calls;
+              return env.LookupCollVar("x")->size() == 1;
+            });
+  EXPECT_TRUE(accepted);
+  EXPECT_EQ(calls, 2);  // shortest-first: |x|=0 rejected, |x|=1 accepted
+}
+
+TEST(MatchTest, SetPatternMatchesModuloPermutation) {
+  // Paper example: F(SET(x*, G(y, f))) — G may sit anywhere in the set.
+  Bindings env;
+  ASSERT_TRUE(MatchFirst(P("F(SET(x*, G(y, f)))"),
+                         P("F(SET(a(), G(1, TRUE), b()))"), &env));
+  EXPECT_TRUE(term::Equals(*env.LookupVar("y"), P("1")));
+  EXPECT_EQ(env.LookupCollVar("x")->size(), 2u);
+}
+
+TEST(MatchTest, SetPatternWithoutCollVarNeedsExactElements) {
+  Bindings env;
+  EXPECT_TRUE(MatchFirst(P("UNION(SET(u, v))"),
+                         P("UNION(SET(a(), b()))"), &env));
+  EXPECT_FALSE(MatchFirst(P("UNION(SET(u, v))"),
+                          P("UNION(SET(a(), b(), c()))"), &env));
+  EXPECT_FALSE(MatchFirst(P("UNION(SET(u, v))"), P("UNION(SET(a()))"), &env));
+}
+
+TEST(MatchTest, SetPatternDistinctElementsPerSubpattern) {
+  // Two concrete sub-patterns cannot claim the same subject element.
+  Bindings env;
+  EXPECT_FALSE(MatchFirst(P("F(SET(G(x), G(y)))"), P("F(SET(G(1)))"), &env));
+  EXPECT_TRUE(
+      MatchFirst(P("F(SET(G(x), G(y)))"), P("F(SET(G(1), G(2)))"), &env));
+}
+
+TEST(MatchTest, SetBacktracksAcrossAssignments) {
+  // G(x, 2) must pick the element where the second arg is 2.
+  Bindings env;
+  ASSERT_TRUE(MatchFirst(P("F(SET(x*, G(y, 2)))"),
+                         P("F(SET(G(1, 1), G(5, 2)))"), &env));
+  EXPECT_TRUE(term::Equals(*env.LookupVar("y"), P("5")));
+}
+
+TEST(MatchTest, FunctorVariableBindsName) {
+  Bindings env;
+  ASSERT_TRUE(MatchFirst(P("?F(x)"), P("ABS(p)"), &env));
+  EXPECT_EQ((*env.LookupVar("?F"))->constant().AsString(), "ABS");
+  EXPECT_TRUE(term::Equals(*env.LookupVar("x"), P("p")));
+  // Arity still matters.
+  EXPECT_FALSE(MatchFirst(P("?F(x)"), P("G(1, 2)"), &env));
+}
+
+TEST(MatchTest, FunctorVariableNonLinear) {
+  Bindings env;
+  EXPECT_TRUE(MatchFirst(P("AND(?F(x), ?F(y))"), P("AND(G(1), G(2))"), &env));
+  EXPECT_FALSE(
+      MatchFirst(P("AND(?F(x), ?F(y))"), P("AND(G(1), H(2))"), &env));
+}
+
+TEST(MatchTest, SeedBindingsConstrainTheMatch) {
+  Bindings seed;
+  seed.SetVar("x", P("1"));
+  bool matched = Match(P("F(x)"), P("F(2)"), seed,
+                       [](const Bindings&) { return true; });
+  EXPECT_FALSE(matched);
+  EXPECT_TRUE(Match(P("F(x)"), P("F(1)"), seed,
+                    [](const Bindings&) { return true; }));
+}
+
+TEST(MatchTest, DeepNestedPattern) {
+  Bindings env;
+  ASSERT_TRUE(MatchFirst(
+      P("SEARCH(LIST(x*, SEARCH(z, g, b), v*), f, a)"),
+      P("SEARCH(LIST(SEARCH(LIST(RELATION('T')), TRUE, LIST($1.1)), "
+        "RELATION('U')), ($1.1 = $2.1), LIST($1.1))"),
+      &env));
+  EXPECT_TRUE(term::Equals(*env.LookupVar("z"), P("LIST(RELATION('T'))")));
+  EXPECT_EQ(env.LookupCollVar("x")->size(), 0u);
+  EXPECT_EQ(env.LookupCollVar("v")->size(), 1u);
+}
+
+}  // namespace
+}  // namespace eds::rewrite

@@ -1,0 +1,204 @@
+// Fig. 7 — operation merging rules, plus the basic-operator normalization.
+#include "rules/merging.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "lera/lera.h"
+#include "rewrite/engine.h"
+#include "ruledsl/compiler.h"
+#include "term/parser.h"
+#include "testutil.h"
+
+namespace eds::rules {
+namespace {
+
+using term::TermRef;
+
+TermRef P(const char* text) {
+  auto r = term::ParseTerm(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.ok() ? *r : nullptr;
+}
+
+class MergeRulesTest : public ::testing::Test {
+ protected:
+  MergeRulesTest() {
+    registry_.InstallStandard();
+    auto prog = ruledsl::CompileRuleSource(MergingRuleSource(), registry_);
+    EXPECT_TRUE(prog.ok()) << prog.status();
+    engine_ = std::make_unique<rewrite::Engine>(
+        &db_.session.catalog(), &registry_, std::move(*prog));
+  }
+
+  TermRef Rewrite(const char* query) {
+    auto out = engine_->Rewrite(P(query));
+    EXPECT_TRUE(out.ok()) << out.status();
+    return out.ok() ? out->term : nullptr;
+  }
+
+  testutil::FilmDb db_;
+  rewrite::BuiltinRegistry registry_;
+  std::unique_ptr<rewrite::Engine> engine_;
+};
+
+TEST_F(MergeRulesTest, SearchMergeFlattensTwoSearches) {
+  // Outer selects from the inner's projection; after merging the outer
+  // attribute references go through the inner projection list.
+  TermRef out = Rewrite(
+      "SEARCH(LIST(SEARCH(LIST(RELATION('FILM')), ($1.1 > 1), "
+      "LIST($1.2, $1.3))), MEMBER('Adventure', $1.2), LIST($1.1))");
+  EXPECT_TRUE(term::Equals(
+      out,
+      P("SEARCH(LIST(RELATION('FILM')), MEMBER('Adventure', $1.3) AND "
+        "($1.1 > 1), LIST($1.2))")));
+}
+
+TEST_F(MergeRulesTest, SearchMergeKeepsSiblingInputs) {
+  // The inner search sits between two other inputs; the paper's rule moves
+  // the inner inputs to the end (append(x*, v*, z)).
+  TermRef out = Rewrite(
+      "SEARCH(LIST(RELATION('FILM'), SEARCH(LIST(RELATION('BEATS')), "
+      "($1.1 = 5), LIST($1.1, $1.2)), RELATION('APPEARS_IN')), "
+      "(($1.1 = $3.1) AND ($2.1 = $3.1)), LIST($2.2))");
+  ASSERT_NE(out, nullptr);
+  // New input order: FILM, APPEARS_IN, BEATS.
+  EXPECT_TRUE(term::Equals(
+      out,
+      P("SEARCH(LIST(RELATION('FILM'), RELATION('APPEARS_IN'), "
+        "RELATION('BEATS')), ((($1.1 = $2.1) AND ($3.1 = $2.1)) AND "
+        "($3.1 = 5)), LIST($3.2))")));
+}
+
+TEST_F(MergeRulesTest, SearchMergeCascades) {
+  // A three-deep stack of searches collapses to one (saturation).
+  TermRef out = Rewrite(
+      "SEARCH(LIST(SEARCH(LIST(SEARCH(LIST(RELATION('BEATS')), ($1.1 > 0), "
+      "LIST($1.1, $1.2))), ($1.2 < 99), LIST($1.1, $1.2))), ($1.1 = 3), "
+      "LIST($1.2))");
+  ASSERT_NE(out, nullptr);
+  // One search over the base relation remains.
+  ASSERT_TRUE(lera::IsSearch(out));
+  auto inputs = lera::SearchInputs(out);
+  ASSERT_TRUE(inputs.ok());
+  ASSERT_EQ(inputs->size(), 1u);
+  EXPECT_TRUE(lera::IsRelation((*inputs)[0]));
+}
+
+TEST_F(MergeRulesTest, SearchMergeRemapsExpressionsInsideProjections) {
+  TermRef out = Rewrite(
+      "SEARCH(LIST(SEARCH(LIST(RELATION('APPEARS_IN')), TRUE, "
+      "LIST($1.2))), TRUE, LIST(FIELD(VALUE($1.1), 'Salary')))");
+  EXPECT_TRUE(term::Equals(
+      out,
+      P("SEARCH(LIST(RELATION('APPEARS_IN')), TRUE AND TRUE, "
+        "LIST(FIELD(VALUE($1.2), 'Salary')))")));
+}
+
+TEST_F(MergeRulesTest, UnionMergeFlattens) {
+  // Fig. 7: UNION(SET(x*, UNION(z))) --> UNION(set-union(x*, z)).
+  TermRef out = Rewrite(
+      "UNION(SET(RELATION('A'), UNION(SET(RELATION('B'), RELATION('C')))))");
+  EXPECT_TRUE(term::Equals(
+      out, P("UNION(SET(RELATION('A'), RELATION('B'), RELATION('C')))")));
+}
+
+TEST_F(MergeRulesTest, UnionMergeHandlesDeepNesting) {
+  // Flattening yields a two-branch union; SET argument order is not
+  // significant (the rules fire in either order depending on traversal).
+  TermRef out = Rewrite(
+      "UNION(SET(UNION(SET(UNION(SET(RELATION('A'))), RELATION('B')))))");
+  ASSERT_NE(out, nullptr);
+  auto inputs = lera::UnionInputs(out);
+  ASSERT_TRUE(inputs.ok()) << out->ToString();
+  ASSERT_EQ(inputs->size(), 2u);
+  std::vector<std::string> names;
+  for (const TermRef& in : *inputs) {
+    auto n = lera::RelationName(in);
+    ASSERT_TRUE(n.ok());
+    names.push_back(*n);
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"A", "B"}));
+}
+
+TEST_F(MergeRulesTest, UnionCollapseSingleton) {
+  EXPECT_TRUE(term::Equals(Rewrite("UNION(SET(RELATION('A')))"),
+                           P("RELATION('A')")));
+}
+
+TEST_F(MergeRulesTest, FilterProjectJoinNormalizeIntoSearch) {
+  TermRef out = Rewrite("FILTER(RELATION('BEATS'), ($1.1 = 3))");
+  EXPECT_TRUE(term::Equals(
+      out,
+      P("SEARCH(LIST(RELATION('BEATS')), ($1.1 = 3), LIST($1.1, $1.2))")));
+
+  out = Rewrite("PROJECT(RELATION('BEATS'), LIST($1.2))");
+  EXPECT_TRUE(term::Equals(
+      out, P("SEARCH(LIST(RELATION('BEATS')), TRUE, LIST($1.2))")));
+
+  out = Rewrite(
+      "JOIN(RELATION('BEATS'), RELATION('BEATS'), ($1.2 = $2.1))");
+  EXPECT_TRUE(term::Equals(
+      out,
+      P("SEARCH(LIST(RELATION('BEATS'), RELATION('BEATS')), ($1.2 = $2.1), "
+        "LIST($1.1, $1.2, $2.1, $2.2))")));
+}
+
+TEST_F(MergeRulesTest, FilterOverProjectOverJoinBecomesOneSearch) {
+  // The full normalization + merging pipeline on a basic-operator tree.
+  TermRef out = Rewrite(
+      "FILTER(PROJECT(JOIN(RELATION('BEATS'), RELATION('BEATS'), "
+      "($1.2 = $2.1)), LIST($1.1, $2.2)), ($1.1 = 1))");
+  ASSERT_TRUE(lera::IsSearch(out));
+  auto inputs = lera::SearchInputs(out);
+  ASSERT_TRUE(inputs.ok());
+  ASSERT_EQ(inputs->size(), 2u);
+  EXPECT_TRUE(lera::IsRelation((*inputs)[0]));
+  EXPECT_TRUE(lera::IsRelation((*inputs)[1]));
+}
+
+TEST_F(MergeRulesTest, MergedPlanIsSemanticallyEquivalent) {
+  // Execute raw vs merged and compare result sets.
+  const char* query =
+      "SEARCH(LIST(SEARCH(LIST(RELATION('BEATS')), ($1.1 > 2), "
+      "LIST($1.1, $1.2))), ($1.2 < 9), LIST($1.1))";
+  TermRef raw = P(query);
+  TermRef merged = Rewrite(query);
+  ASSERT_FALSE(term::Equals(raw, merged));
+  auto raw_rows = db_.session.Run(raw);
+  auto merged_rows = db_.session.Run(merged);
+  ASSERT_TRUE(raw_rows.ok());
+  ASSERT_TRUE(merged_rows.ok());
+  testutil::ExpectSameRows(*raw_rows, *merged_rows);
+}
+
+TEST_F(MergeRulesTest, ViewStackFromEsqlMergesToOneSearch) {
+  // CREATE VIEW over a view over a table; the translated query is a stack
+  // of searches that must merge into one ("unnecessary temporary relations
+  // are removed", §5.1).
+  EDS_ASSERT_OK(db_.session.ExecuteScript(R"(
+    CREATE VIEW BigWins (Winner, Loser) AS
+      SELECT Winner, Loser FROM BEATS WHERE Winner > 2;
+    CREATE VIEW BigWinners (W) AS
+      SELECT Winner FROM BigWins WHERE Loser < 9;
+  )"));
+  auto raw = db_.session.Translate("SELECT W FROM BigWinners WHERE W > 3");
+  ASSERT_TRUE(raw.ok()) << raw.status();
+  auto out = engine_->Rewrite(*raw);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(lera::IsSearch(out->term));
+  auto inputs = lera::SearchInputs(out->term);
+  ASSERT_TRUE(inputs.ok());
+  ASSERT_EQ(inputs->size(), 1u);
+  EXPECT_TRUE(lera::IsRelation((*inputs)[0]));  // merged down to BEATS
+  // And the results agree.
+  auto raw_rows = db_.session.Run(*raw);
+  auto merged_rows = db_.session.Run(out->term);
+  ASSERT_TRUE(raw_rows.ok());
+  ASSERT_TRUE(merged_rows.ok());
+  testutil::ExpectSameRows(*raw_rows, *merged_rows);
+}
+
+}  // namespace
+}  // namespace eds::rules

@@ -1,0 +1,145 @@
+// The generated default optimizer (rules/optimizer.h): pipeline structure,
+// option knobs, and the §7 budget trade-off.
+#include "rules/optimizer.h"
+
+#include "gtest/gtest.h"
+#include "lera/printer.h"
+#include "testutil.h"
+
+namespace eds::rules {
+namespace {
+
+TEST(OptimizerTest, DefaultPipelineStructure) {
+  testutil::FilmDb db;
+  auto opt = MakeDefaultOptimizer(&db.session.catalog());
+  ASSERT_TRUE(opt.ok()) << opt.status();
+  const rewrite::RewriteProgram& program = (*opt)->engine().program();
+  std::vector<std::string> names;
+  for (const auto& block : program.blocks) names.push_back(block.name);
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"normalize", "merge", "semantic",
+                                      "simplify", "push", "merge_again"}));
+  EXPECT_EQ(program.seq_limit, 2);
+}
+
+TEST(OptimizerTest, DisableSemantic) {
+  testutil::FilmDb db;
+  OptimizerOptions options;
+  options.enable_semantic = false;
+  auto opt = MakeDefaultOptimizer(&db.session.catalog(), options);
+  ASSERT_TRUE(opt.ok());
+  for (const auto& block : (*opt)->engine().program().blocks) {
+    EXPECT_NE(block.name, "semantic");
+  }
+}
+
+TEST(OptimizerTest, DisableMagic) {
+  testutil::FilmDb db;
+  OptimizerOptions options;
+  options.enable_magic = false;
+  auto opt = MakeDefaultOptimizer(&db.session.catalog(), options);
+  ASSERT_TRUE(opt.ok());
+  for (const auto& block : (*opt)->engine().program().blocks) {
+    for (const auto& rule : block.rules) {
+      EXPECT_NE(rule.name, "push_search_fixpoint");
+    }
+  }
+}
+
+TEST(OptimizerTest, ZeroSemanticLimitMeansNoSemanticWork) {
+  // §7: "Simple queries ... a 0 limit can then be given to all blocks."
+  testutil::FilmDb db;
+  EXPECT_TRUE(db.session
+                  .AddConstraint("cat_domain", R"(
+    ic_cat : MEMBER(x, c) / ISA(c, SetCategory)
+      --> MEMBER(x, c) AND MEMBER(x, SET('Comedy', 'Adventure',
+                                         'Science Fiction', 'Western')) / ;
+  )")
+                  .ok());
+  OptimizerOptions options;
+  options.semantic_limit = 0;
+  auto opt = MakeDefaultOptimizer(&db.session.catalog(), options);
+  ASSERT_TRUE(opt.ok());
+  auto raw = db.session.Translate(
+      "SELECT Title FROM FILM WHERE MEMBER('Cartoon', Categories)");
+  ASSERT_TRUE(raw.ok());
+  auto out = (*opt)->Rewrite(*raw);
+  ASSERT_TRUE(out.ok());
+  // Without the semantic block budget, the inconsistency goes undetected.
+  std::string plan = out->term->ToString();
+  EXPECT_NE(plan.find("MEMBER('Cartoon'"), std::string::npos) << plan;
+}
+
+TEST(OptimizerTest, BudgetTradeoffMonotoneQuality) {
+  // The §7 trade-off surface: higher semantic budgets never lose
+  // detections. With enough budget the inconsistent query folds to FALSE.
+  testutil::FilmDb db;
+  EXPECT_TRUE(db.session
+                  .AddConstraint("cat_domain", R"(
+    ic_cat : MEMBER(x, c) / ISA(c, SetCategory)
+      --> MEMBER(x, c) AND MEMBER(x, SET('Comedy', 'Adventure',
+                                         'Science Fiction', 'Western')) / ;
+  )")
+                  .ok());
+  auto raw = db.session.Translate(
+      "SELECT Title FROM FILM WHERE MEMBER('Cartoon', Categories)");
+  ASSERT_TRUE(raw.ok());
+  bool detected_with_large_budget = false;
+  size_t small_checks = 0, large_checks = 0;
+  for (int64_t budget : {0, 64}) {
+    OptimizerOptions options;
+    options.semantic_limit = budget;
+    auto opt = MakeDefaultOptimizer(&db.session.catalog(), options);
+    ASSERT_TRUE(opt.ok());
+    auto out = (*opt)->Rewrite(*raw);
+    ASSERT_TRUE(out.ok());
+    bool detected =
+        out->term->ToString().find("FALSE") != std::string::npos;
+    if (budget == 0) {
+      EXPECT_FALSE(detected);
+      small_checks = out->stats.condition_checks;
+    } else {
+      detected_with_large_budget = detected;
+      large_checks = out->stats.condition_checks;
+    }
+  }
+  EXPECT_TRUE(detected_with_large_budget);
+  EXPECT_GT(large_checks, small_checks);  // budget buys work
+}
+
+TEST(OptimizerTest, SeqLimitSecondPassMergesAfterPush) {
+  // §5.3: search merging pays off again after pushing selections through
+  // fixpoints; the 2-pass sequence re-merges what push created.
+  testutil::FilmDb db;
+  EXPECT_TRUE(db.session
+                  .ExecuteScript(R"(
+    CREATE VIEW BETTER_THAN (W, L) AS (
+      SELECT Winner, Loser FROM BEATS
+      UNION
+      SELECT B1.W, B2.L FROM BETTER_THAN B1, BETTER_THAN B2
+      WHERE B1.L = B2.W );
+  )")
+                  .ok());
+  auto result = db.session.Query("SELECT W FROM BETTER_THAN WHERE L = 10");
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->rewrite_stats.passes, 2u);
+  EXPECT_GE(result->rewrite_stats.applications_by_rule["search_merge"], 1u);
+}
+
+TEST(OptimizerTest, RewriteOptionsFlowThrough) {
+  testutil::FilmDb db;
+  auto opt = MakeDefaultOptimizer(&db.session.catalog());
+  ASSERT_TRUE(opt.ok());
+  auto raw = db.session.Translate("SELECT Winner FROM BEATS");
+  ASSERT_TRUE(raw.ok());
+  rewrite::RewriteOptions options;
+  options.collect_trace = true;
+  auto out = (*opt)->Rewrite(*raw, options);
+  ASSERT_TRUE(out.ok());
+  // Trivial query: nothing to do, empty trace.
+  EXPECT_TRUE(out->trace.empty());
+  EXPECT_EQ(out->stats.applications, 0u);
+}
+
+}  // namespace
+}  // namespace eds::rules

@@ -1,0 +1,136 @@
+// The engine's scope-aware type oracle: ISA constraints on attribute
+// references resolve against the enclosing operator's input schemas, for
+// every operator kind that carries scalar arguments (SEARCH, FILTER, JOIN,
+// PROJECT), including object subtyping and nested tuple types.
+#include "gtest/gtest.h"
+#include "rewrite/engine.h"
+#include "ruledsl/compiler.h"
+#include "term/parser.h"
+#include "testutil.h"
+
+namespace eds::rewrite {
+namespace {
+
+using term::TermRef;
+
+TermRef P(const char* text) {
+  auto r = term::ParseTerm(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.ok() ? *r : nullptr;
+}
+
+class OracleTest : public ::testing::Test {
+ protected:
+  OracleTest() {
+    registry_.InstallStandard();
+    EXPECT_TRUE(db_.session
+                    .ExecuteScript(
+                        "CREATE TABLE SHAPES (Id : INT, Origin : Point);")
+                    .ok());
+  }
+
+  // A tagging rule: wraps any x of the given type in MARKED(x).
+  std::unique_ptr<Engine> TaggerFor(const std::string& type_name) {
+    std::string source = "tag : ?F(x) / ISA(x, " + type_name +
+                         "), NOT MEMBER(?F, LIST('MARKED')) "
+                         "--> ?F(MARKED(x)) / ;\n"
+                         "block(b, {tag}, 64) ;\nseq({b}, 1) ;";
+    auto prog = ruledsl::CompileRuleSource(source, registry_);
+    EXPECT_TRUE(prog.ok()) << prog.status();
+    return std::make_unique<Engine>(&db_.session.catalog(), &registry_,
+                                    std::move(*prog));
+  }
+
+  bool Marks(Engine* engine, const char* query) {
+    auto out = engine->Rewrite(P(query));
+    EXPECT_TRUE(out.ok()) << out.status();
+    return out.ok() &&
+           out->term->ToString().find("MARKED") != std::string::npos;
+  }
+
+  testutil::FilmDb db_;
+  BuiltinRegistry registry_;
+};
+
+TEST_F(OracleTest, AttrTypeInSearchQual) {
+  auto tagger = TaggerFor("Point");
+  // SHAPES.Origin ($1.2) is a Point; FILM.Numf is not.
+  EXPECT_TRUE(Marks(tagger.get(),
+                    "SEARCH(LIST(RELATION('SHAPES')), G($1.2), "
+                    "LIST($1.1))"));
+  EXPECT_FALSE(Marks(tagger.get(),
+                     "SEARCH(LIST(RELATION('FILM')), G($1.1), "
+                     "LIST($1.1))"));
+}
+
+TEST_F(OracleTest, AttrTypeInFilterAndJoinAndProject) {
+  auto tagger = TaggerFor("Point");
+  EXPECT_TRUE(Marks(tagger.get(), "FILTER(RELATION('SHAPES'), G($1.2))"));
+  EXPECT_TRUE(Marks(tagger.get(),
+                    "JOIN(RELATION('FILM'), RELATION('SHAPES'), G($2.2))"));
+  EXPECT_TRUE(Marks(tagger.get(),
+                    "PROJECT(RELATION('SHAPES'), LIST(G($1.2)))"));
+  // In a JOIN, input 1's columns are FILM's — not Points.
+  EXPECT_FALSE(Marks(tagger.get(),
+                     "JOIN(RELATION('FILM'), RELATION('SHAPES'), G($1.2))"));
+}
+
+TEST_F(OracleTest, SubtypeSatisfiesSupertypeIsa) {
+  // APPEARS_IN.Refactor is an Actor, Actor SUBTYPE OF Person: ISA(x,
+  // Person) holds for the attribute.
+  auto tagger = TaggerFor("Person");
+  EXPECT_TRUE(Marks(tagger.get(),
+                    "SEARCH(LIST(RELATION('APPEARS_IN')), G($1.2), "
+                    "LIST($1.1))"));
+  // The reverse is false: a Person-typed column is not an Actor.
+  EXPECT_TRUE(db_.session
+                  .ExecuteScript("CREATE TABLE PEOPLE (Ref : Person);")
+                  .ok());
+  auto actor_tagger = TaggerFor("Actor");
+  EXPECT_FALSE(Marks(actor_tagger.get(),
+                     "SEARCH(LIST(RELATION('PEOPLE')), G($1.1), "
+                     "LIST($1.1))"));
+}
+
+TEST_F(OracleTest, FieldAccessTypesResolve) {
+  // FIELD(VALUE($1.2), 'Salary') is NUMERIC in the scope of APPEARS_IN.
+  auto tagger = TaggerFor("NUMERIC");
+  EXPECT_TRUE(Marks(tagger.get(),
+                    "SEARCH(LIST(RELATION('APPEARS_IN')), "
+                    "G(FIELD(VALUE($1.2), 'Salary')), LIST($1.1))"));
+}
+
+TEST_F(OracleTest, CollectionKindFromSchema) {
+  // FILM.Categories is SET OF Category: ISA SET and ISA COLLECTION hold.
+  auto set_tagger = TaggerFor("SET");
+  EXPECT_TRUE(Marks(set_tagger.get(),
+                    "SEARCH(LIST(RELATION('FILM')), G($1.3), LIST($1.1))"));
+  auto list_tagger = TaggerFor("LIST");
+  EXPECT_FALSE(Marks(list_tagger.get(),
+                     "SEARCH(LIST(RELATION('FILM')), G($1.3), "
+                     "LIST($1.1))"));
+}
+
+TEST_F(OracleTest, NoScopeNoMatch) {
+  // Outside any operator scope, an ATTR's type is unknown: ISA fails and
+  // the rule does not fire (instead of guessing).
+  auto tagger = TaggerFor("Point");
+  EXPECT_FALSE(Marks(tagger.get(), "G($1.2)"));
+}
+
+TEST_F(OracleTest, ScopeFollowsNestedOperators) {
+  // The inner search's qualification sees the inner inputs (SHAPES),
+  // even though the outer search's inputs differ.
+  auto tagger = TaggerFor("Point");
+  auto out = tagger->Rewrite(P(
+      "SEARCH(LIST(SEARCH(LIST(RELATION('SHAPES')), G($1.2), LIST($1.1))), "
+      "H($1.1), LIST($1.1))"));
+  ASSERT_TRUE(out.ok());
+  std::string s = out->term->ToString();
+  // Only the inner G($1.2) is marked; the outer H($1.1) is over INT.
+  EXPECT_NE(s.find("G(MARKED($1.2))"), std::string::npos) << s;
+  EXPECT_EQ(s.find("H(MARKED"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace eds::rewrite

@@ -1,0 +1,324 @@
+// Property-based suites (parameterized gtest):
+//   * term print/parse round-trips over generated random terms;
+//   * the default optimizer preserves query semantics over generated graph
+//     data of varying sizes and selection constants;
+//   * set/bag algebra laws hold for the collection library.
+#include <random>
+
+#include "gtest/gtest.h"
+#include "lera/lera.h"
+#include "term/parser.h"
+#include "testutil.h"
+#include "value/collection_lib.h"
+
+namespace eds {
+namespace {
+
+// ---- random term generation ----
+
+term::TermRef RandomTerm(std::mt19937* rng, int depth) {
+  std::uniform_int_distribution<int> kind(0, depth <= 0 ? 2 : 6);
+  std::uniform_int_distribution<int> small(0, 99);
+  std::uniform_int_distribution<int> arity(0, 3);
+  static const char* functors[] = {"F", "G", "SEARCH", "MEMBER", "LIST",
+                                   "SET", "ADD"};
+  switch (kind(*rng)) {
+    case 0:
+      return term::Term::Int(small(*rng));
+    case 1:
+      return term::Term::Str("s" + std::to_string(small(*rng)));
+    case 2: {
+      const char* vars[] = {"x", "y", "z"};
+      return term::Term::Var(vars[small(*rng) % 3]);
+    }
+    case 3:
+      return term::Term::Attr(1 + small(*rng) % 3, 1 + small(*rng) % 4);
+    case 4:
+      return term::Term::Bool(small(*rng) % 2 == 0);
+    default: {
+      int n = arity(*rng);
+      term::TermList args;
+      for (int i = 0; i < n; ++i) {
+        args.push_back(RandomTerm(rng, depth - 1));
+      }
+      return term::Term::Apply(functors[small(*rng) % 7], std::move(args));
+    }
+  }
+}
+
+class TermRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TermRoundTripTest, PrintParsePrintIsStable) {
+  std::mt19937 rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    term::TermRef t = RandomTerm(&rng, 4);
+    std::string text = t->ToString();
+    auto back = term::ParseTerm(text);
+    ASSERT_TRUE(back.ok()) << text << ": " << back.status().ToString();
+    EXPECT_TRUE(term::Equals(t, *back))
+        << text << " reparsed as " << (*back)->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TermRoundTripTest,
+                         ::testing::Values(1, 7, 42, 1234, 99991));
+
+// ---- rewrite preserves semantics over generated data ----
+
+struct GraphCase {
+  int nodes;
+  int edges_per_node;
+  int seed;
+};
+
+class RewritePreservationTest : public ::testing::TestWithParam<GraphCase> {
+ protected:
+  void LoadGraph() {
+    const GraphCase& gc = GetParam();
+    std::mt19937 rng(gc.seed);
+    std::uniform_int_distribution<int> node(1, gc.nodes);
+    EXPECT_TRUE(db_.session
+                    .ExecuteScript(
+                        "CREATE TABLE EDGE (Src : INT, Dst : INT);"
+                        "CREATE VIEW REACH (A, B) AS ("
+                        "  SELECT Src, Dst FROM EDGE"
+                        "  UNION"
+                        "  SELECT R1.A, R2.B FROM REACH R1, REACH R2"
+                        "  WHERE R1.B = R2.A );")
+                    .ok());
+    for (int n = 1; n <= gc.nodes; ++n) {
+      for (int e = 0; e < gc.edges_per_node; ++e) {
+        EXPECT_TRUE(db_.session
+                        .InsertRow("EDGE", {value::Value::Int(n),
+                                            value::Value::Int(node(rng))})
+                        .ok());
+      }
+    }
+  }
+
+  void ExpectEquivalent(const std::string& query) {
+    exec::QueryOptions no_rewrite;
+    no_rewrite.rewrite = false;
+    auto raw = db_.session.Query(query, no_rewrite);
+    ASSERT_TRUE(raw.ok()) << query << ": " << raw.status().ToString();
+    auto optimized = db_.session.Query(query);
+    ASSERT_TRUE(optimized.ok())
+        << query << ": " << optimized.status().ToString();
+    testutil::ExpectSameRows(raw->rows, optimized->rows);
+  }
+
+  testutil::FilmDb db_;
+};
+
+TEST_P(RewritePreservationTest, SelectionsOverClosure) {
+  LoadGraph();
+  const GraphCase& gc = GetParam();
+  std::mt19937 rng(gc.seed + 1);
+  std::uniform_int_distribution<int> node(1, gc.nodes);
+  for (int i = 0; i < 4; ++i) {
+    int k = node(rng);
+    ExpectEquivalent("SELECT A FROM REACH WHERE B = " + std::to_string(k));
+    ExpectEquivalent("SELECT B FROM REACH WHERE A = " + std::to_string(k));
+  }
+  ExpectEquivalent("SELECT Src FROM EDGE WHERE Dst = Src");
+}
+
+TEST_P(RewritePreservationTest, JoinsAndUnionsOverEdges) {
+  LoadGraph();
+  ExpectEquivalent(
+      "SELECT E1.Src, E2.Dst FROM EDGE E1, EDGE E2 WHERE E1.Dst = E2.Src "
+      "AND E2.Dst = 1");
+  ExpectEquivalent(
+      "SELECT Src FROM EDGE WHERE Src > 2 UNION "
+      "SELECT Dst FROM EDGE WHERE Dst <= 2");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, RewritePreservationTest,
+    ::testing::Values(GraphCase{4, 1, 11}, GraphCase{6, 2, 22},
+                      GraphCase{8, 2, 33}, GraphCase{10, 3, 44},
+                      GraphCase{12, 1, 55}));
+
+// ---- random qualifications: the optimizer must preserve semantics ----
+
+class QualPreservationTest : public ::testing::TestWithParam<int> {
+ protected:
+  // A random boolean expression over BEATS' two INT columns.
+  std::string RandomQual(std::mt19937* rng, int depth) {
+    std::uniform_int_distribution<int> kind(0, depth <= 0 ? 1 : 4);
+    std::uniform_int_distribution<int> column(0, 1);
+    std::uniform_int_distribution<int> constant(0, 12);
+    static const char* kCols[] = {"Winner", "Loser"};
+    static const char* kOps[] = {"=", "<>", "<", "<=", ">", ">="};
+    std::uniform_int_distribution<int> op(0, 5);
+    switch (kind(*rng)) {
+      case 0:  // column vs constant
+        return std::string(kCols[column(*rng)]) + " " + kOps[op(*rng)] +
+               " " + std::to_string(constant(*rng));
+      case 1:  // column vs column
+        return std::string(kCols[column(*rng)]) + " " + kOps[op(*rng)] +
+               " " + kCols[column(*rng)];
+      case 2:
+        return "(" + RandomQual(rng, depth - 1) + " AND " +
+               RandomQual(rng, depth - 1) + ")";
+      case 3:
+        return "(" + RandomQual(rng, depth - 1) + " OR " +
+               RandomQual(rng, depth - 1) + ")";
+      default:
+        return "NOT (" + RandomQual(rng, depth - 1) + ")";
+    }
+  }
+
+  testutil::FilmDb db_;
+};
+
+TEST_P(QualPreservationTest, RandomQualificationsSurviveOptimization) {
+  std::mt19937 rng(GetParam());
+  exec::QueryOptions no_rewrite;
+  no_rewrite.rewrite = false;
+  for (int i = 0; i < 25; ++i) {
+    std::string query = "SELECT Winner, Loser FROM BEATS WHERE " +
+                        RandomQual(&rng, 3);
+    auto raw = db_.session.Query(query, no_rewrite);
+    ASSERT_TRUE(raw.ok()) << query << ": " << raw.status().ToString();
+    auto optimized = db_.session.Query(query);
+    ASSERT_TRUE(optimized.ok())
+        << query << ": " << optimized.status().ToString();
+    testutil::ExpectSameRows(raw->rows, optimized->rows);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QualPreservationTest,
+                         ::testing::Values(5, 23, 101, 777, 31337));
+
+// ---- random LERA plans: structural rewriting preserves semantics ----
+
+class PlanPreservationTest : public ::testing::TestWithParam<int> {
+ protected:
+  // A random relational plan over BEATS/DOMINATE (both through FilmDb),
+  // built from FILTER / PROJECT / UNION / DEDUP / DIFFERENCE / INTERSECT /
+  // SEARCH so the normalization + merging + pushdown rules all get
+  // exercised. Plans keep two INT-comparable columns throughout so set
+  // operations stay union-compatible.
+  term::TermRef RandomPlan(std::mt19937* rng, int depth) {
+    std::uniform_int_distribution<int> kind(0, depth <= 0 ? 0 : 6);
+    std::uniform_int_distribution<int> constant(0, 12);
+    std::uniform_int_distribution<int> column(1, 2);
+    switch (kind(*rng)) {
+      case 1:
+        return lera::Filter(RandomPlan(rng, depth - 1),
+                            term::Term::Apply(
+                                term::kGt,
+                                {term::Term::Attr(1, column(*rng)),
+                                 term::Term::Int(constant(*rng))}));
+      case 2:
+        return lera::Project(RandomPlan(rng, depth - 1),
+                             {term::Term::Attr(1, 2),
+                              term::Term::Attr(1, 1)});
+      case 3:
+        return lera::UnionN(
+            {RandomPlan(rng, depth - 1), RandomPlan(rng, depth - 1)});
+      case 4:
+        return lera::Dedup(RandomPlan(rng, depth - 1));
+      case 5:
+        return lera::Difference(RandomPlan(rng, depth - 1),
+                                RandomPlan(rng, depth - 1));
+      case 6:
+        return lera::Search(
+            {RandomPlan(rng, depth - 1)},
+            term::Term::Apply(term::kLe,
+                              {term::Term::Attr(1, 1),
+                               term::Term::Int(constant(*rng))}),
+            {term::Term::Attr(1, 1), term::Term::Attr(1, 2)});
+      default:
+        return lera::Search({lera::Relation("BEATS")}, term::Term::True(),
+                            {term::Term::Attr(1, 1),
+                             term::Term::Attr(1, 2)});
+    }
+  }
+
+  testutil::FilmDb db_;
+};
+
+TEST_P(PlanPreservationTest, RandomPlansSurviveOptimization) {
+  std::mt19937 rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    term::TermRef plan = RandomPlan(&rng, 4);
+    ASSERT_TRUE(lera::Validate(plan).ok()) << plan->ToString();
+    auto raw_rows = db_.session.Run(plan);
+    ASSERT_TRUE(raw_rows.ok()) << plan->ToString() << ": "
+                               << raw_rows.status().ToString();
+    auto rewritten = db_.session.Rewrite(plan);
+    ASSERT_TRUE(rewritten.ok()) << plan->ToString();
+    auto new_rows = db_.session.Run(rewritten->term);
+    ASSERT_TRUE(new_rows.ok()) << rewritten->term->ToString() << ": "
+                               << new_rows.status().ToString();
+    // Set-level equivalence (bag multiplicities may legitimately differ
+    // only where DEDUP/UNION already force set semantics; compare as
+    // sets, which is what ESQL-level DISTINCT observes).
+    testutil::ExpectSameRows(*raw_rows, *new_rows);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanPreservationTest,
+                         ::testing::Values(2, 19, 404, 8080));
+
+// ---- algebraic laws of the collection library ----
+
+class CollectionLawsTest : public ::testing::TestWithParam<int> {
+ protected:
+  value::Value RandomSet(std::mt19937* rng) {
+    std::uniform_int_distribution<int> size(0, 6);
+    std::uniform_int_distribution<int> elem(0, 9);
+    std::vector<value::Value> elems;
+    int n = size(*rng);
+    for (int i = 0; i < n; ++i) elems.push_back(value::Value::Int(elem(*rng)));
+    return value::Value::Set(std::move(elems));
+  }
+
+  value::Value Call(const char* name, std::vector<value::Value> args) {
+    auto r = value::FunctionLibrary::Default().Call(name, args);
+    EXPECT_TRUE(r.ok()) << name << ": " << r.status().ToString();
+    return r.ok() ? *r : value::Value::Null();
+  }
+};
+
+TEST_P(CollectionLawsTest, SetAlgebraLaws) {
+  std::mt19937 rng(GetParam());
+  for (int i = 0; i < 30; ++i) {
+    value::Value a = RandomSet(&rng), b = RandomSet(&rng),
+                 c = RandomSet(&rng);
+    // Commutativity and associativity of union / intersection.
+    EXPECT_EQ(Call("UNION", {a, b}), Call("UNION", {b, a}));
+    EXPECT_EQ(Call("INTERSECTION", {a, b}), Call("INTERSECTION", {b, a}));
+    EXPECT_EQ(Call("UNION", {Call("UNION", {a, b}), c}),
+              Call("UNION", {a, Call("UNION", {b, c})}));
+    // Idempotence.
+    EXPECT_EQ(Call("UNION", {a, a}), a);
+    EXPECT_EQ(Call("INTERSECTION", {a, a}), a);
+    // A \ B ⊆ A and (A \ B) ∩ B = ∅.
+    EXPECT_EQ(Call("INCLUDE", {Call("DIFFERENCE", {a, b}), a}),
+              value::Value::Bool(true));
+    EXPECT_EQ(Call("ISEMPTY",
+                   {Call("INTERSECTION", {Call("DIFFERENCE", {a, b}), b})}),
+              value::Value::Bool(true));
+    // |A ∪ B| + |A ∩ B| = |A| + |B|.
+    EXPECT_EQ(Call("COUNT", {Call("UNION", {a, b})}).AsInt() +
+                  Call("COUNT", {Call("INTERSECTION", {a, b})}).AsInt(),
+              Call("COUNT", {a}).AsInt() + Call("COUNT", {b}).AsInt());
+    // Conversion: TOSET(TOBAG(a)) = a.
+    EXPECT_EQ(Call("TOSET", {Call("TOBAG", {a})}), a);
+    // Membership after insert / remove.
+    value::Value e = value::Value::Int(5);
+    EXPECT_EQ(Call("MEMBER", {e, Call("INSERT", {e, a})}),
+              value::Value::Bool(true));
+    EXPECT_EQ(Call("MEMBER", {e, Call("REMOVE", {e, a})}),
+              value::Value::Bool(false));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollectionLawsTest,
+                         ::testing::Values(3, 17, 256, 4096));
+
+}  // namespace
+}  // namespace eds

@@ -1,0 +1,80 @@
+// Meta-test: every shipped rule-library source compiles standalone against
+// the full builtin registry, and every rule validates. Guards against
+// regressions when editing the DSL strings.
+#include "gtest/gtest.h"
+#include "magic/magic.h"
+#include "rewrite/engine.h"
+#include "rules/extensions.h"
+#include "rules/fixpoint.h"
+#include "rules/merging.h"
+#include "rules/permutation.h"
+#include "rules/semantic.h"
+#include "rules/simplify.h"
+#include "ruledsl/compiler.h"
+#include "ruledsl/parser.h"
+
+namespace eds::rules {
+namespace {
+
+rewrite::BuiltinRegistry& FullRegistry() {
+  static rewrite::BuiltinRegistry* reg = [] {
+    auto* r = new rewrite::BuiltinRegistry();
+    r->InstallStandard();
+    magic::InstallMagicBuiltins(r);
+    InstallSemanticBuiltins(r);
+    return r;
+  }();
+  return *reg;
+}
+
+struct NamedSource {
+  const char* name;
+  const char* source;
+};
+
+class RuleSourcesTest : public ::testing::TestWithParam<NamedSource> {};
+
+TEST_P(RuleSourcesTest, ParsesAndValidates) {
+  auto unit = ruledsl::ParseRuleSource(GetParam().source);
+  ASSERT_TRUE(unit.ok()) << GetParam().name << ": " << unit.status();
+  EXPECT_FALSE(unit->rules.empty()) << GetParam().name;
+  for (const rewrite::Rule& rule : unit->rules) {
+    EXPECT_TRUE(rewrite::ValidateRule(rule, FullRegistry()).ok())
+        << GetParam().name << " / " << rule.ToString();
+  }
+}
+
+TEST_P(RuleSourcesTest, CompilesToAProgram) {
+  auto program =
+      ruledsl::CompileRuleSource(GetParam().source, FullRegistry());
+  ASSERT_TRUE(program.ok()) << GetParam().name << ": " << program.status();
+  EXPECT_FALSE(program->blocks.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shipped, RuleSourcesTest,
+    ::testing::Values(NamedSource{"merging", MergingRuleSource()},
+                      NamedSource{"permutation", PermutationRuleSource()},
+                      NamedSource{"fixpoint", FixpointRuleSource()},
+                      NamedSource{"simplify", SimplifyRuleSource()},
+                      NamedSource{"implicit", ImplicitKnowledgeRuleSource()},
+                      NamedSource{"semantic_methods",
+                                  SemanticMethodRuleSource()},
+                      NamedSource{"extensions", ExtensionRuleSource()}),
+    [](const ::testing::TestParamInfo<NamedSource>& info) {
+      return info.param.name;
+    });
+
+TEST(RuleSourcesTest, AllSourcesTogetherHaveUniqueNames) {
+  std::string all = std::string(MergingRuleSource()) +
+                    PermutationRuleSource() + FixpointRuleSource() +
+                    SimplifyRuleSource() + ImplicitKnowledgeRuleSource() +
+                    SemanticMethodRuleSource() + ExtensionRuleSource();
+  auto program = ruledsl::CompileRuleSource(all, FullRegistry());
+  ASSERT_TRUE(program.ok()) << program.status();
+  ASSERT_EQ(program->blocks.size(), 1u);
+  EXPECT_GE(program->blocks[0].rules.size(), 45u);
+}
+
+}  // namespace
+}  // namespace eds::rules

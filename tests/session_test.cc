@@ -1,0 +1,181 @@
+// The Session facade: scripts, queries, objects, constraints.
+#include "exec/session.h"
+
+#include "gtest/gtest.h"
+#include "lera/lera.h"
+#include "testutil.h"
+
+namespace eds::exec {
+namespace {
+
+using value::Value;
+
+TEST(SessionTest, DdlScriptPopulatesCatalogAndStorage) {
+  Session s;
+  EDS_ASSERT_OK(s.ExecuteScript(R"(
+    CREATE TABLE T (A : INT, B : CHAR);
+    INSERT INTO T VALUES (1, 'x'), (2, 'y');
+  )"));
+  EXPECT_TRUE(s.catalog().HasTable("T"));
+  auto table = s.db().GetTable("T");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->size(), 2u);
+}
+
+TEST(SessionTest, InsertEvaluatesConstructorExpressions) {
+  Session s;
+  EDS_ASSERT_OK(s.ExecuteScript(R"(
+    CREATE TABLE T (A : INT, S : SET OF CHAR);
+    INSERT INTO T VALUES (1 + 1, MakeSet('a', 'b', 'a'));
+  )"));
+  auto table = s.db().GetTable("T");
+  ASSERT_TRUE(table.ok());
+  const Row& row = (*table)->rows()[0];
+  EXPECT_EQ(row[0], Value::Int(2));
+  EXPECT_EQ(row[1], Value::Set({Value::String("a"), Value::String("b")}));
+}
+
+TEST(SessionTest, InsertRejectsColumnRefs) {
+  Session s;
+  EDS_ASSERT_OK(s.ExecuteScript("CREATE TABLE T (A : INT);"));
+  EXPECT_EQ(s.ExecuteScript("INSERT INTO T VALUES (SomeColumn);").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SessionTest, InsertArityMismatchRejected) {
+  Session s;
+  EDS_ASSERT_OK(s.ExecuteScript("CREATE TABLE T (A : INT, B : INT);"));
+  EXPECT_FALSE(s.ExecuteScript("INSERT INTO T VALUES (1);").ok());
+}
+
+TEST(SessionTest, QueryReturnsColumnsAndPlans) {
+  testutil::FilmDb db;
+  auto result = db.session.Query("SELECT Winner, Loser FROM BEATS WHERE "
+                                 "Winner > 7");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->columns,
+            (std::vector<std::string>{"Winner", "Loser"}));
+  EXPECT_EQ(result->rows.size(), 2u);
+  ASSERT_NE(result->raw_plan, nullptr);
+  ASSERT_NE(result->optimized_plan, nullptr);
+}
+
+TEST(SessionTest, RewriteToggle) {
+  testutil::FilmDb db;
+  QueryOptions no_rewrite;
+  no_rewrite.rewrite = false;
+  auto raw = db.session.Query("SELECT Winner FROM BEATS", no_rewrite);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw->rewrite_stats.applications, 0u);
+  EXPECT_TRUE(term::Equals(raw->raw_plan, raw->optimized_plan));
+}
+
+TEST(SessionTest, NewObjectChecksTypeAndFields) {
+  testutil::FilmDb db;
+  EXPECT_EQ(db.session.NewObject("NoSuchType", {}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db.session.NewObject("Text", {}).status().code(),
+            StatusCode::kTypeError);  // not an object type
+  EXPECT_EQ(db.session
+                .NewObject("Actor", {{"Wrong", Value::Int(1)}})
+                .status()
+                .code(),
+            StatusCode::kTypeError);
+  // Inherited fields are accepted.
+  auto obj = db.session.NewObject(
+      "Actor", {{"Name", Value::String("N")}, {"Salary", Value::Int(1)}});
+  EXPECT_TRUE(obj.ok());
+}
+
+TEST(SessionTest, ObjectSharingAcrossRows) {
+  // The same actor object appears in two rows; updating it through the
+  // heap is visible from both (object identity, §2.1).
+  Session s;
+  EDS_ASSERT_OK(s.ExecuteScript(R"(
+    TYPE Actor OBJECT TUPLE (Name : CHAR, Salary : NUMERIC);
+    CREATE TABLE CAST1 (Ref : Actor);
+    CREATE TABLE CAST2 (Ref : Actor);
+  )"));
+  auto quinn = s.NewObject("Actor", {{"Name", Value::String("Quinn")},
+                                     {"Salary", Value::Int(100)}});
+  ASSERT_TRUE(quinn.ok());
+  EDS_ASSERT_OK(s.InsertRow("CAST1", {*quinn}));
+  EDS_ASSERT_OK(s.InsertRow("CAST2", {*quinn}));
+  EDS_ASSERT_OK(s.db().heap().Update(
+      quinn->AsObjectRef(),
+      Value::NamedTuple({"Name", "Salary"},
+                        {Value::String("Quinn"), Value::Int(999)})));
+  for (const char* q : {"SELECT Salary(Ref) FROM CAST1",
+                        "SELECT Salary(Ref) FROM CAST2"}) {
+    auto r = s.Query(q);
+    ASSERT_TRUE(r.ok()) << r.status();
+    ASSERT_EQ(r->rows.size(), 1u);
+    EXPECT_EQ(r->rows[0][0], Value::Int(999));
+  }
+}
+
+TEST(SessionTest, ConstraintInvalidatesOptimizer) {
+  testutil::FilmDb db;
+  auto opt1 = db.session.optimizer();
+  ASSERT_TRUE(opt1.ok());
+  rules::Optimizer* before = *opt1;
+  EDS_ASSERT_OK(db.session.AddConstraint("c1", R"(
+    dummy_ic : MEMBER(x, c) / ISA(c, SetCategory)
+      --> MEMBER(x, c) AND MEMBER(x, SET('Comedy', 'Adventure',
+                                         'Science Fiction', 'Western')) / ;
+  )"));
+  auto opt2 = db.session.optimizer();
+  ASSERT_TRUE(opt2.ok());
+  EXPECT_NE(before, *opt2);  // regenerated
+}
+
+TEST(SessionTest, DuplicateDdlRejected) {
+  Session s;
+  EDS_ASSERT_OK(s.ExecuteScript("CREATE TABLE T (A : INT);"));
+  EXPECT_EQ(s.ExecuteScript("CREATE TABLE T (A : INT);").code(),
+            StatusCode::kAlreadyExists);
+  EDS_ASSERT_OK(s.ExecuteScript("CREATE VIEW V (A) AS SELECT A FROM T;"));
+  EXPECT_EQ(s.ExecuteScript("CREATE TABLE V (A : INT);").code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SessionTest, QueryOverUndefinedTableFails) {
+  Session s;
+  EXPECT_FALSE(s.Query("SELECT X FROM GHOST").ok());
+}
+
+// Fig. 4 end to end: the nested view, its query, and result correctness
+// with and without rewriting.
+TEST(SessionTest, Fig4NestedViewEndToEnd) {
+  testutil::FilmDb db;
+  EDS_ASSERT_OK(db.session.ExecuteScript(R"(
+    CREATE VIEW FilmActors (Title, Categories, Actors) AS
+      SELECT Title, Categories, MakeSet(Refactor)
+      FROM FILM, APPEARS_IN
+      WHERE FILM.Numf = APPEARS_IN.Numf
+      GROUP BY Title, Categories;
+  )"));
+  const char* query =
+      "SELECT Title FROM FilmActors WHERE MEMBER('Adventure', Categories) "
+      "AND ALL(Salary(Actors) > 10000)";
+  auto optimized = db.session.Query(query);
+  ASSERT_TRUE(optimized.ok()) << optimized.status();
+  QueryOptions no_rewrite;
+  no_rewrite.rewrite = false;
+  auto raw = db.session.Query(query, no_rewrite);
+  ASSERT_TRUE(raw.ok()) << raw.status();
+  // Zorba {Adventure} has Quinn(12000) + Eva(15000): qualifies.
+  // Space Saga {SF, Adventure} has Eva only: qualifies.
+  ASSERT_EQ(raw->rows.size(), 2u);
+  testutil::ExpectSameRows(optimized->rows, raw->rows);
+  testutil::ExpectSameRows(
+      raw->rows,
+      {{Value::String("Zorba")}, {Value::String("Space Saga")}});
+  // The optimizer pushed the MEMBER conjunct below the NEST.
+  EXPECT_GE(optimized->rewrite_stats.applications_by_rule.count(
+                "push_search_nest"),
+            0u);
+}
+
+}  // namespace
+}  // namespace eds::exec

@@ -1,0 +1,160 @@
+// Fig. 12 — predicate simplification rules.
+#include "rules/simplify.h"
+
+#include "gtest/gtest.h"
+#include "rewrite/engine.h"
+#include "rules/semantic.h"
+#include "ruledsl/compiler.h"
+#include "term/parser.h"
+#include "testutil.h"
+
+namespace eds::rules {
+namespace {
+
+using term::TermRef;
+
+TermRef P(const char* text) {
+  auto r = term::ParseTerm(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.ok() ? *r : nullptr;
+}
+
+class SimplifyRulesTest : public ::testing::Test {
+ protected:
+  SimplifyRulesTest() {
+    registry_.InstallStandard();
+    InstallSemanticBuiltins(&registry_);
+    std::string source =
+        std::string(SimplifyRuleSource()) + SemanticMethodRuleSource();
+    auto prog = ruledsl::CompileRuleSource(source, registry_);
+    EXPECT_TRUE(prog.ok()) << prog.status();
+    engine_ = std::make_unique<rewrite::Engine>(
+        &db_.session.catalog(), &registry_, std::move(*prog));
+  }
+
+  TermRef Rewrite(const char* query) {
+    auto out = engine_->Rewrite(P(query));
+    EXPECT_TRUE(out.ok()) << out.status();
+    return out.ok() ? out->term : nullptr;
+  }
+
+  void ExpectSimplifies(const char* from, const char* to) {
+    TermRef out = Rewrite(from);
+    EXPECT_TRUE(term::Equals(out, P(to)))
+        << from << " simplified to " << out->ToString() << ", want " << to;
+  }
+
+  testutil::FilmDb db_;
+  rewrite::BuiltinRegistry registry_;
+  std::unique_ptr<rewrite::Engine> engine_;
+};
+
+TEST_F(SimplifyRulesTest, BooleanAbsorption) {
+  ExpectSimplifies("F($1.1) AND TRUE", "F($1.1)");
+  ExpectSimplifies("TRUE AND F($1.1)", "F($1.1)");
+  ExpectSimplifies("F($1.1) AND FALSE", "FALSE");
+  ExpectSimplifies("FALSE AND F($1.1)", "FALSE");
+  ExpectSimplifies("F($1.1) OR TRUE", "TRUE");
+  ExpectSimplifies("F($1.1) OR FALSE", "F($1.1)");
+  ExpectSimplifies("NOT(NOT(F($1.1)))", "F($1.1)");
+  ExpectSimplifies("F($1.1) AND F($1.1)", "F($1.1)");
+  ExpectSimplifies("F($1.1) OR F($1.1)", "F($1.1)");
+}
+
+TEST_F(SimplifyRulesTest, SelfComparisons) {
+  ExpectSimplifies("$1.1 = $1.1", "TRUE");
+  ExpectSimplifies("$1.1 <> $1.1", "FALSE");
+  ExpectSimplifies("$1.1 < $1.1", "FALSE");
+  ExpectSimplifies("$1.1 <= $1.1", "TRUE");
+  ExpectSimplifies("$1.1 > $1.1", "FALSE");
+  ExpectSimplifies("$1.1 >= $1.1", "TRUE");
+}
+
+TEST_F(SimplifyRulesTest, AdjacentContradictions) {
+  // Fig. 12's x > y AND x <= y case.
+  ExpectSimplifies("($1.1 > $2.1) AND ($1.1 <= $2.1)", "FALSE");
+  ExpectSimplifies("($1.1 <= $2.1) AND ($1.1 > $2.1)", "FALSE");
+  ExpectSimplifies("($1.1 < $2.1) AND ($1.1 >= $2.1)", "FALSE");
+  ExpectSimplifies("($1.1 = $2.1) AND ($1.1 <> $2.1)", "FALSE");
+}
+
+TEST_F(SimplifyRulesTest, SubZeroBecomesEquality) {
+  // Fig. 12: x - y = 0 --> x = y.
+  ExpectSimplifies("($1.1 - $2.1) = 0", "$1.1 = $2.1");
+}
+
+TEST_F(SimplifyRulesTest, ConstantFoldingViaEvaluate) {
+  // Fig. 12's last rule: F(x, y) with constant arguments evaluates.
+  ExpectSimplifies("G(2 + 3)", "G(5)");
+  ExpectSimplifies("G('a' = 'b')", "G(FALSE)");
+  ExpectSimplifies("G(ABS(0 - 7))", "G(7)");
+  // Folding cascades with absorption.
+  ExpectSimplifies("F($1.1) AND (1 > 2)", "FALSE");
+}
+
+TEST_F(SimplifyRulesTest, DomainInconsistencyFromSection61) {
+  // §6.1's example: MEMBER('Cartoon', {'Comedy', ...}) is false.
+  ExpectSimplifies(
+      "F($1.1) AND MEMBER('Cartoon', SET('Comedy', 'Adventure', "
+      "'Science Fiction', 'Western'))",
+      "FALSE");
+}
+
+TEST_F(SimplifyRulesTest, StructuralWrappersNotFolded) {
+  // The eval_fold guard: LIST/SET nodes under operators keep their shape.
+  ExpectSimplifies("NEST(RELATION('APPEARS_IN'), LIST(2), 'A')",
+                   "NEST(RELATION('APPEARS_IN'), LIST(2), 'A')");
+}
+
+TEST_F(SimplifyRulesTest, AttrsNotFolded) {
+  ExpectSimplifies("$1.1 = 5", "$1.1 = 5");
+  ExpectSimplifies("$1.1 + 1 = 5", "$1.1 + 1 = 5");
+}
+
+TEST_F(SimplifyRulesTest, SimplifyQualMethodCleansSearch) {
+  // Non-adjacent duplicate and a TRUE conjunct inside a SEARCH: only the
+  // SIMPLIFY_QUAL method (not the adjacent-pair rules) can see both.
+  TermRef out = Rewrite(
+      "SEARCH(LIST(RELATION('BEATS')), (($1.1 = 3) AND ($1.2 = 4)) AND "
+      "($1.1 = 3), LIST($1.1))");
+  EXPECT_TRUE(term::Equals(
+      out,
+      P("SEARCH(LIST(RELATION('BEATS')), ($1.1 = 3) AND ($1.2 = 4), "
+        "LIST($1.1))")));
+}
+
+TEST_F(SimplifyRulesTest, WholeQualificationTrueVanishes) {
+  TermRef out = Rewrite(
+      "SEARCH(LIST(RELATION('BEATS')), ($1.1 = $1.1) AND (1 < 2), "
+      "LIST($1.1))");
+  EXPECT_TRUE(term::Equals(
+      out, P("SEARCH(LIST(RELATION('BEATS')), TRUE, LIST($1.1))")));
+}
+
+TEST_F(SimplifyRulesTest, SimplifiedPlansAreEquivalent) {
+  const char* query =
+      "SEARCH(LIST(RELATION('BEATS')), (($1.1 > 2) AND TRUE) AND "
+      "(($1.1 > 2) OR FALSE), LIST($1.1, $1.2))";
+  TermRef raw = P(query);
+  TermRef simplified = Rewrite(query);
+  ASSERT_FALSE(term::Equals(raw, simplified));
+  auto raw_rows = db_.session.Run(raw);
+  auto simp_rows = db_.session.Run(simplified);
+  ASSERT_TRUE(raw_rows.ok());
+  ASSERT_TRUE(simp_rows.ok());
+  testutil::ExpectSameRows(*raw_rows, *simp_rows);
+}
+
+TEST_F(SimplifyRulesTest, FalseQualShortCircuitsExecution) {
+  TermRef out = Rewrite(
+      "SEARCH(LIST(RELATION('BEATS')), ($1.1 > $2.1) AND ($1.1 <= $2.1), "
+      "LIST($1.1))");
+  exec::ExecStats stats;
+  auto rows = db_.session.Run(out, {}, &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+  EXPECT_EQ(stats.rows_scanned, 0u);  // inputs never materialized
+}
+
+}  // namespace
+}  // namespace eds::rules

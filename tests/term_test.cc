@@ -1,0 +1,211 @@
+#include "term/term.h"
+
+#include "gtest/gtest.h"
+#include "term/parser.h"
+#include "term/substitution.h"
+
+namespace eds::term {
+namespace {
+
+TermRef P(const char* text) {
+  auto r = ParseTerm(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.ok() ? *r : nullptr;
+}
+
+TEST(TermTest, FactoriesAndAccessors) {
+  TermRef t = Term::Apply("F", {Term::Int(1), Term::Var("x")});
+  ASSERT_TRUE(t->is_apply());
+  EXPECT_EQ(t->functor(), "F");
+  EXPECT_EQ(t->arity(), 2u);
+  EXPECT_TRUE(t->arg(0)->is_constant());
+  EXPECT_TRUE(t->arg(1)->is_variable());
+  EXPECT_EQ(t->arg(1)->var_name(), "x");
+}
+
+TEST(TermTest, FunctorsCanonicalizedUpper) {
+  EXPECT_EQ(Term::Apply("search", {})->functor(), "SEARCH");
+  EXPECT_TRUE(Term::Apply("and", {Term::True(), Term::True()})
+                  ->IsApply(kAnd, 2));
+}
+
+TEST(TermTest, EqualsAndCompare) {
+  EXPECT_TRUE(Equals(P("F(x, 1)"), P("F(x, 1)")));
+  EXPECT_FALSE(Equals(P("F(x, 1)"), P("F(x, 2)")));
+  EXPECT_FALSE(Equals(P("F(x)"), P("G(x)")));
+  EXPECT_FALSE(Equals(P("F(x)"), P("F(x, x)")));
+  EXPECT_NE(Compare(P("F(1)"), P("F(2)")), 0);
+  EXPECT_EQ(Compare(P("F(1)"), P("F(1)")), 0);
+}
+
+TEST(TermTest, HashConsistentWithEquals) {
+  EXPECT_EQ(Hash(P("SEARCH(LIST(x), f, a)")), Hash(P("SEARCH(LIST(x), f, a)")));
+  EXPECT_NE(Hash(P("F(1)")), Hash(P("F(2)")));
+}
+
+TEST(TermTest, IsGround) {
+  EXPECT_TRUE(IsGround(P("F(1, 'a', TRUE)")));
+  EXPECT_FALSE(IsGround(P("F(x)")));
+  EXPECT_FALSE(IsGround(P("F(LIST(y*))")));
+}
+
+TEST(TermTest, CollectVariables) {
+  std::vector<std::string> vars, coll;
+  CollectVariables(P("F(x, G(y, x), LIST(z*, w))"), &vars, &coll);
+  EXPECT_EQ(vars, (std::vector<std::string>{"x", "y", "w"}));
+  EXPECT_EQ(coll, (std::vector<std::string>{"z"}));
+}
+
+TEST(TermTest, CollectVariablesIncludesFunctorVars) {
+  std::vector<std::string> vars, coll;
+  CollectVariables(P("?F(x)"), &vars, &coll);
+  EXPECT_EQ(vars, (std::vector<std::string>{"?F", "x"}));
+}
+
+TEST(TermTest, CountNodes) {
+  EXPECT_EQ(CountNodes(P("x")), 1u);
+  EXPECT_EQ(CountNodes(P("F(x, G(1))")), 4u);
+}
+
+TEST(TermTest, WithArgsReusesUnchanged) {
+  TermRef t = P("F(x, y)");
+  TermRef same = WithArgs(t, {t->arg(0), t->arg(1)});
+  EXPECT_EQ(same.get(), t.get());
+  TermRef changed = WithArgs(t, {t->arg(1), t->arg(0)});
+  EXPECT_NE(changed.get(), t.get());
+  EXPECT_TRUE(Equals(changed, P("F(y, x)")));
+}
+
+TEST(TermTest, ConjunctsFlattenNestedAnd) {
+  TermList cs = Conjuncts(P("(a AND b) AND (c AND d)"));
+  ASSERT_EQ(cs.size(), 4u);
+  EXPECT_TRUE(Equals(cs[0], P("a")));
+  EXPECT_TRUE(Equals(cs[3], P("d")));
+  // A non-AND term is its own single conjunct.
+  EXPECT_EQ(Conjuncts(P("x = y")).size(), 1u);
+}
+
+TEST(TermTest, MakeConjunction) {
+  EXPECT_TRUE(Equals(MakeConjunction({}), Term::True()));
+  EXPECT_TRUE(Equals(MakeConjunction({P("a")}), P("a")));
+  EXPECT_TRUE(Equals(MakeConjunction({P("a"), P("b"), P("c")}),
+                     P("(a AND b) AND c")));
+}
+
+TEST(TermPrintTest, InfixForms) {
+  EXPECT_EQ(P("x = y")->ToString(), "(x = y)");
+  EXPECT_EQ(P("x <= 3")->ToString(), "(x <= 3)");
+  EXPECT_EQ(P("a AND b OR c")->ToString(), "((a AND b) OR c)");
+  EXPECT_EQ(P("NOT x")->ToString(), "NOT(x)");
+}
+
+TEST(TermPrintTest, AttrRefs) {
+  EXPECT_EQ(Term::Attr(1, 2)->ToString(), "$1.2");
+  EXPECT_EQ(P("$2.3 = 'Quinn'")->ToString(), "($2.3 = 'Quinn')");
+}
+
+TEST(TermPrintTest, CollectionVariables) {
+  EXPECT_EQ(P("F(SET(x*, G(y)))")->ToString(), "F(SET(x*, G(y)))");
+}
+
+TEST(TermParseTest, RoundTrip) {
+  for (const char* text : {
+           "SEARCH(LIST(RELATION('FILM')), ($1.1 = 10), LIST($1.2))",
+           "F(SET(x*, G(y, f)))",
+           "((x > y) AND NOT(MEMBER('Cartoon', c)))",
+           "FIX(RELATION('BT'), UNION(SET(a, b)))",
+           "(($1.1 + 2) * 3)",
+           "?F(x, y)",
+           "TUPLE(1, 'a', TRUE)",
+       }) {
+    TermRef t = P(text);
+    ASSERT_NE(t, nullptr) << text;
+    TermRef back = P(t->ToString().c_str());
+    ASSERT_NE(back, nullptr) << t->ToString();
+    EXPECT_TRUE(Equals(t, back)) << text << " vs " << t->ToString();
+  }
+}
+
+TEST(TermParseTest, NegativeNumbersFold) {
+  EXPECT_TRUE(Equals(P("-5"), Term::Int(-5)));
+  EXPECT_TRUE(Equals(P("-2.5"), Term::Real(-2.5)));
+  EXPECT_TRUE(Equals(P("-x"), Term::Apply("NEG", {Term::Var("x")})));
+}
+
+TEST(TermParseTest, StringEscapes) {
+  TermRef t = P("'it''s'");
+  ASSERT_TRUE(t->is_constant());
+  EXPECT_EQ(t->constant().AsString(), "it's");
+}
+
+TEST(TermParseTest, Precedence) {
+  // Comparison binds tighter than AND, arithmetic tighter than comparison.
+  EXPECT_TRUE(
+      Equals(P("x + 1 > y AND z = 2"), P("((x + 1) > y) AND (z = 2)")));
+}
+
+TEST(TermParseTest, Errors) {
+  EXPECT_FALSE(ParseTerm("F(").ok());
+  EXPECT_FALSE(ParseTerm("F(x)) extra").ok());
+  EXPECT_FALSE(ParseTerm("'unterminated").ok());
+  EXPECT_FALSE(ParseTerm("$1.").ok());
+  EXPECT_FALSE(ParseTerm("").ok());
+}
+
+TEST(SubstitutionTest, BindVarConsistency) {
+  Bindings env;
+  EXPECT_TRUE(env.BindVar("x", P("F(1)")));
+  EXPECT_TRUE(env.BindVar("x", P("F(1)")));   // same term: ok
+  EXPECT_FALSE(env.BindVar("x", P("F(2)")));  // conflicting: rejected
+}
+
+TEST(SubstitutionTest, ApplySubstitutionSplicesCollVars) {
+  Bindings env;
+  env.SetVar("y", P("c"));
+  env.SetCollVar("x", {P("a"), P("b")});
+  auto out = ApplySubstitution(P("F(LIST(x*, y))"), env);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(Equals(*out, P("F(LIST(a, b, c))")));
+}
+
+TEST(SubstitutionTest, EmptyCollVarSplicesNothing) {
+  Bindings env;
+  env.SetCollVar("x", {});
+  auto out = ApplySubstitution(P("F(LIST(x*))"), env);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(Equals(*out, P("F(LIST())")));
+}
+
+TEST(SubstitutionTest, UnboundVariableIsError) {
+  Bindings env;
+  EXPECT_FALSE(ApplySubstitution(P("F(x)"), env).ok());
+  EXPECT_FALSE(ApplySubstitution(P("F(LIST(x*))"), env).ok());
+}
+
+TEST(SubstitutionTest, FunctorVariableResolves) {
+  Bindings env;
+  env.SetVar("?F", Term::Str("MEMBER"));
+  env.SetVar("x", P("1"));
+  env.SetVar("y", P("s"));
+  auto out = ApplySubstitution(P("?F(x, y)"), env);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(Equals(*out, P("MEMBER(1, s)")));
+}
+
+TEST(SubstitutionTest, SharedSubtreesReused) {
+  Bindings env;
+  TermRef ground = P("G(1, 2)");
+  auto out = ApplySubstitution(ground, env);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->get(), ground.get());  // untouched tree is shared
+}
+
+TEST(SubstitutionTest, BindingsToString) {
+  Bindings env;
+  env.SetVar("x", P("F(1)"));
+  env.SetCollVar("y", {P("a")});
+  EXPECT_EQ(env.ToString(), "{x := F(1), y* := [a]}");
+}
+
+}  // namespace
+}  // namespace eds::term

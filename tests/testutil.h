@@ -1,0 +1,117 @@
+#ifndef EDS_TESTS_TESTUTIL_H_
+#define EDS_TESTS_TESTUTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/session.h"
+#include "gtest/gtest.h"
+
+namespace eds::testutil {
+
+// gtest helpers for Status/Result.
+#define EDS_ASSERT_OK(expr)                                         \
+  do {                                                              \
+    const auto& _s = (expr);                                        \
+    ASSERT_TRUE(_s.ok()) << _s.ToString();                          \
+  } while (false)
+
+#define EDS_ASSERT_OK_RESULT(expr)                                  \
+  do {                                                              \
+    const auto& _r = (expr);                                        \
+    ASSERT_TRUE(_r.ok()) << _r.status().ToString();                 \
+  } while (false)
+
+#define EDS_EXPECT_OK(expr)                                         \
+  do {                                                              \
+    const auto& _s = (expr);                                        \
+    EXPECT_TRUE(_s.ok()) << _s.ToString();                          \
+  } while (false)
+
+// The paper's Fig. 2 schema (adapted: Title is CHAR, DOMINATE drops Score;
+// a BEATS table of plain ids supports the magic-sets experiments).
+inline const char* FilmSchemaDdl() {
+  return R"(
+    TYPE Category ENUMERATION OF ('Comedy', 'Adventure', 'Science Fiction', 'Western');
+    TYPE Point TUPLE (ABS : REAL, ORD : REAL);
+    TYPE Person OBJECT TUPLE (Name : CHAR, Firstname : SET OF CHAR, Caricature : LIST OF Point);
+    TYPE Actor SUBTYPE OF Person OBJECT TUPLE (Salary : NUMERIC)
+      FUNCTION IncreaseSalary(This Actor, Val NUMERIC);
+    TYPE Text CHAR;
+    TYPE SetCategory SET OF Category;
+    TABLE FILM (Numf : NUMERIC, Title : Text, Categories : SetCategory);
+    TABLE APPEARS_IN (Numf : NUMERIC, Refactor : Actor);
+    TABLE DOMINATE (Numf : NUMERIC, Refactor1 : Actor, Refactor2 : Actor);
+    TABLE BEATS (Winner : NUMERIC, Loser : NUMERIC);
+  )";
+}
+
+// Loads the Fig. 2 schema plus a small deterministic data set:
+//   actors:   Quinn (12000), Bob (9000), Eva (15000)
+//   films:    1 Zorba {Adventure} [Quinn, Eva], 2 Comedy Night {Comedy}
+//             [Bob], 3 Space Saga {Science Fiction, Adventure} [Eva]
+//   dominate: Bob > Quinn (film 1), Quinn > Eva (film 1)
+//   beats:    the chain 1->2->...->10
+struct FilmDb {
+  exec::Session session;
+  value::Value quinn, bob, eva;
+
+  FilmDb() {
+    auto status = session.ExecuteScript(FilmSchemaDdl());
+    if (!status.ok()) ADD_FAILURE() << status.ToString();
+    auto mk = [this](const char* name, int salary) {
+      auto obj = session.NewObject(
+          "Actor", {{"Name", value::Value::String(name)},
+                    {"Salary", value::Value::Int(salary)}});
+      if (!obj.ok()) {
+        ADD_FAILURE() << obj.status().ToString();
+        return value::Value::Null();
+      }
+      return *obj;
+    };
+    quinn = mk("Quinn", 12000);
+    bob = mk("Bob", 9000);
+    eva = mk("Eva", 15000);
+    using value::Value;
+    auto ins = [this](const char* t, exec::Row row) {
+      auto s = session.InsertRow(t, std::move(row));
+      if (!s.ok()) ADD_FAILURE() << s.ToString();
+    };
+    ins("FILM", {Value::Int(1), Value::String("Zorba"),
+                 Value::Set({Value::String("Adventure")})});
+    ins("FILM", {Value::Int(2), Value::String("Comedy Night"),
+                 Value::Set({Value::String("Comedy")})});
+    ins("FILM",
+        {Value::Int(3), Value::String("Space Saga"),
+         Value::Set({Value::String("Science Fiction"),
+                     Value::String("Adventure")})});
+    ins("APPEARS_IN", {Value::Int(1), quinn});
+    ins("APPEARS_IN", {Value::Int(1), eva});
+    ins("APPEARS_IN", {Value::Int(2), bob});
+    ins("APPEARS_IN", {Value::Int(3), eva});
+    ins("DOMINATE", {Value::Int(1), bob, quinn});
+    ins("DOMINATE", {Value::Int(1), quinn, eva});
+    for (int i = 1; i < 10; ++i) {
+      ins("BEATS", {Value::Int(i), Value::Int(i + 1)});
+    }
+  }
+};
+
+// Sorted-row equality: both results as sets.
+inline void ExpectSameRows(exec::Rows a, exec::Rows b) {
+  exec::DedupRows(&a);
+  exec::DedupRows(&b);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size()) << "row " << i;
+    for (size_t j = 0; j < a[i].size(); ++j) {
+      EXPECT_EQ(a[i][j], b[i][j])
+          << "row " << i << " col " << j << ": " << a[i][j].ToString()
+          << " vs " << b[i][j].ToString();
+    }
+  }
+}
+
+}  // namespace eds::testutil
+
+#endif  // EDS_TESTS_TESTUTIL_H_

@@ -1,0 +1,171 @@
+#include "types/registry.h"
+#include "types/type.h"
+
+#include "gtest/gtest.h"
+
+namespace eds::types {
+namespace {
+
+TEST(TypeTest, ScalarFactoriesAndNames) {
+  EXPECT_EQ(Type::MakeScalar(TypeKind::kInt)->ToString(), "INT");
+  EXPECT_EQ(Type::MakeScalar(TypeKind::kChar)->ToString(), "CHAR");
+  EXPECT_TRUE(Type::MakeScalar(TypeKind::kNumeric)->is_numeric());
+  EXPECT_FALSE(Type::MakeScalar(TypeKind::kBool)->is_numeric());
+}
+
+TEST(TypeTest, CollectionHierarchyOfFig1) {
+  // Fig. 1: set/bag/list/array are subtypes of collection.
+  TypeRef collection = Type::MakeCollection(TypeKind::kCollection, nullptr);
+  for (TypeKind k : {TypeKind::kSet, TypeKind::kBag, TypeKind::kList,
+                     TypeKind::kArray}) {
+    TypeRef c = Type::MakeCollection(k, Type::MakeScalar(TypeKind::kInt));
+    EXPECT_TRUE(c->is_collection());
+    EXPECT_TRUE(Isa(c, collection)) << c->ToString();
+  }
+  // But not between each other.
+  TypeRef set = Type::MakeCollection(TypeKind::kSet, nullptr);
+  TypeRef bag = Type::MakeCollection(TypeKind::kBag, nullptr);
+  EXPECT_FALSE(Isa(set, bag));
+  EXPECT_FALSE(Isa(bag, set));
+}
+
+TEST(TypeTest, CollectionElementCovariance) {
+  TypeRef set_int =
+      Type::MakeCollection(TypeKind::kSet, Type::MakeScalar(TypeKind::kInt));
+  TypeRef set_num = Type::MakeCollection(TypeKind::kSet,
+                                         Type::MakeScalar(TypeKind::kNumeric));
+  EXPECT_TRUE(Isa(set_int, set_num));
+  EXPECT_FALSE(Isa(set_num, set_int));
+}
+
+TEST(TypeTest, NumericWidening) {
+  TypeRef i = Type::MakeScalar(TypeKind::kInt);
+  TypeRef r = Type::MakeScalar(TypeKind::kReal);
+  TypeRef n = Type::MakeScalar(TypeKind::kNumeric);
+  EXPECT_TRUE(Isa(i, n));
+  EXPECT_TRUE(Isa(i, r));
+  EXPECT_TRUE(Isa(r, n));
+  EXPECT_FALSE(Isa(n, i));
+  EXPECT_FALSE(Isa(r, i));
+}
+
+TEST(TypeTest, AnyIsTop) {
+  TypeRef any = Type::MakeScalar(TypeKind::kAny);
+  EXPECT_TRUE(Isa(Type::MakeScalar(TypeKind::kInt), any));
+  EXPECT_TRUE(Isa(Type::MakeCollection(TypeKind::kSet, nullptr), any));
+}
+
+TEST(TypeTest, EnumerationIsaChar) {
+  TypeRef cat = Type::MakeEnumeration("Category", {"Comedy", "Western"});
+  EXPECT_TRUE(Isa(cat, Type::MakeScalar(TypeKind::kChar)));
+  EXPECT_FALSE(Isa(Type::MakeScalar(TypeKind::kChar), cat));
+  EXPECT_EQ(cat->enum_values().size(), 2u);
+}
+
+TEST(TypeTest, ObjectSubtypeChain) {
+  TypeRef person = Type::MakeObject(
+      "Person", {{"Name", Type::MakeScalar(TypeKind::kChar)}}, nullptr);
+  TypeRef actor = Type::MakeObject(
+      "Actor", {{"Salary", Type::MakeScalar(TypeKind::kNumeric)}}, person);
+  TypeRef star = Type::MakeObject("Star", {}, actor);
+  EXPECT_TRUE(Isa(actor, person));
+  EXPECT_TRUE(Isa(star, person));
+  EXPECT_TRUE(Isa(star, actor));
+  EXPECT_FALSE(Isa(person, actor));
+}
+
+TEST(TypeTest, ObjectFieldLookupWalksSupertypes) {
+  TypeRef person = Type::MakeObject(
+      "Person", {{"Name", Type::MakeScalar(TypeKind::kChar)}}, nullptr);
+  TypeRef actor = Type::MakeObject(
+      "Actor", {{"Salary", Type::MakeScalar(TypeKind::kNumeric)}}, person);
+  ASSERT_NE(actor->FindField("Salary"), nullptr);
+  ASSERT_NE(actor->FindField("name"), nullptr);  // case-insensitive, inherited
+  EXPECT_EQ(actor->FindField("name")->type->kind(), TypeKind::kChar);
+  EXPECT_EQ(actor->FindField("Missing"), nullptr);
+}
+
+TEST(TypeTest, TupleWidthSubtyping) {
+  TypeRef narrow = Type::MakeTuple({{"A", Type::MakeScalar(TypeKind::kInt)}});
+  TypeRef wide =
+      Type::MakeTuple({{"A", Type::MakeScalar(TypeKind::kInt)},
+                       {"B", Type::MakeScalar(TypeKind::kChar)}});
+  EXPECT_TRUE(Isa(wide, narrow));
+  EXPECT_FALSE(Isa(narrow, wide));
+}
+
+TEST(TypeTest, SameTypeStructuralVsNominal) {
+  TypeRef t1 = Type::MakeTuple({{"A", Type::MakeScalar(TypeKind::kInt)}});
+  TypeRef t2 = Type::MakeTuple({{"a", Type::MakeScalar(TypeKind::kInt)}});
+  EXPECT_TRUE(SameType(t1, t2));  // field names case-insensitive
+  TypeRef o1 = Type::MakeObject("A", {}, nullptr);
+  TypeRef o2 = Type::MakeObject("B", {}, nullptr);
+  EXPECT_FALSE(SameType(o1, o2));  // nominal
+}
+
+TEST(TypeTest, ToStringNestedCollections) {
+  TypeRef t = Type::MakeCollection(
+      TypeKind::kList,
+      Type::MakeTuple({{"Pros", Type::MakeScalar(TypeKind::kInt)},
+                       {"Cons", Type::MakeScalar(TypeKind::kInt)}}));
+  EXPECT_EQ(t->ToString(), "LIST OF TUPLE (Pros : INT, Cons : INT)");
+}
+
+TEST(RegistryTest, BuiltinsPreRegistered) {
+  TypeRegistry reg;
+  for (const char* name :
+       {"INT", "INTEGER", "REAL", "NUMERIC", "CHAR", "BOOLEAN", "COLLECTION",
+        "ANY"}) {
+    EXPECT_TRUE(reg.Contains(name)) << name;
+  }
+  EXPECT_FALSE(reg.Contains("Actor"));
+}
+
+TEST(RegistryTest, LookupIsCaseInsensitive) {
+  TypeRegistry reg;
+  ASSERT_TRUE(reg.RegisterEnumeration("Category", {"Comedy"}).ok());
+  EXPECT_TRUE(reg.Contains("CATEGORY"));
+  EXPECT_TRUE(reg.Contains("category"));
+  ASSERT_TRUE(reg.Find("CaTeGoRy").ok());
+}
+
+TEST(RegistryTest, DuplicateRejected) {
+  TypeRegistry reg;
+  ASSERT_TRUE(reg.RegisterTuple("P", {}).ok());
+  EXPECT_EQ(reg.RegisterTuple("p", {}).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(RegistryTest, ObjectRequiresObjectSupertype) {
+  TypeRegistry reg;
+  auto bad = reg.RegisterObject("X", {}, reg.int_type());
+  EXPECT_EQ(bad.status().code(), StatusCode::kTypeError);
+}
+
+TEST(RegistryTest, AliasKeepsStructureAndName) {
+  TypeRegistry reg;
+  TypeRef list_char =
+      Type::MakeCollection(TypeKind::kList, reg.char_type());
+  ASSERT_TRUE(reg.RegisterAlias("Text", list_char).ok());
+  auto found = reg.Find("TEXT");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ((*found)->kind(), TypeKind::kList);
+  EXPECT_EQ((*found)->name(), "Text");
+  EXPECT_TRUE(SameType(*found, list_char));
+}
+
+TEST(RegistryTest, EmptyEnumerationRejected) {
+  TypeRegistry reg;
+  EXPECT_EQ(reg.RegisterEnumeration("E", {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RegistryTest, NamesSorted) {
+  TypeRegistry reg;
+  ASSERT_TRUE(reg.RegisterTuple("Zz", {}).ok());
+  auto names = reg.Names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+}  // namespace
+}  // namespace eds::types

@@ -1,0 +1,110 @@
+#include "value/value.h"
+
+#include "gtest/gtest.h"
+
+namespace eds::value {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, Scalars) {
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).AsReal(), 2.5);
+  EXPECT_EQ(Value::String("Quinn").AsString(), "Quinn");
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_EQ(Value::ObjectRef(7).AsObjectRef(), 7u);
+}
+
+TEST(ValueTest, IntWidensToReal) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsReal(), 3.0);
+}
+
+TEST(ValueTest, SetsCanonicalizeSortedUnique) {
+  Value s = Value::Set({Value::Int(3), Value::Int(1), Value::Int(3),
+                        Value::Int(2)});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.elements()[0], Value::Int(1));
+  EXPECT_EQ(s.elements()[2], Value::Int(3));
+}
+
+TEST(ValueTest, BagsKeepDuplicatesSorted) {
+  Value b = Value::Bag({Value::Int(3), Value::Int(1), Value::Int(3)});
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.elements()[1], Value::Int(3));
+}
+
+TEST(ValueTest, ListsPreserveOrder) {
+  Value l = Value::List({Value::Int(3), Value::Int(1)});
+  EXPECT_EQ(l.elements()[0], Value::Int(3));
+}
+
+TEST(ValueTest, SetEqualityIgnoresConstructionOrder) {
+  Value a = Value::Set({Value::String("x"), Value::String("y")});
+  Value b = Value::Set({Value::String("y"), Value::String("x")});
+  EXPECT_EQ(a, b);
+}
+
+TEST(ValueTest, NumericComparisonAcrossKinds) {
+  EXPECT_EQ(Value::Int(2), Value::Real(2.0));
+  EXPECT_LT(Value::Int(2), Value::Real(2.5));
+  EXPECT_LT(Value::Real(1.5), Value::Int(2));
+}
+
+TEST(ValueTest, KindRankOrdering) {
+  // null < bool < numeric < string < tuple < set.
+  EXPECT_LT(Value::Null(), Value::Bool(false));
+  EXPECT_LT(Value::Bool(true), Value::Int(0));
+  EXPECT_LT(Value::Int(999), Value::String(""));
+  EXPECT_LT(Value::String("zzz"), Value::Tuple({}));
+  EXPECT_LT(Value::Tuple({}), Value::Set({}));
+}
+
+TEST(ValueTest, TupleFieldsByPositionAndName) {
+  Value t = Value::NamedTuple({"Name", "Salary"},
+                              {Value::String("Quinn"), Value::Int(12000)});
+  EXPECT_EQ(t.TupleSize(), 2u);
+  EXPECT_EQ(t.Field(0), Value::String("Quinn"));
+  const Value* by_name = t.FindField("salary");  // case-insensitive
+  ASSERT_NE(by_name, nullptr);
+  EXPECT_EQ(*by_name, Value::Int(12000));
+  EXPECT_EQ(t.FindField("Missing"), nullptr);
+}
+
+TEST(ValueTest, PositionalTupleHasNoNamedFields) {
+  Value t = Value::Tuple({Value::Int(1)});
+  EXPECT_EQ(t.FindField("x"), nullptr);
+}
+
+TEST(ValueTest, DeepCompareNestedCollections) {
+  Value a = Value::List({Value::Set({Value::Int(1), Value::Int(2)})});
+  Value b = Value::List({Value::Set({Value::Int(2), Value::Int(1)})});
+  Value c = Value::List({Value::Set({Value::Int(1), Value::Int(3)})});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+}
+
+TEST(ValueTest, Printing) {
+  EXPECT_EQ(Value::String("it's").ToString(), "'it's'");
+  EXPECT_EQ(Value::Set({Value::Int(2), Value::Int(1)}).ToString(), "{1, 2}");
+  EXPECT_EQ(Value::Bag({Value::Int(1), Value::Int(1)}).ToString(),
+            "{|1, 1|}");
+  EXPECT_EQ(Value::List({Value::Int(1)}).ToString(), "[1]");
+  EXPECT_EQ(Value::ObjectRef(3).ToString(), "<oid:3>");
+  EXPECT_EQ(Value::NamedTuple({"A"}, {Value::Int(1)}).ToString(), "(A: 1)");
+  EXPECT_EQ(Value::Tuple({Value::Int(1), Value::Int(2)}).ToString(),
+            "(1, 2)");
+}
+
+TEST(ValueTest, CopyIsShallowShared) {
+  Value s = Value::Set({Value::Int(1), Value::Int(2)});
+  Value copy = s;
+  EXPECT_EQ(&s.elements(), &copy.elements());  // shared payload
+}
+
+}  // namespace
+}  // namespace eds::value
