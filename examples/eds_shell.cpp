@@ -12,6 +12,7 @@
 //   \trace SELECT ... show the rewrite trace (rule by rule)
 //   \rules            show the generated optimizer's blocks
 //   \norewrite        toggle the rewriter on/off for subsequent queries
+//   \lint             lint the rule libraries + declared constraints
 //   \constraint NAME <rule text> ;   declare an integrity constraint
 #include <unistd.h>
 
@@ -23,6 +24,14 @@
 #include "common/strings.h"
 #include "exec/session.h"
 #include "lera/printer.h"
+#include "lint/lint.h"
+#include "magic/magic.h"
+#include "rules/extensions.h"
+#include "rules/fixpoint.h"
+#include "rules/merging.h"
+#include "rules/permutation.h"
+#include "rules/semantic.h"
+#include "rules/simplify.h"
 
 namespace {
 
@@ -94,6 +103,10 @@ class Shell {
       }
       return true;
     }
+    if (line == "\\lint") {
+      RunLint();
+      return true;
+    }
     if (line == "\\norewrite") {
       rewrite_ = !rewrite_;
       std::cout << "rewriting " << (rewrite_ ? "on" : "off") << "\n";
@@ -116,6 +129,39 @@ class Shell {
     }
     std::cout << "unknown command: " << line << "\n";
     return true;
+  }
+
+  // Lints every built-in rule library plus the constraint rules generated
+  // from this session's catalog, with catalog-aware ISA checks.
+  void RunLint() {
+    eds::rewrite::BuiltinRegistry builtins;
+    builtins.InstallStandard();
+    eds::magic::InstallMagicBuiltins(&builtins);
+    eds::rules::InstallSemanticBuiltins(&builtins);
+    eds::lint::LintOptions opts;
+    opts.catalog = &session_.catalog();
+    const std::pair<const char*, std::string> sources[] = {
+        {"merging", eds::rules::MergingRuleSource()},
+        {"permutation", eds::rules::PermutationRuleSource()},
+        {"fixpoint", eds::rules::FixpointRuleSource()},
+        {"simplify", eds::rules::SimplifyRuleSource()},
+        {"implicit_knowledge", eds::rules::ImplicitKnowledgeRuleSource()},
+        {"semantic_methods", eds::rules::SemanticMethodRuleSource()},
+        {"extensions", eds::rules::ExtensionRuleSource()},
+        {"constraints", eds::rules::ConstraintRuleSource(session_.catalog())},
+    };
+    size_t errors = 0, warnings = 0;
+    for (const auto& [name, text] : sources) {
+      eds::lint::LintReport report =
+          eds::lint::LintSource(text, builtins, opts);
+      errors += report.error_count();
+      warnings += report.warning_count();
+      for (const eds::lint::Diagnostic& d : report.diagnostics()) {
+        std::cout << name << ": " << d.ToString() << "\n";
+      }
+    }
+    std::cout << "lint: " << errors << " error(s), " << warnings
+              << " warning(s)\n";
   }
 
   void ShowPlan(const std::string& query, bool trace) {

@@ -1,0 +1,276 @@
+#include "lint/analysis.h"
+
+#include <algorithm>
+
+#include "lera/lera.h"
+#include "rewrite/match.h"
+
+namespace eds::lint {
+
+namespace {
+
+using term::TermList;
+using term::TermRef;
+
+bool IsFunctorVariable(const TermRef& t) {
+  return t->is_apply() && !t->functor().empty() && t->functor().front() == '?';
+}
+
+bool IsTermFunction(const TermRef& t,
+                    const rewrite::BuiltinRegistry& builtins) {
+  return t->is_apply() && builtins.HasTermFunction(t->functor());
+}
+
+bool ContainsTermFunction(const TermRef& t,
+                          const rewrite::BuiltinRegistry& builtins) {
+  if (!t->is_apply()) return false;
+  if (builtins.HasTermFunction(t->functor())) return true;
+  for (const TermRef& a : t->args()) {
+    if (ContainsTermFunction(a, builtins)) return true;
+  }
+  return false;
+}
+
+// Argument-sequence unification with collection variables on either side
+// absorbing arbitrary subsequences (backtracking over split points).
+bool MayUnifySeq(const TermList& a, size_t i, const TermList& b, size_t j,
+                 const rewrite::BuiltinRegistry& builtins) {
+  if (i == a.size() && j == b.size()) return true;
+  if (i < a.size() && a[i]->is_collection_variable()) {
+    for (size_t k = j; k <= b.size(); ++k) {
+      if (MayUnifySeq(a, i + 1, b, k, builtins)) return true;
+    }
+    return false;
+  }
+  if (j < b.size() && b[j]->is_collection_variable()) {
+    for (size_t k = i; k <= a.size(); ++k) {
+      if (MayUnifySeq(a, k, b, j + 1, builtins)) return true;
+    }
+    return false;
+  }
+  if (i == a.size() || j == b.size()) return false;
+  return MayUnify(a[i], b[j], builtins) &&
+         MayUnifySeq(a, i + 1, b, j + 1, builtins);
+}
+
+// SET patterns match modulo permutation; stay order-insensitive here. With a
+// collection variable on either side anything pairs up, otherwise require
+// equal sizes and every element to have a plausible partner on the other
+// side (a necessary condition for a perfect matching, not a sufficient one —
+// this predicate may only err toward `true`).
+bool MayUnifySet(const TermList& a, const TermList& b,
+                 const rewrite::BuiltinRegistry& builtins) {
+  auto has_coll = [](const TermList& xs) {
+    return std::any_of(xs.begin(), xs.end(), [](const TermRef& x) {
+      return x->is_collection_variable();
+    });
+  };
+  if (has_coll(a) || has_coll(b)) return true;
+  if (a.size() != b.size()) return false;
+  for (const TermRef& x : a) {
+    if (std::none_of(b.begin(), b.end(), [&](const TermRef& y) {
+          return MayUnify(x, y, builtins);
+        })) {
+      return false;
+    }
+  }
+  for (const TermRef& y : b) {
+    if (std::none_of(a.begin(), a.end(), [&](const TermRef& x) {
+          return MayUnify(x, y, builtins);
+        })) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+size_t PatternWeight(const term::TermRef& t) {
+  switch (t->kind()) {
+    case term::TermKind::kConstant:
+    case term::TermKind::kVariable:
+      return 1;
+    case term::TermKind::kCollectionVariable:
+      return 0;
+    case term::TermKind::kApply: {
+      size_t w = 1;
+      for (const TermRef& a : t->args()) w += PatternWeight(a);
+      return w;
+    }
+  }
+  return 1;
+}
+
+void CountVarOccurrences(const term::TermRef& t,
+                         std::map<std::string, size_t>* vars,
+                         std::map<std::string, size_t>* coll_vars) {
+  if (t->is_variable()) {
+    if (vars != nullptr) ++(*vars)[t->var_name()];
+    return;
+  }
+  if (t->is_collection_variable()) {
+    if (coll_vars != nullptr) ++(*coll_vars)[t->var_name()];
+    return;
+  }
+  if (t->is_apply()) {
+    for (const TermRef& a : t->args()) CountVarOccurrences(a, vars, coll_vars);
+  }
+}
+
+bool IsSizeDecreasing(const rewrite::Rule& rule,
+                      const rewrite::BuiltinRegistry& builtins) {
+  if (rule.lhs == nullptr || rule.rhs == nullptr) return false;
+  if (ContainsTermFunction(rule.rhs, builtins)) return false;
+
+  std::map<std::string, size_t> lhs_vars, lhs_coll, rhs_vars, rhs_coll;
+  CountVarOccurrences(rule.lhs, &lhs_vars, &lhs_coll);
+  CountVarOccurrences(rule.rhs, &rhs_vars, &rhs_coll);
+  for (const auto& [name, n] : rhs_vars) {
+    auto it = lhs_vars.find(name);
+    // Method outputs (absent from the lhs) have unbounded size.
+    if (it == lhs_vars.end() || n > it->second) return false;
+  }
+  for (const auto& [name, n] : rhs_coll) {
+    auto it = lhs_coll.find(name);
+    if (it == lhs_coll.end() || n > it->second) return false;
+  }
+  return PatternWeight(rule.rhs) < PatternWeight(rule.lhs);
+}
+
+bool MayUnify(const term::TermRef& a, const term::TermRef& b,
+              const rewrite::BuiltinRegistry& builtins) {
+  if (a->is_variable() || a->is_collection_variable()) return true;
+  if (b->is_variable() || b->is_collection_variable()) return true;
+  // A term function's result has no predictable shape: assume it can be
+  // anything (APPEND splices into a LIST, but custom ones are opaque).
+  if (IsTermFunction(a, builtins) || IsTermFunction(b, builtins)) return true;
+  if (a->is_constant() && b->is_constant()) return term::Equals(a, b);
+  if (a->is_constant() || b->is_constant()) return false;
+
+  // Both applications.
+  const bool wild = IsFunctorVariable(a) || IsFunctorVariable(b);
+  if (!wild && a->functor() != b->functor()) return false;
+  if (!wild && a->functor() == term::kSet) {
+    return MayUnifySet(a->args(), b->args(), builtins);
+  }
+  return MayUnifySeq(a->args(), 0, b->args(), 0, builtins);
+}
+
+bool ProducesMatchFor(const term::TermRef& rhs, const term::TermRef& lhs,
+                      const rewrite::BuiltinRegistry& builtins) {
+  // Bare (collection) variables are copied input, not constructed output.
+  if (rhs->is_variable() || rhs->is_collection_variable()) return false;
+  if (MayUnify(rhs, lhs, builtins)) return true;
+  if (rhs->is_apply()) {
+    for (const TermRef& a : rhs->args()) {
+      if (ProducesMatchFor(a, lhs, builtins)) return true;
+    }
+  }
+  return false;
+}
+
+bool Subsumes(const term::TermRef& general, const term::TermRef& specific) {
+  // Match treats the subject as opaque structure: the specific pattern's own
+  // variables only unify with (consistently bound) general-pattern
+  // variables, which is exactly first-order subsumption.
+  return rewrite::Match(general, specific, term::Bindings(),
+                        [](const term::Bindings&) { return true; });
+}
+
+std::optional<size_t> KnownConstructorArity(const std::string& functor) {
+  static const std::map<std::string, size_t>* kArities = [] {
+    auto* m = new std::map<std::string, size_t>{
+        {lera::kSearch, 3},     {lera::kUnion, 1},   {lera::kDifference, 2},
+        {lera::kIntersect, 2},  {lera::kFilter, 2},  {lera::kProject, 2},
+        {lera::kJoin, 3},       {lera::kFix, 2},     {lera::kNest, 3},
+        {lera::kUnnest, 2},     {lera::kDedup, 1},   {lera::kField, 2},
+        {lera::kValueOf, 1},    {lera::kForAll, 2},  {lera::kExists, 2},
+        {lera::kElem, 0},       {term::kRelation, 1}, {term::kAttr, 2},
+        {term::kAnd, 2},        {term::kOr, 2},      {term::kNot, 1},
+        {term::kEq, 2},         {term::kNe, 2},      {term::kLt, 2},
+        {term::kLe, 2},         {term::kGt, 2},      {term::kGe, 2},
+        {"ADD", 2},             {"SUB", 2},          {"MUL", 2},
+        {"DIV", 2},
+    };
+    return m;
+  }();
+  auto it = kArities->find(functor);
+  if (it == kArities->end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<std::string>& QueryConstructors() {
+  static const std::vector<std::string>* kNames = [] {
+    auto* v = new std::vector<std::string>{
+        lera::kSearch,    lera::kUnion,  lera::kDifference, lera::kIntersect,
+        lera::kFilter,    lera::kProject, lera::kJoin,      lera::kFix,
+        lera::kNest,      lera::kUnnest, lera::kDedup,      lera::kField,
+        lera::kValueOf,   lera::kForAll, lera::kExists,     lera::kElem,
+        term::kRelation,  term::kAttr,   term::kAnd,        term::kOr,
+        term::kNot,       term::kEq,     term::kNe,         term::kLt,
+        term::kLe,        term::kGt,     term::kGe,         term::kList,
+        term::kSet,       term::kTuple,  "BAG",             "ADD",
+        "SUB",            "MUL",         "DIV",
+    };
+    return v;
+  }();
+  return *kNames;
+}
+
+namespace {
+
+// Tarjan's strongly-connected-components, recursive (rule blocks are small).
+struct TarjanState {
+  const std::vector<std::vector<int>>& adj;
+  std::vector<int> index, lowlink;
+  std::vector<bool> on_stack;
+  std::vector<int> stack;
+  std::vector<std::vector<int>> components;
+  int counter = 0;
+
+  explicit TarjanState(const std::vector<std::vector<int>>& a)
+      : adj(a),
+        index(a.size(), -1),
+        lowlink(a.size(), 0),
+        on_stack(a.size(), false) {}
+
+  void Visit(int v) {
+    index[v] = lowlink[v] = counter++;
+    stack.push_back(v);
+    on_stack[v] = true;
+    for (int w : adj[static_cast<size_t>(v)]) {
+      if (index[static_cast<size_t>(w)] < 0) {
+        Visit(w);
+        lowlink[v] = std::min(lowlink[v], lowlink[static_cast<size_t>(w)]);
+      } else if (on_stack[static_cast<size_t>(w)]) {
+        lowlink[v] = std::min(lowlink[v], index[static_cast<size_t>(w)]);
+      }
+    }
+    if (lowlink[v] == index[v]) {
+      std::vector<int> component;
+      int w;
+      do {
+        w = stack.back();
+        stack.pop_back();
+        on_stack[static_cast<size_t>(w)] = false;
+        component.push_back(w);
+      } while (w != v);
+      std::sort(component.begin(), component.end());
+      components.push_back(std::move(component));
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<int>> StronglyConnectedComponents(
+    const std::vector<std::vector<int>>& adjacency) {
+  TarjanState state(adjacency);
+  for (int v = 0; v < static_cast<int>(adjacency.size()); ++v) {
+    if (state.index[static_cast<size_t>(v)] < 0) state.Visit(v);
+  }
+  return state.components;
+}
+
+}  // namespace eds::lint

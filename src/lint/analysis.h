@@ -1,0 +1,79 @@
+#ifndef EDS_LINT_ANALYSIS_H_
+#define EDS_LINT_ANALYSIS_H_
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rewrite/builtins.h"
+#include "rewrite/rule.h"
+#include "term/term.h"
+
+namespace eds::lint {
+
+// Term-level machinery behind the lint passes. Everything here is a static
+// *approximation*: pattern instantiation, method outputs and term functions
+// (APPEND, SET_UNION) make exact answers undecidable, so each predicate
+// documents which direction it errs in.
+
+// Static weight of a pattern: applies and constants count 1 each, variables
+// count 1 (their binding is at least one node), collection variables count 0
+// (they may bind the empty sequence).
+size_t PatternWeight(const term::TermRef& t);
+
+// Occurrence counts per variable name (separately for ordinary and
+// collection variables), NOT deduplicated — F(x, x) counts x twice.
+void CountVarOccurrences(const term::TermRef& t,
+                         std::map<std::string, size_t>* vars,
+                         std::map<std::string, size_t>* coll_vars);
+
+// True when every application of `rule` strictly shrinks the term, for any
+// match. Sufficient conditions: the rhs uses only lhs-bound variables (no
+// method outputs), no variable occurs more often on the right than on the
+// left, the rhs contains no registered term function (splicing makes sizes
+// unpredictable), and PatternWeight(rhs) < PatternWeight(lhs). Errs toward
+// `false`: a `true` answer is a proof, a `false` answer is "unknown".
+bool IsSizeDecreasing(const rewrite::Rule& rule,
+                      const rewrite::BuiltinRegistry& builtins);
+
+// Conservative unifiability of two patterns (both sides may contain
+// variables). No binding consistency is tracked and term-function / functor-
+// variable applications unify with anything, so this errs toward `true`:
+// a `false` answer proves the patterns can never denote the same term.
+bool MayUnify(const term::TermRef& a, const term::TermRef& b,
+              const rewrite::BuiltinRegistry& builtins);
+
+// True when instantiating `rhs` may create a subterm that `lhs` matches:
+// some non-variable subterm of `rhs` may unify with `lhs`. Bare variable /
+// collection-variable subterms are skipped — they are copied input, not
+// constructed output, and the engine already visited them.
+bool ProducesMatchFor(const term::TermRef& rhs, const term::TermRef& lhs,
+                      const rewrite::BuiltinRegistry& builtins);
+
+// Pattern subsumption: every term `specific` matches is also matched by
+// `general` (specific's variables are treated as opaque constants; binding
+// consistency is respected). Exact for the supported pattern language.
+bool Subsumes(const term::TermRef& general, const term::TermRef& specific);
+
+// Fixed arities of the LERA operators and scalar expression functors a
+// query term can contain (SEARCH -> 3, FIX -> 2, ...). Variadic structural
+// functors (LIST, SET, BAG, TUPLE) are deliberately absent. Returns nullopt
+// for unknown functors.
+std::optional<size_t> KnownConstructorArity(const std::string& functor);
+
+// The functors query terms can be built from: LERA operators plus the
+// scalar expression functors (AND, EQ, ATTR, ...). Used as the base of the
+// dead-rule "producible functor" universe.
+const std::vector<std::string>& QueryConstructors();
+
+// Strongly connected components of a digraph over nodes 0..n-1 (Tarjan).
+// Returned in reverse topological order; single nodes form an SCC only
+// with themselves (check self-loops separately).
+std::vector<std::vector<int>> StronglyConnectedComponents(
+    const std::vector<std::vector<int>>& adjacency);
+
+}  // namespace eds::lint
+
+#endif  // EDS_LINT_ANALYSIS_H_

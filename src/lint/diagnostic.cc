@@ -1,0 +1,84 @@
+#include "lint/diagnostic.h"
+
+#include <algorithm>
+
+namespace eds::lint {
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out;
+  if (loc.known()) {
+    out += loc.ToString();
+    out += ": ";
+  }
+  out += SeverityName(severity);
+  out += " [";
+  out += id;
+  out += "]";
+  if (!block.empty()) out += " (block '" + block + "')";
+  if (!rule.empty()) out += " rule '" + rule + "':";
+  out += " ";
+  out += message;
+  return out;
+}
+
+void LintReport::Add(Severity severity, std::string id,
+                     const rewrite::Rule* rule, std::string block,
+                     std::string message) {
+  Diagnostic d;
+  d.severity = severity;
+  d.id = std::move(id);
+  if (rule != nullptr) {
+    d.rule = rule->name;
+    d.loc = rule->loc;
+  }
+  d.block = std::move(block);
+  d.message = std::move(message);
+  diagnostics_.push_back(std::move(d));
+}
+
+size_t LintReport::count(Severity s) const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+std::vector<Diagnostic> LintReport::WithId(const std::string& id) const {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.id == id) out.push_back(d);
+  }
+  return out;
+}
+
+void LintReport::SortByLocation() {
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.loc.known() != b.loc.known()) return a.loc.known();
+                     return a.loc.offset < b.loc.offset;
+                   });
+}
+
+std::string LintReport::ToString() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) {
+    out += d.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace eds::lint

@@ -1,0 +1,83 @@
+#ifndef EDS_LINT_DIAGNOSTIC_H_
+#define EDS_LINT_DIAGNOSTIC_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rewrite/rule.h"
+
+namespace eds::lint {
+
+enum class Severity {
+  kNote,     // informational
+  kWarning,  // suspicious but possibly intended; eds_lint still exits 0
+  kError,    // the program is broken or a rule can never work as written
+};
+
+const char* SeverityName(Severity s);  // "note" / "warning" / "error"
+
+// Stable lint identifiers. Every diagnostic carries one so tests, golden
+// files and suppression tooling can key on it; docs/rule_lint.md documents
+// each id with a minimal triggering example.
+inline constexpr const char* kLintParseError = "EDS-L000";
+inline constexpr const char* kLintInvalidRule = "EDS-L001";
+inline constexpr const char* kLintDuplicateName = "EDS-L002";
+inline constexpr const char* kLintUnknownReference = "EDS-L003";
+inline constexpr const char* kLintDivergence = "EDS-L010";
+inline constexpr const char* kLintUnreferencedRule = "EDS-L011";
+inline constexpr const char* kLintUnreachableFunctor = "EDS-L012";
+inline constexpr const char* kLintImpossiblePattern = "EDS-L013";
+inline constexpr const char* kLintShadowedRule = "EDS-L020";
+inline constexpr const char* kLintUnsatisfiableConstraint = "EDS-L030";
+inline constexpr const char* kLintUnusedMethodOutput = "EDS-L031";
+inline constexpr const char* kLintEmptyCollectionVar = "EDS-L032";
+inline constexpr const char* kLintMalformedConstructor = "EDS-L033";
+
+// One finding of the static analyzer.
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  std::string id;        // one of the EDS-Lxxx constants
+  std::string rule;      // offending rule name ("" for unit-level findings)
+  std::string block;     // enclosing block name ("" when not block-scoped)
+  rewrite::SourceLoc loc;
+  std::string message;
+
+  // "line 4:1: warning [EDS-L010] (block 'merge') rule 'x': ...".
+  std::string ToString() const;
+};
+
+// An append-only collection of diagnostics with summary accessors. Shared
+// by the compiler's opt-in lint hook, the standalone linter and eds_lint.
+class LintReport {
+ public:
+  void Add(Diagnostic d) { diagnostics_.push_back(std::move(d)); }
+  void Add(Severity severity, std::string id, const rewrite::Rule* rule,
+           std::string block, std::string message);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+  size_t size() const { return diagnostics_.size(); }
+
+  size_t count(Severity s) const;
+  size_t error_count() const { return count(Severity::kError); }
+  size_t warning_count() const { return count(Severity::kWarning); }
+  bool has_errors() const { return error_count() > 0; }
+
+  // Diagnostics with the given lint id, in insertion order.
+  std::vector<Diagnostic> WithId(const std::string& id) const;
+
+  // Stable sort by source offset (unknown locations last), preserving
+  // insertion order within a location.
+  void SortByLocation();
+
+  // One line per diagnostic, newline-terminated; "" when empty.
+  std::string ToString() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace eds::lint
+
+#endif  // EDS_LINT_DIAGNOSTIC_H_

@@ -1,0 +1,98 @@
+#ifndef EDS_LINT_LINT_H_
+#define EDS_LINT_LINT_H_
+
+#include <string_view>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "lint/diagnostic.h"
+#include "rewrite/builtins.h"
+#include "rewrite/engine.h"
+#include "ruledsl/parser.h"
+
+namespace eds::lint {
+
+// Whole-program static analysis for compiled rule programs (the layer the
+// paper leaves to the DBA's discipline): saturation blocks silently diverge
+// or waste budget when a user-authored rule set contains a rewrite cycle, a
+// shadowed rule, or a rule that can never match a LERA term. The passes:
+//
+//   divergence   (EDS-L010)  per saturation block, build the rule-
+//                            interaction graph (may rule A's right term
+//                            re-enable rule B's left term?) and warn on
+//                            cycles where no rule provably shrinks the term;
+//   dead rules   (EDS-L011)  rules no declared block references (silently
+//                            dropped by CompileProgram);
+//                (EDS-L012)  left-term root functors nothing can produce —
+//                            no LERA constructor, scalar function, or rule
+//                            right term builds them;
+//                (EDS-L013)  patterns that over-fill a fixed-arity
+//                            constructor and so can never match;
+//   shadowing    (EDS-L020)  an earlier rule in the same block whose left
+//                            term is at least as general and which fires
+//                            unconditionally, so the later rule never runs;
+//   hygiene      (EDS-L030)  constraints that can never hold (literal
+//                            FALSE, ISA on disjoint collection kinds or
+//                            unknown / incompatible catalog types);
+//                (EDS-L031)  method outputs nothing reads;
+//                (EDS-L032)  collection variables that can only match the
+//                            empty sequence;
+//                (EDS-L033)  right terms building a known constructor with
+//                            the wrong argument count.
+//
+// All passes are conservative: errors mean "this can never work as
+// written", warnings mean "this looks wrong but may be intended".
+
+struct LintOptions {
+  // Enables ISA type-existence and type-compatibility checks, and extends
+  // the producible-functor universe with the catalog's scalar functions.
+  const catalog::Catalog* catalog = nullptr;
+  // Extra producible root functors (custom operators introduced outside the
+  // rule program), exempted from EDS-L012.
+  std::vector<std::string> extra_constructors;
+  bool check_divergence = true;
+  bool check_dead_rules = true;
+  bool check_shadowing = true;
+  bool check_hygiene = true;
+};
+
+// Emits an EDS-L011 warning for every rule in `unit` that declared blocks
+// exist but none references (CompileProgram drops these silently). No-op
+// when the unit declares no blocks (all rules then form the implicit
+// default block).
+void ReportUnreferencedRules(const ruledsl::CompiledUnit& unit,
+                             LintReport* report);
+
+// Runs the analysis passes (divergence / dead / shadowing / hygiene) over a
+// parsed unit. Rules are assumed individually valid (ValidateRule): run
+// LintUnit instead when that is not established. Does not re-report
+// unreferenced rules; pair with ReportUnreferencedRules for the full set.
+void AnalyzeUnit(const ruledsl::CompiledUnit& unit,
+                 const rewrite::BuiltinRegistry& builtins,
+                 const LintOptions& opts, LintReport* report);
+
+// Same analysis passes over an already-compiled program (rules built in
+// C++, or post-CompileProgram). Unreferenced-rule information is gone at
+// this layer; source locations are whatever the rules carry.
+void AnalyzeProgram(const rewrite::RewriteProgram& program,
+                    const rewrite::BuiltinRegistry& builtins,
+                    const LintOptions& opts, LintReport* report);
+
+// Full standalone lint of a parsed unit: per-rule validation (EDS-L001),
+// duplicate names (EDS-L002), block/seq name resolution (EDS-L003),
+// unreferenced rules (EDS-L011) and the analysis passes. Invalid rules are
+// excluded from the analysis passes instead of aborting the lint.
+LintReport LintUnit(const ruledsl::CompiledUnit& unit,
+                    const rewrite::BuiltinRegistry& builtins,
+                    const LintOptions& opts = {});
+
+// Parse + LintUnit. A parse failure yields a single EDS-L000 error
+// diagnostic (located when the parser reports an offset) instead of a
+// Status, so callers can treat "file does not lint" uniformly.
+LintReport LintSource(std::string_view text,
+                      const rewrite::BuiltinRegistry& builtins,
+                      const LintOptions& opts = {});
+
+}  // namespace eds::lint
+
+#endif  // EDS_LINT_LINT_H_

@@ -88,7 +88,11 @@ const std::vector<const Rule*>& Engine::BlockIndex::Candidates(
 Status Engine::ValidateProgram() const {
   for (const RuleBlock& block : program_.blocks) {
     for (const Rule& rule : block.rules) {
-      EDS_RETURN_IF_ERROR(ValidateRule(rule, *builtins_));
+      Status status = ValidateRule(rule, *builtins_);
+      if (!status.ok()) {
+        return Status(status.code(),
+                      "block '" + block.name + "': " + status.message());
+      }
     }
   }
   return Status::OK();

@@ -88,6 +88,8 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   // Validates every rule in the program against the builtin registry.
+  // Errors name the enclosing block and the rule (with its source location
+  // when the rule came from ruledsl text).
   Status ValidateProgram() const;
 
   Result<RewriteOutcome> Rewrite(const term::TermRef& query,

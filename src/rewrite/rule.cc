@@ -8,6 +8,17 @@
 
 namespace eds::rewrite {
 
+std::string SourceLoc::ToString() const {
+  if (!known()) return "";
+  return "line " + std::to_string(line) + ":" + std::to_string(column);
+}
+
+std::string Rule::Describe() const {
+  std::string out = "rule '" + name + "'";
+  if (loc.known()) out += " (" + loc.ToString() + ")";
+  return out;
+}
+
 std::string MethodCall::ToString() const {
   std::ostringstream os;
   os << name << '(';
@@ -66,8 +77,7 @@ bool Contains(const std::vector<std::string>& xs, const std::string& x) {
 
 Status ValidateRule(const Rule& rule, const BuiltinRegistry& builtins) {
   if (rule.lhs == nullptr || rule.rhs == nullptr) {
-    return Status::InvalidArgument("rule '" + rule.name +
-                                   "' missing lhs or rhs");
+    return Status::InvalidArgument(rule.Describe() + " missing lhs or rhs");
   }
   EDS_RETURN_IF_ERROR(CheckSetPatterns(rule.lhs));
 
@@ -80,7 +90,7 @@ Status ValidateRule(const Rule& rule, const BuiltinRegistry& builtins) {
   std::vector<std::string> bindable_coll = lhs_coll_vars;
   for (const MethodCall& m : rule.methods) {
     if (!builtins.HasMethod(m.name)) {
-      return Status::NotFound("rule '" + rule.name + "' uses unknown method '" +
+      return Status::NotFound(rule.Describe() + " uses unknown method '" +
                               m.name + "'");
     }
     for (const term::TermRef& a : m.args) {
@@ -117,15 +127,15 @@ Status ValidateRule(const Rule& rule, const BuiltinRegistry& builtins) {
     collect_constraint_vars(c, &cv, &ccv);
     for (const std::string& v : cv) {
       if (!Contains(lhs_vars, v)) {
-        return Status::InvalidArgument("rule '" + rule.name +
-                                       "': constraint variable '" + v +
+        return Status::InvalidArgument(rule.Describe() +
+                                       ": constraint variable '" + v +
                                        "' not bound by the left term");
       }
     }
     for (const std::string& v : ccv) {
       if (!Contains(lhs_coll_vars, v)) {
-        return Status::InvalidArgument("rule '" + rule.name +
-                                       "': constraint collection variable '" +
+        return Status::InvalidArgument(rule.Describe() +
+                                       ": constraint collection variable '" +
                                        v + "*' not bound by the left term");
       }
     }
@@ -136,15 +146,15 @@ Status ValidateRule(const Rule& rule, const BuiltinRegistry& builtins) {
   term::CollectVariables(rule.rhs, &rhs_vars, &rhs_coll_vars);
   for (const std::string& v : rhs_vars) {
     if (!Contains(bindable, v)) {
-      return Status::InvalidArgument("rule '" + rule.name +
-                                     "': right-term variable '" + v +
+      return Status::InvalidArgument(rule.Describe() +
+                                     ": right-term variable '" + v +
                                      "' is never bound");
     }
   }
   for (const std::string& v : rhs_coll_vars) {
     if (!Contains(bindable_coll, v)) {
-      return Status::InvalidArgument("rule '" + rule.name +
-                                     "': right-term collection variable '" +
+      return Status::InvalidArgument(rule.Describe() +
+                                     ": right-term collection variable '" +
                                      v + "*' is never bound");
     }
   }

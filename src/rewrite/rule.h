@@ -9,6 +9,20 @@
 
 namespace eds::rewrite {
 
+// Where a rule (or block) was declared in its DSL source unit. Line and
+// column are 1-based; 0 means "unknown" (rules built directly in C++).
+// Populated by ruledsl::ParseRuleSource so validation and lint diagnostics
+// can point at the offending declaration.
+struct SourceLoc {
+  size_t offset = 0;  // byte offset into the source unit
+  int line = 0;
+  int column = 0;
+
+  bool known() const { return line > 0; }
+  // "line 3:7", or "" when unknown.
+  std::string ToString() const;
+};
+
 // One method (action) call in a rule's conclusion:
 //   SUBSTITUTE(f, z, f2)  ->  name="SUBSTITUTE", args as written.
 // Methods run after the constraints accept a match and before the right
@@ -31,9 +45,14 @@ struct Rule {
   term::TermList constraints;         // conjunction; empty = always
   term::TermRef rhs;
   std::vector<MethodCall> methods;    // applied in order
+  SourceLoc loc;                      // declaration site, when parsed
 
   // "name: lhs / c1, c2 --> rhs / m1, m2".
   std::string ToString() const;
+
+  // "rule 'name'" or "rule 'name' (line 3:7)": the spelling shared by
+  // validation errors and lint diagnostics.
+  std::string Describe() const;
 };
 
 class BuiltinRegistry;

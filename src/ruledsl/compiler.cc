@@ -3,11 +3,13 @@
 #include <map>
 
 #include "common/strings.h"
+#include "lint/lint.h"
 
 namespace eds::ruledsl {
 
 Result<rewrite::RewriteProgram> CompileProgram(
-    const CompiledUnit& unit, const rewrite::BuiltinRegistry& builtins) {
+    const CompiledUnit& unit, const rewrite::BuiltinRegistry& builtins,
+    const CompileOptions& opts) {
   // Validate all rules first: a bad rule is an error even if unreferenced.
   std::map<std::string, const rewrite::Rule*> by_name;
   for (const rewrite::Rule& r : unit.rules) {
@@ -16,6 +18,16 @@ Result<rewrite::RewriteProgram> CompileProgram(
     (void)it;
     if (!inserted) {
       return Status::AlreadyExists("duplicate rule name '" + r.name + "'");
+    }
+  }
+
+  if (opts.diagnostics != nullptr) {
+    lint::ReportUnreferencedRules(unit, opts.diagnostics);
+    if (opts.run_lint) {
+      lint::LintOptions lint_opts;
+      lint_opts.catalog = opts.catalog;
+      lint::AnalyzeUnit(unit, builtins, lint_opts, opts.diagnostics);
+      opts.diagnostics->SortByLocation();
     }
   }
 
@@ -76,10 +88,21 @@ Result<rewrite::RewriteProgram> CompileProgram(
   return program;
 }
 
+Result<rewrite::RewriteProgram> CompileProgram(
+    const CompiledUnit& unit, const rewrite::BuiltinRegistry& builtins) {
+  return CompileProgram(unit, builtins, CompileOptions{});
+}
+
+Result<rewrite::RewriteProgram> CompileRuleSource(
+    std::string_view text, const rewrite::BuiltinRegistry& builtins,
+    const CompileOptions& opts) {
+  EDS_ASSIGN_OR_RETURN(CompiledUnit unit, ParseRuleSource(text));
+  return CompileProgram(unit, builtins, opts);
+}
+
 Result<rewrite::RewriteProgram> CompileRuleSource(
     std::string_view text, const rewrite::BuiltinRegistry& builtins) {
-  EDS_ASSIGN_OR_RETURN(CompiledUnit unit, ParseRuleSource(text));
-  return CompileProgram(unit, builtins);
+  return CompileRuleSource(text, builtins, CompileOptions{});
 }
 
 }  // namespace eds::ruledsl

@@ -8,7 +8,30 @@
 #include "rewrite/engine.h"
 #include "ruledsl/parser.h"
 
+namespace eds::catalog {
+class Catalog;
+}
+namespace eds::lint {
+class LintReport;
+}
+
 namespace eds::ruledsl {
+
+struct CompileOptions {
+  // When non-null, receives compile-time lint diagnostics. Always reported:
+  // an EDS-L011 warning for every rule that declared blocks exist but none
+  // references — CompileProgram drops such rules from the program without
+  // an error, which is easy to miss.
+  lint::LintReport* diagnostics = nullptr;
+  // Additionally run the whole-program analysis passes (lint/lint.h:
+  // divergence, unreachable functors, shadowing, constraint/method hygiene)
+  // and append their findings to *diagnostics. Ignored when diagnostics is
+  // null. Lint never fails the compile; callers decide what to do with
+  // warnings and errors in the report.
+  bool run_lint = false;
+  // Catalog for lint's ISA type-existence/compatibility checks; may be null.
+  const catalog::Catalog* catalog = nullptr;
+};
 
 // Compiles a parsed unit into an executable RewriteProgram:
 //   * validates every rule against `builtins` (methods must exist,
@@ -21,11 +44,19 @@ namespace eds::ruledsl {
 // A rule may appear in several blocks (§4.2); rules not referenced by any
 // declared block are dropped with no error (they may be intended for a
 // different program), which mirrors the paper's "changing block definitions
-// ... may completely change the generated optimizer".
+// ... may completely change the generated optimizer". Pass a
+// CompileOptions with a diagnostics report to be told about such drops,
+// and set run_lint to analyze the whole program while compiling it.
+Result<rewrite::RewriteProgram> CompileProgram(
+    const CompiledUnit& unit, const rewrite::BuiltinRegistry& builtins,
+    const CompileOptions& opts);
 Result<rewrite::RewriteProgram> CompileProgram(
     const CompiledUnit& unit, const rewrite::BuiltinRegistry& builtins);
 
 // Convenience: parse + compile in one call.
+Result<rewrite::RewriteProgram> CompileRuleSource(
+    std::string_view text, const rewrite::BuiltinRegistry& builtins,
+    const CompileOptions& opts);
 Result<rewrite::RewriteProgram> CompileRuleSource(
     std::string_view text, const rewrite::BuiltinRegistry& builtins);
 

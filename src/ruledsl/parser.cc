@@ -70,6 +70,7 @@ class DslParser {
   // name : lhs / constraints --> rhs / methods ;
   Result<rewrite::Rule> ParseRule() {
     rewrite::Rule rule;
+    rule.loc.offset = Peek().pos;
     EDS_ASSIGN_OR_RETURN(rule.name, ExpectIdent("rule name"));
     EDS_RETURN_IF_ERROR(ExpectColon());
     EDS_ASSIGN_OR_RETURN(rule.lhs, ParseRuleTerm());
@@ -142,8 +143,9 @@ class DslParser {
 
   // block(name, {rule, ...}, limit) ;
   Result<BlockDecl> ParseBlock() {
-    Advance();  // 'block'
     BlockDecl decl;
+    decl.loc.offset = Peek().pos;
+    Advance();  // 'block'
     EDS_RETURN_IF_ERROR(Expect(TokKind::kLParen, "'('"));
     EDS_ASSIGN_OR_RETURN(decl.name, ExpectIdent("block name"));
     EDS_RETURN_IF_ERROR(Expect(TokKind::kComma, "','"));
@@ -157,8 +159,9 @@ class DslParser {
 
   // seq({block, ...}, limit) ;
   Result<SeqDecl> ParseSeq() {
-    Advance();  // 'seq'
     SeqDecl decl;
+    decl.loc.offset = Peek().pos;
+    Advance();  // 'seq'
     EDS_RETURN_IF_ERROR(Expect(TokKind::kLParen, "'('"));
     EDS_ASSIGN_OR_RETURN(decl.block_names, ParseNameSet());
     EDS_RETURN_IF_ERROR(Expect(TokKind::kComma, "','"));
@@ -208,10 +211,33 @@ class DslParser {
 
 }  // namespace
 
+rewrite::SourceLoc LocateOffset(std::string_view text, size_t offset) {
+  rewrite::SourceLoc loc;
+  loc.offset = offset;
+  loc.line = 1;
+  loc.column = 1;
+  for (size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++loc.line;
+      loc.column = 1;
+    } else {
+      ++loc.column;
+    }
+  }
+  return loc;
+}
+
 Result<CompiledUnit> ParseRuleSource(std::string_view text) {
   EDS_ASSIGN_OR_RETURN(std::vector<Token> tokens, TokenizeRuleSource(text));
   DslParser parser(&tokens);
-  return parser.ParseUnit();
+  Result<CompiledUnit> unit = parser.ParseUnit();
+  if (!unit.ok()) return unit;
+  for (rewrite::Rule& r : unit->rules) r.loc = LocateOffset(text, r.loc.offset);
+  for (BlockDecl& b : unit->blocks) b.loc = LocateOffset(text, b.loc.offset);
+  if (unit->seq.has_value()) {
+    unit->seq->loc = LocateOffset(text, unit->seq->loc.offset);
+  }
+  return unit;
 }
 
 }  // namespace eds::ruledsl

@@ -38,11 +38,13 @@ struct BlockDecl {
   std::string name;
   std::vector<std::string> rule_names;
   int64_t limit;  // rewrite::kSaturate for INF
+  rewrite::SourceLoc loc;
 };
 
 struct SeqDecl {
   std::vector<std::string> block_names;
   int64_t limit;
+  rewrite::SourceLoc loc;
 };
 
 struct CompiledUnit {
@@ -52,8 +54,15 @@ struct CompiledUnit {
 };
 
 // Parses a source unit. Purely syntactic: name resolution and rule
-// validation happen in CompileProgram (compiler.h).
+// validation happen in CompileProgram (compiler.h). Every rule, block and
+// seq declaration carries a SourceLoc (1-based line:column of its first
+// token) so downstream validation and lint diagnostics can point at it.
 Result<CompiledUnit> ParseRuleSource(std::string_view text);
+
+// Converts a byte offset into `text` to a 1-based line:column SourceLoc.
+// Token positions index into the original source (comment stripping
+// preserves offsets), so this also locates parse-error offsets.
+rewrite::SourceLoc LocateOffset(std::string_view text, size_t offset);
 
 }  // namespace eds::ruledsl
 

@@ -1,0 +1,119 @@
+// Golden lint over every shipped rule library: zero errors always, and the
+// warning set is pinned down to (id, rule) pairs so a library edit that
+// introduces a new finding — or silences an expected one — fails loudly.
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "lint/lint.h"
+#include "magic/magic.h"
+#include "rules/extensions.h"
+#include "rules/fixpoint.h"
+#include "rules/merging.h"
+#include "rules/optimizer.h"
+#include "rules/permutation.h"
+#include "rules/semantic.h"
+#include "rules/simplify.h"
+
+namespace eds::lint {
+namespace {
+
+rewrite::BuiltinRegistry& Registry() {
+  static rewrite::BuiltinRegistry* reg = [] {
+    auto* r = new rewrite::BuiltinRegistry();
+    r->InstallStandard();
+    magic::InstallMagicBuiltins(r);
+    rules::InstallSemanticBuiltins(r);
+    return r;
+  }();
+  return *reg;
+}
+
+using IdRule = std::pair<std::string, std::string>;
+
+std::vector<IdRule> Findings(const LintReport& report) {
+  std::vector<IdRule> out;
+  for (const Diagnostic& d : report.diagnostics()) {
+    out.emplace_back(d.id, d.rule);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+struct LibraryGolden {
+  const char* name;
+  std::string source;
+  std::vector<IdRule> expected;  // sorted (id, rule) pairs
+};
+
+class BuiltinLintTest : public ::testing::TestWithParam<LibraryGolden> {};
+
+TEST_P(BuiltinLintTest, NoErrorsAndExpectedWarnings) {
+  LintReport report = LintSource(GetParam().source, Registry());
+  EXPECT_EQ(report.error_count(), 0u)
+      << GetParam().name << ":\n"
+      << report.ToString();
+  EXPECT_EQ(Findings(report), GetParam().expected)
+      << GetParam().name << ":\n"
+      << report.ToString();
+  for (const Diagnostic& d : report.diagnostics()) {
+    EXPECT_TRUE(d.loc.known()) << GetParam().name << ": " << d.ToString();
+  }
+}
+
+// Every expected finding today is an EDS-L010 divergence warning: the
+// shipped saturation libraries contain genuine rewrite cycles (equality
+// transitivity, predicate closure, push/unfold pairs) that terminate for
+// semantic reasons the syntactic size measure cannot see. They are exactly
+// the rules the paper runs under finite block budgets.
+INSTANTIATE_TEST_SUITE_P(
+    Shipped, BuiltinLintTest,
+    ::testing::Values(
+        LibraryGolden{"merging", rules::MergingRuleSource(), {}},
+        LibraryGolden{"permutation",
+                      rules::PermutationRuleSource(),
+                      {{kLintDivergence, "push_search_union"}}},
+        LibraryGolden{"fixpoint",
+                      rules::FixpointRuleSource(),
+                      {{kLintDivergence, "push_search_fixpoint"}}},
+        LibraryGolden{"simplify", rules::SimplifyRuleSource(), {}},
+        LibraryGolden{"implicit_knowledge",
+                      rules::ImplicitKnowledgeRuleSource(),
+                      {{kLintDivergence, "eq_subst_1"},
+                       {kLintDivergence, "transitivity_eq"},
+                       {kLintDivergence, "transitivity_include"}}},
+        LibraryGolden{"semantic_methods",
+                      rules::SemanticMethodRuleSource(),
+                      {{kLintDivergence, "close_predicates"}}},
+        LibraryGolden{"extensions",
+                      rules::ExtensionRuleSource(),
+                      {{kLintDivergence, "push_search_difference"}}}),
+    [](const ::testing::TestParamInfo<LibraryGolden>& info) {
+      return info.param.name;
+    });
+
+TEST(BuiltinLintTest, DefaultOptimizerProgramHasNoLintErrors) {
+  catalog::Catalog cat;
+  auto optimizer = rules::MakeDefaultOptimizer(&cat);
+  ASSERT_TRUE(optimizer.ok()) << optimizer.status();
+  LintOptions opts;
+  opts.catalog = &cat;
+  LintReport report;
+  AnalyzeProgram((*optimizer)->engine().program(), (*optimizer)->builtins(),
+                 opts, &report);
+  EXPECT_EQ(report.error_count(), 0u) << report.ToString();
+}
+
+TEST(BuiltinLintTest, ConstraintRulesLintCleanly) {
+  catalog::Catalog cat;
+  std::string source = rules::ConstraintRuleSource(cat);
+  LintOptions opts;
+  opts.catalog = &cat;
+  LintReport report = LintSource(source, Registry(), opts);
+  EXPECT_EQ(report.error_count(), 0u) << report.ToString();
+}
+
+}  // namespace
+}  // namespace eds::lint

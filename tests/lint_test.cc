@@ -1,0 +1,430 @@
+// Each lint pass has a minimal failing fixture producing its diagnostic
+// (with a source location), plus a clean program that produces none. The
+// analysis predicates (MayUnify, IsSizeDecreasing, Subsumes, SCC) are
+// exercised directly as well: they are the load-bearing approximations.
+#include "lint/lint.h"
+
+#include "catalog/catalog.h"
+#include "gtest/gtest.h"
+#include "lint/analysis.h"
+#include "magic/magic.h"
+#include "rules/semantic.h"
+#include "ruledsl/compiler.h"
+#include "term/parser.h"
+
+namespace eds::lint {
+namespace {
+
+rewrite::BuiltinRegistry& Registry() {
+  static rewrite::BuiltinRegistry* reg = [] {
+    auto* r = new rewrite::BuiltinRegistry();
+    r->InstallStandard();
+    magic::InstallMagicBuiltins(r);
+    rules::InstallSemanticBuiltins(r);
+    return r;
+  }();
+  return *reg;
+}
+
+LintReport Lint(std::string_view source, const LintOptions& opts = {}) {
+  return LintSource(source, Registry(), opts);
+}
+
+term::TermRef T(const std::string& text) {
+  auto t = term::ParseTerm(text);
+  EXPECT_TRUE(t.ok()) << text << ": " << t.status();
+  return *t;
+}
+
+// ---- fixtures: one per diagnostic -------------------------------------
+
+TEST(LintTest, CleanProgramHasNoDiagnostics) {
+  LintReport report = Lint(R"(
+dedup_dedup : DEDUP(DEDUP(x)) / --> DEDUP(x) / ;
+dedup_union : DEDUP(UNION(x)) / --> UNION(x) / ;
+)");
+  EXPECT_TRUE(report.empty()) << report.ToString();
+}
+
+TEST(LintTest, DivergentPairWarns) {
+  LintReport report = Lint(R"(
+ping : DEDUP(UNION(x)) / --> UNION(DEDUP(x)) / ;
+pong : UNION(DEDUP(x)) / --> DEDUP(UNION(x)) / ;
+)");
+  auto found = report.WithId(kLintDivergence);
+  ASSERT_EQ(found.size(), 1u) << report.ToString();
+  EXPECT_EQ(found[0].severity, Severity::kWarning);
+  EXPECT_EQ(found[0].rule, "ping");
+  EXPECT_NE(found[0].message.find("'pong'"), std::string::npos);
+  EXPECT_EQ(found[0].loc.line, 2);
+  EXPECT_EQ(found[0].loc.column, 1);
+}
+
+TEST(LintTest, SelfLoopWarns) {
+  LintReport report = Lint(R"(
+swap : EQ(a, b) / --> EQ(b, a) / ;
+)");
+  auto found = report.WithId(kLintDivergence);
+  ASSERT_EQ(found.size(), 1u) << report.ToString();
+  EXPECT_EQ(found[0].rule, "swap");
+}
+
+TEST(LintTest, SizeDecreasingRuleSuppressesDivergence) {
+  // The self-loop provably shrinks the term, so saturation terminates.
+  LintReport report = Lint(R"(
+collapse : DEDUP(DEDUP(x)) / --> DEDUP(x) / ;
+)");
+  EXPECT_TRUE(report.WithId(kLintDivergence).empty()) << report.ToString();
+}
+
+TEST(LintTest, FiniteBlockLimitSuppressesDivergence) {
+  LintReport report = Lint(R"(
+swap : EQ(a, b) / --> EQ(b, a) / ;
+block(bounded, {swap}, 4) ;
+)");
+  EXPECT_TRUE(report.WithId(kLintDivergence).empty()) << report.ToString();
+}
+
+TEST(LintTest, UnreferencedRuleWarns) {
+  LintReport report = Lint(R"(
+used : DEDUP(DEDUP(x)) / --> DEDUP(x) / ;
+orphan : DEDUP(UNION(x)) / --> UNION(x) / ;
+block(main, {used}, inf) ;
+)");
+  auto found = report.WithId(kLintUnreferencedRule);
+  ASSERT_EQ(found.size(), 1u) << report.ToString();
+  EXPECT_EQ(found[0].rule, "orphan");
+  EXPECT_EQ(found[0].loc.line, 3);
+}
+
+TEST(LintTest, UnreachableFunctorWarns) {
+  LintReport report = Lint(R"(
+dead : FROBNICATE(x) / --> DEDUP(x) / ;
+)");
+  auto found = report.WithId(kLintUnreachableFunctor);
+  ASSERT_EQ(found.size(), 1u) << report.ToString();
+  EXPECT_EQ(found[0].rule, "dead");
+  EXPECT_NE(found[0].message.find("FROBNICATE"), std::string::npos);
+}
+
+TEST(LintTest, RuleOutputMakesFunctorReachable) {
+  // A second rule constructs FROBNICATE, so the first is no longer dead.
+  LintReport report = Lint(R"(
+consumer : FROBNICATE(x) / --> DEDUP(x) / ;
+producer : DEDUP(UNION(x)) / --> FROBNICATE(x) / ;
+)");
+  EXPECT_TRUE(report.WithId(kLintUnreachableFunctor).empty())
+      << report.ToString();
+}
+
+TEST(LintTest, ExtraConstructorsExemptFromUnreachable) {
+  LintOptions opts;
+  opts.extra_constructors = {"FROBNICATE"};
+  LintReport report =
+      Lint("dead : FROBNICATE(x) / --> DEDUP(x) / ;", opts);
+  EXPECT_TRUE(report.WithId(kLintUnreachableFunctor).empty())
+      << report.ToString();
+}
+
+TEST(LintTest, OverfullPatternIsImpossible) {
+  // SEARCH always has exactly three arguments.
+  LintReport report = Lint(R"(
+bad : SEARCH(a, b, c, d) / --> a / ;
+)");
+  auto found = report.WithId(kLintImpossiblePattern);
+  ASSERT_EQ(found.size(), 1u) << report.ToString();
+  EXPECT_EQ(found[0].severity, Severity::kError);
+  EXPECT_EQ(found[0].rule, "bad");
+  EXPECT_EQ(found[0].loc.line, 2);
+}
+
+TEST(LintTest, ShadowedRuleWarns) {
+  LintReport report = Lint(R"(
+general : DEDUP(x) / --> x / ;
+specific : DEDUP(UNION(x)) / --> UNION(x) / ;
+)");
+  auto found = report.WithId(kLintShadowedRule);
+  ASSERT_EQ(found.size(), 1u) << report.ToString();
+  EXPECT_EQ(found[0].rule, "specific");
+  EXPECT_NE(found[0].message.find("'general'"), std::string::npos);
+  EXPECT_EQ(found[0].loc.line, 3);
+}
+
+TEST(LintTest, GuardedRuleDoesNotShadow) {
+  // The general rule can decline its match, letting the specific one run.
+  LintReport report = Lint(R"(
+general : DEDUP(x) / ISA(x, SET) --> x / ;
+specific : DEDUP(UNION(x)) / --> UNION(x) / ;
+)");
+  EXPECT_TRUE(report.WithId(kLintShadowedRule).empty()) << report.ToString();
+}
+
+TEST(LintTest, NonLinearPatternDoesNotShadowDistinctOne) {
+  // EQ(x, x) only matches equal argument pairs: not more general than
+  // EQ(a, b). Subsumption must respect binding consistency.
+  LintReport report = Lint(R"(
+refl : EQ(x, x) / --> TRUE / ;
+other : EQ(DEDUP(a), UNION(b)) / --> FALSE / ;
+)");
+  EXPECT_TRUE(report.WithId(kLintShadowedRule).empty()) << report.ToString();
+}
+
+TEST(LintTest, DisjointIsaKindsAreUnsatisfiable) {
+  LintReport report = Lint(R"(
+bad : DEDUP(i) / ISA(i, SET) AND ISA(i, LIST) --> i / ;
+)");
+  auto found = report.WithId(kLintUnsatisfiableConstraint);
+  ASSERT_EQ(found.size(), 1u) << report.ToString();
+  EXPECT_EQ(found[0].severity, Severity::kError);
+  EXPECT_EQ(found[0].rule, "bad");
+  EXPECT_EQ(found[0].loc.line, 2);
+}
+
+TEST(LintTest, CompatibleIsaKindsAreFine) {
+  LintReport report = Lint(R"(
+ok : DEDUP(i) / ISA(i, SET) --> i / ;
+)");
+  EXPECT_TRUE(report.WithId(kLintUnsatisfiableConstraint).empty())
+      << report.ToString();
+}
+
+TEST(LintTest, UnknownCatalogTypeIsUnsatisfiable) {
+  catalog::Catalog cat;
+  LintOptions opts;
+  opts.catalog = &cat;
+  LintReport report =
+      Lint("bad : DEDUP(i) / ISA(i, NO_SUCH_TYPE) --> i / ;", opts);
+  auto found = report.WithId(kLintUnsatisfiableConstraint);
+  ASSERT_EQ(found.size(), 1u) << report.ToString();
+  EXPECT_NE(found[0].message.find("NO_SUCH_TYPE"), std::string::npos);
+}
+
+TEST(LintTest, UnusedMethodOutputWarns) {
+  LintReport report = Lint(R"(
+wasted : FILTER(z, f) / --> z / SCHEMA(z, p) ;
+)");
+  auto found = report.WithId(kLintUnusedMethodOutput);
+  ASSERT_EQ(found.size(), 1u) << report.ToString();
+  EXPECT_EQ(found[0].rule, "wasted");
+  EXPECT_NE(found[0].message.find("'p'"), std::string::npos);
+  EXPECT_EQ(found[0].loc.line, 2);
+}
+
+TEST(LintTest, MethodOutputUsedByLaterMethodIsFine) {
+  LintReport report = Lint(R"(
+chained : FILTER(z, f) / --> SEARCH(LIST(z), f, p2) /
+  SCHEMA(z, p), SHIFT_ATTRS(p, z, z, p2) ;
+)");
+  EXPECT_TRUE(report.WithId(kLintUnusedMethodOutput).empty())
+      << report.ToString();
+}
+
+TEST(LintTest, CollectionVarMatchingOnlyEmptyWarns) {
+  // SEARCH's three fixed arguments are taken; x* can only be empty.
+  LintReport report = Lint(R"(
+squeezed : SEARCH(a, b, c, x*) / --> SEARCH(a, b, c) / ;
+)");
+  auto found = report.WithId(kLintEmptyCollectionVar);
+  ASSERT_EQ(found.size(), 1u) << report.ToString();
+  EXPECT_EQ(found[0].rule, "squeezed");
+}
+
+TEST(LintTest, MalformedRhsConstructorWarns) {
+  LintReport report = Lint(R"(
+bad_build : FILTER(a, b) / --> DEDUP(a, b) / ;
+)");
+  auto found = report.WithId(kLintMalformedConstructor);
+  ASSERT_EQ(found.size(), 1u) << report.ToString();
+  EXPECT_EQ(found[0].rule, "bad_build");
+  EXPECT_NE(found[0].message.find("DEDUP"), std::string::npos);
+}
+
+TEST(LintTest, VariadicConstructorsAreNotArityChecked) {
+  LintReport report = Lint(R"(
+ok : UNION(SET(a, b, c)) / --> UNION(SET(a, b)) / ;
+)");
+  EXPECT_TRUE(report.WithId(kLintMalformedConstructor).empty())
+      << report.ToString();
+  EXPECT_TRUE(report.WithId(kLintImpossiblePattern).empty())
+      << report.ToString();
+}
+
+// ---- unit-level diagnostics -------------------------------------------
+
+TEST(LintTest, ParseErrorIsReportedWithLocation) {
+  LintReport report = Lint("broken :::");
+  auto found = report.WithId(kLintParseError);
+  ASSERT_EQ(found.size(), 1u) << report.ToString();
+  EXPECT_EQ(found[0].severity, Severity::kError);
+  EXPECT_TRUE(found[0].loc.known());
+}
+
+TEST(LintTest, InvalidRuleIsReportedAndExcluded) {
+  LintReport report = Lint(R"(
+bad : DEDUP(x) / --> x / NO_SUCH_METHOD(x) ;
+)");
+  auto found = report.WithId(kLintInvalidRule);
+  ASSERT_EQ(found.size(), 1u) << report.ToString();
+  EXPECT_EQ(found[0].rule, "bad");
+  // The invalid rule is skipped by the analysis passes, not re-reported.
+  EXPECT_EQ(report.error_count(), 1u) << report.ToString();
+}
+
+TEST(LintTest, DuplicateRuleNameIsAnError) {
+  LintReport report = Lint(R"(
+twin : DEDUP(DEDUP(x)) / --> DEDUP(x) / ;
+twin : DEDUP(UNION(x)) / --> UNION(x) / ;
+)");
+  auto found = report.WithId(kLintDuplicateName);
+  ASSERT_EQ(found.size(), 1u) << report.ToString();
+  EXPECT_EQ(found[0].loc.line, 3);
+}
+
+TEST(LintTest, UnknownBlockReferenceIsAnError) {
+  LintReport report = Lint(R"(
+real : DEDUP(DEDUP(x)) / --> DEDUP(x) / ;
+block(main, {real, ghost}, inf) ;
+)");
+  auto found = report.WithId(kLintUnknownReference);
+  ASSERT_EQ(found.size(), 1u) << report.ToString();
+  EXPECT_NE(found[0].message.find("'ghost'"), std::string::npos);
+  EXPECT_EQ(found[0].block, "main");
+  EXPECT_EQ(found[0].loc.line, 3);
+}
+
+TEST(LintTest, SeqReferencingUnknownBlockIsAnError) {
+  LintReport report = Lint(R"(
+real : DEDUP(DEDUP(x)) / --> DEDUP(x) / ;
+block(main, {real}, inf) ;
+seq({main, phantom}, 1) ;
+)");
+  auto found = report.WithId(kLintUnknownReference);
+  ASSERT_EQ(found.size(), 1u) << report.ToString();
+  EXPECT_NE(found[0].message.find("'phantom'"), std::string::npos);
+}
+
+TEST(LintTest, DiagnosticsAreSortedByLocation) {
+  LintReport report = Lint(R"(
+wasted : FILTER(z, f) / --> z / SCHEMA(z, p) ;
+dead : FROBNICATE(x) / --> DEDUP(x) / ;
+)");
+  ASSERT_GE(report.size(), 2u) << report.ToString();
+  for (size_t i = 1; i < report.size(); ++i) {
+    EXPECT_LE(report.diagnostics()[i - 1].loc.offset,
+              report.diagnostics()[i].loc.offset);
+  }
+}
+
+// ---- compiler integration ---------------------------------------------
+
+TEST(LintTest, CompileReportsDroppedRules) {
+  auto unit = ruledsl::ParseRuleSource(R"(
+used : DEDUP(DEDUP(x)) / --> DEDUP(x) / ;
+orphan : DEDUP(UNION(x)) / --> UNION(x) / ;
+block(main, {used}, inf) ;
+)");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  LintReport report;
+  ruledsl::CompileOptions opts;
+  opts.diagnostics = &report;
+  auto program = ruledsl::CompileProgram(*unit, Registry(), opts);
+  ASSERT_TRUE(program.ok()) << program.status();
+  ASSERT_EQ(program->blocks.size(), 1u);
+  EXPECT_EQ(program->blocks[0].rules.size(), 1u);
+  auto found = report.WithId(kLintUnreferencedRule);
+  ASSERT_EQ(found.size(), 1u) << report.ToString();
+  EXPECT_EQ(found[0].rule, "orphan");
+}
+
+TEST(LintTest, CompileWithRunLintAnalyzesTheProgram) {
+  LintReport report;
+  ruledsl::CompileOptions opts;
+  opts.diagnostics = &report;
+  opts.run_lint = true;
+  auto program = ruledsl::CompileRuleSource(
+      "swap : EQ(a, b) / --> EQ(b, a) / ;", Registry(), opts);
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(report.WithId(kLintDivergence).size(), 1u) << report.ToString();
+}
+
+TEST(LintTest, CompileWithoutDiagnosticsStillDropsSilently) {
+  auto program = ruledsl::CompileRuleSource(R"(
+used : DEDUP(DEDUP(x)) / --> DEDUP(x) / ;
+orphan : DEDUP(UNION(x)) / --> UNION(x) / ;
+block(main, {used}, inf) ;
+)",
+                                            Registry());
+  ASSERT_TRUE(program.ok()) << program.status();
+  ASSERT_EQ(program->blocks.size(), 1u);
+  EXPECT_EQ(program->blocks[0].rules.size(), 1u);
+}
+
+TEST(LintTest, AnalyzeProgramWorksOnCompiledPrograms) {
+  auto program = ruledsl::CompileRuleSource(
+      "swap : EQ(a, b) / --> EQ(b, a) / ;", Registry());
+  ASSERT_TRUE(program.ok()) << program.status();
+  LintReport report;
+  AnalyzeProgram(*program, Registry(), LintOptions{}, &report);
+  EXPECT_EQ(report.WithId(kLintDivergence).size(), 1u) << report.ToString();
+}
+
+// ---- analysis predicates ----------------------------------------------
+
+TEST(LintAnalysisTest, PatternWeightCountsNodesNotCollectionVars) {
+  EXPECT_EQ(PatternWeight(T("DEDUP(UNION(x))")), 3u);
+  EXPECT_EQ(PatternWeight(T("LIST(x*)")), 1u);
+  EXPECT_EQ(PatternWeight(T("c")), 1u);
+}
+
+TEST(LintAnalysisTest, MayUnifyBasics) {
+  const auto& reg = Registry();
+  EXPECT_TRUE(MayUnify(T("DEDUP(x)"), T("DEDUP(UNION(y))"), reg));
+  EXPECT_FALSE(MayUnify(T("DEDUP(x)"), T("UNION(y)"), reg));
+  EXPECT_TRUE(MayUnify(T("LIST(x*, a)"), T("LIST(b, c, d)"), reg));
+  EXPECT_FALSE(MayUnify(T("LIST(a, b)"), T("LIST(c, d, e)"), reg));
+  // Term functions are wildcards: their result shape is unknown.
+  EXPECT_TRUE(MayUnify(T("APPEND(x*, y*)"), T("LIST(a)"), reg));
+}
+
+TEST(LintAnalysisTest, IsSizeDecreasing) {
+  const auto& reg = Registry();
+  rewrite::Rule shrink;
+  shrink.lhs = T("DEDUP(DEDUP(x))");
+  shrink.rhs = T("DEDUP(x)");
+  EXPECT_TRUE(IsSizeDecreasing(shrink, reg));
+
+  rewrite::Rule swap;
+  swap.lhs = T("EQ(a, b)");
+  swap.rhs = T("EQ(b, a)");
+  EXPECT_FALSE(IsSizeDecreasing(swap, reg));
+
+  rewrite::Rule dup;  // duplicates x: substitution can grow the term
+  dup.lhs = T("DEDUP(DEDUP(x))");
+  dup.rhs = T("EQ(x, x)");
+  EXPECT_FALSE(IsSizeDecreasing(dup, reg));
+}
+
+TEST(LintAnalysisTest, SubsumesRespectsBindingConsistency) {
+  EXPECT_TRUE(Subsumes(T("DEDUP(x)"), T("DEDUP(UNION(y))")));
+  EXPECT_TRUE(Subsumes(T("EQ(x, x)"), T("EQ(DEDUP(a), DEDUP(a))")));
+  EXPECT_FALSE(Subsumes(T("EQ(x, x)"), T("EQ(DEDUP(a), UNION(b))")));
+  EXPECT_FALSE(Subsumes(T("DEDUP(UNION(y))"), T("DEDUP(x)")));
+}
+
+TEST(LintAnalysisTest, StronglyConnectedComponents) {
+  // 0 -> 1 -> 2 -> 0 plus an isolated 3.
+  std::vector<std::vector<int>> adj = {{1}, {2}, {0}, {}};
+  auto sccs = StronglyConnectedComponents(adj);
+  ASSERT_EQ(sccs.size(), 2u);
+  bool saw_cycle = false;
+  for (const auto& scc : sccs) {
+    if (scc.size() == 3) {
+      saw_cycle = true;
+      EXPECT_EQ(scc, (std::vector<int>{0, 1, 2}));
+    }
+  }
+  EXPECT_TRUE(saw_cycle);
+}
+
+}  // namespace
+}  // namespace eds::lint
