@@ -84,6 +84,39 @@ void BM_Cycle_Seminaive(benchmark::State& state) {
 BENCHMARK(BM_Cycle_Naive)->Arg(8)->Arg(12);
 BENCHMARK(BM_Cycle_Seminaive)->Arg(8)->Arg(16);
 
+// Rewrite phase only: an n-way self-join of the recursive view expands into
+// n identical copies of the FIX subplan. The copies are structurally equal,
+// so canonical-term sharing makes or breaks the engine's rescan cost here.
+void BM_RewritePhase_FixpointSelfJoin(benchmark::State& state) {
+  const int joins = static_cast<int>(state.range(0));
+  auto session = MakeGraphDb(8);
+  std::string from, where;
+  for (int i = 1; i <= joins; ++i) {
+    if (i > 1) {
+      from += ", ";
+      where += " AND B" + std::to_string(i - 1) + ".L = B" +
+               std::to_string(i) + ".W";
+    }
+    from += "BETTER_THAN B" + std::to_string(i);
+  }
+  std::string query = "SELECT B1.W, B" + std::to_string(joins) +
+                      ".L FROM " + from + " WHERE B" + std::to_string(joins) +
+                      ".L = 5" + where;
+  auto plan = eds::benchutil::CheckResult(session->Translate(query),
+                                          "translate");
+  size_t applications = 0, checks = 0;
+  for (auto _ : state) {
+    auto out = session->Rewrite(plan);
+    Check(out.status(), "rewrite");
+    benchmark::DoNotOptimize(out->term);
+    applications = out->stats.applications;
+    checks = out->stats.condition_checks;
+  }
+  state.counters["rewrites"] = static_cast<double>(applications);
+  state.counters["cond_checks"] = static_cast<double>(checks);
+}
+BENCHMARK(BM_RewritePhase_FixpointSelfJoin)->Arg(2)->Arg(3)->Arg(4);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -94,6 +94,41 @@ void BM_Quantifier_Exist(benchmark::State& state) {
 BENCHMARK(BM_Quantifier_All);
 BENCHMARK(BM_Quantifier_Exist);
 
+// Rewrite phase only: a tower of stacked views (each selecting from the
+// previous) expands into a deeply nested SEARCH plan; the engine's
+// restart-from-root search makes this the worst case for per-step rescans.
+// Translation happens once outside the timed loop — the counter is pure
+// Engine::Rewrite cost.
+void BM_RewritePhase_DeepNestedView(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  auto session = MakeNestedDb(50);
+  for (int i = 1; i <= depth; ++i) {
+    std::string prev =
+        i == 1 ? "FILM" : ("NV" + std::to_string(i - 1));
+    std::string cols = i == 1 ? "Numf, Numf" : "A, B";
+    Check(session->ExecuteScript(
+              "CREATE VIEW NV" + std::to_string(i) + " (A, B) AS SELECT " +
+              cols + " FROM " + prev + " WHERE " +
+              (i == 1 ? "Numf" : "A") + " > " + std::to_string(i) + ";"),
+          "stacked view");
+  }
+  auto plan = eds::benchutil::CheckResult(
+      session->Translate("SELECT A FROM NV" + std::to_string(depth) +
+                         " WHERE A = 5 AND B > 0"),
+      "translate");
+  size_t applications = 0, checks = 0;
+  for (auto _ : state) {
+    auto out = session->Rewrite(plan);
+    Check(out.status(), "rewrite");
+    benchmark::DoNotOptimize(out->term);
+    applications = out->stats.applications;
+    checks = out->stats.condition_checks;
+  }
+  state.counters["rewrites"] = static_cast<double>(applications);
+  state.counters["cond_checks"] = static_cast<double>(checks);
+}
+BENCHMARK(BM_RewritePhase_DeepNestedView)->Arg(4)->Arg(8)->Arg(16);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -10,6 +10,7 @@
 //   \schema NAME      show a relation's columns
 //   \plan SELECT ...  show raw + optimized plans without executing
 //   \trace SELECT ... show the rewrite trace (rule by rule)
+//   \stats SELECT ... show full engine statistics for a query's rewrite
 //   \rules            show the generated optimizer's blocks
 //   \norewrite        toggle the rewriter on/off for subsequent queries
 //   \lint             lint the rule libraries + declared constraints
@@ -84,6 +85,10 @@ class Shell {
     }
     if (eds::StartsWith(line, "\\trace ")) {
       ShowPlan(line.substr(7), /*trace=*/true);
+      return true;
+    }
+    if (eds::StartsWith(line, "\\stats ")) {
+      ShowStats(line.substr(7));
       return true;
     }
     if (line == "\\rules") {
@@ -188,8 +193,36 @@ class Shell {
     }
     std::cout << "optimized plan (" << out->stats.applications
               << " rule applications, " << out->stats.condition_checks
-              << " condition checks):\n"
+              << " condition checks, " << out->stats.normal_form_hits
+              << " normal-form hits):\n"
               << eds::lera::FormatPlan(out->term);
+  }
+
+  // Full engine statistics for one query, without executing it.
+  void ShowStats(const std::string& query) {
+    auto raw = session_.Translate(query);
+    if (!raw.ok()) {
+      std::cout << raw.status() << "\n";
+      return;
+    }
+    auto out = session_.Rewrite(*raw);
+    if (!out.ok()) {
+      std::cout << out.status() << "\n";
+      return;
+    }
+    const eds::rewrite::EngineStats& s = out->stats;
+    std::cout << "passes:           " << s.passes << "\n"
+              << "applications:     " << s.applications << "\n"
+              << "condition checks: " << s.condition_checks << "\n"
+              << "match attempts:   " << s.match_attempts << "\n"
+              << "quick rejects:    " << s.quick_rejects << "\n"
+              << "normal-form hits: " << s.normal_form_hits << "\n"
+              << "cycle stops:      " << s.cycle_stops << "\n"
+              << "safety stop:      " << (s.safety_stop ? "yes" : "no")
+              << "\n";
+    for (const auto& [rule, count] : s.applications_by_rule) {
+      std::cout << "  " << rule << ": " << count << "\n";
+    }
   }
 
   void RunStatement(const std::string& text) {
@@ -254,7 +287,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   std::cout << "eds shell — ESQL statements end with ';', \\q quits, "
-               "\\plan/\\trace inspect the rewriter.\n";
+               "\\plan/\\trace/\\stats inspect the rewriter.\n";
   std::string line;
   while (true) {
     std::cout << (shell.pending() ? "   ... " : "esql> ") << std::flush;

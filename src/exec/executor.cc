@@ -45,6 +45,21 @@ Result<Rows> Executor::Execute(const term::TermRef& plan) {
   return out;
 }
 
+const Rows* Executor::TryBorrowStoredRows(const term::TermRef& t,
+                                          const FixEnv& env) {
+  if (!lera::IsRelation(t)) return nullptr;
+  Result<std::string> name = lera::RelationName(t);
+  if (!name.ok()) return nullptr;
+  // Fixpoint variables shadow stored relations, exactly as in Eval.
+  auto it = env.find(ToUpperAscii(*name));
+  if (it != env.end()) return it->second;
+  if (!db_->HasTable(*name)) return nullptr;
+  Result<const Table*> table = db_->GetTable(*name);
+  if (!table.ok()) return nullptr;
+  stats_.rows_scanned += (*table)->size();
+  return &(*table)->rows();
+}
+
 Result<Rows> Executor::Eval(const term::TermRef& t, const FixEnv& env) {
   if (lera::IsRelation(t)) {
     EDS_ASSIGN_OR_RETURN(std::string name, lera::RelationName(t));

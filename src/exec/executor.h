@@ -63,10 +63,18 @@ class Executor {
 
   Result<Rows> Eval(const term::TermRef& t, const FixEnv& env);
 
+  // Rows for `t` that are already materialized — a fixpoint binding or a
+  // stored base table — borrowed without copying (counted as scanned just
+  // like an evaluated scan). Null when `t` genuinely needs evaluation
+  // (views, operator trees, unknown names: Eval reports those errors).
+  // SEARCH feeds on borrowed inputs where it can so a scan over a stored
+  // table never deep-copies the table first.
+  const Rows* TryBorrowStoredRows(const term::TermRef& t, const FixEnv& env);
+
   // operators.cc
   Result<Rows> EvalSearch(const term::TermRef& t, const FixEnv& env);
   Result<Rows> EvalSearchWithInputs(const term::TermRef& search,
-                                    const std::vector<Rows>& inputs);
+                                    const std::vector<const Rows*>& inputs);
   Result<Rows> EvalUnion(const term::TermRef& t, const FixEnv& env);
   Result<Rows> EvalSetOp(const term::TermRef& t, const FixEnv& env);
   Result<Rows> EvalFilter(const term::TermRef& t, const FixEnv& env);

@@ -116,25 +116,32 @@ Result<Rows> Executor::EvalFix(const term::TermRef& t, const FixEnv& env) {
       // One pass per occurrence: that occurrence sees the delta, the rest
       // see the full relation.
       for (size_t which : occurrences) {
-        std::vector<Rows> inputs;
+        // Delta/total/stored inputs are borrowed, not copied, per round;
+        // `owned` is reserved so pointers to its elements stay stable.
+        std::vector<Rows> owned;
+        owned.reserve(input_terms.size());
+        std::vector<const Rows*> inputs;
         inputs.reserve(input_terms.size());
-        bool failed = false;
         for (size_t i = 0; i < input_terms.size(); ++i) {
           if (i == which) {
-            inputs.push_back(delta);
+            inputs.push_back(&delta);
             continue;
           }
           if (std::find(occurrences.begin(), occurrences.end(), i) !=
               occurrences.end()) {
-            inputs.push_back(total);
+            inputs.push_back(&total);
             continue;
           }
           FixEnv inner = env;
           inner[key] = &total;
+          if (const Rows* stored = TryBorrowStoredRows(input_terms[i], inner)) {
+            inputs.push_back(stored);
+            continue;
+          }
           Result<Rows> rows = Eval(input_terms[i], inner);
           EDS_RETURN_IF_ERROR(rows.status());
-          inputs.push_back(std::move(*rows));
-          (void)failed;
+          owned.push_back(std::move(*rows));
+          inputs.push_back(&owned.back());
         }
         EDS_ASSIGN_OR_RETURN(Rows branch_rows,
                              EvalSearchWithInputs(branch, inputs));

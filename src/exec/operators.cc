@@ -34,17 +34,27 @@ Result<Rows> Executor::EvalSearch(const term::TermRef& t, const FixEnv& env) {
       !qual->constant().AsBool()) {
     return Rows{};
   }
-  std::vector<Rows> inputs;
+  // Stored inputs are borrowed straight from the table (or fixpoint
+  // binding); only derived inputs are materialized into `owned`, whose
+  // reserve keeps the borrowed pointers stable.
+  std::vector<Rows> owned;
+  owned.reserve(input_terms.size());
+  std::vector<const Rows*> inputs;
   inputs.reserve(input_terms.size());
   for (const TermRef& in : input_terms) {
+    if (const Rows* stored = TryBorrowStoredRows(in, env)) {
+      inputs.push_back(stored);
+      continue;
+    }
     EDS_ASSIGN_OR_RETURN(Rows rows, Eval(in, env));
-    inputs.push_back(std::move(rows));
+    owned.push_back(std::move(rows));
+    inputs.push_back(&owned.back());
   }
   return EvalSearchWithInputs(t, inputs);
 }
 
-Result<Rows> Executor::EvalSearchWithInputs(const term::TermRef& search,
-                                            const std::vector<Rows>& inputs) {
+Result<Rows> Executor::EvalSearchWithInputs(
+    const term::TermRef& search, const std::vector<const Rows*>& inputs) {
   EDS_ASSIGN_OR_RETURN(TermRef qual, lera::SearchQual(search));
   EDS_ASSIGN_OR_RETURN(TermList projections,
                        lera::SearchProjections(search));
@@ -87,7 +97,7 @@ Result<Rows> Executor::EvalSearchWithInputs(const term::TermRef& search,
       out.push_back(std::move(row));
       return Status::OK();
     }
-    for (const Row& candidate : inputs[depth]) {
+    for (const Row& candidate : *inputs[depth]) {
       ctx.current[depth] = &candidate;
       bool pruned = false;
       for (const TermRef& c : conjuncts_at[depth + 1]) {

@@ -14,11 +14,12 @@ namespace {
 
 Result<std::vector<Schema>> InputSchemas(const term::TermList& inputs,
                                          const catalog::Catalog& cat,
-                                         const SchemaEnv* env) {
+                                         const SchemaEnv* env,
+                                         SchemaMemo* memo) {
   std::vector<Schema> out;
   out.reserve(inputs.size());
   for (const TermRef& in : inputs) {
-    EDS_ASSIGN_OR_RETURN(Schema s, InferSchema(in, cat, env));
+    EDS_ASSIGN_OR_RETURN(Schema s, InferSchema(in, cat, env, memo));
     out.push_back(std::move(s));
   }
   return out;
@@ -52,8 +53,11 @@ Result<TypeRef> ElementType(const TypeRef& coll, const std::string& what) {
 
 }  // namespace
 
-Result<Schema> InferSchema(const term::TermRef& t,
-                           const catalog::Catalog& cat, const SchemaEnv* env) {
+namespace {
+
+Result<Schema> InferSchemaImpl(const term::TermRef& t,
+                               const catalog::Catalog& cat,
+                               const SchemaEnv* env, SchemaMemo* memo) {
   if (IsRelation(t)) {
     EDS_ASSIGN_OR_RETURN(std::string name, RelationName(t));
     if (env != nullptr) {
@@ -68,23 +72,23 @@ Result<Schema> InferSchema(const term::TermRef& t,
   const std::string& f = t->functor();
   if (f == kSearch) {
     EDS_ASSIGN_OR_RETURN(term::TermList inputs, SearchInputs(t));
-    EDS_ASSIGN_OR_RETURN(auto schemas, InputSchemas(inputs, cat, env));
+    EDS_ASSIGN_OR_RETURN(auto schemas, InputSchemas(inputs, cat, env, memo));
     EDS_ASSIGN_OR_RETURN(term::TermList projs, SearchProjections(t));
     return ProjectionSchema(projs, schemas, cat, env);
   }
   if (f == kUnion) {
     EDS_ASSIGN_OR_RETURN(term::TermList inputs, UnionInputs(t));
     if (inputs.empty()) return Status::InvalidArgument("empty UNION");
-    return InferSchema(inputs[0], cat, env);
+    return InferSchema(inputs[0], cat, env, memo);
   }
   if (f == kDifference || f == kIntersect) {
-    return InferSchema(t->arg(0), cat, env);
+    return InferSchema(t->arg(0), cat, env, memo);
   }
   if (f == kFilter || f == kDedup) {
-    return InferSchema(t->arg(0), cat, env);
+    return InferSchema(t->arg(0), cat, env, memo);
   }
   if (f == kProject) {
-    EDS_ASSIGN_OR_RETURN(Schema in, InferSchema(t->arg(0), cat, env));
+    EDS_ASSIGN_OR_RETURN(Schema in, InferSchema(t->arg(0), cat, env, memo));
     std::vector<Schema> schemas = {std::move(in)};
     if (!t->arg(1)->IsApply(term::kList)) {
       return Status::InvalidArgument("malformed PROJECT: " + t->ToString());
@@ -92,8 +96,8 @@ Result<Schema> InferSchema(const term::TermRef& t,
     return ProjectionSchema(t->arg(1)->args(), schemas, cat, env);
   }
   if (f == kJoin) {
-    EDS_ASSIGN_OR_RETURN(Schema a, InferSchema(t->arg(0), cat, env));
-    EDS_ASSIGN_OR_RETURN(Schema b, InferSchema(t->arg(1), cat, env));
+    EDS_ASSIGN_OR_RETURN(Schema a, InferSchema(t->arg(0), cat, env, memo));
+    EDS_ASSIGN_OR_RETURN(Schema b, InferSchema(t->arg(1), cat, env, memo));
     a.insert(a.end(), b.begin(), b.end());
     return a;
   }
@@ -113,14 +117,14 @@ Result<Schema> InferSchema(const term::TermRef& t,
     if (IsUnion(body)) {
       EDS_ASSIGN_OR_RETURN(term::TermList branches, UnionInputs(body));
       for (const TermRef& b : branches) {
-        Result<Schema> s = InferSchema(b, cat, env);
+        Result<Schema> s = InferSchema(b, cat, env, memo);
         if (s.ok()) return s;
       }
     }
     return Status::TypeError("cannot infer schema of FIX(" + name + ", ...)");
   }
   if (f == kNest) {
-    EDS_ASSIGN_OR_RETURN(Schema in, InferSchema(t->arg(0), cat, env));
+    EDS_ASSIGN_OR_RETURN(Schema in, InferSchema(t->arg(0), cat, env, memo));
     if (!t->arg(1)->IsApply(term::kList) || !t->arg(2)->is_constant()) {
       return Status::InvalidArgument("malformed NEST: " + t->ToString());
     }
@@ -153,7 +157,7 @@ Result<Schema> InferSchema(const term::TermRef& t,
     return out;
   }
   if (f == kUnnest) {
-    EDS_ASSIGN_OR_RETURN(Schema in, InferSchema(t->arg(0), cat, env));
+    EDS_ASSIGN_OR_RETURN(Schema in, InferSchema(t->arg(0), cat, env, memo));
     if (!t->arg(1)->is_constant() ||
         t->arg(1)->constant().kind() != value::ValueKind::kInt) {
       return Status::InvalidArgument("malformed UNNEST: " + t->ToString());
@@ -179,6 +183,20 @@ Result<Schema> InferSchema(const term::TermRef& t,
     return out;
   }
   return Status::InvalidArgument("not a relational operator: " + f);
+}
+
+}  // namespace
+
+Result<Schema> InferSchema(const term::TermRef& t,
+                           const catalog::Catalog& cat, const SchemaEnv* env,
+                           SchemaMemo* memo) {
+  if (memo != nullptr) {
+    auto it = memo->find(t.get());
+    if (it != memo->end()) return it->second;
+  }
+  Result<Schema> r = InferSchemaImpl(t, cat, env, memo);
+  if (memo != nullptr) memo->emplace(t.get(), r);
+  return r;
 }
 
 namespace {

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -25,10 +26,20 @@ using Schema = std::vector<types::Field>;
 // the catalog).
 using SchemaEnv = std::map<std::string, Schema>;
 
-// Infers the output schema of a relational LERA term.
+// Inference memo keyed by term node identity. Terms are immutable (and
+// hash-consed), so a live node's pointer uniquely identifies its subtree;
+// the caller must keep every memoized term alive for the memo's lifetime
+// and use one memo per (catalog, env) pair. The rewrite engine threads one
+// through a whole run, which turns the naturally O(depth²) inference over
+// nested views into O(depth).
+using SchemaMemo = std::unordered_map<const term::Term*, Result<Schema>>;
+
+// Infers the output schema of a relational LERA term. `memo`, when given,
+// caches every subterm's result across calls.
 Result<Schema> InferSchema(const term::TermRef& t,
                            const catalog::Catalog& cat,
-                           const SchemaEnv* env = nullptr);
+                           const SchemaEnv* env = nullptr,
+                           SchemaMemo* memo = nullptr);
 
 // Infers the type of a scalar expression, given the schemas of the
 // enclosing operator's inputs (ATTR(i, j) resolves into input_schemas[i-1]).

@@ -3,6 +3,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <unordered_set>
 
 #include "lera/lera.h"
 #include "lera/schema.h"
@@ -16,10 +17,16 @@ using term::TermRef;
 
 // Scope information while traversing: the input schemas visible to ATTR
 // references at the current position (set when descending into the
-// qualification / projection arguments of relational operators).
+// qualification / projection arguments of relational operators). `key`
+// identifies the scope for the normal-form memo: 0 for the schema-free
+// scope, otherwise a never-zero digest of the defining input terms'
+// identities. The digest is operator-agnostic on purpose — identical
+// (canonical) input nodes imply identical input schemas no matter which
+// operator consumes them.
 struct Engine::Scope {
   std::vector<lera::Schema> input_schemas;
   bool has_schemas = false;
+  uint64_t key = 0;
 };
 
 struct Engine::RunState {
@@ -33,10 +40,62 @@ struct Engine::RunState {
   // freed node's address can never be recycled into a different term and
   // alias a stale memo entry. Schema inference runs at every traversal
   // descent into a qualification/projection position, which dominates
-  // rewrite time without this cache.
-  std::map<const term::Term*, std::optional<lera::Schema>> schema_memo;
+  // rewrite time without this cache. The memo is threaded through
+  // InferSchema's own recursion, so nested views cost O(depth), not
+  // O(depth²).
+  lera::SchemaMemo schema_memo;
   std::vector<term::TermRef> retained;
+
+  // Per-block normal-form memo: (subtree identity, scope key) pairs proven
+  // to contain no redex for that block's rules. Whether a rule matches
+  // inside a subtree depends only on the subtree and the scope's input
+  // schemas (constraints see the catalog, which is fixed for the run), so
+  // the restart-from-root walk after an application skips every untouched
+  // subtree — only the rebuilt spine above the rewrite gets rescanned.
+  // Entries persist across block re-entries and sequence passes.
+  struct NfKey {
+    const term::Term* node;
+    uint64_t scope;
+    bool operator==(const NfKey& o) const {
+      return node == o.node && scope == o.scope;
+    }
+  };
+  struct NfKeyHash {
+    size_t operator()(const NfKey& k) const {
+      uint64_t h = reinterpret_cast<uintptr_t>(k.node);
+      h ^= k.scope + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+  using NfSet = std::unordered_set<NfKey, NfKeyHash>;
+  std::vector<NfSet> nf_memo;  // parallel to program blocks
+  NfSet* current_nf = nullptr;
 };
+
+namespace {
+
+// Smallest subtree the normal-form memo will track. Below this, a rescan
+// (index lookup + quick rejects) is cheaper than the memo's hashing and
+// node allocation, so tracking tiny terms would tax exactly the small
+// queries that have nothing to gain from skipping.
+constexpr size_t kNfMemoMinNodes = 4;
+
+// Builds a Scope::key from the identities of defining input terms.
+class ScopeKeyBuilder {
+ public:
+  ScopeKeyBuilder& Add(const term::Term* p) {
+    h_ ^= reinterpret_cast<uintptr_t>(p);
+    h_ *= 1099511628211ULL;
+    return *this;
+  }
+  // Never 0: that value is reserved for the schema-free scope.
+  uint64_t Done() const { return h_ | 1; }
+
+ private:
+  uint64_t h_ = 14695981039346656037ULL;
+};
+
+}  // namespace
 
 Engine::Engine(const catalog::Catalog* cat, const BuiltinRegistry* builtins,
                RewriteProgram program)
@@ -139,7 +198,11 @@ term::TermRef Engine::TryRulesAt(const term::TermRef& node,
   for (const Rule* rule_ptr : index.Candidates(node)) {
     const Rule& rule = *rule_ptr;
     if (*budget == 0) return nullptr;
-    if (QuickReject(rule.lhs, node)) continue;
+    ++state->stats.match_attempts;
+    if (QuickReject(rule.lhs, node)) {
+      ++state->stats.quick_rejects;
+      continue;
+    }
     // This is a rule-condition check: it burns budget (§4.2).
     ++state->stats.condition_checks;
     if (*budget > 0) --*budget;
@@ -166,7 +229,10 @@ term::TermRef Engine::TryRulesAt(const term::TermRef& node,
                 EvalTermFunctions(*rhs, *builtins_, ctx);
             if (!final_rhs.ok()) return false;
             // No-op guard: a rewrite that reproduces the node exactly is
-            // rejected, so idempotent rules cannot loop.
+            // rejected, so idempotent rules cannot loop. With hash-consed
+            // terms this is a pointer compare in the common case; Equals
+            // keeps its deep fallback so value-equivalent replacements
+            // (e.g. 2 -> 2.0) still count as no-ops, exactly as before.
             if (term::Equals(*final_rhs, node)) return false;
             rewritten = *final_rhs;
             return true;
@@ -191,6 +257,20 @@ term::TermRef Engine::TryOnce(const term::TermRef& node, const Scope& scope,
       state->stats.applications >= state->options->max_applications) {
     return nullptr;
   }
+  // Normal-form memo: this subtree was fully scanned under this scope
+  // before (with budget to spare) and held no redex; it is unchanged —
+  // nodes are immutable and canonical — so scanning it again is pointless.
+  // Only subtrees above a size floor participate: rescanning a handful of
+  // nodes costs less than the memo's own hashing and per-entry allocation,
+  // and the floor keeps small-query rewrites (where the seed engine had
+  // zero bookkeeping) at parity while deep plans still skip in O(1).
+  const bool memoizable =
+      node->is_apply() && node->node_count() >= kNfMemoMinNodes;
+  const RunState::NfKey nf_key{node.get(), scope.key};
+  if (memoizable && state->current_nf->count(nf_key) != 0) {
+    ++state->stats.normal_form_hits;
+    return nullptr;
+  }
   if (TermRef r = TryRulesAt(node, scope, block, index, budget, state)) {
     return r;
   }
@@ -200,15 +280,12 @@ term::TermRef Engine::TryOnce(const term::TermRef& node, const Scope& scope,
   // arguments carry ATTR references.
   const std::string& f = node->functor();
   auto schema_of = [this, state](
-                       const TermRef& in) -> const std::optional<lera::Schema>& {
+                       const TermRef& in) -> const Result<lera::Schema>& {
     auto it = state->schema_memo.find(in.get());
     if (it == state->schema_memo.end()) {
-      Result<lera::Schema> s = lera::InferSchema(in, *catalog_);
-      it = state->schema_memo
-               .emplace(in.get(), s.ok() ? std::optional<lera::Schema>(
-                                               std::move(*s))
-                                         : std::nullopt)
-               .first;
+      // InferSchema fills the memo itself (including for subterms).
+      lera::InferSchema(in, *catalog_, nullptr, &state->schema_memo);
+      it = state->schema_memo.find(in.get());
     }
     return it->second;
   };
@@ -218,8 +295,8 @@ term::TermRef Engine::TryOnce(const term::TermRef& node, const Scope& scope,
     std::vector<lera::Schema> out;
     out.reserve(inputs.size());
     for (const TermRef& in : inputs) {
-      const std::optional<lera::Schema>& s = schema_of(in);
-      if (!s.has_value()) return std::nullopt;
+      const Result<lera::Schema>& s = schema_of(in);
+      if (!s.ok()) return std::nullopt;
       out.push_back(*s);
     }
     return out;
@@ -235,7 +312,9 @@ term::TermRef Engine::TryOnce(const term::TermRef& node, const Scope& scope,
       } else {
         is_scalar_position = true;
         if (auto s = schemas_of_inputs(node->arg(0)->args())) {
-          child_scope = Scope{std::move(*s), true};
+          ScopeKeyBuilder kb;
+          for (const TermRef& in : node->arg(0)->args()) kb.Add(in.get());
+          child_scope = Scope{std::move(*s), true, kb.Done()};
         } else {
           child_scope = Scope{};
         }
@@ -247,7 +326,9 @@ term::TermRef Engine::TryOnce(const term::TermRef& node, const Scope& scope,
       } else {
         is_scalar_position = true;
         if (auto s = schemas_of_inputs({node->arg(0)})) {
-          child_scope = Scope{std::move(*s), true};
+          child_scope =
+              Scope{std::move(*s), true,
+                    ScopeKeyBuilder().Add(node->arg(0).get()).Done()};
         } else {
           child_scope = Scope{};
         }
@@ -258,7 +339,11 @@ term::TermRef Engine::TryOnce(const term::TermRef& node, const Scope& scope,
       } else {
         is_scalar_position = true;
         if (auto s = schemas_of_inputs({node->arg(0), node->arg(1)})) {
-          child_scope = Scope{std::move(*s), true};
+          child_scope = Scope{std::move(*s), true,
+                              ScopeKeyBuilder()
+                                  .Add(node->arg(0).get())
+                                  .Add(node->arg(1).get())
+                                  .Done()};
         } else {
           child_scope = Scope{};
         }
@@ -278,6 +363,11 @@ term::TermRef Engine::TryOnce(const term::TermRef& node, const Scope& scope,
     }
     if (*budget == 0) return nullptr;
   }
+  // The whole subtree was scanned without truncation and no rule fired:
+  // record it as being in normal form for this block under this scope.
+  // (*budget != 0 distinguishes a completed scan from one that ran dry —
+  // every budget-truncated path above returns before reaching here.)
+  if (memoizable && *budget != 0) state->current_nf->insert(nf_key);
   return nullptr;
 }
 
@@ -285,6 +375,7 @@ Result<RewriteOutcome> Engine::Rewrite(const term::TermRef& query,
                                        const RewriteOptions& options) const {
   RunState state;
   state.options = &options;
+  state.nf_memo.resize(program_.blocks.size());
   TermRef current = query;
 
   int64_t seq_remaining =
@@ -298,6 +389,7 @@ Result<RewriteOutcome> Engine::Rewrite(const term::TermRef& query,
       const RuleBlock& block = program_.blocks[block_idx];
       const BlockIndex& index = block_indexes_[block_idx];
       state.current_block = &block.name;
+      state.current_nf = &state.nf_memo[block_idx];
       int64_t budget = block.limit;
       if (options.budget_per_node > 0 && budget != kSaturate) {
         budget = static_cast<int64_t>(
@@ -307,8 +399,12 @@ Result<RewriteOutcome> Engine::Rewrite(const term::TermRef& query,
       // Apply the block's rules until saturation, budget exhaustion, or a
       // cycle: oscillating rule pairs (A -> B -> A) would otherwise burn
       // the whole budget re-deriving the same terms — the §7 pathology.
-      std::set<uint64_t> seen;
-      seen.insert(term::Hash(current));
+      // Hash-consing makes pointer identity coincide with structural
+      // identity for live terms (all of `seen` is pinned via `retained`),
+      // so the guard compares pointers: no deep re-hash of the whole query
+      // per step, and no false stop on a 64-bit hash collision.
+      std::unordered_set<const term::Term*> seen;
+      seen.insert(current.get());
       while (true) {
         if (state.stats.applications >= options.max_applications) {
           state.stats.safety_stop = true;
@@ -318,8 +414,8 @@ Result<RewriteOutcome> Engine::Rewrite(const term::TermRef& query,
         TermRef next =
             TryOnce(current, root_scope, block, index, &budget, &state);
         if (next == nullptr) break;
-        bool fresh = seen.insert(term::Hash(next)).second;
-        state.retained.push_back(current);  // pin for the schema memo
+        bool fresh = seen.insert(next.get()).second;
+        state.retained.push_back(current);  // pin for the memos and `seen`
         current = std::move(next);
         progressed = true;
         if (!fresh) {

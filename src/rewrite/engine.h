@@ -48,6 +48,9 @@ struct EngineStats {
   size_t condition_checks = 0;  // rule-condition checks (budget unit)
   size_t passes = 0;            // block-sequence passes executed
   size_t cycle_stops = 0;       // blocks cut short by the cycle guard
+  size_t match_attempts = 0;    // candidate rules considered at a node
+  size_t quick_rejects = 0;     // candidates dismissed by the pre-filter
+  size_t normal_form_hits = 0;  // subtrees skipped by the normal-form memo
   bool safety_stop = false;     // hit RewriteOptions::max_applications
   std::map<std::string, size_t> applications_by_rule;
 };

@@ -117,6 +117,13 @@ bool MatchSet(const TermList& pats, const TermList& subs, const Bindings& env,
 
 bool MatchNode(const TermRef& pattern, const TermRef& subject,
                const Bindings& env, const Cont& cont) {
+  // Canonical-identity fast path: a pattern with no variables of any kind
+  // matches exactly its own (pointer-identical) canonical term, binding
+  // nothing. Accept-only — a pointer mismatch proves nothing, since e.g.
+  // SET patterns match modulo permutation.
+  if (pattern.get() == subject.get() && pattern->pattern_free()) {
+    return cont(env);
+  }
   switch (pattern->kind()) {
     case term::TermKind::kConstant:
       if (subject->is_constant() &&

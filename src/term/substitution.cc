@@ -66,6 +66,10 @@ std::string Bindings::ToString() const {
 }
 
 Result<TermRef> ApplySubstitution(const TermRef& t, const Bindings& env) {
+  // A term with no variables (including '?'-functor variables) is its own
+  // substitution instance; skip the walk. This is the common case for
+  // ground right-hand-side fragments.
+  if (t->pattern_free()) return t;
   switch (t->kind()) {
     case TermKind::kConstant:
       return t;

@@ -1,19 +1,17 @@
 #include "term/term.h"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <ostream>
 #include <sstream>
 
 #include "common/strings.h"
+#include "term/interner.h"
 
 namespace eds::term {
 
 namespace {
-
-struct TermBuilder : Term {};
-
-std::shared_ptr<Term> NewTerm() { return std::make_shared<TermBuilder>(); }
 
 // Maps canonical functors to their infix spelling for printing.
 const std::map<std::string, std::string>& InfixOps() {
@@ -28,10 +26,7 @@ const std::map<std::string, std::string>& InfixOps() {
 }  // namespace
 
 TermRef Term::Constant(value::Value v) {
-  auto t = NewTerm();
-  t->kind_ = TermKind::kConstant;
-  t->value_ = std::move(v);
-  return t;
+  return Interner::Global().Intern(TermKind::kConstant, std::move(v), {}, {});
 }
 
 TermRef Term::Int(int64_t i) { return Constant(value::Value::Int(i)); }
@@ -42,25 +37,19 @@ TermRef Term::Str(std::string s) {
 TermRef Term::Bool(bool b) { return Constant(value::Value::Bool(b)); }
 
 TermRef Term::Var(std::string name) {
-  auto t = NewTerm();
-  t->kind_ = TermKind::kVariable;
-  t->name_ = std::move(name);
-  return t;
+  return Interner::Global().Intern(TermKind::kVariable, {}, std::move(name),
+                                   {});
 }
 
 TermRef Term::CollVar(std::string name) {
-  auto t = NewTerm();
-  t->kind_ = TermKind::kCollectionVariable;
-  t->name_ = std::move(name);
-  return t;
+  return Interner::Global().Intern(TermKind::kCollectionVariable, {},
+                                   std::move(name), {});
 }
 
 TermRef Term::Apply(std::string functor, TermList args) {
-  auto t = NewTerm();
-  t->kind_ = TermKind::kApply;
-  t->name_ = ToUpperAscii(functor);
-  t->args_ = std::move(args);
-  return t;
+  return Interner::Global().Intern(TermKind::kApply, {},
+                                   ToUpperAscii(std::move(functor)),
+                                   std::move(args));
 }
 
 TermRef Term::And(TermRef a, TermRef b) {
@@ -80,7 +69,40 @@ TermRef Term::Relation(std::string name) {
   return Apply(kRelation, {Str(std::move(name))});
 }
 
-bool Equals(const TermRef& a, const TermRef& b) { return Compare(a, b) == 0; }
+bool Equals(const TermRef& a, const TermRef& b) {
+  if (a.get() == b.get()) return true;
+  if (a == nullptr || b == nullptr) return false;
+  // Hash-consing makes the pointer compare above the common success path
+  // and the cached-hash compare the common failure path. Distinct nodes
+  // with equal hashes (value-equivalent constants such as 2 vs 2.0, which
+  // intern separately by exact payload, or true collisions) still need the
+  // structural walk.
+  if (a->structural_hash() != b->structural_hash()) return false;
+  return DeepEquals(a, b);
+}
+
+bool DeepEquals(const TermRef& a, const TermRef& b) {
+  if (a.get() == b.get()) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind() != b->kind()) return false;
+  switch (a->kind()) {
+    case TermKind::kConstant:
+      return value::Compare(a->constant(), b->constant()) == 0;
+    case TermKind::kVariable:
+    case TermKind::kCollectionVariable:
+      return a->var_name() == b->var_name();
+    case TermKind::kApply: {
+      if (a->functor() != b->functor() || a->arity() != b->arity()) {
+        return false;
+      }
+      for (size_t i = 0; i < a->arity(); ++i) {
+        if (!Equals(a->arg(i), b->arg(i))) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
 
 int Compare(const TermRef& a, const TermRef& b) {
   if (a.get() == b.get()) return 0;
@@ -111,38 +133,121 @@ int Compare(const TermRef& a, const TermRef& b) {
   return 0;
 }
 
-uint64_t Hash(const TermRef& t) {
-  constexpr uint64_t kPrime = 1099511628211ULL;
-  uint64_t h = 14695981039346656037ULL;
-  auto mix = [&h](uint64_t x) {
-    h ^= x;
-    h *= kPrime;
-  };
-  if (t == nullptr) return h;
-  mix(static_cast<uint64_t>(t->kind()));
-  switch (t->kind()) {
-    case TermKind::kConstant: {
-      // Hash via the printed form; constants are small.
-      for (char c : t->constant().ToString()) mix(static_cast<uint8_t>(c));
+namespace {
+
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+
+inline void Mix(uint64_t* h, uint64_t x) {
+  *h ^= x;
+  *h *= kFnvPrime;
+}
+
+}  // namespace
+
+namespace internal {
+
+// Hashes a constant payload consistently with value::Compare's equivalence
+// classes: kInt and kReal both hash through the widened double (so 2 and
+// 2.0 collide, as Compare demands), -0.0 collapses to +0.0, and tuple
+// field names are ignored (Compare orders tuples by values alone).
+uint64_t HashConstantValue(const value::Value& v) {
+  uint64_t h = kFnvOffset;
+  using value::ValueKind;
+  switch (v.kind()) {
+    case ValueKind::kNull:
+      Mix(&h, 1);
+      break;
+    case ValueKind::kBool:
+      Mix(&h, 2);
+      Mix(&h, v.AsBool() ? 1 : 0);
+      break;
+    case ValueKind::kInt:
+    case ValueKind::kReal: {
+      Mix(&h, 3);
+      double d = v.AsReal();
+      if (d == 0) d = 0;  // fold -0.0 into +0.0
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(bits));
+      Mix(&h, bits);
       break;
     }
-    case TermKind::kVariable:
-    case TermKind::kCollectionVariable:
-      for (char c : t->var_name()) mix(static_cast<uint8_t>(c));
+    case ValueKind::kString:
+      Mix(&h, 4);
+      for (char c : v.AsString()) Mix(&h, static_cast<uint8_t>(c));
       break;
-    case TermKind::kApply:
-      for (char c : t->functor()) mix(static_cast<uint8_t>(c));
-      for (const TermRef& a : t->args()) mix(Hash(a));
+    case ValueKind::kTuple:
+      Mix(&h, 5);
+      for (const value::Value& f : v.tuple().values) {
+        Mix(&h, HashConstantValue(f));
+      }
+      break;
+    case ValueKind::kSet:
+    case ValueKind::kBag:
+    case ValueKind::kList:
+    case ValueKind::kArray:
+      Mix(&h, 6 + static_cast<uint64_t>(v.kind()) -
+                  static_cast<uint64_t>(ValueKind::kSet));
+      for (const value::Value& e : v.elements()) {
+        Mix(&h, HashConstantValue(e));
+      }
+      break;
+    case ValueKind::kObjectRef:
+      Mix(&h, 10);
+      Mix(&h, v.AsObjectRef());
       break;
   }
   return h;
 }
 
-bool IsGround(const TermRef& t) {
+uint64_t HashNode(TermKind kind, const std::string& name,
+                  const value::Value& v, const uint64_t* child_hashes,
+                  size_t n) {
+  uint64_t h = kFnvOffset;
+  Mix(&h, static_cast<uint64_t>(kind));
+  switch (kind) {
+    case TermKind::kConstant:
+      Mix(&h, HashConstantValue(v));
+      break;
+    case TermKind::kVariable:
+    case TermKind::kCollectionVariable:
+      for (char c : name) Mix(&h, static_cast<uint8_t>(c));
+      break;
+    case TermKind::kApply:
+      for (char c : name) Mix(&h, static_cast<uint8_t>(c));
+      for (size_t i = 0; i < n; ++i) Mix(&h, child_hashes[i]);
+      break;
+  }
+  return h;
+}
+
+}  // namespace internal
+
+uint64_t Hash(const TermRef& t) {
+  return t == nullptr ? kFnvOffset : t->structural_hash();
+}
+
+uint64_t DeepHash(const TermRef& t) {
+  if (t == nullptr) return kFnvOffset;
+  std::vector<uint64_t> child_hashes;
+  if (t->is_apply()) {
+    child_hashes.reserve(t->arity());
+    for (const TermRef& a : t->args()) child_hashes.push_back(DeepHash(a));
+  }
+  return internal::HashNode(t->kind(),
+                            t->is_apply() ? t->functor() : t->var_name(),
+                            t->constant(), child_hashes.data(),
+                            child_hashes.size());
+}
+
+bool IsGround(const TermRef& t) { return t->ground(); }
+
+bool DeepIsGround(const TermRef& t) {
   if (t->is_variable() || t->is_collection_variable()) return false;
   if (t->is_apply()) {
     for (const TermRef& a : t->args()) {
-      if (!IsGround(a)) return false;
+      if (!DeepIsGround(a)) return false;
     }
   }
   return true;
@@ -185,13 +290,23 @@ void CollectVariables(const TermRef& t, std::vector<std::string>* vars,
   CollectVarsRec(t, vars, coll_vars);
 }
 
-size_t CountNodes(const TermRef& t) {
+size_t CountNodes(const TermRef& t) { return t->node_count(); }
+
+size_t DeepCountNodes(const TermRef& t) {
   size_t n = 1;
   if (t->is_apply()) {
-    for (const TermRef& a : t->args()) n += CountNodes(a);
+    for (const TermRef& a : t->args()) n += DeepCountNodes(a);
   }
   return n;
 }
+
+namespace testing {
+
+TermRef CloneWithHashForTesting(const TermRef& t, uint64_t forced_hash) {
+  return Interner::CloneWithHashForTesting(t, forced_hash);
+}
+
+}  // namespace testing
 
 TermRef WithArgs(const TermRef& t, TermList args) {
   bool same = args.size() == t->arity();

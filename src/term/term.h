@@ -51,6 +51,13 @@ inline constexpr const char* kRelation = "RELATION";  // RELATION('FILM')
 // An immutable node of a term tree. Construct through the factories; nodes
 // are shared via TermRef and never mutated, so rewritten terms share
 // untouched subtrees with their originals.
+//
+// The factories canonicalize through the hash-cons table in
+// term/interner.h: structurally equal terms built while an equal term is
+// alive come back as the *same* node. Every node also carries its
+// structural hash, node count, and variable-freeness, computed once from
+// its children at construction, so Hash/CountNodes/IsGround/Equals are
+// O(1) field reads instead of tree walks.
 class Term {
  public:
   TermKind kind() const { return kind_; }
@@ -81,6 +88,22 @@ class Term {
   bool IsApply(const std::string& name, size_t n) const {
     return IsApply(name) && args_.size() == n;
   }
+
+  // ---- cached structural facts (filled at construction) ----
+  // Structural hash consistent with Equals: equal terms hash equal.
+  uint64_t structural_hash() const { return hash_; }
+  // Number of nodes in this tree.
+  size_t node_count() const { return node_count_; }
+  // No variables or collection variables below this node.
+  bool ground() const { return ground_ != 0; }
+  // Ground *and* no '?'-prefixed functor variables either, i.e. applying
+  // any substitution to this term is the identity. IsGround alone is not
+  // enough: functor variables live in the functor name, not in a
+  // kVariable node.
+  bool pattern_free() const { return pattern_free_ != 0; }
+  // Built by the hash-cons table. False only for testing clones; interned
+  // structurally equal terms built while this node is alive are this node.
+  bool interned() const { return interned_ != 0; }
 
   // Pretty form: infix for boolean/comparison/arithmetic functors, `i.j`
   // for ATTR, `'lit'` for strings, `F(a, b)` otherwise.
@@ -121,22 +144,39 @@ class Term {
   Term() = default;
 
  private:
+  friend class Interner;
+
+  static constexpr uint32_t kMaxNodeCount = (1u << 29) - 1;
+
   TermKind kind_ = TermKind::kConstant;
+  // The cached subtree facts share kind_'s alignment hole: node counts are
+  // clamped to 29 bits (half a billion nodes dwarfs any real plan) so the
+  // three flags ride along without growing the node — executors walk terms
+  // by the million, and every extra cache line is paid per row.
+  uint32_t node_count_ : 29 = 1;
+  uint32_t ground_ : 1 = 1;
+  uint32_t pattern_free_ : 1 = 1;
+  uint32_t interned_ : 1 = 0;
   value::Value value_;
   std::string name_;
   TermList args_;
+  uint64_t hash_ = 0;
 };
 
-// Deep structural equality.
+// Structural equality. Canonical construction makes this O(1) in practice:
+// pointer-identical terms are equal, terms with different cached hashes are
+// unequal, and only hash-equal distinct nodes (value-equivalent constants
+// like 2 vs 2.0 interned separately by exact payload, or genuine 64-bit
+// collisions) fall back to the deep walk.
 bool Equals(const TermRef& a, const TermRef& b);
 
 // Total structural order (kind, then payload, then args lexicographically).
 int Compare(const TermRef& a, const TermRef& b);
 
-// FNV-style structural hash, consistent with Equals.
+// Structural hash, consistent with Equals. O(1): reads the cached hash.
 uint64_t Hash(const TermRef& t);
 
-// True if `t` contains no variables or collection variables.
+// True if `t` contains no variables or collection variables. O(1).
 bool IsGround(const TermRef& t);
 
 // Collects the names of variables (`vars`) and collection variables
@@ -146,8 +186,35 @@ void CollectVariables(const TermRef& t, std::vector<std::string>* vars,
                       std::vector<std::string>* coll_vars);
 
 // Number of nodes in the tree (the paper's termination argument counts
-// terms; the engine uses this for size-decreasing diagnostics).
+// terms; the engine uses this for size-decreasing diagnostics). O(1).
 size_t CountNodes(const TermRef& t);
+
+// Deep (tree-walking) counterparts of the cached O(1) reads above. These
+// recompute from scratch and exist as the ground truth the caches are
+// verified against in tests, and as the fallback Equals uses on hash-equal
+// distinct nodes.
+bool DeepEquals(const TermRef& a, const TermRef& b);
+uint64_t DeepHash(const TermRef& t);
+bool DeepIsGround(const TermRef& t);
+size_t DeepCountNodes(const TermRef& t);
+
+namespace internal {
+// Shared by the interner and DeepHash so cached and recomputed hashes
+// agree. HashConstantValue is consistent with value::Compare equivalence
+// (Int(2) and Real(2.0) hash equal; tuple field names are ignored).
+uint64_t HashConstantValue(const value::Value& v);
+uint64_t HashNode(TermKind kind, const std::string& name,
+                  const value::Value& v, const uint64_t* child_hashes,
+                  size_t n);
+}  // namespace internal
+
+namespace testing {
+// Returns an *uninterned* shallow clone of `t` whose cached hash is forced
+// to `forced_hash` (children are shared). This deliberately violates the
+// hash/Equals consistency invariant; it exists solely so tests can
+// manufacture hash collisions and prove collision-immunity of consumers.
+TermRef CloneWithHashForTesting(const TermRef& t, uint64_t forced_hash);
+}  // namespace testing
 
 // Rebuilds an apply node with new arguments, reusing the original node when
 // nothing changed. Precondition: t->is_apply().

@@ -2,6 +2,7 @@
 
 #include "gtest/gtest.h"
 #include "ruledsl/compiler.h"
+#include "term/interner.h"
 #include "term/parser.h"
 
 namespace eds::rewrite {
@@ -277,6 +278,59 @@ TEST_F(EngineTest, PaperDedupExample) {
       "/ ;",
       "F(SET(A(), G(A(), TRUE), B()))");
   EXPECT_TRUE(term::Equals(out, P("F(SET(A(), B()))")));
+}
+
+TEST_F(EngineTest, NormalFormMemoSkipsUntouchedSubtrees) {
+  // After the first application the search restarts from the root; the
+  // subtree already proven redex-free (DEEP(...)) must be skipped by the
+  // normal-form memo instead of re-matched, on that restart and on every
+  // later sequence pass.
+  EngineStats stats;
+  TermRef out = RewriteWith(
+      "a2b : A(x) / --> B(x) / ;\n"
+      "block(b, {a2b}, inf) ;\n"
+      "seq({b}, 2) ;",
+      "H(DEEP(C(C(C(C(1))))), A(1), A(2))", &stats);
+  EXPECT_TRUE(term::Equals(out, P("H(DEEP(C(C(C(C(1))))), B(1), B(2))")));
+  EXPECT_EQ(stats.applications, 2u);
+  EXPECT_GT(stats.normal_form_hits, 0u);
+  // The counters decompose: every candidate considered is either quickly
+  // rejected or pays a full condition check.
+  EXPECT_EQ(stats.match_attempts,
+            stats.quick_rejects + stats.condition_checks);
+}
+
+TEST_F(EngineTest, CycleGuardImmuneToHashCollisions) {
+  // Seed bug regression: the old guard kept a set of 64-bit deep hashes of
+  // every intermediate query term, so a colliding pair caused a spurious
+  // cycle stop. Force the worst case — the input's hash equals the
+  // rewritten term's hash — and require a clean, stop-free application.
+  auto engine = MakeEngine("ab : A(q) / --> B(q) / ;");
+  ASSERT_NE(engine, nullptr);
+  TermRef target = P("B(1)");
+  TermRef query =
+      term::testing::CloneWithHashForTesting(P("A(1)"), term::Hash(target));
+  ASSERT_EQ(term::Hash(query), term::Hash(target));
+  auto out = engine->Rewrite(query);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(term::Equals(out->term, target));
+  EXPECT_EQ(out->stats.applications, 1u);
+  EXPECT_EQ(out->stats.cycle_stops, 0u);
+}
+
+TEST_F(EngineTest, CycleGuardStillStopsRealOscillation) {
+  // The pointer-based guard must keep catching genuine A -> B -> A cycles
+  // even when the interner is collapsed to a single hash bucket.
+  term::Interner::SetDegenerateBucketsForTesting(true);
+  EngineStats stats;
+  TermRef out = RewriteWith(
+      "up : A(x) / --> B(x) / ;\n"
+      "down : B(x) / --> A(x) / ;",
+      "A(7)", &stats);
+  term::Interner::SetDegenerateBucketsForTesting(false);
+  ASSERT_NE(out, nullptr);
+  EXPECT_GE(stats.cycle_stops, 1u);
+  EXPECT_FALSE(stats.safety_stop);
 }
 
 }  // namespace

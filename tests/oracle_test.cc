@@ -132,5 +132,32 @@ TEST_F(OracleTest, ScopeFollowsNestedOperators) {
   EXPECT_EQ(s.find("H(MARKED"), std::string::npos) << s;
 }
 
+TEST_F(OracleTest, RewriteOutcomesAreCanonicalAndDeterministic) {
+  // With hash-consed terms, rewriting the same query twice must yield not
+  // just byte-identical plans but the *same canonical node* — normal-form
+  // caching and pointer guards never change the outcome, they only skip
+  // work. Exercised over every query shape this suite uses.
+  const char* queries[] = {
+      "SEARCH(LIST(RELATION('SHAPES')), G($1.2), LIST($1.1))",
+      "SEARCH(LIST(RELATION('FILM')), G($1.3), LIST($1.1))",
+      "FILTER(RELATION('SHAPES'), G($1.2))",
+      "JOIN(RELATION('SHAPES'), RELATION('FILM'), G($1.2))",
+      "PROJECT(RELATION('SHAPES'), LIST(G($1.2)))",
+      "G($1.2)",
+      "SEARCH(LIST(SEARCH(LIST(RELATION('SHAPES')), G($1.2), LIST($1.1))), "
+      "H($1.1), LIST($1.1))",
+  };
+  auto tagger = TaggerFor("Point");
+  for (const char* query : queries) {
+    auto first = tagger->Rewrite(P(query));
+    auto second = tagger->Rewrite(P(query));
+    ASSERT_TRUE(first.ok() && second.ok()) << query;
+    EXPECT_EQ(first->term.get(), second->term.get()) << query;
+    EXPECT_EQ(first->term->ToString(), second->term->ToString()) << query;
+    EXPECT_EQ(first->stats.applications, second->stats.applications)
+        << query;
+  }
+}
+
 }  // namespace
 }  // namespace eds::rewrite

@@ -63,6 +63,46 @@ TEST_P(TermRoundTripTest, PrintParsePrintIsStable) {
 INSTANTIATE_TEST_SUITE_P(Seeds, TermRoundTripTest,
                          ::testing::Values(1, 7, 42, 1234, 99991));
 
+// ---- hash-consing invariants over random terms ----
+
+// This generator draws constants, variables, and functors from small fixed
+// pools and never mixes Int/Real payloads, so structural equality implies
+// canonical-pointer identity (the one place interning is *allowed* to keep
+// deep-equal twins apart is value-equivalent constants of different
+// numeric kinds, which it cannot produce here).
+TEST_P(TermRoundTripTest, InternedPointerEqualityMatchesDeepEquals) {
+  std::mt19937 rng(GetParam() + 17);
+  std::vector<term::TermRef> pool;
+  for (int i = 0; i < 60; ++i) pool.push_back(RandomTerm(&rng, 3));
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = i; j < pool.size(); ++j) {
+      const term::TermRef& a = pool[i];
+      const term::TermRef& b = pool[j];
+      const bool deep = term::DeepEquals(a, b);
+      EXPECT_EQ(a.get() == b.get(), deep)
+          << a->ToString() << " vs " << b->ToString();
+      EXPECT_EQ(term::Equals(a, b), deep);
+      if (deep) {
+        EXPECT_EQ(term::Hash(a), term::Hash(b));
+      }
+    }
+  }
+}
+
+TEST_P(TermRoundTripTest, CachedFactsMatchDeepRecomputation) {
+  std::mt19937 rng(GetParam() + 29);
+  for (int i = 0; i < 80; ++i) {
+    term::TermRef t = RandomTerm(&rng, 4);
+    EXPECT_EQ(t->structural_hash(), term::DeepHash(t)) << t->ToString();
+    EXPECT_EQ(term::CountNodes(t), term::DeepCountNodes(t)) << t->ToString();
+    EXPECT_EQ(term::IsGround(t), term::DeepIsGround(t)) << t->ToString();
+    // Reparsing the printed form must come back as the same canonical node.
+    auto back = term::ParseTerm(t->ToString());
+    ASSERT_TRUE(back.ok()) << t->ToString();
+    EXPECT_EQ(back->get(), t.get()) << t->ToString();
+  }
+}
+
 // ---- rewrite preserves semantics over generated data ----
 
 struct GraphCase {

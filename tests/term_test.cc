@@ -1,6 +1,7 @@
 #include "term/term.h"
 
 #include "gtest/gtest.h"
+#include "term/interner.h"
 #include "term/parser.h"
 #include "term/substitution.h"
 
@@ -205,6 +206,108 @@ TEST(SubstitutionTest, BindingsToString) {
   env.SetVar("x", P("F(1)"));
   env.SetCollVar("y", {P("a")});
   EXPECT_EQ(env.ToString(), "{x := F(1), y* := [a]}");
+}
+
+// ---- hash-consing ----
+
+TEST(InternerTest, StructurallyEqualTermsArePointerIdentical) {
+  TermRef a = Term::Apply("F", {Term::Int(1), Term::Var("x")});
+  TermRef b = Term::Apply("f", {Term::Int(1), Term::Var("x")});
+  EXPECT_EQ(a.get(), b.get());  // functor case-folds before interning
+  EXPECT_EQ(P("SEARCH(LIST(RELATION('R')), G($1.1), LIST($1.2))").get(),
+            P("SEARCH(LIST(RELATION('R')), G($1.1), LIST($1.2))").get());
+  EXPECT_NE(P("F(1)").get(), P("F(2)").get());
+  EXPECT_NE(Term::Var("x").get(), Term::CollVar("x").get());
+}
+
+TEST(InternerTest, CachedFactsMatchDeepRecomputation) {
+  for (const char* text :
+       {"1", "x", "F(G(1, 'a'), SET(x, y*, 2), ?H(x))",
+        "SEARCH(LIST(RELATION('R')), AND($1.1 = 5, MEMBER(1, SET(1, 2))), "
+        "LIST($1.2))"}) {
+    TermRef t = P(text);
+    EXPECT_EQ(t->structural_hash(), DeepHash(t)) << text;
+    EXPECT_EQ(t->node_count(), DeepCountNodes(t)) << text;
+    EXPECT_EQ(t->ground(), DeepIsGround(t)) << text;
+    EXPECT_TRUE(t->interned()) << text;
+  }
+}
+
+TEST(InternerTest, PatternFreeExcludesFunctorVariables) {
+  EXPECT_TRUE(P("F(G(1), 'a')")->pattern_free());
+  EXPECT_FALSE(P("F(x)")->pattern_free());
+  EXPECT_FALSE(P("F(y*)")->pattern_free());
+  // ?H(1) is ground by the IsGround definition (no variable *nodes*) but
+  // not pattern-free: substitution resolves the functor variable.
+  TermRef fv = P("?H(1)");
+  EXPECT_TRUE(fv->ground());
+  EXPECT_FALSE(fv->pattern_free());
+  EXPECT_FALSE(P("F(?H(1))")->pattern_free());
+}
+
+TEST(InternerTest, IntAndRealInternSeparatelyButCompareEqual) {
+  TermRef i = Term::Int(2);
+  TermRef r = Term::Real(2.0);
+  EXPECT_NE(i.get(), r.get());  // exact payloads differ: kInt vs kReal
+  EXPECT_TRUE(Equals(i, r));    // but value::Compare says equal
+  EXPECT_EQ(Hash(i), Hash(r));  // so their hashes must agree too
+  EXPECT_EQ(Compare(i, r), 0);
+}
+
+TEST(InternerTest, HitsAndMissesAreCounted) {
+  Interner& interner = Interner::Global();
+  Interner::Stats before = interner.GetStats();
+  TermRef fresh = Term::Apply("INTERNERTESTONLY", {Term::Int(7)});
+  Interner::Stats after_fresh = interner.GetStats();
+  EXPECT_GT(after_fresh.misses, before.misses);
+  TermRef again = Term::Apply("INTERNERTESTONLY", {Term::Int(7)});
+  Interner::Stats after_again = interner.GetStats();
+  EXPECT_EQ(again.get(), fresh.get());
+  EXPECT_GT(after_again.hits, after_fresh.hits);
+}
+
+TEST(InternerTest, SweepReclaimsDeadEntries) {
+  Interner& interner = Interner::Global();
+  interner.Sweep();  // start from a clean table
+  size_t live = interner.GetStats().entries;
+  {
+    TermRef doomed = Term::Apply("SWEEPTESTONLY", {Term::Int(1), P("G(2)")});
+    EXPECT_GE(interner.GetStats().entries, live + 1);
+  }
+  interner.Sweep();
+  // The SWEEPTESTONLY node died with its last reference; G(2)/2 may
+  // survive via other live terms, but the table cannot have grown.
+  TermRef recreated = Term::Apply("SWEEPTESTONLY", {Term::Int(1), P("G(2)")});
+  EXPECT_TRUE(recreated->interned());
+}
+
+TEST(InternerTest, DegenerateBucketsStayCorrect) {
+  Interner::SetDegenerateBucketsForTesting(true);
+  TermRef a = Term::Apply("DEGENTESTONLY", {Term::Int(1)});
+  TermRef b = Term::Apply("DEGENTESTONLY", {Term::Int(1)});
+  TermRef c = Term::Apply("DEGENTESTONLY", {Term::Int(2)});
+  Interner::SetDegenerateBucketsForTesting(false);
+  EXPECT_EQ(a.get(), b.get());  // dedup is exact even with one bucket
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(a->structural_hash(), DeepHash(a));
+  // Nodes interned while degenerate unify with normally-bucketed twins
+  // through Equals (never through pointer identity across the switch).
+  EXPECT_TRUE(Equals(a, b));
+}
+
+TEST(InternerTest, CloneWithForcedHashIsUninterned) {
+  TermRef orig = P("F(G(1), 2)");
+  TermRef clone = testing::CloneWithHashForTesting(orig, 42u);
+  EXPECT_NE(clone.get(), orig.get());
+  EXPECT_FALSE(clone->interned());
+  EXPECT_EQ(clone->structural_hash(), 42u);
+  EXPECT_EQ(clone->node_count(), orig->node_count());
+  EXPECT_TRUE(DeepEquals(clone, orig));
+  // A forced-collision pair: structurally different, hashes equal.
+  TermRef other = testing::CloneWithHashForTesting(P("H(9)"), 42u);
+  EXPECT_EQ(clone->structural_hash(), other->structural_hash());
+  EXPECT_FALSE(DeepEquals(clone, other));
+  EXPECT_FALSE(Equals(clone, other));  // deep fallback resolves the clash
 }
 
 }  // namespace
