@@ -1,0 +1,96 @@
+// Observability overhead A/B: the same rewrite and end-to-end query
+// workloads with tracing/profiling off (the shipping default), with
+// per-rule profiling, and with a live span sink. The "off" variants must
+// track the pre-obs numbers — every instrumentation site is one branch on
+// a null sink pointer — and the smoke run wired into ctest (label
+// `smokebench;obs`) keeps that claim tested.
+#include "benchutil.h"
+#include "obs/trace.h"
+
+namespace {
+
+using eds::benchutil::Check;
+using eds::benchutil::CheckResult;
+using eds::benchutil::MakeFilmDb;
+using eds::benchutil::MakeGraphDb;
+
+std::unique_ptr<eds::exec::Session> MakeNestedDb(int films) {
+  auto session = MakeFilmDb(films);
+  Check(session->ExecuteScript(R"(
+    CREATE VIEW FilmActors (Title, Categories, Actors) AS
+      SELECT Title, Categories, MakeSet(Refactor)
+      FROM FILM, APPEARS_IN
+      WHERE FILM.Numf = APPEARS_IN.Numf
+      GROUP BY Title, Categories;
+  )"),
+        "nested view");
+  return session;
+}
+
+enum class Mode { kOff, kProfile, kTrace };
+
+// Rewrite phase only, nested-view plan: off vs profile_rules vs span sink.
+void BM_RewriteObs(benchmark::State& state, Mode mode) {
+  auto session = MakeNestedDb(50);
+  auto plan = CheckResult(
+      session->Translate(
+          "SELECT Title FROM FilmActors WHERE MEMBER('Adventure', "
+          "Categories) AND ALL(Salary(Actors) > 10000)"),
+      "translate");
+  eds::obs::TraceSink sink;
+  eds::rewrite::RewriteOptions options;
+  if (mode == Mode::kProfile) options.profile_rules = true;
+  if (mode == Mode::kTrace) options.trace_sink = &sink;
+  for (auto _ : state) {
+    sink.Clear();
+    auto out = session->Rewrite(plan, options);
+    Check(out.status(), "rewrite");
+    benchmark::DoNotOptimize(out->term);
+  }
+}
+void BM_Rewrite_Plain(benchmark::State& state) {
+  BM_RewriteObs(state, Mode::kOff);
+}
+void BM_Rewrite_Profiled(benchmark::State& state) {
+  BM_RewriteObs(state, Mode::kProfile);
+}
+void BM_Rewrite_Traced(benchmark::State& state) {
+  BM_RewriteObs(state, Mode::kTrace);
+}
+BENCHMARK(BM_Rewrite_Plain);
+BENCHMARK(BM_Rewrite_Profiled);
+BENCHMARK(BM_Rewrite_Traced);
+
+// End to end on the Fig. 5 transitive closure: per-operator and
+// per-fixpoint-round spans are the executor's hot instrumentation sites.
+void BM_QueryObs(benchmark::State& state, Mode mode) {
+  auto session = MakeGraphDb(60);
+  eds::obs::TraceSink sink;
+  if (mode == Mode::kTrace) session->set_trace_sink(&sink);
+  eds::exec::QueryOptions options;
+  if (mode == Mode::kProfile) options.rewrite_options.profile_rules = true;
+  for (auto _ : state) {
+    sink.Clear();
+    auto result =
+        session->Query("SELECT L FROM BETTER_THAN WHERE W = 1", options);
+    Check(result.status(), "query");
+    benchmark::DoNotOptimize(result->rows);
+    eds::benchutil::ReportExecWork(state, *result);
+  }
+}
+void BM_Query_Plain(benchmark::State& state) {
+  BM_QueryObs(state, Mode::kOff);
+}
+void BM_Query_Profiled(benchmark::State& state) {
+  BM_QueryObs(state, Mode::kProfile);
+}
+void BM_Query_Traced(benchmark::State& state) {
+  BM_QueryObs(state, Mode::kTrace);
+}
+BENCHMARK(BM_Query_Plain);
+BENCHMARK(BM_Query_Profiled);
+BENCHMARK(BM_Query_Traced);
+
+}  // namespace
+
+BENCHMARK_MAIN();

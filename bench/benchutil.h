@@ -105,7 +105,9 @@ inline std::unique_ptr<exec::Session> MakeGraphDb(int nodes,
   return session;
 }
 
-// Runs one query and reports executor-side work as counters.
+// Runs one query and reports executor-side work as counters, plus the
+// per-phase wall times (ns of the last iteration) so BENCH trajectories
+// carry a phase breakdown alongside ns/op.
 inline void ReportExecWork(benchmark::State& state,
                            const exec::QueryResult& result) {
   state.counters["rows_out"] = static_cast<double>(result.rows.size());
@@ -117,6 +119,9 @@ inline void ReportExecWork(benchmark::State& state,
       static_cast<double>(result.exec_stats.fix_tuples);
   state.counters["rewrites"] =
       static_cast<double>(result.rewrite_stats.applications);
+  state.counters["rewrite_ns"] =
+      static_cast<double>(result.phase_times.rewrite_ns);
+  state.counters["exec_ns"] = static_cast<double>(result.phase_times.exec_ns);
 }
 
 }  // namespace eds::benchutil

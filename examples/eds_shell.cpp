@@ -3,6 +3,8 @@
 //
 //   $ ./build/examples/eds_shell            # interactive
 //   $ ./build/examples/eds_shell script.sql # run a script, then interact
+//   $ ./build/examples/eds_shell --trace-out=t.json script.sql
+//       # record phase/rule/operator spans; open t.json in Perfetto
 //
 // Meta commands (no ';'):
 //   \q                quit
@@ -11,6 +13,8 @@
 //   \plan SELECT ...  show raw + optimized plans without executing
 //   \trace SELECT ... show the rewrite trace (rule by rule)
 //   \stats SELECT ... show full engine statistics for a query's rewrite
+//   \metrics SELECT ...  run the query, dump the unified metrics registry
+//   \profile SELECT ...  run the query, rank rules by cumulative self time
 //   \rules            show the generated optimizer's blocks
 //   \norewrite        toggle the rewriter on/off for subsequent queries
 //   \lint             lint the rule libraries + declared constraints
@@ -27,6 +31,8 @@
 #include "lera/printer.h"
 #include "lint/lint.h"
 #include "magic/magic.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rules/extensions.h"
 #include "rules/fixpoint.h"
 #include "rules/merging.h"
@@ -38,6 +44,12 @@ namespace {
 
 class Shell {
  public:
+  // `sink` (may be null) records phase/rule/operator spans for every
+  // statement; main() writes it out as Chrome trace JSON on exit.
+  explicit Shell(eds::obs::TraceSink* sink) {
+    session_.set_trace_sink(sink);
+  }
+
   // Returns false on \q.
   bool HandleLine(const std::string& line) {
     if (eds::Trim(line).empty()) return true;
@@ -89,6 +101,14 @@ class Shell {
     }
     if (eds::StartsWith(line, "\\stats ")) {
       ShowStats(line.substr(7));
+      return true;
+    }
+    if (eds::StartsWith(line, "\\metrics ")) {
+      ShowMetrics(line.substr(9));
+      return true;
+    }
+    if (eds::StartsWith(line, "\\profile ")) {
+      ShowProfile(line.substr(9));
       return true;
     }
     if (line == "\\rules") {
@@ -225,6 +245,46 @@ class Shell {
     }
   }
 
+  // Runs the query end to end with per-rule profiling on and dumps every
+  // producer's statistics through the unified registry.
+  void ShowMetrics(const std::string& query) {
+    eds::exec::QueryOptions options;
+    options.rewrite = rewrite_;
+    options.rewrite_options.profile_rules = true;
+    auto result = session_.Query(eds::Trim(query), options);
+    if (!result.ok()) {
+      std::cout << result.status() << "\n";
+      return;
+    }
+    eds::obs::MetricsRegistry registry;
+    eds::obs::ExportEngineStats(result->rewrite_stats, &registry);
+    eds::obs::ExportExecStats(result->exec_stats, &registry);
+    eds::obs::ExportInternerStats(eds::term::Interner::Global().GetStats(),
+                                  &registry);
+    std::cout << registry.ToText();
+    const eds::exec::PhaseTimes& t = result->phase_times;
+    std::cout << "phase times (us): parse " << t.parse_ns / 1000
+              << ", translate " << t.translate_ns / 1000 << ", rewrite "
+              << t.rewrite_ns / 1000 << ", schema " << t.schema_ns / 1000
+              << ", exec " << t.exec_ns / 1000 << ", total "
+              << t.total_ns / 1000 << "\n";
+  }
+
+  // Runs the query with per-rule profiling and ranks rules by cumulative
+  // self time.
+  void ShowProfile(const std::string& query) {
+    eds::exec::QueryOptions options;
+    options.rewrite = rewrite_;
+    options.rewrite_options.profile_rules = true;
+    auto result = session_.Query(eds::Trim(query), options);
+    if (!result.ok()) {
+      std::cout << result.status() << "\n";
+      return;
+    }
+    std::cout << eds::obs::FormatRuleProfiles(result->rewrite_stats,
+                                              /*limit=*/10);
+  }
+
   void RunStatement(const std::string& text) {
     std::string trimmed(eds::Trim(text));
     // SELECTs go through Query for results; everything else is a script.
@@ -265,34 +325,75 @@ class Shell {
 
 }  // namespace
 
+namespace {
+
+// Writes the accumulated spans as Chrome trace JSON (Perfetto-loadable).
+int WriteTrace(const eds::obs::TraceSink& sink, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write trace to " << path << "\n";
+    return 1;
+  }
+  sink.WriteChromeTrace(out);
+  std::cerr << "wrote " << sink.size() << " trace event(s) to " << path
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  Shell shell;
-  if (argc > 1) {
-    std::ifstream file(argv[1]);
+  std::string trace_path;
+  std::string script_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    const std::string kTraceOut = "--trace-out=";
+    if (arg.rfind(kTraceOut, 0) == 0) {
+      trace_path = arg.substr(kTraceOut.size());
+      if (trace_path.empty()) {
+        std::cerr << "usage: eds_shell [--trace-out=FILE.json] [script.sql]\n";
+        return 1;
+      }
+    } else {
+      script_path = arg;
+    }
+  }
+
+  eds::obs::TraceSink sink;
+  Shell shell(trace_path.empty() ? nullptr : &sink);
+  int exit_code = 0;
+  bool done = false;
+  if (!script_path.empty()) {
+    std::ifstream file(script_path);
     if (!file) {
-      std::cerr << "cannot open " << argv[1] << "\n";
+      std::cerr << "cannot open " << script_path << "\n";
       return 1;
     }
     std::string line;
     while (std::getline(file, line)) {
-      if (!shell.HandleLine(line)) return 0;
+      if (!shell.HandleLine(line)) break;
     }
+    done = true;
   }
-  if (!isatty(0)) {
+  if (!done && !isatty(0)) {
     // Piped input: process and exit.
     std::string line;
     while (std::getline(std::cin, line)) {
-      if (!shell.HandleLine(line)) return 0;
+      if (!shell.HandleLine(line)) break;
     }
-    return 0;
+    done = true;
   }
-  std::cout << "eds shell — ESQL statements end with ';', \\q quits, "
-               "\\plan/\\trace/\\stats inspect the rewriter.\n";
-  std::string line;
-  while (true) {
-    std::cout << (shell.pending() ? "   ... " : "esql> ") << std::flush;
-    if (!std::getline(std::cin, line)) break;
-    if (!shell.HandleLine(line)) break;
+  if (!done) {
+    std::cout << "eds shell — ESQL statements end with ';', \\q quits, "
+                 "\\plan/\\trace/\\stats/\\metrics/\\profile inspect the "
+                 "rewriter.\n";
+    std::string line;
+    while (true) {
+      std::cout << (shell.pending() ? "   ... " : "esql> ") << std::flush;
+      if (!std::getline(std::cin, line)) break;
+      if (!shell.HandleLine(line)) break;
+    }
   }
-  return 0;
+  if (!trace_path.empty()) exit_code = WriteTrace(sink, trace_path);
+  return exit_code;
 }

@@ -4,6 +4,7 @@
 
 #include "common/strings.h"
 #include "lera/lera.h"
+#include "obs/trace.h"
 
 namespace eds::exec {
 
@@ -61,6 +62,29 @@ const Rows* Executor::TryBorrowStoredRows(const term::TermRef& t,
 }
 
 Result<Rows> Executor::Eval(const term::TermRef& t, const FixEnv& env) {
+  obs::TraceSink* sink = options_.trace_sink;
+  if (sink == nullptr) return EvalDispatch(t, env);
+  // Per-operator spans, named by functor (relation scans carry the relation
+  // name so view expansions and fixpoint bindings are distinguishable in
+  // the timeline).
+  std::string name = "exec.";
+  if (lera::IsRelation(t)) {
+    Result<std::string> rel = lera::RelationName(t);
+    name += "RELATION ";
+    name += rel.ok() ? *rel : std::string("?");
+  } else if (t->is_apply()) {
+    name += t->functor();
+  } else {
+    name += "term";
+  }
+  obs::Span span(sink, std::move(name), "exec");
+  Result<Rows> out = EvalDispatch(t, env);
+  if (out.ok()) span.Arg("rows", static_cast<int64_t>(out->size()));
+  return out;
+}
+
+Result<Rows> Executor::EvalDispatch(const term::TermRef& t,
+                                    const FixEnv& env) {
   if (lera::IsRelation(t)) {
     EDS_ASSIGN_OR_RETURN(std::string name, lera::RelationName(t));
     std::string key = ToUpperAscii(name);

@@ -12,6 +12,10 @@
 #include "exec/storage.h"
 #include "term/term.h"
 
+namespace eds::obs {
+class TraceSink;
+}  // namespace eds::obs
+
 namespace eds::exec {
 
 struct ExecOptions {
@@ -20,6 +24,10 @@ struct ExecOptions {
   bool seminaive = true;
   // Safety valve for non-terminating recursions.
   size_t max_fix_iterations = 100000;
+  // When set, Eval records one span per operator evaluation (named by
+  // functor, relation scans by relation name) and EvalFix one per fixpoint
+  // round. Null (the default) costs a single branch per Eval call.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 struct ExecStats {
@@ -61,7 +69,9 @@ class Executor {
   // Names bound by enclosing FIX operators during iteration.
   using FixEnv = std::map<std::string, const Rows*>;
 
+  // Wraps EvalDispatch in a per-operator span when tracing is on.
   Result<Rows> Eval(const term::TermRef& t, const FixEnv& env);
+  Result<Rows> EvalDispatch(const term::TermRef& t, const FixEnv& env);
 
   // Rows for `t` that are already materialized — a fixpoint binding or a
   // stored base table — borrowed without copying (counted as scanned just

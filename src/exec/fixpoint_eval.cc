@@ -4,6 +4,7 @@
 #include "exec/executor.h"
 #include "lera/lera.h"
 #include "magic/magic.h"
+#include "obs/trace.h"
 
 namespace eds::exec {
 
@@ -66,6 +67,10 @@ Result<Rows> Executor::EvalFix(const term::TermRef& t, const FixEnv& env) {
     // Naive iteration: R_{i+1} = R_i ∪ body(R_i).
     for (size_t round = 0; round < options_.max_fix_iterations; ++round) {
       ++stats_.fix_iterations;
+      obs::Span round_span(options_.trace_sink, "exec.fix.round", "exec");
+      if (options_.trace_sink != nullptr) {
+        round_span.Arg("round", static_cast<int64_t>(round));
+      }
       FixEnv inner = env;
       inner[key] = &total;
       EDS_ASSIGN_OR_RETURN(Rows produced, Eval(body, inner));
@@ -73,6 +78,10 @@ Result<Rows> Executor::EvalFix(const term::TermRef& t, const FixEnv& env) {
       total.insert(total.end(), produced.begin(), produced.end());
       DedupRows(&total);
       stats_.fix_tuples += total.size() - before;
+      if (options_.trace_sink != nullptr) {
+        round_span.Arg("new_tuples",
+                       static_cast<int64_t>(total.size() - before));
+      }
       if (total.size() == before) return total;
     }
     return Status::ResourceExhausted("fixpoint " + rel_name +
@@ -99,6 +108,11 @@ Result<Rows> Executor::EvalFix(const term::TermRef& t, const FixEnv& env) {
                                        " exceeded max iterations");
     }
     ++stats_.fix_iterations;
+    obs::Span round_span(options_.trace_sink, "exec.fix.round", "exec");
+    if (options_.trace_sink != nullptr) {
+      round_span.Arg("round", static_cast<int64_t>(round + 1));
+      round_span.Arg("delta_in", static_cast<int64_t>(delta.size()));
+    }
     Rows produced;
     for (const TermRef& branch : branches) {
       if (!magic::ReferencesRelation(branch, rel_name)) continue;

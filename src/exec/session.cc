@@ -8,6 +8,7 @@
 #include "common/strings.h"
 #include "lera/printer.h"
 #include "lera/schema.h"
+#include "obs/trace.h"
 
 namespace eds::exec {
 
@@ -124,24 +125,44 @@ Status Session::ExecuteScript(std::string_view esql) {
 }
 
 Result<term::TermRef> Session::Translate(std::string_view esql_select) {
-  EDS_ASSIGN_OR_RETURN(esql::Statement stmt,
-                       esql::ParseStatement(esql_select));
+  return TranslateTimed(esql_select, nullptr);
+}
+
+Result<term::TermRef> Session::TranslateTimed(std::string_view esql_select,
+                                              PhaseTimes* times) {
+  uint64_t t0 = obs::NowNs();
+  esql::Statement stmt;
+  {
+    obs::Span span(trace_sink_, "phase.parse", "phase");
+    EDS_ASSIGN_OR_RETURN(stmt, esql::ParseStatement(esql_select));
+  }
+  uint64_t t1 = obs::NowNs();
+  if (times != nullptr) times->parse_ns = t1 - t0;
   if (stmt.kind != esql::StatementKind::kSelect) {
     return Status::InvalidArgument("expected a SELECT statement");
   }
+  obs::Span span(trace_sink_, "phase.translate", "phase");
   esql::Translator translator(&catalog_);
-  return translator.TranslateQuery(*stmt.select);
+  Result<term::TermRef> plan = translator.TranslateQuery(*stmt.select);
+  if (times != nullptr) times->translate_ns = obs::NowNs() - t1;
+  return plan;
 }
 
 Result<rewrite::RewriteOutcome> Session::Rewrite(
     const term::TermRef& plan, const rewrite::RewriteOptions& options) {
   EDS_ASSIGN_OR_RETURN(rules::Optimizer * opt, optimizer());
-  return opt->Rewrite(plan, options);
+  rewrite::RewriteOptions effective = options;
+  if (effective.trace_sink == nullptr) effective.trace_sink = trace_sink_;
+  obs::Span span(effective.trace_sink, "phase.rewrite", "phase");
+  return opt->Rewrite(plan, effective);
 }
 
 Result<Rows> Session::Run(const term::TermRef& plan,
                           const ExecOptions& options, ExecStats* stats_out) {
-  Executor executor(&catalog_, &db_, options);
+  ExecOptions effective = options;
+  if (effective.trace_sink == nullptr) effective.trace_sink = trace_sink_;
+  obs::Span span(effective.trace_sink, "phase.execute", "phase");
+  Executor executor(&catalog_, &db_, effective);
   Result<Rows> rows = executor.Execute(plan);
   if (stats_out != nullptr) *stats_out = executor.stats();
   return rows;
@@ -149,22 +170,41 @@ Result<Rows> Session::Run(const term::TermRef& plan,
 
 Result<QueryResult> Session::Query(std::string_view esql,
                                    const QueryOptions& options) {
-  EDS_ASSIGN_OR_RETURN(term::TermRef raw, Translate(esql));
+  uint64_t q0 = obs::NowNs();
+  obs::Span query_span(trace_sink_, "session.query", "session");
+  if (trace_sink_ != nullptr) {
+    // A truncated copy of the query text labels the span in the timeline.
+    std::string text(esql.substr(0, 120));
+    query_span.Arg("esql", text);
+  }
   QueryResult result;
+  EDS_ASSIGN_OR_RETURN(term::TermRef raw,
+                       TranslateTimed(esql, &result.phase_times));
   result.raw_plan = raw;
   term::TermRef plan = raw;
+  uint64_t t0 = obs::NowNs();
   if (options.rewrite) {
     EDS_ASSIGN_OR_RETURN(rewrite::RewriteOutcome outcome,
                          Rewrite(raw, options.rewrite_options));
     plan = outcome.term;
     result.rewrite_stats = outcome.stats;
+    result.phase_times.rewrite_ns = obs::NowNs() - t0;
   }
   result.optimized_plan = plan;
-  EDS_ASSIGN_OR_RETURN(lera::Schema schema,
-                       lera::InferSchema(plan, catalog_));
-  for (const types::Field& f : schema) result.columns.push_back(f.name);
+  uint64_t t1 = obs::NowNs();
+  {
+    obs::Span span(trace_sink_, "phase.schema", "phase");
+    EDS_ASSIGN_OR_RETURN(lera::Schema schema,
+                         lera::InferSchema(plan, catalog_));
+    for (const types::Field& f : schema) result.columns.push_back(f.name);
+  }
+  uint64_t t2 = obs::NowNs();
+  result.phase_times.schema_ns = t2 - t1;
   EDS_ASSIGN_OR_RETURN(result.rows,
                        Run(plan, options.exec_options, &result.exec_stats));
+  uint64_t t3 = obs::NowNs();
+  result.phase_times.exec_ns = t3 - t2;
+  result.phase_times.total_ns = t3 - q0;
   return result;
 }
 

@@ -14,7 +14,24 @@
 #include "rules/optimizer.h"
 #include "term/term.h"
 
+namespace eds::obs {
+class TraceSink;
+}  // namespace eds::obs
+
 namespace eds::exec {
+
+// Steady-clock wall time of each pipeline phase for one Query() call,
+// always filled (a handful of clock reads per query — not per node — so
+// there is no "off" mode to manage). Benches surface these as counters so
+// BENCH trajectories carry per-phase breakdowns.
+struct PhaseTimes {
+  uint64_t parse_ns = 0;      // ESQL text -> statement AST
+  uint64_t translate_ns = 0;  // statement -> LERA term
+  uint64_t rewrite_ns = 0;    // rule-based rewriter (0 when rewrite=false)
+  uint64_t schema_ns = 0;     // output schema inference
+  uint64_t exec_ns = 0;       // plan execution
+  uint64_t total_ns = 0;      // whole Query() call
+};
 
 // Result of a query: column names, rows, and the plans/stats on both sides
 // of the rewriter, so callers (and benchmarks) can inspect what the
@@ -26,6 +43,7 @@ struct QueryResult {
   term::TermRef optimized_plan;  // after the rule-based rewriter
   rewrite::EngineStats rewrite_stats;
   ExecStats exec_stats;
+  PhaseTimes phase_times;
 };
 
 struct QueryOptions {
@@ -103,14 +121,28 @@ class Session {
   // The generated optimizer (built on first use).
   Result<rules::Optimizer*> optimizer();
 
+  // Session-wide trace sink (e.g. eds_shell --trace-out): when set, every
+  // Translate/Rewrite/Query/Run records phase spans into it, and it is
+  // propagated into rewrite/exec options that do not carry their own sink.
+  // The sink must outlive the session or be reset to null first. Null (the
+  // default) keeps the whole pipeline on its untraced fast path.
+  void set_trace_sink(obs::TraceSink* sink) { trace_sink_ = sink; }
+  obs::TraceSink* trace_sink() const { return trace_sink_; }
+
  private:
   Status ApplyStatement(const esql::Statement& stmt);
+
+  // Translate with the parse/translate split reported into `times`
+  // (ignored when null). Query() uses this to fill PhaseTimes.
+  Result<term::TermRef> TranslateTimed(std::string_view esql_select,
+                                       PhaseTimes* times);
 
   catalog::Catalog catalog_;
   Database db_;
   rules::OptimizerOptions optimizer_options_;
   std::unique_ptr<rules::Optimizer> optimizer_;
   bool optimizer_dirty_ = true;
+  obs::TraceSink* trace_sink_ = nullptr;
 };
 
 }  // namespace eds::exec

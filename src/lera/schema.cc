@@ -219,11 +219,12 @@ bool IsComparisonOrLogical(const std::string& f) {
 
 }  // namespace
 
-Result<types::TypeRef> InferExprType(const term::TermRef& expr,
-                                     const std::vector<Schema>& input_schemas,
-                                     const catalog::Catalog& cat,
-                                     const types::TypeRef& elem_type,
-                                     const SchemaEnv* env) {
+namespace {
+
+Result<types::TypeRef> InferExprTypeImpl(
+    const term::TermRef& expr, const std::vector<Schema>& input_schemas,
+    const catalog::Catalog& cat, const types::TypeRef& elem_type,
+    const SchemaEnv* env, ExprTypeMemo* memo, uint64_t scope_key) {
   if (expr->is_constant()) return ConstantType(expr->constant(), cat);
   if (expr->is_variable() || expr->is_collection_variable()) {
     // Rule patterns reach here during speculative typing; unknown.
@@ -276,11 +277,12 @@ Result<types::TypeRef> InferExprType(const term::TermRef& expr,
   if ((f == kForAll || f == kExists) && expr->arity() == 2) {
     EDS_ASSIGN_OR_RETURN(
         TypeRef coll, InferExprType(expr->arg(0), input_schemas, cat,
-                                    elem_type, env));
+                                    elem_type, env, memo, scope_key));
     EDS_ASSIGN_OR_RETURN(TypeRef elem, ElementType(coll, f));
     EDS_ASSIGN_OR_RETURN(
         TypeRef body,
-        InferExprType(expr->arg(1), input_schemas, cat, elem, env));
+        InferExprType(expr->arg(1), input_schemas, cat, elem, env, memo,
+                      scope_key));
     if (body->kind() != TypeKind::kBool && body->kind() != TypeKind::kAny) {
       return Status::TypeError(f + " body must be boolean");
     }
@@ -288,15 +290,17 @@ Result<types::TypeRef> InferExprType(const term::TermRef& expr,
   }
   if (IsComparisonOrLogical(f)) {
     for (const TermRef& a : expr->args()) {
-      EDS_RETURN_IF_ERROR(
-          InferExprType(a, input_schemas, cat, elem_type, env).status());
+      EDS_RETURN_IF_ERROR(InferExprType(a, input_schemas, cat, elem_type,
+                                        env, memo, scope_key)
+                              .status());
     }
     return cat.types().bool_type();
   }
   if (f == "MEMBER" || f == "ISEMPTY" || f == "INCLUDE") {
     for (const TermRef& a : expr->args()) {
-      EDS_RETURN_IF_ERROR(
-          InferExprType(a, input_schemas, cat, elem_type, env).status());
+      EDS_RETURN_IF_ERROR(InferExprType(a, input_schemas, cat, elem_type,
+                                        env, memo, scope_key)
+                              .status());
     }
     return cat.types().bool_type();
   }
@@ -305,8 +309,9 @@ Result<types::TypeRef> InferExprType(const term::TermRef& expr,
       f == "NEG" || f == "ABS") {
     bool any_real = false;
     for (const TermRef& a : expr->args()) {
-      EDS_ASSIGN_OR_RETURN(
-          TypeRef t, InferExprType(a, input_schemas, cat, elem_type, env));
+      EDS_ASSIGN_OR_RETURN(TypeRef t,
+                           InferExprType(a, input_schemas, cat, elem_type,
+                                         env, memo, scope_key));
       if (t->kind() == TypeKind::kReal || t->kind() == TypeKind::kNumeric) {
         any_real = true;
       }
@@ -323,14 +328,16 @@ Result<types::TypeRef> InferExprType(const term::TermRef& expr,
     if (expr->arity() <= idx) {
       return Status::TypeError(f + ": missing collection argument");
     }
-    return InferExprType(expr->arg(idx), input_schemas, cat, elem_type, env);
+    return InferExprType(expr->arg(idx), input_schemas, cat, elem_type, env,
+                         memo, scope_key);
   }
   if (f == "MAKESET" || f == "MAKEBAG" || f == "MAKELIST" ||
       f == "MAKEARRAY") {
     TypeRef elem = cat.types().any_type();
     if (expr->arity() > 0) {
-      EDS_ASSIGN_OR_RETURN(elem, InferExprType(expr->arg(0), input_schemas,
-                                               cat, elem_type, env));
+      EDS_ASSIGN_OR_RETURN(elem,
+                           InferExprType(expr->arg(0), input_schemas, cat,
+                                         elem_type, env, memo, scope_key));
     }
     TypeKind kind = f == "MAKESET"    ? TypeKind::kSet
                     : f == "MAKEBAG"  ? TypeKind::kBag
@@ -342,7 +349,8 @@ Result<types::TypeRef> InferExprType(const term::TermRef& expr,
     if (expr->arity() != 1) return Status::TypeError(f + ": one argument");
     EDS_ASSIGN_OR_RETURN(
         TypeRef coll,
-        InferExprType(expr->arg(0), input_schemas, cat, elem_type, env));
+        InferExprType(expr->arg(0), input_schemas, cat, elem_type, env,
+                      memo, scope_key));
     EDS_ASSIGN_OR_RETURN(TypeRef elem, ElementType(coll, f));
     TypeKind kind = f == "TOSET"   ? TypeKind::kSet
                     : f == "TOBAG" ? TypeKind::kBag
@@ -352,7 +360,8 @@ Result<types::TypeRef> InferExprType(const term::TermRef& expr,
   if (f == "CHOICE" || f == "FIRST" || f == "LAST" || f == "NTH") {
     EDS_ASSIGN_OR_RETURN(
         TypeRef coll,
-        InferExprType(expr->arg(0), input_schemas, cat, elem_type, env));
+        InferExprType(expr->arg(0), input_schemas, cat, elem_type, env,
+                      memo, scope_key));
     return ElementType(coll, f);
   }
   if (f == term::kTuple) {
@@ -360,7 +369,7 @@ Result<types::TypeRef> InferExprType(const term::TermRef& expr,
     for (size_t i = 0; i < expr->arity(); ++i) {
       EDS_ASSIGN_OR_RETURN(TypeRef t,
                            InferExprType(expr->arg(i), input_schemas, cat,
-                                         elem_type, env));
+                                         elem_type, env, memo, scope_key));
       fields.push_back(Field{"F" + std::to_string(i + 1), std::move(t)});
     }
     return Type::MakeTuple(std::move(fields));
@@ -375,7 +384,7 @@ Result<types::TypeRef> InferExprType(const term::TermRef& expr,
     for (size_t i = 0; i < expr->arity(); ++i) {
       EDS_ASSIGN_OR_RETURN(TypeRef t,
                            InferExprType(expr->arg(i), input_schemas, cat,
-                                         elem_type, env));
+                                         elem_type, env, memo, scope_key));
       if (!types::Isa(t, sig->params[i]) &&
           sig->params[i]->kind() != TypeKind::kAny &&
           t->kind() != TypeKind::kAny) {
@@ -397,6 +406,31 @@ Result<types::TypeRef> InferExprType(const term::TermRef& expr,
   // Unknown function: stay permissive (ANY) so user extensions without
   // declared signatures still type-check; execution will catch real errors.
   return cat.types().any_type();
+}
+
+}  // namespace
+
+Result<types::TypeRef> InferExprType(const term::TermRef& expr,
+                                     const std::vector<Schema>& input_schemas,
+                                     const catalog::Catalog& cat,
+                                     const types::TypeRef& elem_type,
+                                     const SchemaEnv* env, ExprTypeMemo* memo,
+                                     uint64_t scope_key) {
+  // Quantifier bodies are keyed out: their types depend on elem_type, which
+  // the (node, scope) key does not carry. Constants and variables are
+  // cheaper to re-derive than to look up.
+  const bool memoizable =
+      memo != nullptr && elem_type == nullptr && expr->is_apply();
+  if (memoizable) {
+    if (const ExprTypeMemo::Entry* hit = memo->Find(expr, scope_key)) {
+      return hit->type;
+    }
+  }
+  Result<types::TypeRef> r = InferExprTypeImpl(expr, input_schemas, cat,
+                                               elem_type, env, memo,
+                                               scope_key);
+  if (memoizable) memo->Insert(expr, scope_key, r);
+  return r;
 }
 
 std::string ProjectionName(const term::TermRef& expr,

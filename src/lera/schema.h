@@ -41,17 +41,78 @@ Result<Schema> InferSchema(const term::TermRef& t,
                            const SchemaEnv* env = nullptr,
                            SchemaMemo* memo = nullptr);
 
+// Memo for InferExprType, mirroring SchemaMemo but two-dimensional: an
+// expression's type depends on the enclosing operator's input schemas, so
+// entries are keyed on (canonical node identity, caller-supplied scope key)
+// — the rewrite engine already digests each scope's defining input terms
+// into such a key for its normal-form memo. Unlike SchemaMemo, entries pin
+// their keyed term: constraint evaluation types method-built terms that may
+// die (and have their address recycled) before the run ends, so the memo
+// keeps them alive itself instead of relying on the caller. Use one memo
+// per (catalog, env) pair. hits/misses feed the obs metrics registry.
+class ExprTypeMemo {
+ public:
+  struct Key {
+    const term::Term* node;
+    uint64_t scope;
+    bool operator==(const Key& o) const {
+      return node == o.node && scope == o.scope;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = reinterpret_cast<uintptr_t>(k.node);
+      h ^= k.scope + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+  struct Entry {
+    term::TermRef pin;  // keeps the keyed node's address from being reused
+    Result<types::TypeRef> type;
+  };
+
+  const Entry* Find(const term::TermRef& expr, uint64_t scope_key) const {
+    auto it = map_.find(Key{expr.get(), scope_key});
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    return &it->second;
+  }
+  void Insert(const term::TermRef& expr, uint64_t scope_key,
+              Result<types::TypeRef> type) {
+    map_.emplace(Key{expr.get(), scope_key}, Entry{expr, std::move(type)});
+  }
+
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<Key, Entry, KeyHash> map_;
+  mutable size_t hits_ = 0;
+  mutable size_t misses_ = 0;
+};
+
 // Infers the type of a scalar expression, given the schemas of the
 // enclosing operator's inputs (ATTR(i, j) resolves into input_schemas[i-1]).
 // Understands constants, ATTR, FIELD, VALUE, FORALL/EXISTS/ELEM, the builtin
 // function library's result types, and user ADT function signatures from the
 // catalog. `elem_type` is the type ELEM() denotes inside a quantifier body
 // (null outside quantifiers).
+//
+// `memo`, when given, caches results keyed on (node, scope_key); the caller
+// guarantees scope_key identifies `input_schemas`' content. Subexpressions
+// inside quantifier bodies are excluded automatically (their types also
+// depend on elem_type, which the key does not carry).
 Result<types::TypeRef> InferExprType(const term::TermRef& expr,
                                      const std::vector<Schema>& input_schemas,
                                      const catalog::Catalog& cat,
                                      const types::TypeRef& elem_type = nullptr,
-                                     const SchemaEnv* env = nullptr);
+                                     const SchemaEnv* env = nullptr,
+                                     ExprTypeMemo* memo = nullptr,
+                                     uint64_t scope_key = 0);
 
 // Derives a column name for a projection expression: ATTR picks up the
 // source column's name, FIELD its field name; anything else gets the functor

@@ -34,23 +34,23 @@ bool ContainsTermFunction(const TermRef& t,
 // Argument-sequence unification with collection variables on either side
 // absorbing arbitrary subsequences (backtracking over split points).
 bool MayUnifySeq(const TermList& a, size_t i, const TermList& b, size_t j,
-                 const rewrite::BuiltinRegistry& builtins) {
+                 const rewrite::BuiltinRegistry& builtins, UnifyMemo* memo) {
   if (i == a.size() && j == b.size()) return true;
   if (i < a.size() && a[i]->is_collection_variable()) {
     for (size_t k = j; k <= b.size(); ++k) {
-      if (MayUnifySeq(a, i + 1, b, k, builtins)) return true;
+      if (MayUnifySeq(a, i + 1, b, k, builtins, memo)) return true;
     }
     return false;
   }
   if (j < b.size() && b[j]->is_collection_variable()) {
     for (size_t k = i; k <= a.size(); ++k) {
-      if (MayUnifySeq(a, k, b, j + 1, builtins)) return true;
+      if (MayUnifySeq(a, k, b, j + 1, builtins, memo)) return true;
     }
     return false;
   }
   if (i == a.size() || j == b.size()) return false;
-  return MayUnify(a[i], b[j], builtins) &&
-         MayUnifySeq(a, i + 1, b, j + 1, builtins);
+  return MayUnify(a[i], b[j], builtins, memo) &&
+         MayUnifySeq(a, i + 1, b, j + 1, builtins, memo);
 }
 
 // SET patterns match modulo permutation; stay order-insensitive here. With a
@@ -59,7 +59,7 @@ bool MayUnifySeq(const TermList& a, size_t i, const TermList& b, size_t j,
 // side (a necessary condition for a perfect matching, not a sufficient one —
 // this predicate may only err toward `true`).
 bool MayUnifySet(const TermList& a, const TermList& b,
-                 const rewrite::BuiltinRegistry& builtins) {
+                 const rewrite::BuiltinRegistry& builtins, UnifyMemo* memo) {
   auto has_coll = [](const TermList& xs) {
     return std::any_of(xs.begin(), xs.end(), [](const TermRef& x) {
       return x->is_collection_variable();
@@ -69,14 +69,14 @@ bool MayUnifySet(const TermList& a, const TermList& b,
   if (a.size() != b.size()) return false;
   for (const TermRef& x : a) {
     if (std::none_of(b.begin(), b.end(), [&](const TermRef& y) {
-          return MayUnify(x, y, builtins);
+          return MayUnify(x, y, builtins, memo);
         })) {
       return false;
     }
   }
   for (const TermRef& y : b) {
     if (std::none_of(a.begin(), a.end(), [&](const TermRef& x) {
-          return MayUnify(x, y, builtins);
+          return MayUnify(x, y, builtins, memo);
         })) {
       return false;
     }
@@ -139,7 +139,10 @@ bool IsSizeDecreasing(const rewrite::Rule& rule,
 }
 
 bool MayUnify(const term::TermRef& a, const term::TermRef& b,
-              const rewrite::BuiltinRegistry& builtins) {
+              const rewrite::BuiltinRegistry& builtins, UnifyMemo* memo) {
+  // Hash-consing makes pointer identity structural identity: the same node
+  // trivially unifies with itself.
+  if (a.get() == b.get()) return true;
   if (a->is_variable() || a->is_collection_variable()) return true;
   if (b->is_variable() || b->is_collection_variable()) return true;
   // A term function's result has no predictable shape: assume it can be
@@ -148,26 +151,48 @@ bool MayUnify(const term::TermRef& a, const term::TermRef& b,
   if (a->is_constant() && b->is_constant()) return term::Equals(a, b);
   if (a->is_constant() || b->is_constant()) return false;
 
-  // Both applications.
-  const bool wild = IsFunctorVariable(a) || IsFunctorVariable(b);
-  if (!wild && a->functor() != b->functor()) return false;
-  if (!wild && a->functor() == term::kSet) {
-    return MayUnifySet(a->args(), b->args(), builtins);
+  // Both applications — the only recursive (expensive) case; memoized.
+  if (memo != nullptr) {
+    if (std::optional<bool> hit = memo->FindUnify(a.get(), b.get())) {
+      return *hit;
+    }
   }
-  return MayUnifySeq(a->args(), 0, b->args(), 0, builtins);
+  bool out;
+  const bool wild = IsFunctorVariable(a) || IsFunctorVariable(b);
+  if (!wild && a->functor() != b->functor()) {
+    out = false;
+  } else if (!wild && a->functor() == term::kSet) {
+    out = MayUnifySet(a->args(), b->args(), builtins, memo);
+  } else {
+    out = MayUnifySeq(a->args(), 0, b->args(), 0, builtins, memo);
+  }
+  if (memo != nullptr) memo->InsertUnify(a.get(), b.get(), out);
+  return out;
 }
 
 bool ProducesMatchFor(const term::TermRef& rhs, const term::TermRef& lhs,
-                      const rewrite::BuiltinRegistry& builtins) {
+                      const rewrite::BuiltinRegistry& builtins,
+                      UnifyMemo* memo) {
   // Bare (collection) variables are copied input, not constructed output.
   if (rhs->is_variable() || rhs->is_collection_variable()) return false;
-  if (MayUnify(rhs, lhs, builtins)) return true;
-  if (rhs->is_apply()) {
-    for (const TermRef& a : rhs->args()) {
-      if (ProducesMatchFor(a, lhs, builtins)) return true;
+  if (memo != nullptr && rhs->is_apply()) {
+    if (std::optional<bool> hit = memo->FindProduces(rhs.get(), lhs.get())) {
+      return *hit;
     }
   }
-  return false;
+  bool out = MayUnify(rhs, lhs, builtins, memo);
+  if (!out && rhs->is_apply()) {
+    for (const TermRef& a : rhs->args()) {
+      if (ProducesMatchFor(a, lhs, builtins, memo)) {
+        out = true;
+        break;
+      }
+    }
+  }
+  if (memo != nullptr && rhs->is_apply()) {
+    memo->InsertProduces(rhs.get(), lhs.get(), out);
+  }
+  return out;
 }
 
 bool Subsumes(const term::TermRef& general, const term::TermRef& specific) {

@@ -2,9 +2,12 @@
 #define EDS_LINT_ANALYSIS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "rewrite/builtins.h"
@@ -38,19 +41,85 @@ void CountVarOccurrences(const term::TermRef& t,
 bool IsSizeDecreasing(const rewrite::Rule& rule,
                       const rewrite::BuiltinRegistry& builtins);
 
+// Verdict cache for the conservative unification predicates. Terms are
+// hash-consed (pointer identity is structural identity for live nodes) and
+// both predicates are stateless for a fixed builtin registry, so a verdict
+// keyed on the node-pointer pair never goes stale. CheckDivergence's n²
+// rule-interaction loop asks the same subterm pairs over and over — shared
+// subtrees across rules are literally the same node — and the memo turns
+// the repeats into one lookup over the cached structural hashes. Use one
+// memo per builtin registry; reusing it across registries mixes verdicts.
+class UnifyMemo {
+ public:
+  // nullopt when the pair has no recorded verdict yet.
+  std::optional<bool> FindUnify(const term::Term* a,
+                                const term::Term* b) const {
+    return Find(unify_, a, b);
+  }
+  void InsertUnify(const term::Term* a, const term::Term* b, bool v) {
+    unify_.emplace(std::make_pair(a, b), v);
+  }
+  std::optional<bool> FindProduces(const term::Term* rhs,
+                                   const term::Term* lhs) const {
+    return Find(produces_, rhs, lhs);
+  }
+  void InsertProduces(const term::Term* rhs, const term::Term* lhs, bool v) {
+    produces_.emplace(std::make_pair(rhs, lhs), v);
+  }
+
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+  size_t size() const { return unify_.size() + produces_.size(); }
+
+ private:
+  struct PairHash {
+    size_t operator()(
+        const std::pair<const term::Term*, const term::Term*>& p) const {
+      // The cached structural hashes double as the bucket hash; key
+      // equality stays pointer equality.
+      uint64_t h = p.first->structural_hash() * 0x9e3779b97f4a7c15ull;
+      h ^= p.second->structural_hash() + 0x9e3779b97f4a7c15ull + (h << 6) +
+           (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+  using Map = std::unordered_map<
+      std::pair<const term::Term*, const term::Term*>, bool, PairHash>;
+
+  std::optional<bool> Find(const Map& map, const term::Term* a,
+                           const term::Term* b) const {
+    auto it = map.find(std::make_pair(a, b));
+    if (it == map.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    return it->second;
+  }
+
+  Map unify_;
+  Map produces_;
+  mutable size_t hits_ = 0;
+  mutable size_t misses_ = 0;
+};
+
 // Conservative unifiability of two patterns (both sides may contain
 // variables). No binding consistency is tracked and term-function / functor-
 // variable applications unify with anything, so this errs toward `true`:
 // a `false` answer proves the patterns can never denote the same term.
+// `memo` (optional) caches apply/apply verdicts across calls.
 bool MayUnify(const term::TermRef& a, const term::TermRef& b,
-              const rewrite::BuiltinRegistry& builtins);
+              const rewrite::BuiltinRegistry& builtins,
+              UnifyMemo* memo = nullptr);
 
 // True when instantiating `rhs` may create a subterm that `lhs` matches:
 // some non-variable subterm of `rhs` may unify with `lhs`. Bare variable /
 // collection-variable subterms are skipped — they are copied input, not
-// constructed output, and the engine already visited them.
+// constructed output, and the engine already visited them. `memo`
+// (optional) caches verdicts across calls.
 bool ProducesMatchFor(const term::TermRef& rhs, const term::TermRef& lhs,
-                      const rewrite::BuiltinRegistry& builtins);
+                      const rewrite::BuiltinRegistry& builtins,
+                      UnifyMemo* memo = nullptr);
 
 // Pattern subsumption: every term `specific` matches is also matched by
 // `general` (specific's variables are treated as opaque constants; binding

@@ -96,6 +96,10 @@ std::string JoinNames(const std::vector<const Rule*>& rules) {
 void CheckDivergence(const std::vector<BlockView>& views,
                      const rewrite::BuiltinRegistry& builtins,
                      LintReport* report) {
+  // One memo across every block: verdicts depend only on the node pair and
+  // the (fixed) registry, and hash-consing shares subtrees across rules, so
+  // the n² interaction loops below mostly replay already-decided pairs.
+  UnifyMemo memo;
   for (const BlockView& block : views) {
     if (block.limit != rewrite::kSaturate || block.rules.empty()) continue;
     const size_t n = block.rules.size();
@@ -106,7 +110,7 @@ void CheckDivergence(const std::vector<BlockView>& views,
       for (size_t j = 0; j < n; ++j) {
         if (block.rules[j]->lhs == nullptr) continue;
         if (ProducesMatchFor(block.rules[i]->rhs, block.rules[j]->lhs,
-                             builtins)) {
+                             builtins, &memo)) {
           adj[i].push_back(static_cast<int>(j));
           if (i == j) self_loop[i] = true;
         }

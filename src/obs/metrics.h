@@ -1,0 +1,65 @@
+#ifndef EDS_OBS_METRICS_H_
+#define EDS_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "rewrite/engine.h"
+#include "term/interner.h"
+
+namespace eds::obs {
+
+// Unified metrics registry: one namespace of named counters/gauges covering
+// every statistics producer in the system (rewrite EngineStats, executor
+// ExecStats, the interner's hash-cons table, the expression-type memo), with
+// one JSON export path and one text rendering. The dotted names
+// ("rewrite.applications", "exec.rows_scanned", "interner.hits", ...) are
+// the stable surface the shell's \metrics command, benches, and future
+// dashboards key on; see docs/observability.md for the full catalog.
+class MetricsRegistry {
+ public:
+  // Monotonic counts (sizes, event tallies). Setting an existing name
+  // overwrites it — registries describe one snapshot, not a time series.
+  void Counter(const std::string& name, uint64_t value);
+  // Point-in-time measurements (ratios, nanosecond totals as doubles).
+  void Gauge(const std::string& name, double value);
+
+  // Snapshot in name order (deterministic output). Counters render without
+  // a fractional part; gauges with one.
+  const std::map<std::string, double>& values() const { return values_; }
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+  double Get(const std::string& name) const;
+
+  // {"metrics":{"name":value,...}} — integers for counters.
+  std::string ToJson() const;
+  // Aligned "name value" lines for the shell.
+  std::string ToText() const;
+
+ private:
+  std::map<std::string, double> values_;
+  std::map<std::string, bool> is_counter_;
+};
+
+// Importers: each producer's stats become "prefix.field" entries.
+void ExportEngineStats(const rewrite::EngineStats& stats,
+                       MetricsRegistry* registry);
+void ExportExecStats(const exec::ExecStats& stats, MetricsRegistry* registry);
+void ExportInternerStats(const term::Interner::Stats& stats,
+                         MetricsRegistry* registry);
+
+// Per-rule aggregates ranked by cumulative self time (descending; ties by
+// name). The engine fills EngineStats::rule_profiles when
+// RewriteOptions::profile_rules is on.
+std::vector<std::pair<std::string, rewrite::RuleProfile>> RankRuleProfiles(
+    const rewrite::EngineStats& stats);
+
+// Renders the top `limit` rules as an aligned table (the shell's \profile).
+std::string FormatRuleProfiles(const rewrite::EngineStats& stats,
+                               size_t limit);
+
+}  // namespace eds::obs
+
+#endif  // EDS_OBS_METRICS_H_

@@ -1,0 +1,138 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace eds::obs {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TraceSink::TraceSink() : origin_ns_(NowNs()) {}
+
+Span::Span(TraceSink* sink, const char* name, const char* category)
+    : sink_(sink) {
+  if (sink_ == nullptr) return;
+  name_ = name;
+  category_ = category;
+  depth_ = sink_->depth_++;
+  start_ns_ = NowNs();
+}
+
+Span::Span(TraceSink* sink, std::string name, const char* category)
+    : sink_(sink) {
+  if (sink_ == nullptr) return;
+  name_ = std::move(name);
+  category_ = category;
+  depth_ = sink_->depth_++;
+  start_ns_ = NowNs();
+}
+
+void Span::Arg(const char* key, std::string value) {
+  if (sink_ == nullptr) return;
+  args_.emplace_back(key, std::move(value));
+}
+
+void Span::Arg(const char* key, int64_t value) {
+  if (sink_ == nullptr) return;
+  args_.emplace_back(key, std::to_string(value));
+}
+
+void Span::Finish() {
+  if (sink_ == nullptr) return;
+  const uint64_t end = NowNs();
+  TraceEvent e;
+  e.name = std::move(name_);
+  e.category = category_;
+  e.start_ns = start_ns_ - sink_->origin_ns_;
+  e.dur_ns = end - start_ns_;
+  e.depth = depth_;
+  e.args = std::move(args_);
+  sink_->events_.push_back(std::move(e));
+  --sink_->depth_;
+  sink_ = nullptr;
+}
+
+void TraceSink::RecordComplete(
+    std::string name, const char* category, uint64_t start_ns_abs,
+    uint64_t end_ns_abs,
+    std::vector<std::pair<std::string, std::string>> args) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.category = category;
+  e.start_ns = start_ns_abs - origin_ns_;
+  e.dur_ns = end_ns_abs - start_ns_abs;
+  e.depth = depth_;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void TraceSink::WriteChromeTrace(std::ostream& os) const {
+  // ts/dur are microseconds (doubles) in the trace-event format; emit with
+  // three decimals so nanosecond spans stay distinguishable.
+  auto us = [](uint64_t ns) {
+    std::ostringstream o;
+    o << ns / 1000 << '.' << static_cast<char>('0' + (ns % 1000) / 100)
+      << static_cast<char>('0' + (ns % 100) / 10)
+      << static_cast<char>('0' + ns % 10);
+    return o.str();
+  };
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\""
+       << JsonEscape(e.category) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+       << "\"ts\":" << us(e.start_ns) << ",\"dur\":" << us(e.dur_ns);
+    if (!e.args.empty()) {
+      os << ",\"args\":{";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) os << ",";
+        os << "\"" << JsonEscape(e.args[i].first) << "\":\""
+           << JsonEscape(e.args[i].second) << "\"";
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+std::string TraceSink::ToChromeTraceJson() const {
+  std::ostringstream os;
+  WriteChromeTrace(os);
+  return os.str();
+}
+
+}  // namespace eds::obs

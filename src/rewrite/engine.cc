@@ -7,6 +7,7 @@
 
 #include "lera/lera.h"
 #include "lera/schema.h"
+#include "obs/trace.h"
 #include "rewrite/match.h"
 
 namespace eds::rewrite {
@@ -34,6 +35,16 @@ struct Engine::RunState {
   EngineStats stats;
   std::vector<TraceEntry> trace;
   const std::string* current_block = nullptr;
+  // Observability (both null/false when off; every use is behind one
+  // branch). The sink receives a span per pass, block entry, and fired
+  // rule; profiling aggregates per-rule self time into stats.rule_profiles.
+  obs::TraceSink* sink = nullptr;
+  bool profile = false;
+  // Run-wide InferExprType memo keyed on (canonical expression node, scope
+  // key) — the scalar sibling of schema_memo below. Entries pin their terms
+  // themselves (see lera::ExprTypeMemo), so method-built temporaries can't
+  // alias recycled addresses.
+  lera::ExprTypeMemo expr_memo;
   // Memoized schema inference keyed by term node identity. Terms are
   // immutable, so a live node's pointer uniquely identifies its subtree;
   // `retained` keeps every intermediate root alive for the whole run so a
@@ -191,16 +202,37 @@ term::TermRef Engine::TryRulesAt(const term::TermRef& node,
   if (scope.has_schemas) {
     const std::vector<lera::Schema>* schemas = &scope.input_schemas;
     const catalog::Catalog* cat = catalog_;
-    ctx.type_of = [schemas, cat](const TermRef& t) {
-      return lera::InferExprType(t, *schemas, *cat);
+    lera::ExprTypeMemo* memo = &state->expr_memo;
+    const uint64_t scope_key = scope.key;
+    ctx.type_of = [schemas, cat, memo, scope_key](const TermRef& t) {
+      return lera::InferExprType(t, *schemas, *cat, nullptr, nullptr, memo,
+                                 scope_key);
     };
   }
+  // One flag for "this candidate loop reads the clock": per-rule profiling
+  // needs the attempt's self time, and the trace sink needs the fired
+  // rule's span bounds. Off by default, making the whole observability
+  // surface a single predictable branch per candidate.
+  const bool timed = state->profile || state->sink != nullptr;
   for (const Rule* rule_ptr : index.Candidates(node)) {
     const Rule& rule = *rule_ptr;
     if (*budget == 0) return nullptr;
     ++state->stats.match_attempts;
+    uint64_t t0 = 0;
+    RuleProfile* prof = nullptr;
+    if (timed) {
+      t0 = obs::NowNs();
+      if (state->profile) {
+        prof = &state->stats.rule_profiles[rule.name];
+        ++prof->match_attempts;
+      }
+    }
     if (QuickReject(rule.lhs, node)) {
       ++state->stats.quick_rejects;
+      if (prof != nullptr) {
+        ++prof->quick_rejects;
+        prof->ns += obs::NowNs() - t0;
+      }
       continue;
     }
     // This is a rule-condition check: it burns budget (§4.2).
@@ -244,8 +276,25 @@ term::TermRef Engine::TryRulesAt(const term::TermRef& node,
         state->trace.push_back(
             TraceEntry{*state->current_block, rule.name, node, rewritten});
       }
+      if (timed) {
+        const uint64_t t1 = obs::NowNs();
+        if (prof != nullptr) {
+          ++prof->applications;
+          prof->ns += t1 - t0;
+          prof->nodes_delta += static_cast<int64_t>(rewritten->node_count()) -
+                               static_cast<int64_t>(node->node_count());
+        }
+        if (state->sink != nullptr) {
+          state->sink->RecordComplete(
+              rule.name, "rule", t0, t1,
+              {{"block", *state->current_block},
+               {"nodes_before", std::to_string(node->node_count())},
+               {"nodes_after", std::to_string(rewritten->node_count())}});
+        }
+      }
       return rewritten;
     }
+    if (prof != nullptr) prof->ns += obs::NowNs() - t0;
   }
   return nullptr;
 }
@@ -375,6 +424,8 @@ Result<RewriteOutcome> Engine::Rewrite(const term::TermRef& query,
                                        const RewriteOptions& options) const {
   RunState state;
   state.options = &options;
+  state.sink = options.trace_sink;
+  state.profile = options.profile_rules;
   state.nf_memo.resize(program_.blocks.size());
   TermRef current = query;
 
@@ -384,11 +435,20 @@ Result<RewriteOutcome> Engine::Rewrite(const term::TermRef& query,
   while (progressed && seq_remaining != 0 && !state.stats.safety_stop) {
     progressed = false;
     ++state.stats.passes;
+    obs::Span pass_span(state.sink, "rewrite.pass", "rewrite");
+    if (state.sink != nullptr) {
+      pass_span.Arg("pass", static_cast<int64_t>(state.stats.passes));
+    }
     for (size_t block_idx = 0; block_idx < program_.blocks.size();
          ++block_idx) {
       const RuleBlock& block = program_.blocks[block_idx];
       const BlockIndex& index = block_indexes_[block_idx];
       state.current_block = &block.name;
+      obs::Span block_span(state.sink,
+                           state.sink != nullptr
+                               ? "rewrite.block " + block.name
+                               : std::string(),
+                           "rewrite");
       state.current_nf = &state.nf_memo[block_idx];
       int64_t budget = block.limit;
       if (options.budget_per_node > 0 && budget != kSaturate) {
@@ -428,6 +488,9 @@ Result<RewriteOutcome> Engine::Rewrite(const term::TermRef& query,
     }
     if (seq_remaining > 0) --seq_remaining;
   }
+
+  state.stats.expr_type_hits = state.expr_memo.hits();
+  state.stats.expr_type_misses = state.expr_memo.misses();
 
   RewriteOutcome outcome;
   outcome.term = std::move(current);

@@ -12,6 +12,10 @@
 #include "rewrite/rule.h"
 #include "term/term.h"
 
+namespace eds::obs {
+class TraceSink;
+}  // namespace eds::obs
+
 namespace eds::rewrite {
 
 // Saturation marker for block limits: apply until no rule in the block
@@ -43,6 +47,20 @@ struct TraceEntry {
   term::TermRef after;   // its replacement
 };
 
+// Per-rule cost/benefit aggregates, collected when
+// RewriteOptions::profile_rules is set. `ns` is the rule's cumulative self
+// time: the wall time of every candidate attempt (quick reject, match,
+// constraint evaluation, instantiation) attributed to that rule, whether or
+// not it fired. `nodes_delta` sums CountNodes(after) - CountNodes(before)
+// over its applications — negative means the rule shrinks plans.
+struct RuleProfile {
+  uint64_t ns = 0;
+  size_t applications = 0;
+  size_t match_attempts = 0;
+  size_t quick_rejects = 0;
+  int64_t nodes_delta = 0;
+};
+
 struct EngineStats {
   size_t applications = 0;      // successful rule applications
   size_t condition_checks = 0;  // rule-condition checks (budget unit)
@@ -51,8 +69,12 @@ struct EngineStats {
   size_t match_attempts = 0;    // candidate rules considered at a node
   size_t quick_rejects = 0;     // candidates dismissed by the pre-filter
   size_t normal_form_hits = 0;  // subtrees skipped by the normal-form memo
+  size_t expr_type_hits = 0;    // InferExprType memo hits this run
+  size_t expr_type_misses = 0;  // InferExprType memo misses this run
   bool safety_stop = false;     // hit RewriteOptions::max_applications
   std::map<std::string, size_t> applications_by_rule;
+  // Filled only under profile_rules (empty otherwise).
+  std::map<std::string, RuleProfile> rule_profiles;
 };
 
 struct RewriteOptions {
@@ -68,6 +90,15 @@ struct RewriteOptions {
   // budgets, complex queries large ones. Saturation (kSaturate) blocks are
   // unaffected. 0 keeps the static limits.
   double budget_per_node = 0;
+  // Observability. Both default off, and the off path costs one branch per
+  // instrumentation site (no clock reads, no allocation).
+  //   trace_sink: records hierarchical spans — one per sequence pass, per
+  //     block entry, and per *fired* rule application (attempts are far too
+  //     numerous to span individually; profile_rules aggregates them).
+  //   profile_rules: fills EngineStats::rule_profiles with per-rule self
+  //     time and attempt/reject/delta aggregates.
+  obs::TraceSink* trace_sink = nullptr;
+  bool profile_rules = false;
 };
 
 struct RewriteOutcome {
