@@ -1,0 +1,120 @@
+// Governor overhead A/B: the same rewrite and end-to-end query workloads
+// with no guard (the shipping default), with a guard armed on limits far
+// too generous to trip, and — for the rewrite — with a cancellation token
+// attached. The guard-off variants must track the pre-governor numbers
+// (every chokepoint is one branch on a null guard pointer) and guard-on
+// must stay within noise (≤2% on rewrite_ns): the expensive probes are
+// stride-amortized. BENCH_4.json records the claim; the smoke run wired
+// into ctest (label `smokebench;chaos`) keeps it from silently rotting.
+#include "benchutil.h"
+#include "gov/governor.h"
+
+namespace {
+
+using eds::benchutil::Check;
+using eds::benchutil::CheckResult;
+using eds::benchutil::MakeFilmDb;
+using eds::benchutil::MakeGraphDb;
+
+std::unique_ptr<eds::exec::Session> MakeNestedDb(int films) {
+  auto session = MakeFilmDb(films);
+  Check(session->ExecuteScript(R"(
+    CREATE VIEW FilmActors (Title, Categories, Actors) AS
+      SELECT Title, Categories, MakeSet(Refactor)
+      FROM FILM, APPEARS_IN
+      WHERE FILM.Numf = APPEARS_IN.Numf
+      GROUP BY Title, Categories;
+  )"),
+        "nested view");
+  return session;
+}
+
+// Ceilings no workload here approaches: the guard arms, probes, and never
+// trips, which is the production steady state being priced.
+eds::gov::GovernorLimits GenerousLimits() {
+  eds::gov::GovernorLimits limits;
+  limits.deadline_ms = 600000;
+  limits.max_term_nodes = 1u << 30;
+  limits.max_rows = 1u << 30;
+  return limits;
+}
+
+enum class Mode { kOff, kGuarded, kGuardedCancelToken };
+
+// Rewrite phase only, nested-view plan: the guard is checked at every
+// rule-candidate consideration, the engine's innermost loop.
+void BM_RewriteGov(benchmark::State& state, Mode mode) {
+  auto session = MakeNestedDb(50);
+  auto plan = CheckResult(
+      session->Translate(
+          "SELECT Title FROM FilmActors WHERE MEMBER('Adventure', "
+          "Categories) AND ALL(Salary(Actors) > 10000)"),
+      "translate");
+  eds::gov::CancelToken token;
+  eds::gov::GovernorLimits limits = GenerousLimits();
+  if (mode == Mode::kGuardedCancelToken) limits.cancel = &token;
+  eds::gov::QueryGuard guard;
+  eds::rewrite::RewriteOptions options;
+  if (mode != Mode::kOff) options.guard = &guard;
+  for (auto _ : state) {
+    if (mode != Mode::kOff) guard.Arm(limits);
+    auto out = session->Rewrite(plan, options);
+    Check(out.status(), "rewrite");
+    if (out->stats.trip.tripped()) {
+      state.SkipWithError("guard tripped on generous limits");
+      return;
+    }
+    benchmark::DoNotOptimize(out->term);
+  }
+}
+void BM_Rewrite_NoGuard(benchmark::State& state) {
+  BM_RewriteGov(state, Mode::kOff);
+}
+void BM_Rewrite_Guarded(benchmark::State& state) {
+  BM_RewriteGov(state, Mode::kGuarded);
+}
+void BM_Rewrite_GuardedCancel(benchmark::State& state) {
+  BM_RewriteGov(state, Mode::kGuardedCancelToken);
+}
+BENCHMARK(BM_Rewrite_NoGuard);
+BENCHMARK(BM_Rewrite_Guarded);
+BENCHMARK(BM_Rewrite_GuardedCancel);
+
+// End to end on the Fig. 5 transitive closure: per-operator checks and
+// per-output-row accounting are the executor-side governor costs.
+void BM_QueryGov(benchmark::State& state, Mode mode) {
+  auto session = MakeGraphDb(60);
+  eds::gov::CancelToken token;
+  eds::exec::QueryOptions options;
+  if (mode != Mode::kOff) {
+    options.limits = GenerousLimits();
+    if (mode == Mode::kGuardedCancelToken) options.limits.cancel = &token;
+  }
+  for (auto _ : state) {
+    auto result =
+        session->Query("SELECT L FROM BETTER_THAN WHERE W = 1", options);
+    Check(result.status(), "query");
+    if (!result->warnings.empty()) {
+      state.SkipWithError("governed query warned on generous limits");
+      return;
+    }
+    benchmark::DoNotOptimize(result->rows);
+    eds::benchutil::ReportExecWork(state, *result);
+  }
+}
+void BM_Query_NoGuard(benchmark::State& state) {
+  BM_QueryGov(state, Mode::kOff);
+}
+void BM_Query_Guarded(benchmark::State& state) {
+  BM_QueryGov(state, Mode::kGuarded);
+}
+void BM_Query_GuardedCancel(benchmark::State& state) {
+  BM_QueryGov(state, Mode::kGuardedCancelToken);
+}
+BENCHMARK(BM_Query_NoGuard);
+BENCHMARK(BM_Query_Guarded);
+BENCHMARK(BM_Query_GuardedCancel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -15,6 +15,7 @@
 //   \stats SELECT ... show full engine statistics for a query's rewrite
 //   \metrics SELECT ...  run the query, dump the unified metrics registry
 //   \profile SELECT ...  run the query, rank rules by cumulative self time
+//   \gov              show governor limits, trip tallies, and failpoints
 //   \rules            show the generated optimizer's blocks
 //   \norewrite        toggle the rewriter on/off for subsequent queries
 //   \lint             lint the rule libraries + declared constraints
@@ -28,6 +29,8 @@
 
 #include "common/strings.h"
 #include "exec/session.h"
+#include "gov/failpoint.h"
+#include "gov/governor.h"
 #include "lera/printer.h"
 #include "lint/lint.h"
 #include "magic/magic.h"
@@ -48,6 +51,12 @@ class Shell {
   // statement; main() writes it out as Chrome trace JSON on exit.
   explicit Shell(eds::obs::TraceSink* sink) {
     session_.set_trace_sink(sink);
+  }
+
+  // Governor budgets applied to every subsequent query (--deadline-ms,
+  // --max-nodes, --max-rows).
+  void set_limits(const eds::gov::GovernorLimits& limits) {
+    limits_ = limits;
   }
 
   // Returns false on \q.
@@ -128,6 +137,10 @@ class Shell {
       }
       return true;
     }
+    if (line == "\\gov") {
+      ShowGov();
+      return true;
+    }
     if (line == "\\lint") {
       RunLint();
       return true;
@@ -154,6 +167,23 @@ class Shell {
     }
     std::cout << "unknown command: " << line << "\n";
     return true;
+  }
+
+  // Governor configuration, cumulative trip tallies, and armed failpoints.
+  void ShowGov() {
+    auto limit = [](uint64_t v) {
+      return v == 0 ? std::string("unlimited") : std::to_string(v);
+    };
+    std::cout << "deadline_ms:  " << limit(limits_.deadline_ms) << "\n"
+              << "max_nodes:    " << limit(limits_.max_term_nodes) << "\n"
+              << "max_rows:     " << limit(limits_.max_rows) << "\n";
+    eds::gov::TripCounters trips = eds::gov::CumulativeTripCounters();
+    std::cout << "trips: deadline " << trips.deadline_trips
+              << ", node_ceiling " << trips.node_ceiling_trips
+              << ", row_ceiling " << trips.row_ceiling_trips
+              << ", cancelled " << trips.cancel_trips << "\n";
+    std::cout << "failpoints: " << eds::gov::FailPoints::Global().Describe()
+              << "\n";
   }
 
   // Lints every built-in rule library plus the constraint rules generated
@@ -239,9 +269,19 @@ class Shell {
               << "normal-form hits: " << s.normal_form_hits << "\n"
               << "cycle stops:      " << s.cycle_stops << "\n"
               << "safety stop:      " << (s.safety_stop ? "yes" : "no")
-              << "\n";
+              << "\n"
+              << "governor trip:    " << s.trip.ToString() << "\n";
     for (const auto& [rule, count] : s.applications_by_rule) {
       std::cout << "  " << rule << ": " << count << "\n";
+    }
+    if (s.safety_stop) {
+      std::cout << "warning: rewrite stopped early at the max_applications "
+                   "safety valve; the plan is correct but may be "
+                   "under-optimized\n";
+    }
+    if (s.trip.tripped()) {
+      std::cout << "warning: rewrite degraded by the query governor ("
+                << s.trip.ToString() << ")\n";
     }
   }
 
@@ -251,6 +291,7 @@ class Shell {
     eds::exec::QueryOptions options;
     options.rewrite = rewrite_;
     options.rewrite_options.profile_rules = true;
+    options.limits = limits_;
     auto result = session_.Query(eds::Trim(query), options);
     if (!result.ok()) {
       std::cout << result.status() << "\n";
@@ -261,7 +302,9 @@ class Shell {
     eds::obs::ExportExecStats(result->exec_stats, &registry);
     eds::obs::ExportInternerStats(eds::term::Interner::Global().GetStats(),
                                   &registry);
+    eds::obs::ExportGovStats(eds::gov::CumulativeTripCounters(), &registry);
     std::cout << registry.ToText();
+    PrintWarnings(*result);
     const eds::exec::PhaseTimes& t = result->phase_times;
     std::cout << "phase times (us): parse " << t.parse_ns / 1000
               << ", translate " << t.translate_ns / 1000 << ", rewrite "
@@ -276,6 +319,7 @@ class Shell {
     eds::exec::QueryOptions options;
     options.rewrite = rewrite_;
     options.rewrite_options.profile_rules = true;
+    options.limits = limits_;
     auto result = session_.Query(eds::Trim(query), options);
     if (!result.ok()) {
       std::cout << result.status() << "\n";
@@ -297,6 +341,7 @@ class Shell {
     }
     eds::exec::QueryOptions options;
     options.rewrite = rewrite_;
+    options.limits = limits_;
     auto result = session_.Query(trimmed, options);
     if (!result.ok()) {
       std::cout << result.status() << "\n";
@@ -316,11 +361,21 @@ class Shell {
     std::cout << "(" << result->rows.size() << " rows; "
               << result->rewrite_stats.applications << " rewrites, "
               << result->exec_stats.rows_scanned << " rows scanned)\n";
+    PrintWarnings(*result);
+  }
+
+  // Degradation is never silent: every QueryResult warning (safety valve,
+  // governor trip) prints after the rows.
+  static void PrintWarnings(const eds::exec::QueryResult& result) {
+    for (const std::string& w : result.warnings) {
+      std::cout << "warning: " << w << "\n";
+    }
   }
 
   eds::exec::Session session_;
   std::string buffer_;
   bool rewrite_ = true;
+  eds::gov::GovernorLimits limits_;
 };
 
 }  // namespace
@@ -345,22 +400,48 @@ int WriteTrace(const eds::obs::TraceSink& sink, const std::string& path) {
 int main(int argc, char** argv) {
   std::string trace_path;
   std::string script_path;
+  eds::gov::GovernorLimits limits;
+  auto parse_u64 = [](const std::string& text, uint64_t* out) {
+    try {
+      size_t pos = 0;
+      unsigned long long v = std::stoull(text, &pos);
+      if (pos != text.size()) return false;
+      *out = v;
+      return true;
+    } catch (...) {
+      return false;
+    }
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     const std::string kTraceOut = "--trace-out=";
+    const std::string kDeadline = "--deadline-ms=";
+    const std::string kMaxNodes = "--max-nodes=";
+    const std::string kMaxRows = "--max-rows=";
+    bool bad = false;
     if (arg.rfind(kTraceOut, 0) == 0) {
       trace_path = arg.substr(kTraceOut.size());
-      if (trace_path.empty()) {
-        std::cerr << "usage: eds_shell [--trace-out=FILE.json] [script.sql]\n";
-        return 1;
-      }
+      bad = trace_path.empty();
+    } else if (arg.rfind(kDeadline, 0) == 0) {
+      bad = !parse_u64(arg.substr(kDeadline.size()), &limits.deadline_ms);
+    } else if (arg.rfind(kMaxNodes, 0) == 0) {
+      bad = !parse_u64(arg.substr(kMaxNodes.size()), &limits.max_term_nodes);
+    } else if (arg.rfind(kMaxRows, 0) == 0) {
+      bad = !parse_u64(arg.substr(kMaxRows.size()), &limits.max_rows);
     } else {
       script_path = arg;
+    }
+    if (bad) {
+      std::cerr << "usage: eds_shell [--trace-out=FILE.json] "
+                   "[--deadline-ms=N] [--max-nodes=N] [--max-rows=N] "
+                   "[script.sql]\n";
+      return 1;
     }
   }
 
   eds::obs::TraceSink sink;
   Shell shell(trace_path.empty() ? nullptr : &sink);
+  shell.set_limits(limits);
   int exit_code = 0;
   bool done = false;
   if (!script_path.empty()) {

@@ -381,7 +381,22 @@ class Parser {
 
   // ---- expressions ----
 
-  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+  Result<ExprPtr> ParseExpr() {
+    // Every nesting level (parenthesized group, call argument, subquery)
+    // re-enters here, each costing several stack frames through the
+    // precedence chain — frames the sanitizer builds inflate further. 256
+    // is far deeper than any legitimate query; beyond it adversarial input
+    // gets a ParseError instead of a stack overflow.
+    constexpr int kMaxDepth = 256;
+    if (depth_ >= kMaxDepth) {
+      return Error("expression nesting exceeds " + std::to_string(kMaxDepth) +
+                   " levels");
+    }
+    ++depth_;
+    Result<ExprPtr> out = ParseOr();
+    --depth_;
+    return out;
+  }
 
   Result<ExprPtr> ParseOr() {
     EDS_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
@@ -546,6 +561,7 @@ class Parser {
   const std::vector<EsqlToken>* tokens_;
   std::string_view text_;
   size_t pos_ = 0;
+  int depth_ = 0;  // expression nesting, bounded in ParseExpr
 };
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "gov/failpoint.h"
 #include "lera/lera.h"
 #include "obs/trace.h"
 
@@ -62,29 +63,45 @@ const Rows* Executor::TryBorrowStoredRows(const term::TermRef& t,
 }
 
 Result<Rows> Executor::Eval(const term::TermRef& t, const FixEnv& env) {
+  // Operator entry doubles as the governor chokepoint: every operator in a
+  // plan passes through here, including each body re-evaluation inside a
+  // fixpoint round, so deadlines and cancellation are noticed even when a
+  // single Execute() call runs long. Intermediate output rows are charged
+  // against the row ceiling — a blown-up join trips before its parent
+  // projection ever sees the rows.
+  gov::QueryGuard* guard = options_.guard;
+  if (guard != nullptr && guard->Check()) return guard->TripStatus();
   obs::TraceSink* sink = options_.trace_sink;
-  if (sink == nullptr) return EvalDispatch(t, env);
-  // Per-operator spans, named by functor (relation scans carry the relation
-  // name so view expansions and fixpoint bindings are distinguishable in
-  // the timeline).
-  std::string name = "exec.";
-  if (lera::IsRelation(t)) {
-    Result<std::string> rel = lera::RelationName(t);
-    name += "RELATION ";
-    name += rel.ok() ? *rel : std::string("?");
-  } else if (t->is_apply()) {
-    name += t->functor();
+  Result<Rows> out = Rows{};
+  if (sink == nullptr) {
+    out = EvalDispatch(t, env);
   } else {
-    name += "term";
+    // Per-operator spans, named by functor (relation scans carry the
+    // relation name so view expansions and fixpoint bindings are
+    // distinguishable in the timeline).
+    std::string name = "exec.";
+    if (lera::IsRelation(t)) {
+      Result<std::string> rel = lera::RelationName(t);
+      name += "RELATION ";
+      name += rel.ok() ? *rel : std::string("?");
+    } else if (t->is_apply()) {
+      name += t->functor();
+    } else {
+      name += "term";
+    }
+    obs::Span span(sink, std::move(name), "exec");
+    out = EvalDispatch(t, env);
+    if (out.ok()) span.Arg("rows", static_cast<int64_t>(out->size()));
   }
-  obs::Span span(sink, std::move(name), "exec");
-  Result<Rows> out = EvalDispatch(t, env);
-  if (out.ok()) span.Arg("rows", static_cast<int64_t>(out->size()));
+  if (out.ok() && guard != nullptr && guard->AddRows(out->size())) {
+    return guard->TripStatus();
+  }
   return out;
 }
 
 Result<Rows> Executor::EvalDispatch(const term::TermRef& t,
                                     const FixEnv& env) {
+  EDS_FAIL_POINT("exec.operator");
   if (lera::IsRelation(t)) {
     EDS_ASSIGN_OR_RETURN(std::string name, lera::RelationName(t));
     std::string key = ToUpperAscii(name);

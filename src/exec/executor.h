@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "exec/expr_eval.h"
 #include "exec/storage.h"
+#include "gov/governor.h"
 #include "term/term.h"
 
 namespace eds::obs {
@@ -28,6 +29,13 @@ struct ExecOptions {
   // functor, relation scans by relation name) and EvalFix one per fixpoint
   // round. Null (the default) costs a single branch per Eval call.
   obs::TraceSink* trace_sink = nullptr;
+  // Query governor (may be null, the default): checked at every operator
+  // evaluation and fixpoint-round boundary, with every operator's output
+  // rows charged against the row ceiling. Unlike the rewriter, execution
+  // cannot degrade — a partial answer is a wrong answer — so a trip
+  // surfaces as Status::ResourceExhausted; ExecStats keep their partial
+  // values. Non-owning; must outlive the executor.
+  gov::QueryGuard* guard = nullptr;
 };
 
 struct ExecStats {

@@ -2,6 +2,7 @@
 
 #include "common/strings.h"
 #include "exec/executor.h"
+#include "gov/failpoint.h"
 #include "lera/lera.h"
 #include "magic/magic.h"
 #include "obs/trace.h"
@@ -66,6 +67,10 @@ Result<Rows> Executor::EvalFix(const term::TermRef& t, const FixEnv& env) {
   if (!seminaive) {
     // Naive iteration: R_{i+1} = R_i ∪ body(R_i).
     for (size_t round = 0; round < options_.max_fix_iterations; ++round) {
+      EDS_FAIL_POINT("exec.fix.round");
+      if (options_.guard != nullptr && options_.guard->Check()) {
+        return options_.guard->TripStatus();
+      }
       ++stats_.fix_iterations;
       obs::Span round_span(options_.trace_sink, "exec.fix.round", "exec");
       if (options_.trace_sink != nullptr) {
@@ -106,6 +111,10 @@ Result<Rows> Executor::EvalFix(const term::TermRef& t, const FixEnv& env) {
     if (round >= options_.max_fix_iterations) {
       return Status::ResourceExhausted("fixpoint " + rel_name +
                                        " exceeded max iterations");
+    }
+    EDS_FAIL_POINT("exec.fix.round");
+    if (options_.guard != nullptr && options_.guard->Check()) {
+      return options_.guard->TripStatus();
     }
     ++stats_.fix_iterations;
     obs::Span round_span(options_.trace_sink, "exec.fix.round", "exec");

@@ -181,27 +181,71 @@ Result<QueryResult> Session::Query(std::string_view esql,
   EDS_ASSIGN_OR_RETURN(term::TermRef raw,
                        TranslateTimed(esql, &result.phase_times));
   result.raw_plan = raw;
+  // One guard spans the whole pipeline when limits are set. Sticky trips
+  // give the right cross-phase semantics for free: a deadline blown (or a
+  // cancellation observed) during rewrite degrades that phase AND fails
+  // execution at its first chokepoint — time is up either way.
+  gov::QueryGuard guard;
+  const bool governed = options.limits.any();
+  if (governed) guard.Arm(options.limits);
   term::TermRef plan = raw;
   uint64_t t0 = obs::NowNs();
   if (options.rewrite) {
-    EDS_ASSIGN_OR_RETURN(rewrite::RewriteOutcome outcome,
-                         Rewrite(raw, options.rewrite_options));
+    rewrite::RewriteOptions rw = options.rewrite_options;
+    if (governed && rw.guard == nullptr) rw.guard = &guard;
+    EDS_ASSIGN_OR_RETURN(rewrite::RewriteOutcome outcome, Rewrite(raw, rw));
     plan = outcome.term;
     result.rewrite_stats = outcome.stats;
     result.phase_times.rewrite_ns = obs::NowNs() - t0;
+    if (outcome.stats.safety_stop) {
+      result.warnings.push_back(
+          "rewrite stopped early: max_applications (" +
+          std::to_string(rw.max_applications) +
+          ") reached; results are correct but the plan may be "
+          "under-optimized");
+    }
+    if (outcome.stats.trip.tripped()) {
+      result.rewrite_trip = outcome.stats.trip;
+      result.warnings.push_back(
+          "rewrite degraded by query governor (" +
+          outcome.stats.trip.ToString() +
+          "); best-so-far plan used, results are correct but the plan may "
+          "be under-optimized");
+    }
   }
   result.optimized_plan = plan;
+  // A node-ceiling trip is a rewrite-phase budget: the plan stops improving
+  // but the query still runs. Re-arm for the remaining phases without the
+  // node ceiling (and with whatever wall-clock budget is left) — a sticky
+  // node trip would otherwise fail execution over a resource it does not
+  // consume.
+  if (governed && guard.tripped() &&
+      guard.trip().kind == gov::TripKind::kNodeCeiling) {
+    gov::GovernorLimits rest = options.limits;
+    rest.max_term_nodes = 0;
+    if (rest.deadline_ms != 0) {
+      uint64_t elapsed_ms = (obs::NowNs() - q0) / 1'000'000ULL;
+      rest.deadline_ms = elapsed_ms < rest.deadline_ms
+                             ? rest.deadline_ms - elapsed_ms
+                             : 1;  // nearly spent: trip on the first probe
+    }
+    guard.Arm(rest);
+  }
   uint64_t t1 = obs::NowNs();
   {
     obs::Span span(trace_sink_, "phase.schema", "phase");
-    EDS_ASSIGN_OR_RETURN(lera::Schema schema,
-                         lera::InferSchema(plan, catalog_));
+    EDS_ASSIGN_OR_RETURN(
+        lera::Schema schema,
+        lera::InferSchema(plan, catalog_, nullptr, nullptr,
+                          governed ? &guard : nullptr));
     for (const types::Field& f : schema) result.columns.push_back(f.name);
   }
   uint64_t t2 = obs::NowNs();
   result.phase_times.schema_ns = t2 - t1;
+  ExecOptions exec_options = options.exec_options;
+  if (governed && exec_options.guard == nullptr) exec_options.guard = &guard;
   EDS_ASSIGN_OR_RETURN(result.rows,
-                       Run(plan, options.exec_options, &result.exec_stats));
+                       Run(plan, exec_options, &result.exec_stats));
   uint64_t t3 = obs::NowNs();
   result.phase_times.exec_ns = t3 - t2;
   result.phase_times.total_ns = t3 - q0;

@@ -44,12 +44,25 @@ struct QueryResult {
   rewrite::EngineStats rewrite_stats;
   ExecStats exec_stats;
   PhaseTimes phase_times;
+  // Human-readable notes about silent degradation: the rewriter stopping at
+  // a safety valve or a governor trip. The rows are still correct — these
+  // flag that the plan may be under-optimized and why. Empty normally.
+  std::vector<std::string> warnings;
+  // The governor trip that cut the rewrite phase short, if any (execution
+  // trips are errors, not degradation, so they never land here).
+  gov::TripReason rewrite_trip;
 };
 
 struct QueryOptions {
   bool rewrite = true;  // run the rule-based rewriter before execution
   rewrite::RewriteOptions rewrite_options;
   ExecOptions exec_options;
+  // Query governor budgets. When any limit is set, Query() arms a guard for
+  // the whole pipeline: the rewrite and schema phases degrade on a trip
+  // (best-so-far plan + QueryResult::warnings/rewrite_trip), execution
+  // fails fast with ResourceExhausted. Ignored by phases whose options
+  // already carry an explicit caller-owned guard.
+  gov::GovernorLimits limits;
 };
 
 // The user-facing facade: one catalog + one database + the generated

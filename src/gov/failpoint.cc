@@ -1,0 +1,184 @@
+#include "gov/failpoint.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace eds::gov {
+
+std::atomic<int32_t> FailPoints::armed_sites_{-1};
+
+FailPoints& FailPoints::Global() {
+  // Leaky, like the interner: failpoint checks may run during static
+  // teardown of test fixtures.
+  static FailPoints* global = new FailPoints();
+  return *global;
+}
+
+namespace {
+
+// One `site=action` pair -> (fire_at, armed) or an error.
+Status ParseAction(const std::string& action, bool* armed,
+                   uint64_t* fire_at) {
+  *fire_at = 0;
+  if (action == "off") {
+    *armed = false;
+    return Status::OK();
+  }
+  *armed = true;
+  if (action == "error") return Status::OK();
+  if (action == "once") {
+    *fire_at = 1;
+    return Status::OK();
+  }
+  if (StartsWith(action, "error@")) {
+    const std::string n = action.substr(6);
+    if (n.empty()) return Status::InvalidArgument("failpoint: empty error@N");
+    uint64_t at = 0;
+    for (char c : n) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("failpoint: bad count '" + n + "'");
+      }
+      at = at * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (at == 0) {
+      return Status::InvalidArgument("failpoint: error@N needs N >= 1");
+    }
+    *fire_at = at;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("failpoint: unknown action '" + action +
+                                 "' (want error, error@N, once, off)");
+}
+
+}  // namespace
+
+namespace {
+
+// Parses a full "site=action,site=action" spec into (name, site) pairs
+// without touching the registry, so a malformed spec changes nothing.
+Status ParseSpec(const std::string& spec,
+                 std::vector<std::pair<std::string, FailPoints::Site>>* out) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string pair(Trim(spec.substr(pos, end - pos)));
+    pos = end + 1;
+    if (pair.empty()) continue;
+    size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint: expected site=action, got '" +
+                                     pair + "'");
+    }
+    FailPoints::Site site;
+    EDS_RETURN_IF_ERROR(ParseAction(pair.substr(eq + 1), &site.armed,
+                                    &site.fire_at));
+    out->emplace_back(pair.substr(0, eq), site);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool FailPoints::InitFromEnv() {
+  FailPoints& g = Global();
+  std::lock_guard<std::mutex> lock(g.mu_);
+  // Another thread may have initialized while we waited for the lock.
+  if (armed_sites_.load(std::memory_order_relaxed) >= 0) {
+    return armed_sites_.load(std::memory_order_relaxed) > 0;
+  }
+  armed_sites_.store(0, std::memory_order_relaxed);
+  const char* env = std::getenv("EDS_FAILPOINTS");
+  if (env != nullptr && env[0] != '\0') {
+    // Env errors cannot surface to a caller; a bad spec simply arms
+    // nothing. Apply under the lock we already hold — calling the public
+    // Configure here would self-deadlock on mu_.
+    std::vector<std::pair<std::string, Site>> parsed;
+    if (ParseSpec(env, &parsed).ok()) g.ApplyLocked(parsed);
+  }
+  return armed_sites_.load(std::memory_order_relaxed) > 0;
+}
+
+Status FailPoints::Configure(const std::string& spec) {
+  std::vector<std::pair<std::string, Site>> parsed;
+  EDS_RETURN_IF_ERROR(ParseSpec(spec, &parsed));
+  std::lock_guard<std::mutex> lock(mu_);
+  ApplyLocked(parsed);
+  return Status::OK();
+}
+
+void FailPoints::ApplyLocked(
+    const std::vector<std::pair<std::string, Site>>& parsed) {
+  for (const auto& [name, site] : parsed) {
+    Site& s = sites_[name];
+    s.armed = site.armed;
+    s.fire_at = site.fire_at;
+    // hit_count deliberately survives reconfiguration: error@N counts hits
+    // from the moment any site first became armed, which tests rely on.
+  }
+  RecountArmedLocked();
+}
+
+void FailPoints::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  RecountArmedLocked();
+}
+
+void FailPoints::ResetForTesting() {
+  FailPoints& g = Global();
+  std::lock_guard<std::mutex> lock(g.mu_);
+  g.sites_.clear();
+  armed_sites_.store(-1, std::memory_order_relaxed);
+}
+
+void FailPoints::RecountArmedLocked() {
+  int32_t n = 0;
+  for (const auto& [name, site] : sites_) {
+    if (site.armed) ++n;
+  }
+  armed_sites_.store(n, std::memory_order_relaxed);
+}
+
+Status FailPoints::Hit(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    // Unconfigured sites still count hits while any site is armed, so a
+    // chaos run can discover which sites a workload actually crosses.
+    ++sites_[site].hit_count;
+    return Status::OK();
+  }
+  Site& s = it->second;
+  ++s.hit_count;
+  if (!s.armed) return Status::OK();
+  if (s.fire_at != 0 && s.hit_count != s.fire_at) return Status::OK();
+  return Status::RuntimeError(std::string("injected failure at failpoint ") +
+                              site);
+}
+
+uint64_t FailPoints::hits(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hit_count;
+}
+
+std::string FailPoints::Describe() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sites_.empty()) return "(no failpoints configured)\n";
+  std::string out;
+  for (const auto& [name, site] : sites_) {
+    out += name;
+    out += site.armed
+               ? (site.fire_at != 0
+                      ? " error@" + std::to_string(site.fire_at)
+                      : std::string(" error"))
+               : std::string(" off");
+    out += " hits=" + std::to_string(site.hit_count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace eds::gov

@@ -1,0 +1,110 @@
+#ifndef EDS_GOV_FAILPOINT_H_
+#define EDS_GOV_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace eds::gov {
+
+// Deterministic fault injection for the chaos suite (and for operators
+// reproducing a production incident in a shell). A *site* is a string
+// literal compiled into the code (`EDS_FAIL_POINT("rewrite.method.EVALUATE")`);
+// arming a site makes that call return an injected error Status exactly
+// where a real failure (OOM, bad metadata, a buggy extension method) would
+// surface one. The full site catalog lives in docs/robustness.md.
+//
+// Activation:
+//   * programmatically: FailPoints::Global().Configure("site=error,...")
+//   * from the environment: EDS_FAILPOINTS="site=error@3" (read once, on
+//     the first armed-check after process start)
+//
+// Spec grammar — comma-separated `site=action` pairs:
+//   site=error      every hit at `site` fails
+//   site=error@N    only the N-th hit (1-based) fails
+//   site=once       only the first hit fails (alias for error@1)
+//   site=off        disarm the site (hit counting continues)
+//
+// Cost when nothing is armed: EDS_FAIL_POINT is one relaxed atomic load and
+// a predictable branch — no lock, no string work — so shipping builds keep
+// the sites compiled in.
+class FailPoints {
+ public:
+  // Per-site armed/fire_at/hit_count state; public so the spec parser can
+  // build (name, Site) pairs without touching the registry.
+  struct Site {
+    bool armed = false;
+    uint64_t fire_at = 0;  // 0 = every hit; else only the fire_at-th hit
+    uint64_t hit_count = 0;
+  };
+
+  static FailPoints& Global();
+
+  FailPoints() = default;
+  FailPoints(const FailPoints&) = delete;
+  FailPoints& operator=(const FailPoints&) = delete;
+
+  // Parses `spec` (grammar above) and arms/disarms sites. Malformed specs
+  // return InvalidArgument and leave the registry unchanged.
+  Status Configure(const std::string& spec);
+
+  // Disarms every site and forgets all hit counts.
+  void Clear();
+
+  // Clear() plus forgetting that EDS_FAILPOINTS was ever consulted, so a
+  // test can exercise the env activation path. Not for production use.
+  static void ResetForTesting();
+
+  // The slow path behind EDS_FAIL_POINT: counts the hit and returns the
+  // injected error when `site` is armed and due. Only reached while at
+  // least one site is armed.
+  Status Hit(const char* site);
+
+  // Observed hit count for a site (0 when never hit while armed-checking
+  // was active). Test introspection.
+  uint64_t hits(const std::string& site);
+
+  // One "site action hits=N" line per configured site, for \gov.
+  std::string Describe();
+
+  // True when any site is armed. First call reads EDS_FAILPOINTS.
+  static bool AnyArmed() {
+    int32_t n = armed_sites_.load(std::memory_order_relaxed);
+    if (n < 0) return InitFromEnv();
+    return n > 0;
+  }
+
+ private:
+  static bool InitFromEnv();
+  // Both require mu_ to be held (InitFromEnv applies the env spec under
+  // the lock it already holds; the public Configure would self-deadlock).
+  void ApplyLocked(const std::vector<std::pair<std::string, Site>>& parsed);
+  void RecountArmedLocked();
+
+  // Number of armed sites; -1 until the EDS_FAILPOINTS env var has been
+  // consulted.
+  static std::atomic<int32_t> armed_sites_;
+
+  std::mutex mu_;
+  std::map<std::string, Site> sites_;
+};
+
+// Injects a failure at a named site when armed; free when not (one relaxed
+// load + branch). Usable in functions returning Status or Result<T>.
+#define EDS_FAIL_POINT(site)                                          \
+  do {                                                                \
+    if (::eds::gov::FailPoints::AnyArmed()) {                         \
+      ::eds::Status _eds_fp = ::eds::gov::FailPoints::Global().Hit(site); \
+      if (!_eds_fp.ok()) return _eds_fp;                              \
+    }                                                                 \
+  } while (false)
+
+}  // namespace eds::gov
+
+#endif  // EDS_GOV_FAILPOINT_H_

@@ -1,0 +1,144 @@
+#include "gov/governor.h"
+
+#include "obs/trace.h"
+#include "term/interner.h"
+
+namespace eds::gov {
+
+const char* TripKindName(TripKind kind) {
+  switch (kind) {
+    case TripKind::kNone: return "none";
+    case TripKind::kDeadline: return "deadline";
+    case TripKind::kNodeCeiling: return "node_ceiling";
+    case TripKind::kRowCeiling: return "row_ceiling";
+    case TripKind::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+std::string TripReason::ToString() const {
+  if (kind == TripKind::kNone) return "none";
+  std::string out = TripKindName(kind);
+  if (!detail.empty()) {
+    out += ": ";
+    out += detail;
+  }
+  return out;
+}
+
+namespace {
+
+// Process-wide tallies; relaxed atomics, read by \gov and the metrics
+// exporter the way interner stats are.
+std::atomic<uint64_t> g_deadline_trips{0};
+std::atomic<uint64_t> g_node_ceiling_trips{0};
+std::atomic<uint64_t> g_row_ceiling_trips{0};
+std::atomic<uint64_t> g_cancel_trips{0};
+
+void CountTrip(TripKind kind) {
+  switch (kind) {
+    case TripKind::kDeadline:
+      g_deadline_trips.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case TripKind::kNodeCeiling:
+      g_node_ceiling_trips.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case TripKind::kRowCeiling:
+      g_row_ceiling_trips.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case TripKind::kCancelled:
+      g_cancel_trips.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case TripKind::kNone:
+      break;
+  }
+}
+
+}  // namespace
+
+TripCounters CumulativeTripCounters() {
+  TripCounters c;
+  c.deadline_trips = g_deadline_trips.load(std::memory_order_relaxed);
+  c.node_ceiling_trips = g_node_ceiling_trips.load(std::memory_order_relaxed);
+  c.row_ceiling_trips = g_row_ceiling_trips.load(std::memory_order_relaxed);
+  c.cancel_trips = g_cancel_trips.load(std::memory_order_relaxed);
+  return c;
+}
+
+void ResetTripCountersForTesting() {
+  g_deadline_trips.store(0, std::memory_order_relaxed);
+  g_node_ceiling_trips.store(0, std::memory_order_relaxed);
+  g_row_ceiling_trips.store(0, std::memory_order_relaxed);
+  g_cancel_trips.store(0, std::memory_order_relaxed);
+}
+
+void QueryGuard::Arm(const GovernorLimits& limits) {
+  limits_ = limits;
+  armed_ = true;
+  tick_ = 0;
+  rows_ = 0;
+  trip_ = TripReason{};
+  start_ns_ = obs::NowNs();
+  deadline_ns_ =
+      limits_.deadline_ms != 0
+          ? start_ns_ + limits_.deadline_ms * 1'000'000ULL
+          : 0;
+  node_base_ = limits_.max_term_nodes != 0
+                   ? term::Interner::Global().ApproxAllocated()
+                   : 0;
+}
+
+bool QueryGuard::Trip(TripKind kind, std::string detail) {
+  // First trip wins; later limit crossings are symptoms of the first.
+  if (trip_.kind == TripKind::kNone) {
+    trip_.kind = kind;
+    trip_.detail = std::move(detail);
+    CountTrip(kind);
+  }
+  return true;
+}
+
+bool QueryGuard::TripCancelled() {
+  return Trip(TripKind::kCancelled, "cancellation token fired");
+}
+
+bool QueryGuard::CheckExpensive() {
+  if (deadline_ns_ != 0) {
+    const uint64_t now = obs::NowNs();
+    if (now >= deadline_ns_) {
+      return Trip(TripKind::kDeadline,
+                  std::to_string((now - start_ns_) / 1'000'000) +
+                      "ms elapsed, limit " +
+                      std::to_string(limits_.deadline_ms) + "ms");
+    }
+  }
+  if (limits_.max_term_nodes != 0) {
+    const uint64_t grown =
+        term::Interner::Global().ApproxAllocated() - node_base_;
+    if (grown > limits_.max_term_nodes) {
+      return Trip(TripKind::kNodeCeiling,
+                  std::to_string(grown) + " term nodes allocated, limit " +
+                      std::to_string(limits_.max_term_nodes));
+    }
+  }
+  return false;
+}
+
+bool QueryGuard::AddRows(uint64_t produced) {
+  if (!armed_) return false;
+  if (trip_.kind != TripKind::kNone) return true;
+  rows_ += produced;
+  if (limits_.max_rows != 0 && rows_ > limits_.max_rows) {
+    return Trip(TripKind::kRowCeiling,
+                std::to_string(rows_) + " rows materialized, limit " +
+                    std::to_string(limits_.max_rows));
+  }
+  return false;
+}
+
+Status QueryGuard::TripStatus() const {
+  if (!trip_.tripped()) return Status::OK();
+  return Status::ResourceExhausted("query governor: " + trip_.ToString());
+}
+
+}  // namespace eds::gov

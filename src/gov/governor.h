@@ -1,0 +1,171 @@
+#ifndef EDS_GOV_GOVERNOR_H_
+#define EDS_GOV_GOVERNOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace eds::gov {
+
+// The query governor: wall-clock deadlines, resource ceilings, and
+// cooperative cancellation for one query's trip through the pipeline
+// (rewrite -> schema inference -> execution). The paper already treats
+// rewriting as a budgeted process (block limits, §4.2/§7); the governor
+// extends that discipline to the resources a production server actually
+// runs out of — time, memory, and the operator's patience.
+//
+// The invariant the whole design serves: tripping a limit during *rewrite*
+// must never make the answer wrong, only less optimized. The engine returns
+// its best-so-far normal form (every applied rule is semantics-preserving,
+// so any prefix of applications is a correct plan) with a TripReason;
+// execution-side trips cannot degrade — half an answer is wrong — so they
+// surface as Status::ResourceExhausted with partial statistics.
+// docs/robustness.md covers the knobs and guarantees.
+
+// Why a run was cut short.
+enum class TripKind {
+  kNone = 0,
+  kDeadline,     // wall-clock deadline exceeded
+  kNodeCeiling,  // term-node (interner growth) ceiling exceeded
+  kRowCeiling,   // executor row/materialization ceiling exceeded
+  kCancelled,    // external cancellation token fired
+};
+
+// Stable lowercase name: "deadline", "node_ceiling", "row_ceiling",
+// "cancelled", "none".
+const char* TripKindName(TripKind kind);
+
+// Structured trip description carried in RewriteOutcome / QueryResult.
+struct TripReason {
+  TripKind kind = TripKind::kNone;
+  std::string detail;  // observed value vs. configured limit
+
+  bool tripped() const { return kind != TripKind::kNone; }
+  // "deadline: 12ms elapsed, limit 10ms" or "none".
+  std::string ToString() const;
+};
+
+// External cancellation: the owner (a server's RPC layer, a shell signal
+// handler, a test) flips the token from any thread; the query observes it
+// at the next chokepoint. Plain relaxed atomics — cancellation needs no
+// ordering, only eventual visibility.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+// Configured ceilings; 0 (or null) means "unlimited" for each knob.
+struct GovernorLimits {
+  // Wall-clock budget for the whole guarded region, in milliseconds.
+  uint64_t deadline_ms = 0;
+  // Ceiling on *new* term nodes allocated (interner misses) since the guard
+  // was armed — the rewriter's memory proxy: a runaway rule set manifests
+  // as unbounded fresh-term construction long before anything else.
+  uint64_t max_term_nodes = 0;
+  // Ceiling on rows materialized across executor operator evaluations
+  // (every operator's output counts, so intermediate blowups trip it, not
+  // just large final results) — the executor's memory proxy.
+  uint64_t max_rows = 0;
+  // Cooperative cancellation; must outlive the guard. May be null.
+  const CancelToken* cancel = nullptr;
+
+  bool any() const {
+    return deadline_ms != 0 || max_term_nodes != 0 || max_rows != 0 ||
+           cancel != nullptr;
+  }
+};
+
+// Process-wide trip tallies, exported as gov.* metrics (obs/metrics.h) and
+// dumped by the shell's \gov. Cumulative across queries, like the
+// interner's stats.
+struct TripCounters {
+  uint64_t deadline_trips = 0;
+  uint64_t node_ceiling_trips = 0;
+  uint64_t row_ceiling_trips = 0;
+  uint64_t cancel_trips = 0;
+};
+TripCounters CumulativeTripCounters();
+void ResetTripCountersForTesting();
+
+// One query's guard: armed with limits at query start, checked at the
+// pipeline's existing cheap chokepoints (rule-condition checks, operator
+// and fixpoint-round boundaries, schema-inference entries). Trips are
+// sticky: the first limit to fire wins and every later Check() keeps
+// returning true, so all layers unwind to the degradation/error path.
+//
+// Cost discipline: an unarmed guard (or a null guard pointer, the default
+// everywhere) costs one predictable branch per chokepoint. An armed guard
+// checks cancellation every call (one relaxed load) but amortizes the
+// expensive probes — the clock read and the interner-counter read — over
+// kStride calls.
+class QueryGuard {
+ public:
+  QueryGuard() = default;  // unarmed: Check() is a single branch
+  explicit QueryGuard(const GovernorLimits& limits) { Arm(limits); }
+
+  QueryGuard(const QueryGuard&) = delete;
+  QueryGuard& operator=(const QueryGuard&) = delete;
+
+  // Records the start time and the interner baseline; no-op limits still
+  // arm (an armed guard with no ceilings never trips).
+  void Arm(const GovernorLimits& limits);
+
+  bool armed() const { return armed_; }
+  const GovernorLimits& limits() const { return limits_; }
+
+  // Chokepoint check. True once the guard has tripped (sticky).
+  bool Check() {
+    if (!armed_) return false;
+    if (trip_.kind != TripKind::kNone) return true;
+    if (limits_.cancel != nullptr && limits_.cancel->cancelled()) {
+      return TripCancelled();
+    }
+    if (++tick_ % kStride != 0) return false;
+    return CheckExpensive();
+  }
+
+  // Row-ceiling accounting: `produced` rows were materialized by an
+  // operator. Returns true when tripped (including already-tripped).
+  bool AddRows(uint64_t produced);
+
+  uint64_t rows_accounted() const { return rows_; }
+
+  bool tripped() const { return trip_.tripped(); }
+  const TripReason& trip() const { return trip_; }
+
+  // The error execution-side callers return: ResourceExhausted carrying
+  // the trip detail ("query governor: deadline: ...").
+  Status TripStatus() const;
+
+ private:
+  // Probe every kStride checks: chokepoints fire thousands of times per
+  // query, a clock read every call would be the most expensive thing at
+  // the site. 64 keeps worst-case trip latency well under a millisecond.
+  static constexpr uint32_t kStride = 64;
+
+  bool CheckExpensive();  // clock + interner reads
+  bool TripCancelled();
+  bool Trip(TripKind kind, std::string detail);
+
+  GovernorLimits limits_;
+  bool armed_ = false;
+  uint64_t start_ns_ = 0;
+  uint64_t deadline_ns_ = 0;  // absolute, 0 when no deadline
+  uint64_t node_base_ = 0;    // interner allocations at Arm()
+  uint64_t rows_ = 0;
+  uint32_t tick_ = 0;
+  TripReason trip_;
+};
+
+}  // namespace eds::gov
+
+#endif  // EDS_GOV_GOVERNOR_H_

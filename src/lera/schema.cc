@@ -15,11 +15,12 @@ namespace {
 Result<std::vector<Schema>> InputSchemas(const term::TermList& inputs,
                                          const catalog::Catalog& cat,
                                          const SchemaEnv* env,
-                                         SchemaMemo* memo) {
+                                         SchemaMemo* memo,
+                                         gov::QueryGuard* guard) {
   std::vector<Schema> out;
   out.reserve(inputs.size());
   for (const TermRef& in : inputs) {
-    EDS_ASSIGN_OR_RETURN(Schema s, InferSchema(in, cat, env, memo));
+    EDS_ASSIGN_OR_RETURN(Schema s, InferSchema(in, cat, env, memo, guard));
     out.push_back(std::move(s));
   }
   return out;
@@ -57,7 +58,8 @@ namespace {
 
 Result<Schema> InferSchemaImpl(const term::TermRef& t,
                                const catalog::Catalog& cat,
-                               const SchemaEnv* env, SchemaMemo* memo) {
+                               const SchemaEnv* env, SchemaMemo* memo,
+                               gov::QueryGuard* guard) {
   if (IsRelation(t)) {
     EDS_ASSIGN_OR_RETURN(std::string name, RelationName(t));
     if (env != nullptr) {
@@ -72,23 +74,23 @@ Result<Schema> InferSchemaImpl(const term::TermRef& t,
   const std::string& f = t->functor();
   if (f == kSearch) {
     EDS_ASSIGN_OR_RETURN(term::TermList inputs, SearchInputs(t));
-    EDS_ASSIGN_OR_RETURN(auto schemas, InputSchemas(inputs, cat, env, memo));
+    EDS_ASSIGN_OR_RETURN(auto schemas, InputSchemas(inputs, cat, env, memo, guard));
     EDS_ASSIGN_OR_RETURN(term::TermList projs, SearchProjections(t));
     return ProjectionSchema(projs, schemas, cat, env);
   }
   if (f == kUnion) {
     EDS_ASSIGN_OR_RETURN(term::TermList inputs, UnionInputs(t));
     if (inputs.empty()) return Status::InvalidArgument("empty UNION");
-    return InferSchema(inputs[0], cat, env, memo);
+    return InferSchema(inputs[0], cat, env, memo, guard);
   }
   if (f == kDifference || f == kIntersect) {
-    return InferSchema(t->arg(0), cat, env, memo);
+    return InferSchema(t->arg(0), cat, env, memo, guard);
   }
   if (f == kFilter || f == kDedup) {
-    return InferSchema(t->arg(0), cat, env, memo);
+    return InferSchema(t->arg(0), cat, env, memo, guard);
   }
   if (f == kProject) {
-    EDS_ASSIGN_OR_RETURN(Schema in, InferSchema(t->arg(0), cat, env, memo));
+    EDS_ASSIGN_OR_RETURN(Schema in, InferSchema(t->arg(0), cat, env, memo, guard));
     std::vector<Schema> schemas = {std::move(in)};
     if (!t->arg(1)->IsApply(term::kList)) {
       return Status::InvalidArgument("malformed PROJECT: " + t->ToString());
@@ -96,8 +98,8 @@ Result<Schema> InferSchemaImpl(const term::TermRef& t,
     return ProjectionSchema(t->arg(1)->args(), schemas, cat, env);
   }
   if (f == kJoin) {
-    EDS_ASSIGN_OR_RETURN(Schema a, InferSchema(t->arg(0), cat, env, memo));
-    EDS_ASSIGN_OR_RETURN(Schema b, InferSchema(t->arg(1), cat, env, memo));
+    EDS_ASSIGN_OR_RETURN(Schema a, InferSchema(t->arg(0), cat, env, memo, guard));
+    EDS_ASSIGN_OR_RETURN(Schema b, InferSchema(t->arg(1), cat, env, memo, guard));
     a.insert(a.end(), b.begin(), b.end());
     return a;
   }
@@ -117,14 +119,14 @@ Result<Schema> InferSchemaImpl(const term::TermRef& t,
     if (IsUnion(body)) {
       EDS_ASSIGN_OR_RETURN(term::TermList branches, UnionInputs(body));
       for (const TermRef& b : branches) {
-        Result<Schema> s = InferSchema(b, cat, env, memo);
+        Result<Schema> s = InferSchema(b, cat, env, memo, guard);
         if (s.ok()) return s;
       }
     }
     return Status::TypeError("cannot infer schema of FIX(" + name + ", ...)");
   }
   if (f == kNest) {
-    EDS_ASSIGN_OR_RETURN(Schema in, InferSchema(t->arg(0), cat, env, memo));
+    EDS_ASSIGN_OR_RETURN(Schema in, InferSchema(t->arg(0), cat, env, memo, guard));
     if (!t->arg(1)->IsApply(term::kList) || !t->arg(2)->is_constant()) {
       return Status::InvalidArgument("malformed NEST: " + t->ToString());
     }
@@ -157,7 +159,7 @@ Result<Schema> InferSchemaImpl(const term::TermRef& t,
     return out;
   }
   if (f == kUnnest) {
-    EDS_ASSIGN_OR_RETURN(Schema in, InferSchema(t->arg(0), cat, env, memo));
+    EDS_ASSIGN_OR_RETURN(Schema in, InferSchema(t->arg(0), cat, env, memo, guard));
     if (!t->arg(1)->is_constant() ||
         t->arg(1)->constant().kind() != value::ValueKind::kInt) {
       return Status::InvalidArgument("malformed UNNEST: " + t->ToString());
@@ -189,13 +191,20 @@ Result<Schema> InferSchemaImpl(const term::TermRef& t,
 
 Result<Schema> InferSchema(const term::TermRef& t,
                            const catalog::Catalog& cat, const SchemaEnv* env,
-                           SchemaMemo* memo) {
+                           SchemaMemo* memo, gov::QueryGuard* guard) {
+  // Governor chokepoint: every recursion level funnels through here, so a
+  // deadline or cancellation aborts a deep view-expansion promptly.
+  if (guard != nullptr && guard->Check()) return guard->TripStatus();
   if (memo != nullptr) {
     auto it = memo->find(t.get());
     if (it != memo->end()) return it->second;
   }
-  Result<Schema> r = InferSchemaImpl(t, cat, env, memo);
-  if (memo != nullptr) memo->emplace(t.get(), r);
+  Result<Schema> r = InferSchemaImpl(t, cat, env, memo, guard);
+  // Trip errors describe this run's budget, not the term; memoizing them
+  // would poison the memo for retries with a fresh budget.
+  if (memo != nullptr && (guard == nullptr || !guard->tripped())) {
+    memo->emplace(t.get(), r);
+  }
   return r;
 }
 

@@ -8,6 +8,7 @@
 
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "gov/governor.h"
 #include "lera/lera.h"
 #include "term/term.h"
 #include "types/type.h"
@@ -35,11 +36,16 @@ using SchemaEnv = std::map<std::string, Schema>;
 using SchemaMemo = std::unordered_map<const term::Term*, Result<Schema>>;
 
 // Infers the output schema of a relational LERA term. `memo`, when given,
-// caches every subterm's result across calls.
+// caches every subterm's result across calls. `guard`, when given, is the
+// query governor's chokepoint in this recursion: a deep view/operator nest
+// is rechecked at every descent, and a trip aborts the inference with
+// ResourceExhausted (trip results are never memoized — the same subtree
+// must infer normally on a later, unguarded call).
 Result<Schema> InferSchema(const term::TermRef& t,
                            const catalog::Catalog& cat,
                            const SchemaEnv* env = nullptr,
-                           SchemaMemo* memo = nullptr);
+                           SchemaMemo* memo = nullptr,
+                           gov::QueryGuard* guard = nullptr);
 
 // Memo for InferExprType, mirroring SchemaMemo but two-dimensional: an
 // expression's type depends on the enclosing operator's input schemas, so

@@ -1,6 +1,7 @@
 #include "magic/magic.h"
 
 #include "common/strings.h"
+#include "gov/failpoint.h"
 #include "lera/lera.h"
 #include "term/substitution.h"
 
@@ -194,6 +195,7 @@ using rewrite::RewriteContext;
 // ADORNMENT(f, pos, sig): see magic.h.
 Status MethodAdornment(const TermList& args, term::Bindings* env,
                        const RewriteContext& ctx) {
+  EDS_FAIL_POINT("rewrite.method.ADORNMENT");
   (void)ctx;
   if (args.size() != 3 || !args[2]->is_variable()) {
     return Status::InvalidArgument("ADORNMENT expects (qual, pos, sig_out)");
@@ -220,6 +222,7 @@ Status MethodAdornment(const TermList& args, term::Bindings* env,
 // ALEXANDER(r, e, sig, u): see magic.h.
 Status MethodAlexander(const TermList& args, term::Bindings* env,
                        const RewriteContext& ctx) {
+  EDS_FAIL_POINT("rewrite.method.ALEXANDER");
   (void)ctx;
   if (args.size() != 4 || !args[3]->is_variable()) {
     return Status::InvalidArgument("ALEXANDER expects (r, e, sig, u_out)");

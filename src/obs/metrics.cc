@@ -71,6 +71,7 @@ void ExportEngineStats(const rewrite::EngineStats& stats,
   registry->Counter("rewrite.expr_type_hits", stats.expr_type_hits);
   registry->Counter("rewrite.expr_type_misses", stats.expr_type_misses);
   registry->Counter("rewrite.safety_stop", stats.safety_stop ? 1 : 0);
+  registry->Counter("rewrite.tripped", stats.trip.tripped() ? 1 : 0);
   for (const auto& [rule, count] : stats.applications_by_rule) {
     registry->Counter("rewrite.rule." + rule + ".applications", count);
   }
@@ -99,6 +100,14 @@ void ExportInternerStats(const term::Interner::Stats& stats,
   registry->Counter("interner.misses", stats.misses);
   registry->Counter("interner.entries", stats.entries);
   registry->Counter("interner.sweeps", stats.sweeps);
+}
+
+void ExportGovStats(const gov::TripCounters& counters,
+                    MetricsRegistry* registry) {
+  registry->Counter("gov.deadline_trips", counters.deadline_trips);
+  registry->Counter("gov.node_ceiling_trips", counters.node_ceiling_trips);
+  registry->Counter("gov.row_ceiling_trips", counters.row_ceiling_trips);
+  registry->Counter("gov.cancel_trips", counters.cancel_trips);
 }
 
 std::vector<std::pair<std::string, rewrite::RuleProfile>> RankRuleProfiles(

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "exec/executor.h"
+#include "gov/governor.h"
 #include "rewrite/engine.h"
 #include "term/interner.h"
 
@@ -49,6 +50,11 @@ void ExportEngineStats(const rewrite::EngineStats& stats,
 void ExportExecStats(const exec::ExecStats& stats, MetricsRegistry* registry);
 void ExportInternerStats(const term::Interner::Stats& stats,
                          MetricsRegistry* registry);
+// Query-governor trip tallies (cumulative across the process, like the
+// interner's): gov.deadline_trips, gov.node_ceiling_trips,
+// gov.row_ceiling_trips, gov.cancel_trips.
+void ExportGovStats(const gov::TripCounters& counters,
+                    MetricsRegistry* registry);
 
 // Per-rule aggregates ranked by cumulative self time (descending; ties by
 // name). The engine fills EngineStats::rule_profiles when

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "gov/failpoint.h"
 #include "lera/lera.h"
 #include "lera/schema.h"
 
@@ -43,6 +44,7 @@ Status WantVariable(const TermRef& t, const char* what) {
 // EVALUATE(expr, out): fold expr to a constant and bind out (Fig. 12).
 Status MethodEvaluate(const TermList& args, Bindings* env,
                       const RewriteContext& ctx) {
+  EDS_FAIL_POINT("rewrite.method.EVALUATE");
   if (args.size() != 2) {
     return Status::InvalidArgument("EVALUATE expects (expr, out)");
   }
@@ -63,6 +65,7 @@ Status MethodEvaluate(const TermList& args, Bindings* env,
 // projection spans all of them: $1.1..$1.n, $2.1..$2.m, ...
 Status MethodSchema(const TermList& args, Bindings* env,
                     const RewriteContext& ctx) {
+  EDS_FAIL_POINT("rewrite.method.SCHEMA");
   if (args.size() != 2) {
     return Status::InvalidArgument("SCHEMA expects (rel, out)");
   }
@@ -117,6 +120,7 @@ Status MethodPosition(const TermList& args, Bindings* env,
 // x* and v*), refs into v* shift left by one.
 Status MethodMergeSubst(const TermList& args, Bindings* env,
                         const RewriteContext& ctx) {
+  EDS_FAIL_POINT("rewrite.method.MERGE_SUBST");
   (void)ctx;
   if (args.size() != 6) {
     return Status::InvalidArgument(
@@ -165,6 +169,7 @@ Status MethodMergeSubst(const TermList& args, Bindings* env,
 // after append(x*, v*, z) moves those inputs to the end.
 Status MethodShiftAttrs(const TermList& args, Bindings* env,
                         const RewriteContext& ctx) {
+  EDS_FAIL_POINT("rewrite.method.SHIFT_ATTRS");
   (void)ctx;
   if (args.size() != 4) {
     return Status::InvalidArgument("SHIFT_ATTRS expects (e, x*, v*, out)");
@@ -194,6 +199,7 @@ Status MethodShiftAttrs(const TermList& args, Bindings* env,
 // push-through-nest rule does not fire vacuously).
 Status MethodSplitQual(const TermList& args, Bindings* env,
                        const RewriteContext& ctx) {
+  EDS_FAIL_POINT("rewrite.method.SPLIT_QUAL");
   if (args.size() != 6) {
     return Status::InvalidArgument(
         "SPLIT_QUAL expects (f, pos, z, nested_cols, pushed, kept)");

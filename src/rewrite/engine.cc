@@ -35,6 +35,10 @@ struct Engine::RunState {
   EngineStats stats;
   std::vector<TraceEntry> trace;
   const std::string* current_block = nullptr;
+  // Query governor (null when no limits are set: one branch per check
+  // site). A trip unwinds the traversal to Rewrite(), which returns the
+  // best-so-far term instead of an error.
+  gov::QueryGuard* guard = nullptr;
   // Observability (both null/false when off; every use is behind one
   // branch). The sink receives a span per pass, block entry, and fired
   // rule; profiling aggregates per-rule self time into stats.rule_profiles.
@@ -217,6 +221,10 @@ term::TermRef Engine::TryRulesAt(const term::TermRef& node,
   for (const Rule* rule_ptr : index.Candidates(node)) {
     const Rule& rule = *rule_ptr;
     if (*budget == 0) return nullptr;
+    // Governor chokepoint: rule-candidate consideration is the engine's
+    // innermost loop, so deadline/cancellation latency is bounded by a few
+    // candidate attempts (the guard amortizes its clock reads itself).
+    if (state->guard != nullptr && state->guard->Check()) return nullptr;
     ++state->stats.match_attempts;
     uint64_t t0 = 0;
     RuleProfile* prof = nullptr;
@@ -306,6 +314,7 @@ term::TermRef Engine::TryOnce(const term::TermRef& node, const Scope& scope,
       state->stats.applications >= state->options->max_applications) {
     return nullptr;
   }
+  if (state->guard != nullptr && state->guard->tripped()) return nullptr;
   // Normal-form memo: this subtree was fully scanned under this scope
   // before (with budget to spare) and held no redex; it is unchanged —
   // nodes are immutable and canonical — so scanning it again is pointless.
@@ -332,9 +341,17 @@ term::TermRef Engine::TryOnce(const term::TermRef& node, const Scope& scope,
                        const TermRef& in) -> const Result<lera::Schema>& {
     auto it = state->schema_memo.find(in.get());
     if (it == state->schema_memo.end()) {
-      // InferSchema fills the memo itself (including for subterms).
-      lera::InferSchema(in, *catalog_, nullptr, &state->schema_memo);
+      // InferSchema fills the memo itself (including for subterms). A
+      // governor trip inside leaves no entry; the static miss Result below
+      // keeps the caller on its schema-free degradation path.
+      lera::InferSchema(in, *catalog_, nullptr, &state->schema_memo,
+                        state->guard);
       it = state->schema_memo.find(in.get());
+      if (it == state->schema_memo.end()) {
+        static const Result<lera::Schema> kTripped =
+            Status::ResourceExhausted("schema inference aborted by governor");
+        return kTripped;
+      }
     }
     return it->second;
   };
@@ -415,8 +432,12 @@ term::TermRef Engine::TryOnce(const term::TermRef& node, const Scope& scope,
   // The whole subtree was scanned without truncation and no rule fired:
   // record it as being in normal form for this block under this scope.
   // (*budget != 0 distinguishes a completed scan from one that ran dry —
-  // every budget-truncated path above returns before reaching here.)
-  if (memoizable && *budget != 0) state->current_nf->insert(nf_key);
+  // every budget-truncated path above returns before reaching here. A
+  // governor trip also truncates the scan, so it must not certify.)
+  if (memoizable && *budget != 0 &&
+      (state->guard == nullptr || !state->guard->tripped())) {
+    state->current_nf->insert(nf_key);
+  }
   return nullptr;
 }
 
@@ -426,13 +447,19 @@ Result<RewriteOutcome> Engine::Rewrite(const term::TermRef& query,
   state.options = &options;
   state.sink = options.trace_sink;
   state.profile = options.profile_rules;
+  state.guard = options.guard;
   state.nf_memo.resize(program_.blocks.size());
   TermRef current = query;
+
+  auto guard_tripped = [&state]() {
+    return state.guard != nullptr && state.guard->tripped();
+  };
 
   int64_t seq_remaining =
       program_.seq_limit < 0 ? kSaturate : program_.seq_limit;
   bool progressed = true;
-  while (progressed && seq_remaining != 0 && !state.stats.safety_stop) {
+  while (progressed && seq_remaining != 0 && !state.stats.safety_stop &&
+         !guard_tripped()) {
     progressed = false;
     ++state.stats.passes;
     obs::Span pass_span(state.sink, "rewrite.pass", "rewrite");
@@ -470,6 +497,10 @@ Result<RewriteOutcome> Engine::Rewrite(const term::TermRef& query,
           state.stats.safety_stop = true;
           break;
         }
+        // Block-boundary governor check: catches trips even when every
+        // candidate quick-rejects (the inner-loop check amortizes, this
+        // one backstops it between restarts).
+        if (state.guard != nullptr && state.guard->Check()) break;
         Scope root_scope;
         TermRef next =
             TryOnce(current, root_scope, block, index, &budget, &state);
@@ -484,9 +515,23 @@ Result<RewriteOutcome> Engine::Rewrite(const term::TermRef& query,
         }
         if (budget == 0) break;
       }
-      if (state.stats.safety_stop) break;
+      if (state.stats.safety_stop || guard_tripped()) break;
     }
     if (seq_remaining > 0) --seq_remaining;
+  }
+
+  if (guard_tripped()) {
+    // Graceful degradation: stop optimizing, keep the best plan reached.
+    // Every applied rule preserved semantics, so `current` is correct —
+    // the trip only means it may be less optimized than the fixpoint.
+    state.stats.trip = state.guard->trip();
+    if (state.sink != nullptr) {
+      const uint64_t now = obs::NowNs();
+      state.sink->RecordComplete(
+          "gov.trip", "gov", now, now,
+          {{"kind", gov::TripKindName(state.stats.trip.kind)},
+           {"detail", state.stats.trip.detail}});
+    }
   }
 
   state.stats.expr_type_hits = state.expr_memo.hits();

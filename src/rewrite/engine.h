@@ -8,6 +8,7 @@
 
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "gov/governor.h"
 #include "rewrite/builtins.h"
 #include "rewrite/rule.h"
 #include "term/term.h"
@@ -72,6 +73,10 @@ struct EngineStats {
   size_t expr_type_hits = 0;    // InferExprType memo hits this run
   size_t expr_type_misses = 0;  // InferExprType memo misses this run
   bool safety_stop = false;     // hit RewriteOptions::max_applications
+  // Set when the query governor cut the run short (deadline, node ceiling,
+  // cancellation). The returned term is the best-so-far normal form —
+  // semantically correct, merely under-optimized; see docs/robustness.md.
+  gov::TripReason trip;
   std::map<std::string, size_t> applications_by_rule;
   // Filled only under profile_rules (empty otherwise).
   std::map<std::string, RuleProfile> rule_profiles;
@@ -99,6 +104,13 @@ struct RewriteOptions {
   //     time and attempt/reject/delta aggregates.
   obs::TraceSink* trace_sink = nullptr;
   bool profile_rules = false;
+  // Query governor (may be null, the default): checked at every
+  // rule-candidate consideration and block/pass boundary. On a trip the
+  // engine *degrades* — it stops and returns the best term so far with
+  // EngineStats::trip set — rather than erroring, because any prefix of
+  // rule applications is still a correct plan. Non-owning; must outlive
+  // the Rewrite() call.
+  gov::QueryGuard* guard = nullptr;
 };
 
 struct RewriteOutcome {

@@ -4,6 +4,8 @@
 #include <limits>
 #include <utility>
 
+#include "gov/failpoint.h"
+
 namespace eds::term {
 
 namespace {
@@ -136,6 +138,15 @@ TermRef Interner::Intern(TermKind kind, value::Value value, std::string name,
     ++stats_.entries;
   }
   ++stats_.misses;
+  approx_allocated_.store(stats_.misses, std::memory_order_relaxed);
+  // Chaos hook: "term.interner.sweep" simulates constant reclamation
+  // pressure by forcing a compacting sweep on every allocation. The
+  // interner has no error path, so injection here is a behavior stress,
+  // not a Status — dedup and canonicality must survive it.
+  if (gov::FailPoints::AnyArmed() &&
+      !gov::FailPoints::Global().Hit("term.interner.sweep").ok()) {
+    SweepLocked();
+  }
   // Compact once used slots outgrow the live population (amortized O(1)
   // per insert), or before the load factor can degrade probe chains.
   if (stats_.entries >= next_sweep_ ||

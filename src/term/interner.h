@@ -58,6 +58,14 @@ class Interner {
   };
   Stats GetStats();
 
+  // Lock-free running count of term-node allocations (== misses). The
+  // query governor's node ceiling diffs this against a per-query baseline;
+  // an atomic copy of the locked counter keeps the governor's hot checks
+  // off the interner mutex.
+  uint64_t ApproxAllocated() const {
+    return approx_allocated_.load(std::memory_order_relaxed);
+  }
+
   // Drops every expired entry now; returns how many were erased.
   size_t Sweep();
 
@@ -92,6 +100,7 @@ class Interner {
   std::mutex mu_;
   std::vector<Slot> slots_;  // empty until the first Intern()
   Stats stats_;              // entries == used slots (live + unswept dead)
+  std::atomic<uint64_t> approx_allocated_{0};  // == stats_.misses
   size_t next_sweep_ = 1024;
 
   static std::atomic<bool> degenerate_buckets_;

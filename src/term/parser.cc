@@ -189,7 +189,22 @@ Status TermParser::Expect(TokKind kind, const char* what) {
   return Status::OK();
 }
 
-Result<TermRef> TermParser::ParseExpression() { return ParseOr(); }
+Result<TermRef> TermParser::ParseExpression() {
+  // Every nesting level (parenthesized group, application argument) re-enters
+  // here, and each level costs ~8 stack frames through the precedence chain.
+  // 256 is far deeper than any legitimate plan term and well within the
+  // default stack even under sanitizer-inflated frames.
+  constexpr int kMaxDepth = 256;
+  if (depth_ >= kMaxDepth) {
+    return Status::ParseError("at offset " + std::to_string(Peek().pos) +
+                              ": expression nesting exceeds " +
+                              std::to_string(kMaxDepth) + " levels");
+  }
+  ++depth_;
+  Result<TermRef> out = ParseOr();
+  --depth_;
+  return out;
+}
 
 Result<TermRef> TermParser::ParseOr() {
   EDS_ASSIGN_OR_RETURN(TermRef left, ParseAnd());

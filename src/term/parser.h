@@ -106,6 +106,10 @@ class TermParser {
   const std::vector<Token>* tokens_;
   size_t pos_;
   bool allow_division_ = true;
+  // Recursion depth of nested expressions, bounded so adversarial input
+  // (e.g. thousands of unclosed '(') yields a ParseError instead of
+  // exhausting the call stack.
+  int depth_ = 0;
 };
 
 }  // namespace eds::term
