@@ -20,12 +20,22 @@
 //   \norewrite        toggle the rewriter on/off for subsequent queries
 //   \lint             lint the rule libraries + declared constraints
 //   \constraint NAME <rule text> ;   declare an integrity constraint
+//
+// With --threads=N the shell routes SELECTs through the srv::QueryService
+// (N workers, plan cache, governor-aware admission); two more commands
+// come alive:
+//   \cache [clear]    show (or drop) the rewritten-plan cache
+//   \serve N SELECT ... submit N copies concurrently and report throughput
+// and --trace-out merges every worker's spans into one Chrome trace.
 #include <unistd.h>
 
 #include <fstream>
+#include <future>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/strings.h"
 #include "exec/session.h"
@@ -42,6 +52,7 @@
 #include "rules/permutation.h"
 #include "rules/semantic.h"
 #include "rules/simplify.h"
+#include "srv/service.h"
 
 namespace {
 
@@ -57,6 +68,25 @@ class Shell {
   // --max-nodes, --max-rows).
   void set_limits(const eds::gov::GovernorLimits& limits) {
     limits_ = limits;
+  }
+
+  // --threads=N: serve SELECTs through a QueryService worker pool with the
+  // plan cache, instead of directly on the session. `collect_traces` gives
+  // each worker its own sink for the merged trace written on exit.
+  void set_threads(size_t threads, bool collect_traces) {
+    threads_ = threads;
+    collect_traces_ = collect_traces;
+  }
+
+  // Stops the worker pool (if any); safe to call repeatedly. Must run
+  // before worker_sinks() is read for the exit trace.
+  void Shutdown() {
+    if (service_ != nullptr) service_->Stop();
+  }
+
+  std::vector<const eds::obs::TraceSink*> worker_sinks() const {
+    if (service_ == nullptr) return {};
+    return service_->worker_sinks();
   }
 
   // Returns false on \q.
@@ -141,6 +171,14 @@ class Shell {
       ShowGov();
       return true;
     }
+    if (line == "\\cache" || line == "\\cache clear") {
+      ShowCache(/*clear=*/line != "\\cache");
+      return true;
+    }
+    if (eds::StartsWith(line, "\\serve ")) {
+      ServeMany(line.substr(7));
+      return true;
+    }
     if (line == "\\lint") {
       RunLint();
       return true;
@@ -217,6 +255,100 @@ class Shell {
     }
     std::cout << "lint: " << errors << " error(s), " << warnings
               << " warning(s)\n";
+  }
+
+  // Lazily builds and starts the worker pool. The REPL is single-threaded
+  // and every served SELECT is awaited before the next statement runs, so
+  // DDL between serves happens while the workers are idle — within the
+  // service's concurrency contract — and the epoch bump it causes simply
+  // invalidates the cached plans.
+  eds::srv::QueryService* EnsureService() {
+    if (threads_ == 0) return nullptr;
+    if (service_ == nullptr) {
+      eds::srv::ServiceOptions options;
+      options.workers = threads_;
+      options.base_limits = limits_;
+      options.collect_traces = collect_traces_;
+      options.rewrite = rewrite_;
+      service_ = std::make_unique<eds::srv::QueryService>(&session_, options);
+      eds::Status status = service_->Start();
+      if (!status.ok()) {
+        std::cout << "cannot start query service: " << status << "\n";
+        service_.reset();
+        return nullptr;
+      }
+      std::cout << "query service: " << threads_ << " worker(s), cache "
+                << service_->cache().shard_count() << " shard(s)\n";
+    }
+    return service_.get();
+  }
+
+  // Plan-cache stats (or eager invalidation with `clear`).
+  void ShowCache(bool clear) {
+    if (service_ == nullptr) {
+      std::cout << "no query service (start the shell with --threads=N)\n";
+      return;
+    }
+    if (clear) {
+      service_->cache().InvalidateAll();
+      std::cout << "cache cleared\n";
+      return;
+    }
+    eds::srv::PlanCache::Stats s = service_->cache().GetStats();
+    std::cout << "entries:         " << s.entries << " (" << s.nodes
+              << " nodes)\n"
+              << "hits / misses:   " << s.hits << " / " << s.misses << "\n"
+              << "inserts:         " << s.inserts << "\n"
+              << "evictions:       " << s.evictions << "\n"
+              << "insert failures: " << s.insert_failures << "\n"
+              << "invalidations:   " << s.invalidations << "\n";
+    eds::srv::ServiceStats ss = service_->GetStats();
+    std::cout << "served: " << ss.completed << " ok, " << ss.failed
+              << " failed, " << ss.rejected << " shed (max queue depth "
+              << ss.max_queue_depth << ")\n";
+  }
+
+  // \serve N SELECT ... — submit N copies concurrently, await them all,
+  // report wall time and cache behavior. The concurrency demo: copies
+  // after the first hit the plan cache and skip the rewrite phase.
+  void ServeMany(const std::string& rest) {
+    eds::srv::QueryService* service = EnsureService();
+    if (service == nullptr) {
+      std::cout << "no query service (start the shell with --threads=N)\n";
+      return;
+    }
+    std::istringstream in{rest};
+    size_t copies = 0;
+    in >> copies;
+    std::string query;
+    std::getline(in, query);
+    query = std::string(eds::Trim(query));
+    if (copies == 0 || query.empty()) {
+      std::cout << "usage: \\serve N SELECT ...\n";
+      return;
+    }
+    eds::srv::PlanCache::Stats before = service->cache().GetStats();
+    uint64_t t0 = eds::obs::NowNs();
+    std::vector<std::future<eds::Result<eds::srv::ServedQuery>>> futures;
+    futures.reserve(copies);
+    for (size_t i = 0; i < copies; ++i) futures.push_back(
+        service->Submit(query));
+    size_t ok = 0, failed = 0, hits = 0;
+    for (auto& f : futures) {
+      auto r = f.get();
+      if (!r.ok()) {
+        if (failed == 0) std::cout << r.status() << "\n";
+        ++failed;
+        continue;
+      }
+      ++ok;
+      if (r->cache_hit) ++hits;
+    }
+    uint64_t wall_ns = eds::obs::NowNs() - t0;
+    eds::srv::PlanCache::Stats after = service->cache().GetStats();
+    std::cout << copies << " served in " << wall_ns / 1000 << " us (" << ok
+              << " ok, " << failed << " failed); cache hits " << hits
+              << ", misses " << (after.misses - before.misses) << "\n";
   }
 
   void ShowPlan(const std::string& query, bool trace) {
@@ -339,29 +471,49 @@ class Shell {
       std::cout << (status.ok() ? "ok" : status.ToString()) << "\n";
       return;
     }
-    eds::exec::QueryOptions options;
-    options.rewrite = rewrite_;
-    options.limits = limits_;
-    auto result = session_.Query(trimmed, options);
-    if (!result.ok()) {
-      std::cout << result.status() << "\n";
-      return;
+    eds::exec::QueryResult owned;
+    const eds::exec::QueryResult* shown = nullptr;
+    std::string serve_note;
+    if (eds::srv::QueryService* service = EnsureService()) {
+      auto served = service->Submit(trimmed).get();
+      if (!served.ok()) {
+        std::cout << served.status() << "\n";
+        return;
+      }
+      serve_note = std::string("; worker ") +
+                   std::to_string(served->worker_id) +
+                   (served->cache_hit ? ", cache hit" : ", cache miss");
+      owned = std::move(served->result);
+      shown = &owned;
+    } else {
+      eds::exec::QueryOptions options;
+      options.rewrite = rewrite_;
+      options.limits = limits_;
+      auto result = session_.Query(trimmed, options);
+      if (!result.ok()) {
+        std::cout << result.status() << "\n";
+        return;
+      }
+      owned = std::move(*result);
+      shown = &owned;
     }
+    const auto& result = *shown;
     // Header.
-    for (size_t i = 0; i < result->columns.size(); ++i) {
-      std::cout << (i > 0 ? " | " : "") << result->columns[i];
+    for (size_t i = 0; i < result.columns.size(); ++i) {
+      std::cout << (i > 0 ? " | " : "") << result.columns[i];
     }
     std::cout << "\n";
-    for (const auto& row : result->rows) {
+    for (const auto& row : result.rows) {
       for (size_t i = 0; i < row.size(); ++i) {
         std::cout << (i > 0 ? " | " : "") << row[i];
       }
       std::cout << "\n";
     }
-    std::cout << "(" << result->rows.size() << " rows; "
-              << result->rewrite_stats.applications << " rewrites, "
-              << result->exec_stats.rows_scanned << " rows scanned)\n";
-    PrintWarnings(*result);
+    std::cout << "(" << result.rows.size() << " rows; "
+              << result.rewrite_stats.applications << " rewrites, "
+              << result.exec_stats.rows_scanned << " rows scanned"
+              << serve_note << ")\n";
+    PrintWarnings(result);
   }
 
   // Degradation is never silent: every QueryResult warning (safety valve,
@@ -376,6 +528,9 @@ class Shell {
   std::string buffer_;
   bool rewrite_ = true;
   eds::gov::GovernorLimits limits_;
+  size_t threads_ = 0;
+  bool collect_traces_ = false;
+  std::unique_ptr<eds::srv::QueryService> service_;
 };
 
 }  // namespace
@@ -400,6 +555,7 @@ int WriteTrace(const eds::obs::TraceSink& sink, const std::string& path) {
 int main(int argc, char** argv) {
   std::string trace_path;
   std::string script_path;
+  uint64_t threads = 0;
   eds::gov::GovernorLimits limits;
   auto parse_u64 = [](const std::string& text, uint64_t* out) {
     try {
@@ -418,10 +574,13 @@ int main(int argc, char** argv) {
     const std::string kDeadline = "--deadline-ms=";
     const std::string kMaxNodes = "--max-nodes=";
     const std::string kMaxRows = "--max-rows=";
+    const std::string kThreads = "--threads=";
     bool bad = false;
     if (arg.rfind(kTraceOut, 0) == 0) {
       trace_path = arg.substr(kTraceOut.size());
       bad = trace_path.empty();
+    } else if (arg.rfind(kThreads, 0) == 0) {
+      bad = !parse_u64(arg.substr(kThreads.size()), &threads);
     } else if (arg.rfind(kDeadline, 0) == 0) {
       bad = !parse_u64(arg.substr(kDeadline.size()), &limits.deadline_ms);
     } else if (arg.rfind(kMaxNodes, 0) == 0) {
@@ -432,7 +591,7 @@ int main(int argc, char** argv) {
       script_path = arg;
     }
     if (bad) {
-      std::cerr << "usage: eds_shell [--trace-out=FILE.json] "
+      std::cerr << "usage: eds_shell [--trace-out=FILE.json] [--threads=N] "
                    "[--deadline-ms=N] [--max-nodes=N] [--max-rows=N] "
                    "[script.sql]\n";
       return 1;
@@ -442,6 +601,7 @@ int main(int argc, char** argv) {
   eds::obs::TraceSink sink;
   Shell shell(trace_path.empty() ? nullptr : &sink);
   shell.set_limits(limits);
+  shell.set_threads(threads, /*collect_traces=*/!trace_path.empty());
   int exit_code = 0;
   bool done = false;
   if (!script_path.empty()) {
@@ -475,6 +635,30 @@ int main(int argc, char** argv) {
       if (!shell.HandleLine(line)) break;
     }
   }
-  if (!trace_path.empty()) exit_code = WriteTrace(sink, trace_path);
+  // Stop the workers before their sinks are read; then write either the
+  // single-session trace or the merged one (session = tid 1, workers 2+).
+  shell.Shutdown();
+  if (!trace_path.empty()) {
+    std::vector<const eds::obs::TraceSink*> workers = shell.worker_sinks();
+    if (workers.empty()) {
+      exit_code = WriteTrace(sink, trace_path);
+    } else {
+      std::vector<eds::obs::SinkWithTid> sinks = {{&sink, 1}};
+      for (size_t i = 0; i < workers.size(); ++i) {
+        if (workers[i] != nullptr) {
+          sinks.push_back({workers[i], static_cast<int>(i) + 2});
+        }
+      }
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::cerr << "cannot write trace to " << trace_path << "\n";
+        exit_code = 1;
+      } else {
+        eds::obs::WriteMergedChromeTrace(out, sinks);
+        std::cerr << "wrote merged trace (" << sinks.size()
+                  << " thread(s)) to " << trace_path << "\n";
+      }
+    }
+  }
   return exit_code;
 }

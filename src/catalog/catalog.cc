@@ -32,6 +32,7 @@ Status Catalog::CreateTable(TableDef def) {
   }
   relation_order_.push_back(def.name);
   tables_.emplace(std::move(key), std::move(def));
+  ++epoch_;
   return Status::OK();
 }
 
@@ -62,6 +63,7 @@ Status Catalog::CreateView(ViewDef def) {
   }
   relation_order_.push_back(def.name);
   views_.emplace(std::move(key), std::move(def));
+  ++epoch_;
   return Status::OK();
 }
 
@@ -104,6 +106,7 @@ Status Catalog::AddConstraint(ConstraintDef def) {
     }
   }
   constraints_.push_back(std::move(def));
+  ++epoch_;
   return Status::OK();
 }
 
@@ -116,6 +119,7 @@ Status Catalog::DeclareFunction(FunctionSig sig) {
     return Status::AlreadyExists("function signature '" + display_name +
                                  "' already declared");
   }
+  ++epoch_;
   return Status::OK();
 }
 

@@ -100,6 +100,16 @@ class Catalog {
     return function_sigs_;
   }
 
+  // ---- schema epoch ----
+  // Monotonic counter bumped by every successful schema mutation (table,
+  // view, constraint, function declaration). The rewritten-plan cache
+  // (src/srv/plan_cache.h) keys entries on this epoch so any DDL lazily
+  // invalidates every plan rewritten under the old schema. Mutations made
+  // behind the catalog's back (directly through types()/functions())
+  // must call BumpEpoch() themselves.
+  uint64_t epoch() const { return epoch_; }
+  void BumpEpoch() { ++epoch_; }
+
  private:
   types::TypeRegistry types_;
   value::FunctionLibrary functions_;
@@ -108,6 +118,7 @@ class Catalog {
   std::vector<std::string> relation_order_;      // tables+views as declared
   std::vector<ConstraintDef> constraints_;
   std::map<std::string, FunctionSig> function_sigs_;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace eds::catalog

@@ -54,6 +54,7 @@ Result<rules::Optimizer*> Session::optimizer() {
 
 Status Session::RebuildOptimizer() {
   optimizer_dirty_ = true;
+  ++rules_epoch_;
   return optimizer().status();
 }
 
@@ -62,6 +63,7 @@ Status Session::AddConstraint(const std::string& name,
   EDS_RETURN_IF_ERROR(
       catalog_.AddConstraint(catalog::ConstraintDef{name, rule_text}));
   optimizer_dirty_ = true;
+  ++rules_epoch_;
   return Status::OK();
 }
 

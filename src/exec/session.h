@@ -131,6 +131,12 @@ class Session {
   // builtins through optimizer()).
   Status RebuildOptimizer();
 
+  // Monotonic counter bumped whenever the session's rule library changes
+  // (AddConstraint, RebuildOptimizer). The rewritten-plan cache keys
+  // entries on (catalog().epoch(), rules_epoch()) so plans rewritten under
+  // a stale rule set are lazily invalidated; see src/srv/plan_cache.h.
+  uint64_t rules_epoch() const { return rules_epoch_; }
+
   // The generated optimizer (built on first use).
   Result<rules::Optimizer*> optimizer();
 
@@ -155,6 +161,7 @@ class Session {
   rules::OptimizerOptions optimizer_options_;
   std::unique_ptr<rules::Optimizer> optimizer_;
   bool optimizer_dirty_ = true;
+  uint64_t rules_epoch_ = 0;
   obs::TraceSink* trace_sink_ = nullptr;
 };
 

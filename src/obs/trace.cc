@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <ostream>
@@ -133,6 +134,67 @@ std::string TraceSink::ToChromeTraceJson() const {
   std::ostringstream os;
   WriteChromeTrace(os);
   return os.str();
+}
+
+void WriteMergedChromeTrace(std::ostream& os,
+                            const std::vector<SinkWithTid>& sinks) {
+  // Rebase every sink onto the earliest origin so concurrent workers line
+  // up on one timeline instead of each starting at ts=0.
+  uint64_t min_origin = 0;
+  bool have_origin = false;
+  for (const SinkWithTid& s : sinks) {
+    if (s.sink == nullptr) continue;
+    if (!have_origin || s.sink->origin_ns() < min_origin) {
+      min_origin = s.sink->origin_ns();
+      have_origin = true;
+    }
+  }
+  struct Flat {
+    const TraceEvent* event;
+    uint64_t abs_start_ns;
+    int tid;
+  };
+  std::vector<Flat> flat;
+  for (const SinkWithTid& s : sinks) {
+    if (s.sink == nullptr) continue;
+    const uint64_t base = s.sink->origin_ns() - min_origin;
+    for (const TraceEvent& e : s.sink->events()) {
+      flat.push_back({&e, base + e.start_ns, s.tid});
+    }
+  }
+  std::stable_sort(flat.begin(), flat.end(),
+                   [](const Flat& a, const Flat& b) {
+                     return a.abs_start_ns < b.abs_start_ns;
+                   });
+  auto us = [](uint64_t ns) {
+    std::ostringstream o;
+    o << ns / 1000 << '.' << static_cast<char>('0' + (ns % 1000) / 100)
+      << static_cast<char>('0' + (ns % 100) / 10)
+      << static_cast<char>('0' + ns % 10);
+    return o.str();
+  };
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Flat& f : flat) {
+    const TraceEvent& e = *f.event;
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\""
+       << JsonEscape(e.category) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+       << f.tid << ",\"ts\":" << us(f.abs_start_ns)
+       << ",\"dur\":" << us(e.dur_ns);
+    if (!e.args.empty()) {
+      os << ",\"args\":{";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) os << ",";
+        os << "\"" << JsonEscape(e.args[i].first) << "\":\""
+           << JsonEscape(e.args[i].second) << "\"";
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
 }
 
 }  // namespace eds::obs

@@ -58,6 +58,11 @@ class TraceSink {
   void WriteChromeTrace(std::ostream& os) const;
   std::string ToChromeTraceJson() const;
 
+  // Steady-clock NowNs() at construction; event timestamps are relative to
+  // this. Exposed so WriteMergedChromeTrace can rebase sinks created at
+  // different times onto one timeline.
+  uint64_t origin_ns() const { return origin_ns_; }
+
   // Records a pre-timed *leaf* event from absolute NowNs() readings. For
   // sites that already read the clock for aggregation (per-rule profiling)
   // and want the same interval in the trace without a second pair of reads.
@@ -111,6 +116,21 @@ class Span {
 // backslashes, control characters). Shared by the trace and metrics
 // writers.
 std::string JsonEscape(const std::string& s);
+
+// One sink plus the Chrome-trace thread id to emit its events under.
+// WriteChromeTrace hardwires tid 1 (single-sink sessions); the merged
+// writer gives each worker its own lane in the Perfetto timeline.
+struct SinkWithTid {
+  const TraceSink* sink = nullptr;
+  int tid = 1;
+};
+
+// Merges several sinks into one Chrome trace: every event is rebased from
+// its sink-relative timestamp onto the earliest origin_ns() across the
+// sinks, sorted by absolute start time, and emitted with its sink's tid.
+// Null sinks are skipped; an empty list yields a valid empty trace.
+void WriteMergedChromeTrace(std::ostream& os,
+                            const std::vector<SinkWithTid>& sinks);
 
 }  // namespace eds::obs
 

@@ -1,0 +1,66 @@
+#ifndef EDS_SRV_FINGERPRINT_H_
+#define EDS_SRV_FINGERPRINT_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "term/term.h"
+
+namespace eds::srv {
+
+// Query fingerprinting for the rewritten-plan cache: two queries that
+// differ only in literal values ("Salary > 10000" vs "Salary > 12000")
+// should share one cache entry, so the rewrite work done for the first is
+// replayed for the second. The fingerprint of a raw LERA plan is its
+// *template*: the same term with every parameterizable literal replaced by
+// a reserved parameter variable ($CQ0, $CQ1, ... in pre-order), plus the
+// extracted literal list. Templates are ordinary hash-consed terms, so two
+// structurally identical templates are pointer-identical while alive —
+// which is exactly what the cache keys on.
+//
+// What gets parameterized: Int/Real/String constants in value positions
+// (comparison operands, projection expressions, collection members).
+// What never does:
+//   * structural constants — RELATION names, ATTR indices, FIELD names,
+//     NEST/UNNEST column indices — which select schema objects, not values;
+//   * booleans — TRUE/FALSE in a qualification is plan shape (the
+//     translator emits TRUE quals that simplify away), not a parameter;
+//   * every literal of a plan containing FIX — recursive plans feed the
+//     magic-set rules, whose adornment choices depend on *which* constants
+//     bind which attributes, so their rewrite is literal-sensitive and the
+//     template keeps literals inline (the cache then only hits on exact
+//     repeats, which is still sound).
+//
+// Soundness of replaying a template rewrite under different literals rests
+// on parameter variables being opaque: no rule method can evaluate them
+// (EVALUATE and friends fail on non-ground terms, which makes the rule not
+// fire), so every rule that *does* fire on the template fired for
+// structural/catalog reasons and its application is valid under any
+// substitution of the parameters. Positional parameters keep distinct
+// literal occurrences distinct even when their values coincide, so no rule
+// can fire off an accidental value alias. See docs/server.md.
+struct Fingerprint {
+  term::TermRef tmpl;     // canonical parameterized plan (the cache key)
+  term::TermList params;  // literal constants, index i <-> $CQi
+  // False when the plan was literal-sensitive (contains FIX): tmpl is the
+  // raw plan itself and params is empty.
+  bool parameterized = false;
+};
+
+// Builds the fingerprint of a raw (pre-rewrite) LERA plan. Total, never
+// fails: a plan with nothing to parameterize yields itself as template.
+Fingerprint FingerprintPlan(const term::TermRef& raw);
+
+// Substitutes `params` back into a cached normal form derived from a
+// template with `params.size()` parameter variables. Errors only on a
+// malformed cache entry (a parameter index out of range), which callers
+// treat as a miss, never as a query failure.
+Result<term::TermRef> InstantiatePlan(const term::TermRef& nf_tmpl,
+                                      const term::TermList& params);
+
+// The reserved parameter-variable prefix ("$CQ"); exposed for tests.
+extern const char kParamPrefix[];
+
+}  // namespace eds::srv
+
+#endif  // EDS_SRV_FINGERPRINT_H_

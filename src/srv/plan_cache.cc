@@ -1,0 +1,163 @@
+#include "srv/plan_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "gov/failpoint.h"
+
+namespace eds::srv {
+
+namespace {
+
+// 64-bit mix (splitmix64 finalizer) so epoch bits land in the shard-select
+// high bits too.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(const Config& config) {
+  size_t shard_count = RoundUpPow2(std::max<size_t>(1, config.shards));
+  shards_ = std::vector<Shard>(shard_count);
+  nodes_per_shard_ =
+      std::max<uint64_t>(1, config.max_nodes / shard_count);
+}
+
+uint64_t PlanCache::KeyHash(const Key& key) {
+  uint64_t h = key.tmpl != nullptr ? key.tmpl->structural_hash() : 0;
+  h = Mix(h ^ Mix(key.catalog_epoch) ^ (Mix(key.rules_epoch) << 1));
+  return h;
+}
+
+bool PlanCache::KeyEquals(const Key& a, const Key& b) {
+  if (a.catalog_epoch != b.catalog_epoch || a.rules_epoch != b.rules_epoch) {
+    return false;
+  }
+  if (a.tmpl.get() == b.tmpl.get()) return true;
+  // Hash-equal distinct nodes (value-equivalent constants interned apart,
+  // or manufactured collisions in tests) fall back to the deep compare.
+  return term::Equals(a.tmpl, b.tmpl);
+}
+
+std::optional<term::TermRef> PlanCache::Lookup(const Key& key) {
+  const uint64_t hash = KeyHash(key);
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(hash);
+  if (it != shard.index.end()) {
+    for (EntryList::iterator eit : it->second) {
+      if (KeyEquals(eit->key, key)) {
+        ++shard.stats.hits;
+        // Bump to most-recent.
+        shard.entries.splice(shard.entries.begin(), shard.entries, eit);
+        return eit->normal_form;
+      }
+    }
+  }
+  ++shard.stats.misses;
+  return std::nullopt;
+}
+
+void PlanCache::EraseLocked(Shard& shard, uint64_t hash,
+                            EntryList::iterator it) {
+  auto idx = shard.index.find(hash);
+  if (idx != shard.index.end()) {
+    auto& vec = idx->second;
+    vec.erase(std::remove(vec.begin(), vec.end(), it), vec.end());
+    if (vec.empty()) shard.index.erase(idx);
+  }
+  shard.nodes -= it->charged_nodes;
+  shard.entries.erase(it);
+}
+
+void PlanCache::Insert(const Key& key, term::TermRef normal_form) {
+  if (key.tmpl == nullptr || normal_form == nullptr) return;
+  const uint64_t hash = KeyHash(key);
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // Chaos: a failed insert is a skipped insert — the entry simply is not
+  // cached, so the next lookup misses and pays a normal rewrite. Inside
+  // the lock so the stats bump is race-free; a lambda because
+  // EDS_FAIL_POINT returns out of its enclosing function.
+  auto injected = []() -> Status {
+    EDS_FAIL_POINT("srv.cache.insert");
+    return Status::OK();
+  };
+  if (!injected().ok()) {
+    ++shard.stats.insert_failures;
+    return;
+  }
+  // Refresh an existing entry in place (same key rewritten again, e.g.
+  // after a racing double-miss).
+  auto it = shard.index.find(hash);
+  if (it != shard.index.end()) {
+    for (EntryList::iterator eit : it->second) {
+      if (KeyEquals(eit->key, key)) {
+        shard.nodes -= eit->charged_nodes;
+        eit->normal_form = std::move(normal_form);
+        eit->charged_nodes =
+            eit->key.tmpl->node_count() + eit->normal_form->node_count();
+        shard.nodes += eit->charged_nodes;
+        shard.entries.splice(shard.entries.begin(), shard.entries, eit);
+        return;
+      }
+    }
+  }
+  Entry entry;
+  entry.key = key;
+  entry.charged_nodes = key.tmpl->node_count() + normal_form->node_count();
+  entry.normal_form = std::move(normal_form);
+  shard.nodes += entry.charged_nodes;
+  shard.entries.push_front(std::move(entry));
+  shard.index[hash].push_back(shard.entries.begin());
+  ++shard.stats.inserts;
+  ++shard.stats.entries;
+  // Evict least-recently-used entries until back under the shard budget;
+  // the entry just inserted survives even when it alone exceeds the budget
+  // (a cache that cannot hold the working plan is useless, not wrong).
+  while (shard.nodes > nodes_per_shard_ && shard.entries.size() > 1) {
+    EntryList::iterator last = std::prev(shard.entries.end());
+    EraseLocked(shard, KeyHash(last->key), last);
+    ++shard.stats.evictions;
+    --shard.stats.entries;
+  }
+}
+
+void PlanCache::InvalidateAll() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.stats.invalidations += shard.entries.size();
+    shard.stats.entries = 0;
+    shard.nodes = 0;
+    shard.entries.clear();
+    shard.index.clear();
+  }
+}
+
+PlanCache::Stats PlanCache::GetStats() const {
+  Stats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.inserts += shard.stats.inserts;
+    total.evictions += shard.stats.evictions;
+    total.insert_failures += shard.stats.insert_failures;
+    total.invalidations += shard.stats.invalidations;
+    total.entries += shard.stats.entries;
+    total.nodes += shard.nodes;
+  }
+  return total;
+}
+
+}  // namespace eds::srv

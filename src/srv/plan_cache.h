@@ -1,0 +1,126 @@
+#ifndef EDS_SRV_PLAN_CACHE_H_
+#define EDS_SRV_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "term/term.h"
+
+namespace eds::srv {
+
+// Sharded LRU cache of rewritten plans, keyed on the query's canonical
+// template (srv/fingerprint.h) plus the catalog and rule-library epochs it
+// was rewritten under. A hit skips the entire rewrite phase: the cached
+// normal form is instantiated with the query's literals and goes straight
+// to schema inference/execution.
+//
+// Keying and invalidation:
+//   * The template TermRef in the key is hash-consed, and the entry keeps
+//     it alive, so any later structurally identical template IS the same
+//     pointer — equality is a pointer compare with a term::Equals fallback
+//     for the testing-clone/hash-collision fringe.
+//   * Epochs ride in the key (catalog::Catalog::epoch(),
+//     exec::Session::rules_epoch()). DDL or a rule-library change bumps an
+//     epoch, so every stale entry simply stops matching and ages out
+//     through the LRU — invalidation is lazy and O(1). InvalidateAll()
+//     drops everything eagerly (the shell's \cache clear).
+//
+// Concurrency: the table is sharded by key hash; each shard holds its own
+// mutex, hash map, and LRU list, so worker threads serving different
+// templates proceed without contention. Stats are per-shard and summed on
+// read.
+//
+// Memory: each entry is charged its template + normal-form node counts
+// against a node-count ceiling (split evenly across shards); inserting past
+// the ceiling evicts least-recently-used entries of that shard. This is
+// the same currency as the governor's interner-node budget, so operators
+// reason about one unit ("term nodes") for both.
+class PlanCache {
+ public:
+  struct Config {
+    size_t shards = 8;          // rounded up to a power of two, >= 1
+    uint64_t max_nodes = 1 << 20;  // node ceiling across all shards
+  };
+
+  struct Key {
+    term::TermRef tmpl;
+    uint64_t catalog_epoch = 0;
+    uint64_t rules_epoch = 0;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;       // LRU evictions under the node ceiling
+    uint64_t insert_failures = 0; // chaos-injected insert skips
+    uint64_t invalidations = 0;   // entries dropped by InvalidateAll
+    uint64_t entries = 0;         // live entries
+    uint64_t nodes = 0;           // charged node count of live entries
+  };
+
+  // Nested-class NSDMIs are not parseable in a default argument here, so
+  // the default config gets its own delegating constructor.
+  PlanCache() : PlanCache(Config{}) {}
+  explicit PlanCache(const Config& config);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  // Returns the cached normal form and bumps the entry to most-recent, or
+  // nullopt (counted as a miss).
+  std::optional<term::TermRef> Lookup(const Key& key);
+
+  // Inserts (or refreshes) the normal form for `key`, evicting LRU entries
+  // until the shard is back under its node budget. The chaos site
+  // "srv.cache.insert" (EDS_FAIL_POINT) turns the insert into a counted
+  // no-op — a degraded miss on the next lookup, never a wrong plan.
+  void Insert(const Key& key, term::TermRef normal_form);
+
+  // Eagerly drops every entry (epoch bumps make stale entries unreachable
+  // even without this).
+  void InvalidateAll();
+
+  Stats GetStats() const;
+
+  size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Entry {
+    Key key;
+    term::TermRef normal_form;
+    uint64_t charged_nodes = 0;
+  };
+  // LRU list, most-recent first; the map indexes into it.
+  using EntryList = std::list<Entry>;
+
+  struct Shard {
+    mutable std::mutex mu;
+    EntryList entries;
+    std::unordered_map<uint64_t, std::vector<EntryList::iterator>> index;
+    uint64_t nodes = 0;
+    Stats stats;
+  };
+
+  static uint64_t KeyHash(const Key& key);
+  static bool KeyEquals(const Key& a, const Key& b);
+  // High bits pick the shard so the index map (which consumes the full
+  // hash) stays decorrelated from the shard choice.
+  Shard& ShardFor(uint64_t hash) {
+    return shards_[(hash >> 48) & (shards_.size() - 1)];
+  }
+  // Unlinks `it` from its shard (list + index + node accounting).
+  static void EraseLocked(Shard& shard, uint64_t hash,
+                          EntryList::iterator it);
+
+  std::vector<Shard> shards_;
+  uint64_t nodes_per_shard_;  // config.max_nodes / shards, >= 1
+};
+
+}  // namespace eds::srv
+
+#endif  // EDS_SRV_PLAN_CACHE_H_

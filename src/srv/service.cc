@@ -1,0 +1,397 @@
+#include "srv/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "esql/parser.h"
+#include "esql/translator.h"
+#include "exec/executor.h"
+#include "lera/schema.h"
+#include "rules/optimizer.h"
+#include "srv/fingerprint.h"
+
+namespace eds::srv {
+
+gov::GovernorLimits DeriveLimits(const gov::GovernorLimits& base,
+                                 size_t queue_depth, size_t queue_capacity,
+                                 bool load_adaptive) {
+  gov::GovernorLimits derived = base;
+  derived.cancel = nullptr;  // cancellation is wired per-Submit
+  if (!load_adaptive || queue_capacity == 0) return derived;
+  const double load =
+      std::min(1.0, static_cast<double>(queue_depth) /
+                        static_cast<double>(queue_capacity));
+  const double scale = 1.0 - 0.75 * load;  // full budget idle, 25% saturated
+  auto scaled = [scale](uint64_t v) -> uint64_t {
+    if (v == 0) return 0;  // unlimited stays unlimited
+    return std::max<uint64_t>(1, static_cast<uint64_t>(v * scale));
+  };
+  derived.deadline_ms = scaled(base.deadline_ms);
+  derived.max_term_nodes = scaled(base.max_term_nodes);
+  // max_rows deliberately unscaled; see header.
+  return derived;
+}
+
+QueryService::QueryService(exec::Session* session,
+                           const ServiceOptions& options)
+    : session_(session), options_(options), cache_(options.cache) {}
+
+QueryService::~QueryService() { Stop(); }
+
+Status QueryService::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) return Status::RuntimeError("service already started");
+    started_ = true;
+    stopping_ = false;
+  }
+  // The one lazy mutation on the query path: build the optimizer now so
+  // workers only ever read it.
+  EDS_RETURN_IF_ERROR(session_->optimizer().status());
+  sinks_.clear();
+  for (size_t i = 0; i < options_.workers; ++i) {
+    sinks_.push_back(options_.collect_traces
+                         ? std::make_unique<obs::TraceSink>()
+                         : nullptr);
+  }
+  workers_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  return Status::OK();
+}
+
+void QueryService::Stop() {
+  std::deque<Item> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) return;
+    stopping_ = true;
+    orphaned.swap(queue_);
+    cv_.notify_all();
+  }
+  for (Item& item : orphaned) {
+    item.promise.set_value(
+        Status::RuntimeError("query service stopping"));
+  }
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+}
+
+std::future<Result<ServedQuery>> QueryService::Submit(
+    std::string esql, const gov::CancelToken* cancel) {
+  std::promise<Result<ServedQuery>> promise;
+  std::future<Result<ServedQuery>> future = promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    if (!started_ || stopping_) {
+      promise.set_value(
+          Status::RuntimeError("query service is not accepting work"));
+      return future;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      ++stats_.rejected;
+      promise.set_value(Status::ResourceExhausted(
+          "admission queue full (" + std::to_string(queue_.size()) +
+          " queued): load shed"));
+      return future;
+    }
+    Item item;
+    item.esql = std::move(esql);
+    item.cancel = cancel;
+    item.promise = std::move(promise);
+    item.enqueue_ns = obs::NowNs();
+    item.granted = DeriveLimits(options_.base_limits, queue_.size(),
+                                options_.queue_capacity,
+                                options_.load_adaptive);
+    item.granted.cancel = cancel;
+    queue_.push_back(std::move(item));
+    ++stats_.admitted;
+    stats_.max_queue_depth =
+        std::max<uint64_t>(stats_.max_queue_depth, queue_.size());
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void QueryService::WorkerLoop(size_t worker_id) {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    ServeItem(std::move(item), worker_id);
+  }
+}
+
+bool QueryService::ServeQueuedForTesting() {
+  Item item;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    item = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  ServeItem(std::move(item), 0);
+  return true;
+}
+
+void QueryService::ServeItem(Item item, size_t worker_id) {
+  const uint64_t dequeue_ns = obs::NowNs();
+  obs::TraceSink* sink =
+      worker_id < sinks_.size() ? sinks_[worker_id].get() : nullptr;
+  Result<ServedQuery> served =
+      ServeNow(item.esql, item.granted, item.cancel, sink, worker_id);
+  if (served.ok()) {
+    served->queue_ns = dequeue_ns - item.enqueue_ns;
+    served->serve_ns = obs::NowNs() - dequeue_ns;
+    served->granted = item.granted;
+    served->worker_id = worker_id;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (served.ok()) {
+      ++stats_.completed;
+    } else {
+      ++stats_.failed;
+    }
+  }
+  item.promise.set_value(std::move(served));
+}
+
+Result<ServedQuery> QueryService::ServeNow(const std::string& esql,
+                                           const gov::GovernorLimits& granted,
+                                           const gov::CancelToken* cancel,
+                                           obs::TraceSink* sink,
+                                           size_t worker_id) {
+  ServedQuery served;
+  exec::QueryResult& result = served.result;
+  const uint64_t q0 = obs::NowNs();
+  obs::Span query_span(sink, "srv.query", "session");
+  if (sink != nullptr) {
+    query_span.Arg("esql", std::string(esql.substr(0, 120)));
+    query_span.Arg("worker", static_cast<int64_t>(worker_id));
+  }
+
+  // Fail fast on work that was cancelled while it sat in the queue.
+  if (cancel != nullptr && cancel->cancelled()) {
+    return Status::ResourceExhausted(
+        "query governor: cancelled: cancelled while queued");
+  }
+
+  // Parse + translate. The session's TranslateTimed is bypassed so no
+  // worker ever touches the session-level trace sink.
+  uint64_t t0 = obs::NowNs();
+  esql::Statement stmt;
+  {
+    obs::Span span(sink, "phase.parse", "phase");
+    EDS_ASSIGN_OR_RETURN(stmt, esql::ParseStatement(esql));
+  }
+  uint64_t t1 = obs::NowNs();
+  result.phase_times.parse_ns = t1 - t0;
+  if (stmt.kind != esql::StatementKind::kSelect) {
+    return Status::InvalidArgument("expected a SELECT statement");
+  }
+  term::TermRef raw;
+  {
+    obs::Span span(sink, "phase.translate", "phase");
+    esql::Translator translator(&session_->catalog());
+    EDS_ASSIGN_OR_RETURN(raw, translator.TranslateQuery(*stmt.select));
+  }
+  result.phase_times.translate_ns = obs::NowNs() - t1;
+  result.raw_plan = raw;
+
+  gov::QueryGuard guard;
+  const bool governed = granted.any();
+  if (governed) guard.Arm(granted);
+
+  EDS_ASSIGN_OR_RETURN(rules::Optimizer * optimizer, session_->optimizer());
+
+  term::TermRef plan = raw;
+  uint64_t rw0 = obs::NowNs();
+  if (options_.rewrite && options_.use_cache) {
+    // Cached path: fingerprint, then hit->replay / miss->rewrite+insert.
+    Fingerprint fp;
+    {
+      obs::Span span(sink, "srv.fingerprint", "srv");
+      fp = FingerprintPlan(raw);
+    }
+    PlanCache::Key key{fp.tmpl, session_->catalog().epoch(),
+                       session_->rules_epoch()};
+    std::optional<term::TermRef> cached = cache_.Lookup(key);
+    if (cached.has_value()) {
+      obs::Span span(sink, "srv.cache.replay", "srv");
+      Result<term::TermRef> replayed = InstantiatePlan(*cached, fp.params);
+      if (replayed.ok()) {
+        plan = *replayed;
+        served.cache_hit = true;
+        // rewrite_ns stays 0: the rewrite phase never ran.
+      }
+      // A malformed entry falls through to the miss path below.
+    }
+    if (!served.cache_hit) {
+      rewrite::RewriteOptions rw = options_.rewrite_options;
+      rw.trace_sink = sink;
+      if (governed && rw.guard == nullptr) rw.guard = &guard;
+      obs::Span span(sink, "phase.rewrite", "phase");
+      // Rewrite the *template*: parameter variables are opaque to every
+      // value-inspecting rule method, so the normal form is valid for any
+      // literal instantiation (srv/fingerprint.h).
+      EDS_ASSIGN_OR_RETURN(rewrite::RewriteOutcome outcome,
+                           optimizer->Rewrite(fp.tmpl, rw));
+      result.rewrite_stats = outcome.stats;
+      Result<term::TermRef> instantiated =
+          InstantiatePlan(outcome.term, fp.params);
+      if (!instantiated.ok()) {
+        // A template normal form that cannot be re-instantiated (a rule
+        // moved a parameter into a context substitution rejects) is
+        // uncacheable: degrade to a plain rewrite of the raw plan.
+        served.cache_bypass = true;
+        EDS_ASSIGN_OR_RETURN(rewrite::RewriteOutcome direct,
+                             optimizer->Rewrite(raw, rw));
+        result.rewrite_stats = direct.stats;
+        plan = direct.term;
+      } else {
+        plan = *instantiated;
+        // Degraded rewrites (governor trip / safety valve) are correct but
+        // under-optimized — never cache them, so a future uncontended run
+        // gets the chance to do better.
+        if (!outcome.stats.trip.tripped() && !outcome.stats.safety_stop) {
+          cache_.Insert(key, outcome.term);
+          served.cache_stored = true;
+        } else {
+          served.cache_bypass = true;
+        }
+      }
+    }
+    result.phase_times.rewrite_ns =
+        served.cache_hit ? 0 : obs::NowNs() - rw0;
+  } else if (options_.rewrite) {
+    rewrite::RewriteOptions rw = options_.rewrite_options;
+    rw.trace_sink = sink;
+    if (governed && rw.guard == nullptr) rw.guard = &guard;
+    obs::Span span(sink, "phase.rewrite", "phase");
+    EDS_ASSIGN_OR_RETURN(rewrite::RewriteOutcome outcome,
+                         optimizer->Rewrite(raw, rw));
+    result.rewrite_stats = outcome.stats;
+    plan = outcome.term;
+    served.cache_bypass = true;
+    result.phase_times.rewrite_ns = obs::NowNs() - rw0;
+  }
+  if (result.rewrite_stats.safety_stop) {
+    result.warnings.push_back(
+        "rewrite stopped early: max_applications reached; results are "
+        "correct but the plan may be under-optimized");
+  }
+  if (result.rewrite_stats.trip.tripped()) {
+    result.rewrite_trip = result.rewrite_stats.trip;
+    result.warnings.push_back(
+        "rewrite degraded by query governor (" +
+        result.rewrite_stats.trip.ToString() +
+        "); best-so-far plan used, results are correct but the plan may "
+        "be under-optimized");
+  }
+  result.optimized_plan = plan;
+
+  // Mirror Session::Query's re-arm: a node-ceiling trip is a rewrite-phase
+  // budget, not an execution death sentence.
+  if (governed && guard.tripped() &&
+      guard.trip().kind == gov::TripKind::kNodeCeiling) {
+    gov::GovernorLimits rest = granted;
+    rest.max_term_nodes = 0;
+    if (rest.deadline_ms != 0) {
+      uint64_t elapsed_ms = (obs::NowNs() - q0) / 1'000'000ULL;
+      rest.deadline_ms = elapsed_ms < rest.deadline_ms
+                             ? rest.deadline_ms - elapsed_ms
+                             : 1;
+    }
+    guard.Arm(rest);
+  }
+
+  uint64_t s0 = obs::NowNs();
+  {
+    obs::Span span(sink, "phase.schema", "phase");
+    EDS_ASSIGN_OR_RETURN(
+        lera::Schema schema,
+        lera::InferSchema(plan, session_->catalog(), nullptr, nullptr,
+                          governed ? &guard : nullptr));
+    for (const types::Field& f : schema) result.columns.push_back(f.name);
+  }
+  uint64_t e0 = obs::NowNs();
+  result.phase_times.schema_ns = e0 - s0;
+
+  exec::ExecOptions exec_options = options_.exec_options;
+  exec_options.trace_sink = sink;
+  if (governed && exec_options.guard == nullptr) exec_options.guard = &guard;
+  {
+    obs::Span span(sink, "phase.execute", "phase");
+    exec::Executor executor(&session_->catalog(), &session_->db(),
+                            exec_options);
+    Result<exec::Rows> rows = executor.Execute(plan);
+    result.exec_stats = executor.stats();
+    if (!rows.ok()) return rows.status();
+    result.rows = *std::move(rows);
+  }
+  uint64_t end = obs::NowNs();
+  result.phase_times.exec_ns = end - e0;
+  result.phase_times.total_ns = end - q0;
+  return served;
+}
+
+ServiceStats QueryService::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<const obs::TraceSink*> QueryService::worker_sinks() const {
+  std::vector<const obs::TraceSink*> out;
+  out.reserve(sinks_.size());
+  for (const auto& sink : sinks_) out.push_back(sink.get());
+  return out;
+}
+
+void QueryService::WriteMergedTrace(std::ostream& os) const {
+  std::vector<obs::SinkWithTid> sinks;
+  for (size_t i = 0; i < sinks_.size(); ++i) {
+    if (sinks_[i] != nullptr) {
+      sinks.push_back({sinks_[i].get(), static_cast<int>(i) + 2});
+    }
+  }
+  obs::WriteMergedChromeTrace(os, sinks);
+}
+
+void ExportCacheStats(const PlanCache::Stats& stats,
+                      obs::MetricsRegistry* registry) {
+  registry->Counter("cache.hits", stats.hits);
+  registry->Counter("cache.misses", stats.misses);
+  registry->Counter("cache.inserts", stats.inserts);
+  registry->Counter("cache.evictions", stats.evictions);
+  registry->Counter("cache.insert_failures", stats.insert_failures);
+  registry->Counter("cache.invalidations", stats.invalidations);
+  registry->Counter("cache.entries", stats.entries);
+  registry->Counter("cache.nodes", stats.nodes);
+}
+
+void ExportServiceStats(const ServiceStats& stats,
+                        obs::MetricsRegistry* registry) {
+  registry->Counter("srv.submitted", stats.submitted);
+  registry->Counter("srv.admitted", stats.admitted);
+  registry->Counter("srv.rejected", stats.rejected);
+  registry->Counter("srv.completed", stats.completed);
+  registry->Counter("srv.failed", stats.failed);
+  registry->Counter("srv.max_queue_depth", stats.max_queue_depth);
+}
+
+}  // namespace eds::srv

@@ -1,0 +1,180 @@
+#ifndef EDS_SRV_SERVICE_H_
+#define EDS_SRV_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/session.h"
+#include "gov/governor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "srv/plan_cache.h"
+
+namespace eds::srv {
+
+// The serving layer: a multi-threaded, in-process query service over one
+// Session. Clients Submit() ESQL SELECTs and get a future; a bounded
+// admission queue sheds load when full; a worker pool drains the queue,
+// each admitted query running under a QueryGuard whose budgets are derived
+// from the service's base limits scaled by the load observed at admission;
+// and a sharded rewritten-plan cache (srv/plan_cache.h) in front of the
+// workers lets structurally repeated queries skip the rewrite phase
+// entirely. docs/server.md covers the architecture and policies.
+//
+// Concurrency contract: between Start() and Stop() the underlying session
+// must not run DDL, constraints, inserts, or direct queries — workers read
+// the catalog, database, and prebuilt optimizer without locks (SELECT
+// pipelines are read-only; the hash-cons interner, governor tallies, and
+// failpoint registry are independently thread-safe). The service never
+// touches the session's trace sink; per-worker sinks keep tracing safe
+// under the pool (WriteMergedTrace).
+
+// Serving metadata carried alongside the ordinary QueryResult.
+struct ServedQuery {
+  exec::QueryResult result;
+  bool cache_hit = false;     // rewrite phase skipped via the plan cache
+  bool cache_stored = false;  // this query populated the cache
+  bool cache_bypass = false;  // rewriter off / degraded rewrite: not cached
+  uint64_t queue_ns = 0;      // admission -> dequeue wait
+  uint64_t serve_ns = 0;      // dequeue -> completion
+  gov::GovernorLimits granted;  // derived budget the query ran under
+  size_t worker_id = 0;       // 0-based worker that served it
+};
+
+// Cumulative service tallies, exported as srv.* metrics.
+struct ServiceStats {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;   // load-shed at admission (queue full)
+  uint64_t completed = 0;  // served with an OK result
+  uint64_t failed = 0;     // served with an error (incl. governor trips)
+  uint64_t max_queue_depth = 0;
+};
+
+struct ServiceOptions {
+  // Worker threads; 0 means no threads are spawned and the owner pumps
+  // queries with ServeQueuedForTesting() (deterministic admission tests).
+  size_t workers = 4;
+  // Bounded admission queue; a Submit() finding it full is rejected
+  // immediately with ResourceExhausted ("load shed").
+  size_t queue_capacity = 64;
+  // Per-query budget template. Admission derives each query's actual
+  // GovernorLimits from this via DeriveLimits(); zero fields stay
+  // unlimited. The cancel field is ignored (cancellation is per-Submit).
+  gov::GovernorLimits base_limits;
+  // When false, admitted queries always get the base limits verbatim.
+  bool load_adaptive = true;
+  // Rewritten-plan cache; use_cache=false serves every query through a
+  // full rewrite (A/B baseline).
+  bool use_cache = true;
+  PlanCache::Config cache;
+  // When true each worker records phase spans into its own TraceSink;
+  // WriteMergedTrace() merges them by timestamp into one Chrome trace.
+  bool collect_traces = false;
+  // Applied to every served query's rewrite phase (trace/profile knobs are
+  // overridden per worker; the guard field is owned by the service).
+  rewrite::RewriteOptions rewrite_options;
+  exec::ExecOptions exec_options;
+  bool rewrite = true;  // run the rewriter at all (false: raw plans)
+};
+
+// Admission policy: scales the base deadline and term-node budgets by the
+// queue depth observed at admission — full budget when idle, shrinking
+// linearly to 25% when the queue is full — so background pressure tightens
+// every query's leash instead of letting tail queries starve. The row
+// ceiling is NOT scaled (it bounds result size, a correctness-adjacent
+// limit, not a load knob). Exposed for tests and docs.
+gov::GovernorLimits DeriveLimits(const gov::GovernorLimits& base,
+                                 size_t queue_depth, size_t queue_capacity,
+                                 bool load_adaptive);
+
+class QueryService {
+ public:
+  // `session` must outlive the service. The service does not own it.
+  QueryService(exec::Session* session, const ServiceOptions& options);
+  ~QueryService();  // Stop()s if still running
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // Prebuilds the session's optimizer (the one lazy mutation in the query
+  // path) and spawns the worker pool. Must be called before Submit().
+  Status Start();
+
+  // Stops admission, drains queued work to promises with RuntimeError,
+  // finishes in-flight queries, and joins the workers. Idempotent.
+  void Stop();
+
+  // Submits one SELECT. Returns a future resolving to the served result or
+  // an error (parse errors, execution errors, governor trips, load-shed
+  // rejections, shutdown). `cancel` may be null; when set it must outlive
+  // the returned future's completion and cancels the query cooperatively
+  // at the governor's chokepoints.
+  std::future<Result<ServedQuery>> Submit(
+      std::string esql, const gov::CancelToken* cancel = nullptr);
+
+  // Serves one queued query on the calling thread (workers == 0 test
+  // pump). Returns false when the queue is empty.
+  bool ServeQueuedForTesting();
+
+  ServiceStats GetStats() const;
+  PlanCache& cache() { return cache_; }
+  const PlanCache& cache() const { return cache_; }
+  const ServiceOptions& options() const { return options_; }
+
+  // Per-worker sinks (non-null only with collect_traces), for merging with
+  // a session-level sink; index == worker id.
+  std::vector<const obs::TraceSink*> worker_sinks() const;
+
+  // Merges every worker sink into one Chrome trace (tid = worker id + 2;
+  // tid 1 is conventionally the submitting thread).
+  void WriteMergedTrace(std::ostream& os) const;
+
+ private:
+  struct Item {
+    std::string esql;
+    const gov::CancelToken* cancel = nullptr;
+    std::promise<Result<ServedQuery>> promise;
+    uint64_t enqueue_ns = 0;
+    gov::GovernorLimits granted;
+  };
+
+  void WorkerLoop(size_t worker_id);
+  void ServeItem(Item item, size_t worker_id);
+  // The cached pipeline: translate -> fingerprint -> cache lookup or
+  // template rewrite + insert -> schema -> execute.
+  Result<ServedQuery> ServeNow(const std::string& esql,
+                               const gov::GovernorLimits& granted,
+                               const gov::CancelToken* cancel,
+                               obs::TraceSink* sink, size_t worker_id);
+
+  exec::Session* session_;
+  ServiceOptions options_;
+  PlanCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Item> queue_;
+  bool started_ = false;
+  bool stopping_ = false;
+  ServiceStats stats_;
+  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<obs::TraceSink>> sinks_;  // per worker
+};
+
+// Metrics importers, mirroring the obs:: exporters: cache.* and srv.*.
+void ExportCacheStats(const PlanCache::Stats& stats,
+                      obs::MetricsRegistry* registry);
+void ExportServiceStats(const ServiceStats& stats,
+                        obs::MetricsRegistry* registry);
+
+}  // namespace eds::srv
+
+#endif  // EDS_SRV_SERVICE_H_

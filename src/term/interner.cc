@@ -14,10 +14,11 @@ namespace {
 // same way term.cc used to build nodes before construction moved here.
 struct TermBuilder : Term {};
 
-// Smallest table ever allocated. Power of two; sized so steady-state
-// programs (parser operator tables, built-in rule libraries, a live query)
-// rarely rehash.
-constexpr size_t kMinCapacity = 4096;
+// Smallest per-shard table ever allocated. Power of two; sized so
+// steady-state programs (parser operator tables, built-in rule libraries, a
+// live query) rarely rehash. 512 × 16 shards matches the footprint of the
+// old single 4096-slot table within a factor of two.
+constexpr size_t kMinCapacity = 512;
 
 }  // namespace
 
@@ -79,21 +80,24 @@ TermRef Interner::Intern(TermKind kind, value::Value value, std::string name,
   }
   const uint64_t hash =
       internal::HashNode(kind, name, value, child_hashes, args.size());
-  const uint64_t home =
-      degenerate_buckets_.load(std::memory_order_relaxed) ? 0 : hash;
+  // Degenerate test mode collapses both the shard choice and the in-shard
+  // home index, simulating total hash collision across the whole table.
+  const bool degenerate = degenerate_buckets_.load(std::memory_order_relaxed);
+  const uint64_t home = degenerate ? 0 : hash;
+  Shard& shard = shards_[degenerate ? 0 : ShardIndex(hash)];
 
-  std::lock_guard<std::mutex> lock(mu_);
-  if (slots_.empty()) slots_.assign(kMinCapacity, Slot{});
-  const size_t mask = slots_.size() - 1;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.slots.empty()) shard.slots.assign(kMinCapacity, Slot{});
+  const size_t mask = shard.slots.size() - 1;
   size_t idx = home & mask;
   size_t reuse = std::numeric_limits<size_t>::max();
   for (;;) {
-    Slot& s = slots_[idx];
+    Slot& s = shard.slots[idx];
     if (!s.used) break;  // end of this probe chain: the term is not interned
     if (s.hash == hash) {
       if (TermRef cand = s.term.lock()) {
         if (ShallowEquals(*cand, kind, value, name, args)) {
-          ++stats_.hits;
+          ++shard.stats.hits;
           return cand;
         }
       } else if (reuse == std::numeric_limits<size_t>::max()) {
@@ -132,39 +136,39 @@ TermRef Interner::Intern(TermKind kind, value::Value value, std::string name,
   if (reuse != std::numeric_limits<size_t>::max()) {
     // Overwriting a dead slot keeps it `used`, so probe chains that pass
     // through it stay intact; the entry count is unchanged.
-    slots_[reuse] = Slot{hash, t, true};
+    shard.slots[reuse] = Slot{hash, t, true};
   } else {
-    slots_[idx] = Slot{hash, t, true};
-    ++stats_.entries;
+    shard.slots[idx] = Slot{hash, t, true};
+    ++shard.stats.entries;
   }
-  ++stats_.misses;
-  approx_allocated_.store(stats_.misses, std::memory_order_relaxed);
+  ++shard.stats.misses;
+  approx_allocated_.fetch_add(1, std::memory_order_relaxed);
   // Chaos hook: "term.interner.sweep" simulates constant reclamation
   // pressure by forcing a compacting sweep on every allocation. The
   // interner has no error path, so injection here is a behavior stress,
   // not a Status — dedup and canonicality must survive it.
   if (gov::FailPoints::AnyArmed() &&
       !gov::FailPoints::Global().Hit("term.interner.sweep").ok()) {
-    SweepLocked();
+    SweepShardLocked(shard);
   }
   // Compact once used slots outgrow the live population (amortized O(1)
   // per insert), or before the load factor can degrade probe chains.
-  if (stats_.entries >= next_sweep_ ||
-      (stats_.entries + 1) * 4 >= slots_.size() * 3) {
-    SweepLocked();
+  if (shard.stats.entries >= shard.next_sweep ||
+      (shard.stats.entries + 1) * 4 >= shard.slots.size() * 3) {
+    SweepShardLocked(shard);
   }
   return t;
 }
 
-size_t Interner::SweepLocked() {
-  std::vector<Slot> old = std::move(slots_);
+size_t Interner::SweepShardLocked(Shard& shard) {
+  std::vector<Slot> old = std::move(shard.slots);
   size_t live = 0;
   for (const Slot& s : old) {
     if (s.used && !s.term.expired()) ++live;
   }
   size_t capacity = kMinCapacity;
   while (capacity < live * 2) capacity <<= 1;
-  slots_.assign(capacity, Slot{});
+  shard.slots.assign(capacity, Slot{});
   const size_t mask = capacity - 1;
   for (Slot& s : old) {
     if (!s.used) continue;
@@ -174,25 +178,36 @@ size_t Interner::SweepLocked() {
     // degenerate test mode: a degenerate-mode lookup may then miss them
     // and create a duplicate, which is safe (imperfect dedup always is).
     size_t idx = s.hash & mask;
-    while (slots_[idx].used) idx = (idx + 1) & mask;
-    slots_[idx] = Slot{s.hash, std::move(w), true};
+    while (shard.slots[idx].used) idx = (idx + 1) & mask;
+    shard.slots[idx] = Slot{s.hash, std::move(w), true};
   }
-  size_t erased = stats_.entries - live;
-  stats_.entries = live;
-  ++stats_.sweeps;
+  size_t erased = shard.stats.entries - live;
+  shard.stats.entries = live;
+  ++shard.stats.sweeps;
   // Re-arm so sweeping stays amortized O(1) per insert.
-  next_sweep_ = std::max<size_t>(1024, stats_.entries * 2);
+  shard.next_sweep = std::max<size_t>(1024, shard.stats.entries * 2);
   return erased;
 }
 
 size_t Interner::Sweep() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return SweepLocked();
+  size_t erased = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    erased += SweepShardLocked(shard);
+  }
+  return erased;
 }
 
 Interner::Stats Interner::GetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats total;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.entries += shard.stats.entries;
+    total.sweeps += shard.stats.sweeps;
+  }
+  return total;
 }
 
 TermRef Interner::CloneWithHashForTesting(const TermRef& t,

@@ -36,6 +36,14 @@ namespace eds::term {
 //     terms may be destroyed during static teardown, and destroying a
 //     Term never touches the table, so there is no order-of-destruction
 //     hazard.
+//   - The table is sharded by structural hash (kShardCount bucket groups,
+//     each behind its own mutex) so concurrent term construction from the
+//     query-service worker pool does not serialize on one lock. Children
+//     are interned before parents regardless of thread, so the shallow
+//     pointer-equality comparison stays exact under concurrency; two
+//     threads racing to intern the same structure serialize on that
+//     structure's shard and the loser gets a hit. Single-threaded cost of
+//     the sharding is one shift/mask to pick the shard.
 class Interner {
  public:
   static Interner& Global();
@@ -80,28 +88,42 @@ class Interner {
                                          uint64_t forced_hash);
 
  private:
-  // One slot of the flat linear-probe table. The table is open-addressed
-  // (power-of-two capacity, home index = structural hash & mask) rather
-  // than a node-based map: term construction is the hottest path in the
-  // whole system — the executor churns through millions of short-lived
-  // terms — and a flat table makes a fresh intern allocation-free beyond
-  // the term itself.
+  // One slot of the flat linear-probe table. Each shard's table is
+  // open-addressed (power-of-two capacity, home index = structural hash &
+  // mask) rather than a node-based map: term construction is the hottest
+  // path in the whole system — the executor churns through millions of
+  // short-lived terms — and a flat table makes a fresh intern
+  // allocation-free beyond the term itself.
   struct Slot {
     uint64_t hash = 0;
     std::weak_ptr<const Term> term;
     bool used = false;  // distinguishes never-used from expired slots
   };
 
-  // Compacting rehash: drops every expired entry, resizes to fit the live
-  // population, and reinserts. Doubles as both the amortized sweep and the
-  // load-factor growth path. Returns how many dead entries were erased.
-  size_t SweepLocked();
+  // A bucket group: one mutex guarding one open-addressed table. Terms are
+  // assigned to shards by the *top* bits of their structural hash so the
+  // in-shard home index (low bits) stays well distributed.
+  static constexpr size_t kShardBits = 4;
+  static constexpr size_t kShardCount = 1u << kShardBits;
+  struct Shard {
+    std::mutex mu;
+    std::vector<Slot> slots;  // empty until the first Intern() in the shard
+    Stats stats;              // entries == used slots (live + unswept dead)
+    size_t next_sweep = 1024;
+  };
 
-  std::mutex mu_;
-  std::vector<Slot> slots_;  // empty until the first Intern()
-  Stats stats_;              // entries == used slots (live + unswept dead)
-  std::atomic<uint64_t> approx_allocated_{0};  // == stats_.misses
-  size_t next_sweep_ = 1024;
+  static size_t ShardIndex(uint64_t hash) {
+    return static_cast<size_t>(hash >> (64 - kShardBits));
+  }
+
+  // Compacting rehash of one shard: drops every expired entry, resizes to
+  // fit the live population, and reinserts. Doubles as both the amortized
+  // sweep and the load-factor growth path. Returns how many dead entries
+  // were erased. Requires the shard's mutex to be held.
+  static size_t SweepShardLocked(Shard& shard);
+
+  Shard shards_[kShardCount];
+  std::atomic<uint64_t> approx_allocated_{0};  // == sum of shard misses
 
   static std::atomic<bool> degenerate_buckets_;
 };

@@ -1,0 +1,492 @@
+// The serving layer: fingerprinting, the sharded plan cache, admission
+// control, and the cached query pipeline. Deterministic tests run with
+// workers=0 and pump the queue on the test thread; the threaded paths live
+// in srv_stress_test.cc.
+#include <sstream>
+
+#include "esql/parser.h"
+#include "esql/translator.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "srv/fingerprint.h"
+#include "srv/plan_cache.h"
+#include "srv/service.h"
+#include "term/term.h"
+#include "testutil.h"
+
+namespace eds::srv {
+namespace {
+
+using value::Value;
+
+// Translates one SELECT against the FilmDb catalog without rewriting.
+term::TermRef RawPlan(exec::Session* session, const std::string& esql) {
+  auto stmt = esql::ParseStatement(esql);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  esql::Translator translator(&session->catalog());
+  auto plan = translator.TranslateQuery(*stmt->select);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return *plan;
+}
+
+// ---------------- fingerprinting ----------------
+
+TEST(FingerprintTest, LiteralVariantsShareOneTemplate) {
+  testutil::FilmDb db;
+  term::TermRef a =
+      RawPlan(&db.session, "SELECT Winner FROM BEATS WHERE Winner > 7");
+  term::TermRef b =
+      RawPlan(&db.session, "SELECT Winner FROM BEATS WHERE Winner > 3");
+  Fingerprint fa = FingerprintPlan(a);
+  Fingerprint fb = FingerprintPlan(b);
+  ASSERT_TRUE(fa.parameterized);
+  ASSERT_TRUE(fb.parameterized);
+  // Hash-consing makes structurally identical templates pointer-identical.
+  EXPECT_EQ(fa.tmpl.get(), fb.tmpl.get());
+  ASSERT_EQ(fa.params.size(), 1u);
+  ASSERT_EQ(fb.params.size(), 1u);
+  EXPECT_EQ(fa.params[0]->constant(), Value::Int(7));
+  EXPECT_EQ(fb.params[0]->constant(), Value::Int(3));
+}
+
+TEST(FingerprintTest, StructuralConstantsStayInline) {
+  testutil::FilmDb db;
+  term::TermRef raw =
+      RawPlan(&db.session, "SELECT Winner FROM BEATS WHERE Winner > 7");
+  Fingerprint fp = FingerprintPlan(raw);
+  std::string tmpl = fp.tmpl->ToString();
+  // The relation name survives; the literal became a $CQ parameter.
+  EXPECT_NE(tmpl.find("BEATS"), std::string::npos) << tmpl;
+  EXPECT_NE(tmpl.find(kParamPrefix), std::string::npos) << tmpl;
+  EXPECT_EQ(tmpl.find("7"), std::string::npos) << tmpl;
+}
+
+TEST(FingerprintTest, DistinctOccurrencesGetDistinctParameters) {
+  testutil::FilmDb db;
+  // Two occurrences of the same literal value must not alias: a rule
+  // firing off "these two constants are equal" would bake that accident
+  // into the template.
+  term::TermRef raw = RawPlan(
+      &db.session, "SELECT Winner FROM BEATS WHERE Winner > 5 AND Loser > 5");
+  Fingerprint fp = FingerprintPlan(raw);
+  ASSERT_EQ(fp.params.size(), 2u);
+  std::string tmpl = fp.tmpl->ToString();
+  EXPECT_NE(tmpl.find("$CQ0"), std::string::npos) << tmpl;
+  EXPECT_NE(tmpl.find("$CQ1"), std::string::npos) << tmpl;
+}
+
+TEST(FingerprintTest, InstantiateRoundTripsToRawPlan) {
+  testutil::FilmDb db;
+  term::TermRef raw = RawPlan(
+      &db.session,
+      "SELECT Title FROM FILM WHERE Numf > 1 AND Title <> 'Zorba'");
+  Fingerprint fp = FingerprintPlan(raw);
+  ASSERT_TRUE(fp.parameterized);
+  auto back = InstantiatePlan(fp.tmpl, fp.params);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->get(), raw.get());  // hash-consed: same node
+}
+
+TEST(FingerprintTest, RecursivePlansAreLiteralSensitive) {
+  testutil::FilmDb db;
+  EDS_ASSERT_OK(db.session.ExecuteScript(R"(
+    CREATE VIEW BETTER_THAN (W, L) AS (
+      SELECT Winner, Loser FROM BEATS
+      UNION
+      SELECT B1.W, B2.L FROM BETTER_THAN B1, BETTER_THAN B2
+      WHERE B1.L = B2.W );
+  )"));
+  term::TermRef raw =
+      RawPlan(&db.session, "SELECT W FROM BETTER_THAN WHERE W = 1");
+  Fingerprint fp = FingerprintPlan(raw);
+  // FIX plans keep literals inline: magic-set adornment depends on them.
+  EXPECT_FALSE(fp.parameterized);
+  EXPECT_EQ(fp.tmpl.get(), raw.get());
+  EXPECT_TRUE(fp.params.empty());
+}
+
+TEST(FingerprintTest, InstantiateRejectsMissingParameter) {
+  // A malformed cache entry: normal form mentions $CQ1 but only one
+  // parameter was extracted. Callers treat this as a miss.
+  term::TermRef nf = term::Term::Apply(
+      "EQ", {term::Term::Var("$CQ0"), term::Term::Var("$CQ1")});
+  term::TermList params = {term::Term::Constant(Value::Int(1))};
+  auto r = InstantiatePlan(nf, params);
+  EXPECT_FALSE(r.ok());
+}
+
+// ---------------- plan cache ----------------
+
+PlanCache::Key MakeKey(const term::TermRef& tmpl, uint64_t cat = 0,
+                       uint64_t rules = 0) {
+  return PlanCache::Key{tmpl, cat, rules};
+}
+
+term::TermRef T(int i) {
+  return term::Term::Apply("PLAN", {term::Term::Constant(Value::Int(i))});
+}
+
+TEST(PlanCacheTest, HitAfterInsertMissBefore) {
+  PlanCache cache;
+  term::TermRef tmpl = T(1);
+  EXPECT_FALSE(cache.Lookup(MakeKey(tmpl)).has_value());
+  cache.Insert(MakeKey(tmpl), T(100));
+  auto hit = cache.Lookup(MakeKey(tmpl));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->get(), T(100).get());
+  PlanCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.nodes, 0u);
+}
+
+TEST(PlanCacheTest, EpochMismatchMisses) {
+  PlanCache cache;
+  term::TermRef tmpl = T(1);
+  cache.Insert(MakeKey(tmpl, /*cat=*/1, /*rules=*/1), T(100));
+  EXPECT_TRUE(cache.Lookup(MakeKey(tmpl, 1, 1)).has_value());
+  // DDL bumped the catalog epoch: the entry stops matching.
+  EXPECT_FALSE(cache.Lookup(MakeKey(tmpl, 2, 1)).has_value());
+  // A rule-library change does the same.
+  EXPECT_FALSE(cache.Lookup(MakeKey(tmpl, 1, 2)).has_value());
+}
+
+TEST(PlanCacheTest, LruEvictionUnderNodeCeiling) {
+  PlanCache::Config config;
+  config.shards = 1;  // one shard so the ceiling applies to all entries
+  config.max_nodes = 12;  // each entry charges 2 + 2 = 4 nodes
+  PlanCache cache(config);
+  cache.Insert(MakeKey(T(1)), T(101));
+  cache.Insert(MakeKey(T(2)), T(102));
+  cache.Insert(MakeKey(T(3)), T(103));
+  // Touch T(1) so T(2) is the least recently used.
+  EXPECT_TRUE(cache.Lookup(MakeKey(T(1))).has_value());
+  cache.Insert(MakeKey(T(4)), T(104));
+  PlanCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_LE(stats.nodes, 12u);
+  EXPECT_FALSE(cache.Lookup(MakeKey(T(2))).has_value());
+  EXPECT_TRUE(cache.Lookup(MakeKey(T(1))).has_value());
+  EXPECT_TRUE(cache.Lookup(MakeKey(T(4))).has_value());
+}
+
+TEST(PlanCacheTest, OversizedEntryStillCached) {
+  PlanCache::Config config;
+  config.shards = 1;
+  config.max_nodes = 1;  // smaller than any entry
+  PlanCache cache(config);
+  cache.Insert(MakeKey(T(1)), T(101));
+  // The lone entry survives even though it exceeds the budget.
+  EXPECT_TRUE(cache.Lookup(MakeKey(T(1))).has_value());
+}
+
+TEST(PlanCacheTest, InsertRefreshesExistingKey) {
+  PlanCache cache;
+  cache.Insert(MakeKey(T(1)), T(101));
+  cache.Insert(MakeKey(T(1)), T(102));  // racing double-miss refresh
+  auto hit = cache.Lookup(MakeKey(T(1)));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->get(), T(102).get());
+  EXPECT_EQ(cache.GetStats().entries, 1u);
+}
+
+TEST(PlanCacheTest, InvalidateAllDropsEverything) {
+  PlanCache cache;
+  cache.Insert(MakeKey(T(1)), T(101));
+  cache.Insert(MakeKey(T(2)), T(102));
+  cache.InvalidateAll();
+  PlanCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.nodes, 0u);
+  EXPECT_EQ(stats.invalidations, 2u);
+  EXPECT_FALSE(cache.Lookup(MakeKey(T(1))).has_value());
+}
+
+TEST(PlanCacheTest, ShardCountRoundsUpToPowerOfTwo) {
+  PlanCache::Config config;
+  config.shards = 5;
+  PlanCache cache(config);
+  EXPECT_EQ(cache.shard_count(), 8u);
+  config.shards = 0;
+  PlanCache one(config);
+  EXPECT_EQ(one.shard_count(), 1u);
+}
+
+// ---------------- admission policy ----------------
+
+TEST(DeriveLimitsTest, IdleQueueGrantsFullBudget) {
+  gov::GovernorLimits base;
+  base.deadline_ms = 1000;
+  base.max_term_nodes = 100000;
+  base.max_rows = 5000;
+  gov::GovernorLimits got = DeriveLimits(base, 0, 64, true);
+  EXPECT_EQ(got.deadline_ms, 1000u);
+  EXPECT_EQ(got.max_term_nodes, 100000u);
+  EXPECT_EQ(got.max_rows, 5000u);
+  EXPECT_EQ(got.cancel, nullptr);
+}
+
+TEST(DeriveLimitsTest, SaturatedQueueGrantsQuarterBudget) {
+  gov::GovernorLimits base;
+  base.deadline_ms = 1000;
+  base.max_term_nodes = 100000;
+  base.max_rows = 5000;
+  gov::GovernorLimits got = DeriveLimits(base, 64, 64, true);
+  EXPECT_EQ(got.deadline_ms, 250u);
+  EXPECT_EQ(got.max_term_nodes, 25000u);
+  // Row ceiling is a result-size bound, not a load knob.
+  EXPECT_EQ(got.max_rows, 5000u);
+}
+
+TEST(DeriveLimitsTest, UnlimitedStaysUnlimitedAndAdaptiveCanBeOff) {
+  gov::GovernorLimits base;  // all zero: unlimited
+  gov::GovernorLimits got = DeriveLimits(base, 64, 64, true);
+  EXPECT_EQ(got.deadline_ms, 0u);
+  EXPECT_EQ(got.max_term_nodes, 0u);
+  base.deadline_ms = 100;
+  got = DeriveLimits(base, 64, 64, false);
+  EXPECT_EQ(got.deadline_ms, 100u);  // verbatim when not adaptive
+}
+
+// ---------------- the service (workers=0, pumped) ----------------
+
+ServiceOptions PumpedOptions() {
+  ServiceOptions options;
+  options.workers = 0;
+  return options;
+}
+
+Result<ServedQuery> PumpOne(QueryService* service,
+                            std::future<Result<ServedQuery>> future) {
+  EXPECT_TRUE(service->ServeQueuedForTesting());
+  return future.get();
+}
+
+TEST(QueryServiceTest, ServesSameRowsAsDirectSession) {
+  testutil::FilmDb db;
+  const char* q = "SELECT Winner, Loser FROM BEATS WHERE Winner > 7";
+  auto direct = db.session.Query(q);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+
+  QueryService service(&db.session, PumpedOptions());
+  EDS_ASSERT_OK(service.Start());
+  auto served = PumpOne(&service, service.Submit(q));
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_EQ(served->result.columns, direct->columns);
+  EXPECT_EQ(served->result.rows, direct->rows);
+  EXPECT_FALSE(served->cache_hit);
+  EXPECT_TRUE(served->cache_stored);
+  service.Stop();
+  ServiceStats stats = service.GetStats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(QueryServiceTest, WarmCacheSkipsRewriteAndStaysCorrect) {
+  testutil::FilmDb db;
+  QueryService service(&db.session, PumpedOptions());
+  EDS_ASSERT_OK(service.Start());
+
+  auto first = PumpOne(
+      &service, service.Submit("SELECT Winner FROM BEATS WHERE Winner > 7"));
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->cache_hit);
+  EXPECT_GT(first->result.phase_times.rewrite_ns, 0u);
+
+  // Different literal, same template: a hit, with the *right* answer for
+  // the new literal.
+  auto second = PumpOne(
+      &service, service.Submit("SELECT Winner FROM BEATS WHERE Winner > 3"));
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_EQ(second->result.phase_times.rewrite_ns, 0u);
+  auto direct = db.session.Query("SELECT Winner FROM BEATS WHERE Winner > 3");
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(second->result.rows, direct->rows);
+  EXPECT_NE(second->result.rows, first->result.rows);
+
+  PlanCache::Stats cs = service.cache().GetStats();
+  EXPECT_EQ(cs.hits, 1u);
+  EXPECT_GE(cs.misses, 1u);
+}
+
+TEST(QueryServiceTest, DdlBumpsEpochAndInvalidatesLazily) {
+  testutil::FilmDb db;
+  QueryService service(&db.session, PumpedOptions());
+  EDS_ASSERT_OK(service.Start());
+  const char* q = "SELECT Winner FROM BEATS WHERE Winner > 7";
+  auto first = PumpOne(&service, service.Submit(q));
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->cache_stored);
+
+  // With workers=0 nothing runs concurrently, so DDL between pumps is
+  // within the service's concurrency contract.
+  uint64_t epoch_before = db.session.catalog().epoch();
+  EDS_ASSERT_OK(db.session.ExecuteScript("CREATE TABLE EPOCH_T (A : INT);"));
+  EXPECT_GT(db.session.catalog().epoch(), epoch_before);
+
+  auto second = PumpOne(&service, service.Submit(q));
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->cache_hit);  // stale entry stopped matching
+  EXPECT_EQ(second->result.rows, first->result.rows);
+}
+
+TEST(QueryServiceTest, QueueFullShedsLoad) {
+  testutil::FilmDb db;
+  ServiceOptions options = PumpedOptions();
+  options.queue_capacity = 2;
+  QueryService service(&db.session, options);
+  EDS_ASSERT_OK(service.Start());
+  auto f1 = service.Submit("SELECT Winner FROM BEATS");
+  auto f2 = service.Submit("SELECT Loser FROM BEATS");
+  auto f3 = service.Submit("SELECT Winner FROM BEATS");  // shed
+  auto r3 = f3.get();
+  ASSERT_FALSE(r3.ok());
+  EXPECT_EQ(r3.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r3.status().message().find("load shed"), std::string::npos);
+  while (service.ServeQueuedForTesting()) {
+  }
+  EXPECT_TRUE(f1.get().ok());
+  EXPECT_TRUE(f2.get().ok());
+  ServiceStats stats = service.GetStats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.max_queue_depth, 2u);
+}
+
+TEST(QueryServiceTest, AdmissionScalesGrantedBudgetByLoad) {
+  testutil::FilmDb db;
+  ServiceOptions options = PumpedOptions();
+  options.queue_capacity = 2;
+  options.base_limits.deadline_ms = 1000;
+  QueryService service(&db.session, options);
+  EDS_ASSERT_OK(service.Start());
+  auto f1 = service.Submit("SELECT Winner FROM BEATS");  // queue depth 0
+  auto f2 = service.Submit("SELECT Winner FROM BEATS");  // queue depth 1
+  while (service.ServeQueuedForTesting()) {
+  }
+  auto r1 = f1.get();
+  auto r2 = f2.get();
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->granted.deadline_ms, 1000u);
+  EXPECT_LT(r2->granted.deadline_ms, 1000u);  // admitted under load
+}
+
+TEST(QueryServiceTest, SubmitBeforeStartAndAfterStopFails) {
+  testutil::FilmDb db;
+  QueryService service(&db.session, PumpedOptions());
+  EXPECT_FALSE(service.Submit("SELECT Winner FROM BEATS").get().ok());
+  EDS_ASSERT_OK(service.Start());
+  service.Stop();
+  EXPECT_FALSE(service.Submit("SELECT Winner FROM BEATS").get().ok());
+}
+
+TEST(QueryServiceTest, StopDrainsQueuedWorkWithError) {
+  testutil::FilmDb db;
+  QueryService service(&db.session, PumpedOptions());
+  EDS_ASSERT_OK(service.Start());
+  auto f = service.Submit("SELECT Winner FROM BEATS");
+  service.Stop();
+  auto r = f.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("stopping"), std::string::npos);
+}
+
+TEST(QueryServiceTest, CancelledWhileQueuedFailsFast) {
+  testutil::FilmDb db;
+  QueryService service(&db.session, PumpedOptions());
+  EDS_ASSERT_OK(service.Start());
+  gov::CancelToken cancel;
+  auto f = service.Submit("SELECT Winner FROM BEATS", &cancel);
+  cancel.Cancel();
+  auto r = PumpOne(&service, std::move(f));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("cancelled"), std::string::npos);
+}
+
+TEST(QueryServiceTest, CacheDisabledAlwaysRewrites) {
+  testutil::FilmDb db;
+  ServiceOptions options = PumpedOptions();
+  options.use_cache = false;
+  QueryService service(&db.session, options);
+  EDS_ASSERT_OK(service.Start());
+  for (int i = 0; i < 2; ++i) {
+    auto r = PumpOne(&service,
+                     service.Submit("SELECT Winner FROM BEATS WHERE "
+                                    "Winner > 7"));
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r->cache_hit);
+    EXPECT_TRUE(r->cache_bypass);
+    EXPECT_GT(r->result.phase_times.rewrite_ns, 0u);
+  }
+  PlanCache::Stats cs = service.cache().GetStats();
+  EXPECT_EQ(cs.hits + cs.misses + cs.inserts, 0u);
+}
+
+TEST(QueryServiceTest, RecursiveQueriesCacheOnExactMatch) {
+  testutil::FilmDb db;
+  EDS_ASSERT_OK(db.session.ExecuteScript(R"(
+    CREATE VIEW BETTER_THAN (W, L) AS (
+      SELECT Winner, Loser FROM BEATS
+      UNION
+      SELECT B1.W, B2.L FROM BETTER_THAN B1, BETTER_THAN B2
+      WHERE B1.L = B2.W );
+  )"));
+  QueryService service(&db.session, PumpedOptions());
+  EDS_ASSERT_OK(service.Start());
+  const char* q = "SELECT W FROM BETTER_THAN WHERE W = 1";
+  auto first = PumpOne(&service, service.Submit(q));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->cache_hit);
+  // Same literal: exact-match hit (FIX plans skip parameterization).
+  auto second = PumpOne(&service, service.Submit(q));
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_EQ(second->result.rows, first->result.rows);
+  // Different literal: distinct template, a miss.
+  auto third = PumpOne(
+      &service, service.Submit("SELECT W FROM BETTER_THAN WHERE W = 2"));
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(third->cache_hit);
+}
+
+TEST(QueryServiceTest, MetricsExportersUseDottedNames) {
+  obs::MetricsRegistry registry;
+  PlanCache::Stats cs;
+  cs.hits = 3;
+  ServiceStats ss;
+  ss.admitted = 5;
+  ExportCacheStats(cs, &registry);
+  ExportServiceStats(ss, &registry);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("cache.hits"), std::string::npos) << json;
+  EXPECT_NE(json.find("srv.admitted"), std::string::npos) << json;
+}
+
+TEST(QueryServiceTest, MergedTraceCarriesWorkerTids) {
+  testutil::FilmDb db;
+  ServiceOptions options;
+  options.workers = 1;
+  options.collect_traces = true;
+  QueryService service(&db.session, options);
+  EDS_ASSERT_OK(service.Start());
+  auto r = service.Submit("SELECT Winner FROM BEATS WHERE Winner > 7").get();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  service.Stop();
+  std::ostringstream os;
+  service.WriteMergedTrace(os);
+  std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("srv.query"), std::string::npos);
+  EXPECT_NE(json.find("phase.parse"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eds::srv
