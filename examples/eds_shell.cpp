@@ -19,6 +19,7 @@
 //   \rules            show the generated optimizer's blocks
 //   \norewrite        toggle the rewriter on/off for subsequent queries
 //   \lint             lint the rule libraries + declared constraints
+//   \verify           bounded soundness check of the same rule sets
 //   \constraint NAME <rule text> ;   declare an integrity constraint
 //
 // With --threads=N the shell routes SELECTs through the srv::QueryService
@@ -53,6 +54,7 @@
 #include "rules/semantic.h"
 #include "rules/simplify.h"
 #include "srv/service.h"
+#include "verify/verify.h"
 
 namespace {
 
@@ -183,6 +185,10 @@ class Shell {
       RunLint();
       return true;
     }
+    if (line == "\\verify") {
+      RunVerify();
+      return true;
+    }
     if (line == "\\norewrite") {
       rewrite_ = !rewrite_;
       std::cout << "rewriting " << (rewrite_ ? "on" : "off") << "\n";
@@ -254,6 +260,39 @@ class Shell {
       }
     }
     std::cout << "lint: " << errors << " error(s), " << warnings
+              << " warning(s)\n";
+  }
+
+  // Bounded soundness check (docs/rule_verify.md) of the same rule sets
+  // \lint covers: built-in libraries plus this session's constraint rules.
+  void RunVerify() {
+    eds::rewrite::BuiltinRegistry builtins;
+    builtins.InstallStandard();
+    eds::magic::InstallMagicBuiltins(&builtins);
+    eds::rules::InstallSemanticBuiltins(&builtins);
+    const std::pair<const char*, std::string> sources[] = {
+        {"merging", eds::rules::MergingRuleSource()},
+        {"permutation", eds::rules::PermutationRuleSource()},
+        {"fixpoint", eds::rules::FixpointRuleSource()},
+        {"simplify", eds::rules::SimplifyRuleSource()},
+        {"implicit_knowledge", eds::rules::ImplicitKnowledgeRuleSource()},
+        {"semantic_methods", eds::rules::SemanticMethodRuleSource()},
+        {"extensions", eds::rules::ExtensionRuleSource()},
+        {"constraints", eds::rules::ConstraintRuleSource(session_.catalog())},
+    };
+    size_t errors = 0, warnings = 0;
+    for (const auto& [name, text] : sources) {
+      eds::verify::VerifySummary summary;
+      eds::lint::LintReport report =
+          eds::verify::VerifyLibrary(text, builtins, {}, &summary);
+      errors += report.error_count();
+      warnings += report.warning_count();
+      for (const eds::lint::Diagnostic& d : report.diagnostics()) {
+        std::cout << name << ": " << d.ToString() << "\n";
+      }
+      std::cout << name << ": " << summary.ToString() << "\n";
+    }
+    std::cout << "verify: " << errors << " error(s), " << warnings
               << " warning(s)\n";
   }
 

@@ -2,13 +2,19 @@
 
 #include "exec/typecheck.h"
 
+#include <iostream>
+
 #include "esql/analyzer.h"
 #include "esql/parser.h"
 #include "esql/translator.h"
 #include "common/strings.h"
 #include "lera/printer.h"
 #include "lera/schema.h"
+#include "lint/lint.h"
+#include "magic/magic.h"
 #include "obs/trace.h"
+#include "rules/semantic.h"
+#include "verify/verify.h"
 
 namespace eds::exec {
 
@@ -60,6 +66,55 @@ Status Session::RebuildOptimizer() {
 
 Status Session::AddConstraint(const std::string& name,
                               const std::string& rule_text) {
+  return AddConstraint(name, rule_text, ConstraintOptions{});
+}
+
+Status Session::AddConstraint(const std::string& name,
+                              const std::string& rule_text,
+                              const ConstraintOptions& options) {
+  if (options.run_lint || options.run_verify) {
+    // The same registry the generated optimizer will run the rules under.
+    rewrite::BuiltinRegistry builtins;
+    builtins.InstallStandard();
+    magic::InstallMagicBuiltins(&builtins);
+    rules::InstallSemanticBuiltins(&builtins);
+    auto surface = [&](const lint::LintReport& report) {
+      for (const lint::Diagnostic& d : report.diagnostics()) {
+        if (options.diagnostics != nullptr) {
+          options.diagnostics->Add(d);
+        } else {
+          std::cerr << "constraint '" << name << "': " << d.ToString()
+                    << "\n";
+        }
+      }
+    };
+    if (options.run_lint) {
+      lint::LintOptions lo;
+      lo.catalog = &catalog_;
+      surface(lint::LintSource(rule_text, builtins, lo));
+    }
+    if (options.run_verify) {
+      verify::VerifyOptions vo = options.verify_options != nullptr
+                                     ? *options.verify_options
+                                     : verify::VerifyOptions{};
+      lint::LintReport vreport =
+          verify::VerifyLibrary(rule_text, builtins, vo);
+      surface(vreport);
+      if (vreport.has_errors()) {
+        std::string ids;
+        for (const lint::Diagnostic& d : vreport.diagnostics()) {
+          if (d.severity != lint::Severity::kError) continue;
+          if (!ids.empty()) ids += ", ";
+          ids += d.id;
+          if (!d.rule.empty()) ids += " (rule '" + d.rule + "')";
+        }
+        return Status::InvalidArgument("constraint '" + name +
+                                       "' rejected: soundness verification "
+                                       "failed: " +
+                                       ids);
+      }
+    }
+  }
   EDS_RETURN_IF_ERROR(
       catalog_.AddConstraint(catalog::ConstraintDef{name, rule_text}));
   optimizer_dirty_ = true;

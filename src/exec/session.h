@@ -17,6 +17,12 @@
 namespace eds::obs {
 class TraceSink;
 }  // namespace eds::obs
+namespace eds::lint {
+class LintReport;
+}  // namespace eds::lint
+namespace eds::verify {
+struct VerifyOptions;
+}  // namespace eds::verify
 
 namespace eds::exec {
 
@@ -65,6 +71,22 @@ struct QueryOptions {
   gov::GovernorLimits limits;
 };
 
+// Registration-time checking for AddConstraint. Lint findings are only
+// surfaced (one line per EDS-Lxxx hit) — even unparseable text registers,
+// exactly as before, and fails at optimizer build time. Soundness
+// verification is opt-in and DOES reject: a constraint whose rules provably
+// change query results (EDS-Sxxx errors, see src/verify/) is refused with
+// InvalidArgument before it can poison the optimizer.
+struct ConstraintOptions {
+  bool run_lint = true;    // static lint of the rule text (never rejects)
+  bool run_verify = false;  // bounded soundness check (rejects on errors)
+  // Knobs for run_verify; defaults apply when null.
+  const verify::VerifyOptions* verify_options = nullptr;
+  // When non-null, findings are appended here; otherwise each finding is
+  // printed as one warning line to stderr.
+  lint::LintReport* diagnostics = nullptr;
+};
+
 // The user-facing facade: one catalog + one database + the generated
 // optimizer. This is the "extensible database server" in miniature — DDL
 // extends the catalog, integrity constraints and custom rules extend the
@@ -102,8 +124,13 @@ class Session {
                    ExecStats* stats_out = nullptr);
 
   // Declares an integrity constraint (rule-language text, §6.1); the
-  // optimizer is regenerated on next use.
+  // optimizer is regenerated on next use. The default overload lints the
+  // text and surfaces findings on stderr but accepts regardless; pass
+  // ConstraintOptions to capture diagnostics or to opt into soundness
+  // verification (which rejects unsound rule sets).
   Status AddConstraint(const std::string& name, const std::string& rule_text);
+  Status AddConstraint(const std::string& name, const std::string& rule_text,
+                       const ConstraintOptions& options);
 
   // Creates an object on the heap; `fields` become its named tuple state.
   // Returns the reference value to store in rows.

@@ -4,8 +4,28 @@
 
 #include "common/strings.h"
 #include "lint/lint.h"
+#include "verify/verify.h"
 
 namespace eds::ruledsl {
+
+namespace {
+
+// Post-compile hook for CompileOptions::run_verify: bounded soundness
+// checking of the finished program, findings appended to the diagnostics
+// report. Infrastructure failures inside the verifier are already reported
+// as EDS-S011 notes, so the hook itself never fails the compile.
+void RunVerifyHook(const rewrite::RewriteProgram& program,
+                   const rewrite::BuiltinRegistry& builtins,
+                   const CompileOptions& opts) {
+  if (opts.diagnostics == nullptr || !opts.run_verify) return;
+  verify::VerifyOptions vo =
+      opts.verify_options != nullptr ? *opts.verify_options
+                                     : verify::VerifyOptions{};
+  (void)verify::VerifyProgram(program, builtins, vo, opts.diagnostics);
+  opts.diagnostics->SortByLocation();
+}
+
+}  // namespace
 
 Result<rewrite::RewriteProgram> CompileProgram(
     const CompiledUnit& unit, const rewrite::BuiltinRegistry& builtins,
@@ -42,6 +62,7 @@ Result<rewrite::RewriteProgram> CompileProgram(
     all.limit = rewrite::kSaturate;
     program.blocks.push_back(std::move(all));
     program.seq_limit = 1;
+    RunVerifyHook(program, builtins, opts);
     return program;
   }
 
@@ -85,6 +106,7 @@ Result<rewrite::RewriteProgram> CompileProgram(
     }
     program.seq_limit = 1;
   }
+  RunVerifyHook(program, builtins, opts);
   return program;
 }
 

@@ -14,6 +14,9 @@ class Catalog;
 namespace eds::lint {
 class LintReport;
 }
+namespace eds::verify {
+struct VerifyOptions;
+}
 
 namespace eds::ruledsl {
 
@@ -29,6 +32,16 @@ struct CompileOptions {
   // null. Lint never fails the compile; callers decide what to do with
   // warnings and errors in the report.
   bool run_lint = false;
+  // Additionally run the bounded soundness verifier (verify/verify.h) over
+  // every distinct rule of the compiled program and append its EDS-Sxxx
+  // findings to *diagnostics. Ignored when diagnostics is null. Like lint,
+  // verification never fails the compile by itself — callers inspect the
+  // report (exec::Session's opt-in constraint verification does reject on
+  // soundness errors).
+  bool run_verify = false;
+  // Knobs for run_verify (seed, instance counts, budgets); defaults apply
+  // when null.
+  const verify::VerifyOptions* verify_options = nullptr;
   // Catalog for lint's ISA type-existence/compatibility checks; may be null.
   const catalog::Catalog* catalog = nullptr;
 };

@@ -1,0 +1,115 @@
+#ifndef EDS_VERIFY_INSTANCE_H_
+#define EDS_VERIFY_INSTANCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "exec/storage.h"
+#include "rewrite/rule.h"
+#include "term/term.h"
+
+namespace eds::verify {
+
+// The verifier's synthetic world: a fixed catalog of small relations plus a
+// family of concrete database instances over them. Every rule is checked
+// against the same world, so diagnostics are reproducible and the
+// counterexample databases are small enough to print.
+//
+// Relations (all columns NUMERIC unless noted):
+//   V0, V1, V2 (A, B)   general-purpose binary relations
+//   VE (A, B)           empty in every instance (empty-input corner)
+//   VS (S CHAR, N)      a string-keyed relation for CHAR expressions
+//   VEDGE (SRC, DST)    a small graph feeding fixpoint templates
+//   CLO (SRC, DST)      the fixpoint accumulator (stored empty)
+//
+// Instances cover the corners bounded checking needs: a base instance with
+// distinct rows, one with duplicate rows (bag-semantics divergence), one
+// with NULLs, an all-empty one, and `random_databases` seeded random fills.
+class VerifyEnv {
+ public:
+  struct Instance {
+    std::string name;  // "base", "dups", "nulls", "empty", "rand0", ...
+    std::unique_ptr<exec::Database> db;
+  };
+
+  // Row contents of one database, for counterexample minimization and
+  // printing. Tables appear in catalog declaration order.
+  struct Snapshot {
+    std::vector<std::pair<std::string, exec::Rows>> tables;
+  };
+
+  static Result<std::unique_ptr<VerifyEnv>> Create(uint64_t seed,
+                                                   size_t random_databases);
+
+  VerifyEnv(const VerifyEnv&) = delete;
+  VerifyEnv& operator=(const VerifyEnv&) = delete;
+
+  const catalog::Catalog& catalog() const { return catalog_; }
+  const std::vector<Instance>& instances() const { return instances_; }
+
+  Snapshot SnapshotOf(size_t instance_index) const;
+  Result<std::unique_ptr<exec::Database>> Materialize(
+      const Snapshot& snap) const;
+
+  // "V0: (1, 2), (1, 2)" lines for the non-empty tables; "" when the whole
+  // database is empty. Rows beyond `max_rows_per_table` print as "+N more".
+  static std::string Describe(const Snapshot& snap,
+                              size_t max_rows_per_table);
+
+ private:
+  VerifyEnv() = default;
+
+  catalog::Catalog catalog_;
+  std::vector<std::pair<std::string, size_t>> table_arity_;  // decl order
+  std::vector<Instance> instances_;
+};
+
+// One concrete check input derived from a rule's left-hand side.
+struct RuleInstance {
+  term::TermRef subject;  // the ground LHS instance itself
+  term::TermRef plan;     // executable relational plan (subject, or the
+                          // subject wrapped in a SEARCH when it is a
+                          // qualification / scalar expression)
+  std::string binding;    // the literal variable assignment, printable
+};
+
+// Pattern-directed instantiation: infers a sort (relation, qualification,
+// scalar, ...) for every variable position in the LHS, substitutes ground
+// pool terms, and wraps non-relational subjects into executable plans.
+// Generation is deterministic for a given (env, seed): a mixed-radix sweep
+// over the pools first, then seeded random draws. Ill-typed combinations
+// are dropped (the executor would reject them, not the rule).
+class Instantiator {
+ public:
+  Instantiator(const VerifyEnv* env, uint64_t seed);
+
+  // Appends up to `max_instances` distinct type-correct instances for
+  // `rule`. Errors are infrastructure failures (fail-point injection),
+  // never a statement about the rule.
+  Status Generate(const rewrite::Rule& rule, size_t max_instances,
+                  std::vector<RuleInstance>* out);
+
+ private:
+  struct Pools;
+
+  const VerifyEnv* env_;
+  uint64_t seed_;
+  std::shared_ptr<const Pools> pools_;
+};
+
+// Structural + expression-level plan check: lera::Validate, InferSchema,
+// and a strict kind discipline on every qualification and projection
+// (logical operators require boolean operands, arithmetic numeric, string
+// functions CHAR). Deliberately stricter than lera::InferExprType — it
+// mirrors what the executor's function library enforces at runtime, so a
+// plan that passes here does not fail execution on type grounds.
+Status TypeCheckPlan(const term::TermRef& plan, const catalog::Catalog& cat);
+
+}  // namespace eds::verify
+
+#endif  // EDS_VERIFY_INSTANCE_H_

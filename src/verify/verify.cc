@@ -1,0 +1,490 @@
+#include "verify/verify.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "exec/executor.h"
+#include "gov/failpoint.h"
+#include "gov/governor.h"
+#include "lera/lera.h"
+#include "lera/schema.h"
+#include "ruledsl/parser.h"
+#include "verify/instance.h"
+
+namespace eds::verify {
+
+using term::TermRef;
+
+namespace {
+
+std::string RowsToString(const exec::Rows& rows, size_t max_rows) {
+  if (rows.empty()) return "(none)";
+  std::ostringstream out;
+  size_t shown = std::min(rows.size(), max_rows);
+  for (size_t i = 0; i < shown; ++i) {
+    if (i > 0) out << ", ";
+    out << "(";
+    for (size_t j = 0; j < rows[i].size(); ++j) {
+      if (j > 0) out << ", ";
+      out << rows[i][j].ToString();
+    }
+    out << ")";
+  }
+  if (rows.size() > shown) out << " +" << (rows.size() - shown) << " more";
+  return out.str();
+}
+
+void SortRows(exec::Rows* rows) {
+  std::sort(rows->begin(), rows->end(),
+            [](const exec::Row& a, const exec::Row& b) {
+              return exec::CompareRows(a, b) < 0;
+            });
+}
+
+bool RowsEqual(const exec::Rows& a, const exec::Rows& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (exec::CompareRows(a[i], b[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool SnapshotHasNull(const VerifyEnv::Snapshot& snap) {
+  for (const auto& [tname, rows] : snap.tables) {
+    for (const exec::Row& row : rows) {
+      for (const value::Value& v : row) {
+        if (v.is_null()) return true;
+      }
+    }
+  }
+  return false;
+}
+
+// The moment the failpoint macro returns from, isolated so an injected
+// fault is unambiguously infrastructure and never mistaken for a genuine
+// executor error on the rewritten side.
+Status HitExecuteFailPoint() {
+  EDS_FAIL_POINT("verify.execute");
+  return Status::OK();
+}
+
+enum class SideOutcome { kOk, kInfra, kBudget, kError };
+
+SideOutcome ExecuteSide(const TermRef& plan, const catalog::Catalog& cat,
+                        const exec::Database& db, const VerifyOptions& opts,
+                        exec::Rows* rows, Status* error) {
+  if (!HitExecuteFailPoint().ok()) return SideOutcome::kInfra;
+  gov::GovernorLimits limits;
+  limits.deadline_ms = opts.exec_deadline_ms;
+  limits.max_rows = opts.exec_max_rows;
+  gov::QueryGuard guard(limits);
+  exec::ExecOptions eo;
+  eo.max_fix_iterations = opts.max_fix_iterations;
+  eo.guard = &guard;
+  exec::Executor ex(&cat, &db, eo);
+  Result<exec::Rows> r = ex.Execute(plan);
+  if (r.ok()) {
+    *rows = std::move(*r);
+    return SideOutcome::kOk;
+  }
+  if (r.status().code() == StatusCode::kResourceExhausted) {
+    return SideOutcome::kBudget;
+  }
+  *error = r.status();
+  return SideOutcome::kError;
+}
+
+// True when the two plans still disagree at set level on `db`; errors on
+// either side read as "no divergence" so the minimizer never shrinks past
+// the property it is preserving.
+bool ContentDiverges(const TermRef& lhs, const TermRef& rhs,
+                     const catalog::Catalog& cat, const exec::Database& db,
+                     const VerifyOptions& opts, exec::Rows* lhs_rows,
+                     exec::Rows* rhs_rows) {
+  exec::Rows a, b;
+  Status err;
+  if (ExecuteSide(lhs, cat, db, opts, &a, &err) != SideOutcome::kOk) {
+    return false;
+  }
+  if (ExecuteSide(rhs, cat, db, opts, &b, &err) != SideOutcome::kOk) {
+    return false;
+  }
+  exec::Rows as = a, bs = b;
+  exec::DedupRows(&as);
+  exec::DedupRows(&bs);
+  if (RowsEqual(as, bs)) return false;
+  SortRows(&a);
+  SortRows(&b);
+  *lhs_rows = std::move(a);
+  *rhs_rows = std::move(b);
+  return true;
+}
+
+// Greedy row removal: drop any single row whose removal keeps the
+// counterexample diverging. Each trial costs two executions against
+// `minimize_budget`. A tripped fail point keeps the unminimized database —
+// a bigger counterexample is still a true one.
+Status MinimizeCounterexample(const VerifyEnv& env, const TermRef& lhs,
+                              const TermRef& rhs, const VerifyOptions& opts,
+                              VerifyEnv::Snapshot* snap, exec::Rows* lhs_rows,
+                              exec::Rows* rhs_rows) {
+  EDS_FAIL_POINT("verify.minimize");
+  size_t execs = 0;
+  bool progress = true;
+  while (progress && execs + 2 <= opts.minimize_budget) {
+    progress = false;
+    // Index-based: a successful trial replaces *snap, so references into
+    // the old table vector must not survive the replacement.
+    for (size_t t = 0; t < snap->tables.size() && !progress; ++t) {
+      for (size_t i = 0; i < snap->tables[t].second.size() &&
+                         execs + 2 <= opts.minimize_budget;) {
+        VerifyEnv::Snapshot trial = *snap;
+        trial.tables[t].second.erase(trial.tables[t].second.begin() + i);
+        auto db = env.Materialize(trial);
+        if (!db.ok()) return Status::OK();
+        execs += 2;
+        exec::Rows a, b;
+        if (ContentDiverges(lhs, rhs, env.catalog(), **db, opts, &a, &b)) {
+          *snap = std::move(trial);
+          *lhs_rows = std::move(a);
+          *rhs_rows = std::move(b);
+          progress = true;  // re-enter the outer loops on the new snapshot
+          break;
+        }
+        ++i;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string Indent(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    out += c;
+    if (c == '\n') out += "    ";
+  }
+  return out;
+}
+
+std::string InstanceBlurb(const RuleInstance& ri, const TermRef& rewritten) {
+  std::string out = "\n  instance:  " + ri.plan->ToString();
+  if (rewritten != nullptr) {
+    out += "\n  rewritten: " + rewritten->ToString();
+  }
+  out += "\n  binding:   " + ri.binding;
+  return out;
+}
+
+struct RuleRun {
+  lint::LintReport* report;
+  const rewrite::Rule* rule;
+  RuleVerdict verdict;
+  bool emitted_error = false;
+
+  void Emit(lint::Severity sev, const char* id, std::string message) {
+    lint::Diagnostic d;
+    d.severity = sev;
+    d.id = id;
+    d.rule = rule->name;
+    d.loc = rule->loc;
+    d.message = std::move(message);
+    report->Add(std::move(d));
+    if (sev == lint::Severity::kError) {
+      emitted_error = true;
+      verdict.divergence = true;
+    }
+  }
+};
+
+Status VerifyRuleWithEnv(const rewrite::Rule& rule,
+                         const rewrite::BuiltinRegistry& builtins,
+                         const VerifyOptions& opts, const VerifyEnv& env,
+                         lint::LintReport* report, RuleVerdict* out) {
+  RuleRun run;
+  run.report = report;
+  run.rule = &rule;
+  run.verdict.rule = rule.name;
+
+  Status valid = rewrite::ValidateRule(rule, builtins);
+  if (!valid.ok()) {
+    run.Emit(lint::Severity::kError, kVerifyInvalidRule,
+             "rule fails validation, soundness not checkable: " +
+                 valid.ToString());
+    if (out != nullptr) *out = run.verdict;
+    return Status::OK();
+  }
+
+  std::vector<RuleInstance> instances;
+  Instantiator inst(&env, opts.seed);
+  Status gen = inst.Generate(rule, opts.max_instances_per_rule, &instances);
+  if (!gen.ok()) {
+    run.verdict.inconclusive = true;
+    run.Emit(lint::Severity::kNote, kVerifyInconclusive,
+             "verification inconclusive: instance generation failed: " +
+                 gen.ToString());
+    if (out != nullptr) *out = run.verdict;
+    return Status::OK();
+  }
+  run.verdict.instances = instances.size();
+
+  rewrite::RewriteProgram program;
+  program.blocks.push_back({"verify", {rule}, rewrite::kSaturate});
+  program.seq_limit = 1;
+  rewrite::Engine engine(&env.catalog(), &builtins, std::move(program));
+
+  size_t checked_instances = 0;
+  size_t rhs_type_failures = 0;
+  size_t infra_skips = 0;
+  Status last_type_failure;
+  const RuleInstance* last_type_failure_instance = nullptr;
+  TermRef last_type_failure_term;
+  bool reported_multiplicity = false;
+  // A divergence whose minimized counterexample still contains a NULL is
+  // held back while the scan keeps hunting for a NULL-free witness: the
+  // built-in libraries document 1991-style two-valued semantics, so a
+  // NULL-only divergence demotes to an EDS-S006 warning instead of S001.
+  std::string null_only_message;
+
+  for (const RuleInstance& ri : instances) {
+    if (run.emitted_error) break;
+    if (checked_instances >= opts.max_checked_per_rule) break;
+
+    rewrite::RewriteOptions ro;
+    ro.max_applications = 1;  // check exactly one application of the rule
+    auto rw = engine.Rewrite(ri.plan, ro);
+    if (!rw.ok()) continue;  // the match machinery refused; not a verdict
+    if (rw->stats.applications == 0) continue;
+    run.verdict.fired++;
+    TermRef rewritten = rw->term;
+
+    // Structural sanity of the output before running it.
+    Status structural = lera::Validate(rewritten);
+    Result<lera::Schema> out_schema =
+        structural.ok() ? lera::InferSchema(rewritten, env.catalog())
+                        : Result<lera::Schema>(structural);
+    if (!out_schema.ok()) {
+      run.Emit(lint::Severity::kError, kVerifyBrokenOutput,
+               "rewritten plan is not a valid plan: " +
+                   out_schema.status().ToString() +
+                   InstanceBlurb(ri, rewritten));
+      break;
+    }
+    auto in_schema = lera::InferSchema(ri.plan, env.catalog());
+    if (in_schema.ok() && in_schema->size() != out_schema->size()) {
+      run.Emit(lint::Severity::kError, kVerifyArityChange,
+               "rewrite changes output arity from " +
+                   std::to_string(in_schema->size()) + " to " +
+                   std::to_string(out_schema->size()) +
+                   InstanceBlurb(ri, rewritten));
+      break;
+    }
+    Status typed = TypeCheckPlan(rewritten, env.catalog());
+    if (!typed.ok()) {
+      // The instantiation may have produced operand kinds the rule's
+      // constraints never promised to handle (a functor variable bound to
+      // NOT over a numeric, say). Skip the instance; if *every* fired
+      // instance ends here the rule itself breaks typing — reported below.
+      rhs_type_failures++;
+      last_type_failure = typed;
+      last_type_failure_instance = &ri;
+      last_type_failure_term = rewritten;
+      continue;
+    }
+
+    bool instance_checked = false;
+    for (size_t dbi = 0; dbi < env.instances().size(); ++dbi) {
+      const VerifyEnv::Instance& dbinst = env.instances()[dbi];
+      exec::Rows lhs_rows, rhs_rows;
+      Status err;
+      SideOutcome lo =
+          ExecuteSide(ri.plan, env.catalog(), *dbinst.db, opts, &lhs_rows,
+                      &err);
+      if (lo == SideOutcome::kInfra || lo == SideOutcome::kBudget) {
+        infra_skips++;
+        run.verdict.inconclusive = true;
+        continue;
+      }
+      if (lo == SideOutcome::kError) continue;  // LHS itself errors: no claim
+      SideOutcome roc = ExecuteSide(rewritten, env.catalog(), *dbinst.db,
+                                    opts, &rhs_rows, &err);
+      if (roc == SideOutcome::kInfra || roc == SideOutcome::kBudget) {
+        infra_skips++;
+        run.verdict.inconclusive = true;
+        continue;
+      }
+      if (roc == SideOutcome::kError) {
+        run.Emit(lint::Severity::kError, kVerifyBrokenOutput,
+                 "rewritten plan fails to execute on database '" +
+                     dbinst.name + "': " + err.ToString() +
+                     InstanceBlurb(ri, rewritten));
+        break;
+      }
+      run.verdict.checked++;
+      instance_checked = true;
+
+      SortRows(&lhs_rows);
+      SortRows(&rhs_rows);
+      if (RowsEqual(lhs_rows, rhs_rows)) continue;  // bag-equal
+      exec::Rows lhs_set = lhs_rows, rhs_set = rhs_rows;
+      exec::DedupRows(&lhs_set);
+      exec::DedupRows(&rhs_set);
+      if (RowsEqual(lhs_set, rhs_set)) {
+        // Same result set, different multiplicities: a bag-semantics
+        // change (set-oriented operators legitimately do this).
+        if (!reported_multiplicity) {
+          reported_multiplicity = true;
+          run.verdict.multiplicity = true;
+          run.Emit(lint::Severity::kWarning, kVerifyMultiplicity,
+                   "rewrite preserves the result set but changes row "
+                   "multiplicities on database '" +
+                       dbinst.name + "' (lhs " +
+                       std::to_string(lhs_rows.size()) + " rows, rhs " +
+                       std::to_string(rhs_rows.size()) + ")" +
+                       InstanceBlurb(ri, rewritten));
+        }
+        continue;
+      }
+      // Content divergence: a true counterexample. Shrink it, then report.
+      VerifyEnv::Snapshot snap = env.SnapshotOf(dbi);
+      if (opts.minimize) {
+        (void)MinimizeCounterexample(env, ri.plan, rewritten, opts, &snap,
+                                     &lhs_rows, &rhs_rows);
+      }
+      std::string db_desc = VerifyEnv::Describe(snap, 8);
+      if (db_desc.empty()) db_desc = "(all tables empty)";
+      std::string detail = InstanceBlurb(ri, rewritten) + "\n  database:  " +
+                           Indent(db_desc) + "\n  lhs rows:  " +
+                           RowsToString(lhs_rows, 8) + "\n  rhs rows:  " +
+                           RowsToString(rhs_rows, 8);
+      if (SnapshotHasNull(snap)) {
+        // Checked *after* minimization: if the divergence survived with the
+        // NULL rows stripped it is a genuine S001 above; surviving NULLs
+        // mean they are load-bearing. Keep scanning — a later NULL-free
+        // witness still upgrades this to an error.
+        if (null_only_message.empty()) {
+          null_only_message = "results diverge on NULL-bearing database '" +
+                              dbinst.name + "' (no NULL-free counterexample "
+                              "found; the rule libraries document two-valued "
+                              "NULL semantics)" + detail;
+        }
+        continue;
+      }
+      run.Emit(lint::Severity::kError, kVerifyDivergence,
+               "results diverge on database '" + dbinst.name + "'" + detail);
+      break;
+    }
+    if (instance_checked) checked_instances++;
+  }
+
+  if (!run.emitted_error && !null_only_message.empty()) {
+    run.verdict.null_only = true;
+    run.Emit(lint::Severity::kWarning, kVerifyNullOnly,
+             std::move(null_only_message));
+  }
+  if (!run.emitted_error) {
+    if (run.verdict.fired > 0 && checked_instances == 0 &&
+        rhs_type_failures > 0 && rhs_type_failures >= run.verdict.fired) {
+      run.Emit(lint::Severity::kWarning, kVerifyIllTyped,
+               "rewritten plan is ill-typed on every generated instance: " +
+                   last_type_failure.ToString() +
+                   (last_type_failure_instance != nullptr
+                        ? InstanceBlurb(*last_type_failure_instance,
+                                        last_type_failure_term)
+                        : std::string()));
+    } else if (opts.report_coverage_notes && run.verdict.fired == 0) {
+      run.Emit(lint::Severity::kNote, kVerifyNoCoverage,
+               "no generated instance fired this rule (" +
+                   std::to_string(run.verdict.instances) +
+                   " candidates); soundness not checked");
+    } else if (run.verdict.fired > 0 && run.verdict.checked == 0 &&
+               infra_skips > 0) {
+      run.verdict.inconclusive = true;
+      run.Emit(lint::Severity::kNote, kVerifyInconclusive,
+               "verification inconclusive: every comparison was skipped "
+               "(fault injection or execution budget)");
+    }
+  }
+  if (out != nullptr) *out = run.verdict;
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string VerifySummary::ToString() const {
+  std::ostringstream out;
+  out << rules << " rule(s), " << rules_fired << " fired, " << rules_flagged
+      << " flagged";
+  return out.str();
+}
+
+Status VerifyRule(const rewrite::Rule& rule,
+                  const rewrite::BuiltinRegistry& builtins,
+                  const VerifyOptions& opts, lint::LintReport* report,
+                  RuleVerdict* verdict) {
+  EDS_ASSIGN_OR_RETURN(std::unique_ptr<VerifyEnv> env,
+                       VerifyEnv::Create(opts.seed, opts.random_databases));
+  return VerifyRuleWithEnv(rule, builtins, opts, *env, report, verdict);
+}
+
+Status VerifyRules(const std::vector<rewrite::Rule>& rules,
+                   const rewrite::BuiltinRegistry& builtins,
+                   const VerifyOptions& opts, lint::LintReport* report,
+                   VerifySummary* summary) {
+  EDS_ASSIGN_OR_RETURN(std::unique_ptr<VerifyEnv> env,
+                       VerifyEnv::Create(opts.seed, opts.random_databases));
+  VerifySummary local;
+  for (const rewrite::Rule& rule : rules) {
+    RuleVerdict v;
+    EDS_RETURN_IF_ERROR(
+        VerifyRuleWithEnv(rule, builtins, opts, *env, report, &v));
+    local.rules++;
+    if (v.fired > 0) local.rules_fired++;
+    if (v.divergence || v.multiplicity || v.null_only) local.rules_flagged++;
+    local.verdicts.push_back(std::move(v));
+  }
+  if (summary != nullptr) *summary = std::move(local);
+  return Status::OK();
+}
+
+Status VerifyProgram(const rewrite::RewriteProgram& program,
+                     const rewrite::BuiltinRegistry& builtins,
+                     const VerifyOptions& opts, lint::LintReport* report,
+                     VerifySummary* summary) {
+  std::vector<rewrite::Rule> rules;
+  std::unordered_set<std::string> seen;
+  for (const rewrite::RuleBlock& block : program.blocks) {
+    for (const rewrite::Rule& rule : block.rules) {
+      if (seen.insert(rule.name).second) rules.push_back(rule);
+    }
+  }
+  return VerifyRules(rules, builtins, opts, report, summary);
+}
+
+lint::LintReport VerifyLibrary(std::string_view text,
+                               const rewrite::BuiltinRegistry& builtins,
+                               const VerifyOptions& opts,
+                               VerifySummary* summary) {
+  lint::LintReport report;
+  auto unit = ruledsl::ParseRuleSource(text);
+  if (!unit.ok()) {
+    lint::Diagnostic d;
+    d.severity = lint::Severity::kError;
+    d.id = kVerifyInvalidRule;
+    d.message = "cannot verify: " + unit.status().ToString();
+    report.Add(std::move(d));
+    return report;
+  }
+  Status s = VerifyRules(unit->rules, builtins, opts, &report, summary);
+  if (!s.ok()) {
+    lint::Diagnostic d;
+    d.severity = lint::Severity::kNote;
+    d.id = kVerifyInconclusive;
+    d.message = "verification inconclusive: " + s.ToString();
+    report.Add(std::move(d));
+  }
+  return report;
+}
+
+}  // namespace eds::verify

@@ -1,0 +1,103 @@
+#ifndef EDS_VERIFY_VERIFY_H_
+#define EDS_VERIFY_VERIFY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "lint/diagnostic.h"
+#include "rewrite/builtins.h"
+#include "rewrite/engine.h"
+#include "rewrite/rule.h"
+
+namespace eds::verify {
+
+// Stable soundness ids, the semantic sibling of lint's EDS-Lxxx set.
+// docs/rule_verify.md documents each id with a triggering example.
+inline constexpr const char* kVerifyInvalidRule = "EDS-S000";   // error
+inline constexpr const char* kVerifyDivergence = "EDS-S001";    // error
+inline constexpr const char* kVerifyBrokenOutput = "EDS-S002";  // error
+inline constexpr const char* kVerifyArityChange = "EDS-S003";   // error
+inline constexpr const char* kVerifyMultiplicity = "EDS-S004";  // warning
+inline constexpr const char* kVerifyIllTyped = "EDS-S005";      // warning
+inline constexpr const char* kVerifyNullOnly = "EDS-S006";      // warning
+inline constexpr const char* kVerifyNoCoverage = "EDS-S010";    // note
+inline constexpr const char* kVerifyInconclusive = "EDS-S011";  // note
+
+// Bounded-equivalence checking knobs. The defaults finish the full built-in
+// rule set in a few seconds while still covering duplicate/NULL/empty
+// corners; verification is *falsification*, never proof — see
+// docs/rule_verify.md for the caveats.
+struct VerifyOptions {
+  uint64_t seed = 42;              // instance-generation seed
+  size_t random_databases = 3;     // random instances next to the corners
+  size_t max_instances_per_rule = 24;
+  size_t max_checked_per_rule = 6;  // fired instances compared per rule
+  uint64_t exec_deadline_ms = 250;  // per-side execution budget
+  uint64_t exec_max_rows = 50000;
+  size_t max_fix_iterations = 64;
+  bool minimize = true;             // shrink counterexample databases
+  size_t minimize_budget = 160;     // executions the minimizer may spend
+  bool report_coverage_notes = true;  // EDS-S010/EDS-S011 notes
+};
+
+// What the verifier established about one rule.
+struct RuleVerdict {
+  std::string rule;
+  size_t instances = 0;  // generated candidate instances
+  size_t fired = 0;      // instances the rule actually rewrote
+  size_t checked = 0;    // (instance, database) comparisons executed
+  bool divergence = false;    // an error-severity finding (S001/S002/S003)
+  bool multiplicity = false;  // bag-semantics warning (S004)
+  bool null_only = false;     // diverges only with NULLs present (S006)
+  bool inconclusive = false;  // some checks were skipped (budget / fault)
+};
+
+struct VerifySummary {
+  std::vector<RuleVerdict> verdicts;
+  size_t rules = 0;
+  size_t rules_fired = 0;
+  size_t rules_flagged = 0;  // divergence or multiplicity
+
+  // "12 rule(s), 9 fired, 1 flagged".
+  std::string ToString() const;
+};
+
+// Checks one rule for bounded semantic equivalence: instantiates its LHS
+// over the verifier's synthetic databases, rewrites each instance with a
+// single-rule engine, executes both sides, and reports divergence into
+// `report` (reusing lint::Diagnostic; `rule.loc` locates the finding).
+// A non-OK return is an infrastructure failure (e.g. the environment could
+// not be built), never a statement about the rule — injected faults and
+// budget trips degrade to an EDS-S011 note instead.
+Status VerifyRule(const rewrite::Rule& rule,
+                  const rewrite::BuiltinRegistry& builtins,
+                  const VerifyOptions& opts, lint::LintReport* report,
+                  RuleVerdict* verdict = nullptr);
+
+// Verifies each rule in order against a shared environment.
+Status VerifyRules(const std::vector<rewrite::Rule>& rules,
+                   const rewrite::BuiltinRegistry& builtins,
+                   const VerifyOptions& opts, lint::LintReport* report,
+                   VerifySummary* summary = nullptr);
+
+// Verifies every distinct rule of a compiled program (a rule listed in
+// several blocks is checked once).
+Status VerifyProgram(const rewrite::RewriteProgram& program,
+                     const rewrite::BuiltinRegistry& builtins,
+                     const VerifyOptions& opts, lint::LintReport* report,
+                     VerifySummary* summary = nullptr);
+
+// Parses a rule-DSL source unit and verifies its rules. Parse failures
+// report EDS-S000 (the verifier cannot say anything about rules it cannot
+// read); otherwise the report carries the per-rule findings.
+lint::LintReport VerifyLibrary(std::string_view text,
+                               const rewrite::BuiltinRegistry& builtins,
+                               const VerifyOptions& opts = {},
+                               VerifySummary* summary = nullptr);
+
+}  // namespace eds::verify
+
+#endif  // EDS_VERIFY_VERIFY_H_

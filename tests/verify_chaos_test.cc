@@ -1,0 +1,130 @@
+// Fault injection through the verifier's EDS_FAIL_POINT sites. The
+// invariant under test: an injected infrastructure failure must degrade the
+// verdict to "inconclusive" (EDS-S011 note) — it must never surface as a
+// false EDS-S001 "unsound", and it must never silently certify an unsound
+// rule as clean without the inconclusive marker.
+#include <string>
+
+#include "gov/failpoint.h"
+#include "gtest/gtest.h"
+#include "lint/lint.h"
+#include "magic/magic.h"
+#include "rules/semantic.h"
+#include "ruledsl/parser.h"
+#include "testutil.h"
+#include "verify/verify.h"
+
+namespace eds::verify {
+namespace {
+
+rewrite::BuiltinRegistry& Registry() {
+  static rewrite::BuiltinRegistry* reg = [] {
+    auto* r = new rewrite::BuiltinRegistry();
+    r->InstallStandard();
+    magic::InstallMagicBuiltins(r);
+    rules::InstallSemanticBuiltins(r);
+    return r;
+  }();
+  return *reg;
+}
+
+constexpr const char* kSoundRule = "and_comm : (f AND g) / --> (g AND f) / ;";
+constexpr const char* kUnsoundRule =
+    "drop_predicate : SEARCH(i, f AND g, p) / --> SEARCH(i, f, p) / ;";
+
+rewrite::Rule ParseOne(const std::string& text) {
+  auto unit = ruledsl::ParseRuleSource(text);
+  EXPECT_TRUE(unit.ok()) << unit.status().ToString();
+  return unit->rules.at(0);
+}
+
+class VerifyChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { gov::FailPoints::Global().Clear(); }
+  void TearDown() override { gov::FailPoints::Global().Clear(); }
+};
+
+TEST_F(VerifyChaosTest, InstanceGenerationFaultIsInconclusive) {
+  EDS_ASSERT_OK(gov::FailPoints::Global().Configure("verify.instance=error"));
+  lint::LintReport report;
+  RuleVerdict verdict;
+  EDS_ASSERT_OK(
+      VerifyRule(ParseOne(kUnsoundRule), Registry(), {}, &report, &verdict));
+  EXPECT_EQ(report.error_count(), 0u) << report.ToString();
+  ASSERT_EQ(report.WithId(kVerifyInconclusive).size(), 1u)
+      << report.ToString();
+  EXPECT_TRUE(verdict.inconclusive);
+  EXPECT_FALSE(verdict.divergence);
+}
+
+TEST_F(VerifyChaosTest, ExecutionFaultIsInconclusiveNotUnsound) {
+  // Every execution attempt fails: even a genuinely unsound rule must come
+  // back "inconclusive", never falsely confirmed or falsely certified.
+  EDS_ASSERT_OK(gov::FailPoints::Global().Configure("verify.execute=error"));
+  lint::LintReport report;
+  RuleVerdict verdict;
+  EDS_ASSERT_OK(
+      VerifyRule(ParseOne(kUnsoundRule), Registry(), {}, &report, &verdict));
+  EXPECT_EQ(report.error_count(), 0u) << report.ToString();
+  EXPECT_TRUE(verdict.inconclusive);
+  EXPECT_GT(verdict.fired, 0u);
+  EXPECT_EQ(verdict.checked, 0u);
+  ASSERT_EQ(report.WithId(kVerifyInconclusive).size(), 1u)
+      << report.ToString();
+}
+
+TEST_F(VerifyChaosTest, SingleExecutionFaultStillFindsTheDivergence) {
+  // Only the first execution trips; the scan recovers on later databases
+  // and still pins the unsound rule.
+  EDS_ASSERT_OK(
+      gov::FailPoints::Global().Configure("verify.execute=error@1"));
+  lint::LintReport report;
+  EDS_ASSERT_OK(VerifyRule(ParseOne(kUnsoundRule), Registry(), {}, &report));
+  EXPECT_EQ(report.WithId(kVerifyDivergence).size(), 1u)
+      << report.ToString();
+}
+
+TEST_F(VerifyChaosTest, SoundRuleStaysCleanUnderMinimizerFault) {
+  // The minimizer is never reached for a sound rule; arming its site must
+  // not perturb a clean verdict.
+  EDS_ASSERT_OK(gov::FailPoints::Global().Configure("verify.minimize=error"));
+  lint::LintReport report;
+  EDS_ASSERT_OK(VerifyRule(ParseOne(kSoundRule), Registry(), {}, &report));
+  EXPECT_TRUE(report.empty()) << report.ToString();
+}
+
+TEST_F(VerifyChaosTest, MinimizerFaultKeepsUnminimizedCounterexample) {
+  // A tripped minimizer keeps the full counterexample database — a bigger
+  // witness is still a true one, so the S001 verdict stands.
+  EDS_ASSERT_OK(gov::FailPoints::Global().Configure("verify.minimize=error"));
+  lint::LintReport report;
+  EDS_ASSERT_OK(VerifyRule(ParseOne(kUnsoundRule), Registry(), {}, &report));
+  auto hits = report.WithId(kVerifyDivergence);
+  ASSERT_EQ(hits.size(), 1u) << report.ToString();
+  const std::string& msg = hits[0].message;
+  size_t db_pos = msg.find("database:");
+  size_t lhs_pos = msg.find("lhs rows:");
+  ASSERT_NE(db_pos, std::string::npos);
+  ASSERT_NE(lhs_pos, std::string::npos);
+  size_t rows = 0;
+  for (size_t i = db_pos; i < lhs_pos; ++i) {
+    if (msg[i] == '(') ++rows;
+  }
+  EXPECT_GT(rows, 2u) << msg;  // the un-shrunk corner db, not a 1-row witness
+}
+
+TEST_F(VerifyChaosTest, VerdictRecoversOnceFaultsClear) {
+  EDS_ASSERT_OK(gov::FailPoints::Global().Configure("verify.execute=error"));
+  lint::LintReport faulted;
+  EDS_ASSERT_OK(VerifyRule(ParseOne(kUnsoundRule), Registry(), {}, &faulted));
+  EXPECT_EQ(faulted.error_count(), 0u);
+
+  gov::FailPoints::Global().Clear();
+  lint::LintReport clean;
+  EDS_ASSERT_OK(VerifyRule(ParseOne(kUnsoundRule), Registry(), {}, &clean));
+  EXPECT_EQ(clean.WithId(kVerifyDivergence).size(), 1u)
+      << clean.ToString();
+}
+
+}  // namespace
+}  // namespace eds::verify

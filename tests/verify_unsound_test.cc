@@ -1,0 +1,113 @@
+// Corpus of deliberately wrong rewrite rules, each pinned to the EDS-Sxxx
+// diagnostic the verifier must raise for it. Every divergence finding must
+// carry a printable counterexample (minimized database + lhs/rhs rows +
+// literal binding) so a rule author can replay the failure by hand.
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "lint/lint.h"
+#include "magic/magic.h"
+#include "rules/semantic.h"
+#include "testutil.h"
+#include "verify/verify.h"
+
+namespace eds::verify {
+namespace {
+
+rewrite::BuiltinRegistry& Registry() {
+  static rewrite::BuiltinRegistry* reg = [] {
+    auto* r = new rewrite::BuiltinRegistry();
+    r->InstallStandard();
+    magic::InstallMagicBuiltins(r);
+    rules::InstallSemanticBuiltins(r);
+    return r;
+  }();
+  return *reg;
+}
+
+struct UnsoundRule {
+  const char* name;        // rule name, also the test label
+  const char* source;      // one-rule library text
+  const char* expect_id;   // the EDS-Sxxx id the verifier must pin on it
+};
+
+class UnsoundCorpusTest : public ::testing::TestWithParam<UnsoundRule> {};
+
+TEST_P(UnsoundCorpusTest, FlaggedWithExpectedIdAndCounterexample) {
+  const UnsoundRule& p = GetParam();
+  lint::LintReport report = VerifyLibrary(p.source, Registry());
+  std::vector<lint::Diagnostic> hits = report.WithId(p.expect_id);
+  ASSERT_EQ(hits.size(), 1u) << p.name << ":\n" << report.ToString();
+  const lint::Diagnostic& d = hits[0];
+  EXPECT_EQ(d.rule, p.name);
+  // Every divergence/multiplicity finding replays by hand: it names the
+  // database, shows both result sets, and carries the literal binding.
+  EXPECT_NE(d.message.find("instance:"), std::string::npos) << d.ToString();
+  EXPECT_NE(d.message.find("binding:"), std::string::npos) << d.ToString();
+  if (p.expect_id == std::string(kVerifyDivergence)) {
+    EXPECT_NE(d.message.find("database:"), std::string::npos) << d.ToString();
+    EXPECT_NE(d.message.find("lhs rows:"), std::string::npos) << d.ToString();
+    EXPECT_NE(d.message.find("rhs rows:"), std::string::npos) << d.ToString();
+    EXPECT_EQ(report.error_count(), 1u) << report.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, UnsoundCorpusTest,
+    ::testing::Values(
+        // Dropping a conjunct weakens the qualification: extra rows.
+        UnsoundRule{"drop_predicate",
+                    "drop_predicate : SEARCH(i, f AND g, p) / "
+                    "--> SEARCH(i, f, p) / ;",
+                    kVerifyDivergence},
+        // Swapping inputs without remapping $1/$2 references.
+        UnsoundRule{"swap_join_sides",
+                    "swap_join_sides : SEARCH(LIST(x, y), f, p) / "
+                    "--> SEARCH(LIST(y, x), f, p) / ;",
+                    kVerifyDivergence},
+        // Losing duplicate elimination preserves the set, not the bag.
+        UnsoundRule{"drop_dedup",
+                    "drop_dedup : DEDUP(x) / --> x / ;",
+                    kVerifyMultiplicity},
+        // Forgetting a union branch loses its rows.
+        UnsoundRule{"drop_union_branch",
+                    "drop_union_branch : UNION(SET(x, y)) / --> x / ;",
+                    kVerifyDivergence},
+        // Strengthening the qualification drops rows the query asked for.
+        UnsoundRule{"strengthen_filter",
+                    "strengthen_filter : SEARCH(i, f, p) / "
+                    "--> SEARCH(i, f AND ($1.1 = 1), p) / ;",
+                    kVerifyDivergence},
+        // Reversing a comparison is not an identity.
+        UnsoundRule{"flip_lt",
+                    "flip_lt : (x < y) / --> (y < x) / ;",
+                    kVerifyDivergence}),
+    [](const ::testing::TestParamInfo<UnsoundRule>& info) {
+      return info.param.name;
+    });
+
+// The minimizer must shrink the drop_predicate counterexample database: the
+// full 'base' corner has 3+ rows per table; a single-table single-digit
+// witness is enough to show the dropped conjunct.
+TEST(UnsoundMinimizeTest, CounterexampleDatabasesAreMinimized) {
+  lint::LintReport report = VerifyLibrary(
+      "drop_predicate : SEARCH(i, f AND g, p) / --> SEARCH(i, f, p) / ;",
+      Registry());
+  std::vector<lint::Diagnostic> hits = report.WithId(kVerifyDivergence);
+  ASSERT_EQ(hits.size(), 1u) << report.ToString();
+  const std::string& msg = hits[0].message;
+  size_t db_pos = msg.find("database:");
+  size_t lhs_pos = msg.find("lhs rows:");
+  ASSERT_NE(db_pos, std::string::npos);
+  ASSERT_NE(lhs_pos, std::string::npos);
+  // Count rows in the minimized database: tuples print as "(a, b)".
+  size_t rows = 0;
+  for (size_t i = db_pos; i < lhs_pos; ++i) {
+    if (msg[i] == '(') ++rows;
+  }
+  EXPECT_LE(rows, 2u) << msg;
+}
+
+}  // namespace
+}  // namespace eds::verify

@@ -1,26 +1,25 @@
-// eds_lint — standalone linter for rule-language source files.
+// eds_verify — bounded semantic equivalence checker for rule files.
 //
-//   $ eds_lint rules.edsr              # lint one or more files
-//   $ eds_lint -                       # lint stdin
-//   $ eds_lint --builtin               # lint the built-in rule libraries
-//   $ eds_lint --werror rules.edsr     # warnings fail the run too
+//   $ eds_verify rules.edsr            # verify one or more files
+//   $ eds_verify -                     # verify stdin
+//   $ eds_verify --builtin             # verify the built-in rule libraries
+//   $ eds_verify --werror rules.edsr   # warnings fail the run too
 //
-// Pass toggles: --no-divergence --no-dead --no-shadowing --no-hygiene.
-// --verify additionally runs the bounded soundness checker (EDS-Sxxx
-// findings, see docs/rule_verify.md) over every unit after linting it.
-// Exit status: 0 clean (or warnings only), 1 lint errors, 2 usage/IO error.
+// For every rule the verifier instantiates the LHS over small generated
+// databases (duplicate / NULL / empty corners plus seeded random fills),
+// applies the rule once, executes both sides, and reports divergence as
+// EDS-Sxxx diagnostics with a minimized counterexample. This is
+// falsification, not proof — see docs/rule_verify.md.
 //
-// The linter assumes the standard builtin registry (standard methods +
-// magic + semantic): a rule file calling methods outside that set reports
-// EDS-L001. Catalog-dependent ISA type checks are off here — there is no
-// catalog on the command line.
+// Exit status: 0 sound within bounds (or warnings only), 1 soundness
+// errors, 2 usage/IO error.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "lint/lint.h"
 #include "magic/magic.h"
 #include "rules/extensions.h"
 #include "rules/fixpoint.h"
@@ -50,22 +49,21 @@ std::vector<NamedSource> BuiltinSources() {
 }
 
 int Usage() {
-  std::cerr
-      << "usage: eds_lint [options] <file.edsr ... | - | --builtin>\n"
-         "  --builtin        lint the built-in rule libraries\n"
-         "  --werror         treat warnings as errors (exit 1)\n"
-         "  --verify         also run the bounded soundness checker\n"
-         "  --no-divergence  --no-dead  --no-shadowing  --no-hygiene\n";
+  std::cerr << "usage: eds_verify [options] <file.edsr ... | - | --builtin>\n"
+               "  --builtin       verify the built-in rule libraries\n"
+               "  --werror        treat warnings as errors (exit 1)\n"
+               "  --seed N        instance-generation seed (default 42)\n"
+               "  --no-minimize   keep full counterexample databases\n"
+               "  --no-notes      suppress EDS-S010/EDS-S011 notes\n";
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  eds::lint::LintOptions opts;
+  eds::verify::VerifyOptions opts;
   bool werror = false;
   bool builtin = false;
-  bool run_verify = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -73,18 +71,14 @@ int main(int argc, char** argv) {
       builtin = true;
     } else if (arg == "--werror") {
       werror = true;
-    } else if (arg == "--verify") {
-      run_verify = true;
-    } else if (arg == "--no-divergence") {
-      opts.check_divergence = false;
-    } else if (arg == "--no-dead") {
-      opts.check_dead_rules = false;
-    } else if (arg == "--no-shadowing") {
-      opts.check_shadowing = false;
+    } else if (arg == "--no-minimize") {
+      opts.minimize = false;
+    } else if (arg == "--no-notes") {
+      opts.report_coverage_notes = false;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      opts.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
       return Usage();
-    } else if (arg == "--no-hygiene") {
-      opts.check_hygiene = false;
     } else if (arg != "-" && !arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option: " << arg << "\n";
       return Usage();
@@ -124,21 +118,15 @@ int main(int argc, char** argv) {
 
   size_t errors = 0, warnings = 0;
   for (const NamedSource& src : sources) {
+    eds::verify::VerifySummary summary;
     eds::lint::LintReport report =
-        eds::lint::LintSource(src.text, builtins, opts);
-    if (run_verify) {
-      eds::lint::LintReport vreport =
-          eds::verify::VerifyLibrary(src.text, builtins);
-      for (const eds::lint::Diagnostic& d : vreport.diagnostics()) {
-        report.Add(d);
-      }
-      report.SortByLocation();
-    }
+        eds::verify::VerifyLibrary(src.text, builtins, opts, &summary);
     errors += report.error_count();
     warnings += report.warning_count();
     for (const eds::lint::Diagnostic& d : report.diagnostics()) {
       std::cout << src.name << ": " << d.ToString() << "\n";
     }
+    std::cout << src.name << ": " << summary.ToString() << "\n";
   }
   std::cout << sources.size() << " unit(s), " << errors << " error(s), "
             << warnings << " warning(s)\n";
