@@ -25,7 +25,8 @@
 // With --threads=N the shell routes SELECTs through the srv::QueryService
 // (N workers, plan cache, governor-aware admission); two more commands
 // come alive:
-//   \cache [clear]    show (or drop) the rewritten-plan cache
+//   \cache [clear]    show (or drop) both cache layers (L0 exact-text +
+//                     rewritten-plan)
 //   \serve N SELECT ... submit N copies concurrently and report throughput
 // and --trace-out merges every worker's spans into one Chrome trace.
 #include <unistd.h>
@@ -330,6 +331,7 @@ class Shell {
     }
     if (clear) {
       service_->cache().InvalidateAll();
+      service_->l0_cache().InvalidateAll();
       std::cout << "cache cleared\n";
       return;
     }
@@ -341,6 +343,10 @@ class Shell {
               << "evictions:       " << s.evictions << "\n"
               << "insert failures: " << s.insert_failures << "\n"
               << "invalidations:   " << s.invalidations << "\n";
+    eds::srv::L0Cache::Stats l0 = service_->l0_cache().GetStats();
+    std::cout << "l0 (exact text): " << l0.entries << " entries, "
+              << l0.hits << " / " << l0.misses << " hits / misses, "
+              << l0.invalidations << " invalidated\n";
     eds::srv::ServiceStats ss = service_->GetStats();
     std::cout << "served: " << ss.completed << " ok, " << ss.failed
               << " failed, " << ss.rejected << " shed (max queue depth "
@@ -521,7 +527,9 @@ class Shell {
       }
       serve_note = std::string("; worker ") +
                    std::to_string(served->worker_id) +
-                   (served->cache_hit ? ", cache hit" : ", cache miss");
+                   (served->l0_hit        ? ", l0 hit"
+                    : served->cache_hit ? ", cache hit"
+                                        : ", cache miss");
       owned = std::move(served->result);
       shown = &owned;
     } else {

@@ -42,13 +42,17 @@ void DedupRows(Rows* rows) {
 
 Result<Rows> Executor::Execute(const term::TermRef& plan) {
   FixEnv env;
+  const uint64_t copies_before = value::ValueCopyCount();
   Result<Rows> out = Eval(plan, env);
+  stats_.value_copies += value::ValueCopyCount() - copies_before;
   if (out.ok()) stats_.rows_output += out->size();
   return out;
 }
 
 const Rows* Executor::TryBorrowStoredRows(const term::TermRef& t,
-                                          const FixEnv& env) {
+                                          const FixEnv& env,
+                                          const vec::Batch** batch) {
+  if (batch != nullptr) *batch = nullptr;
   if (!lera::IsRelation(t)) return nullptr;
   Result<std::string> name = lera::RelationName(t);
   if (!name.ok()) return nullptr;
@@ -59,6 +63,7 @@ const Rows* Executor::TryBorrowStoredRows(const term::TermRef& t,
   Result<const Table*> table = db_->GetTable(*name);
   if (!table.ok()) return nullptr;
   stats_.rows_scanned += (*table)->size();
+  if (batch != nullptr && options_.vectorized) *batch = &(*table)->batch();
   return &(*table)->rows();
 }
 
@@ -90,8 +95,19 @@ Result<Rows> Executor::Eval(const term::TermRef& t, const FixEnv& env) {
       name += "term";
     }
     obs::Span span(sink, std::move(name), "exec");
+    const size_t batches_before = stats_.batches;
+    const size_t vec_rows_before = stats_.vec_rows;
     out = EvalDispatch(t, env);
-    if (out.ok()) span.Arg("rows", static_cast<int64_t>(out->size()));
+    if (out.ok()) {
+      span.Arg("rows", static_cast<int64_t>(out->size()));
+      const size_t batch_count = stats_.batches - batches_before;
+      if (batch_count > 0) {
+        span.Arg("batch_count", static_cast<int64_t>(batch_count));
+        span.Arg("rows_per_batch",
+                 static_cast<int64_t>((stats_.vec_rows - vec_rows_before) /
+                                      batch_count));
+      }
+    }
   }
   if (out.ok() && guard != nullptr && guard->AddRows(out->size())) {
     return guard->TripStatus();
@@ -130,13 +146,29 @@ Result<Rows> Executor::EvalDispatch(const term::TermRef& t,
   if (f == lera::kDifference || f == lera::kIntersect) {
     return EvalSetOp(t, env);
   }
-  if (f == lera::kFilter) return EvalFilter(t, env);
-  if (f == lera::kProject) return EvalProject(t, env);
-  if (f == lera::kJoin) return EvalJoin(t, env);
+  // FILTER/PROJECT/JOIN try the columnar kernels first; any failure other
+  // than a governor trip restores the stats snapshot and reruns the row
+  // path, which reproduces the precise result or user-visible error.
+  if (f == lera::kFilter || f == lera::kProject || f == lera::kJoin) {
+    if (options_.vectorized) {
+      ExecStats saved = stats_;
+      Result<Rows> out = f == lera::kFilter   ? EvalFilterVec(t, env)
+                         : f == lera::kProject ? EvalProjectVec(t, env)
+                                               : EvalJoinVec(t, env);
+      if (out.ok() || out.status().code() == StatusCode::kResourceExhausted) {
+        return out;
+      }
+      stats_ = saved;
+      ++stats_.vec_fallbacks;
+    }
+    if (f == lera::kFilter) return EvalFilter(t, env);
+    if (f == lera::kProject) return EvalProject(t, env);
+    return EvalJoin(t, env);
+  }
   if (f == lera::kNest) return EvalNest(t, env);
   if (f == lera::kDedup) {
     EDS_ASSIGN_OR_RETURN(Rows rows, Eval(t->arg(0), env));
-    DedupRows(&rows);
+    DedupMaybeVec(&rows);
     return rows;
   }
   if (f == lera::kUnnest) return EvalUnnest(t, env);

@@ -36,6 +36,12 @@ struct ExecOptions {
   // surfaces as Status::ResourceExhausted; ExecStats keep their partial
   // values. Non-owning; must outlive the executor.
   gov::QueryGuard* guard = nullptr;
+  // Columnar batch execution for SEARCH/FILTER/PROJECT/JOIN/DEDUP (and the
+  // dedups inside UNION, set ops and fixpoint rounds). Results are
+  // byte-identical to the row path — operators the kernels cannot handle
+  // fall back per operator (counted in ExecStats::vec_fallbacks). False
+  // forces the row-at-a-time oracle everywhere.
+  bool vectorized = true;
 };
 
 struct ExecStats {
@@ -44,6 +50,10 @@ struct ExecStats {
   size_t rows_output = 0;        // rows produced by the top operator
   size_t fix_iterations = 0;     // fixpoint rounds across all FIX operators
   size_t fix_tuples = 0;         // tuples accumulated by FIX operators
+  size_t batches = 0;            // vectorized kernel invocations
+  size_t vec_rows = 0;           // rows pushed through vectorized kernels
+  size_t vec_fallbacks = 0;      // operators that fell back to the row path
+  size_t value_copies = 0;       // Value copy-constructions during Execute()
 
   void Reset() { *this = ExecStats(); }
 };
@@ -86,8 +96,11 @@ class Executor {
   // like an evaluated scan). Null when `t` genuinely needs evaluation
   // (views, operator trees, unknown names: Eval reports those errors).
   // SEARCH feeds on borrowed inputs where it can so a scan over a stored
-  // table never deep-copies the table first.
-  const Rows* TryBorrowStoredRows(const term::TermRef& t, const FixEnv& env);
+  // table never deep-copies the table first. When `batch` is non-null it
+  // receives the table's cached columnar image (null for fixpoint
+  // bindings, which are row vectors).
+  const Rows* TryBorrowStoredRows(const term::TermRef& t, const FixEnv& env,
+                                  const vec::Batch** batch = nullptr);
 
   // operators.cc
   Result<Rows> EvalSearch(const term::TermRef& t, const FixEnv& env);
@@ -103,6 +116,29 @@ class Executor {
 
   // fixpoint_eval.cc
   Result<Rows> EvalFix(const term::TermRef& t, const FixEnv& env);
+
+  // vec/vec_exec.cc — vectorized operators. Callers go through the
+  // *MaybeVec wrappers: a vectorized attempt whose error is anything but
+  // ResourceExhausted (a governor trip, always final) restores the stats
+  // snapshot, counts a fallback and reruns the row-path oracle, which
+  // reproduces the precise user-visible error or result.
+  Result<Rows> SearchWithInputsMaybeVec(
+      const term::TermRef& search, const std::vector<const Rows*>& inputs,
+      const std::vector<const vec::Batch*>& batches);
+  Result<Rows> EvalSearchWithInputsVec(
+      const term::TermRef& search, const std::vector<const Rows*>& inputs,
+      const std::vector<const vec::Batch*>& batches);
+  Result<Rows> EvalFilterVec(const term::TermRef& t, const FixEnv& env);
+  Result<Rows> EvalProjectVec(const term::TermRef& t, const FixEnv& env);
+  Result<Rows> EvalJoinVec(const term::TermRef& t, const FixEnv& env);
+  // Sorted set-semantics dedup: vectorized hash grouping when profitable,
+  // DedupRows otherwise; output identical either way.
+  void DedupMaybeVec(Rows* rows);
+  // Borrows `t`'s rows (setting *batch, *borrowed) or evaluates into
+  // *owned. Used by the unary/binary vectorized operators.
+  Result<const Rows*> ChildRows(const term::TermRef& t, const FixEnv& env,
+                                Rows* owned, const vec::Batch** batch,
+                                bool* borrowed);
 
   EvalContext MakeExprContext() const;
 

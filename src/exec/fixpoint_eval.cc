@@ -80,8 +80,9 @@ Result<Rows> Executor::EvalFix(const term::TermRef& t, const FixEnv& env) {
       inner[key] = &total;
       EDS_ASSIGN_OR_RETURN(Rows produced, Eval(body, inner));
       size_t before = total.size();
-      total.insert(total.end(), produced.begin(), produced.end());
-      DedupRows(&total);
+      total.insert(total.end(), std::make_move_iterator(produced.begin()),
+                   std::make_move_iterator(produced.end()));
+      DedupMaybeVec(&total);
       stats_.fix_tuples += total.size() - before;
       if (options_.trace_sink != nullptr) {
         round_span.Arg("new_tuples",
@@ -101,7 +102,7 @@ Result<Rows> Executor::EvalFix(const term::TermRef& t, const FixEnv& env) {
     FixEnv inner = env;
     inner[key] = &total;
     EDS_ASSIGN_OR_RETURN(Rows produced, Eval(body, inner));
-    DedupRows(&produced);
+    DedupMaybeVec(&produced);
     total = produced;
     delta = std::move(produced);
     stats_.fix_tuples += total.size();
@@ -141,38 +142,49 @@ Result<Rows> Executor::EvalFix(const term::TermRef& t, const FixEnv& env) {
       for (size_t which : occurrences) {
         // Delta/total/stored inputs are borrowed, not copied, per round;
         // `owned` is reserved so pointers to its elements stay stable.
+        // Delta/total bindings are row vectors, so their batch slot stays
+        // null and the vectorized search converts them per round.
         std::vector<Rows> owned;
         owned.reserve(input_terms.size());
         std::vector<const Rows*> inputs;
         inputs.reserve(input_terms.size());
+        std::vector<const vec::Batch*> batches;
+        batches.reserve(input_terms.size());
         for (size_t i = 0; i < input_terms.size(); ++i) {
           if (i == which) {
             inputs.push_back(&delta);
+            batches.push_back(nullptr);
             continue;
           }
           if (std::find(occurrences.begin(), occurrences.end(), i) !=
               occurrences.end()) {
             inputs.push_back(&total);
+            batches.push_back(nullptr);
             continue;
           }
           FixEnv inner = env;
           inner[key] = &total;
-          if (const Rows* stored = TryBorrowStoredRows(input_terms[i], inner)) {
+          const vec::Batch* batch = nullptr;
+          if (const Rows* stored =
+                  TryBorrowStoredRows(input_terms[i], inner, &batch)) {
             inputs.push_back(stored);
+            batches.push_back(batch);
             continue;
           }
           Result<Rows> rows = Eval(input_terms[i], inner);
           EDS_RETURN_IF_ERROR(rows.status());
           owned.push_back(std::move(*rows));
           inputs.push_back(&owned.back());
+          batches.push_back(nullptr);
         }
         EDS_ASSIGN_OR_RETURN(Rows branch_rows,
-                             EvalSearchWithInputs(branch, inputs));
-        produced.insert(produced.end(), branch_rows.begin(),
-                        branch_rows.end());
+                             SearchWithInputsMaybeVec(branch, inputs, batches));
+        produced.insert(produced.end(),
+                        std::make_move_iterator(branch_rows.begin()),
+                        std::make_move_iterator(branch_rows.end()));
       }
     }
-    DedupRows(&produced);
+    DedupMaybeVec(&produced);
     Rows new_delta;
     for (Row& row : produced) {
       if (!ContainsRow(total, row)) new_delta.push_back(std::move(row));

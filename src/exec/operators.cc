@@ -36,21 +36,27 @@ Result<Rows> Executor::EvalSearch(const term::TermRef& t, const FixEnv& env) {
   }
   // Stored inputs are borrowed straight from the table (or fixpoint
   // binding); only derived inputs are materialized into `owned`, whose
-  // reserve keeps the borrowed pointers stable.
+  // reserve keeps the borrowed pointers stable. Borrowed tables carry
+  // their cached columnar image for the vectorized path.
   std::vector<Rows> owned;
   owned.reserve(input_terms.size());
   std::vector<const Rows*> inputs;
   inputs.reserve(input_terms.size());
+  std::vector<const vec::Batch*> batches;
+  batches.reserve(input_terms.size());
   for (const TermRef& in : input_terms) {
-    if (const Rows* stored = TryBorrowStoredRows(in, env)) {
+    const vec::Batch* batch = nullptr;
+    if (const Rows* stored = TryBorrowStoredRows(in, env, &batch)) {
       inputs.push_back(stored);
+      batches.push_back(batch);
       continue;
     }
     EDS_ASSIGN_OR_RETURN(Rows rows, Eval(in, env));
     owned.push_back(std::move(rows));
     inputs.push_back(&owned.back());
+    batches.push_back(nullptr);
   }
-  return EvalSearchWithInputs(t, inputs);
+  return SearchWithInputsMaybeVec(t, inputs, batches);
 }
 
 Result<Rows> Executor::EvalSearchWithInputs(
@@ -123,25 +129,26 @@ Result<Rows> Executor::EvalUnion(const term::TermRef& t, const FixEnv& env) {
   Rows out;
   for (const TermRef& in : inputs) {
     EDS_ASSIGN_OR_RETURN(Rows rows, Eval(in, env));
-    out.insert(out.end(), rows.begin(), rows.end());
+    out.insert(out.end(), std::make_move_iterator(rows.begin()),
+               std::make_move_iterator(rows.end()));
   }
-  DedupRows(&out);
+  DedupMaybeVec(&out);
   return out;
 }
 
 Result<Rows> Executor::EvalSetOp(const term::TermRef& t, const FixEnv& env) {
   EDS_ASSIGN_OR_RETURN(Rows a, Eval(t->arg(0), env));
   EDS_ASSIGN_OR_RETURN(Rows b, Eval(t->arg(1), env));
-  DedupRows(&a);
-  DedupRows(&b);
+  DedupMaybeVec(&a);
+  DedupMaybeVec(&b);
   Rows out;
   const bool difference = t->functor() == lera::kDifference;
-  for (const Row& row : a) {
+  for (Row& row : a) {
     bool in_b = std::binary_search(
         b.begin(), b.end(), row, [](const Row& x, const Row& y) {
           return CompareRows(x, y) < 0;
         });
-    if (in_b != difference) out.push_back(row);
+    if (in_b != difference) out.push_back(std::move(row));
   }
   return out;
 }
@@ -151,11 +158,11 @@ Result<Rows> Executor::EvalFilter(const term::TermRef& t, const FixEnv& env) {
   EvalContext ctx = MakeExprContext();
   ctx.current.assign(1, nullptr);
   Rows out;
-  for (const Row& row : input) {
+  for (Row& row : input) {
     ctx.current[0] = &row;
     ++stats_.qual_evaluations;
     EDS_ASSIGN_OR_RETURN(bool ok, EvalPredicate(t->arg(1), &ctx));
-    if (ok) out.push_back(row);
+    if (ok) out.push_back(std::move(row));
   }
   return out;
 }
@@ -196,7 +203,9 @@ Result<Rows> Executor::EvalJoin(const term::TermRef& t, const FixEnv& env) {
       ++stats_.qual_evaluations;
       EDS_ASSIGN_OR_RETURN(bool ok, EvalPredicate(t->arg(2), &ctx));
       if (!ok) continue;
-      Row row = ra;
+      Row row;
+      row.reserve(ra.size() + rb.size());
+      row.insert(row.end(), ra.begin(), ra.end());
       row.insert(row.end(), rb.begin(), rb.end());
       out.push_back(std::move(row));
     }
@@ -218,34 +227,35 @@ Result<Rows> Executor::EvalNest(const term::TermRef& t, const FixEnv& env) {
     nested.push_back(static_cast<size_t>(c->constant().AsInt()));
   }
   // Group by the non-nested columns, preserving first-seen group order.
-  std::map<Row, std::vector<Value>,
-           bool (*)(const Row&, const Row&)>
-      groups(+[](const Row& a, const Row& b) {
-        return CompareRows(a, b) < 0;
-      });
-  std::vector<const Row*> order;
-  std::vector<Row> group_keys;
-  for (const Row& row : input) {
+  // Keys live once, in the map; the order index borrows map iterators
+  // instead of copying each key two more times.
+  using GroupMap =
+      std::map<Row, std::vector<Value>, bool (*)(const Row&, const Row&)>;
+  GroupMap groups(+[](const Row& a, const Row& b) {
+    return CompareRows(a, b) < 0;
+  });
+  std::vector<GroupMap::iterator> order;
+  for (Row& row : input) {
     Row key;
     std::vector<Value> collected;
     for (size_t i = 0; i < row.size(); ++i) {
       if (std::find(nested.begin(), nested.end(), i + 1) != nested.end()) {
-        collected.push_back(row[i]);
+        collected.push_back(std::move(row[i]));
       } else {
-        key.push_back(row[i]);
+        key.push_back(std::move(row[i]));
       }
     }
-    Value elem = collected.size() == 1 ? collected[0]
+    Value elem = collected.size() == 1 ? std::move(collected[0])
                                        : Value::Tuple(std::move(collected));
-    auto [it, inserted] = groups.emplace(key, std::vector<Value>{});
-    if (inserted) group_keys.push_back(key);
+    auto [it, inserted] = groups.emplace(std::move(key), std::vector<Value>{});
+    if (inserted) order.push_back(it);
     it->second.push_back(std::move(elem));
   }
   Rows out;
-  out.reserve(group_keys.size());
-  for (const Row& key : group_keys) {
-    Row row = key;
-    row.push_back(Value::Set(groups.at(key)));
+  out.reserve(order.size());
+  for (GroupMap::iterator it : order) {
+    Row row = it->first;
+    row.push_back(Value::Set(std::move(it->second)));
     out.push_back(std::move(row));
   }
   return out;
@@ -270,6 +280,11 @@ Result<Rows> Executor::EvalUnnest(const term::TermRef& t, const FixEnv& env) {
     }
     for (const Value& elem : coll.elements()) {
       Row expanded;
+      expanded.reserve(row.size() +
+                       (elem.kind() == value::ValueKind::kTuple
+                            ? elem.tuple().values.size()
+                            : 1) -
+                       1);
       for (size_t i = 0; i < row.size(); ++i) {
         if (i + 1 == col) {
           if (elem.kind() == value::ValueKind::kTuple) {

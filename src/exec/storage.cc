@@ -11,7 +11,31 @@ Status Table::Insert(Row row) {
         std::to_string(column_count_));
   }
   rows_.push_back(std::move(row));
+  InvalidateBatch();
   return Status::OK();
+}
+
+const vec::Batch& Table::batch() const {
+  BatchCache* cache = cache_.get();
+  if (!cache->built.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(cache->mu);
+    if (!cache->built.load(std::memory_order_relaxed)) {
+      vec::Batch built;
+      vec::Batch::FromRows(rows_, &built);  // Insert enforces arity: never ragged
+      // Keep the table's width visible even with no rows, so batch
+      // consumers see the right arity.
+      if (rows_.empty()) built.cols.resize(column_count_);
+      cache->batch = std::move(built);
+      cache->built.store(true, std::memory_order_release);
+    }
+  }
+  return cache->batch;
+}
+
+void Table::InvalidateBatch() {
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  cache_->batch = vec::Batch();
+  cache_->built.store(false, std::memory_order_release);
 }
 
 value::Value ObjectHeap::New(std::string type_name, value::Value state) {

@@ -1,12 +1,16 @@
 #ifndef EDS_EXEC_STORAGE_H_
 #define EDS_EXEC_STORAGE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "exec/vec/column.h"
 #include "value/value.h"
 
 namespace eds::exec {
@@ -19,18 +23,38 @@ using Rows = std::vector<Row>;
 // In-memory stored table.
 class Table {
  public:
-  explicit Table(size_t column_count) : column_count_(column_count) {}
+  explicit Table(size_t column_count)
+      : column_count_(column_count), cache_(new BatchCache) {}
 
   size_t column_count() const { return column_count_; }
   const Rows& rows() const { return rows_; }
   size_t size() const { return rows_.size(); }
 
   Status Insert(Row row);
-  void Clear() { rows_.clear(); }
+  void Clear() {
+    rows_.clear();
+    InvalidateBatch();
+  }
+
+  // Columnar image of rows(), built lazily on first use and cached until
+  // the next Insert/Clear. Concurrent readers are safe (double-checked
+  // build under a mutex); readers racing writers are excluded by the same
+  // serving contract that already protects rows_ itself.
+  const vec::Batch& batch() const;
 
  private:
+  // Heap-held so Table stays movable (map emplacement) despite the mutex.
+  struct BatchCache {
+    std::mutex mu;
+    std::atomic<bool> built{false};
+    vec::Batch batch;
+  };
+
+  void InvalidateBatch();
+
   size_t column_count_;
   Rows rows_;
+  std::unique_ptr<BatchCache> cache_;
 };
 
 // An object with identity: its dynamic type name and its tuple value (field

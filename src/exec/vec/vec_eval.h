@@ -1,0 +1,48 @@
+#ifndef EDS_EXEC_VEC_VEC_EVAL_H_
+#define EDS_EXEC_VEC_VEC_EVAL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/expr_eval.h"
+#include "exec/vec/column.h"
+#include "term/term.h"
+
+namespace eds::exec::vec {
+
+// Shared so ATTR references can alias a batch column without copying it.
+using ColumnPtr = std::shared_ptr<const ColumnVector>;
+
+// Batch evaluation context: one combined batch whose columns are the
+// concatenated columns of the operator's bound inputs. Input i (1-based)
+// owns columns [offsets[i-1], offsets[i]), so ATTR(i, j) resolves to
+// column offsets[i-1] + j - 1.
+struct ExprFrame {
+  const Batch* batch = nullptr;
+  std::vector<uint32_t> offsets;  // size = bound inputs + 1; offsets[0] == 0
+  const Database* db = nullptr;
+  const value::FunctionLibrary* library = nullptr;
+};
+
+// Evaluates a scalar expression over every row of the frame's batch.
+// Comparisons and AND/OR/NOT run as columnar kernels; constants broadcast;
+// ATTR aliases the input column zero-copy; everything else (FIELD, VALUE,
+// quantifiers, function calls, collection literals) evaluates per row
+// through the scalar EvalExpr, so semantics cannot drift. Errors make the
+// calling operator fall back to the row path, which reproduces the precise
+// per-row diagnostic; note a batched AND/OR evaluates both operands, so a
+// row the scalar path would have short-circuited past can surface an error
+// here — the fallback then yields the scalar path's (error-free) answer.
+Result<ColumnPtr> EvalExprBatch(const term::TermRef& expr,
+                                const ExprFrame& frame);
+
+// Qualification semantics over a whole batch: the selection of rows whose
+// predicate is a valid TRUE (NULL counts as false, non-boolean is a
+// TypeError), ascending.
+Result<SelectionVector> EvalPredicateBatch(const term::TermRef& qual,
+                                           const ExprFrame& frame);
+
+}  // namespace eds::exec::vec
+
+#endif  // EDS_EXEC_VEC_VEC_EVAL_H_

@@ -92,6 +92,10 @@ void ExportExecStats(const exec::ExecStats& stats, MetricsRegistry* registry) {
   registry->Counter("exec.rows_output", stats.rows_output);
   registry->Counter("exec.fix_iterations", stats.fix_iterations);
   registry->Counter("exec.fix_tuples", stats.fix_tuples);
+  registry->Counter("exec.batches", stats.batches);
+  registry->Counter("exec.vec_rows", stats.vec_rows);
+  registry->Counter("exec.vec_fallbacks", stats.vec_fallbacks);
+  registry->Counter("exec.value_copies", stats.value_copies);
 }
 
 void ExportInternerStats(const term::Interner::Stats& stats,

@@ -1,0 +1,100 @@
+#ifndef EDS_SRV_L0_CACHE_H_
+#define EDS_SRV_L0_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "term/term.h"
+
+namespace eds::srv {
+
+// Level-0 exact-text plan cache: the cheapest possible serving fast path,
+// consulted before the parser even runs. The key is the query text after a
+// lexical normalization (whitespace collapsed, comments stripped, case
+// folded outside string literals) — no parse, no fingerprint, just one
+// string hash. A hit replays the fully instantiated optimized plan plus
+// its result columns, skipping parse, translate, rewrite, fingerprinting
+// AND schema inference; only execution runs. Queries that differ only in
+// literals miss here and fall through to the structural plan cache
+// (srv/plan_cache.h), which is exactly the layering: L0 catches verbatim
+// repeats (dashboards, retries), L1 catches parameterized repeats.
+//
+// Invalidation mirrors the plan cache: each entry remembers the catalog
+// and rule-library epochs it was built under, and a lookup that finds a
+// stale entry drops it (counted as an invalidation) and reports a miss.
+//
+// Concurrency: one mutex around a classic LRU (list + index). The critical
+// section is a string hash and a list splice — contention is negligible
+// next to query execution, so sharding would be ceremony.
+class L0Cache {
+ public:
+  struct Entry {
+    term::TermRef raw_plan;        // pre-rewrite plan (for QueryResult)
+    term::TermRef plan;            // optimized, fully instantiated plan
+    std::vector<std::string> columns;  // inferred output column names
+    uint64_t catalog_epoch = 0;
+    uint64_t rules_epoch = 0;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;      // capacity evictions (LRU tail)
+    uint64_t invalidations = 0;  // stale-epoch entries dropped at lookup
+    uint64_t entries = 0;        // live entries
+  };
+
+  explicit L0Cache(size_t capacity) : capacity_(capacity) {}
+
+  L0Cache(const L0Cache&) = delete;
+  L0Cache& operator=(const L0Cache&) = delete;
+
+  // Returns a copy of the entry for `normalized` and bumps it to
+  // most-recent, or nullopt. An entry whose epochs do not match the
+  // current ones is erased (invalidation) and reported as a miss.
+  std::optional<Entry> Lookup(const std::string& normalized,
+                              uint64_t catalog_epoch, uint64_t rules_epoch);
+
+  // Inserts (or refreshes) the entry, evicting the LRU tail past capacity.
+  // A zero-capacity cache is a counted no-op.
+  void Insert(const std::string& normalized, Entry entry);
+
+  // Drops every entry (the shell's \cache clear).
+  void InvalidateAll();
+
+  Stats GetStats() const;
+
+ private:
+  struct Node {
+    std::string key;
+    Entry entry;
+  };
+  using NodeList = std::list<Node>;  // most-recent first
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  NodeList lru_;
+  std::unordered_map<std::string, NodeList::iterator> index_;
+  Stats stats_;
+};
+
+// Lexical normalization for L0 keying: '--' comments become whitespace,
+// whitespace runs collapse to one space, letters fold to upper case —
+// except inside single-quoted string literals, which pass through verbatim
+// ('' doubling included). Leading/trailing whitespace is trimmed. Purely
+// lexical: never parses, never fails.
+std::string NormalizeQueryText(std::string_view esql);
+
+// Metrics exporter, mirroring ExportCacheStats: srv.l0.*.
+void ExportL0Stats(const L0Cache::Stats& stats, obs::MetricsRegistry* registry);
+
+}  // namespace eds::srv
+
+#endif  // EDS_SRV_L0_CACHE_H_

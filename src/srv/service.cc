@@ -34,7 +34,10 @@ gov::GovernorLimits DeriveLimits(const gov::GovernorLimits& base,
 
 QueryService::QueryService(exec::Session* session,
                            const ServiceOptions& options)
-    : session_(session), options_(options), cache_(options.cache) {}
+    : session_(session),
+      options_(options),
+      cache_(options.cache),
+      l0_(options.use_l0 ? options.l0_capacity : 0) {}
 
 QueryService::~QueryService() { Stop(); }
 
@@ -191,6 +194,45 @@ Result<ServedQuery> QueryService::ServeNow(const std::string& esql,
         "query governor: cancelled: cancelled while queued");
   }
 
+  // Level 0: exact-text lookup before the parser runs. A hit replays the
+  // fully instantiated plan and its columns — parse, translate, rewrite
+  // and schema inference are all skipped (their phase times stay 0) and
+  // the query goes straight to governed execution.
+  std::string l0_key;
+  if (options_.use_l0) {
+    l0_key = NormalizeQueryText(esql);
+    std::optional<L0Cache::Entry> hit = l0_.Lookup(
+        l0_key, session_->catalog().epoch(), session_->rules_epoch());
+    if (hit.has_value()) {
+      obs::Span l0_span(sink, "srv.l0.replay", "srv");
+      served.l0_hit = true;
+      result.raw_plan = hit->raw_plan;
+      result.optimized_plan = hit->plan;
+      result.columns = hit->columns;
+      gov::QueryGuard guard;
+      if (granted.any()) guard.Arm(granted);
+      exec::ExecOptions exec_options = options_.exec_options;
+      exec_options.trace_sink = sink;
+      if (granted.any() && exec_options.guard == nullptr) {
+        exec_options.guard = &guard;
+      }
+      uint64_t e0 = obs::NowNs();
+      {
+        obs::Span span(sink, "phase.execute", "phase");
+        exec::Executor executor(&session_->catalog(), &session_->db(),
+                                exec_options);
+        Result<exec::Rows> rows = executor.Execute(hit->plan);
+        result.exec_stats = executor.stats();
+        if (!rows.ok()) return rows.status();
+        result.rows = *std::move(rows);
+      }
+      uint64_t end = obs::NowNs();
+      result.phase_times.exec_ns = end - e0;
+      result.phase_times.total_ns = end - q0;
+      return served;
+    }
+  }
+
   // Parse + translate. The session's TranslateTimed is bypassed so no
   // worker ever touches the session-level trace sink.
   uint64_t t0 = obs::NowNs();
@@ -331,6 +373,20 @@ Result<ServedQuery> QueryService::ServeNow(const std::string& esql,
   }
   uint64_t e0 = obs::NowNs();
   result.phase_times.schema_ns = e0 - s0;
+
+  // Populate L0 only with full-fidelity plans: a governor-degraded or
+  // safety-stopped rewrite is correct but under-optimized, and an L0 hit
+  // would replay it verbatim forever.
+  if (options_.use_l0 && !result.rewrite_stats.trip.tripped() &&
+      !result.rewrite_stats.safety_stop) {
+    L0Cache::Entry entry;
+    entry.raw_plan = raw;
+    entry.plan = plan;
+    entry.columns = result.columns;
+    entry.catalog_epoch = session_->catalog().epoch();
+    entry.rules_epoch = session_->rules_epoch();
+    l0_.Insert(l0_key, std::move(entry));
+  }
 
   exec::ExecOptions exec_options = options_.exec_options;
   exec_options.trace_sink = sink;

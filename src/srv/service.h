@@ -15,6 +15,7 @@
 #include "gov/governor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "srv/l0_cache.h"
 #include "srv/plan_cache.h"
 
 namespace eds::srv {
@@ -39,6 +40,7 @@ namespace eds::srv {
 // Serving metadata carried alongside the ordinary QueryResult.
 struct ServedQuery {
   exec::QueryResult result;
+  bool l0_hit = false;        // exact-text hit: parse through schema skipped
   bool cache_hit = false;     // rewrite phase skipped via the plan cache
   bool cache_stored = false;  // this query populated the cache
   bool cache_bypass = false;  // rewriter off / degraded rewrite: not cached
@@ -75,6 +77,10 @@ struct ServiceOptions {
   // full rewrite (A/B baseline).
   bool use_cache = true;
   PlanCache::Config cache;
+  // Level-0 exact-text cache in front of the parser (srv/l0_cache.h);
+  // use_l0=false serves every query through the full front half.
+  bool use_l0 = true;
+  size_t l0_capacity = 256;
   // When true each worker records phase spans into its own TraceSink;
   // WriteMergedTrace() merges them by timestamp into one Chrome trace.
   bool collect_traces = false;
@@ -127,6 +133,8 @@ class QueryService {
   ServiceStats GetStats() const;
   PlanCache& cache() { return cache_; }
   const PlanCache& cache() const { return cache_; }
+  L0Cache& l0_cache() { return l0_; }
+  const L0Cache& l0_cache() const { return l0_; }
   const ServiceOptions& options() const { return options_; }
 
   // Per-worker sinks (non-null only with collect_traces), for merging with
@@ -158,6 +166,7 @@ class QueryService {
   exec::Session* session_;
   ServiceOptions options_;
   PlanCache cache_;
+  L0Cache l0_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -9,6 +9,12 @@
 
 namespace eds::value {
 
+namespace internal {
+thread_local uint64_t value_copies = 0;
+}  // namespace internal
+
+uint64_t ValueCopyCount() { return internal::value_copies; }
+
 const char* ValueKindName(ValueKind kind) {
   switch (kind) {
     case ValueKind::kNull: return "NULL";

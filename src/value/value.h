@@ -43,9 +43,46 @@ struct TupleData {
 // treated as immutable after construction (mutating operations return new
 // Values). Sets and bags are kept in canonical sorted order (sets
 // deduplicated), which makes deep equality and set operations linear merges.
+namespace internal {
+// Per-thread count of Value copy-constructions/assignments. Copies are
+// O(1) (shared_ptr bumps) but not free; the executor samples this around
+// Execute() and surfaces it as the exec.value_copies metric so copy
+// regressions in materialization paths are visible. Moves are uncounted.
+extern thread_local uint64_t value_copies;
+}  // namespace internal
+
+// This thread's running Value copy count (monotonic; compare deltas).
+uint64_t ValueCopyCount();
+
 class Value {
  public:
   Value() : kind_(ValueKind::kNull) {}
+
+  Value(const Value& other)
+      : kind_(other.kind_),
+        bool_(other.bool_),
+        int_(other.int_),
+        real_(other.real_),
+        oid_(other.oid_),
+        string_(other.string_),
+        tuple_(other.tuple_),
+        elems_(other.elems_) {
+    ++internal::value_copies;
+  }
+  Value& operator=(const Value& other) {
+    kind_ = other.kind_;
+    bool_ = other.bool_;
+    int_ = other.int_;
+    real_ = other.real_;
+    oid_ = other.oid_;
+    string_ = other.string_;
+    tuple_ = other.tuple_;
+    elems_ = other.elems_;
+    ++internal::value_copies;
+    return *this;
+  }
+  Value(Value&&) noexcept = default;
+  Value& operator=(Value&&) noexcept = default;
 
   static Value Null() { return Value(); }
   static Value Bool(bool b);

@@ -414,6 +414,7 @@ TEST(QueryServiceTest, CacheDisabledAlwaysRewrites) {
   testutil::FilmDb db;
   ServiceOptions options = PumpedOptions();
   options.use_cache = false;
+  options.use_l0 = false;  // L0 would short-circuit the repeat below
   QueryService service(&db.session, options);
   EDS_ASSERT_OK(service.Start());
   for (int i = 0; i < 2; ++i) {
@@ -438,7 +439,9 @@ TEST(QueryServiceTest, RecursiveQueriesCacheOnExactMatch) {
       SELECT B1.W, B2.L FROM BETTER_THAN B1, BETTER_THAN B2
       WHERE B1.L = B2.W );
   )"));
-  QueryService service(&db.session, PumpedOptions());
+  ServiceOptions recursive_options = PumpedOptions();
+  recursive_options.use_l0 = false;  // exercise the structural cache layer
+  QueryService service(&db.session, recursive_options);
   EDS_ASSERT_OK(service.Start());
   const char* q = "SELECT W FROM BETTER_THAN WHERE W = 1";
   auto first = PumpOne(&service, service.Submit(q));
@@ -456,6 +459,112 @@ TEST(QueryServiceTest, RecursiveQueriesCacheOnExactMatch) {
   EXPECT_FALSE(third->cache_hit);
 }
 
+// ---------------- the L0 exact-text cache ----------------
+
+TEST(L0CacheTest, NormalizeCollapsesLexicalNoise) {
+  // Case folds, whitespace collapses, comments vanish...
+  EXPECT_EQ(NormalizeQueryText("select  Winner\n FROM beats -- hm\n"),
+            "SELECT WINNER FROM BEATS");
+  EXPECT_EQ(NormalizeQueryText("SELECT WINNER FROM BEATS"),
+            NormalizeQueryText("  select\twinner\n\nfrom  Beats  "));
+  // ...but string literals pass through verbatim, '' doubling included.
+  EXPECT_EQ(NormalizeQueryText("SELECT t FROM f WHERE t = 'a  b'"),
+            "SELECT T FROM F WHERE T = 'a  b'");
+  EXPECT_NE(NormalizeQueryText("SELECT t FROM f WHERE t = 'abc'"),
+            NormalizeQueryText("SELECT t FROM f WHERE t = 'ABC'"));
+  EXPECT_EQ(NormalizeQueryText("SELECT 'it''s  fine' FROM f"),
+            "SELECT 'it''s  fine' FROM F");
+  // Different literals stay different keys (that is what L1 is for).
+  EXPECT_NE(NormalizeQueryText("SELECT w FROM b WHERE w > 7"),
+            NormalizeQueryText("SELECT w FROM b WHERE w > 3"));
+}
+
+TEST(QueryServiceTest, L0HitSkipsFrontHalfOfPipeline) {
+  testutil::FilmDb db;
+  QueryService service(&db.session, PumpedOptions());
+  EDS_ASSERT_OK(service.Start());
+  const char* q = "SELECT Winner, Loser FROM BEATS WHERE Winner > 7";
+  auto first = PumpOne(&service, service.Submit(q));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->l0_hit);
+  EXPECT_GT(first->result.phase_times.parse_ns, 0u);
+
+  // Lexical variants of the same text hit L0: parse/translate/rewrite/
+  // schema never run, and the answer is byte-identical.
+  auto second = PumpOne(
+      &service,
+      service.Submit("select winner,  Loser\nFROM beats WHERE winner > 7"));
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->l0_hit);
+  EXPECT_FALSE(second->cache_hit);
+  EXPECT_EQ(second->result.phase_times.parse_ns, 0u);
+  EXPECT_EQ(second->result.phase_times.translate_ns, 0u);
+  EXPECT_EQ(second->result.phase_times.rewrite_ns, 0u);
+  EXPECT_EQ(second->result.phase_times.schema_ns, 0u);
+  EXPECT_GT(second->result.phase_times.exec_ns, 0u);
+  EXPECT_EQ(second->result.rows, first->result.rows);
+  EXPECT_EQ(second->result.columns, first->result.columns);
+
+  L0Cache::Stats ls = service.l0_cache().GetStats();
+  EXPECT_EQ(ls.hits, 1u);
+  EXPECT_EQ(ls.misses, 1u);
+  EXPECT_EQ(ls.inserts, 1u);
+  EXPECT_EQ(ls.entries, 1u);
+}
+
+TEST(QueryServiceTest, L0EntriesDieOnEpochBump) {
+  testutil::FilmDb db;
+  QueryService service(&db.session, PumpedOptions());
+  EDS_ASSERT_OK(service.Start());
+  const char* q = "SELECT Winner FROM BEATS WHERE Winner > 7";
+  ASSERT_TRUE(PumpOne(&service, service.Submit(q)).ok());
+  // DDL bumps the catalog epoch (safe here: workers=0, nothing in flight).
+  EDS_ASSERT_OK(db.session.ExecuteScript("CREATE TABLE L0T (X:INT);"));
+  auto after = PumpOne(&service, service.Submit(q));
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->l0_hit);  // stale entry dropped, full pipeline reran
+  L0Cache::Stats ls = service.l0_cache().GetStats();
+  EXPECT_EQ(ls.hits, 0u);
+  EXPECT_EQ(ls.invalidations, 1u);
+  // The rerun repopulated L0 under the new epoch.
+  auto warm = PumpOne(&service, service.Submit(q));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->l0_hit);
+}
+
+TEST(QueryServiceTest, L0EvictsLeastRecentlyUsedAtCapacity) {
+  testutil::FilmDb db;
+  ServiceOptions options = PumpedOptions();
+  options.l0_capacity = 1;
+  QueryService service(&db.session, options);
+  EDS_ASSERT_OK(service.Start());
+  const char* a = "SELECT Winner FROM BEATS WHERE Winner > 7";
+  const char* b = "SELECT Loser FROM BEATS WHERE Loser > 2";
+  ASSERT_TRUE(PumpOne(&service, service.Submit(a)).ok());
+  ASSERT_TRUE(PumpOne(&service, service.Submit(b)).ok());  // evicts `a`
+  auto again = PumpOne(&service, service.Submit(a));
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->l0_hit);
+  L0Cache::Stats ls = service.l0_cache().GetStats();
+  EXPECT_GE(ls.evictions, 1u);
+  EXPECT_EQ(ls.entries, 1u);
+}
+
+TEST(QueryServiceTest, L0DisabledNeverConsultsTheCache) {
+  testutil::FilmDb db;
+  ServiceOptions options = PumpedOptions();
+  options.use_l0 = false;
+  QueryService service(&db.session, options);
+  EDS_ASSERT_OK(service.Start());
+  const char* q = "SELECT Winner FROM BEATS WHERE Winner > 7";
+  ASSERT_TRUE(PumpOne(&service, service.Submit(q)).ok());
+  auto repeat = PumpOne(&service, service.Submit(q));
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_FALSE(repeat->l0_hit);
+  L0Cache::Stats ls = service.l0_cache().GetStats();
+  EXPECT_EQ(ls.hits + ls.misses + ls.inserts, 0u);
+}
+
 TEST(QueryServiceTest, MetricsExportersUseDottedNames) {
   obs::MetricsRegistry registry;
   PlanCache::Stats cs;
@@ -464,9 +573,13 @@ TEST(QueryServiceTest, MetricsExportersUseDottedNames) {
   ss.admitted = 5;
   ExportCacheStats(cs, &registry);
   ExportServiceStats(ss, &registry);
+  L0Cache::Stats ls;
+  ls.hits = 2;
+  ExportL0Stats(ls, &registry);
   std::string json = registry.ToJson();
   EXPECT_NE(json.find("cache.hits"), std::string::npos) << json;
   EXPECT_NE(json.find("srv.admitted"), std::string::npos) << json;
+  EXPECT_NE(json.find("srv.l0.hits"), std::string::npos) << json;
 }
 
 TEST(QueryServiceTest, MergedTraceCarriesWorkerTids) {

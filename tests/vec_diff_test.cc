@@ -1,0 +1,217 @@
+// Differential suite for the columnar batch executor: the row engine is
+// the oracle (docs/executor.md). Every plan here runs twice — vectorized
+// on and off — and the outputs must be byte-identical *sequences*: same
+// rows, same order, same value kinds. Two corpora:
+//   * an ESQL corpus over the FilmDb schema, with the rewriter both on and
+//     off (four pipeline variants per query), and
+//   * LERA plans over the soundness verifier's corner databases
+//     (src/verify/instance.h): duplicates, NULLs, empties, seeded random
+//     fills — the corners where 3VL and bag semantics diverge first.
+// The suite also proves it is not vacuous: the vectorized runs must report
+// batch work (exec.batches > 0) and zero fallbacks on supported shapes.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "term/parser.h"
+#include "testutil.h"
+#include "verify/instance.h"
+
+namespace eds::exec {
+namespace {
+
+using term::TermRef;
+
+// Byte-identical sequences: order matters, value kinds matter (Int(2) and
+// Real(2.0) compare equal but are different bytes on the wire).
+void ExpectSameSequence(const Rows& vec, const Rows& row,
+                        const std::string& label) {
+  ASSERT_EQ(vec.size(), row.size()) << label;
+  for (size_t i = 0; i < vec.size(); ++i) {
+    ASSERT_EQ(vec[i].size(), row[i].size()) << label << " row " << i;
+    for (size_t j = 0; j < vec[i].size(); ++j) {
+      EXPECT_EQ(vec[i][j].kind(), row[i][j].kind())
+          << label << " row " << i << " col " << j;
+      EXPECT_EQ(value::Compare(vec[i][j], row[i][j]), 0)
+          << label << " row " << i << " col " << j << ": "
+          << vec[i][j].ToString() << " vs " << row[i][j].ToString();
+    }
+  }
+}
+
+// ---------------- ESQL corpus over FilmDb ----------------
+
+const char* kEsqlCorpus[] = {
+    "SELECT Winner FROM BEATS",
+    "SELECT Winner, Loser FROM BEATS WHERE Winner > 3",
+    "SELECT Winner FROM BEATS WHERE Winner > 2 AND Loser < 9",
+    "SELECT Winner FROM BEATS WHERE Winner = 1 OR Loser = 10",
+    "SELECT B1.Winner, B2.Loser FROM BEATS B1, BEATS B2 "
+    "WHERE B1.Loser = B2.Winner",
+    "SELECT B1.Winner, B2.Loser FROM BEATS B1, BEATS B2 "
+    "WHERE B1.Loser = B2.Winner AND B1.Winner > 2",
+    "SELECT Numf, Title FROM FILM WHERE Title <> 'Zorba'",
+    "SELECT F.Title FROM FILM F, APPEARS_IN A WHERE F.Numf = A.Numf",
+    "SELECT F.Title, B.Loser FROM FILM F, BEATS B WHERE F.Numf = B.Winner",
+    "SELECT Numf FROM FILM WHERE Numf < 3",
+};
+
+TEST(VecDiffTest, EsqlCorpusMatchesRowEngine) {
+  testutil::FilmDb db;
+  size_t vec_batches = 0;
+  for (const char* esql : kEsqlCorpus) {
+    for (bool rewrite : {true, false}) {
+      QueryOptions on, off;
+      on.rewrite = off.rewrite = rewrite;
+      on.exec_options.vectorized = true;
+      off.exec_options.vectorized = false;
+      auto vec = db.session.Query(esql, on);
+      auto row = db.session.Query(esql, off);
+      ASSERT_TRUE(vec.ok()) << esql << ": " << vec.status().ToString();
+      ASSERT_TRUE(row.ok()) << esql << ": " << row.status().ToString();
+      const std::string label =
+          std::string(esql) + (rewrite ? " [rewrite]" : " [raw]");
+      ExpectSameSequence(vec->rows, row->rows, label);
+      EXPECT_EQ(vec->exec_stats.vec_fallbacks, 0u) << label;
+      EXPECT_EQ(row->exec_stats.batches, 0u) << label;  // oracle stays scalar
+      vec_batches += vec->exec_stats.batches;
+    }
+  }
+  // Not vacuous: the corpus exercised the kernels.
+  EXPECT_GT(vec_batches, 0u);
+}
+
+TEST(VecDiffTest, RecursiveViewMatchesRowEngine) {
+  testutil::FilmDb db;
+  EDS_ASSERT_OK(db.session.ExecuteScript(R"(
+    CREATE VIEW BETTER_THAN (W, L) AS (
+      SELECT Winner, Loser FROM BEATS
+      UNION
+      SELECT B1.W, B2.L FROM BETTER_THAN B1, BETTER_THAN B2
+      WHERE B1.L = B2.W );
+  )"));
+  for (const char* esql :
+       {"SELECT W, L FROM BETTER_THAN",
+        "SELECT W FROM BETTER_THAN WHERE L = 10"}) {
+    QueryOptions on, off;
+    on.exec_options.vectorized = true;
+    off.exec_options.vectorized = false;
+    auto vec = db.session.Query(esql, on);
+    auto row = db.session.Query(esql, off);
+    ASSERT_TRUE(vec.ok()) << esql << ": " << vec.status().ToString();
+    ASSERT_TRUE(row.ok()) << esql << ": " << row.status().ToString();
+    ExpectSameSequence(vec->rows, row->rows, esql);
+    EXPECT_EQ(vec->exec_stats.vec_fallbacks, 0u) << esql;
+  }
+}
+
+// ---------------- LERA plans over the verifier's corner databases -------
+
+// Plans over V0/V1/V2 (A, B), VE (empty), VS (S CHAR, N), VEDGE/CLO.
+// Comparisons against NULL are three-valued; duplicates stress the bag
+// semantics of SEARCH vs the set semantics of DEDUP/UNION.
+const char* kLeraCorpus[] = {
+    // Single-input scans: comparisons, AND/OR/NOT, constant quals.
+    "SEARCH(LIST(RELATION('V0')), TRUE, LIST($1.1, $1.2))",
+    "SEARCH(LIST(RELATION('V0')), FALSE, LIST($1.1))",
+    "SEARCH(LIST(RELATION('V0')), ($1.1 < $1.2), LIST($1.1, $1.2))",
+    "SEARCH(LIST(RELATION('V0')), (($1.1 < $1.2) AND ($1.1 = $1.1)), "
+    "LIST($1.2, $1.1))",
+    "SEARCH(LIST(RELATION('V1')), (($1.1 = 1) OR ($1.2 = 2)), "
+    "LIST($1.1, $1.2))",
+    "SEARCH(LIST(RELATION('V1')), (NOT ($1.1 = 1)), LIST($1.1))",
+    // Equi joins (hash kernel), residual conjuncts, pure cross joins.
+    "SEARCH(LIST(RELATION('V0'), RELATION('V1')), ($1.2 = $2.1), "
+    "LIST($1.1, $2.2))",
+    "SEARCH(LIST(RELATION('V0'), RELATION('V1')), "
+    "(($1.2 = $2.1) AND ($1.1 < $2.2)), LIST($1.1, $2.2))",
+    "SEARCH(LIST(RELATION('V0'), RELATION('V1')), ($1.1 < $2.2), "
+    "LIST($1.1, $2.2))",
+    "SEARCH(LIST(RELATION('V0'), RELATION('V1'), RELATION('V2')), "
+    "(($1.2 = $2.1) AND ($2.2 = $3.1)), LIST($1.1, $3.2))",
+    "SEARCH(LIST(RELATION('V0'), RELATION('V1')), "
+    "(($1.1 = $2.1) OR ($1.2 = $2.2)), LIST($1.1, $2.1))",
+    // Empty-input corners.
+    "SEARCH(LIST(RELATION('VE')), ($1.1 = 1), LIST($1.1))",
+    "SEARCH(LIST(RELATION('V0'), RELATION('VE')), ($1.1 = $2.1), "
+    "LIST($1.1, $2.2))",
+    // Strings.
+    "SEARCH(LIST(RELATION('VS')), ($1.2 > 1), LIST($1.1, $1.2))",
+    "SEARCH(LIST(RELATION('VS'), RELATION('VS')), ($1.1 = $2.1), "
+    "LIST($1.1, $1.2, $2.2))",
+    // Explicit operators: FILTER / PROJECT / JOIN / DEDUP / set ops.
+    "FILTER(RELATION('V0'), ($1.1 > 1))",
+    "PROJECT(RELATION('V0'), LIST($1.2, $1.1))",
+    "JOIN(RELATION('V0'), RELATION('V1'), ($1.2 = $2.1))",
+    "JOIN(RELATION('V0'), RELATION('V1'), ($1.1 < $2.1))",
+    "DEDUP(SEARCH(LIST(RELATION('V0')), TRUE, LIST($1.1)))",
+    "DEDUP(RELATION('V0'))",
+    "UNION(SET(RELATION('V0'), RELATION('V1')))",
+    "DIFFERENCE(RELATION('V0'), RELATION('V1'))",
+    "INTERSECT(RELATION('V0'), RELATION('V1'))",
+    // Fixpoint: transitive closure over the verifier's graph, semi-naive
+    // deltas flowing through the vectorized SEARCH.
+    "FIX(RELATION('CLO'), UNION(SET("
+    "SEARCH(LIST(RELATION('VEDGE')), TRUE, LIST($1.1, $1.2)), "
+    "SEARCH(LIST(RELATION('CLO'), RELATION('CLO')), ($1.2 = $2.1), "
+    "LIST($1.1, $2.2)))))",
+};
+
+TEST(VecDiffTest, LeraCorpusMatchesRowEngineOnCornerDatabases) {
+  auto env = verify::VerifyEnv::Create(/*seed=*/42, /*random_databases=*/4);
+  EDS_ASSERT_OK(env.status());
+  size_t vec_batches = 0;
+  size_t vec_fallbacks = 0;
+  for (const char* text : kLeraCorpus) {
+    auto plan = term::ParseTerm(text);
+    ASSERT_TRUE(plan.ok()) << text << ": " << plan.status().ToString();
+    for (const auto& instance : (*env)->instances()) {
+      ExecOptions on, off;
+      on.vectorized = true;
+      off.vectorized = false;
+      Executor vec_exec(&(*env)->catalog(), instance.db.get(), on);
+      Executor row_exec(&(*env)->catalog(), instance.db.get(), off);
+      Result<Rows> vec = vec_exec.Execute(*plan);
+      Result<Rows> row = row_exec.Execute(*plan);
+      const std::string label = std::string(text) + " @" + instance.name;
+      // The engines must agree on success; on error the fallback contract
+      // guarantees the row path's error is the one surfaced.
+      ASSERT_EQ(vec.ok(), row.ok())
+          << label << ": " << (vec.ok() ? row.status() : vec.status())
+                 .ToString();
+      if (!vec.ok()) continue;
+      ExpectSameSequence(*vec, *row, label);
+      EXPECT_EQ(row_exec.stats().batches, 0u) << label;
+      vec_batches += vec_exec.stats().batches;
+      vec_fallbacks += vec_exec.stats().vec_fallbacks;
+    }
+  }
+  EXPECT_GT(vec_batches, 0u);
+  // Every corpus shape is kernel-supported: nothing fell back to the oracle.
+  EXPECT_EQ(vec_fallbacks, 0u);
+}
+
+// The ExecStats charge model must not depend on which engine ran: logical
+// qualification counts and scan counts are engine-invariant (the span args
+// batch_count/rows_per_batch carry the kernel-level detail instead).
+TEST(VecDiffTest, ScanAndOutputTalliesMatchRowEngine) {
+  testutil::FilmDb db;
+  auto plan = term::ParseTerm(
+      "SEARCH(LIST(RELATION('BEATS'), RELATION('BEATS')), "
+      "($1.2 = $2.1), LIST($1.1, $2.2))");
+  ASSERT_TRUE(plan.ok());
+  ExecStats vec_stats, row_stats;
+  ExecOptions on, off;
+  on.vectorized = true;
+  off.vectorized = false;
+  ASSERT_TRUE(db.session.Run(*plan, on, &vec_stats).ok());
+  ASSERT_TRUE(db.session.Run(*plan, off, &row_stats).ok());
+  EXPECT_EQ(vec_stats.rows_scanned, row_stats.rows_scanned);
+  EXPECT_EQ(vec_stats.rows_output, row_stats.rows_output);
+  EXPECT_GT(vec_stats.batches, 0u);
+  EXPECT_EQ(row_stats.batches, 0u);
+}
+
+}  // namespace
+}  // namespace eds::exec
