@@ -4,8 +4,12 @@
 // track the pre-obs numbers — every instrumentation site is one branch on
 // a null sink pointer — and the smoke run wired into ctest (label
 // `smokebench;obs`) keeps that claim tested.
+#include <limits>
+
 #include "benchutil.h"
+#include "obs/histogram.h"
 #include "obs/trace.h"
+#include "srv/service.h"
 
 namespace {
 
@@ -90,6 +94,62 @@ void BM_Query_Traced(benchmark::State& state) {
 BENCHMARK(BM_Query_Plain);
 BENCHMARK(BM_Query_Profiled);
 BENCHMARK(BM_Query_Traced);
+
+// Serving-telemetry overhead A/B on the hottest serve path (the same
+// query repeated: L0 hits after the first). Off must track the pre-PR-8
+// serve cost — telemetry off is one null branch — while On prices the
+// histogram records + flight-recorder append, and OnSlowCapture adds the
+// per-query scratch span tracing that slow-query capture arms (threshold
+// set to never fire, so this is the steady-state cost, not JSON
+// serialization).
+enum class TelemetryMode { kOff, kOn, kOnSlowCapture };
+
+void BM_ServeTelemetry(benchmark::State& state, TelemetryMode mode) {
+  auto session = MakeGraphDb(60);
+  eds::srv::ServiceOptions options;
+  options.workers = 0;  // pumped on this thread: no scheduler noise
+  options.telemetry = mode != TelemetryMode::kOff;
+  if (mode == TelemetryMode::kOnSlowCapture) {
+    options.slow_query_ns = std::numeric_limits<uint64_t>::max();
+  }
+  eds::srv::QueryService service(session.get(), options);
+  Check(service.Start(), "start");
+  const std::string query = "SELECT L FROM BETTER_THAN WHERE W = 1";
+  for (auto _ : state) {
+    auto future = service.Submit(query);
+    service.ServeQueuedForTesting();
+    auto served = future.get();
+    Check(served.status(), "serve");
+    benchmark::DoNotOptimize(served->serve_ns);
+  }
+  service.Stop();
+}
+void BM_Serve_TelemetryOff(benchmark::State& state) {
+  BM_ServeTelemetry(state, TelemetryMode::kOff);
+}
+void BM_Serve_TelemetryOn(benchmark::State& state) {
+  BM_ServeTelemetry(state, TelemetryMode::kOn);
+}
+void BM_Serve_TelemetryOnSlowCapture(benchmark::State& state) {
+  BM_ServeTelemetry(state, TelemetryMode::kOnSlowCapture);
+}
+BENCHMARK(BM_Serve_TelemetryOff);
+BENCHMARK(BM_Serve_TelemetryOn);
+BENCHMARK(BM_Serve_TelemetryOnSlowCapture);
+
+// The histogram record itself: a bucket-index computation plus relaxed
+// atomic adds on a per-thread shard. Values walk an LCG so bucket indices
+// vary like real latencies.
+void BM_Histogram_Record(benchmark::State& state) {
+  eds::obs::Histogram histogram;
+  uint64_t value = 1;
+  for (auto _ : state) {
+    histogram.Record(value);
+    value = (value * 1664525 + 1013904223) & ((1ULL << 30) - 1);
+  }
+  benchmark::DoNotOptimize(histogram.Snapshot().count);
+}
+BENCHMARK(BM_Histogram_Record);
 
 }  // namespace
 

@@ -23,14 +23,21 @@
 //   \constraint NAME <rule text> ;   declare an integrity constraint
 //
 // With --threads=N the shell routes SELECTs through the srv::QueryService
-// (N workers, plan cache, governor-aware admission); two more commands
+// (N workers, plan cache, governor-aware admission); more commands
 // come alive:
 //   \cache [clear]    show (or drop) both cache layers (L0 exact-text +
 //                     rewritten-plan)
 //   \serve N SELECT ... submit N copies concurrently and report throughput
+//   \top [N]          flight recorder: the last N served queries
+//   \slow [N]         the N slowest queries in the recorder window
+//   \metrics --prom   service metrics in Prometheus text format
 // and --trace-out merges every worker's spans into one Chrome trace.
+// Telemetry knobs: --slow-ms=N marks queries slower than N ms as slow
+// (trace attached in \slow), --slow-log=FILE appends them as JSONL, and
+// --telemetry-out=FILE writes a Prometheus snapshot every second.
 #include <unistd.h>
 
+#include <cstdio>
 #include <fstream>
 #include <future>
 #include <iostream>
@@ -79,6 +86,15 @@ class Shell {
   void set_threads(size_t threads, bool collect_traces) {
     threads_ = threads;
     collect_traces_ = collect_traces;
+  }
+
+  // Telemetry knobs applied when the service starts (--slow-ms,
+  // --slow-log, --telemetry-out).
+  void set_telemetry(uint64_t slow_ms, std::string slow_log_path,
+                     std::string telemetry_out) {
+    slow_ms_ = slow_ms;
+    slow_log_path_ = std::move(slow_log_path);
+    telemetry_out_ = std::move(telemetry_out);
   }
 
   // Stops the worker pool (if any); safe to call repeatedly. Must run
@@ -145,8 +161,20 @@ class Shell {
       ShowStats(line.substr(7));
       return true;
     }
+    if (line == "\\metrics --prom") {
+      ShowPrometheus();
+      return true;
+    }
     if (eds::StartsWith(line, "\\metrics ")) {
       ShowMetrics(line.substr(9));
+      return true;
+    }
+    if (line == "\\top" || eds::StartsWith(line, "\\top ")) {
+      ShowRecorder(line.size() > 4 ? line.substr(5) : "", /*slowest=*/false);
+      return true;
+    }
+    if (line == "\\slow" || eds::StartsWith(line, "\\slow ")) {
+      ShowRecorder(line.size() > 5 ? line.substr(6) : "", /*slowest=*/true);
       return true;
     }
     if (eds::StartsWith(line, "\\profile ")) {
@@ -310,6 +338,9 @@ class Shell {
       options.base_limits = limits_;
       options.collect_traces = collect_traces_;
       options.rewrite = rewrite_;
+      options.slow_query_ns = slow_ms_ * 1'000'000ULL;
+      options.slow_query_log_path = slow_log_path_;
+      options.telemetry_export_path = telemetry_out_;
       service_ = std::make_unique<eds::srv::QueryService>(&session_, options);
       eds::Status status = service_->Start();
       if (!status.ok()) {
@@ -351,6 +382,73 @@ class Shell {
     std::cout << "served: " << ss.completed << " ok, " << ss.failed
               << " failed, " << ss.rejected << " shed (max queue depth "
               << ss.max_queue_depth << ")\n";
+  }
+
+  // \top (recent) / \slow (ranked by serve time): renders the service's
+  // flight recorder, one line per retained QueryRecord.
+  void ShowRecorder(const std::string& rest, bool slowest) {
+    if (service_ == nullptr || !service_->telemetry_enabled()) {
+      std::cout << "no telemetry (start the shell with --threads=N)\n";
+      return;
+    }
+    size_t limit = 10;
+    std::string trimmed(eds::Trim(rest));
+    if (!trimmed.empty()) {
+      try {
+        limit = std::stoull(trimmed);
+      } catch (...) {
+        std::cout << "usage: " << (slowest ? "\\slow" : "\\top") << " [N]\n";
+        return;
+      }
+    }
+    std::vector<eds::srv::QueryRecord> records =
+        slowest ? service_->SlowestQueries(limit)
+                : service_->RecentQueries(limit);
+    if (records.empty()) {
+      std::cout << "flight recorder empty\n";
+      return;
+    }
+    std::cout << "  seq outcome wk queue_us serve_us     rows  query\n";
+    for (const eds::srv::QueryRecord& r : records) {
+      std::string text = r.text.substr(0, 48);
+      for (char& c : text) {
+        if (c == '\n' || c == '\t') c = ' ';
+      }
+      char line[128];
+      std::snprintf(line, sizeof(line), "%5llu %-7s %2zu %8llu %8llu %8llu",
+                    static_cast<unsigned long long>(r.seq),
+                    eds::srv::CacheOutcomeName(r), r.worker_id,
+                    static_cast<unsigned long long>(r.queue_ns / 1000),
+                    static_cast<unsigned long long>(r.serve_ns / 1000),
+                    static_cast<unsigned long long>(r.rows));
+      std::cout << line << "  " << text;
+      if (!r.ok) std::cout << "  [" << r.error << "]";
+      if (r.slow) {
+        std::cout << "  [slow" << (r.trace_json.empty() ? "" : ", trace")
+                  << "]";
+      }
+      std::cout << "\n";
+    }
+    const eds::srv::ServiceStats ss = service_->GetStats();
+    std::cout << "(" << records.size() << " of "
+              << (ss.completed + ss.failed) << " served; "
+              << service_->slow_queries_logged()
+              << " slow queries logged)\n";
+  }
+
+  // \metrics --prom: the service's full metric surface (srv.*, cache.*,
+  // srv.l0.*, gov.*, srv.latency.*) in Prometheus text exposition format.
+  void ShowPrometheus() {
+    eds::obs::MetricsRegistry registry;
+    if (service_ != nullptr) {
+      service_->ExportMetrics(&registry);
+    } else {
+      // Without a service only the process-wide producers exist.
+      eds::obs::ExportInternerStats(eds::term::Interner::Global().GetStats(),
+                                    &registry);
+      eds::obs::ExportGovStats(eds::gov::CumulativeTripCounters(), &registry);
+    }
+    std::cout << registry.ToPrometheus();
   }
 
   // \serve N SELECT ... — submit N copies concurrently, await them all,
@@ -577,6 +675,9 @@ class Shell {
   eds::gov::GovernorLimits limits_;
   size_t threads_ = 0;
   bool collect_traces_ = false;
+  uint64_t slow_ms_ = 0;
+  std::string slow_log_path_;
+  std::string telemetry_out_;
   std::unique_ptr<eds::srv::QueryService> service_;
 };
 
@@ -603,6 +704,9 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string script_path;
   uint64_t threads = 0;
+  uint64_t slow_ms = 0;
+  std::string slow_log_path;
+  std::string telemetry_out;
   eds::gov::GovernorLimits limits;
   auto parse_u64 = [](const std::string& text, uint64_t* out) {
     try {
@@ -622,10 +726,21 @@ int main(int argc, char** argv) {
     const std::string kMaxNodes = "--max-nodes=";
     const std::string kMaxRows = "--max-rows=";
     const std::string kThreads = "--threads=";
+    const std::string kSlowMs = "--slow-ms=";
+    const std::string kSlowLog = "--slow-log=";
+    const std::string kTelemetryOut = "--telemetry-out=";
     bool bad = false;
     if (arg.rfind(kTraceOut, 0) == 0) {
       trace_path = arg.substr(kTraceOut.size());
       bad = trace_path.empty();
+    } else if (arg.rfind(kSlowMs, 0) == 0) {
+      bad = !parse_u64(arg.substr(kSlowMs.size()), &slow_ms);
+    } else if (arg.rfind(kSlowLog, 0) == 0) {
+      slow_log_path = arg.substr(kSlowLog.size());
+      bad = slow_log_path.empty();
+    } else if (arg.rfind(kTelemetryOut, 0) == 0) {
+      telemetry_out = arg.substr(kTelemetryOut.size());
+      bad = telemetry_out.empty();
     } else if (arg.rfind(kThreads, 0) == 0) {
       bad = !parse_u64(arg.substr(kThreads.size()), &threads);
     } else if (arg.rfind(kDeadline, 0) == 0) {
@@ -640,7 +755,8 @@ int main(int argc, char** argv) {
     if (bad) {
       std::cerr << "usage: eds_shell [--trace-out=FILE.json] [--threads=N] "
                    "[--deadline-ms=N] [--max-nodes=N] [--max-rows=N] "
-                   "[script.sql]\n";
+                   "[--slow-ms=N] [--slow-log=FILE.jsonl] "
+                   "[--telemetry-out=FILE.prom] [script.sql]\n";
       return 1;
     }
   }
@@ -649,6 +765,7 @@ int main(int argc, char** argv) {
   Shell shell(trace_path.empty() ? nullptr : &sink);
   shell.set_limits(limits);
   shell.set_threads(threads, /*collect_traces=*/!trace_path.empty());
+  shell.set_telemetry(slow_ms, slow_log_path, telemetry_out);
   int exit_code = 0;
   bool done = false;
   if (!script_path.empty()) {

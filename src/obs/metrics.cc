@@ -18,6 +18,11 @@ void MetricsRegistry::Gauge(const std::string& name, double value) {
   is_counter_[name] = false;
 }
 
+void MetricsRegistry::Histogram(const std::string& name,
+                                HistogramSnapshot snapshot) {
+  histograms_[name] = std::move(snapshot);
+}
+
 double MetricsRegistry::Get(const std::string& name) const {
   auto it = values_.find(name);
   return it == values_.end() ? 0.0 : it->second;
@@ -33,12 +38,89 @@ std::string MetricsRegistry::ToJson() const {
     os << "\"" << JsonEscape(name) << "\":";
     if (is_counter_.at(name)) {
       os << static_cast<uint64_t>(value);
+    } else if (!std::isfinite(value)) {
+      os << "null";  // NaN/Inf are not JSON literals
     } else {
       os << value;
     }
   }
   os << "}}\n";
   return os.str();
+}
+
+namespace {
+
+// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; dotted registry
+// names map onto that by replacing every other character with '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+void AppendPrometheusValue(std::ostringstream& os, double value,
+                           bool counter) {
+  if (counter) {
+    os << static_cast<uint64_t>(value);
+  } else if (std::isnan(value)) {
+    os << "NaN";
+  } else if (std::isinf(value)) {
+    os << (value > 0 ? "+Inf" : "-Inf");
+  } else {
+    os << value;
+  }
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheus() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : values_) {
+    const bool counter = is_counter_.at(name);
+    const std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << (counter ? " counter" : " gauge") << "\n"
+       << prom << " ";
+    AppendPrometheusValue(os, value, counter);
+    os << "\n";
+  }
+  for (const auto& [name, snap] : histograms_) {
+    const std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < snap.counts.size(); ++i) {
+      if (snap.counts[i] == 0) continue;
+      cumulative += snap.counts[i];
+      // Qualified: inside MetricsRegistry the member Histogram() hides
+      // the class name.
+      os << prom << "_bucket{le=\"" << ::eds::obs::Histogram::BucketUpperBound(i)
+         << "\"} " << cumulative << "\n";
+    }
+    os << prom << "_bucket{le=\"+Inf\"} " << snap.count << "\n"
+       << prom << "_sum " << snap.sum << "\n"
+       << prom << "_count " << snap.count << "\n";
+  }
+  return os.str();
+}
+
+void ExportHistogramQuantiles(const std::string& prefix,
+                              const HistogramSnapshot& snapshot,
+                              MetricsRegistry* registry) {
+  registry->Gauge(prefix + ".p50",
+                  static_cast<double>(snapshot.ValueAtQuantile(0.50)));
+  registry->Gauge(prefix + ".p90",
+                  static_cast<double>(snapshot.ValueAtQuantile(0.90)));
+  registry->Gauge(prefix + ".p99",
+                  static_cast<double>(snapshot.ValueAtQuantile(0.99)));
+  registry->Gauge(prefix + ".max", static_cast<double>(snapshot.max));
+  registry->Gauge(prefix + ".mean", snapshot.mean());
+  registry->Counter(prefix + ".count", snapshot.count);
+  registry->Histogram(prefix, snapshot);
 }
 
 std::string MetricsRegistry::ToText() const {

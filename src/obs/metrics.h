@@ -8,6 +8,7 @@
 
 #include "exec/executor.h"
 #include "gov/governor.h"
+#include "obs/histogram.h"
 #include "rewrite/engine.h"
 #include "term/interner.h"
 
@@ -27,6 +28,11 @@ class MetricsRegistry {
   void Counter(const std::string& name, uint64_t value);
   // Point-in-time measurements (ratios, nanosecond totals as doubles).
   void Gauge(const std::string& name, double value);
+  // Full distribution (obs/histogram.h snapshot). Rendered only by
+  // ToPrometheus(), as a proper histogram series (_bucket/_sum/_count);
+  // register the quantiles you want in ToText/ToJson separately (see
+  // ExportHistogramQuantiles, which does both).
+  void Histogram(const std::string& name, HistogramSnapshot snapshot);
 
   // Snapshot in name order (deterministic output). Counters render without
   // a fractional part; gauges with one.
@@ -34,15 +40,32 @@ class MetricsRegistry {
   bool Has(const std::string& name) const { return values_.count(name) > 0; }
   double Get(const std::string& name) const;
 
-  // {"metrics":{"name":value,...}} — integers for counters.
+  // {"metrics":{"name":value,...}} — integers for counters, JSON-escaped
+  // names, non-finite gauges rendered as null (NaN/Inf are not JSON).
   std::string ToJson() const;
   // Aligned "name value" lines for the shell.
   std::string ToText() const;
+  // Prometheus text exposition format (version 0.0.4): one `# TYPE` line
+  // per metric (counter/gauge/histogram), dotted names mapped to
+  // underscore names, histograms as cumulative `_bucket{le="..."}` series
+  // with `_sum`/`_count`. Empty buckets are elided (the `+Inf` bucket is
+  // always present), so the output stays scrape-sized.
+  std::string ToPrometheus() const;
 
  private:
   std::map<std::string, double> values_;
   std::map<std::string, bool> is_counter_;
+  std::map<std::string, HistogramSnapshot> histograms_;
 };
+
+// Registers `prefix`.p50/.p90/.p99 quantile gauges, `prefix`.max and
+// `prefix`.mean gauges, and a `prefix`.count counter extracted from the
+// snapshot, plus the full distribution for Prometheus exposition. The one
+// call every latency exporter goes through, so \metrics, eds_stat, and
+// the Prometheus snapshot cannot drift.
+void ExportHistogramQuantiles(const std::string& prefix,
+                              const HistogramSnapshot& snapshot,
+                              MetricsRegistry* registry);
 
 // Importers: each producer's stats become "prefix.field" entries.
 void ExportEngineStats(const rewrite::EngineStats& stats,

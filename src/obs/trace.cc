@@ -74,6 +74,16 @@ void TraceSink::RecordComplete(
   events_.push_back(std::move(e));
 }
 
+void TraceSink::AppendFrom(const TraceSink& other) {
+  const uint64_t base = other.origin_ns_ - origin_ns_;
+  events_.reserve(events_.size() + other.events_.size());
+  for (const TraceEvent& e : other.events_) {
+    TraceEvent copy = e;
+    copy.start_ns = base + e.start_ns;
+    events_.push_back(std::move(copy));
+  }
+}
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size());

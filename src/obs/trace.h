@@ -70,6 +70,13 @@ class TraceSink {
                       uint64_t start_ns_abs, uint64_t end_ns_abs,
                       std::vector<std::pair<std::string, std::string>> args);
 
+  // Copies every completed event of `other` into this sink, rebased from
+  // `other`'s origin onto ours (both sinks read the same steady clock, so
+  // the rebase is exact). Used by the serving layer's slow-query capture:
+  // spans recorded into a per-query scratch sink are folded into the
+  // worker's long-lived sink after the query completes.
+  void AppendFrom(const TraceSink& other);
+
  private:
   friend class Span;
   std::vector<TraceEvent> events_;

@@ -1,6 +1,9 @@
 #include "srv/service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <thread>
 #include <utility>
 
 #include "esql/parser.h"
@@ -9,8 +12,49 @@
 #include "lera/schema.h"
 #include "rules/optimizer.h"
 #include "srv/fingerprint.h"
+#include "term/term.h"
 
 namespace eds::srv {
+
+namespace {
+// Flight-recorder text truncation: enough to recognize the query, bounded
+// so the ring's memory stays O(capacity).
+constexpr size_t kRecordTextLimit = 200;
+// Minimum serve-time samples before the trailing-p99 slow threshold can
+// fire; below this the p99 estimate is noise.
+constexpr uint64_t kSlowP99MinSamples = 32;
+}  // namespace
+
+// All telemetry state lives behind one pointer so that telemetry=false
+// costs the serve path a single null branch.
+struct QueryService::TelemetryState {
+  LatencyHistograms latency;
+  FlightRecorder recorder;
+  std::unique_ptr<SlowQueryLog> slow_log;  // null without a log path
+  // Any slow threshold configured: per-query scratch tracing is on so a
+  // slow query's spans can be kept retroactively.
+  bool capture_slow = false;
+  // Per-worker scratch sinks (index == worker id; one extra covers the
+  // workers==0 test pump). Cleared before each query; a slow query's
+  // contents are serialized into its QueryRecord before the clear.
+  std::vector<std::unique_ptr<obs::TraceSink>> scratch;
+
+  explicit TelemetryState(const ServiceOptions& options)
+      : recorder(options.flight_recorder_capacity),
+        capture_slow(options.slow_query_ns != 0 ||
+                     options.slow_query_p99_multiple > 0.0) {
+    if (!options.slow_query_log_path.empty()) {
+      slow_log = std::make_unique<SlowQueryLog>(options.slow_query_log_path);
+    }
+    if (capture_slow) {
+      const size_t n = std::max<size_t>(options.workers, 1);
+      scratch.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        scratch.push_back(std::make_unique<obs::TraceSink>());
+      }
+    }
+  }
+};
 
 gov::GovernorLimits DeriveLimits(const gov::GovernorLimits& base,
                                  size_t queue_depth, size_t queue_capacity,
@@ -37,7 +81,9 @@ QueryService::QueryService(exec::Session* session,
     : session_(session),
       options_(options),
       cache_(options.cache),
-      l0_(options.use_l0 ? options.l0_capacity : 0) {}
+      l0_(options.use_l0 ? options.l0_capacity : 0),
+      telemetry_(options.telemetry ? std::make_unique<TelemetryState>(options)
+                                   : nullptr) {}
 
 QueryService::~QueryService() { Stop(); }
 
@@ -61,6 +107,13 @@ Status QueryService::Start() {
   for (size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
+  if (telemetry_ != nullptr && !options_.telemetry_export_path.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(export_mu_);
+      export_stop_ = false;
+    }
+    export_thread_ = std::thread([this] { ExportLoop(); });
+  }
   return Status::OK();
 }
 
@@ -81,6 +134,16 @@ void QueryService::Stop() {
     if (w.joinable()) w.join();
   }
   workers_.clear();
+  // Stop the export tick after the workers have drained so its final
+  // snapshot (ExportLoop writes once more on shutdown) sees final tallies.
+  if (export_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(export_mu_);
+      export_stop_ = true;
+    }
+    export_cv_.notify_all();
+    export_thread_.join();
+  }
   std::lock_guard<std::mutex> lock(mu_);
   started_ = false;
 }
@@ -153,13 +216,25 @@ bool QueryService::ServeQueuedForTesting() {
 
 void QueryService::ServeItem(Item item, size_t worker_id) {
   const uint64_t dequeue_ns = obs::NowNs();
-  obs::TraceSink* sink =
+  obs::TraceSink* worker_sink =
       worker_id < sinks_.size() ? sinks_[worker_id].get() : nullptr;
+  // With slow-query capture on, the query's spans go to a per-worker
+  // scratch sink so they can be kept retroactively if it turns out slow;
+  // otherwise straight to the long-lived worker sink (or nowhere).
+  obs::TraceSink* scratch = nullptr;
+  if (telemetry_ != nullptr && telemetry_->capture_slow &&
+      worker_id < telemetry_->scratch.size()) {
+    scratch = telemetry_->scratch[worker_id].get();
+    scratch->Clear();
+  }
+  obs::TraceSink* sink = scratch != nullptr ? scratch : worker_sink;
   Result<ServedQuery> served =
       ServeNow(item.esql, item.granted, item.cancel, sink, worker_id);
+  const uint64_t serve_ns = obs::NowNs() - dequeue_ns;
+  const uint64_t queue_ns = dequeue_ns - item.enqueue_ns;
   if (served.ok()) {
-    served->queue_ns = dequeue_ns - item.enqueue_ns;
-    served->serve_ns = obs::NowNs() - dequeue_ns;
+    served->queue_ns = queue_ns;
+    served->serve_ns = serve_ns;
     served->granted = item.granted;
     served->worker_id = worker_id;
   }
@@ -171,7 +246,100 @@ void QueryService::ServeItem(Item item, size_t worker_id) {
       ++stats_.failed;
     }
   }
+  if (telemetry_ != nullptr) {
+    RecordTelemetry(item.esql, served, item.granted, queue_ns, serve_ns,
+                    worker_id, scratch);
+    // Scratch traces detoured around the worker sink; fold them back in so
+    // collect_traces sees the same merged timeline either way.
+    if (scratch != nullptr && worker_sink != nullptr) {
+      worker_sink->AppendFrom(*scratch);
+    }
+  }
   item.promise.set_value(std::move(served));
+}
+
+void QueryService::RecordTelemetry(const std::string& esql,
+                                   const Result<ServedQuery>& served,
+                                   const gov::GovernorLimits& granted,
+                                   uint64_t queue_ns, uint64_t serve_ns,
+                                   size_t worker_id,
+                                   const obs::TraceSink* scratch) {
+  TelemetryState& tel = *telemetry_;
+
+  QueryRecord rec;
+  rec.text = esql.substr(0, kRecordTextLimit);
+  rec.queue_ns = queue_ns;
+  rec.serve_ns = serve_ns;
+  rec.worker_id = worker_id;
+  rec.base = options_.base_limits;
+  rec.base.cancel = nullptr;
+  rec.granted = granted;
+  rec.granted.cancel = nullptr;
+  if (served.ok()) {
+    const ServedQuery& q = *served;
+    rec.template_hash = q.template_hash;
+    rec.phases = q.result.phase_times;
+    rec.l0_hit = q.l0_hit;
+    rec.cache_hit = q.cache_hit;
+    rec.cache_stored = q.cache_stored;
+    rec.cache_bypass = q.cache_bypass;
+    rec.rows = q.result.rows.size();
+    if (q.result.rewrite_trip.tripped()) {
+      rec.trip = q.result.rewrite_trip.ToString();
+    }
+  } else {
+    rec.ok = false;
+    rec.error = served.status().ToString();
+  }
+
+  // Slow decision first, against the p99 of *prior* queries: recording the
+  // current sample before snapshotting would let an extreme outlier raise
+  // the very threshold it is judged by.
+  bool slow = options_.slow_query_ns != 0 && serve_ns >= options_.slow_query_ns;
+  if (!slow && options_.slow_query_p99_multiple > 0.0) {
+    const obs::HistogramSnapshot prior = tel.latency.serve.Snapshot();
+    if (prior.count >= kSlowP99MinSamples) {
+      const double threshold =
+          options_.slow_query_p99_multiple *
+          static_cast<double>(prior.ValueAtQuantile(0.99));
+      slow = static_cast<double>(serve_ns) >= threshold;
+    }
+  }
+  rec.slow = slow;
+  if (slow && scratch != nullptr) {
+    rec.trace_json = scratch->ToChromeTraceJson();
+  }
+
+  tel.latency.queue.Record(queue_ns);
+  tel.latency.serve.Record(serve_ns);
+  if (rec.ok) {
+    // Phase histograms record only phases that actually ran: an L0 hit
+    // skips parse, a template hit skips rewrite, and folding their zeros
+    // in would fake an impossibly fast phase.
+    if (!rec.l0_hit) {
+      tel.latency.parse.Record(rec.phases.parse_ns);
+      if (options_.rewrite && !rec.cache_hit) {
+        tel.latency.rewrite.Record(rec.phases.rewrite_ns);
+      }
+    }
+    tel.latency.execute.Record(rec.phases.exec_ns);
+    if (rec.l0_hit) {
+      tel.latency.serve_l0_hit.Record(serve_ns);
+    } else if (rec.cache_hit) {
+      tel.latency.serve_tmpl_hit.Record(serve_ns);
+    } else {
+      tel.latency.serve_miss.Record(serve_ns);
+    }
+  }
+
+  const bool log_slow = slow && tel.slow_log != nullptr;
+  QueryRecord for_log;
+  if (log_slow) for_log = rec;
+  const uint64_t seq = tel.recorder.Add(std::move(rec));
+  if (log_slow) {
+    for_log.seq = seq;
+    (void)tel.slow_log->Append(for_log);  // sink errors must not fail serving
+  }
 }
 
 Result<ServedQuery> QueryService::ServeNow(const std::string& esql,
@@ -192,6 +360,17 @@ Result<ServedQuery> QueryService::ServeNow(const std::string& esql,
   if (cancel != nullptr && cancel->cancelled()) {
     return Status::ResourceExhausted(
         "query governor: cancelled: cancelled while queued");
+  }
+
+  // Deterministic latency injection (tests/demos): see ServiceOptions.
+  if (options_.test_delay_ns != 0 && !options_.test_delay_marker.empty() &&
+      esql.find(options_.test_delay_marker) != std::string::npos) {
+    obs::Span delay_span(sink, "srv.injected_delay", "srv");
+    if (sink != nullptr) {
+      delay_span.Arg("delay_ns", options_.test_delay_ns);
+    }
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(options_.test_delay_ns));
   }
 
   // Level 0: exact-text lookup before the parser runs. A hit replays the
@@ -269,6 +448,9 @@ Result<ServedQuery> QueryService::ServeNow(const std::string& esql,
     {
       obs::Span span(sink, "srv.fingerprint", "srv");
       fp = FingerprintPlan(raw);
+    }
+    if (telemetry_ != nullptr) {
+      served.template_hash = term::Hash(fp.tmpl);
     }
     PlanCache::Key key{fp.tmpl, session_->catalog().epoch(),
                        session_->rules_epoch()};
@@ -426,6 +608,69 @@ void QueryService::WriteMergedTrace(std::ostream& os) const {
     }
   }
   obs::WriteMergedChromeTrace(os, sinks);
+}
+
+std::vector<QueryRecord> QueryService::RecentQueries(size_t limit) const {
+  if (telemetry_ == nullptr) return {};
+  return telemetry_->recorder.Recent(limit);
+}
+
+std::vector<QueryRecord> QueryService::SlowestQueries(size_t limit) const {
+  if (telemetry_ == nullptr) return {};
+  return telemetry_->recorder.Slowest(limit);
+}
+
+uint64_t QueryService::slow_queries_logged() const {
+  if (telemetry_ == nullptr || telemetry_->slow_log == nullptr) return 0;
+  return telemetry_->slow_log->appended();
+}
+
+void QueryService::ExportMetrics(obs::MetricsRegistry* registry) const {
+  ExportServiceStats(GetStats(), registry);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    registry->Gauge("srv.queue_depth", static_cast<double>(queue_.size()));
+  }
+  ExportCacheStats(cache_.GetStats(), registry);
+  ExportL0Stats(l0_.GetStats(), registry);
+  obs::ExportGovStats(gov::CumulativeTripCounters(), registry);
+  if (telemetry_ != nullptr) {
+    ExportLatencyMetrics(telemetry_->latency, registry);
+    registry->Counter("srv.flight_recorder.total",
+                      telemetry_->recorder.total_added());
+    registry->Counter("srv.slow_queries.logged", slow_queries_logged());
+  }
+}
+
+Status QueryService::WriteTelemetrySnapshot(const std::string& path) const {
+  obs::MetricsRegistry registry;
+  ExportMetrics(&registry);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::RuntimeError("cannot open telemetry export " + path);
+  }
+  out << registry.ToPrometheus();
+  out.flush();
+  if (!out) {
+    return Status::RuntimeError("telemetry export write failed: " + path);
+  }
+  return Status::OK();
+}
+
+void QueryService::ExportLoop() {
+  const auto interval = std::chrono::milliseconds(
+      std::max<uint64_t>(1, options_.telemetry_export_interval_ms));
+  std::unique_lock<std::mutex> lock(export_mu_);
+  for (;;) {
+    const bool stop =
+        export_cv_.wait_for(lock, interval, [this] { return export_stop_; });
+    lock.unlock();
+    // Written outside the lock: the snapshot takes mu_ (queue depth) and
+    // does file I/O, neither of which should ever block Stop().
+    (void)WriteTelemetrySnapshot(options_.telemetry_export_path);
+    if (stop) return;
+    lock.lock();
+  }
 }
 
 void ExportCacheStats(const PlanCache::Stats& stats,

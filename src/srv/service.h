@@ -17,6 +17,7 @@
 #include "obs/trace.h"
 #include "srv/l0_cache.h"
 #include "srv/plan_cache.h"
+#include "srv/telemetry.h"
 
 namespace eds::srv {
 
@@ -48,6 +49,10 @@ struct ServedQuery {
   uint64_t serve_ns = 0;      // dequeue -> completion
   gov::GovernorLimits granted;  // derived budget the query ran under
   size_t worker_id = 0;       // 0-based worker that served it
+  // Structural hash of the fingerprint template (0 on the L0/uncached
+  // paths, where no fingerprint is computed): the workload key the flight
+  // recorder groups repeated query shapes by.
+  uint64_t template_hash = 0;
 };
 
 // Cumulative service tallies, exported as srv.* metrics.
@@ -89,6 +94,36 @@ struct ServiceOptions {
   rewrite::RewriteOptions rewrite_options;
   exec::ExecOptions exec_options;
   bool rewrite = true;  // run the rewriter at all (false: raw plans)
+
+  // --- Serving telemetry (srv/telemetry.h) ---
+  // Master switch. Off, the serve path pays exactly one null-pointer
+  // branch per query (the PR-3 discipline) and RecentQueries()/
+  // ExportMetrics() latency sections are empty.
+  bool telemetry = true;
+  // Flight recorder depth: last N served queries kept as QueryRecords.
+  size_t flight_recorder_capacity = 128;
+  // Slow-query thresholds; a query is "slow" when either fires. The
+  // absolute one is in nanoseconds of serve time; the relative one marks
+  // queries slower than `multiple` times the trailing p99 of serve time
+  // (only once >= 32 samples exist, so a cold start can't flag everything).
+  // 0 disables each. Slow queries get their span trace captured
+  // retroactively and attached to their QueryRecord.
+  uint64_t slow_query_ns = 0;
+  double slow_query_p99_multiple = 0.0;
+  // When set, every slow query is also appended to this JSONL file (one
+  // QueryRecordToJson line per query, trace included).
+  std::string slow_query_log_path;
+  // When set, a background thread writes a Prometheus text-format metrics
+  // snapshot (ExportMetrics + MetricsRegistry::ToPrometheus) to this path
+  // every interval, and once more at Stop().
+  std::string telemetry_export_path;
+  uint64_t telemetry_export_interval_ms = 1000;
+  // Deterministic latency injection for tests and demos: a query whose
+  // text contains the marker sleeps test_delay_ns inside a traced
+  // "srv.injected_delay" span before serving begins. The serving analog of
+  // the gov fail points (which can only inject errors, not latency).
+  std::string test_delay_marker;
+  uint64_t test_delay_ns = 0;
 };
 
 // Admission policy: scales the base deadline and term-node budgets by the
@@ -145,6 +180,24 @@ class QueryService {
   // tid 1 is conventionally the submitting thread).
   void WriteMergedTrace(std::ostream& os) const;
 
+  // Flight recorder queries (empty when telemetry is off). Recent() is
+  // newest first; Slowest() ranks the retained window by serve time.
+  std::vector<QueryRecord> RecentQueries(size_t limit = 0) const;
+  std::vector<QueryRecord> SlowestQueries(size_t limit) const;
+  bool telemetry_enabled() const { return telemetry_ != nullptr; }
+  // Lines appended to the slow-query log so far (0 without a log path).
+  uint64_t slow_queries_logged() const;
+
+  // One-stop metrics export: srv.* service tallies, srv.queue_depth (the
+  // current queue depth, a gauge), cache.* plan-cache stats, srv.l0.*
+  // exact-text stats, gov.* trip counters, and — with telemetry on — the
+  // srv.latency.* histograms (quantile gauges + Prometheus distributions).
+  void ExportMetrics(obs::MetricsRegistry* registry) const;
+
+  // Renders ExportMetrics() as Prometheus text exposition into `path`
+  // (truncating). The telemetry_export_path background tick calls this.
+  Status WriteTelemetrySnapshot(const std::string& path) const;
+
  private:
   struct Item {
     std::string esql;
@@ -154,8 +207,21 @@ class QueryService {
     gov::GovernorLimits granted;
   };
 
+  // Everything the recorder/histograms/slow-log need, allocated only when
+  // options.telemetry is set; a null pointer is the entire off cost.
+  struct TelemetryState;
+
   void WorkerLoop(size_t worker_id);
   void ServeItem(Item item, size_t worker_id);
+  // Builds the QueryRecord for one served (or failed) query, records the
+  // latency histograms, applies the slow-query policy (trace attach + log
+  // append), and adds the record to the flight recorder.
+  void RecordTelemetry(const std::string& esql,
+                       const Result<ServedQuery>& served,
+                       const gov::GovernorLimits& granted, uint64_t queue_ns,
+                       uint64_t serve_ns, size_t worker_id,
+                       const obs::TraceSink* scratch);
+  void ExportLoop();
   // The cached pipeline: translate -> fingerprint -> cache lookup or
   // template rewrite + insert -> schema -> execute.
   Result<ServedQuery> ServeNow(const std::string& esql,
@@ -176,6 +242,15 @@ class QueryService {
   ServiceStats stats_;
   std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<obs::TraceSink>> sinks_;  // per worker
+
+  std::unique_ptr<TelemetryState> telemetry_;  // null: telemetry off
+  // The export tick gets its own mutex/cv: sharing cv_ would let the
+  // exporter consume a notify_one meant for a worker and stall a queued
+  // query.
+  std::thread export_thread_;
+  mutable std::mutex export_mu_;
+  std::condition_variable export_cv_;
+  bool export_stop_ = false;
 };
 
 // Metrics importers, mirroring the obs:: exporters: cache.* and srv.*.

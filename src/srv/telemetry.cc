@@ -1,0 +1,149 @@
+#include "srv/telemetry.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/trace.h"
+
+namespace eds::srv {
+
+const char* CacheOutcomeName(const QueryRecord& record) {
+  if (!record.ok) return "error";
+  if (record.l0_hit) return "l0";
+  if (record.cache_hit) return "tmpl";
+  return "miss";
+}
+
+namespace {
+
+void AppendLimits(std::ostringstream& os, const char* key,
+                  const gov::GovernorLimits& limits) {
+  os << "\"" << key << "\":{\"deadline_ms\":" << limits.deadline_ms
+     << ",\"max_term_nodes\":" << limits.max_term_nodes
+     << ",\"max_rows\":" << limits.max_rows << "}";
+}
+
+}  // namespace
+
+std::string QueryRecordToJson(const QueryRecord& record) {
+  std::ostringstream os;
+  os << "{\"seq\":" << record.seq << ",\"text\":\""
+     << obs::JsonEscape(record.text) << "\",\"outcome\":\""
+     << CacheOutcomeName(record) << "\",\"ok\":"
+     << (record.ok ? "true" : "false");
+  if (!record.ok) os << ",\"error\":\"" << obs::JsonEscape(record.error) << "\"";
+  os << ",\"worker\":" << record.worker_id << ",\"rows\":" << record.rows
+     << ",\"queue_ns\":" << record.queue_ns
+     << ",\"serve_ns\":" << record.serve_ns << ",\"phases\":{\"parse_ns\":"
+     << record.phases.parse_ns << ",\"translate_ns\":"
+     << record.phases.translate_ns << ",\"rewrite_ns\":"
+     << record.phases.rewrite_ns << ",\"schema_ns\":"
+     << record.phases.schema_ns << ",\"exec_ns\":" << record.phases.exec_ns
+     << ",\"total_ns\":" << record.phases.total_ns << "},";
+  AppendLimits(os, "base", record.base);
+  os << ",";
+  AppendLimits(os, "granted", record.granted);
+  if (record.template_hash != 0) {
+    os << ",\"template_hash\":" << record.template_hash;
+  }
+  if (!record.trip.empty()) {
+    os << ",\"trip\":\"" << obs::JsonEscape(record.trip) << "\"";
+  }
+  os << ",\"slow\":" << (record.slow ? "true" : "false");
+  if (!record.trace_json.empty()) {
+    // Already a valid JSON object (TraceSink::ToChromeTraceJson), embedded
+    // verbatim except that newlines become spaces: the trace writer emits
+    // one event per line, but a QueryRecord must stay one JSONL line, and
+    // any literal newline in the trace is token-separating whitespace
+    // (string contents arrive JSON-escaped).
+    std::string trace = record.trace_json;
+    while (!trace.empty() && (trace.back() == '\n' || trace.back() == '\r')) {
+      trace.pop_back();
+    }
+    for (char& c : trace) {
+      if (c == '\n' || c == '\r') c = ' ';
+    }
+    os << ",\"trace\":" << trace;
+  }
+  os << "}";
+  return os.str();
+}
+
+uint64_t FlightRecorder::Add(QueryRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record.seq = next_seq_++;
+  const uint64_t seq = record.seq;
+  if (capacity_ == 0) return seq;  // counted, never retained
+  ring_.push_back(std::move(record));
+  while (ring_.size() > capacity_) ring_.pop_front();
+  return seq;
+}
+
+std::vector<QueryRecord> FlightRecorder::Recent(size_t limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryRecord> out;
+  const size_t n =
+      limit == 0 ? ring_.size() : std::min(limit, ring_.size());
+  out.reserve(n);
+  for (auto it = ring_.rbegin(); it != ring_.rend() && out.size() < n; ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+std::vector<QueryRecord> FlightRecorder::Slowest(size_t limit) const {
+  std::vector<QueryRecord> out = Recent(0);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const QueryRecord& a, const QueryRecord& b) {
+                     return a.serve_ns > b.serve_ns;
+                   });
+  if (limit != 0 && out.size() > limit) out.resize(limit);
+  return out;
+}
+
+uint64_t FlightRecorder::total_added() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+Status SlowQueryLog::Append(const QueryRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!out_.is_open()) {
+    out_.open(path_, std::ios::app);
+    if (!out_) {
+      return Status::RuntimeError("cannot open slow-query log " + path_);
+    }
+  }
+  out_ << QueryRecordToJson(record) << "\n";
+  out_.flush();
+  if (!out_) return Status::RuntimeError("slow-query log write failed");
+  ++appended_;
+  return Status::OK();
+}
+
+uint64_t SlowQueryLog::appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+void ExportLatencyMetrics(const LatencyHistograms& latency,
+                          obs::MetricsRegistry* registry) {
+  ExportHistogramQuantiles("srv.latency.queue", latency.queue.Snapshot(),
+                           registry);
+  ExportHistogramQuantiles("srv.latency.serve", latency.serve.Snapshot(),
+                           registry);
+  ExportHistogramQuantiles("srv.latency.parse", latency.parse.Snapshot(),
+                           registry);
+  ExportHistogramQuantiles("srv.latency.rewrite", latency.rewrite.Snapshot(),
+                           registry);
+  ExportHistogramQuantiles("srv.latency.execute", latency.execute.Snapshot(),
+                           registry);
+  ExportHistogramQuantiles("srv.latency.serve.l0_hit",
+                           latency.serve_l0_hit.Snapshot(), registry);
+  ExportHistogramQuantiles("srv.latency.serve.tmpl_hit",
+                           latency.serve_tmpl_hit.Snapshot(), registry);
+  ExportHistogramQuantiles("srv.latency.serve.miss",
+                           latency.serve_miss.Snapshot(), registry);
+}
+
+}  // namespace eds::srv

@@ -2,7 +2,10 @@
 // aggregates vs engine statistics, Chrome trace-event JSON validity (via a
 // minimal JSON parser below), metrics-registry unification, and the
 // guarantee that observability never changes rewrite outcomes.
+#include <cmath>
+#include <limits>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -570,6 +573,89 @@ TEST(UnifyMemoTest, MemoizedVerdictsMatchUnmemoized) {
   }
   EXPECT_GT(memo.hits(), hits_before);
   EXPECT_GT(memo.size(), 0u);
+}
+
+// ---- registry JSON hardening ------------------------------------------
+
+TEST(MetricsRegistryTest, ToJsonEscapesHostileNames) {
+  obs::MetricsRegistry registry;
+  registry.Counter("plain.name", 7);
+  registry.Counter("quote\".back\\slash", 1);
+  registry.Counter("ctrl\nchars\there", 2);
+  std::string json = registry.ToJson();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
+  const JsonValue* metrics = root.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->object.size(), 3u);
+  const JsonValue* hostile = metrics->Find("quote\".back\\slash");
+  ASSERT_NE(hostile, nullptr);
+  EXPECT_EQ(hostile->number, 1.0);
+  ASSERT_NE(metrics->Find("ctrl\nchars\there"), nullptr);
+}
+
+TEST(MetricsRegistryTest, ToJsonRendersNonFiniteGaugesAsNull) {
+  obs::MetricsRegistry registry;
+  registry.Gauge("g.nan", std::nan(""));
+  registry.Gauge("g.inf", std::numeric_limits<double>::infinity());
+  registry.Gauge("g.fine", 1.5);
+  std::string json = registry.ToJson();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
+  const JsonValue* metrics = root.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->Find("g.nan")->kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(metrics->Find("g.inf")->kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(metrics->Find("g.fine")->number, 1.5);
+}
+
+// ---- merged-trace edge cases ------------------------------------------
+
+TEST(MergedTraceTest, EmptySinkListYieldsValidEmptyTrace) {
+  std::ostringstream os;
+  obs::WriteMergedChromeTrace(os, {});
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(os.str()).Parse(&root)) << os.str();
+  const JsonValue* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_TRUE(events->array.empty());
+}
+
+TEST(MergedTraceTest, NullAndEmptySinksAreSkipped) {
+  TraceSink with_events;
+  { obs::Span span(&with_events, "only", "test"); }
+  TraceSink empty;
+  std::ostringstream os;
+  obs::WriteMergedChromeTrace(
+      os, {{nullptr, 1}, {&empty, 2}, {&with_events, 3}});
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(os.str()).Parse(&root)) << os.str();
+  const JsonValue* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 1u);
+  EXPECT_EQ(events->array[0].Find("name")->str, "only");
+  EXPECT_EQ(events->array[0].Find("tid")->number, 3.0);
+}
+
+TEST(TraceSinkTest, AppendFromRebasesOntoTargetOrigin) {
+  TraceSink target;
+  { obs::Span span(&target, "own", "test"); }
+  TraceSink scratch;  // constructed later: larger origin_ns
+  ASSERT_GE(scratch.origin_ns(), target.origin_ns());
+  { obs::Span span(&scratch, "borrowed", "test"); }
+  const uint64_t scratch_rel = scratch.events()[0].start_ns;
+
+  target.AppendFrom(scratch);
+  ASSERT_EQ(target.size(), 2u);
+  const TraceEvent& copied = target.events()[1];
+  EXPECT_EQ(copied.name, "borrowed");
+  // Rebased: scratch-relative time plus the origin gap, exactly.
+  EXPECT_EQ(copied.start_ns,
+            scratch_rel + (scratch.origin_ns() - target.origin_ns()));
+  // The borrowed event starts no earlier than the later sink's creation.
+  EXPECT_GE(copied.start_ns, scratch.origin_ns() - target.origin_ns());
+  // Source is untouched.
+  EXPECT_EQ(scratch.size(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,195 @@
+// eds_stat — serving-telemetry inspector: runs an ESQL workload through
+// the srv::QueryService and reports what the serving layer observed.
+//
+//   $ eds_stat workload.sql                   # Prometheus text to stdout
+//   $ eds_stat --format=text workload.sql     # aligned name/value lines
+//   $ eds_stat --format=json workload.sql     # {"metrics":{...}}
+//   $ eds_stat --repeat=50 --top=10 workload.sql
+//       # serve each SELECT 50x (warms both cache layers, fills the
+//       # latency histograms), then print the 10 slowest flight-recorder
+//       # entries after the metrics
+//   $ eds_stat --slow-ms=5 --slow-log=slow.jsonl workload.sql
+//
+// DDL / INSERT statements in the script run directly on the session;
+// every SELECT is submitted to the service (--threads workers, plan
+// cache + L0 on). The metrics output is the full ExportMetrics surface:
+// srv.*, srv.latency.*, cache.*, srv.l0.*, gov.*.
+// Exit status: 0 on success, 1 if any statement failed, 2 usage/IO error.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "exec/session.h"
+#include "obs/metrics.h"
+#include "srv/service.h"
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage: eds_stat [options] <script.sql | ->\n"
+         "  --threads=N      worker pool size (default 2)\n"
+         "  --repeat=N       serve each SELECT N times (default 1)\n"
+         "  --format=F       prom (default) | text | json\n"
+         "  --top=N          also print the N slowest recorded queries\n"
+         "  --slow-ms=N      slow-query threshold in milliseconds\n"
+         "  --slow-log=FILE  append slow queries to FILE as JSONL\n";
+  return 2;
+}
+
+bool ParseU64(const std::string& text, uint64_t* out) {
+  try {
+    size_t pos = 0;
+    unsigned long long v = std::stoull(text, &pos);
+    if (pos != text.size()) return false;
+    *out = v;
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+// ';'-terminated statements, comments-free ESQL (the shell's convention).
+std::vector<std::string> SplitStatements(const std::string& text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : text) {
+    current += c;
+    if (c == ';') {
+      std::string trimmed(eds::Trim(current));
+      if (!trimmed.empty() && trimmed != ";") out.push_back(trimmed);
+      current.clear();
+    }
+  }
+  std::string tail(eds::Trim(current));
+  if (!tail.empty()) out.push_back(tail + ";");
+  return out;
+}
+
+bool IsSelect(const std::string& stmt) {
+  return stmt.size() >= 6 && eds::EqualsIgnoreCase(stmt.substr(0, 6), "SELECT");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t threads = 2;
+  uint64_t repeat = 1;
+  uint64_t top = 0;
+  uint64_t slow_ms = 0;
+  std::string slow_log;
+  std::string format = "prom";
+  std::string script_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    const std::string kThreads = "--threads=";
+    const std::string kRepeat = "--repeat=";
+    const std::string kFormat = "--format=";
+    const std::string kTop = "--top=";
+    const std::string kSlowMs = "--slow-ms=";
+    const std::string kSlowLog = "--slow-log=";
+    if (arg.rfind(kThreads, 0) == 0) {
+      if (!ParseU64(arg.substr(kThreads.size()), &threads)) return Usage();
+    } else if (arg.rfind(kRepeat, 0) == 0) {
+      if (!ParseU64(arg.substr(kRepeat.size()), &repeat) || repeat == 0) {
+        return Usage();
+      }
+    } else if (arg.rfind(kFormat, 0) == 0) {
+      format = arg.substr(kFormat.size());
+      if (format != "prom" && format != "text" && format != "json") {
+        return Usage();
+      }
+    } else if (arg.rfind(kTop, 0) == 0) {
+      if (!ParseU64(arg.substr(kTop.size()), &top)) return Usage();
+    } else if (arg.rfind(kSlowMs, 0) == 0) {
+      if (!ParseU64(arg.substr(kSlowMs.size()), &slow_ms)) return Usage();
+    } else if (arg.rfind(kSlowLog, 0) == 0) {
+      slow_log = arg.substr(kSlowLog.size());
+      if (slow_log.empty()) return Usage();
+    } else if (!script_path.empty() || arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      script_path = arg;
+    }
+  }
+  if (script_path.empty()) return Usage();
+
+  std::string text;
+  if (script_path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream file(script_path);
+    if (!file) {
+      std::cerr << "cannot open " << script_path << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  }
+
+  eds::exec::Session session;
+  eds::srv::ServiceOptions options;
+  options.workers = threads;
+  options.slow_query_ns = slow_ms * 1'000'000ULL;
+  options.slow_query_log_path = slow_log;
+  eds::srv::QueryService service(&session, options);
+
+  bool failed = false;
+  bool service_started = false;
+  for (const std::string& stmt : SplitStatements(text)) {
+    if (!IsSelect(stmt)) {
+      eds::Status status = session.ExecuteScript(stmt);
+      if (!status.ok()) {
+        std::cerr << status << "\n";
+        failed = true;
+      }
+      continue;
+    }
+    if (!service_started) {
+      eds::Status status = service.Start();
+      if (!status.ok()) {
+        std::cerr << "cannot start query service: " << status << "\n";
+        return 2;
+      }
+      service_started = true;
+    }
+    std::vector<std::future<eds::Result<eds::srv::ServedQuery>>> futures;
+    futures.reserve(repeat);
+    for (uint64_t i = 0; i < repeat; ++i) {
+      futures.push_back(service.Submit(stmt));
+    }
+    for (auto& f : futures) {
+      eds::Result<eds::srv::ServedQuery> served = f.get();
+      if (!served.ok()) {
+        std::cerr << served.status() << "\n";
+        failed = true;
+      }
+    }
+  }
+  service.Stop();
+
+  eds::obs::MetricsRegistry registry;
+  service.ExportMetrics(&registry);
+  if (format == "prom") {
+    std::cout << registry.ToPrometheus();
+  } else if (format == "json") {
+    std::cout << registry.ToJson() << "\n";
+  } else {
+    std::cout << registry.ToText();
+  }
+
+  if (top > 0) {
+    std::cout << "# slowest " << top << " of "
+              << service.RecentQueries().size() << " recorded\n";
+    for (const eds::srv::QueryRecord& r : service.SlowestQueries(top)) {
+      std::cout << "# " << QueryRecordToJson(r) << "\n";
+    }
+  }
+  return failed ? 1 : 0;
+}
