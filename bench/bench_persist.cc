@@ -1,0 +1,172 @@
+// Cold-start vs warm-restart A/B for the persistent plan cache
+// (srv/persist.h): the restart benches build a fresh QueryService per
+// iteration and serve the same literal-variant workload — cold pays one
+// full parse+rewrite per template, warm loads the persisted file at
+// Start() and serves every query from the restored caches (rewrite_ns=0
+// on hits). The save/load benches isolate the file I/O halves: snapshot
+// encode+fsync+rename cost and paranoid-loader cost per record.
+#include <cstdio>
+#include <string>
+
+#include "benchutil.h"
+#include "srv/persist.h"
+#include "srv/service.h"
+
+namespace {
+
+using eds::benchutil::Check;
+using eds::benchutil::CheckResult;
+using eds::benchutil::MakeFilmDb;
+using eds::srv::LoadPersistFile;
+using eds::srv::LoadStats;
+using eds::srv::PersistOptions;
+using eds::srv::QueryService;
+using eds::srv::ServiceOptions;
+
+// Same shape as bench_serve's workload: a handful of templates, many
+// literal variants, so a warmed template cache hits on (almost) all of it.
+std::string WorkloadQuery(size_t i) {
+  switch (i % 3) {
+    case 0:
+      return "SELECT Title FROM FILM WHERE Numf > " + std::to_string(i % 40) +
+             " AND Numf < " + std::to_string(60 + (i % 40));
+    case 1:
+      return "SELECT Numf FROM FILM WHERE MEMBER('Adventure', Categories) "
+             "AND Numf < " +
+             std::to_string(20 + (i % 30));
+    default:
+      return "SELECT F.Title FROM FILM F, APPEARS_IN A WHERE "
+             "F.Numf = A.Numf AND F.Numf = " +
+             std::to_string(1 + (i % 50));
+  }
+}
+
+constexpr size_t kWorkload = 48;
+
+std::string BenchPersistPath() {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp ? tmp : "/tmp") + "/eds_bench_persist.eds";
+}
+
+// Serves the workload through `service` (workers=0, pumped inline) and
+// returns the total rewrite time spent.
+uint64_t ServeWorkload(QueryService& service) {
+  uint64_t rewrite_ns = 0;
+  for (size_t i = 0; i < kWorkload; ++i) {
+    auto future = service.Submit(WorkloadQuery(i));
+    if (!service.ServeQueuedForTesting()) {
+      throw std::runtime_error("queue unexpectedly empty");
+    }
+    auto served = future.get();
+    Check(served.status(), "serve");
+    rewrite_ns += served->result.phase_times.rewrite_ns;
+    benchmark::DoNotOptimize(served->result.rows);
+  }
+  return rewrite_ns;
+}
+
+// Writes the persisted-cache file the warm benches restart from: one
+// service serves the workload once and snapshots at Stop().
+void SeedPersistFile(eds::exec::Session* session, const std::string& path) {
+  std::remove(path.c_str());
+  ServiceOptions options;
+  options.workers = 0;
+  options.persist_path = path;
+  QueryService service(session, options);
+  Check(service.Start(), "seed start");
+  ServeWorkload(service);
+  service.Stop();
+}
+
+// The tentpole A/B: process restart with and without a persisted cache
+// file. Each iteration is one "restart": construct, Start (warm loads the
+// file here), serve the workload, Stop.
+void BM_RestartColdVsWarm(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  auto session = MakeFilmDb(100);
+  const std::string path = BenchPersistPath();
+  if (warm) SeedPersistFile(session.get(), path);
+  uint64_t rewrite_ns = 0;
+  uint64_t hits = 0, misses = 0, loaded = 0;
+  for (auto _ : state) {
+    ServiceOptions options;
+    options.workers = 0;
+    if (warm) {
+      options.persist_path = path;
+      options.persist_interval_ms = 0;  // measure Start()+serve, not ticks
+    }
+    QueryService service(session.get(), options);
+    Check(service.Start(), "start");
+    rewrite_ns = ServeWorkload(service);
+    // A warm restart serves from both restored tiers — most queries hit
+    // the L0 exact-text cache before the template cache is even consulted —
+    // so the hit rate sums the tiers.
+    auto cs = service.cache().GetStats();
+    auto l0 = service.l0_cache().GetStats();
+    hits = cs.hits + l0.hits;
+    misses = cs.misses;
+    loaded = service.persist_load_stats().ok;
+    // Stop() persists again on the warm path; that rewrite of the file is
+    // part of what a real restart pays, so it stays inside the timing.
+    service.Stop();
+  }
+  state.counters["rewrite_ns"] = static_cast<double>(rewrite_ns);
+  state.counters["cache_hits"] = static_cast<double>(hits);
+  state.counters["cache_misses"] = static_cast<double>(misses);
+  state.counters["hit_rate"] =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0.0;
+  benchmark::DoNotOptimize(loaded);
+  if (warm) std::remove(path.c_str());
+}
+BENCHMARK(BM_RestartColdVsWarm)
+    ->Arg(0)  // cold: empty caches, every template pays the rewrite
+    ->Arg(1)  // warm: caches restored from the persisted file at Start()
+    ->ArgNames({"warm"});
+
+// Snapshot cost: one SavePersistNow() per iteration over populated caches
+// (serialize + CRC + tmp write + fsync + rename). This is what a periodic
+// persist tick costs the service.
+void BM_PersistSave(benchmark::State& state) {
+  auto session = MakeFilmDb(100);
+  const std::string path = BenchPersistPath();
+  std::remove(path.c_str());
+  ServiceOptions options;
+  options.workers = 0;
+  options.persist_path = path;
+  QueryService service(session.get(), options);
+  Check(service.Start(), "start");
+  ServeWorkload(service);
+  for (auto _ : state) {
+    Check(service.SavePersistNow(), "save");
+  }
+  state.counters["saved_plans"] =
+      static_cast<double>(service.persist_save_stats().plans);
+  service.Stop();
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_PersistSave);
+
+// Paranoid-loader cost: decode + CRC-check + parse every record of a
+// seeded file, without installing anything (the pure trust-nothing read).
+void BM_PersistLoad(benchmark::State& state) {
+  auto session = MakeFilmDb(100);
+  const std::string path = BenchPersistPath();
+  SeedPersistFile(session.get(), path);
+  size_t records = 0;
+  for (auto _ : state) {
+    LoadStats stats;
+    auto image = CheckResult(LoadPersistFile(path, PersistOptions{}, &stats),
+                             "load");
+    records = image.plans.size() + image.l0.size();
+    benchmark::DoNotOptimize(image);
+  }
+  state.counters["rows_out"] = static_cast<double>(records);
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_PersistLoad);
+
+}  // namespace
+
+BENCHMARK_MAIN();

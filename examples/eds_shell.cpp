@@ -97,6 +97,14 @@ class Shell {
     telemetry_out_ = std::move(telemetry_out);
   }
 
+  // --persist=FILE: warm the plan caches from FILE at service start and
+  // snapshot them back on shutdown (plus every interval_ms while serving,
+  // when nonzero). See docs/persistence.md.
+  void set_persist(std::string path, uint64_t interval_ms) {
+    persist_path_ = std::move(path);
+    persist_interval_ms_ = interval_ms;
+  }
+
   // Stops the worker pool (if any); safe to call repeatedly. Must run
   // before worker_sinks() is read for the exit trace.
   void Shutdown() {
@@ -341,6 +349,8 @@ class Shell {
       options.slow_query_ns = slow_ms_ * 1'000'000ULL;
       options.slow_query_log_path = slow_log_path_;
       options.telemetry_export_path = telemetry_out_;
+      options.persist_path = persist_path_;
+      options.persist_interval_ms = persist_interval_ms_;
       service_ = std::make_unique<eds::srv::QueryService>(&session_, options);
       eds::Status status = service_->Start();
       if (!status.ok()) {
@@ -350,6 +360,12 @@ class Shell {
       }
       std::cout << "query service: " << threads_ << " worker(s), cache "
                 << service_->cache().shard_count() << " shard(s)\n";
+      if (!persist_path_.empty()) {
+        const eds::srv::LoadStats ls = service_->persist_load_stats();
+        std::cout << "persist: " << persist_path_ << " warmed " << ls.ok
+                  << " entr" << (ls.ok == 1 ? "y" : "ies") << " (skipped "
+                  << ls.skipped << ", stale " << ls.stale << ")\n";
+      }
     }
     return service_.get();
   }
@@ -678,6 +694,8 @@ class Shell {
   uint64_t slow_ms_ = 0;
   std::string slow_log_path_;
   std::string telemetry_out_;
+  std::string persist_path_;
+  uint64_t persist_interval_ms_ = 0;
   std::unique_ptr<eds::srv::QueryService> service_;
 };
 
@@ -707,6 +725,8 @@ int main(int argc, char** argv) {
   uint64_t slow_ms = 0;
   std::string slow_log_path;
   std::string telemetry_out;
+  std::string persist_path;
+  uint64_t persist_interval_ms = 0;
   eds::gov::GovernorLimits limits;
   auto parse_u64 = [](const std::string& text, uint64_t* out) {
     try {
@@ -729,6 +749,8 @@ int main(int argc, char** argv) {
     const std::string kSlowMs = "--slow-ms=";
     const std::string kSlowLog = "--slow-log=";
     const std::string kTelemetryOut = "--telemetry-out=";
+    const std::string kPersist = "--persist=";
+    const std::string kPersistMs = "--persist-interval-ms=";
     bool bad = false;
     if (arg.rfind(kTraceOut, 0) == 0) {
       trace_path = arg.substr(kTraceOut.size());
@@ -741,6 +763,11 @@ int main(int argc, char** argv) {
     } else if (arg.rfind(kTelemetryOut, 0) == 0) {
       telemetry_out = arg.substr(kTelemetryOut.size());
       bad = telemetry_out.empty();
+    } else if (arg.rfind(kPersist, 0) == 0) {
+      persist_path = arg.substr(kPersist.size());
+      bad = persist_path.empty();
+    } else if (arg.rfind(kPersistMs, 0) == 0) {
+      bad = !parse_u64(arg.substr(kPersistMs.size()), &persist_interval_ms);
     } else if (arg.rfind(kThreads, 0) == 0) {
       bad = !parse_u64(arg.substr(kThreads.size()), &threads);
     } else if (arg.rfind(kDeadline, 0) == 0) {
@@ -756,16 +783,21 @@ int main(int argc, char** argv) {
       std::cerr << "usage: eds_shell [--trace-out=FILE.json] [--threads=N] "
                    "[--deadline-ms=N] [--max-nodes=N] [--max-rows=N] "
                    "[--slow-ms=N] [--slow-log=FILE.jsonl] "
-                   "[--telemetry-out=FILE.prom] [script.sql]\n";
+                   "[--telemetry-out=FILE.prom] [--persist=FILE.eds] "
+                   "[--persist-interval-ms=N] [script.sql]\n";
       return 1;
     }
   }
+  // Persistence lives in the QueryService; --persist without --threads
+  // gets the smallest pool that routes SELECTs through it.
+  if (!persist_path.empty() && threads == 0) threads = 1;
 
   eds::obs::TraceSink sink;
   Shell shell(trace_path.empty() ? nullptr : &sink);
   shell.set_limits(limits);
   shell.set_threads(threads, /*collect_traces=*/!trace_path.empty());
   shell.set_telemetry(slow_ms, slow_log_path, telemetry_out);
+  shell.set_persist(persist_path, persist_interval_ms);
   int exit_code = 0;
   bool done = false;
   if (!script_path.empty()) {

@@ -1,0 +1,186 @@
+#include "srv/codec.h"
+
+#include <array>
+#include <cstring>
+
+namespace eds::srv {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+uint32_t LoadU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+uint64_t LoadU64(const char* p) {
+  return static_cast<uint64_t>(LoadU32(p)) |
+         (static_cast<uint64_t>(LoadU32(p + 4)) << 32);
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (char ch : data) {
+    c = kTable[(c ^ static_cast<unsigned char>(ch)) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void Encoder::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void Encoder::PutU64(uint64_t v) {
+  PutU32(static_cast<uint32_t>(v));
+  PutU32(static_cast<uint32_t>(v >> 32));
+}
+
+void Encoder::PutString(std::string_view s) {
+  if (s.size() > UINT32_MAX) s = s.substr(0, UINT32_MAX);
+  PutU32(static_cast<uint32_t>(s.size()));
+  out_->append(s.data(), s.size());
+}
+
+Result<uint8_t> Decoder::GetU8() {
+  if (remaining() < 1) {
+    return Status::InvalidArgument("codec: truncated u8");
+  }
+  return static_cast<uint8_t>(
+      static_cast<unsigned char>(data_[pos_++]));
+}
+
+Result<uint32_t> Decoder::GetU32() {
+  if (remaining() < 4) {
+    return Status::InvalidArgument("codec: truncated u32");
+  }
+  uint32_t v = LoadU32(data_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> Decoder::GetU64() {
+  if (remaining() < 8) {
+    return Status::InvalidArgument("codec: truncated u64");
+  }
+  uint64_t v = LoadU64(data_.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+Result<std::string> Decoder::GetString() {
+  EDS_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  if (len > max_string_bytes_) {
+    return Status::InvalidArgument("codec: string length " +
+                                   std::to_string(len) + " exceeds cap " +
+                                   std::to_string(max_string_bytes_));
+  }
+  if (len > remaining()) {
+    return Status::InvalidArgument("codec: truncated string (declared " +
+                                   std::to_string(len) + ", have " +
+                                   std::to_string(remaining()) + ")");
+  }
+  std::string out(data_.substr(pos_, len));
+  pos_ += len;
+  return out;
+}
+
+void EncodeFileHeader(const FileHeader& header, std::string* out) {
+  const size_t start = out->size();
+  out->append(FileHeader::kMagic, sizeof(FileHeader::kMagic));
+  Encoder enc(out);
+  enc.PutU32(header.version);
+  enc.PutU32(header.flags);
+  enc.PutU64(header.catalog_epoch);
+  enc.PutU64(header.rules_epoch);
+  const uint32_t crc =
+      Crc32(std::string_view(*out).substr(start, out->size() - start));
+  enc.PutU32(crc);
+}
+
+Result<FileHeader> DecodeFileHeader(std::string_view data) {
+  if (data.size() < FileHeader::kEncodedSize) {
+    return Status::InvalidArgument("persist header: file too short (" +
+                                   std::to_string(data.size()) + " bytes)");
+  }
+  if (std::memcmp(data.data(), FileHeader::kMagic,
+                  sizeof(FileHeader::kMagic)) != 0) {
+    return Status::InvalidArgument("persist header: bad magic");
+  }
+  const uint32_t stored_crc = LoadU32(data.data() + 28);
+  const uint32_t computed_crc = Crc32(data.substr(0, 28));
+  if (stored_crc != computed_crc) {
+    return Status::InvalidArgument("persist header: checksum mismatch");
+  }
+  FileHeader header;
+  header.version = LoadU32(data.data() + 4);
+  header.flags = LoadU32(data.data() + 8);
+  header.catalog_epoch = LoadU64(data.data() + 12);
+  header.rules_epoch = LoadU64(data.data() + 20);
+  if (header.version != FileHeader::kVersion) {
+    return Status::Unsupported("persist header: format version " +
+                               std::to_string(header.version) +
+                               " (this build reads version " +
+                               std::to_string(FileHeader::kVersion) + ")");
+  }
+  if (header.flags != 0) {
+    return Status::Unsupported("persist header: unknown flags");
+  }
+  return header;
+}
+
+void AppendRecord(std::string_view payload, std::string* out) {
+  Encoder enc(out);
+  enc.PutU32(static_cast<uint32_t>(payload.size()));
+  enc.PutU32(Crc32(payload));
+  out->append(payload.data(), payload.size());
+}
+
+RecordRead ReadRecord(std::string_view data, size_t* pos,
+                      size_t max_record_bytes) {
+  RecordRead out;
+  if (*pos == data.size()) {
+    out.status = RecordStatus::kEnd;
+    return out;
+  }
+  if (data.size() - *pos < 8) {
+    out.status = RecordStatus::kTorn;  // partial frame at the tail
+    return out;
+  }
+  const uint32_t len = LoadU32(data.data() + *pos);
+  const uint32_t crc = LoadU32(data.data() + *pos + 4);
+  if (len > max_record_bytes || len > data.size() - *pos - 8) {
+    // Either a corrupted length prefix or a write cut off mid-payload;
+    // both mean nothing after this point can be trusted to be framed.
+    out.status = RecordStatus::kTorn;
+    return out;
+  }
+  std::string_view payload = data.substr(*pos + 8, len);
+  *pos += 8 + static_cast<size_t>(len);
+  if (Crc32(payload) != crc) {
+    out.status = RecordStatus::kBadCrc;
+    return out;
+  }
+  out.status = RecordStatus::kOk;
+  out.payload = payload;
+  return out;
+}
+
+}  // namespace eds::srv

@@ -1,0 +1,117 @@
+#ifndef EDS_SRV_CODEC_H_
+#define EDS_SRV_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace eds::srv {
+
+// Byte-level encoding for the persisted plan-cache file (srv/persist.h):
+// little-endian fixed-width integers, length-prefixed strings, CRC32C-free
+// plain CRC32 checksums, and [len][crc][payload] record framing. The codec
+// knows nothing about terms or caches — it only moves bytes, so the
+// corpus-fuzzable attack surface (truncations, bit flips, giant lengths)
+// is concentrated here behind bounds-checked reads.
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the same function
+// zlib's crc32() computes. Table-driven, no dependencies.
+uint32_t Crc32(std::string_view data);
+
+// Appends little-endian scalars and length-prefixed strings to a buffer.
+// Encoding cannot fail; all failure handling lives in Decoder.
+class Encoder {
+ public:
+  explicit Encoder(std::string* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  // [u32 length][bytes]; strings longer than UINT32_MAX are a caller bug
+  // (persist caps sizes far below that) and are truncated defensively.
+  void PutString(std::string_view s);
+
+ private:
+  std::string* out_;
+};
+
+// Bounds-checked reader over a byte span. Every Get* validates that the
+// bytes are present before touching them; GetString additionally caps the
+// declared length against both the remaining bytes and `max_string_bytes`
+// so a corrupt length prefix can never drive a giant allocation — the
+// decoder allocates at most what the file actually contains.
+class Decoder {
+ public:
+  Decoder(std::string_view data, size_t max_string_bytes)
+      : data_(data), max_string_bytes_(max_string_bytes) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<std::string> GetString();
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t max_string_bytes_;
+  size_t pos_ = 0;
+};
+
+// Versioned file header. Epochs identify the catalog / rule-library state
+// the cached plans were built under; a loader whose session epochs differ
+// treats every record as stale. The flags word is reserved (must be zero
+// in version 1).
+struct FileHeader {
+  static constexpr char kMagic[4] = {'E', 'D', 'S', 'C'};
+  static constexpr uint32_t kVersion = 1;
+  // Serialized size: magic(4) + version(4) + flags(4) + catalog_epoch(8)
+  // + rules_epoch(8) + crc(4).
+  static constexpr size_t kEncodedSize = 32;
+
+  uint32_t version = kVersion;
+  uint32_t flags = 0;
+  uint64_t catalog_epoch = 0;
+  uint64_t rules_epoch = 0;
+};
+
+// Appends the header (including its trailing CRC32 of the preceding 28
+// bytes) to `out`.
+void EncodeFileHeader(const FileHeader& header, std::string* out);
+
+// Validates magic, CRC, and version; returns the decoded header or a
+// descriptive error. Never reads past data.size().
+Result<FileHeader> DecodeFileHeader(std::string_view data);
+
+// Record framing: [u32 payload_len][u32 payload_crc][payload]. The payload
+// is opaque to this layer.
+void AppendRecord(std::string_view payload, std::string* out);
+
+// Outcome of pulling one record off the wire. kBadCrc consumes the record
+// (framing was intact, payload rotted — skip it and keep reading); kTorn
+// means the frame itself is unreadable (truncated or an absurd length), so
+// the reader must stop: everything before this point is the surviving
+// prefix.
+enum class RecordStatus { kOk, kBadCrc, kTorn, kEnd };
+
+struct RecordRead {
+  RecordStatus status = RecordStatus::kEnd;
+  std::string_view payload;  // valid only when status == kOk
+};
+
+// Reads the record starting at data[*pos]. On kOk and kBadCrc, *pos
+// advances past the record; on kTorn and kEnd it is left unchanged.
+// `max_record_bytes` bounds the declared payload length (lengths past it
+// are treated as torn — a bit flip in a length prefix must not desync the
+// whole tail into phantom records).
+RecordRead ReadRecord(std::string_view data, size_t* pos,
+                      size_t max_record_bytes);
+
+}  // namespace eds::srv
+
+#endif  // EDS_SRV_CODEC_H_

@@ -1,5 +1,6 @@
 #include "srv/l0_cache.h"
 
+#include <algorithm>
 #include <cctype>
 #include <utility>
 
@@ -9,6 +10,11 @@ std::optional<L0Cache::Entry> L0Cache::Lookup(const std::string& normalized,
                                               uint64_t catalog_epoch,
                                               uint64_t rules_epoch) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (normalized.size() > max_key_bytes_) {
+    ++stats_.oversize_rejects;
+    ++stats_.misses;
+    return std::nullopt;
+  }
   auto it = index_.find(normalized);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -27,26 +33,43 @@ std::optional<L0Cache::Entry> L0Cache::Lookup(const std::string& normalized,
   }
   lru_.splice(lru_.begin(), lru_, node);  // bump to most-recent
   ++stats_.hits;
+  ++node->hits;
   return node->entry;
 }
 
-void L0Cache::Insert(const std::string& normalized, Entry entry) {
+void L0Cache::Insert(const std::string& normalized, Entry entry,
+                     uint64_t seed_hits) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.inserts;
   if (capacity_ == 0) return;
+  if (normalized.size() > max_key_bytes_) {
+    ++stats_.oversize_rejects;
+    return;
+  }
   auto it = index_.find(normalized);
   if (it != index_.end()) {
     it->second->entry = std::move(entry);
+    it->second->hits += seed_hits;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.push_front(Node{normalized, std::move(entry)});
+  lru_.push_front(Node{normalized, std::move(entry), seed_hits});
   index_.emplace(normalized, lru_.begin());
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
     ++stats_.evictions;
   }
+}
+
+std::vector<L0Cache::SnapshotEntry> L0Cache::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SnapshotEntry> out;
+  out.reserve(lru_.size());
+  for (const Node& node : lru_) {
+    out.push_back(SnapshotEntry{node.key, node.entry, node.hits});
+  }
+  return out;
 }
 
 void L0Cache::InvalidateAll() {
@@ -63,13 +86,16 @@ L0Cache::Stats L0Cache::GetStats() const {
   return out;
 }
 
-std::string NormalizeQueryText(std::string_view esql) {
+std::string NormalizeQueryText(std::string_view esql, size_t max_bytes) {
   std::string out;
-  out.reserve(esql.size());
+  out.reserve(std::min(esql.size(), max_bytes + 1));
   bool in_string = false;
   bool pending_space = false;  // a whitespace run awaits its single space
   const size_t n = esql.size();
   for (size_t i = 0; i < n; ++i) {
+    // Stop once past the cap: the caller only needs to see that the
+    // output is oversize, not the full normalization of a megaquery.
+    if (out.size() > max_bytes) break;
     char c = esql[i];
     if (in_string) {
       // Verbatim through the closing quote; '' doubling toggles twice,
@@ -111,6 +137,7 @@ void ExportL0Stats(const L0Cache::Stats& stats,
   registry->Counter("srv.l0.inserts", stats.inserts);
   registry->Counter("srv.l0.evictions", stats.evictions);
   registry->Counter("srv.l0.invalidations", stats.invalidations);
+  registry->Counter("srv.l0.oversize_rejects", stats.oversize_rejects);
   registry->Counter("srv.l0.entries", stats.entries);
 }
 

@@ -48,10 +48,28 @@ class L0Cache {
     uint64_t inserts = 0;
     uint64_t evictions = 0;      // capacity evictions (LRU tail)
     uint64_t invalidations = 0;  // stale-epoch entries dropped at lookup
+    uint64_t oversize_rejects = 0;  // keys past the length cap, not cached
     uint64_t entries = 0;        // live entries
   };
 
-  explicit L0Cache(size_t capacity) : capacity_(capacity) {}
+  // One live entry plus its bookkeeping, as Snapshot() reports it; `hits`
+  // is the per-entry hit count (the pg_query_rewrite-style rewrite_count)
+  // persistence ranks hotness by.
+  struct SnapshotEntry {
+    std::string key;
+    Entry entry;
+    uint64_t hits = 0;
+  };
+
+  // Keys longer than this never enter the cache: one pathological
+  // megaquery must not bloat the key set (or, downstream, the persisted
+  // cache file). Lookups and inserts past the cap are counted as
+  // oversize_rejects and behave as misses/no-ops.
+  static constexpr size_t kDefaultMaxKeyBytes = 1 << 16;
+
+  explicit L0Cache(size_t capacity,
+                   size_t max_key_bytes = kDefaultMaxKeyBytes)
+      : capacity_(capacity), max_key_bytes_(max_key_bytes) {}
 
   L0Cache(const L0Cache&) = delete;
   L0Cache& operator=(const L0Cache&) = delete;
@@ -63,23 +81,34 @@ class L0Cache {
                               uint64_t catalog_epoch, uint64_t rules_epoch);
 
   // Inserts (or refreshes) the entry, evicting the LRU tail past capacity.
-  // A zero-capacity cache is a counted no-op.
-  void Insert(const std::string& normalized, Entry entry);
+  // A zero-capacity cache is a counted no-op, as is an oversize key.
+  // `seed_hits` pre-charges the entry's hit counter (warm restore keeps
+  // persisted hotness so the next snapshot ranks it correctly).
+  void Insert(const std::string& normalized, Entry entry,
+              uint64_t seed_hits = 0);
 
   // Drops every entry (the shell's \cache clear).
   void InvalidateAll();
 
   Stats GetStats() const;
 
+  // Copies every live entry with its hit count, most-recently-used first.
+  // The persistence snapshot thread calls this off the serve path.
+  std::vector<SnapshotEntry> Snapshot() const;
+
+  size_t max_key_bytes() const { return max_key_bytes_; }
+
  private:
   struct Node {
     std::string key;
     Entry entry;
+    uint64_t hits = 0;
   };
   using NodeList = std::list<Node>;  // most-recent first
 
   mutable std::mutex mu_;
   size_t capacity_;
+  size_t max_key_bytes_;
   NodeList lru_;
   std::unordered_map<std::string, NodeList::iterator> index_;
   Stats stats_;
@@ -89,8 +118,12 @@ class L0Cache {
 // whitespace runs collapse to one space, letters fold to upper case —
 // except inside single-quoted string literals, which pass through verbatim
 // ('' doubling included). Leading/trailing whitespace is trimmed. Purely
-// lexical: never parses, never fails.
-std::string NormalizeQueryText(std::string_view esql);
+// lexical: never parses, never fails. Normalization stops once the output
+// exceeds `max_bytes` (the result is then longer than max_bytes, so
+// callers can detect the overflow without scanning a megaquery to its
+// end); the default keeps the full text.
+std::string NormalizeQueryText(std::string_view esql,
+                               size_t max_bytes = SIZE_MAX);
 
 // Metrics exporter, mirroring ExportCacheStats: srv.l0.*.
 void ExportL0Stats(const L0Cache::Stats& stats, obs::MetricsRegistry* registry);

@@ -58,6 +58,7 @@ std::optional<term::TermRef> PlanCache::Lookup(const Key& key) {
     for (EntryList::iterator eit : it->second) {
       if (KeyEquals(eit->key, key)) {
         ++shard.stats.hits;
+        ++eit->hits;
         // Bump to most-recent.
         shard.entries.splice(shard.entries.begin(), shard.entries, eit);
         return eit->normal_form;
@@ -80,7 +81,9 @@ void PlanCache::EraseLocked(Shard& shard, uint64_t hash,
   shard.entries.erase(it);
 }
 
-void PlanCache::Insert(const Key& key, term::TermRef normal_form) {
+void PlanCache::Insert(const Key& key, term::TermRef normal_form,
+                       uint64_t rewrite_ns, term::TermList sample_params,
+                       uint64_t seed_hits) {
   if (key.tmpl == nullptr || normal_form == nullptr) return;
   const uint64_t hash = KeyHash(key);
   Shard& shard = ShardFor(hash);
@@ -107,6 +110,9 @@ void PlanCache::Insert(const Key& key, term::TermRef normal_form) {
         eit->normal_form = std::move(normal_form);
         eit->charged_nodes =
             eit->key.tmpl->node_count() + eit->normal_form->node_count();
+        eit->rewrite_ns = rewrite_ns;
+        eit->sample_params = std::move(sample_params);
+        eit->hits += seed_hits;
         shard.nodes += eit->charged_nodes;
         shard.entries.splice(shard.entries.begin(), shard.entries, eit);
         return;
@@ -117,6 +123,9 @@ void PlanCache::Insert(const Key& key, term::TermRef normal_form) {
   entry.key = key;
   entry.charged_nodes = key.tmpl->node_count() + normal_form->node_count();
   entry.normal_form = std::move(normal_form);
+  entry.hits = seed_hits;
+  entry.rewrite_ns = rewrite_ns;
+  entry.sample_params = std::move(sample_params);
   shard.nodes += entry.charged_nodes;
   shard.entries.push_front(std::move(entry));
   shard.index[hash].push_back(shard.entries.begin());
@@ -131,6 +140,25 @@ void PlanCache::Insert(const Key& key, term::TermRef normal_form) {
     ++shard.stats.evictions;
     --shard.stats.entries;
   }
+}
+
+std::vector<PlanCache::SnapshotEntry> PlanCache::Snapshot() const {
+  std::vector<SnapshotEntry> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const Entry& e : shard.entries) {
+      SnapshotEntry s;
+      s.tmpl = e.key.tmpl;
+      s.normal_form = e.normal_form;
+      s.catalog_epoch = e.key.catalog_epoch;
+      s.rules_epoch = e.key.rules_epoch;
+      s.hits = e.hits;
+      s.rewrite_ns = e.rewrite_ns;
+      s.sample_params = e.sample_params;
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
 }
 
 void PlanCache::InvalidateAll() {

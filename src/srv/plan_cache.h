@@ -71,6 +71,22 @@ class PlanCache {
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
+  // One live entry plus its bookkeeping as Snapshot() reports it. `hits`
+  // and `rewrite_ns` (what the original rewrite cost) are the
+  // pg_query_rewrite-style per-entry counters the persistence layer ranks
+  // hotness by; `sample_params` are the literals of the query that
+  // populated the entry, kept so a loaded entry can be re-verified by
+  // ground differential execution.
+  struct SnapshotEntry {
+    term::TermRef tmpl;
+    term::TermRef normal_form;
+    uint64_t catalog_epoch = 0;
+    uint64_t rules_epoch = 0;
+    uint64_t hits = 0;
+    uint64_t rewrite_ns = 0;
+    term::TermList sample_params;
+  };
+
   // Returns the cached normal form and bumps the entry to most-recent, or
   // nullopt (counted as a miss).
   std::optional<term::TermRef> Lookup(const Key& key);
@@ -79,7 +95,17 @@ class PlanCache {
   // until the shard is back under its node budget. The chaos site
   // "srv.cache.insert" (EDS_FAIL_POINT) turns the insert into a counted
   // no-op — a degraded miss on the next lookup, never a wrong plan.
-  void Insert(const Key& key, term::TermRef normal_form);
+  // `rewrite_ns` records what the rewrite that produced `normal_form`
+  // cost, `sample_params` the literals it ran under, and `seed_hits`
+  // pre-charges the hit counter (warm restore keeps persisted hotness).
+  void Insert(const Key& key, term::TermRef normal_form,
+              uint64_t rewrite_ns = 0, term::TermList sample_params = {},
+              uint64_t seed_hits = 0);
+
+  // Copies every live entry with its stats (shard by shard, each under its
+  // own lock; most-recently-used first within a shard). The persistence
+  // snapshot thread calls this off the serve path.
+  std::vector<SnapshotEntry> Snapshot() const;
 
   // Eagerly drops every entry (epoch bumps make stale entries unreachable
   // even without this).
@@ -94,6 +120,9 @@ class PlanCache {
     Key key;
     term::TermRef normal_form;
     uint64_t charged_nodes = 0;
+    uint64_t hits = 0;
+    uint64_t rewrite_ns = 0;
+    term::TermList sample_params;
   };
   // LRU list, most-recent first; the map indexes into it.
   using EntryList = std::list<Entry>;

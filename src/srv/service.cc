@@ -97,6 +97,19 @@ Status QueryService::Start() {
   // The one lazy mutation on the query path: build the optimizer now so
   // workers only ever read it.
   EDS_RETURN_IF_ERROR(session_->optimizer().status());
+  // Warm restart: load the persisted caches before any worker exists, so
+  // the first query already sees them. A missing or corrupt file is a cold
+  // start, never a Start() failure.
+  if (!options_.persist_path.empty()) {
+    WarmFromDisk();
+    if (options_.persist_interval_ms != 0) {
+      {
+        std::lock_guard<std::mutex> lock(persist_mu_);
+        persist_stop_ = false;
+      }
+      persist_thread_ = std::thread([this] { PersistLoop(); });
+    }
+  }
   sinks_.clear();
   for (size_t i = 0; i < options_.workers; ++i) {
     sinks_.push_back(options_.collect_traces
@@ -143,6 +156,20 @@ void QueryService::Stop() {
     }
     export_cv_.notify_all();
     export_thread_.join();
+  }
+  // Persist after the workers have drained: the final snapshot is the
+  // cache state the next process warms from, so it must include every
+  // query served before shutdown.
+  if (persist_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(persist_mu_);
+      persist_stop_ = true;
+    }
+    persist_cv_.notify_all();
+    persist_thread_.join();
+  }
+  if (!options_.persist_path.empty()) {
+    (void)SavePersistNow();  // failures are counted, never block shutdown
   }
   std::lock_guard<std::mutex> lock(mu_);
   started_ = false;
@@ -493,7 +520,10 @@ Result<ServedQuery> QueryService::ServeNow(const std::string& esql,
         // under-optimized — never cache them, so a future uncontended run
         // gets the chance to do better.
         if (!outcome.stats.trip.tripped() && !outcome.stats.safety_stop) {
-          cache_.Insert(key, outcome.term);
+          // The entry carries what this rewrite cost and the literals it
+          // ran under: persistence ranks hotness by hits and re-verifies
+          // loaded entries by re-executing with these sample literals.
+          cache_.Insert(key, outcome.term, obs::NowNs() - rw0, fp.params);
           served.cache_stored = true;
         } else {
           served.cache_bypass = true;
@@ -640,6 +670,22 @@ void QueryService::ExportMetrics(obs::MetricsRegistry* registry) const {
                       telemetry_->recorder.total_added());
     registry->Counter("srv.slow_queries.logged", slow_queries_logged());
   }
+  if (!options_.persist_path.empty()) {
+    std::lock_guard<std::mutex> lock(persist_stats_mu_);
+    registry->Counter("persist.load.ok", persist_load_stats_.ok);
+    registry->Counter("persist.load.skipped", persist_load_stats_.skipped);
+    registry->Counter("persist.load.stale", persist_load_stats_.stale);
+    registry->Counter("persist.load.rejected", persist_load_stats_.rejected);
+    registry->Counter("persist.load.unverified",
+                      persist_load_stats_.unverified);
+    registry->Counter("persist.save.plans", persist_save_stats_.plans);
+    registry->Counter("persist.save.l0", persist_save_stats_.l0);
+    registry->Counter("persist.save.skipped", persist_save_stats_.skipped);
+    registry->Counter("persist.save.stale", persist_save_stats_.stale);
+    registry->Counter("persist.save.bytes", persist_save_stats_.bytes);
+    registry->Counter("persist.save.count", persist_saves_);
+    registry->Counter("persist.save.failures", persist_save_failures_);
+  }
 }
 
 Status QueryService::WriteTelemetrySnapshot(const std::string& path) const {
@@ -655,6 +701,78 @@ Status QueryService::WriteTelemetrySnapshot(const std::string& path) const {
     return Status::RuntimeError("telemetry export write failed: " + path);
   }
   return Status::OK();
+}
+
+void QueryService::WarmFromDisk() {
+  PersistOptions opts = options_.persist;
+  opts.top_k = options_.persist_top_k;
+  LoadStats stats;
+  Result<CacheImage> image =
+      LoadPersistFile(options_.persist_path, opts, &stats);
+  if (image.ok()) {
+    WarmServiceCaches(*image, session_, &cache_, &l0_,
+                      session_->catalog().epoch(), session_->rules_epoch(),
+                      opts, &stats);
+  }
+  std::lock_guard<std::mutex> lock(persist_stats_mu_);
+  persist_load_stats_ = stats;
+}
+
+Status QueryService::SavePersistNow() {
+  if (options_.persist_path.empty()) {
+    return Status::InvalidArgument(
+        "persistence is not configured (persist_path is empty)");
+  }
+  PersistOptions opts = options_.persist;
+  opts.top_k = options_.persist_top_k;
+  FileHeader header;
+  header.catalog_epoch = session_->catalog().epoch();
+  header.rules_epoch = session_->rules_epoch();
+  SaveStats stats;
+  Status saved;
+  {
+    // One write at a time: the periodic tick, an operator-forced save, and
+    // the final Stop() write must not interleave their tmp files.
+    std::lock_guard<std::mutex> io(persist_io_mu_);
+    saved = SavePersistFile(options_.persist_path, cache_, l0_, header, opts,
+                            &stats);
+  }
+  std::lock_guard<std::mutex> lock(persist_stats_mu_);
+  if (saved.ok()) {
+    persist_save_stats_.plans += stats.plans;
+    persist_save_stats_.l0 += stats.l0;
+    persist_save_stats_.skipped += stats.skipped;
+    persist_save_stats_.stale += stats.stale;
+    persist_save_stats_.bytes = stats.bytes;  // size of the latest file
+    ++persist_saves_;
+  } else {
+    ++persist_save_failures_;
+  }
+  return saved;
+}
+
+LoadStats QueryService::persist_load_stats() const {
+  std::lock_guard<std::mutex> lock(persist_stats_mu_);
+  return persist_load_stats_;
+}
+
+SaveStats QueryService::persist_save_stats() const {
+  std::lock_guard<std::mutex> lock(persist_stats_mu_);
+  return persist_save_stats_;
+}
+
+void QueryService::PersistLoop() {
+  const auto interval = std::chrono::milliseconds(
+      std::max<uint64_t>(1, options_.persist_interval_ms));
+  std::unique_lock<std::mutex> lock(persist_mu_);
+  for (;;) {
+    const bool stop =
+        persist_cv_.wait_for(lock, interval, [this] { return persist_stop_; });
+    if (stop) return;  // Stop() writes the final snapshot after the drain
+    lock.unlock();
+    (void)SavePersistNow();
+    lock.lock();
+  }
 }
 
 void QueryService::ExportLoop() {

@@ -16,6 +16,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "srv/l0_cache.h"
+#include "srv/persist.h"
 #include "srv/plan_cache.h"
 #include "srv/telemetry.h"
 
@@ -124,6 +125,23 @@ struct ServiceOptions {
   // the gov fail points (which can only inject errors, not latency).
   std::string test_delay_marker;
   uint64_t test_delay_ns = 0;
+
+  // --- Plan-cache persistence (srv/persist.h) ---
+  // When set, Start() warms both caches from this file (a missing file is
+  // a cold start, not an error) and Stop() snapshots the hot entries back
+  // to it; see docs/persistence.md. Empty disables persistence.
+  std::string persist_path;
+  // Background snapshot cadence between Start and Stop; 0 means only the
+  // final write at Stop(). The snapshot thread mirrors the telemetry
+  // exporter: its own mutex/cv, never on the serve path.
+  uint64_t persist_interval_ms = 0;
+  // Hottest entries (by per-entry hit count) kept per cache at each
+  // snapshot; 0 persists everything the size caps admit.
+  size_t persist_top_k = 256;
+  // Paranoia caps and optional load-time differential re-verification
+  // (PersistOptions::verify_load); top_k here is overridden by
+  // persist_top_k.
+  PersistOptions persist;
 };
 
 // Admission policy: scales the base deadline and term-node budgets by the
@@ -198,6 +216,18 @@ class QueryService {
   // (truncating). The telemetry_export_path background tick calls this.
   Status WriteTelemetrySnapshot(const std::string& path) const;
 
+  // Snapshots both caches to options.persist_path right now (crash-atomic;
+  // see srv/persist.h). The periodic persist tick and Stop() call this;
+  // exposed so operators (eds_shell \persist) can force a write. Error
+  // when persistence is not configured or the write fails.
+  Status SavePersistNow();
+
+  // Cumulative persistence tallies (what ExportMetrics reports as
+  // persist.*): load stats from the Start() warm-up, save stats summed
+  // over every snapshot written so far.
+  LoadStats persist_load_stats() const;
+  SaveStats persist_save_stats() const;
+
  private:
   struct Item {
     std::string esql;
@@ -222,6 +252,10 @@ class QueryService {
                        uint64_t serve_ns, size_t worker_id,
                        const obs::TraceSink* scratch);
   void ExportLoop();
+  void PersistLoop();
+  // Warms the caches from options.persist_path at Start(); a missing or
+  // header-corrupt file is a counted cold start, never a Start() failure.
+  void WarmFromDisk();
   // The cached pipeline: translate -> fingerprint -> cache lookup or
   // template rewrite + insert -> schema -> execute.
   Result<ServedQuery> ServeNow(const std::string& esql,
@@ -251,6 +285,22 @@ class QueryService {
   mutable std::mutex export_mu_;
   std::condition_variable export_cv_;
   bool export_stop_ = false;
+
+  // Persistence snapshot tick, same shape as the export tick (own cv so a
+  // notify meant for a worker is never consumed here). persist_io_mu_
+  // serializes actual file writes (periodic tick vs an explicit
+  // SavePersistNow vs the final Stop() write); persist_stats_mu_ guards
+  // the cumulative tallies.
+  std::thread persist_thread_;
+  mutable std::mutex persist_mu_;
+  std::condition_variable persist_cv_;
+  bool persist_stop_ = false;
+  std::mutex persist_io_mu_;
+  mutable std::mutex persist_stats_mu_;
+  LoadStats persist_load_stats_;
+  SaveStats persist_save_stats_;
+  uint64_t persist_saves_ = 0;          // successful snapshot writes
+  uint64_t persist_save_failures_ = 0;  // failed snapshot writes
 };
 
 // Metrics importers, mirroring the obs:: exporters: cache.* and srv.*.

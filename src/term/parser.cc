@@ -104,6 +104,18 @@ Result<std::vector<Token>> Tokenize(std::string_view text) {
         break;
       }
       case '$': {
+        // $NAME: a reserved-prefix variable (the plan-cache parameter
+        // variables $CQ0, $CQ1, ... print this way); lexed as an identifier
+        // token whose text keeps the '$' so the parser can tell it apart
+        // from user variables. Needed so printed templates re-parse.
+        if (i + 1 < n && IsIdentStart(text[i + 1])) {
+          size_t j = i + 1;
+          while (j < n && IsIdentChar(text[j])) ++j;
+          Token& t = push(TokKind::kIdent, start);
+          t.text = std::string(text.substr(i, j - i));
+          i = j;
+          break;
+        }
         // $i.j attribute reference.
         size_t j = i + 1;
         size_t a_start = j;
@@ -369,6 +381,12 @@ Result<TermRef> TermParser::ParsePrimary() {
     }
     case TokKind::kIdent: {
       std::string name = t.text;
+      if (!name.empty() && name[0] == '$') {
+        // $-prefixed reserved variable ($CQi plan-cache parameters): always
+        // a plain variable, never a boolean constant or an application.
+        Advance();
+        return Term::Var(std::move(name));
+      }
       if (EqualsIgnoreCase(name, "TRUE")) {
         Advance();
         return Term::True();

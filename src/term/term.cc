@@ -1,10 +1,13 @@
 #include "term/term.h"
 
 #include <algorithm>
+#include <charconv>
+#include <cmath>
 #include <cstring>
 #include <map>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 
 #include "common/strings.h"
 #include "term/interner.h"
@@ -346,10 +349,56 @@ TermRef MakeConjunction(const TermList& conjuncts) {
 
 namespace {
 
+// Term-constant printing diverges from value::operator<< in two ways so
+// that printed terms re-parse to the identical interned node (the
+// serialization contract the persistent plan cache depends on):
+//   * string quotes are escaped by '' doubling, matching the lexer;
+//   * reals print with shortest round-trip precision in fixed notation
+//     (the lexer reads no exponents), with a ".0" suffix on whole values
+//     so they come back as reals, not ints.
+// Other value kinds (collections, objects) never survive a round-trip and
+// keep the plain value rendering.
+void PrintConstant(std::ostream& os, const value::Value& v) {
+  switch (v.kind()) {
+    case value::ValueKind::kString: {
+      os << '\'';
+      for (char c : v.AsString()) {
+        if (c == '\'') os << '\'';
+        os << c;
+      }
+      os << '\'';
+      return;
+    }
+    case value::ValueKind::kReal: {
+      const double d = v.AsReal();
+      if (!std::isfinite(d)) {
+        os << v;  // nan/inf cannot round-trip; keep the legacy rendering
+        return;
+      }
+      // Shortest fixed-notation digits that parse back to exactly d. Every
+      // finite double has a finite decimal expansion, so this terminates.
+      char buf[384];
+      auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), d,
+                                     std::chars_format::fixed);
+      if (ec != std::errc()) {
+        os << v;
+        return;
+      }
+      std::string_view s(buf, static_cast<size_t>(end - buf));
+      os << s;
+      if (s.find('.') == std::string_view::npos) os << ".0";
+      return;
+    }
+    default:
+      os << v;
+      return;
+  }
+}
+
 void Print(std::ostream& os, const TermRef& t) {
   switch (t->kind()) {
     case TermKind::kConstant:
-      os << t->constant();
+      PrintConstant(os, t->constant());
       return;
     case TermKind::kVariable:
       os << t->var_name();
@@ -362,9 +411,16 @@ void Print(std::ostream& os, const TermRef& t) {
   }
   const std::string& f = t->functor();
   // ATTR(i, j) prints as $i.j ('$'-prefixed so the parser can reread it;
-  // the paper writes the same references as i.j).
-  if (f == kAttr && t->arity() == 2 && t->arg(0)->is_constant() &&
-      t->arg(1)->is_constant()) {
+  // the paper writes the same references as i.j). Only for non-negative
+  // integer indices — the lexer reads nothing else after '$', so malformed
+  // ATTRs fall through to the functor form, which always re-parses.
+  auto attr_index = [](const TermRef& a) {
+    return a->is_constant() &&
+           a->constant().kind() == value::ValueKind::kInt &&
+           a->constant().AsInt() >= 0;
+  };
+  if (f == kAttr && t->arity() == 2 && attr_index(t->arg(0)) &&
+      attr_index(t->arg(1))) {
     os << '$' << t->arg(0)->constant() << '.' << t->arg(1)->constant();
     return;
   }

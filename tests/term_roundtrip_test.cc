@@ -1,0 +1,157 @@
+// Property suite for the persistence serialization contract: a term's
+// printed form (Term::ToString) must parse back (term::ParseTerm) to the
+// *pointer-identical* hash-consed term. The persisted plan-cache file
+// (srv/persist.h) stores terms as text and reads them through the parser,
+// so any term that breaks this round trip would come back as a different
+// plan — the save path skips such terms, and this suite pins down that
+// the terms that actually flow through the caches never need skipping.
+//
+// Corpora:
+//   * every shipped rule library's patterns, constraints, and replacements
+//     (the terms the optimizer is made of),
+//   * the shared LERA plan corpus (lera_corpus.h),
+//   * fingerprint templates + parameter lists of translated FilmDb
+//     queries (the exact objects the plan cache persists), and
+//   * constructed constant edge cases (quote escaping, real printing).
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "lera_corpus.h"
+#include "rules/extensions.h"
+#include "rules/fixpoint.h"
+#include "rules/merging.h"
+#include "rules/permutation.h"
+#include "rules/semantic.h"
+#include "rules/simplify.h"
+#include "ruledsl/parser.h"
+#include "srv/fingerprint.h"
+#include "term/parser.h"
+#include "testutil.h"
+
+namespace eds::term {
+namespace {
+
+// The property: print -> parse -> the same interned node. Pointer identity
+// is strictly stronger than structural equality and is exactly what the
+// plan cache keys on.
+void ExpectRoundTrip(const TermRef& t, const std::string& context) {
+  ASSERT_NE(t, nullptr) << context;
+  const std::string text = t->ToString();
+  Result<TermRef> parsed = ParseTerm(text);
+  ASSERT_TRUE(parsed.ok()) << context << ": " << text << ": "
+                           << parsed.status().ToString();
+  EXPECT_EQ(parsed->get(), t.get())
+      << context << ": " << text << " reparsed to " << (*parsed)->ToString();
+}
+
+TEST(TermRoundTripTest, EveryShippedRuleLibraryRoundTrips) {
+  const std::pair<const char*, const char*> sources[] = {
+      {"merging", rules::MergingRuleSource()},
+      {"permutation", rules::PermutationRuleSource()},
+      {"fixpoint", rules::FixpointRuleSource()},
+      {"simplify", rules::SimplifyRuleSource()},
+      {"implicit", rules::ImplicitKnowledgeRuleSource()},
+      {"semantic_methods", rules::SemanticMethodRuleSource()},
+      {"extensions", rules::ExtensionRuleSource()},
+  };
+  size_t terms = 0;
+  for (const auto& [name, source] : sources) {
+    auto unit = ruledsl::ParseRuleSource(source);
+    ASSERT_TRUE(unit.ok()) << name << ": " << unit.status();
+    for (const rewrite::Rule& rule : unit->rules) {
+      const std::string context = std::string(name) + "/" + rule.name;
+      ExpectRoundTrip(rule.lhs, context + " lhs");
+      ExpectRoundTrip(rule.rhs, context + " rhs");
+      terms += 2;
+      for (const TermRef& c : rule.constraints) {
+        ExpectRoundTrip(c, context + " constraint");
+        ++terms;
+      }
+      for (const rewrite::MethodCall& m : rule.methods) {
+        for (const TermRef& a : m.args) {
+          ExpectRoundTrip(a, context + " method arg");
+          ++terms;
+        }
+      }
+    }
+  }
+  EXPECT_GT(terms, 100u);  // the corpus is not vacuous
+}
+
+TEST(TermRoundTripTest, LeraCorpusRoundTrips) {
+  for (const char* text : testutil::kLeraCorpus) {
+    Result<TermRef> plan = ParseTerm(text);
+    ASSERT_TRUE(plan.ok()) << text << ": " << plan.status().ToString();
+    ExpectRoundTrip(*plan, text);
+  }
+}
+
+TEST(TermRoundTripTest, FingerprintTemplatesAndParamsRoundTrip) {
+  testutil::FilmDb db;
+  const char* queries[] = {
+      "SELECT Numf FROM FILM WHERE Numf > 1;",
+      "SELECT Title FROM FILM WHERE Title = 'Zorba';",
+      "SELECT F.Title, Name(A.Refactor) FROM FILM F, APPEARS_IN A "
+      "WHERE F.Numf = A.Numf AND Salary(A.Refactor) > 10000;",
+      "SELECT Numf FROM FILM WHERE Numf > 0.5 AND Numf < 2.5;",
+      "SELECT Name(Refactor1) FROM DOMINATE WHERE Numf = 1;",
+  };
+  for (const char* esql : queries) {
+    auto raw = db.session.Translate(esql);
+    ASSERT_TRUE(raw.ok()) << esql << ": " << raw.status().ToString();
+    srv::Fingerprint fp = srv::FingerprintPlan(*raw);
+    // The template (with its $CQi parameter variables) and every extracted
+    // literal are exactly what a persisted plan record contains.
+    ExpectRoundTrip(fp.tmpl, std::string(esql) + " template");
+    for (size_t i = 0; i < fp.params.size(); ++i) {
+      ExpectRoundTrip(fp.params[i],
+                      std::string(esql) + " $CQ" + std::to_string(i));
+    }
+    ExpectRoundTrip(*raw, std::string(esql) + " raw plan");
+  }
+}
+
+TEST(TermRoundTripTest, ParameterVariablesParse) {
+  // $CQi variables print as "$CQ0" — the lexer must read the reserved '$'
+  // prefix back as a variable, not an attribute reference.
+  TermRef v = Term::Var("$CQ0");
+  ExpectRoundTrip(v, "$CQ0");
+  TermRef inside =
+      Term::Apply("FILTER", {Term::Relation("R"),
+                             Term::Eq(Term::Attr(1, 1), Term::Var("$CQ7"))});
+  ExpectRoundTrip(inside, "FILTER with param var");
+}
+
+TEST(TermRoundTripTest, ConstantEdgeCasesRoundTrip) {
+  ExpectRoundTrip(Term::Str("plain"), "plain string");
+  ExpectRoundTrip(Term::Str("O'Brien"), "embedded quote");
+  ExpectRoundTrip(Term::Str("''"), "only quotes");
+  ExpectRoundTrip(Term::Str(""), "empty string");
+  ExpectRoundTrip(Term::Int(0), "zero");
+  ExpectRoundTrip(Term::Int(-42), "negative int");
+  ExpectRoundTrip(Term::Int(INT64_MAX), "int64 max");
+  ExpectRoundTrip(Term::Real(0.5), "half");
+  ExpectRoundTrip(Term::Real(1.0), "whole real stays real");
+  ExpectRoundTrip(Term::Real(0.1), "decimal 0.1");
+  ExpectRoundTrip(Term::Real(1234567.25), "large real");
+  ExpectRoundTrip(Term::Real(0.0000001), "tiny real");
+  ExpectRoundTrip(Term::Bool(true), "TRUE");
+  ExpectRoundTrip(Term::Bool(false), "FALSE");
+}
+
+TEST(TermRoundTripTest, LossyTermsFailLoudlyNotSilently) {
+  // Terms the text format cannot represent faithfully must fail the round
+  // trip (the persistence layer detects this and skips them) — they must
+  // never parse back as a DIFFERENT term.
+  const TermRef null_term = Term::Constant(value::Value::Null());
+  Result<TermRef> reparsed = ParseTerm(null_term->ToString());
+  if (reparsed.ok()) {
+    EXPECT_NE(reparsed->get(), null_term.get())
+        << "NULL constants round-tripping would obsolete the save-time "
+           "skip; update persist.cc if this is now supported";
+  }
+}
+
+}  // namespace
+}  // namespace eds::term

@@ -15,6 +15,7 @@
 
 #include "gtest/gtest.h"
 #include "term/parser.h"
+#include "lera_corpus.h"
 #include "testutil.h"
 #include "verify/instance.h"
 
@@ -108,62 +109,12 @@ TEST(VecDiffTest, RecursiveViewMatchesRowEngine) {
 
 // ---------------- LERA plans over the verifier's corner databases -------
 
-// Plans over V0/V1/V2 (A, B), VE (empty), VS (S CHAR, N), VEDGE/CLO.
-// Comparisons against NULL are three-valued; duplicates stress the bag
-// semantics of SEARCH vs the set semantics of DEDUP/UNION.
-const char* kLeraCorpus[] = {
-    // Single-input scans: comparisons, AND/OR/NOT, constant quals.
-    "SEARCH(LIST(RELATION('V0')), TRUE, LIST($1.1, $1.2))",
-    "SEARCH(LIST(RELATION('V0')), FALSE, LIST($1.1))",
-    "SEARCH(LIST(RELATION('V0')), ($1.1 < $1.2), LIST($1.1, $1.2))",
-    "SEARCH(LIST(RELATION('V0')), (($1.1 < $1.2) AND ($1.1 = $1.1)), "
-    "LIST($1.2, $1.1))",
-    "SEARCH(LIST(RELATION('V1')), (($1.1 = 1) OR ($1.2 = 2)), "
-    "LIST($1.1, $1.2))",
-    "SEARCH(LIST(RELATION('V1')), (NOT ($1.1 = 1)), LIST($1.1))",
-    // Equi joins (hash kernel), residual conjuncts, pure cross joins.
-    "SEARCH(LIST(RELATION('V0'), RELATION('V1')), ($1.2 = $2.1), "
-    "LIST($1.1, $2.2))",
-    "SEARCH(LIST(RELATION('V0'), RELATION('V1')), "
-    "(($1.2 = $2.1) AND ($1.1 < $2.2)), LIST($1.1, $2.2))",
-    "SEARCH(LIST(RELATION('V0'), RELATION('V1')), ($1.1 < $2.2), "
-    "LIST($1.1, $2.2))",
-    "SEARCH(LIST(RELATION('V0'), RELATION('V1'), RELATION('V2')), "
-    "(($1.2 = $2.1) AND ($2.2 = $3.1)), LIST($1.1, $3.2))",
-    "SEARCH(LIST(RELATION('V0'), RELATION('V1')), "
-    "(($1.1 = $2.1) OR ($1.2 = $2.2)), LIST($1.1, $2.1))",
-    // Empty-input corners.
-    "SEARCH(LIST(RELATION('VE')), ($1.1 = 1), LIST($1.1))",
-    "SEARCH(LIST(RELATION('V0'), RELATION('VE')), ($1.1 = $2.1), "
-    "LIST($1.1, $2.2))",
-    // Strings.
-    "SEARCH(LIST(RELATION('VS')), ($1.2 > 1), LIST($1.1, $1.2))",
-    "SEARCH(LIST(RELATION('VS'), RELATION('VS')), ($1.1 = $2.1), "
-    "LIST($1.1, $1.2, $2.2))",
-    // Explicit operators: FILTER / PROJECT / JOIN / DEDUP / set ops.
-    "FILTER(RELATION('V0'), ($1.1 > 1))",
-    "PROJECT(RELATION('V0'), LIST($1.2, $1.1))",
-    "JOIN(RELATION('V0'), RELATION('V1'), ($1.2 = $2.1))",
-    "JOIN(RELATION('V0'), RELATION('V1'), ($1.1 < $2.1))",
-    "DEDUP(SEARCH(LIST(RELATION('V0')), TRUE, LIST($1.1)))",
-    "DEDUP(RELATION('V0'))",
-    "UNION(SET(RELATION('V0'), RELATION('V1')))",
-    "DIFFERENCE(RELATION('V0'), RELATION('V1'))",
-    "INTERSECT(RELATION('V0'), RELATION('V1'))",
-    // Fixpoint: transitive closure over the verifier's graph, semi-naive
-    // deltas flowing through the vectorized SEARCH.
-    "FIX(RELATION('CLO'), UNION(SET("
-    "SEARCH(LIST(RELATION('VEDGE')), TRUE, LIST($1.1, $1.2)), "
-    "SEARCH(LIST(RELATION('CLO'), RELATION('CLO')), ($1.2 = $2.1), "
-    "LIST($1.1, $2.2)))))",
-};
-
 TEST(VecDiffTest, LeraCorpusMatchesRowEngineOnCornerDatabases) {
   auto env = verify::VerifyEnv::Create(/*seed=*/42, /*random_databases=*/4);
   EDS_ASSERT_OK(env.status());
   size_t vec_batches = 0;
   size_t vec_fallbacks = 0;
-  for (const char* text : kLeraCorpus) {
+  for (const char* text : testutil::kLeraCorpus) {
     auto plan = term::ParseTerm(text);
     ASSERT_TRUE(plan.ok()) << text << ": " << plan.status().ToString();
     for (const auto& instance : (*env)->instances()) {
