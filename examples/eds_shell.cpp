@@ -35,8 +35,17 @@
 // Telemetry knobs: --slow-ms=N marks queries slower than N ms as slow
 // (trace attached in \slow), --slow-log=FILE appends them as JSONL, and
 // --telemetry-out=FILE writes a Prometheus snapshot every second.
+//
+// With --listen=PORT the shell becomes a network server: after running
+// the script (schema/data setup), it serves the wire protocol
+// (docs/network.md) until SIGINT/SIGTERM, then drains in-flight queries,
+// takes the final persistence snapshot, and exits. Talk to it with
+// tools/eds_client.
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <future>
@@ -44,6 +53,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/strings.h"
@@ -53,6 +63,7 @@
 #include "lera/printer.h"
 #include "lint/lint.h"
 #include "magic/magic.h"
+#include "net/server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rules/extensions.h"
@@ -65,6 +76,12 @@
 #include "verify/verify.h"
 
 namespace {
+
+// SIGINT/SIGTERM request a graceful stop of the --listen serve loop: the
+// handler only flips a flag; the main thread drains and shuts down.
+std::atomic<bool> g_shutdown_requested{false};
+
+void RequestShutdown(int) { g_shutdown_requested.store(true); }
 
 class Shell {
  public:
@@ -114,6 +131,46 @@ class Shell {
   std::vector<const eds::obs::TraceSink*> worker_sinks() const {
     if (service_ == nullptr) return {};
     return service_->worker_sinks();
+  }
+
+  // --listen=PORT: serve the wire protocol until SIGINT/SIGTERM. On
+  // signal: stop accepting, drain in-flight queries (their RESULT frames
+  // are still delivered), close connections; the caller's Shutdown() then
+  // stops the service, which takes the final persistence snapshot and the
+  // last telemetry export.
+  int ServeNetwork(const std::string& host, uint16_t port) {
+    eds::srv::QueryService* service = EnsureService();
+    if (service == nullptr) {
+      std::cerr << "cannot serve: query service failed to start\n";
+      return 1;
+    }
+    eds::net::ServerOptions options;
+    options.host = host;
+    options.port = port;
+    eds::net::Server server(service, options);
+    eds::Status status = server.Start();
+    if (!status.ok()) {
+      std::cerr << "cannot listen on " << host << ":" << port << ": "
+                << status << "\n";
+      return 1;
+    }
+    std::signal(SIGINT, RequestShutdown);
+    std::signal(SIGTERM, RequestShutdown);
+    std::cout << "listening on " << host << ":" << server.port()
+              << " — connect with eds_client --port=" << server.port()
+              << " (Ctrl-C drains and exits)\n";
+    while (!g_shutdown_requested.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::cout << "\nshutdown requested: draining " << server.pending_queries()
+              << " in-flight quer"
+              << (server.pending_queries() == 1 ? "y" : "ies") << "\n";
+    server.Shutdown(/*drain=*/true);
+    const eds::net::ServerStats stats = server.GetStats();
+    std::cout << "served " << stats.queries << " quer"
+              << (stats.queries == 1 ? "y" : "ies") << " over "
+              << stats.accepted << " connection(s)\n";
+    return 0;
   }
 
   // Returns false on \q.
@@ -727,6 +784,9 @@ int main(int argc, char** argv) {
   std::string telemetry_out;
   std::string persist_path;
   uint64_t persist_interval_ms = 0;
+  bool listen = false;
+  uint64_t listen_port = 0;
+  std::string listen_host = "127.0.0.1";
   eds::gov::GovernorLimits limits;
   auto parse_u64 = [](const std::string& text, uint64_t* out) {
     try {
@@ -751,6 +811,8 @@ int main(int argc, char** argv) {
     const std::string kTelemetryOut = "--telemetry-out=";
     const std::string kPersist = "--persist=";
     const std::string kPersistMs = "--persist-interval-ms=";
+    const std::string kListen = "--listen=";
+    const std::string kListenHost = "--listen-host=";
     bool bad = false;
     if (arg.rfind(kTraceOut, 0) == 0) {
       trace_path = arg.substr(kTraceOut.size());
@@ -768,6 +830,13 @@ int main(int argc, char** argv) {
       bad = persist_path.empty();
     } else if (arg.rfind(kPersistMs, 0) == 0) {
       bad = !parse_u64(arg.substr(kPersistMs.size()), &persist_interval_ms);
+    } else if (arg.rfind(kListen, 0) == 0) {
+      listen = true;
+      bad = !parse_u64(arg.substr(kListen.size()), &listen_port) ||
+            listen_port > 65535;
+    } else if (arg.rfind(kListenHost, 0) == 0) {
+      listen_host = arg.substr(kListenHost.size());
+      bad = listen_host.empty();
     } else if (arg.rfind(kThreads, 0) == 0) {
       bad = !parse_u64(arg.substr(kThreads.size()), &threads);
     } else if (arg.rfind(kDeadline, 0) == 0) {
@@ -784,13 +853,16 @@ int main(int argc, char** argv) {
                    "[--deadline-ms=N] [--max-nodes=N] [--max-rows=N] "
                    "[--slow-ms=N] [--slow-log=FILE.jsonl] "
                    "[--telemetry-out=FILE.prom] [--persist=FILE.eds] "
-                   "[--persist-interval-ms=N] [script.sql]\n";
+                   "[--persist-interval-ms=N] [--listen=PORT "
+                   "[--listen-host=H]] [script.sql]\n";
       return 1;
     }
   }
   // Persistence lives in the QueryService; --persist without --threads
-  // gets the smallest pool that routes SELECTs through it.
+  // gets the smallest pool that routes SELECTs through it. Serving over
+  // the network wants real concurrency by default.
   if (!persist_path.empty() && threads == 0) threads = 1;
+  if (listen && threads == 0) threads = 2;
 
   eds::obs::TraceSink sink;
   Shell shell(trace_path.empty() ? nullptr : &sink);
@@ -810,6 +882,13 @@ int main(int argc, char** argv) {
     while (std::getline(file, line)) {
       if (!shell.HandleLine(line)) break;
     }
+    done = true;
+  }
+  if (listen) {
+    // Script (if any) set up schema and data; now serve the wire protocol
+    // until a signal arrives.
+    exit_code = shell.ServeNetwork(listen_host,
+                                   static_cast<uint16_t>(listen_port));
     done = true;
   }
   if (!done && !isatty(0)) {

@@ -128,4 +128,18 @@ const FunctionSig* Catalog::FindFunctionSig(const std::string& name) const {
   return it == function_sigs_.end() ? nullptr : &it->second;
 }
 
+std::unique_ptr<Catalog> Catalog::Clone() const {
+  auto out = std::make_unique<Catalog>();
+  out->types_.CloneFrom(types_);
+  out->functions_.CloneFrom(functions_);
+  out->tables_ = tables_;
+  out->views_ = views_;
+  out->relation_order_ = relation_order_;
+  out->constraints_ = constraints_;
+  out->function_sigs_ = function_sigs_;
+  out->epoch_.store(epoch_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  return out;
+}
+
 }  // namespace eds::catalog

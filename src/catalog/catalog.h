@@ -1,6 +1,8 @@
 #ifndef EDS_CATALOG_CATALOG_H_
 #define EDS_CATALOG_CATALOG_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -106,9 +108,19 @@ class Catalog {
   // (src/srv/plan_cache.h) keys entries on this epoch so any DDL lazily
   // invalidates every plan rewritten under the old schema. Mutations made
   // behind the catalog's back (directly through types()/functions())
-  // must call BumpEpoch() themselves.
-  uint64_t epoch() const { return epoch_; }
-  void BumpEpoch() { ++epoch_; }
+  // must call BumpEpoch() themselves. The counter is atomic so serving
+  // threads may poll it concurrently with DDL; the catalog's *contents* are
+  // NOT thread-safe — concurrent readers must work from a Clone() published
+  // as a serving snapshot (src/srv/snapshot.h).
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+  void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_relaxed); }
+
+  // Deep-copies the schema into a fresh catalog. Type nodes, view terms and
+  // function handles are immutable/shared, so the copy is cheap (maps of
+  // shared_ptrs); the maps themselves are independent, which is what
+  // serving snapshots need: the clone stays frozen while the live catalog
+  // keeps mutating. The clone carries the source's epoch.
+  std::unique_ptr<Catalog> Clone() const;
 
  private:
   types::TypeRegistry types_;
@@ -118,7 +130,7 @@ class Catalog {
   std::vector<std::string> relation_order_;      // tables+views as declared
   std::vector<ConstraintDef> constraints_;
   std::map<std::string, FunctionSig> function_sigs_;
-  uint64_t epoch_ = 0;
+  std::atomic<uint64_t> epoch_{0};
 };
 
 }  // namespace eds::catalog

@@ -168,6 +168,14 @@ Status Session::ApplyStatement(const esql::Statement& stmt) {
   return Status::Internal("unreachable statement kind");
 }
 
+Status Session::Apply(const esql::Statement& stmt) {
+  if (stmt.kind == esql::StatementKind::kSelect) {
+    return Status::InvalidArgument(
+        "Apply: SELECT is a query, not a DDL/INSERT statement");
+  }
+  return ApplyStatement(stmt);
+}
+
 Status Session::ExecuteScript(std::string_view esql) {
   EDS_ASSIGN_OR_RETURN(std::vector<esql::Statement> stmts,
                        esql::ParseScript(esql));

@@ -1,6 +1,7 @@
 #ifndef EDS_EXEC_SESSION_H_
 #define EDS_EXEC_SESSION_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -108,6 +109,13 @@ class Session {
   // discarded (use Query for results).
   Status ExecuteScript(std::string_view esql);
 
+  // Applies one parsed DDL / INSERT statement (SELECTs are rejected with
+  // InvalidArgument). This is ExecuteScript's per-statement engine exposed
+  // for callers that manage their own parsing and snapshot publication —
+  // QueryService::ApplyDdl serializes calls and republishes the serving
+  // snapshot afterwards.
+  Status Apply(const esql::Statement& stmt);
+
   // Parses and runs one SELECT.
   Result<QueryResult> Query(std::string_view esql,
                             const QueryOptions& options = {});
@@ -162,7 +170,18 @@ class Session {
   // (AddConstraint, RebuildOptimizer). The rewritten-plan cache keys
   // entries on (catalog().epoch(), rules_epoch()) so plans rewritten under
   // a stale rule set are lazily invalidated; see src/srv/plan_cache.h.
-  uint64_t rules_epoch() const { return rules_epoch_; }
+  // Atomic for the same reason as Catalog::epoch(): serving threads poll it
+  // to detect stale snapshots.
+  uint64_t rules_epoch() const {
+    return rules_epoch_.load(std::memory_order_relaxed);
+  }
+
+  // The options the session builds its optimizer with; serving snapshots
+  // build their own optimizer against the cloned catalog with the same
+  // options.
+  const rules::OptimizerOptions& optimizer_options() const {
+    return optimizer_options_;
+  }
 
   // The generated optimizer (built on first use).
   Result<rules::Optimizer*> optimizer();
@@ -188,7 +207,7 @@ class Session {
   rules::OptimizerOptions optimizer_options_;
   std::unique_ptr<rules::Optimizer> optimizer_;
   bool optimizer_dirty_ = true;
-  uint64_t rules_epoch_ = 0;
+  std::atomic<uint64_t> rules_epoch_{0};
   obs::TraceSink* trace_sink_ = nullptr;
 };
 

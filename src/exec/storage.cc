@@ -61,6 +61,7 @@ Status ObjectHeap::Update(uint64_t oid, value::Value state) {
 }
 
 Status Database::CreateTable(const std::string& name, size_t column_count) {
+  std::lock_guard<std::mutex> lock(map_mu_);
   auto [it, inserted] =
       tables_.emplace(ToUpperAscii(name), Table(column_count));
   (void)it;
@@ -71,6 +72,7 @@ Status Database::CreateTable(const std::string& name, size_t column_count) {
 }
 
 Result<Table*> Database::GetTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(map_mu_);
   auto it = tables_.find(ToUpperAscii(name));
   if (it == tables_.end()) {
     return Status::NotFound("no stored table '" + name + "'");
@@ -79,6 +81,7 @@ Result<Table*> Database::GetTable(const std::string& name) {
 }
 
 Result<const Table*> Database::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(map_mu_);
   auto it = tables_.find(ToUpperAscii(name));
   if (it == tables_.end()) {
     return Status::NotFound("no stored table '" + name + "'");
@@ -87,6 +90,7 @@ Result<const Table*> Database::GetTable(const std::string& name) const {
 }
 
 bool Database::HasTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(map_mu_);
   return tables_.count(ToUpperAscii(name)) > 0;
 }
 

@@ -86,6 +86,12 @@ class ObjectHeap {
 
 // A database instance: named tables plus the object heap. Schemas live in
 // the catalog; storage only checks arity.
+//
+// Thread-safety: the tables_ *map* is guarded by an internal mutex so
+// CREATE TABLE can run while serving threads resolve table names (std::map
+// nodes are pointer-stable, so a Table* stays valid across later inserts;
+// tables are never dropped). Table *contents* are not locked here — data
+// writes are serialized against serving by QueryService's serve gate.
 class Database {
  public:
   Database() = default;
@@ -101,6 +107,7 @@ class Database {
   const ObjectHeap& heap() const { return heap_; }
 
  private:
+  mutable std::mutex map_mu_;            // guards tables_ map structure only
   std::map<std::string, Table> tables_;  // upper-cased keys
   ObjectHeap heap_;
 };

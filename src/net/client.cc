@@ -1,0 +1,204 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace eds::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::RuntimeError(std::string(what) + ": " +
+                              std::strerror(errno));
+}
+
+}  // namespace
+
+Client::Client(int fd, Options options)
+    : fd_(fd), options_(std::move(options)) {}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::unique_ptr<Client>> Client::Connect(const Options& options) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host: " + options.host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Errno("connect");
+    ::close(fd);
+    return s;
+  }
+  std::unique_ptr<Client> client(new Client(fd, options));
+  Hello hello;
+  hello.version = kProtocolVersion;
+  hello.client_name = options.client_name;
+  hello.tenant = options.tenant;
+  std::string frame;
+  AppendFrame(MsgType::kHello, 0, EncodeHello(hello), &frame);
+  EDS_RETURN_IF_ERROR(client->WriteAll(frame));
+  EDS_ASSIGN_OR_RETURN(Frame reply, client->ReadFrame());
+  if (reply.type != MsgType::kHelloOk) {
+    return Status::RuntimeError("handshake: expected HELLO_OK");
+  }
+  EDS_ASSIGN_OR_RETURN(client->hello_, DecodeHelloOk(reply.body));
+  return client;
+}
+
+Status Client::WriteAll(std::string_view bytes) {
+  if (fd_ < 0) return Status::RuntimeError("client closed");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Status Client::SendRaw(std::string_view bytes) { return WriteAll(bytes); }
+
+Result<Frame> Client::ReadFrame() {
+  if (fd_ < 0) return Status::RuntimeError("client closed");
+  char buf[16384];
+  for (;;) {
+    Frame frame;
+    std::string why;
+    FrameStatus st =
+        NextFrame(&inbuf_, options_.max_frame_bytes, &frame, &why);
+    if (st == FrameStatus::kBad) {
+      return Status::RuntimeError("bad frame from server: " + why);
+    }
+    if (st == FrameStatus::kOk) {
+      if (frame.type == MsgType::kError) {
+        std::string message = "server error";
+        if (Result<ErrorMsg> err = DecodeError(frame.body); err.ok()) {
+          message = "server error: " + err->message;
+        }
+        return Status::RuntimeError(message);
+      }
+      return frame;
+    }
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      inbuf_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::RuntimeError("server closed connection");
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+Result<ResultMsg> Client::AwaitResult(uint64_t request_id) {
+  EDS_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+  if (frame.type != MsgType::kResult || frame.request_id != request_id) {
+    return Status::RuntimeError(
+        "unexpected frame while awaiting RESULT for request " +
+        std::to_string(request_id));
+  }
+  return DecodeResult(frame.body);
+}
+
+Result<ResultMsg> Client::Query(const std::string& esql) {
+  const uint64_t id = next_request_++;
+  QueryMsg q;
+  q.esql = esql;
+  std::string frame;
+  AppendFrame(MsgType::kQuery, id, EncodeQuery(q), &frame);
+  EDS_RETURN_IF_ERROR(WriteAll(frame));
+  return AwaitResult(id);
+}
+
+Result<ResultMsg> Client::Exec(const std::string& script) {
+  const uint64_t id = next_request_++;
+  ExecMsg e;
+  e.script = script;
+  std::string frame;
+  AppendFrame(MsgType::kExec, id, EncodeExec(e), &frame);
+  EDS_RETURN_IF_ERROR(WriteAll(frame));
+  return AwaitResult(id);
+}
+
+Result<std::string> Client::Stats() {
+  const uint64_t id = next_request_++;
+  std::string frame;
+  AppendFrame(MsgType::kStats, id, "", &frame);
+  EDS_RETURN_IF_ERROR(WriteAll(frame));
+  EDS_ASSIGN_OR_RETURN(Frame reply, ReadFrame());
+  if (reply.type != MsgType::kStatsResult || reply.request_id != id) {
+    return Status::RuntimeError("expected STATS_RESULT");
+  }
+  EDS_ASSIGN_OR_RETURN(StatsResult sr, DecodeStatsResult(reply.body));
+  return sr.prometheus;
+}
+
+Status Client::Goodbye() {
+  const uint64_t id = next_request_++;
+  std::string frame;
+  AppendFrame(MsgType::kGoodbye, id, "", &frame);
+  EDS_RETURN_IF_ERROR(WriteAll(frame));
+  EDS_ASSIGN_OR_RETURN(Frame reply, ReadFrame());
+  if (reply.type != MsgType::kGoodbyeOk) {
+    return Status::RuntimeError("expected GOODBYE_OK");
+  }
+  Close();
+  return Status::OK();
+}
+
+Result<uint64_t> Client::SendQuery(const std::string& esql) {
+  const uint64_t id = next_request_++;
+  QueryMsg q;
+  q.esql = esql;
+  std::string frame;
+  AppendFrame(MsgType::kQuery, id, EncodeQuery(q), &frame);
+  EDS_RETURN_IF_ERROR(WriteAll(frame));
+  return id;
+}
+
+Status Client::SendCancel(uint64_t request_id) {
+  CancelMsg c;
+  c.target_request = request_id;
+  std::string frame;
+  AppendFrame(MsgType::kCancel, next_request_++, EncodeCancel(c), &frame);
+  return WriteAll(frame);
+}
+
+Result<Client::Response> Client::ReadResponse() {
+  EDS_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+  if (frame.type != MsgType::kResult) {
+    return Status::RuntimeError("expected RESULT frame");
+  }
+  Response r;
+  r.request_id = frame.request_id;
+  EDS_ASSIGN_OR_RETURN(r.result, DecodeResult(frame.body));
+  return r;
+}
+
+}  // namespace eds::net

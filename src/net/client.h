@@ -1,0 +1,85 @@
+#ifndef EDS_NET_CLIENT_H_
+#define EDS_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/protocol.h"
+
+namespace eds::net {
+
+// Blocking client for the EDS wire protocol: one TCP connection, one
+// outstanding HELLO handshake, then any mix of QUERY/EXEC/STATS/CANCEL.
+// Not thread-safe — one Client per thread (the server happily serves many
+// connections; that is the concurrency story).
+//
+// The synchronous helpers (Query/Exec/Stats/Goodbye) send and then read
+// frames until the response with the matching request id arrives. The
+// split pipelined surface (SendQuery/SendCancel/ReadResponse) exists for
+// cancellation and multi-query-in-flight tests.
+class Client {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    std::string client_name = "eds_client";
+    std::string tenant;  // "" = default tenant
+    size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  };
+
+  // TCP connect + HELLO/HELLO_OK handshake.
+  static Result<std::unique_ptr<Client>> Connect(const Options& options);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  uint64_t session_id() const { return hello_.session_id; }
+  const HelloOk& hello() const { return hello_; }
+
+  // Round-trip helpers.
+  Result<ResultMsg> Query(const std::string& esql);
+  Result<ResultMsg> Exec(const std::string& script);
+  Result<std::string> Stats();  // Prometheus text
+  Status Goodbye();             // waits for GOODBYE_OK, then closes
+
+  // Pipelined surface: fire-and-forget sends plus an explicit read.
+  Result<uint64_t> SendQuery(const std::string& esql);  // returns request id
+  Status SendCancel(uint64_t request_id);
+  struct Response {
+    uint64_t request_id = 0;
+    ResultMsg result;
+  };
+  // Next RESULT frame in arrival order (responses to pipelined queries may
+  // arrive out of submission order).
+  Result<Response> ReadResponse();
+
+  // Test hook: raw bytes straight onto the socket (malformed-frame tests).
+  Status SendRaw(std::string_view bytes);
+
+  void Close();  // idempotent; further calls fail
+
+ private:
+  Client(int fd, Options options);
+  Status WriteAll(std::string_view bytes);
+  // Blocks until one complete frame is available. A server ERROR frame is
+  // surfaced as an error Status (the server closes after sending it).
+  Result<Frame> ReadFrame();
+  // Reads frames until a RESULT for `request_id`; out-of-order RESULTs for
+  // other requests are an error on the synchronous surface.
+  Result<ResultMsg> AwaitResult(uint64_t request_id);
+
+  int fd_;
+  Options options_;
+  HelloOk hello_;
+  std::string inbuf_;
+  uint64_t next_request_ = 1;
+};
+
+}  // namespace eds::net
+
+#endif  // EDS_NET_CLIENT_H_

@@ -172,6 +172,23 @@ void PlanCache::InvalidateAll() {
   }
 }
 
+void PlanCache::DropStale(uint64_t catalog_epoch, uint64_t rules_epoch) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      if (it->key.catalog_epoch == catalog_epoch &&
+          it->key.rules_epoch == rules_epoch) {
+        ++it;
+        continue;
+      }
+      auto doomed = it++;
+      EraseLocked(shard, KeyHash(doomed->key), doomed);
+      ++shard.stats.invalidations;
+      --shard.stats.entries;
+    }
+  }
+}
+
 PlanCache::Stats PlanCache::GetStats() const {
   Stats total;
   for (const Shard& shard : shards_) {

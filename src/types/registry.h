@@ -64,6 +64,22 @@ class TypeRegistry {
     return user_order_;
   }
 
+  // Replaces this registry's contents with a copy of `other`'s. TypeRef is
+  // shared_ptr<const Type>, so the clone shares the immutable type nodes —
+  // including the builtin members, which keeps pointer identity consistent
+  // between a catalog and its serving-snapshot clones.
+  void CloneFrom(const TypeRegistry& other) {
+    by_name_ = other.by_name_;
+    user_order_ = other.user_order_;
+    bool_type_ = other.bool_type_;
+    int_type_ = other.int_type_;
+    real_type_ = other.real_type_;
+    numeric_type_ = other.numeric_type_;
+    char_type_ = other.char_type_;
+    any_type_ = other.any_type_;
+    collection_type_ = other.collection_type_;
+  }
+
  private:
   Status Insert(const std::string& name, const TypeRef& type);
 

@@ -57,6 +57,10 @@ class FunctionLibrary {
   // Installs the builtins above into `lib` (used to build extended copies).
   static void InstallBuiltins(FunctionLibrary* lib);
 
+  // Replaces this library's contents with a copy of `other`'s registrations
+  // (std::function handles are shared). Used by catalog::Catalog::Clone.
+  void CloneFrom(const FunctionLibrary& other) { by_name_ = other.by_name_; }
+
  private:
   std::map<std::string, PureFunction> by_name_;  // keys upper-cased
 };

@@ -1,0 +1,252 @@
+// Wire-protocol framing and body codecs: round trips, streaming
+// reassembly from partial reads, and the codec chaos patterns (oversize
+// lengths, truncation, bit flips, garbage) landing on NextFrame — the
+// exact function every byte from the network goes through.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "net/protocol.h"
+
+namespace eds::net {
+namespace {
+
+std::string OneFrame(MsgType type, uint64_t request_id,
+                     const std::string& body) {
+  std::string out;
+  AppendFrame(type, request_id, body, &out);
+  return out;
+}
+
+TEST(NetFraming, RoundTripsOneFrame) {
+  std::string buffer = OneFrame(MsgType::kQuery, 42, "payload");
+  Frame frame;
+  std::string why;
+  ASSERT_EQ(NextFrame(&buffer, kDefaultMaxFrameBytes, &frame, &why),
+            FrameStatus::kOk)
+      << why;
+  EXPECT_EQ(frame.type, MsgType::kQuery);
+  EXPECT_EQ(frame.request_id, 42u);
+  EXPECT_EQ(frame.body, "payload");
+  EXPECT_TRUE(buffer.empty());  // consumed
+}
+
+TEST(NetFraming, ExtractsBackToBackFrames) {
+  std::string buffer = OneFrame(MsgType::kHello, 1, "a") +
+                       OneFrame(MsgType::kStats, 2, "") +
+                       OneFrame(MsgType::kGoodbye, 3, "ccc");
+  std::vector<Frame> frames;
+  Frame frame;
+  while (NextFrame(&buffer, kDefaultMaxFrameBytes, &frame, nullptr) ==
+         FrameStatus::kOk) {
+    frames.push_back(frame);
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].type, MsgType::kHello);
+  EXPECT_EQ(frames[1].request_id, 2u);
+  EXPECT_EQ(frames[2].body, "ccc");
+}
+
+// Streaming reassembly: feed the frame one byte at a time; every prefix
+// must report kNeedMore, the final byte completes the frame.
+TEST(NetFraming, ReassemblesFromSingleByteReads) {
+  const std::string wire = OneFrame(MsgType::kExec, 7, "CREATE TABLE t;");
+  std::string buffer;
+  Frame frame;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    buffer += wire[i];
+    ASSERT_EQ(NextFrame(&buffer, kDefaultMaxFrameBytes, &frame, nullptr),
+              FrameStatus::kNeedMore)
+        << "at byte " << i;
+  }
+  buffer += wire.back();
+  ASSERT_EQ(NextFrame(&buffer, kDefaultMaxFrameBytes, &frame, nullptr),
+            FrameStatus::kOk);
+  EXPECT_EQ(frame.body, "CREATE TABLE t;");
+}
+
+TEST(NetFraming, OversizeLengthIsBad) {
+  std::string buffer = OneFrame(MsgType::kQuery, 1, std::string(2048, 'x'));
+  Frame frame;
+  std::string why;
+  EXPECT_EQ(NextFrame(&buffer, /*max_frame_bytes=*/1024, &frame, &why),
+            FrameStatus::kBad);
+  EXPECT_NE(why.find("oversize"), std::string::npos) << why;
+}
+
+// Every single-bit flip in the frame must be detected: either the CRC
+// catches it, the length turns oversize, or the truncated tail reads as
+// kNeedMore — never a silently-wrong frame, never a crash.
+TEST(NetFraming, EveryBitFlipIsDetected) {
+  const std::string wire = OneFrame(MsgType::kQuery, 99, "SELECT 1;");
+  for (size_t byte = 0; byte < wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string buffer = wire;
+      buffer[byte] = static_cast<char>(buffer[byte] ^ (1 << bit));
+      Frame frame;
+      FrameStatus st =
+          NextFrame(&buffer, kDefaultMaxFrameBytes, &frame, nullptr);
+      if (st == FrameStatus::kOk) {
+        // Only acceptable if the flip turned the length smaller AND the
+        // CRC of the shorter payload happened to match — a 2^-32 event
+        // the CRC contract does not cover. Fail loudly if it happens.
+        ADD_FAILURE() << "bit flip at byte " << byte << " bit " << bit
+                      << " produced a valid frame";
+      }
+    }
+  }
+}
+
+TEST(NetFraming, TruncatedFrameWaitsForMore) {
+  std::string wire = OneFrame(MsgType::kResult, 5, "abcdefgh");
+  wire.resize(wire.size() - 3);  // torn mid-payload
+  Frame frame;
+  EXPECT_EQ(NextFrame(&wire, kDefaultMaxFrameBytes, &frame, nullptr),
+            FrameStatus::kNeedMore);
+}
+
+TEST(NetFraming, UnknownMessageTypeIsBad) {
+  // Type 0 and type 200 are outside the enum range.
+  for (uint8_t bad_type : {uint8_t{0}, uint8_t{200}}) {
+    std::string buffer;
+    AppendFrame(static_cast<MsgType>(bad_type), 1, "x", &buffer);
+    Frame frame;
+    std::string why;
+    EXPECT_EQ(NextFrame(&buffer, kDefaultMaxFrameBytes, &frame, &why),
+              FrameStatus::kBad);
+    EXPECT_NE(why.find("unknown"), std::string::npos) << why;
+  }
+}
+
+// Deterministic garbage: NextFrame must classify arbitrary bytes as
+// kNeedMore or kBad without reading out of bounds (the asan preset turns
+// this into a memory-safety check).
+TEST(NetFraming, GarbageNeverCrashes) {
+  uint64_t state = 0x2545F4914F6CDD1DULL;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<char>(state & 0xFF);
+  };
+  for (int round = 0; round < 200; ++round) {
+    std::string buffer;
+    const size_t len = 1 + (static_cast<size_t>(next()) & 0x3F);
+    for (size_t i = 0; i < len; ++i) buffer += next();
+    Frame frame;
+    FrameStatus st = NextFrame(&buffer, 4096, &frame, nullptr);
+    EXPECT_TRUE(st == FrameStatus::kNeedMore || st == FrameStatus::kBad);
+  }
+}
+
+// ---- body codecs ----
+
+TEST(NetBodies, HelloRoundTrip) {
+  Hello in;
+  in.version = kProtocolVersion;
+  in.client_name = "stress-7";
+  in.tenant = "analytics";
+  Result<Hello> out = DecodeHello(EncodeHello(in));
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->version, in.version);
+  EXPECT_EQ(out->client_name, "stress-7");
+  EXPECT_EQ(out->tenant, "analytics");
+}
+
+TEST(NetBodies, HelloOkRoundTrip) {
+  HelloOk in;
+  in.session_id = 17;
+  in.server_info = "eds/test";
+  Result<HelloOk> out = DecodeHelloOk(EncodeHelloOk(in));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->session_id, 17u);
+  EXPECT_EQ(out->server_info, "eds/test");
+}
+
+TEST(NetBodies, QueryExecCancelRoundTrip) {
+  Result<QueryMsg> q = DecodeQuery(EncodeQuery({"SELECT Winner FROM BEATS"}));
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->esql, "SELECT Winner FROM BEATS");
+  Result<ExecMsg> e = DecodeExec(EncodeExec({"CREATE TABLE t (x INT);"}));
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->script, "CREATE TABLE t (x INT);");
+  CancelMsg c;
+  c.target_request = 12345;
+  Result<CancelMsg> c2 = DecodeCancel(EncodeCancel(c));
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(c2->target_request, 12345u);
+}
+
+TEST(NetBodies, ResultRoundTripWithRows) {
+  ResultMsg in;
+  in.ok = true;
+  in.columns = {"Winner", "Loser"};
+  in.rows = {{"1", "2"}, {"3", "4"}, {"5", "6"}};
+  in.l0_hit = true;
+  in.catalog_epoch = 3;
+  in.rules_epoch = 8;
+  in.serve_ns = 123456;
+  Result<ResultMsg> out = DecodeResult(EncodeResult(in));
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(out->ok);
+  EXPECT_EQ(out->columns, in.columns);
+  EXPECT_EQ(out->rows, in.rows);
+  EXPECT_TRUE(out->l0_hit);
+  EXPECT_FALSE(out->cache_hit);
+  EXPECT_EQ(out->catalog_epoch, 3u);
+  EXPECT_EQ(out->rules_epoch, 8u);
+  EXPECT_EQ(out->serve_ns, 123456u);
+}
+
+TEST(NetBodies, ResultRoundTripError) {
+  ResultMsg in;
+  in.ok = false;
+  in.error = "no such relation: NOPE";
+  Result<ResultMsg> out = DecodeResult(EncodeResult(in));
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->ok);
+  EXPECT_EQ(out->error, "no such relation: NOPE");
+}
+
+// A corrupt row/column count must fail cleanly, not allocate gigabytes or
+// read past the body.
+TEST(NetBodies, CorruptCountsFailCleanly) {
+  ResultMsg in;
+  in.ok = true;
+  in.columns = {"a"};
+  in.rows = {{"1"}};
+  std::string body = EncodeResult(in);
+  // Column count lives right after ok(1)+l0(1)+cache(1)+3x u64(24).
+  const size_t ncols_at = 1 + 1 + 1 + 24;
+  ASSERT_LT(ncols_at + 4, body.size());
+  std::string corrupt = body;
+  corrupt[ncols_at] = static_cast<char>(0xFF);
+  corrupt[ncols_at + 1] = static_cast<char>(0xFF);
+  corrupt[ncols_at + 2] = static_cast<char>(0xFF);
+  corrupt[ncols_at + 3] = static_cast<char>(0x7F);
+  Result<ResultMsg> out = DecodeResult(corrupt);
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(NetBodies, TrailingBytesAfterResultRejected) {
+  ResultMsg in;
+  in.ok = true;
+  in.columns = {"a"};
+  in.rows = {};
+  std::string body = EncodeResult(in) + "junk";
+  EXPECT_FALSE(DecodeResult(body).ok());
+}
+
+TEST(NetBodies, StatsAndErrorRoundTrip) {
+  Result<StatsResult> s =
+      DecodeStatsResult(EncodeStatsResult({"# TYPE x counter\nx 1\n"}));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->prometheus, "# TYPE x counter\nx 1\n");
+  Result<ErrorMsg> e = DecodeError(EncodeError({"bad frame"}));
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->message, "bad frame");
+}
+
+}  // namespace
+}  // namespace eds::net

@@ -1,0 +1,227 @@
+// eds_client — command-line client for an EDS network server
+// (eds_shell --listen=PORT), speaking the wire protocol of docs/network.md.
+//
+//   $ eds_client --port=7432 --query="SELECT * FROM dept;"
+//   $ eds_client --port=7432 --exec="CREATE TABLE t (x INT);"
+//   $ eds_client --port=7432 --stats            # Prometheus text
+//   $ eds_client --port=7432 script.sql         # SELECTs query, rest EXECs
+//   $ echo "SELECT 1 + 1;" | eds_client --port=7432 -
+//   $ eds_client --port=7432                    # interactive (tty)
+//
+// Options: --host=H (default 127.0.0.1), --tenant=T (weighted admission
+// id), --name=S (client name on HELLO). Exit status: 0 on success, 1 if
+// any statement failed, 2 on usage/connection errors.
+#include <unistd.h>
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "net/client.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: eds_client --port=P [--host=H] [--tenant=T] "
+               "[--name=S]\n"
+               "                  [--query=ESQL | --exec=SCRIPT | --stats | "
+               "script.sql | -]\n";
+  return 2;
+}
+
+// ';'-terminated statements (the shell's convention).
+std::vector<std::string> SplitStatements(const std::string& text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : text) {
+    current += c;
+    if (c == ';') {
+      std::string trimmed(eds::Trim(current));
+      if (!trimmed.empty() && trimmed != ";") out.push_back(trimmed);
+      current.clear();
+    }
+  }
+  std::string tail(eds::Trim(current));
+  if (!tail.empty()) out.push_back(tail + ";");
+  return out;
+}
+
+bool IsSelect(const std::string& stmt) {
+  return stmt.size() >= 6 && eds::EqualsIgnoreCase(stmt.substr(0, 6), "SELECT");
+}
+
+void PrintResult(const eds::net::ResultMsg& r) {
+  if (!r.ok) {
+    std::cout << "error: " << r.error << "\n";
+    return;
+  }
+  if (!r.columns.empty()) {
+    for (size_t i = 0; i < r.columns.size(); ++i) {
+      std::cout << (i == 0 ? "" : "\t") << r.columns[i];
+    }
+    std::cout << "\n";
+  }
+  for (const std::vector<std::string>& row : r.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::cout << (i == 0 ? "" : "\t") << row[i];
+    }
+    std::cout << "\n";
+  }
+  std::cout << r.rows.size() << " row(s)";
+  if (r.l0_hit) {
+    std::cout << "  [l0 hit]";
+  } else if (r.cache_hit) {
+    std::cout << "  [plan-cache hit]";
+  }
+  std::cout << "  epoch " << r.catalog_epoch << "/" << r.rules_epoch << "  "
+            << r.serve_ns / 1000 << " us\n";
+}
+
+// Runs one statement: SELECTs go through QUERY, everything else through
+// EXEC (DDL/INSERT). Returns false if the statement failed.
+bool RunStatement(eds::net::Client* client, const std::string& stmt) {
+  if (IsSelect(stmt)) {
+    eds::Result<eds::net::ResultMsg> r = client->Query(stmt);
+    if (!r.ok()) {
+      std::cout << "error: " << r.status().message() << "\n";
+      return false;
+    }
+    PrintResult(*r);
+    return r->ok;
+  }
+  eds::Result<eds::net::ResultMsg> r = client->Exec(stmt);
+  if (!r.ok()) {
+    std::cout << "error: " << r.status().message() << "\n";
+    return false;
+  }
+  if (!r->ok) {
+    std::cout << "error: " << r->error << "\n";
+    return false;
+  }
+  std::cout << "ok  epoch " << r->catalog_epoch << "/" << r->rules_epoch
+            << "\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  eds::net::Client::Options options;
+  options.client_name = "eds_client";
+  bool have_port = false;
+  bool want_stats = false;
+  std::string query;
+  std::string exec;
+  std::string script_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    const std::string kHost = "--host=";
+    const std::string kPort = "--port=";
+    const std::string kTenant = "--tenant=";
+    const std::string kName = "--name=";
+    const std::string kQuery = "--query=";
+    const std::string kExec = "--exec=";
+    if (arg.rfind(kHost, 0) == 0) {
+      options.host = arg.substr(kHost.size());
+    } else if (arg.rfind(kPort, 0) == 0) {
+      try {
+        unsigned long v = std::stoul(arg.substr(kPort.size()));
+        if (v == 0 || v > 65535) return Usage();
+        options.port = static_cast<uint16_t>(v);
+        have_port = true;
+      } catch (...) {
+        return Usage();
+      }
+    } else if (arg.rfind(kTenant, 0) == 0) {
+      options.tenant = arg.substr(kTenant.size());
+    } else if (arg.rfind(kName, 0) == 0) {
+      options.client_name = arg.substr(kName.size());
+    } else if (arg.rfind(kQuery, 0) == 0) {
+      query = arg.substr(kQuery.size());
+    } else if (arg.rfind(kExec, 0) == 0) {
+      exec = arg.substr(kExec.size());
+    } else if (arg == "--stats") {
+      want_stats = true;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      return Usage();
+    } else {
+      script_path = arg;
+    }
+  }
+  if (!have_port) return Usage();
+
+  eds::Result<std::unique_ptr<eds::net::Client>> connected =
+      eds::net::Client::Connect(options);
+  if (!connected.ok()) {
+    std::cerr << "cannot connect to " << options.host << ":" << options.port
+              << ": " << connected.status().message() << "\n";
+    return 2;
+  }
+  std::unique_ptr<eds::net::Client> client = std::move(*connected);
+  int exit_code = 0;
+
+  if (want_stats) {
+    eds::Result<std::string> stats = client->Stats();
+    if (!stats.ok()) {
+      std::cerr << "stats: " << stats.status().message() << "\n";
+      return 1;
+    }
+    std::cout << *stats;
+  } else if (!query.empty()) {
+    if (!RunStatement(client.get(), query)) exit_code = 1;
+  } else if (!exec.empty()) {
+    if (!RunStatement(client.get(), exec)) exit_code = 1;
+  } else if (!script_path.empty() || !isatty(0)) {
+    std::stringstream buffer;
+    if (script_path.empty() || script_path == "-") {
+      buffer << std::cin.rdbuf();
+    } else {
+      std::ifstream file(script_path);
+      if (!file) {
+        std::cerr << "cannot open " << script_path << "\n";
+        return 2;
+      }
+      buffer << file.rdbuf();
+    }
+    for (const std::string& stmt : SplitStatements(buffer.str())) {
+      if (!RunStatement(client.get(), stmt)) exit_code = 1;
+    }
+  } else {
+    std::cout << "connected to " << options.host << ":" << options.port
+              << " (session " << client->session_id() << ", server \""
+              << client->hello().server_info
+              << "\") — statements end with ';', \\q quits, \\stats scrapes\n";
+    std::string line;
+    std::string pending;
+    while (true) {
+      std::cout << (pending.empty() ? "esql> " : "   ... ") << std::flush;
+      if (!std::getline(std::cin, line)) break;
+      std::string trimmed(eds::Trim(line));
+      if (pending.empty() && (trimmed == "\\q" || trimmed == "\\quit")) break;
+      if (pending.empty() && trimmed == "\\stats") {
+        eds::Result<std::string> stats = client->Stats();
+        if (stats.ok()) {
+          std::cout << *stats;
+        } else {
+          std::cout << "stats: " << stats.status().message() << "\n";
+        }
+        continue;
+      }
+      pending += line + "\n";
+      if (trimmed.empty() || trimmed.back() != ';') continue;
+      for (const std::string& stmt : SplitStatements(pending)) {
+        if (!RunStatement(client.get(), stmt)) exit_code = 1;
+      }
+      pending.clear();
+    }
+  }
+  if (eds::Status bye = client->Goodbye(); !bye.ok()) {
+    // The server may already be gone; a failed goodbye is not a failure
+    // of the user's statements.
+    std::cerr << "goodbye: " << bye.message() << "\n";
+  }
+  return exit_code;
+}
