@@ -170,8 +170,15 @@ std::string EncodeResult(const ResultMsg& m) {
   enc.PutU32(static_cast<uint32_t>(m.columns.size()));
   for (const std::string& c : m.columns) enc.PutString(c);
   enc.PutU32(static_cast<uint32_t>(m.rows.size()));
+  // The decoder reads exactly columns.size() cells per row; a ragged row
+  // written verbatim would silently desync every cell after it. Pad or
+  // truncate so a malformed ResultMsg can never corrupt the stream.
+  const size_t ncols = m.columns.size();
   for (const std::vector<std::string>& row : m.rows) {
-    for (const std::string& cell : row) enc.PutString(cell);
+    for (size_t c = 0; c < ncols; ++c) {
+      enc.PutString(c < row.size() ? std::string_view(row[c])
+                                   : std::string_view());
+    }
   }
   return out;
 }

@@ -36,6 +36,10 @@ inline constexpr uint32_t kProtocolVersion = 1;
 // Frames larger than this are a protocol error (connection closed): bounds
 // both the server's per-connection buffering and the decoder's allocation.
 inline constexpr size_t kDefaultMaxFrameBytes = 4u << 20;
+// Longest tenant id a HELLO may carry. Tenant ids key per-tenant server
+// state (admission stats, weight lookups), so a client-chosen string
+// must not be an unbounded memory-growth vector.
+inline constexpr size_t kMaxTenantIdBytes = 128;
 
 enum class MsgType : uint8_t {
   kHello = 1,

@@ -9,7 +9,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "gov/failpoint.h"
@@ -117,6 +119,8 @@ Status Server::Start() {
     running_ = true;
     accepting_ = true;
     stop_ = false;
+    draining_.store(false);
+    stopping_.store(false);
   }
   poller_ = std::thread(&Server::PollLoop, this);
   return Status::OK();
@@ -128,13 +132,29 @@ void Server::Shutdown(bool drain) {
     if (!running_) return;
     accepting_ = false;
   }
+  // From here on new QUERY frames are refused with a failed RESULT, so
+  // pending_total_ only decreases: a client that keeps pipelining cannot
+  // hold the drain open.
+  draining_.store(true);
   WakePoller();
   if (drain) {
     // Connections stay open while their admitted queries finish; the
-    // RESULT frames are still delivered.
+    // RESULT frames are still delivered. The wait is bounded by
+    // drain_timeout_ms — anything still pending afterwards is cancelled
+    // by the stop path below.
     std::unique_lock<std::mutex> dlock(drain_mu_);
-    drain_cv_.wait(dlock, [&] { return pending_total_.load() == 0; });
+    auto drained = [&] { return pending_total_.load() == 0; };
+    if (options_.drain_timeout_ms > 0) {
+      (void)drain_cv_.wait_for(
+          dlock, std::chrono::milliseconds(options_.drain_timeout_ms),
+          drained);
+    } else {
+      drain_cv_.wait(dlock, drained);
+    }
   }
+  // Aborts any send still parked on a slow reader, so the poller join
+  // below can never wait behind one.
+  stopping_.store(true);
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
@@ -199,6 +219,8 @@ void Server::ExportMetrics(obs::MetricsRegistry* registry) const {
   registry->Counter("net.read_errors", s.read_errors);
   registry->Counter("net.write_errors", s.write_errors);
   registry->Counter("net.accept_errors", s.accept_errors);
+  registry->Counter("net.poll_errors", s.poll_errors);
+  registry->Counter("net.drain_rejected", s.drain_rejected);
   registry->Gauge("net.connections.active", static_cast<double>(active));
   registry->Gauge("net.queries.pending",
                   static_cast<double>(pending_total_.load()));
@@ -230,7 +252,18 @@ void Server::PollLoop() {
       }
     }
     int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 200);
-    if (rc < 0 && errno != EINTR) continue;
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      // A persistent failure (e.g. EINVAL once nfds exceeds the rlimit)
+      // returns immediately; back off instead of busy-spinning the
+      // rebuild-and-retry loop at 100% CPU.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.poll_errors;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
     if (fds[0].revents & POLLIN) {
       char buf[64];
       while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
@@ -410,6 +443,15 @@ bool Server::Dispatch(const ConnPtr& conn, const Frame& f) {
                           std::to_string(kProtocolVersion) + ")");
         return false;
       }
+      // Tenant ids flow into per-tenant maps (admission stats, weights);
+      // an unbounded client-chosen string is a memory-growth vector, so
+      // the cap is enforced at the door.
+      if (hello->tenant.size() > kMaxTenantIdBytes) {
+        ProtocolError(conn, f.request_id,
+                      "tenant id exceeds " +
+                          std::to_string(kMaxTenantIdBytes) + " bytes");
+        return false;
+      }
       conn->hello_done = true;
       conn->tenant = hello->tenant;
       HelloOk ok;
@@ -420,6 +462,22 @@ bool Server::Dispatch(const ConnPtr& conn, const Frame& f) {
           .ok();
     }
     case MsgType::kQuery:
+      if (draining_.load()) {
+        // Shutdown in progress: refusing here keeps pending_total_
+        // monotonically decreasing so the drain wait terminates. The
+        // refusal travels as a failed RESULT (like any per-query error)
+        // and the connection stays open for RESULTs still in flight.
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.drain_rejected;
+        }
+        ResultMsg r;
+        r.ok = false;
+        r.error = "server draining: query rejected";
+        (void)SendFrame(conn, MsgType::kResult, f.request_id,
+                        EncodeResult(r));
+        return true;
+      }
       HandleQuery(conn, f);
       return true;
     case MsgType::kCancel: {
@@ -559,6 +617,14 @@ Status Server::SendFrameImpl(const ConnPtr& conn, MsgType type,
   std::lock_guard<std::mutex> lock(conn->write_mu);
   if (conn->closed) return Status::RuntimeError("connection closed");
   size_t off = 0;
+  // Write deadline: a frame (up to max_frame_bytes) can exceed the socket
+  // send buffer, and a client that simply stops reading would otherwise
+  // park this thread in the EAGAIN loop forever — fatal when the caller
+  // is the poller (inline HELLO_OK/ERROR/STATS_RESULT/EXEC replies).
+  const uint64_t deadline_ns =
+      options_.write_timeout_ms == 0
+          ? 0
+          : obs::NowNs() + options_.write_timeout_ms * 1'000'000ULL;
   while (off < frame.size()) {
     ssize_t n = ::send(conn->fd, frame.data() + off, frame.size() - off,
                        MSG_NOSIGNAL);
@@ -570,8 +636,14 @@ Status Server::SendFrameImpl(const ConnPtr& conn, MsgType type,
       // Slow reader: wait for writability in short slices so a poller
       // shutdown (which shuts the socket down first, failing this send)
       // never waits behind us for long.
-      if (conn->wants_close.load()) {
+      if (conn->wants_close.load() || stopping_.load()) {
         return Status::RuntimeError("connection closing");
+      }
+      if (deadline_ns != 0 && obs::NowNs() >= deadline_ns) {
+        return Status::RuntimeError(
+            "send timed out after " +
+            std::to_string(options_.write_timeout_ms) +
+            "ms: client not reading");
       }
       pollfd p{conn->fd, POLLOUT, 0};
       ::poll(&p, 1, 50);

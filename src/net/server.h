@@ -34,7 +34,10 @@ namespace eds::net {
 //     worker pool serves it and the completion callback writes the RESULT
 //     frame back from the worker thread (per-connection write mutex, so
 //     concurrent results interleave at frame granularity, never byte
-//     granularity).
+//     granularity). Sends carry a write deadline
+//     (ServerOptions::write_timeout_ms): a slow or non-reading client
+//     fails its send and loses the connection instead of pinning a worker
+//     — or the poller, for the inline replies — indefinitely.
 //   * CANCEL fires the gov::CancelToken of the named in-flight request;
 //     closing a connection cancels everything still pending on it, so a
 //     dead client stops consuming budget at the next governor chokepoint.
@@ -52,6 +55,15 @@ struct ServerOptions {
   // wire analog of admission load-shedding.
   size_t max_connections = 64;
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  // A send that makes no progress (EAGAIN) for this long fails and closes
+  // the connection: a slow or non-reading client can stall one connection
+  // for at most this window, never the poller or Shutdown(). 0 = no limit.
+  uint64_t write_timeout_ms = 5000;
+  // Shutdown(drain=true) waits at most this long for in-flight queries;
+  // whatever is still pending afterwards is cancelled. 0 = wait forever
+  // (drain is still guaranteed to make progress — new QUERYs are rejected
+  // while draining — but individual queries may run long).
+  uint64_t drain_timeout_ms = 30'000;
   std::string server_info = "eds";
   // When true the server records per-connection spans (net.connection) and
   // per-message spans into its own TraceSink (trace_sink()).
@@ -76,6 +88,8 @@ struct ServerStats {
   uint64_t read_errors = 0;      // peer resets + injected net.read failures
   uint64_t write_errors = 0;     // send failures + injected net.write
   uint64_t accept_errors = 0;    // accept failures + injected net.accept
+  uint64_t poll_errors = 0;      // poll() failures (backed off, not fatal)
+  uint64_t drain_rejected = 0;   // QUERYs refused while draining for stop
 };
 
 class Server {
@@ -93,9 +107,14 @@ class Server {
 
   // Graceful stop: stop accepting, optionally wait for in-flight queries
   // to drain (their RESULT frames are still written), then close every
-  // connection and join the poller. With drain=false pending queries are
-  // cancelled instead of awaited. Idempotent. Either way, returns only
-  // once no completion callback can still be in flight.
+  // connection and join the poller. While draining, new QUERY frames are
+  // refused with a failed RESULT ("server draining") so the pending count
+  // is monotonically decreasing — a client that keeps pipelining cannot
+  // hold the drain open — and the wait is bounded by
+  // ServerOptions::drain_timeout_ms (whatever remains is cancelled). With
+  // drain=false pending queries are cancelled instead of awaited.
+  // Idempotent. Either way, returns only once no completion callback can
+  // still be in flight.
   void Shutdown(bool drain = true);
 
   // The bound port (resolves option port 0 to the kernel's choice).
@@ -179,6 +198,12 @@ class Server {
   bool running_ = false;
   bool accepting_ = false;
   bool stop_ = false;
+  // Lock-free mirrors of the shutdown phases, readable from worker-thread
+  // send paths and Dispatch without taking mu_: draining_ rejects new
+  // QUERYs once Shutdown begins; stopping_ aborts any send still waiting
+  // on a slow reader so the poller join can never wait behind one.
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
   std::map<int, ConnPtr> conns_;  // by fd
   ServerStats stats_;
   uint64_t next_session_id_ = 1;

@@ -238,7 +238,17 @@ void QueryService::SubmitWithCallback(
       item.tenant = opts.tenant;
       queue_.push_back(std::move(item));
       ++stats_.admitted;
-      ++stats_.tenant_admitted[opts.tenant];
+      // Bounded per-tenant tally: tenant ids arrive from clients (HELLO),
+      // so an attacker minting unique ids must not grow this map — and
+      // every metrics export — without limit. Configured tenants and the
+      // "" default always track; past kMaxTrackedTenants distinct ids,
+      // newcomers fold into "other".
+      const bool tracked =
+          opts.tenant.empty() ||
+          options_.tenant_weights.count(opts.tenant) > 0 ||
+          stats_.tenant_admitted.count(opts.tenant) > 0 ||
+          stats_.tenant_admitted.size() < kMaxTrackedTenants;
+      ++stats_.tenant_admitted[tracked ? opts.tenant : "other"];
       stats_.max_queue_depth =
           std::max<uint64_t>(stats_.max_queue_depth, queue_.size());
     }

@@ -73,6 +73,13 @@ struct ServedQuery {
   std::string tenant;  // tenant id carried on Submit ("" = default)
 };
 
+// Distinct tenant ids ServiceStats::tenant_admitted tracks individually
+// before newcomers fold into the shared "other" bucket. Tenants with a
+// configured weight (and the "" default) always get their own entry; the
+// bound keeps client-supplied ids from growing the map — and every
+// metrics export — without limit.
+inline constexpr size_t kMaxTrackedTenants = 64;
+
 // Cumulative service tallies, exported as srv.* metrics.
 struct ServiceStats {
   uint64_t submitted = 0;
@@ -82,7 +89,9 @@ struct ServiceStats {
   uint64_t failed = 0;     // served with an error (incl. governor trips)
   uint64_t max_queue_depth = 0;
   uint64_t ddl_applied = 0;  // successful ApplyDdl() calls
-  // Admissions per tenant id ("" shows as "default" in metrics).
+  // Admissions per tenant id ("" shows as "default" in metrics). Bounded:
+  // past kMaxTrackedTenants distinct ids, unconfigured newcomers are
+  // counted under "other".
   std::map<std::string, uint64_t> tenant_admitted;
 };
 

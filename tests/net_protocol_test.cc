@@ -229,6 +229,22 @@ TEST(NetBodies, CorruptCountsFailCleanly) {
   EXPECT_FALSE(out.ok());
 }
 
+// A ragged row (hand-built ResultMsg whose row width disagrees with the
+// column count) must not desync the stream: the encoder pads short rows
+// and truncates long ones to exactly columns.size() cells.
+TEST(NetBodies, RaggedRowsArePaddedOrTruncated) {
+  ResultMsg in;
+  in.ok = true;
+  in.columns = {"a", "b"};
+  in.rows = {{"1"}, {"2", "3", "SPILL"}, {"4", "5"}};
+  Result<ResultMsg> out = DecodeResult(EncodeResult(in));
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->rows.size(), 3u);
+  EXPECT_EQ(out->rows[0], (std::vector<std::string>{"1", ""}));
+  EXPECT_EQ(out->rows[1], (std::vector<std::string>{"2", "3"}));
+  EXPECT_EQ(out->rows[2], (std::vector<std::string>{"4", "5"}));
+}
+
 TEST(NetBodies, TrailingBytesAfterResultRejected) {
   ResultMsg in;
   in.ok = true;

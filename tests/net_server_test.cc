@@ -4,7 +4,13 @@
 // (net.accept / net.read / net.write), and graceful shutdown. Run under
 // the asan AND tsan presets — the server is poller + worker handoff, so
 // this suite is the repo's network data-race detector.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <string>
@@ -415,6 +421,104 @@ TEST_F(NetServerTest, GracefulShutdownDrainsInFlight) {
   Client::Options copts;
   copts.port = server_->port();
   EXPECT_FALSE(Client::Connect(copts).ok());
+}
+
+// A client that connects, floods requests, and never reads a single reply:
+// the write deadline must fail the stalled send and close that one
+// connection instead of wedging the poller (STATS replies are written
+// inline from the poller thread) — and Shutdown in TearDown must still
+// complete.
+TEST_F(NetServerTest, SlowReaderHitsWriteTimeoutWithoutWedgingPoller) {
+  ServerOptions options;
+  options.write_timeout_ms = 200;
+  StartServer({}, options);
+
+  // Raw socket with a tiny receive buffer so the reply path fills the
+  // kernel buffers after a handful of STATS_RESULT frames.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  int rcvbuf = 4096;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  Hello hello;
+  hello.client_name = "flood";
+  std::string frame;
+  AppendFrame(MsgType::kHello, 1, EncodeHello(hello), &frame);
+  ASSERT_EQ(::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(frame.size()));
+  char buf[256];
+  ASSERT_GT(::recv(fd, buf, sizeof(buf), 0), 0);  // HELLO_OK (unparsed)
+
+  // Flood STATS requests and never read a reply. The server answers each
+  // inline from the poller until the buffers fill; then the deadline
+  // fires and the connection is torn down.
+  std::string one;
+  AppendFrame(MsgType::kStats, 2, "", &one);
+  std::string burst;
+  for (int i = 0; i < 100; ++i) burst += one;
+  for (int i = 0; i < 20; ++i) {
+    if (::send(fd, burst.data(), burst.size(), MSG_NOSIGNAL) < 0) break;
+  }
+
+  for (int i = 0; i < 400 && server_->active_connections() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server_->active_connections(), 0u);
+  EXPECT_GE(server_->GetStats().write_errors, 1u);
+  ::close(fd);
+  // The poller survived: a fresh client connects and serves.
+  auto fresh = Dial();
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_TRUE(fresh->Query("SELECT Winner FROM BEATS WHERE Winner > 1").ok());
+}
+
+// Shutdown(drain=true) against a client that keeps pipelining QUERYs: the
+// drain must terminate (new QUERYs are refused with a failed RESULT), so
+// this test completing at all is the assertion — a regression hangs it.
+TEST_F(NetServerTest, DrainTerminatesAgainstPipeliningClient) {
+  srv::ServiceOptions service_options;
+  service_options.test_delay_marker = "BEATS";
+  service_options.test_delay_ns = 60'000'000ULL;
+  StartServer(service_options);
+  auto client = Dial();
+  ASSERT_NE(client, nullptr);
+
+  std::atomic<bool> stop{false};
+  std::thread pipeliner([&] {
+    for (int i = 0; i < 2000 && !stop.load(); ++i) {
+      if (!client->SendQuery("SELECT Winner FROM BEATS WHERE Winner > 3")
+               .ok()) {
+        break;  // connection closed by the completed shutdown
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server_->Shutdown(/*drain=*/true);
+  stop.store(true);
+  pipeliner.join();
+  EXPECT_EQ(server_->pending_queries(), 0u);
+  // The drain window saw at least one QUERY turned away.
+  EXPECT_GE(server_->GetStats().drain_rejected, 1u);
+}
+
+// Tenant ids key per-tenant server state, so an oversize one is refused
+// at the handshake.
+TEST_F(NetServerTest, OversizeTenantIdRejectedAtHello) {
+  StartServer();
+  Client::Options copts;
+  copts.port = server_->port();
+  copts.tenant = std::string(kMaxTenantIdBytes + 1, 't');
+  EXPECT_FALSE(Client::Connect(copts).ok());
+  EXPECT_GE(server_->GetStats().protocol_errors, 1u);
+  // A tenant id at the cap is fine.
+  auto ok = Dial(std::string(kMaxTenantIdBytes, 't'));
+  EXPECT_NE(ok, nullptr);
 }
 
 TEST_F(NetServerTest, TenantRidesHelloIntoAdmission) {

@@ -255,5 +255,40 @@ TEST(TenantAdmissionTest, PerTenantAdmissionsAreCounted) {
   service.Stop();
 }
 
+// Tenant ids are client-supplied (HELLO), so the per-tenant tally must not
+// grow without bound: past kMaxTrackedTenants distinct ids, unconfigured
+// newcomers fold into "other" — while configured tenants always keep
+// their own entry.
+TEST(TenantAdmissionTest, TenantStatsCardinalityIsBounded) {
+  testutil::FilmDb db;
+  ServiceOptions options = ThreadedOptions(1);
+  options.tenant_weights["vip"] = 2.0;
+  QueryService service(&db.session, options);
+  ASSERT_TRUE(service.Start().ok());
+  const size_t kExtra = 10;
+  for (size_t i = 0; i < kMaxTrackedTenants + kExtra; ++i) {
+    SubmitOptions opts;
+    opts.tenant = "mint-" + std::to_string(i);
+    ASSERT_TRUE(
+        service.Submit("SELECT Winner FROM BEATS WHERE Winner > 1", opts)
+            .get()
+            .ok());
+  }
+  // A configured tenant arriving after the cap still tracks individually.
+  SubmitOptions vip;
+  vip.tenant = "vip";
+  ASSERT_TRUE(
+      service.Submit("SELECT Winner FROM BEATS WHERE Winner > 2", vip)
+          .get()
+          .ok());
+  ServiceStats stats = service.GetStats();
+  // kMaxTrackedTenants minted ids + "other" + "vip"; never one entry per
+  // minted id.
+  EXPECT_LE(stats.tenant_admitted.size(), kMaxTrackedTenants + 2);
+  EXPECT_EQ(stats.tenant_admitted["other"], kExtra);
+  EXPECT_EQ(stats.tenant_admitted["vip"], 1u);
+  service.Stop();
+}
+
 }  // namespace
 }  // namespace eds::srv
